@@ -1,0 +1,252 @@
+//! The [`RoutingAlgebra`] trait: the paper's `A = (W, φ, ⊕, ⪯)`.
+
+use std::cmp::Ordering;
+
+use crate::properties::PropertySet;
+use crate::weight::PathWeight;
+
+/// A routing algebra `A = (W, φ, ⊕, ⪯)` in the sense of Sobrinho/Griffin as
+/// used by Rétvári et al.: a totally ordered commutative semigroup `(W, ⊕)`
+/// with a compatible infinity element `φ`.
+///
+/// * `W` is the carrier set of finite edge/path weights ([`Self::W`]);
+/// * `⊕` is weight composition ([`combine`](Self::combine)) — composing two
+///   finite weights may yield `φ` when the algebra is *non-delimited*;
+/// * `⪯` is the total preference order ([`compare`](Self::compare)), where
+///   [`Ordering::Less`] means *more preferred*;
+/// * `φ` is represented by [`PathWeight::Infinite`] and is always absorptive
+///   and maximal (enforced by the provided `*_pw` combinators).
+///
+/// Implementations are *values*, not just types: parameterized algebras
+/// (lexicographic products, bounded-cost algebras, subalgebras) carry state.
+///
+/// For the inter-domain algebras of the paper's §5, `⊕` need not be
+/// commutative and is evaluated *right-associatively* (from the destination
+/// towards the source); see [`weigh_path_right`](Self::weigh_path_right).
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{policies::ShortestPath, PathWeight, RoutingAlgebra};
+///
+/// let sp = ShortestPath;
+/// assert_eq!(sp.combine(&2, &3), PathWeight::Finite(5));
+/// assert_eq!(
+///     sp.weigh_path_left([1u64, 2, 3].iter()),
+///     PathWeight::Finite(6)
+/// );
+/// ```
+pub trait RoutingAlgebra {
+    /// The carrier set of finite weights.
+    type W: Clone + std::fmt::Debug + PartialEq;
+
+    /// Human-readable name of the algebra (e.g. `"shortest-path"`), used in
+    /// reports and experiment output.
+    fn name(&self) -> String;
+
+    /// Weight composition `a ⊕ b`.
+    ///
+    /// Returns [`PathWeight::Infinite`] when the composition leaves the
+    /// carrier set — this is what makes an algebra non-delimited.
+    fn combine(&self, a: &Self::W, b: &Self::W) -> PathWeight<Self::W>;
+
+    /// Weight comparison `⪯`, a total order where `Less` means *preferred*.
+    ///
+    /// `compare(a, b) == Ordering::Equal` must agree with `a == b`
+    /// (anti-symmetry of a total order).
+    fn compare(&self, a: &Self::W, b: &Self::W) -> Ordering;
+
+    /// The algebraic properties this algebra is *known* (proved on paper) to
+    /// satisfy. Empty by default; concrete policies override this and the
+    /// test-suite cross-checks the declaration against empirical property
+    /// checks. Used to pick admissible routing schemes per the paper's
+    /// theorems.
+    fn declared_properties(&self) -> PropertySet {
+        PropertySet::empty()
+    }
+
+    /// `⊕` lifted to [`PathWeight`]: `φ` is absorptive on either side.
+    fn combine_pw(&self, a: &PathWeight<Self::W>, b: &PathWeight<Self::W>) -> PathWeight<Self::W> {
+        match (a, b) {
+            (PathWeight::Finite(a), PathWeight::Finite(b)) => self.combine(a, b),
+            _ => PathWeight::Infinite,
+        }
+    }
+
+    /// `⪯` lifted to [`PathWeight`]: `φ` is maximal (least preferred).
+    fn compare_pw(&self, a: &PathWeight<Self::W>, b: &PathWeight<Self::W>) -> Ordering {
+        match (a, b) {
+            (PathWeight::Finite(a), PathWeight::Finite(b)) => self.compare(a, b),
+            (PathWeight::Finite(_), PathWeight::Infinite) => Ordering::Less,
+            (PathWeight::Infinite, PathWeight::Finite(_)) => Ordering::Greater,
+            (PathWeight::Infinite, PathWeight::Infinite) => Ordering::Equal,
+        }
+    }
+
+    /// Returns the more preferred of two path weights (ties go to `a`).
+    fn min_pw(&self, a: PathWeight<Self::W>, b: PathWeight<Self::W>) -> PathWeight<Self::W> {
+        if self.compare_pw(&a, &b) == Ordering::Greater {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Folds edge weights *left-associatively*:
+    /// `((w₁ ⊕ w₂) ⊕ w₃) ⊕ …`. The natural evaluation order for the
+    /// commutative intra-domain algebras of §2–§4.
+    ///
+    /// An empty iterator yields `φ` — an `s–s` "path" carries no weight and
+    /// the semigroup has no identity; callers treat the trivial path
+    /// specially.
+    fn weigh_path_left<'a, I>(&self, weights: I) -> PathWeight<Self::W>
+    where
+        I: IntoIterator<Item = &'a Self::W>,
+        Self::W: 'a,
+    {
+        let mut it = weights.into_iter();
+        let first = match it.next() {
+            Some(w) => PathWeight::Finite(w.clone()),
+            None => return PathWeight::Infinite,
+        };
+        it.fold(first, |acc, w| {
+            self.combine_pw(&acc, &PathWeight::Finite(w.clone()))
+        })
+    }
+
+    /// Folds edge weights *right-associatively*:
+    /// `w₁ ⊕ (w₂ ⊕ (w₃ ⊕ …))`. BGP-style path-vector algebras (§5) compose
+    /// link weights from the destination towards the source, so the *first*
+    /// element of `weights` must be the arc at the source.
+    ///
+    /// Agrees with [`weigh_path_left`](Self::weigh_path_left) whenever `⊕`
+    /// is associative.
+    fn weigh_path_right(&self, weights: &[Self::W]) -> PathWeight<Self::W> {
+        let mut it = weights.iter().rev();
+        let first = match it.next() {
+            Some(w) => PathWeight::Finite(w.clone()),
+            None => return PathWeight::Infinite,
+        };
+        it.fold(first, |acc, w| {
+            self.combine_pw(&PathWeight::Finite(w.clone()), &acc)
+        })
+    }
+
+    /// The `k`-th power `w^k = w ⊕ w ⊕ … ⊕ w` (`k` times, `k ≥ 1`),
+    /// evaluated left-associatively. This is the algebra's generalized
+    /// "multiplication by k" used by the paper's Definition 3 of stretch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`: the semigroup has no identity element.
+    fn power(&self, w: &Self::W, k: u32) -> PathWeight<Self::W> {
+        assert!(k >= 1, "w^0 is undefined in a semigroup without identity");
+        let mut acc = PathWeight::Finite(w.clone());
+        for _ in 1..k {
+            acc = self.combine_pw(&acc, &PathWeight::Finite(w.clone()));
+        }
+        acc
+    }
+}
+
+/// Blanket implementation so `&A` is itself an algebra; lets generic code
+/// take algebras by reference without extra bounds.
+impl<A: RoutingAlgebra + ?Sized> RoutingAlgebra for &A {
+    type W = A::W;
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn combine(&self, a: &Self::W, b: &Self::W) -> PathWeight<Self::W> {
+        (**self).combine(a, b)
+    }
+
+    fn compare(&self, a: &Self::W, b: &Self::W) -> Ordering {
+        (**self).compare(a, b)
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        (**self).declared_properties()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{ShortestPath, WidestPath};
+    use crate::weight::PathWeight::{Finite, Infinite};
+
+    #[test]
+    fn combine_pw_absorbs_phi() {
+        let sp = ShortestPath;
+        assert_eq!(sp.combine_pw(&Finite(1), &Infinite), Infinite);
+        assert_eq!(sp.combine_pw(&Infinite, &Finite(1)), Infinite);
+        assert_eq!(sp.combine_pw(&Infinite, &Infinite), Infinite);
+        assert_eq!(sp.combine_pw(&Finite(1), &Finite(2)), Finite(3));
+    }
+
+    #[test]
+    fn compare_pw_phi_is_maximal() {
+        let sp = ShortestPath;
+        assert_eq!(sp.compare_pw(&Finite(u64::MAX), &Infinite), Ordering::Less);
+        assert_eq!(sp.compare_pw(&Infinite, &Finite(0)), Ordering::Greater);
+        assert_eq!(
+            sp.compare_pw(&PathWeight::<u64>::Infinite, &Infinite),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn min_pw_prefers_smaller_and_breaks_ties_left() {
+        let sp = ShortestPath;
+        assert_eq!(sp.min_pw(Finite(2), Finite(5)), Finite(2));
+        assert_eq!(sp.min_pw(Finite(5), Finite(2)), Finite(2));
+        assert_eq!(sp.min_pw(Finite(5), Infinite), Finite(5));
+    }
+
+    #[test]
+    fn weigh_path_left_folds() {
+        let sp = ShortestPath;
+        assert_eq!(sp.weigh_path_left([1u64, 2, 3].iter()), Finite(6));
+        assert_eq!(sp.weigh_path_left(std::iter::empty::<&u64>()), Infinite);
+        let wp = WidestPath;
+        let w = [
+            crate::policies::Capacity::new(5).unwrap(),
+            crate::policies::Capacity::new(2).unwrap(),
+            crate::policies::Capacity::new(9).unwrap(),
+        ];
+        assert_eq!(
+            wp.weigh_path_left(w.iter()),
+            Finite(crate::policies::Capacity::new(2).unwrap())
+        );
+    }
+
+    #[test]
+    fn weigh_path_right_agrees_for_associative() {
+        let sp = ShortestPath;
+        let ws = [4u64, 1, 7, 2];
+        assert_eq!(sp.weigh_path_right(&ws), sp.weigh_path_left(ws.iter()));
+    }
+
+    #[test]
+    fn power_is_iterated_combine() {
+        let sp = ShortestPath;
+        assert_eq!(sp.power(&3, 1), Finite(3));
+        assert_eq!(sp.power(&3, 4), Finite(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "w^0")]
+    fn power_zero_panics() {
+        ShortestPath.power(&3, 0);
+    }
+
+    #[test]
+    fn reference_is_an_algebra() {
+        fn total<A: RoutingAlgebra<W = u64>>(a: A) -> PathWeight<u64> {
+            a.combine(&1, &2)
+        }
+        assert_eq!(total(ShortestPath), Finite(3));
+    }
+}

@@ -1,0 +1,75 @@
+//! # cpr-algebra — routing algebras for compact policy routing
+//!
+//! This crate implements the algebraic framework of *Compact Policy
+//! Routing* (Rétvári, Gulyás, Heszberger, Csernai, Bíró; PODC 2011): a
+//! routing policy is modelled as a routing algebra `A = (W, φ, ⊕, ⪯)` — a
+//! totally ordered commutative semigroup of abstract weights with a
+//! compatible infinity element — and the scalability of the policy is
+//! decided by the *algebraic properties* of `A`.
+//!
+//! ## What lives here
+//!
+//! * [`RoutingAlgebra`] — the `(W, φ, ⊕, ⪯)` interface, with `φ` as a
+//!   first-class [`PathWeight::Infinite`];
+//! * [`policies`] — the paper's Table 1 algebras: shortest path `S`, widest
+//!   path `W`, most reliable path `R`, usable path `U`, widest-shortest
+//!   `WS = S × W` and shortest-widest `SW = W × S`, plus a non-delimited
+//!   bounded-cost algebra;
+//! * [`Lex`] — the lexicographic product operator and Proposition 1's
+//!   property-transfer rules;
+//! * [`Subalgebra`] — closed restrictions, with closure verification;
+//! * [`Property`]/[`check_all_properties`] — empirical checking of
+//!   monotonicity, isotonicity, strict monotonicity, selectivity,
+//!   cancellativity, condensedness and delimitedness, with counterexamples;
+//! * [`cyclic_structure`]/[`embeds_shortest_path`] — the Lemma 2 machinery:
+//!   cyclic subsemigroups and the order-isomorphic embedding of `(N, +, ≤)`
+//!   that drives the incompressibility theorems;
+//! * [`check_stretch`]/[`measured_stretch`] — Definition 3's generalized
+//!   stretch `w(p) ⪯ (w(p*))^k`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cpr_algebra::{check_all_properties, policies, Property, RoutingAlgebra, SampleWeights};
+//!
+//! // Shortest-widest path is strictly monotone but not isotone — the
+//! // combination Theorem 4 exploits to rule out any finite-stretch
+//! // compact routing scheme.
+//! let sw = policies::shortest_widest();
+//! let report = check_all_properties(&sw, &sw.sample());
+//! assert!(report.holding().contains(Property::StrictlyMonotone));
+//! assert!(report.counterexample(Property::Isotone).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algebra;
+mod cyclic;
+mod finite;
+pub mod policies;
+mod product;
+mod properties;
+mod ratio;
+mod sample;
+mod stretch;
+mod subalgebra;
+mod weight;
+
+pub use algebra::RoutingAlgebra;
+pub use cyclic::{cyclic_structure, embeds_shortest_path, CyclicStructure};
+pub use finite::{enumerate_finite_algebras, FiniteAlgebra, Verdict};
+pub use product::{
+    lex_transfer, product_isotone, product_monotone, product_strictly_monotone, Lex,
+};
+pub use properties::{
+    check_all_properties, check_associative, check_cancellative, check_commutative,
+    check_condensed, check_delimited, check_isotone, check_monotone, check_property,
+    check_selective, check_strictly_monotone, check_total_order, CheckResult, Counterexample,
+    Property, PropertyReport, PropertySet,
+};
+pub use ratio::{gcd, Ratio, RatioError};
+pub use sample::SampleWeights;
+pub use stretch::{check_stretch, measured_stretch, StretchVerdict};
+pub use subalgebra::{NotClosed, Subalgebra};
+pub use weight::PathWeight;

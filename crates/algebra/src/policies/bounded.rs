@@ -1,0 +1,149 @@
+//! Bounded-cost shortest path: a *non-delimited* intra-domain algebra.
+
+use std::cmp::Ordering;
+
+use rand::Rng;
+
+use crate::algebra::RoutingAlgebra;
+use crate::properties::{Property, PropertySet};
+use crate::sample::SampleWeights;
+use crate::weight::PathWeight;
+
+/// A shortest path algebra with a hard end-to-end cost budget:
+/// `({1, …, bound}, φ, +, ≤)` where any sum exceeding the budget is `φ`.
+///
+/// This models delay-constrained routing ("any route is fine as long as the
+/// total delay stays below the deadline"). It is strictly monotone and
+/// isotone but **not delimited**: two individually traversable subpaths may
+/// concatenate to an untraversable path. The paper (§4.1) points out that
+/// Cowen's stretch-3 scheme needs delimitedness — this algebra is the test
+/// vehicle for that discussion: the weight of a landmark detour can be `φ`
+/// even when the preferred path is finite.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{policies::BoundedShortestPath, PathWeight, RoutingAlgebra};
+///
+/// let alg = BoundedShortestPath::new(10);
+/// assert_eq!(alg.combine(&4, &5), PathWeight::Finite(9));
+/// assert_eq!(alg.combine(&6, &5), PathWeight::Infinite); // budget blown
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BoundedShortestPath {
+    bound: u64,
+}
+
+impl BoundedShortestPath {
+    /// Creates the algebra with the given cost budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` (the carrier would be empty).
+    pub fn new(bound: u64) -> Self {
+        assert!(bound > 0, "cost budget must be positive");
+        BoundedShortestPath { bound }
+    }
+
+    /// The end-to-end cost budget.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+}
+
+impl RoutingAlgebra for BoundedShortestPath {
+    type W = u64;
+
+    fn name(&self) -> String {
+        format!("bounded-shortest-path(≤{})", self.bound)
+    }
+
+    fn combine(&self, a: &u64, b: &u64) -> PathWeight<u64> {
+        match a.checked_add(*b) {
+            Some(sum) if sum <= self.bound => PathWeight::Finite(sum),
+            _ => PathWeight::Infinite,
+        }
+    }
+
+    fn compare(&self, a: &u64, b: &u64) -> Ordering {
+        a.cmp(b)
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        PropertySet::from_iter([
+            Property::Commutative,
+            Property::Associative,
+            Property::TotalOrder,
+            Property::Monotone,
+            Property::StrictlyMonotone,
+            Property::Isotone,
+            // NOT delimited, and cancellativity fails at the boundary
+            // (w1 ⊕ w2 = φ = w1 ⊕ w3 with w2 ≠ w3 both over budget).
+        ])
+    }
+}
+
+impl SampleWeights for BoundedShortestPath {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(1..=self.bound.min(100))
+    }
+
+    fn sample(&self) -> Vec<u64> {
+        let b = self.bound;
+        let mut s = vec![1, 2];
+        if b > 2 {
+            s.push(b / 2);
+            s.push(b - 1);
+            s.push(b);
+        }
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::check_all_properties;
+
+    #[test]
+    fn within_budget_adds() {
+        let alg = BoundedShortestPath::new(100);
+        assert_eq!(alg.combine(&30, &40), PathWeight::Finite(70));
+    }
+
+    #[test]
+    fn over_budget_is_phi() {
+        let alg = BoundedShortestPath::new(100);
+        assert_eq!(alg.combine(&60, &41), PathWeight::Infinite);
+        assert_eq!(alg.combine(&100, &1), PathWeight::Infinite);
+        // Exactly at budget is fine.
+        assert_eq!(alg.combine(&60, &40), PathWeight::Finite(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_rejected() {
+        BoundedShortestPath::new(0);
+    }
+
+    #[test]
+    fn not_delimited_on_sample() {
+        let alg = BoundedShortestPath::new(10);
+        let report = check_all_properties(&alg, &alg.sample());
+        let holding = report.holding();
+        assert!(!holding.contains(Property::Delimited));
+        for p in alg.declared_properties().iter() {
+            assert!(holding.contains(p), "declared property {p} fails on sample");
+        }
+    }
+
+    #[test]
+    fn cancellativity_fails_at_the_boundary() {
+        let alg = BoundedShortestPath::new(10);
+        // 9 ⊕ 9 = φ = 9 ⊕ 10 although 9 ≠ 10.
+        let report = check_all_properties(&alg, &[9, 10]);
+        assert!(!report.holding().contains(Property::Cancellative));
+    }
+}

@@ -1,0 +1,114 @@
+//! The concrete intra-domain routing policies of the paper's Table 1,
+//! plus auxiliary algebras used in experiments.
+//!
+//! | Algebra | Definition | Properties | Local memory |
+//! |---|---|---|---|
+//! | [`ShortestPath`] | `S = (N, ∞, +, ≤)` | SM, I | Θ(n) |
+//! | [`WidestPath`] | `W = (N, 0, min, ≥)` | S, I, M | Θ(log n) |
+//! | [`MostReliablePath`] | `R = ((0,1], 0, ·, ≥)` | SM, I | Θ(n) |
+//! | [`UsablePath`] | `U = ({1}, 0, ·, ≥)` | S, I, M | Θ(log n) |
+//! | [`widest_shortest`] | `WS = S × W` | SM, I | Θ(n) |
+//! | [`shortest_widest`] | `SW = W × S` | SM, ¬I | Ω(n) |
+
+mod bounded;
+mod reliability;
+mod shortest_path;
+mod usable;
+mod widest_path;
+
+pub use bounded::BoundedShortestPath;
+pub use reliability::{MostReliablePath, StrictReliability};
+pub use shortest_path::{HopCount, ShortestPath};
+pub use usable::{Usable, UsablePath};
+pub use widest_path::{Capacity, WidestPath};
+
+use crate::product::Lex;
+
+/// The widest-shortest path policy `WS = S × W` (Apostolopoulos et al.):
+/// prefer the cheapest path, breaking ties by bottleneck capacity.
+///
+/// Strictly monotone and isotone by Proposition 1, hence regular but
+/// incompressible (Theorem 2).
+pub type WidestShortest = Lex<ShortestPath, WidestPath>;
+
+/// Constructs the widest-shortest path algebra `WS = S × W`.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{policies, RoutingAlgebra};
+///
+/// let ws = policies::widest_shortest();
+/// assert!(ws.declared_properties().is_regular());
+/// ```
+pub fn widest_shortest() -> WidestShortest {
+    Lex::new(ShortestPath, WidestPath)
+}
+
+/// The shortest-widest path policy `SW = W × S` (Wang–Crowcroft): prefer
+/// the widest path, breaking ties by cost.
+///
+/// Strictly monotone but **not isotone** (Table 1); Theorem 4 shows it
+/// admits no compact routing scheme of any finite stretch.
+pub type ShortestWidest = Lex<WidestPath, ShortestPath>;
+
+/// Constructs the shortest-widest path algebra `SW = W × S`.
+pub fn shortest_widest() -> ShortestWidest {
+    Lex::new(WidestPath, ShortestPath)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Property, RoutingAlgebra};
+
+    #[test]
+    fn table1_property_declarations() {
+        // The "Properties" column of the paper's Table 1, verbatim.
+        use super::*;
+        let sm_i = |props: crate::PropertySet| {
+            props.contains(Property::StrictlyMonotone) && props.contains(Property::Isotone)
+        };
+        assert!(sm_i(ShortestPath.declared_properties()));
+        assert!(sm_i(
+            MostReliablePath
+                .declared_properties()
+                .with(Property::StrictlyMonotone)
+        )); // R: SM via its (0,1) subalgebra
+        assert!(sm_i(widest_shortest().declared_properties()));
+
+        let s_i_m = |props: crate::PropertySet| {
+            props.contains(Property::Selective)
+                && props.contains(Property::Isotone)
+                && props.contains(Property::Monotone)
+        };
+        assert!(s_i_m(WidestPath.declared_properties()));
+        assert!(s_i_m(UsablePath.declared_properties()));
+
+        let sw = shortest_widest().declared_properties();
+        assert!(sw.contains(Property::StrictlyMonotone));
+        assert!(!sw.contains(Property::Isotone));
+    }
+
+    #[test]
+    fn all_table1_algebras_are_delimited() {
+        use super::*;
+        assert!(ShortestPath
+            .declared_properties()
+            .contains(Property::Delimited));
+        assert!(WidestPath
+            .declared_properties()
+            .contains(Property::Delimited));
+        assert!(MostReliablePath
+            .declared_properties()
+            .contains(Property::Delimited));
+        assert!(UsablePath
+            .declared_properties()
+            .contains(Property::Delimited));
+        assert!(widest_shortest()
+            .declared_properties()
+            .contains(Property::Delimited));
+        assert!(shortest_widest()
+            .declared_properties()
+            .contains(Property::Delimited));
+    }
+}

@@ -1,0 +1,211 @@
+//! The most reliable path algebra `R = ((0,1], 0, ·, ≥)`.
+
+use std::cmp::Ordering;
+
+use rand::Rng;
+
+use crate::algebra::RoutingAlgebra;
+use crate::properties::{Property, PropertySet};
+use crate::ratio::Ratio;
+use crate::sample::SampleWeights;
+use crate::weight::PathWeight;
+
+/// Denominator used when an exact product would overflow `u64`; `2³¹` keeps
+/// the product of two approximated denominators within `u64`.
+const APPROX_DENOM: u64 = 1 << 31;
+
+/// Rounds `r` to a ratio with denominator [`APPROX_DENOM`], rounding the
+/// numerator down but never below 1 (the result must stay in `(0, 1]`).
+fn approximate(r: Ratio) -> Ratio {
+    let num = ((r.numer() as u128 * APPROX_DENOM as u128) / r.denom() as u128) as u64;
+    Ratio::new(num.max(1), APPROX_DENOM).expect("approximated ratio is in (0,1]")
+}
+
+/// The most reliable path routing algebra `R = ((0,1], 0, ·, ≥)` (paper
+/// §3.1, Table 1): edge weights are success probabilities, a path's weight
+/// is the product of its edges' probabilities, and higher probability is
+/// preferred.
+///
+/// `R` contains the delimited strictly monotone subalgebra
+/// `((0,1), 0, ·, ≥)`, so by Theorem 2 / Lemma 2 it is *incompressible*:
+/// Θ(n) bits of local memory are required.
+///
+/// Weights are exact rationals ([`Ratio`]); products that would overflow
+/// `u64` after reduction are rounded down to denominator `2³¹`, which can
+/// only occur on paths dozens of hops long and never in the finite property
+/// samples.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{policies::MostReliablePath, PathWeight, Ratio, RoutingAlgebra};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let r = MostReliablePath;
+/// let half = Ratio::new(1, 2)?;
+/// assert_eq!(r.combine(&half, &half), PathWeight::Finite(Ratio::new(1, 4)?));
+/// assert!(r.compare(&half, &Ratio::new(1, 4)?).is_lt()); // 1/2 preferred
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct MostReliablePath;
+
+impl RoutingAlgebra for MostReliablePath {
+    type W = Ratio;
+
+    fn name(&self) -> String {
+        "most-reliable-path".to_owned()
+    }
+
+    fn combine(&self, a: &Ratio, b: &Ratio) -> PathWeight<Ratio> {
+        let exact = a
+            .checked_mul(*b)
+            .or_else(|_| approximate(*a).checked_mul(approximate(*b)))
+            .expect("approximated product cannot overflow");
+        PathWeight::Finite(exact)
+    }
+
+    fn compare(&self, a: &Ratio, b: &Ratio) -> Ordering {
+        // Reversed: higher success probability is preferred.
+        b.cmp(a)
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        // Note: over the full carrier (0,1] the algebra is only weakly
+        // monotone (multiplying by the unit 1/1 preserves the weight), just
+        // like shortest path over N ∪ {0}; its restriction to (0,1) — which
+        // is what Lemma 2 uses — is strictly monotone. We declare the
+        // properties of the full carrier here; the open-interval subalgebra
+        // is exercised in tests and in the `classify` experiment.
+        PropertySet::from_iter([
+            Property::Commutative,
+            Property::Associative,
+            Property::TotalOrder,
+            Property::Monotone,
+            Property::Isotone,
+            Property::Delimited,
+        ])
+    }
+}
+
+impl SampleWeights for MostReliablePath {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> Ratio {
+        // Reliabilities between 0.50 and 0.99 with denominator 100.
+        Ratio::new(rng.gen_range(50..=99), 100).expect("in range")
+    }
+
+    fn sample(&self) -> Vec<Ratio> {
+        [(1, 2), (2, 3), (9, 10), (99, 100), (1, 10)]
+            .into_iter()
+            .map(|(n, d)| Ratio::new(n, d).expect("valid sample ratio"))
+            .collect()
+    }
+}
+
+/// The strictly monotone open-interval subalgebra `((0,1), 0, ·, ≥)` of
+/// [`MostReliablePath`]: the carrier excludes the multiplicative unit `1/1`,
+/// so composing always strictly decreases reliability. This is the
+/// subalgebra invoked by Theorem 2 to prove `R` incompressible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct StrictReliability;
+
+impl RoutingAlgebra for StrictReliability {
+    type W = Ratio;
+
+    fn name(&self) -> String {
+        "most-reliable-path(0,1)".to_owned()
+    }
+
+    fn combine(&self, a: &Ratio, b: &Ratio) -> PathWeight<Ratio> {
+        MostReliablePath.combine(a, b)
+    }
+
+    fn compare(&self, a: &Ratio, b: &Ratio) -> Ordering {
+        MostReliablePath.compare(a, b)
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        MostReliablePath
+            .declared_properties()
+            .with(Property::StrictlyMonotone)
+            .with(Property::Cancellative)
+    }
+}
+
+impl SampleWeights for StrictReliability {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> Ratio {
+        MostReliablePath.random_weight(rng)
+    }
+
+    fn sample(&self) -> Vec<Ratio> {
+        // Same as the parent, but all strictly inside (0,1).
+        MostReliablePath.sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::check_all_properties;
+
+    fn r(n: u64, d: u64) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn product_composition() {
+        let alg = MostReliablePath;
+        assert_eq!(alg.combine(&r(1, 2), &r(2, 3)), PathWeight::Finite(r(1, 3)));
+    }
+
+    #[test]
+    fn higher_reliability_preferred() {
+        let alg = MostReliablePath;
+        assert_eq!(alg.compare(&r(9, 10), &r(1, 2)), Ordering::Less);
+        assert_eq!(alg.compare(&r(1, 2), &r(9, 10)), Ordering::Greater);
+    }
+
+    #[test]
+    fn unit_weight_is_weakly_monotone() {
+        // 1/1 ⊕ w = w: monotone but not strictly.
+        let alg = MostReliablePath;
+        assert_eq!(
+            alg.combine(&Ratio::ONE, &r(1, 2)),
+            PathWeight::Finite(r(1, 2))
+        );
+    }
+
+    #[test]
+    fn declared_properties_hold_on_sample() {
+        let alg = MostReliablePath;
+        let report = check_all_properties(&alg, &alg.sample());
+        let holding = report.holding();
+        for p in alg.declared_properties().iter() {
+            assert!(holding.contains(p), "declared property {p} fails on sample");
+        }
+    }
+
+    #[test]
+    fn strict_subalgebra_is_strictly_monotone_on_sample() {
+        let alg = StrictReliability;
+        let report = check_all_properties(&alg, &alg.sample());
+        assert!(report.holding().contains(Property::StrictlyMonotone));
+        // Adding the unit back destroys strict monotonicity.
+        let mut sample = alg.sample();
+        sample.push(Ratio::ONE);
+        let report = check_all_properties(&alg, &sample);
+        assert!(!report.holding().contains(Property::StrictlyMonotone));
+    }
+
+    #[test]
+    fn overflowing_products_are_approximated() {
+        let alg = MostReliablePath;
+        // Two ratios with huge coprime denominators whose product overflows.
+        let a = r(u64::MAX - 2, u64::MAX - 1); // odd/even, coprime
+        let b = r(u64::MAX - 4, u64::MAX - 3);
+        let prod = alg.combine(&a, &b).unwrap_finite();
+        let v = prod.to_f64();
+        assert!(v > 0.99 && v <= 1.0, "approximation far off: {v}");
+    }
+}

@@ -1,0 +1,107 @@
+//! The usable path algebra `U = ({1}, 0, ·, ≥)`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::algebra::RoutingAlgebra;
+use crate::properties::{Property, PropertySet};
+use crate::sample::SampleWeights;
+use crate::weight::PathWeight;
+
+/// The single weight of the usable path algebra: "this link is usable".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Usable;
+
+impl fmt::Display for Usable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("usable")
+    }
+}
+
+/// The usable path routing algebra `U = ({1}, 0, ·, ≥)` (paper §3.1,
+/// Table 1): every traversable path is equally preferred; a path is either
+/// usable or it is not.
+///
+/// This is the algebra behind Ethernet's Spanning Tree Protocol — it is
+/// selective, monotone and isotone, so Theorem 1 applies and routing over a
+/// spanning tree with Θ(log n) bits per node is both possible and exactly
+/// what STP does.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{policies::{Usable, UsablePath}, PathWeight, RoutingAlgebra};
+///
+/// let u = UsablePath;
+/// assert_eq!(u.combine(&Usable, &Usable), PathWeight::Finite(Usable));
+/// assert!(u.compare(&Usable, &Usable).is_eq());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct UsablePath;
+
+impl RoutingAlgebra for UsablePath {
+    type W = Usable;
+
+    fn name(&self) -> String {
+        "usable-path".to_owned()
+    }
+
+    fn combine(&self, _a: &Usable, _b: &Usable) -> PathWeight<Usable> {
+        PathWeight::Finite(Usable)
+    }
+
+    fn compare(&self, _a: &Usable, _b: &Usable) -> Ordering {
+        Ordering::Equal
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        PropertySet::from_iter([
+            Property::Commutative,
+            Property::Associative,
+            Property::TotalOrder,
+            Property::Monotone,
+            Property::Isotone,
+            Property::Selective,
+            Property::Cancellative,
+            Property::Condensed,
+            Property::Delimited,
+        ])
+    }
+}
+
+impl SampleWeights for UsablePath {
+    fn random_weight<R: Rng + ?Sized>(&self, _rng: &mut R) -> Usable {
+        Usable
+    }
+
+    fn sample(&self) -> Vec<Usable> {
+        vec![Usable]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::check_all_properties;
+
+    #[test]
+    fn trivial_composition_and_order() {
+        let u = UsablePath;
+        assert_eq!(u.combine(&Usable, &Usable), PathWeight::Finite(Usable));
+        assert_eq!(u.compare(&Usable, &Usable), Ordering::Equal);
+    }
+
+    #[test]
+    fn declared_properties_hold_exhaustively() {
+        // {1} is finite, so the sample check is an exhaustive proof.
+        let u = UsablePath;
+        let report = check_all_properties(&u, &u.sample());
+        let holding = report.holding();
+        for p in u.declared_properties().iter() {
+            assert!(holding.contains(p), "declared property {p} fails");
+        }
+        assert!(!holding.contains(Property::StrictlyMonotone));
+    }
+}

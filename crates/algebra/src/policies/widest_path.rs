@@ -1,0 +1,153 @@
+//! The widest path algebra `W = (N, 0, min, ≥)`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::algebra::RoutingAlgebra;
+use crate::properties::{Property, PropertySet};
+use crate::sample::SampleWeights;
+use crate::weight::PathWeight;
+
+/// A positive link capacity, the weight of the widest-path algebra.
+///
+/// The paper's `W = (N, 0, min, ≥)` uses capacity `0` as the infinity
+/// element `φ` (a zero-capacity link is untraversable); in this
+/// implementation `φ` is [`PathWeight::Infinite`](crate::PathWeight), so the
+/// carrier is the *positive* integers and [`Capacity::new`] rejects zero.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Capacity(u64);
+
+impl Capacity {
+    /// Creates a capacity; returns `None` for `0` (which is `φ`, not a
+    /// weight).
+    pub fn new(value: u64) -> Option<Capacity> {
+        if value == 0 {
+            None
+        } else {
+            Some(Capacity(value))
+        }
+    }
+
+    /// The capacity value in abstract bandwidth units.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cap({})", self.0)
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The widest path routing algebra `W = (N, 0, min, ≥)` (paper §2.1,
+/// Table 1): the weight of a path is the capacity of its bottleneck edge,
+/// and *larger* bottleneck capacity is preferred.
+///
+/// `W` is selective, monotone and isotone, so by Theorem 1 it is
+/// *compressible*: preferred paths live on a spanning tree and Θ(log n)
+/// bits of local memory suffice.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{policies::{Capacity, WidestPath}, PathWeight, RoutingAlgebra};
+///
+/// let w = WidestPath;
+/// let a = Capacity::new(10).unwrap();
+/// let b = Capacity::new(3).unwrap();
+/// assert_eq!(w.combine(&a, &b), PathWeight::Finite(b)); // bottleneck
+/// assert!(w.compare(&a, &b).is_lt()); // wider is preferred
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct WidestPath;
+
+impl RoutingAlgebra for WidestPath {
+    type W = Capacity;
+
+    fn name(&self) -> String {
+        "widest-path".to_owned()
+    }
+
+    fn combine(&self, a: &Capacity, b: &Capacity) -> PathWeight<Capacity> {
+        PathWeight::Finite(*a.min(b))
+    }
+
+    fn compare(&self, a: &Capacity, b: &Capacity) -> Ordering {
+        // Reversed: larger capacity is more preferred (Less).
+        b.cmp(a)
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        PropertySet::from_iter([
+            Property::Commutative,
+            Property::Associative,
+            Property::TotalOrder,
+            Property::Monotone,
+            Property::Isotone,
+            Property::Selective,
+            Property::Delimited,
+        ])
+    }
+}
+
+impl SampleWeights for WidestPath {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> Capacity {
+        Capacity(rng.gen_range(1..=100))
+    }
+
+    fn sample(&self) -> Vec<Capacity> {
+        [1, 2, 5, 10, 40, 100].into_iter().map(Capacity).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::check_all_properties;
+
+    #[test]
+    fn capacity_rejects_zero() {
+        assert_eq!(Capacity::new(0), None);
+        assert_eq!(Capacity::new(5).unwrap().value(), 5);
+    }
+
+    #[test]
+    fn min_composition_and_reversed_order() {
+        let w = WidestPath;
+        let a = Capacity::new(4).unwrap();
+        let b = Capacity::new(9).unwrap();
+        assert_eq!(w.combine(&a, &b), PathWeight::Finite(a));
+        assert_eq!(w.compare(&b, &a), Ordering::Less); // 9 preferred over 4
+        assert_eq!(w.compare(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn declared_properties_hold_on_sample() {
+        let w = WidestPath;
+        let report = check_all_properties(&w, &w.sample());
+        let holding = report.holding();
+        for p in w.declared_properties().iter() {
+            assert!(holding.contains(p), "declared property {p} fails on sample");
+        }
+        // Table 1 negatives: not strictly monotone, not cancellative.
+        assert!(!holding.contains(Property::StrictlyMonotone));
+        assert!(!holding.contains(Property::Cancellative));
+    }
+
+    #[test]
+    fn powers_are_idempotent() {
+        // §4: for W, wⁿ = w, so stretch-3 paths are exactly preferred paths.
+        let w = WidestPath;
+        let c = Capacity::new(7).unwrap();
+        assert_eq!(w.power(&c, 3), PathWeight::Finite(c));
+    }
+}

@@ -1,0 +1,274 @@
+//! Lexicographic products of routing algebras (paper §2.2, Proposition 1).
+
+use std::cmp::Ordering;
+
+use rand::Rng;
+
+use crate::algebra::RoutingAlgebra;
+use crate::properties::{Property, PropertySet};
+use crate::sample::SampleWeights;
+use crate::weight::PathWeight;
+
+/// The lexicographic product `A × B` of two routing algebras:
+/// weights are pairs, composition is component-wise, and comparison is by
+/// the `A`-component with ties broken by the `B`-component.
+///
+/// The paper's widest-shortest path policy is `S × W` and shortest-widest
+/// is `W × S`; both are provided as constructors in
+/// [`policies`](crate::policies).
+///
+/// `φ` of the product is hit as soon as either component composition yields
+/// its `φ` — for delimited factors this never happens, matching the paper's
+/// remark that `φ` of a product of delimited algebras is well defined.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{Lex, PathWeight, RoutingAlgebra};
+/// use cpr_algebra::policies::{Capacity, ShortestPath, WidestPath};
+///
+/// // Widest-shortest path: compare by cost, tie-break on capacity.
+/// let ws = Lex::new(ShortestPath, WidestPath);
+/// let w1 = (3u64, Capacity::new(10).unwrap());
+/// let w2 = (3u64, Capacity::new(4).unwrap());
+/// assert!(ws.compare(&w1, &w2).is_lt()); // equal cost, wider wins
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Lex<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: RoutingAlgebra, B: RoutingAlgebra> Lex<A, B> {
+    /// Creates the lexicographic product `first × second`.
+    pub fn new(first: A, second: B) -> Self {
+        Lex { first, second }
+    }
+
+    /// The primary (most significant) factor algebra.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The tie-breaking factor algebra.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+}
+
+impl<A: RoutingAlgebra, B: RoutingAlgebra> RoutingAlgebra for Lex<A, B> {
+    type W = (A::W, B::W);
+
+    fn name(&self) -> String {
+        format!("{} × {}", self.first.name(), self.second.name())
+    }
+
+    fn combine(&self, a: &Self::W, b: &Self::W) -> PathWeight<Self::W> {
+        match (
+            self.first.combine(&a.0, &b.0),
+            self.second.combine(&a.1, &b.1),
+        ) {
+            (PathWeight::Finite(x), PathWeight::Finite(y)) => PathWeight::Finite((x, y)),
+            _ => PathWeight::Infinite,
+        }
+    }
+
+    fn compare(&self, a: &Self::W, b: &Self::W) -> Ordering {
+        self.first
+            .compare(&a.0, &b.0)
+            .then_with(|| self.second.compare(&a.1, &b.1))
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        lex_transfer(
+            &self.first.declared_properties(),
+            &self.second.declared_properties(),
+        )
+    }
+}
+
+impl<A: SampleWeights, B: SampleWeights> SampleWeights for Lex<A, B> {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::W {
+        (
+            self.first.random_weight(rng),
+            self.second.random_weight(rng),
+        )
+    }
+
+    fn sample(&self) -> Vec<Self::W> {
+        // The full cross product keeps the exhaustive checks meaningful.
+        let a = self.first.sample();
+        let b = self.second.sample();
+        a.iter()
+            .flat_map(|x| b.iter().map(move |y| (x.clone(), y.clone())))
+            .collect()
+    }
+}
+
+/// Proposition 1, rule (i): `M(A×B) ⇔ SM(A) ∨ (M(A) ∧ M(B))`.
+pub fn product_monotone(a: &PropertySet, b: &PropertySet) -> bool {
+    a.contains(Property::StrictlyMonotone)
+        || (a.contains(Property::Monotone) && b.contains(Property::Monotone))
+}
+
+/// Proposition 1, rule (ii): `I(A×B) ⇔ I(A) ∧ I(B) ∧ (N(A) ∨ C(B))`.
+pub fn product_isotone(a: &PropertySet, b: &PropertySet) -> bool {
+    a.contains(Property::Isotone)
+        && b.contains(Property::Isotone)
+        && (a.contains(Property::Cancellative) || b.contains(Property::Condensed))
+}
+
+/// Proposition 1, rule (iii): `SM(A×B) ⇔ SM(A) ∨ (M(A) ∧ SM(B))`.
+pub fn product_strictly_monotone(a: &PropertySet, b: &PropertySet) -> bool {
+    a.contains(Property::StrictlyMonotone)
+        || (a.contains(Property::Monotone) && b.contains(Property::StrictlyMonotone))
+}
+
+/// Derives the declared property set of `A × B` from the factors'
+/// declarations: Proposition 1 for M/I/SM plus the straightforward
+/// transfers (commutativity, associativity, total order, delimitedness and
+/// cancellativity are all component-wise; condensedness too).
+pub fn lex_transfer(a: &PropertySet, b: &PropertySet) -> PropertySet {
+    let mut out = PropertySet::empty();
+    let both = |p: Property| a.contains(p) && b.contains(p);
+    if both(Property::Commutative) {
+        out.insert(Property::Commutative);
+    }
+    if both(Property::Associative) {
+        out.insert(Property::Associative);
+    }
+    if both(Property::TotalOrder) {
+        out.insert(Property::TotalOrder);
+    }
+    if both(Property::Delimited) {
+        out.insert(Property::Delimited);
+    }
+    if both(Property::Cancellative) {
+        out.insert(Property::Cancellative);
+    }
+    if both(Property::Condensed) {
+        out.insert(Property::Condensed);
+    }
+    if product_monotone(a, b) {
+        out.insert(Property::Monotone);
+    }
+    if product_isotone(a, b) {
+        out.insert(Property::Isotone);
+    }
+    if product_strictly_monotone(a, b) {
+        out.insert(Property::StrictlyMonotone);
+    }
+    // Selectivity does not transfer in general and is deliberately omitted.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{Capacity, MostReliablePath, ShortestPath, UsablePath, WidestPath};
+    use crate::properties::check_all_properties;
+
+    fn cap(v: u64) -> Capacity {
+        Capacity::new(v).unwrap()
+    }
+
+    #[test]
+    fn widest_shortest_combines_componentwise() {
+        let ws = Lex::new(ShortestPath, WidestPath);
+        let got = ws.combine(&(2, cap(10)), &(3, cap(4)));
+        assert_eq!(got, PathWeight::Finite((5, cap(4))));
+    }
+
+    #[test]
+    fn compare_is_lexicographic() {
+        let ws = Lex::new(ShortestPath, WidestPath);
+        // Lower cost dominates regardless of capacity.
+        assert_eq!(ws.compare(&(2, cap(1)), &(3, cap(100))), Ordering::Less);
+        // Equal cost: capacity breaks the tie (wider preferred).
+        assert_eq!(ws.compare(&(3, cap(9)), &(3, cap(2))), Ordering::Less);
+        assert_eq!(ws.compare(&(3, cap(2)), &(3, cap(2))), Ordering::Equal);
+    }
+
+    #[test]
+    fn widest_shortest_is_regular_and_sm_on_sample() {
+        // Table 1: WS = S × W has SM, I.
+        let ws = Lex::new(ShortestPath, WidestPath);
+        let report = check_all_properties(&ws, &ws.sample());
+        let holding = report.holding();
+        assert!(holding.contains(Property::StrictlyMonotone));
+        assert!(holding.contains(Property::Isotone));
+        assert!(holding.contains(Property::Monotone));
+        assert!(holding.contains(Property::Delimited));
+        assert!(report.is_regular());
+    }
+
+    #[test]
+    fn shortest_widest_is_not_isotone() {
+        // Table 1: SW = W × S has SM but ¬I.
+        let sw = Lex::new(WidestPath, ShortestPath);
+        let report = check_all_properties(&sw, &sw.sample());
+        let holding = report.holding();
+        assert!(holding.contains(Property::StrictlyMonotone));
+        assert!(
+            !holding.contains(Property::Isotone),
+            "SW must not be isotone; counterexample expected"
+        );
+        let ce = report.counterexample(Property::Isotone).unwrap();
+        assert_eq!(ce.witnesses.len(), 3);
+    }
+
+    #[test]
+    fn declared_matches_empirical_for_ws_and_sw() {
+        let ws = Lex::new(ShortestPath, WidestPath);
+        let holding = check_all_properties(&ws, &ws.sample()).holding();
+        for p in ws.declared_properties().iter() {
+            assert!(holding.contains(p), "WS declared {p} but sample refutes it");
+        }
+        let sw = Lex::new(WidestPath, ShortestPath);
+        let holding = check_all_properties(&sw, &sw.sample()).holding();
+        for p in sw.declared_properties().iter() {
+            assert!(holding.contains(p), "SW declared {p} but sample refutes it");
+        }
+        assert!(!sw.declared_properties().contains(Property::Isotone));
+    }
+
+    #[test]
+    fn transfer_rules_match_paper() {
+        let s = ShortestPath.declared_properties(); // SM, I, N, D, ...
+        let w = WidestPath.declared_properties(); // S, I, M, D, ...
+                                                  // WS = S × W: SM(S) ⇒ M and SM of the product.
+        assert!(product_monotone(&s, &w));
+        assert!(product_strictly_monotone(&s, &w));
+        // I(S×W): I(S) ∧ I(W) ∧ N(S) ⇒ isotone.
+        assert!(product_isotone(&s, &w));
+        // SW = W × S: I fails because W is not cancellative and S is not
+        // condensed.
+        assert!(!product_isotone(&w, &s));
+        // but SW is strictly monotone: M(W) ∧ SM(S).
+        assert!(product_strictly_monotone(&w, &s));
+    }
+
+    #[test]
+    fn nested_products_compose() {
+        // (S × W) × R — a three-criterion policy.
+        let alg = Lex::new(Lex::new(ShortestPath, WidestPath), MostReliablePath);
+        let ra = crate::Ratio::new(1, 2).unwrap();
+        let rb = crate::Ratio::new(2, 3).unwrap();
+        let got = alg.combine(&((1, cap(5)), ra), &((2, cap(3)), rb));
+        assert_eq!(
+            got,
+            PathWeight::Finite(((3, cap(3)), crate::Ratio::new(1, 3).unwrap()))
+        );
+    }
+
+    #[test]
+    fn product_with_condensed_second_factor_is_isotone() {
+        // U is condensed, so W × U is isotone by rule (ii).
+        let w = WidestPath.declared_properties();
+        let u = UsablePath.declared_properties();
+        assert!(product_isotone(&w, &u));
+        let alg = Lex::new(WidestPath, UsablePath);
+        let report = check_all_properties(&alg, &alg.sample());
+        assert!(report.holding().contains(Property::Isotone));
+    }
+}

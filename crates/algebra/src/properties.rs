@@ -1,0 +1,551 @@
+//! Algebraic properties of routing algebras and empirical property checking.
+//!
+//! The paper classifies routing policies by the properties of their algebras
+//! (Definition 1 and the property list of §2.1): monotonicity, isotonicity,
+//! strict monotonicity, selectivity, cancellativity, condensedness and
+//! delimitedness. Properties are universally quantified statements over the
+//! (possibly infinite) carrier set; this module checks them *empirically*
+//! over a finite weight sample — exhaustive for finite algebras, sampled for
+//! infinite ones — and reports counterexamples when a property fails.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::algebra::RoutingAlgebra;
+use crate::weight::PathWeight;
+
+/// The algebraic properties the paper uses to classify routing policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Property {
+    /// `⊕` is commutative: `w₁ ⊕ w₂ = w₂ ⊕ w₁`.
+    Commutative,
+    /// `⊕` is associative: `(w₁ ⊕ w₂) ⊕ w₃ = w₁ ⊕ (w₂ ⊕ w₃)`.
+    Associative,
+    /// `⪯` is a total order (anti-symmetric, transitive, total).
+    TotalOrder,
+    /// (M) `w₁ ⪯ w₂ ⊕ w₁` for all `w₁, w₂`.
+    Monotone,
+    /// (I) `w₁ ⪯ w₂ ⇒ w₃ ⊕ w₁ ⪯ w₃ ⊕ w₂` (and on the right).
+    Isotone,
+    /// (SM) `w₁ ≺ w₂ ⊕ w₁` for all `w₁, w₂`.
+    StrictlyMonotone,
+    /// (S) `w₁ ⊕ w₂ ∈ {w₁, w₂}`.
+    Selective,
+    /// (N) `w₁ ⊕ w₂ = w₁ ⊕ w₃ ⇒ w₂ = w₃`.
+    Cancellative,
+    /// (C) `w₁ ⊕ w₂ = w₁ ⊕ w₃` for all `w₁, w₂, w₃`.
+    Condensed,
+    /// (D) `w₁ ⊕ w₂ ≠ φ`: finite weights always compose to finite weights.
+    Delimited,
+}
+
+impl Property {
+    /// All properties, in display order.
+    pub const ALL: [Property; 10] = [
+        Property::Commutative,
+        Property::Associative,
+        Property::TotalOrder,
+        Property::Monotone,
+        Property::Isotone,
+        Property::StrictlyMonotone,
+        Property::Selective,
+        Property::Cancellative,
+        Property::Condensed,
+        Property::Delimited,
+    ];
+
+    /// The short name used in the paper's tables (`M`, `I`, `SM`, `S`, `N`,
+    /// `C`, `D`) or a lowercase word for structural properties.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Property::Commutative => "comm",
+            Property::Associative => "assoc",
+            Property::TotalOrder => "order",
+            Property::Monotone => "M",
+            Property::Isotone => "I",
+            Property::StrictlyMonotone => "SM",
+            Property::Selective => "S",
+            Property::Cancellative => "N",
+            Property::Condensed => "C",
+            Property::Delimited => "D",
+        }
+    }
+
+    fn bit(self) -> u16 {
+        match self {
+            Property::Commutative => 1 << 0,
+            Property::Associative => 1 << 1,
+            Property::TotalOrder => 1 << 2,
+            Property::Monotone => 1 << 3,
+            Property::Isotone => 1 << 4,
+            Property::StrictlyMonotone => 1 << 5,
+            Property::Selective => 1 << 6,
+            Property::Cancellative => 1 << 7,
+            Property::Condensed => 1 << 8,
+            Property::Delimited => 1 << 9,
+        }
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A set of [`Property`] values, stored as a bitset.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{Property, PropertySet};
+///
+/// let s = PropertySet::from_iter([Property::Monotone, Property::Isotone]);
+/// assert!(s.contains(Property::Monotone));
+/// assert!(s.is_regular());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PropertySet(u16);
+
+impl PropertySet {
+    /// The empty property set.
+    pub fn empty() -> Self {
+        PropertySet(0)
+    }
+
+    /// Returns `true` if no property is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Inserts a property; returns `self` for chaining.
+    pub fn with(mut self, p: Property) -> Self {
+        self.insert(p);
+        self
+    }
+
+    /// Inserts a property.
+    pub fn insert(&mut self, p: Property) {
+        self.0 |= p.bit();
+    }
+
+    /// Removes a property.
+    pub fn remove(&mut self, p: Property) {
+        self.0 &= !p.bit();
+    }
+
+    /// Returns `true` if `p` is in the set.
+    pub fn contains(&self, p: Property) -> bool {
+        self.0 & p.bit() != 0
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &PropertySet) -> PropertySet {
+        PropertySet(self.0 | other.0)
+    }
+
+    /// Definition 1: an algebra is *regular* if it is monotone and isotone.
+    pub fn is_regular(&self) -> bool {
+        self.contains(Property::Monotone) && self.contains(Property::Isotone)
+    }
+
+    /// Iterates the contained properties in display order.
+    pub fn iter(&self) -> impl Iterator<Item = Property> + '_ {
+        Property::ALL.iter().copied().filter(|p| self.contains(*p))
+    }
+}
+
+impl FromIterator<Property> for PropertySet {
+    fn from_iter<I: IntoIterator<Item = Property>>(iter: I) -> Self {
+        let mut s = PropertySet::empty();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for PropertySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for PropertySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            f.write_str(p.short_name())?;
+            first = false;
+        }
+        if first {
+            f.write_str("∅")?;
+        }
+        Ok(())
+    }
+}
+
+/// A counterexample to a universally quantified property: the witnesses and
+/// a human-readable explanation of the violated equation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Counterexample<W> {
+    /// The weights instantiating the failing universal statement.
+    pub witnesses: Vec<W>,
+    /// What went wrong, e.g. `"w1 ⊕ w2 = φ"`.
+    pub detail: String,
+}
+
+impl<W: fmt::Debug> fmt::Display for Counterexample<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} with witnesses {:?}", self.detail, self.witnesses)
+    }
+}
+
+/// The outcome of empirically checking one property over a weight sample.
+pub type CheckResult<W> = Result<(), Counterexample<W>>;
+
+fn fail<W: Clone>(witnesses: &[&W], detail: impl Into<String>) -> CheckResult<W> {
+    Err(Counterexample {
+        witnesses: witnesses.iter().map(|w| (*w).clone()).collect(),
+        detail: detail.into(),
+    })
+}
+
+/// Checks commutativity of `⊕` over all pairs from `sample`.
+pub fn check_commutative<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> CheckResult<A::W> {
+    for a in sample {
+        for b in sample {
+            if alg.combine(a, b) != alg.combine(b, a) {
+                return fail(&[a, b], "w1 ⊕ w2 ≠ w2 ⊕ w1");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks associativity of `⊕` over all triples from `sample`, with `φ`
+/// treated as absorptive on both sides.
+pub fn check_associative<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> CheckResult<A::W> {
+    for a in sample {
+        for b in sample {
+            for c in sample {
+                let left = alg.combine_pw(&alg.combine(a, b), &PathWeight::Finite(c.clone()));
+                let right = alg.combine_pw(&PathWeight::Finite(a.clone()), &alg.combine(b, c));
+                if left != right {
+                    return fail(&[a, b, c], "(w1 ⊕ w2) ⊕ w3 ≠ w1 ⊕ (w2 ⊕ w3)");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `⪯` is a total order over `sample`: reflexive, anti-symmetric
+/// (agreement of `Equal` with `==`), transitive and total. `Ordering` being
+/// returned already guarantees totality; transitivity and anti-symmetry are
+/// verified explicitly.
+pub fn check_total_order<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> CheckResult<A::W> {
+    for a in sample {
+        if alg.compare(a, a) != Ordering::Equal {
+            return fail(&[a], "w ⪯̸ w (reflexivity)");
+        }
+        for b in sample {
+            let ab = alg.compare(a, b);
+            let ba = alg.compare(b, a);
+            if ab.reverse() != ba {
+                return fail(&[a, b], "compare(a,b) and compare(b,a) inconsistent");
+            }
+            if ab == Ordering::Equal && a != b {
+                return fail(&[a, b], "w1 ⪯ w2 ∧ w2 ⪯ w1 but w1 ≠ w2 (anti-symmetry)");
+            }
+            for c in sample {
+                if ab != Ordering::Greater
+                    && alg.compare(b, c) != Ordering::Greater
+                    && alg.compare(a, c) == Ordering::Greater
+                {
+                    return fail(&[a, b, c], "transitivity violated");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks monotonicity (M): `w₁ ⪯ w₂ ⊕ w₁`. Compositions equal to `φ`
+/// satisfy the law because `φ` is maximal.
+pub fn check_monotone<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> CheckResult<A::W> {
+    for w1 in sample {
+        for w2 in sample {
+            let combined = alg.combine(w2, w1);
+            if alg.compare_pw(&PathWeight::Finite(w1.clone()), &combined) == Ordering::Greater {
+                return fail(&[w1, w2], "w2 ⊕ w1 ≺ w1 (monotonicity violated)");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks strict monotonicity (SM): `w₁ ≺ w₂ ⊕ w₁`.
+pub fn check_strictly_monotone<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> CheckResult<A::W> {
+    for w1 in sample {
+        for w2 in sample {
+            let combined = alg.combine(w2, w1);
+            if alg.compare_pw(&PathWeight::Finite(w1.clone()), &combined) != Ordering::Less {
+                return fail(&[w1, w2], "w1 ⊀ w2 ⊕ w1 (strict monotonicity violated)");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks isotonicity (I): `w₁ ⪯ w₂ ⇒ w₃ ⊕ w₁ ⪯ w₃ ⊕ w₂`, and symmetrically
+/// on the right (the paper's algebras are commutative, but checking both
+/// sides keeps the checker meaningful for non-commutative algebras too).
+pub fn check_isotone<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> CheckResult<A::W> {
+    for w1 in sample {
+        for w2 in sample {
+            if alg.compare(w1, w2) == Ordering::Greater {
+                continue;
+            }
+            // w1 ⪯ w2 must be preserved by composition with any w3.
+            for w3 in sample {
+                let l1 = alg.combine(w3, w1);
+                let l2 = alg.combine(w3, w2);
+                if alg.compare_pw(&l1, &l2) == Ordering::Greater {
+                    return fail(&[w1, w2, w3], "w1 ⪯ w2 but w3 ⊕ w1 ≻ w3 ⊕ w2");
+                }
+                let r1 = alg.combine(w1, w3);
+                let r2 = alg.combine(w2, w3);
+                if alg.compare_pw(&r1, &r2) == Ordering::Greater {
+                    return fail(&[w1, w2, w3], "w1 ⪯ w2 but w1 ⊕ w3 ≻ w2 ⊕ w3");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks selectivity (S): `w₁ ⊕ w₂ ∈ {w₁, w₂}`.
+pub fn check_selective<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> CheckResult<A::W> {
+    for w1 in sample {
+        for w2 in sample {
+            match alg.combine(w1, w2) {
+                PathWeight::Finite(w) if w == *w1 || w == *w2 => {}
+                _ => return fail(&[w1, w2], "w1 ⊕ w2 ∉ {w1, w2} (selectivity violated)"),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks cancellativity (N): `w₁ ⊕ w₂ = w₁ ⊕ w₃ ⇒ w₂ = w₃`.
+pub fn check_cancellative<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> CheckResult<A::W> {
+    for w1 in sample {
+        for w2 in sample {
+            for w3 in sample {
+                if w2 != w3 && alg.combine(w1, w2) == alg.combine(w1, w3) {
+                    return fail(&[w1, w2, w3], "w1 ⊕ w2 = w1 ⊕ w3 but w2 ≠ w3");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks condensedness (C): `w₁ ⊕ w₂ = w₁ ⊕ w₃` for all `w₁, w₂, w₃`.
+pub fn check_condensed<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> CheckResult<A::W> {
+    for w1 in sample {
+        for w2 in sample {
+            for w3 in sample {
+                if alg.combine(w1, w2) != alg.combine(w1, w3) {
+                    return fail(&[w1, w2, w3], "w1 ⊕ w2 ≠ w1 ⊕ w3 (condensedness violated)");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks delimitedness (D): `w₁ ⊕ w₂ ≠ φ`.
+pub fn check_delimited<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> CheckResult<A::W> {
+    for w1 in sample {
+        for w2 in sample {
+            if alg.combine(w1, w2).is_infinite() {
+                return fail(&[w1, w2], "w1 ⊕ w2 = φ (not delimited)");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs a single property checker by name.
+pub fn check_property<A: RoutingAlgebra>(
+    alg: &A,
+    property: Property,
+    sample: &[A::W],
+) -> CheckResult<A::W> {
+    match property {
+        Property::Commutative => check_commutative(alg, sample),
+        Property::Associative => check_associative(alg, sample),
+        Property::TotalOrder => check_total_order(alg, sample),
+        Property::Monotone => check_monotone(alg, sample),
+        Property::Isotone => check_isotone(alg, sample),
+        Property::StrictlyMonotone => check_strictly_monotone(alg, sample),
+        Property::Selective => check_selective(alg, sample),
+        Property::Cancellative => check_cancellative(alg, sample),
+        Property::Condensed => check_condensed(alg, sample),
+        Property::Delimited => check_delimited(alg, sample),
+    }
+}
+
+/// Result of checking every property of an algebra over one weight sample.
+#[derive(Clone, Debug)]
+pub struct PropertyReport<W> {
+    /// Name of the checked algebra.
+    pub algebra: String,
+    /// Number of weights in the sample.
+    pub sample_size: usize,
+    /// Outcome per property, in [`Property::ALL`] order.
+    pub results: Vec<(Property, CheckResult<W>)>,
+}
+
+impl<W: Clone + fmt::Debug + PartialEq> PropertyReport<W> {
+    /// The set of properties that *held* on the sample.
+    ///
+    /// Holding on a sample proves nothing universally, but a *failure* is a
+    /// genuine counterexample; the concrete policies' declared properties
+    /// are proved in the paper and cross-checked against these verdicts in
+    /// the test-suite.
+    pub fn holding(&self) -> PropertySet {
+        self.results
+            .iter()
+            .filter(|(_, r)| r.is_ok())
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Returns the counterexample found for `property`, if any.
+    pub fn counterexample(&self, property: Property) -> Option<&Counterexample<W>> {
+        self.results
+            .iter()
+            .find(|(p, _)| *p == property)
+            .and_then(|(_, r)| r.as_ref().err())
+    }
+
+    /// Whether the sample is consistent with the algebra being regular.
+    pub fn is_regular(&self) -> bool {
+        self.holding().is_regular()
+    }
+}
+
+impl<W: fmt::Debug + Clone + PartialEq> fmt::Display for PropertyReport<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} (sample size {}): {}",
+            self.algebra,
+            self.sample_size,
+            self.holding()
+        )?;
+        for (p, r) in &self.results {
+            if let Err(ce) = r {
+                writeln!(f, "  ¬{p}: {ce}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks all properties of `alg` over `sample` and returns a report.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{check_all_properties, policies::ShortestPath, Property};
+///
+/// let report = check_all_properties(&ShortestPath, &[1, 2, 3, 10]);
+/// assert!(report.holding().contains(Property::StrictlyMonotone));
+/// assert!(report.counterexample(Property::Selective).is_some());
+/// ```
+pub fn check_all_properties<A: RoutingAlgebra>(alg: &A, sample: &[A::W]) -> PropertyReport<A::W> {
+    PropertyReport {
+        algebra: alg.name(),
+        sample_size: sample.len(),
+        results: Property::ALL
+            .iter()
+            .map(|p| (*p, check_property(alg, *p, sample)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::ShortestPath;
+
+    #[test]
+    fn property_set_basics() {
+        let mut s = PropertySet::empty();
+        assert!(s.is_empty());
+        s.insert(Property::Monotone);
+        assert!(s.contains(Property::Monotone));
+        assert!(!s.contains(Property::Isotone));
+        assert!(!s.is_regular());
+        s.insert(Property::Isotone);
+        assert!(s.is_regular());
+        s.remove(Property::Monotone);
+        assert!(!s.is_regular());
+    }
+
+    #[test]
+    fn property_set_display() {
+        let s = PropertySet::from_iter([Property::Monotone, Property::Selective]);
+        assert_eq!(s.to_string(), "M, S");
+        assert_eq!(PropertySet::empty().to_string(), "∅");
+    }
+
+    #[test]
+    fn property_set_union_and_iter() {
+        let a = PropertySet::empty().with(Property::Monotone);
+        let b = PropertySet::empty().with(Property::Isotone);
+        let u = a.union(&b);
+        assert_eq!(u.iter().count(), 2);
+        assert!(u.is_regular());
+    }
+
+    #[test]
+    fn shortest_path_sample_report() {
+        let report = check_all_properties(&ShortestPath, &[1u64, 2, 3, 5, 100]);
+        let holding = report.holding();
+        assert!(holding.contains(Property::Commutative));
+        assert!(holding.contains(Property::Associative));
+        assert!(holding.contains(Property::TotalOrder));
+        assert!(holding.contains(Property::Monotone));
+        assert!(holding.contains(Property::Isotone));
+        assert!(holding.contains(Property::StrictlyMonotone));
+        assert!(holding.contains(Property::Cancellative));
+        assert!(holding.contains(Property::Delimited));
+        assert!(!holding.contains(Property::Selective));
+        assert!(!holding.contains(Property::Condensed));
+        assert!(report.is_regular());
+    }
+
+    #[test]
+    fn counterexample_is_reported() {
+        let report = check_all_properties(&ShortestPath, &[1u64, 2]);
+        let ce = report.counterexample(Property::Selective).unwrap();
+        assert_eq!(ce.witnesses.len(), 2);
+        assert!(ce.detail.contains("selectivity"));
+    }
+
+    #[test]
+    fn display_report_mentions_failures() {
+        let report = check_all_properties(&ShortestPath, &[1u64, 2]);
+        let text = report.to_string();
+        assert!(text.contains("¬S"));
+        assert!(text.contains("shortest-path"));
+    }
+}

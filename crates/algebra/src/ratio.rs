@@ -1,0 +1,247 @@
+//! Exact rational numbers in `(0, 1]` for the most-reliable-path algebra.
+//!
+//! Reliability weights live in the real interval `(0, 1]` and compose by
+//! multiplication. Floating point would make the algebraic laws (isotonicity
+//! in particular) fail spuriously under rounding, so reliabilities are exact
+//! rationals `num/den` kept in lowest terms. Products use 128-bit
+//! intermediates and reduce eagerly; [`RatioError::Overflow`] is returned when a
+//! reduced numerator or denominator would still exceed `u64`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Greatest common divisor (binary-free Euclid; `gcd(0, b) = b`).
+pub fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Error returned when a [`Ratio`] cannot be constructed or composed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RatioError {
+    /// `num` or `den` was zero, or `num > den` (outside `(0, 1]`).
+    OutOfRange,
+    /// The reduced numerator or denominator exceeds `u64`.
+    Overflow,
+}
+
+impl fmt::Display for RatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatioError::OutOfRange => write!(f, "ratio must lie in (0, 1]"),
+            RatioError::Overflow => write!(f, "ratio arithmetic overflowed u64"),
+        }
+    }
+}
+
+impl std::error::Error for RatioError {}
+
+/// An exact rational in `(0, 1]`, kept in lowest terms.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::Ratio;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let half = Ratio::new(1, 2)?;
+/// let third = Ratio::new(2, 6)?; // reduced to 1/3
+/// assert_eq!(third, Ratio::new(1, 3)?);
+/// assert_eq!(half.checked_mul(third)?, Ratio::new(1, 6)?);
+/// assert!(half > third);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// The multiplicative identity `1/1` (a perfectly reliable link).
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates a ratio `num/den`, reduced to lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::OutOfRange`] unless `0 < num ≤ den`.
+    pub fn new(num: u64, den: u64) -> Result<Ratio, RatioError> {
+        if num == 0 || den == 0 || num > den {
+            return Err(RatioError::OutOfRange);
+        }
+        let g = gcd(num as u128, den as u128) as u64;
+        Ok(Ratio {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// The numerator (in lowest terms).
+    pub fn numer(&self) -> u64 {
+        self.num
+    }
+
+    /// The denominator (in lowest terms).
+    pub fn denom(&self) -> u64 {
+        self.den
+    }
+
+    /// Exact product, reduced eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::Overflow`] if the reduced result does not fit
+    /// in `u64`.
+    pub fn checked_mul(self, other: Ratio) -> Result<Ratio, RatioError> {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num as u128, other.den as u128);
+        let g2 = gcd(other.num as u128, self.den as u128);
+        let num = (self.num as u128 / g1) * (other.num as u128 / g2);
+        let den = (self.den as u128 / g2) * (other.den as u128 / g1);
+        let g = gcd(num, den);
+        let (num, den) = (num / g, den / g);
+        if num > u64::MAX as u128 || den > u64::MAX as u128 {
+            return Err(RatioError::Overflow);
+        }
+        Ok(Ratio {
+            num: num as u64,
+            den: den as u64,
+        })
+    }
+
+    /// Approximate value as `f64` (for reports only; never used in
+    /// comparisons).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  ⟺  a·d vs c·b, exactly, in 128 bits.
+        let left = self.num as u128 * other.den as u128;
+        let right = other.num as u128 * self.den as u128;
+        left.cmp(&right)
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl std::str::FromStr for Ratio {
+    type Err = RatioError;
+
+    /// Parses the `Display` format `num/den` (whitespace-free).
+    fn from_str(s: &str) -> Result<Self, RatioError> {
+        let (num, den) = s.split_once('/').ok_or(RatioError::OutOfRange)?;
+        let num: u64 = num.parse().map_err(|_| RatioError::OutOfRange)?;
+        let den: u64 = den.parse().map_err(|_| RatioError::OutOfRange)?;
+        Ratio::new(num, den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+    }
+
+    #[test]
+    fn new_reduces() {
+        let r = Ratio::new(4, 8).unwrap();
+        assert_eq!((r.numer(), r.denom()), (1, 2));
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert_eq!(Ratio::new(0, 1), Err(RatioError::OutOfRange));
+        assert_eq!(Ratio::new(1, 0), Err(RatioError::OutOfRange));
+        assert_eq!(Ratio::new(3, 2), Err(RatioError::OutOfRange));
+    }
+
+    #[test]
+    fn one_is_identity() {
+        let r = Ratio::new(3, 7).unwrap();
+        assert_eq!(r.checked_mul(Ratio::ONE).unwrap(), r);
+        assert_eq!(Ratio::ONE.checked_mul(r).unwrap(), r);
+    }
+
+    #[test]
+    fn mul_is_exact() {
+        let a = Ratio::new(2, 3).unwrap();
+        let b = Ratio::new(3, 4).unwrap();
+        assert_eq!(a.checked_mul(b).unwrap(), Ratio::new(1, 2).unwrap());
+    }
+
+    #[test]
+    fn mul_cross_reduces_large_operands() {
+        // Without cross-reduction this would overflow the naive u64 product.
+        let big = u64::MAX / 2;
+        let a = Ratio::new(big, u64::MAX).unwrap();
+        let b = Ratio::new(2, big).unwrap();
+        let prod = a.checked_mul(b).unwrap();
+        // (big/MAX)·(2/big) = 2/MAX
+        assert_eq!(prod, Ratio::new(2, u64::MAX).unwrap());
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = Ratio::new(1, 3).unwrap();
+        let b = Ratio::new(2, 5).unwrap();
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        // A case where f64 rounding could go either way:
+        let x = Ratio::new(10_000_000_000_000_001, 30_000_000_000_000_003).unwrap();
+        let y = Ratio::new(1, 3).unwrap();
+        assert_eq!(x.cmp(&y), Ordering::Equal); // reduced to 1/3
+    }
+
+    #[test]
+    fn display_shows_lowest_terms() {
+        assert_eq!(Ratio::new(2, 4).unwrap().to_string(), "1/2");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for (n, d) in [(1u64, 2u64), (7, 9), (99, 100)] {
+            let r = Ratio::new(n, d).unwrap();
+            assert_eq!(r.to_string().parse::<Ratio>().unwrap(), r);
+        }
+        assert!("3:4".parse::<Ratio>().is_err());
+        assert!("5/4".parse::<Ratio>().is_err()); // out of (0, 1]
+        assert!("x/4".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        assert!((Ratio::new(1, 2).unwrap().to_f64() - 0.5).abs() < 1e-12);
+    }
+}

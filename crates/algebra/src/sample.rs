@@ -1,0 +1,64 @@
+//! Weight sampling for experiments and property checking.
+
+use rand::Rng;
+
+use crate::algebra::RoutingAlgebra;
+
+/// An algebra whose weights can be sampled — used to assign random edge
+/// weights in experiments and to drive empirical property checks.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{policies::ShortestPath, SampleWeights};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let w = ShortestPath.random_weight(&mut rng);
+/// assert!(w >= 1);
+/// assert!(!ShortestPath.sample().is_empty());
+/// ```
+pub trait SampleWeights: RoutingAlgebra {
+    /// Draws a random weight suitable for an edge in an experiment graph.
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::W;
+
+    /// A small deterministic weight sample that exercises the algebra's
+    /// interesting cases, used for exhaustive property checks.
+    fn sample(&self) -> Vec<Self::W>;
+
+    /// Draws `n` random weights.
+    fn random_weights<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Self::W> {
+        (0..n).map(|_| self.random_weight(rng)).collect()
+    }
+}
+
+impl<A: SampleWeights> SampleWeights for &A {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::W {
+        (**self).random_weight(rng)
+    }
+
+    fn sample(&self) -> Vec<Self::W> {
+        (**self).sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::ShortestPath;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_weights_has_requested_length() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(ShortestPath.random_weights(&mut rng, 10).len(), 10);
+    }
+
+    #[test]
+    fn reference_samples() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let alg = &ShortestPath;
+        let w = alg.random_weight(&mut rng);
+        assert!((1..=100).contains(&w));
+    }
+}

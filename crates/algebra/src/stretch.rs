@@ -1,0 +1,199 @@
+//! Algebraic stretch (paper Definition 3).
+//!
+//! A routing scheme has *stretch k over algebra `A`* if every path `p` it
+//! selects satisfies `w(p) ⪯ (w(p*))^k`, where `p*` is a preferred path and
+//! `w^k = w ⊕ w ⊕ … ⊕ w` (`k` times). For shortest path this collapses to
+//! the classical multiplicative stretch; for widest path `w^k = w`, so any
+//! finite stretch forces exactly preferred paths.
+
+use std::cmp::Ordering;
+
+use crate::algebra::RoutingAlgebra;
+use crate::weight::PathWeight;
+
+/// The verdict of a single stretch check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StretchVerdict {
+    /// `w(p) ⪯ (w(p*))^k` with a finite bound — the meaningful case.
+    Within,
+    /// The selected path is worse than the stretch-k bound.
+    Exceeded,
+    /// The bound `(w(p*))^k` itself is `φ` (only in non-delimited
+    /// algebras). Definition 3 is then vacuously satisfied, which the paper
+    /// calls out as "not quite reasonable": the scheme may route over
+    /// untraversable paths. Reported separately so experiments can surface
+    /// the degeneracy instead of silently passing.
+    DegenerateBound,
+    /// No preferred path exists (`w(p*) = φ`); the pair is unreachable and
+    /// the scheme must not deliver at all.
+    Unreachable,
+}
+
+impl StretchVerdict {
+    /// `true` for the verdicts that satisfy Definition 3 literally
+    /// ([`Within`](Self::Within) and
+    /// [`DegenerateBound`](Self::DegenerateBound)).
+    pub fn satisfies_definition(self) -> bool {
+        matches!(
+            self,
+            StretchVerdict::Within | StretchVerdict::DegenerateBound
+        )
+    }
+}
+
+/// Checks Definition 3 for one pair of path weights: is
+/// `actual ⪯ preferred^k`?
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{check_stretch, policies::ShortestPath, PathWeight, StretchVerdict};
+///
+/// let s = ShortestPath;
+/// let preferred = PathWeight::Finite(4u64);
+/// assert_eq!(
+///     check_stretch(&s, &PathWeight::Finite(11), &preferred, 3),
+///     StretchVerdict::Within // 11 ≤ 4·3
+/// );
+/// assert_eq!(
+///     check_stretch(&s, &PathWeight::Finite(13), &preferred, 3),
+///     StretchVerdict::Exceeded
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn check_stretch<A: RoutingAlgebra>(
+    alg: &A,
+    actual: &PathWeight<A::W>,
+    preferred: &PathWeight<A::W>,
+    k: u32,
+) -> StretchVerdict {
+    assert!(k >= 1, "stretch factor must be at least 1");
+    let preferred = match preferred {
+        PathWeight::Finite(w) => w,
+        PathWeight::Infinite => return StretchVerdict::Unreachable,
+    };
+    let bound = alg.power(preferred, k);
+    match bound {
+        PathWeight::Infinite => StretchVerdict::DegenerateBound,
+        PathWeight::Finite(_) => {
+            if alg.compare_pw(actual, &bound) == Ordering::Greater {
+                StretchVerdict::Exceeded
+            } else {
+                StretchVerdict::Within
+            }
+        }
+    }
+}
+
+/// The smallest `k ≤ k_max` with `actual ⪯ preferred^k`, or `None` when no
+/// such finite stretch exists within the horizon (or the pair is
+/// unreachable / the bound degenerates to `φ` first).
+///
+/// This is the *measured* algebraic stretch of a routed path; the paper's
+/// schemes guarantee `k = 3` for regular delimited algebras (Theorem 3).
+pub fn measured_stretch<A: RoutingAlgebra>(
+    alg: &A,
+    actual: &PathWeight<A::W>,
+    preferred: &PathWeight<A::W>,
+    k_max: u32,
+) -> Option<u32> {
+    let preferred = preferred.finite()?;
+    let mut bound = PathWeight::Finite(preferred.clone());
+    for k in 1..=k_max {
+        if bound.is_infinite() {
+            return None;
+        }
+        if alg.compare_pw(actual, &bound) != Ordering::Greater {
+            return Some(k);
+        }
+        bound = alg.combine_pw(&bound, &PathWeight::Finite(preferred.clone()));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{BoundedShortestPath, Capacity, ShortestPath, WidestPath};
+
+    #[test]
+    fn shortest_path_stretch_is_multiplicative() {
+        let s = ShortestPath;
+        let pref = PathWeight::Finite(5u64);
+        assert_eq!(
+            check_stretch(&s, &PathWeight::Finite(15), &pref, 3),
+            StretchVerdict::Within
+        );
+        assert_eq!(
+            check_stretch(&s, &PathWeight::Finite(16), &pref, 3),
+            StretchVerdict::Exceeded
+        );
+    }
+
+    #[test]
+    fn widest_path_any_stretch_means_optimal() {
+        // w^k = w for selective algebras: stretch-3 = stretch-1.
+        let w = WidestPath;
+        let pref = PathWeight::Finite(Capacity::new(10).unwrap());
+        let narrower = PathWeight::Finite(Capacity::new(9).unwrap());
+        assert_eq!(
+            check_stretch(&w, &narrower, &pref, 3),
+            StretchVerdict::Exceeded
+        );
+        assert_eq!(
+            check_stretch(&w, &pref.clone(), &pref, 3),
+            StretchVerdict::Within
+        );
+    }
+
+    #[test]
+    fn unreachable_pairs_reported() {
+        let s = ShortestPath;
+        assert_eq!(
+            check_stretch(&s, &PathWeight::Finite(3), &PathWeight::Infinite, 2),
+            StretchVerdict::Unreachable
+        );
+    }
+
+    #[test]
+    fn degenerate_bound_in_non_delimited_algebra() {
+        // Preferred weight 6 with budget 10: 6² = φ, the §4.1 pathology.
+        let alg = BoundedShortestPath::new(10);
+        let verdict = check_stretch(&alg, &PathWeight::Finite(9), &PathWeight::Finite(6), 2);
+        assert_eq!(verdict, StretchVerdict::DegenerateBound);
+        assert!(verdict.satisfies_definition());
+    }
+
+    #[test]
+    fn measured_stretch_finds_minimum_k() {
+        let s = ShortestPath;
+        let pref = PathWeight::Finite(4u64);
+        assert_eq!(
+            measured_stretch(&s, &PathWeight::Finite(4), &pref, 10),
+            Some(1)
+        );
+        assert_eq!(
+            measured_stretch(&s, &PathWeight::Finite(9), &pref, 10),
+            Some(3)
+        );
+        assert_eq!(measured_stretch(&s, &PathWeight::Infinite, &pref, 3), None);
+        assert_eq!(
+            measured_stretch(&s, &PathWeight::Finite(3), &PathWeight::Infinite, 3),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stretch factor")]
+    fn zero_stretch_panics() {
+        check_stretch(
+            &ShortestPath,
+            &PathWeight::Finite(1),
+            &PathWeight::Finite(1),
+            0,
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Finite subalgebras: restrictions of an algebra to a closed weight set.
+
+use std::cmp::Ordering;
+
+use crate::algebra::RoutingAlgebra;
+use crate::properties::PropertySet;
+use crate::weight::PathWeight;
+
+/// Error returned by [`Subalgebra::new`] when the member set is not closed
+/// under `⊕`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NotClosed<W> {
+    /// The operands whose composition escapes the member set.
+    pub a: W,
+    /// See [`a`](Self::a).
+    pub b: W,
+    /// The escaping composition result (`None` when it was `φ`, which is
+    /// allowed for subalgebras of non-delimited algebras — `φ` is never a
+    /// member).
+    pub result: Option<W>,
+}
+
+impl<W: std::fmt::Debug> std::fmt::Display for NotClosed<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "subalgebra not closed: {:?} ⊕ {:?} = {:?} is not a member",
+            self.a, self.b, self.result
+        )
+    }
+}
+
+impl<W: std::fmt::Debug> std::error::Error for NotClosed<W> {}
+
+/// The restriction of a routing algebra to a finite weight subset `W′ ⊆ W`
+/// that is closed under `⊕` (paper §2.2).
+///
+/// Subalgebras inherit the universally quantified properties of the root
+/// algebra (restricting the quantifier domain cannot break them), but new
+/// properties may emerge — e.g. the restriction of the weakly monotone
+/// `(N ∪ {0}, ∞, +, ≤)` to positive integers is strictly monotone. Emergent
+/// properties are detected by running the property checkers over
+/// [`members`](Self::members), which is *exhaustive* because the carrier is
+/// finite.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{policies::ShortestPath, Subalgebra};
+///
+/// // Even positive integers are closed under addition.
+/// let evens = Subalgebra::new(ShortestPath, vec![2, 4, 6, 8, 10, 12, 14, 16]);
+/// assert!(evens.is_err()); // 16 + 16 = 32 escapes the finite set
+/// ```
+#[derive(Clone, Debug)]
+pub struct Subalgebra<A: RoutingAlgebra> {
+    base: A,
+    members: Vec<A::W>,
+}
+
+impl<A: RoutingAlgebra> Subalgebra<A> {
+    /// Restricts `base` to `members`, verifying closure of `⊕` over the set.
+    ///
+    /// Compositions that yield `φ` are permitted (the infinity element is
+    /// compatible with every subalgebra); compositions that yield a finite
+    /// weight outside `members` are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotClosed`] with the offending pair if the set is not
+    /// closed.
+    pub fn new(base: A, members: Vec<A::W>) -> Result<Self, NotClosed<A::W>> {
+        for a in &members {
+            for b in &members {
+                if let PathWeight::Finite(r) = base.combine(a, b) {
+                    if !members.contains(&r) {
+                        return Err(NotClosed {
+                            a: a.clone(),
+                            b: b.clone(),
+                            result: Some(r),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Subalgebra { base, members })
+    }
+
+    /// The finite carrier set of the subalgebra.
+    pub fn members(&self) -> &[A::W] {
+        &self.members
+    }
+
+    /// The root algebra.
+    pub fn base(&self) -> &A {
+        &self.base
+    }
+}
+
+impl<A: RoutingAlgebra> RoutingAlgebra for Subalgebra<A> {
+    type W = A::W;
+
+    fn name(&self) -> String {
+        format!("{}|{{{} weights}}", self.base.name(), self.members.len())
+    }
+
+    fn combine(&self, a: &Self::W, b: &Self::W) -> PathWeight<Self::W> {
+        self.base.combine(a, b)
+    }
+
+    fn compare(&self, a: &Self::W, b: &Self::W) -> Ordering {
+        self.base.compare(a, b)
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        // Universally quantified properties survive restriction; emergent
+        // ones are discovered by exhaustive checking, not declared.
+        self.base.declared_properties()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{BoundedShortestPath, WidestPath};
+    use crate::properties::{check_all_properties, Property};
+    use crate::sample::SampleWeights;
+
+    #[test]
+    fn widest_path_restriction_is_closed() {
+        // min over any finite set is closed.
+        let sub = Subalgebra::new(WidestPath, WidestPath.sample()).unwrap();
+        assert_eq!(sub.members().len(), WidestPath.sample().len());
+    }
+
+    #[test]
+    fn open_addition_is_rejected() {
+        let err = Subalgebra::new(crate::policies::ShortestPath, vec![1, 2]).unwrap_err();
+        assert!(err.result.is_some());
+        assert!(err.to_string().contains("not closed"));
+    }
+
+    #[test]
+    fn phi_compositions_are_allowed() {
+        // In a bounded algebra, big + big = φ, which is fine for closure.
+        let alg = BoundedShortestPath::new(10);
+        let sub = Subalgebra::new(alg, vec![5, 10]).unwrap();
+        assert_eq!(sub.combine(&5, &10), PathWeight::Infinite);
+        assert_eq!(sub.combine(&5, &5), PathWeight::Finite(10));
+    }
+
+    #[test]
+    fn emergent_properties_found_exhaustively() {
+        // {5, 10} under the ≤10 budget: selective? No — 5 ⊕ 5 = 10 ∈ set,
+        // but that's not in {w1, w2}... actually 10 ∈ {5,10}? w1=w2=5, so
+        // 10 ∉ {5}. Check the checker agrees.
+        let alg = BoundedShortestPath::new(10);
+        let sub = Subalgebra::new(alg, vec![5, 10]).unwrap();
+        let report = check_all_properties(&sub, sub.members());
+        assert!(!report.holding().contains(Property::Selective));
+        assert!(report.holding().contains(Property::StrictlyMonotone));
+    }
+}

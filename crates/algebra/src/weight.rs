@@ -1,0 +1,178 @@
+//! Path weights with an explicit infinity element `φ`.
+//!
+//! A routing algebra `A = (W, φ, ⊕, ⪯)` assigns weights from `W` to edges,
+//! but composing weights may leave `W`: in a *non-delimited* algebra such as
+//! the BGP provider–customer algebra, two perfectly traversable arcs can
+//! compose to the untraversable weight `φ`. [`PathWeight`] makes `φ` a
+//! first-class citizen of the type system instead of a sentinel value.
+
+use std::fmt;
+
+/// The weight of a (possibly empty set of) path(s): either a finite weight
+/// drawn from the algebra's carrier set `W`, or the infinity element `φ`
+/// meaning "not traversable".
+///
+/// `φ` is *absorptive* (`w ⊕ φ = φ`) and *maximal* (`w ≺ φ` for every finite
+/// `w`); both laws are enforced by the provided combinators on
+/// [`RoutingAlgebra`](crate::RoutingAlgebra), not by this type itself.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::PathWeight;
+///
+/// let w: PathWeight<u64> = PathWeight::Finite(3);
+/// assert!(w.is_finite());
+/// assert_eq!(w.finite(), Some(&3));
+/// assert!(PathWeight::<u64>::Infinite.is_infinite());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathWeight<W> {
+    /// A finite weight `w ∈ W`: the path is traversable.
+    Finite(W),
+    /// The infinity element `φ`: the path is not traversable.
+    Infinite,
+}
+
+impl<W> PathWeight<W> {
+    /// Returns `true` if this is a finite weight (the path is traversable).
+    pub fn is_finite(&self) -> bool {
+        matches!(self, PathWeight::Finite(_))
+    }
+
+    /// Returns `true` if this is the infinity element `φ`.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, PathWeight::Infinite)
+    }
+
+    /// Borrows the finite weight, or `None` for `φ`.
+    pub fn finite(&self) -> Option<&W> {
+        match self {
+            PathWeight::Finite(w) => Some(w),
+            PathWeight::Infinite => None,
+        }
+    }
+
+    /// Consumes `self` and returns the finite weight, or `None` for `φ`.
+    pub fn into_finite(self) -> Option<W> {
+        match self {
+            PathWeight::Finite(w) => Some(w),
+            PathWeight::Infinite => None,
+        }
+    }
+
+    /// Consumes `self` and returns the finite weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is `φ`.
+    pub fn unwrap_finite(self) -> W {
+        match self {
+            PathWeight::Finite(w) => w,
+            PathWeight::Infinite => panic!("unwrap_finite called on PathWeight::Infinite (φ)"),
+        }
+    }
+
+    /// Maps the finite weight through `f`, leaving `φ` untouched.
+    pub fn map<U, F: FnOnce(W) -> U>(self, f: F) -> PathWeight<U> {
+        match self {
+            PathWeight::Finite(w) => PathWeight::Finite(f(w)),
+            PathWeight::Infinite => PathWeight::Infinite,
+        }
+    }
+
+    /// Borrowing variant of [`map`](Self::map).
+    pub fn as_ref(&self) -> PathWeight<&W> {
+        match self {
+            PathWeight::Finite(w) => PathWeight::Finite(w),
+            PathWeight::Infinite => PathWeight::Infinite,
+        }
+    }
+}
+
+impl<W> From<W> for PathWeight<W> {
+    fn from(w: W) -> Self {
+        PathWeight::Finite(w)
+    }
+}
+
+impl<W> From<Option<W>> for PathWeight<W> {
+    fn from(w: Option<W>) -> Self {
+        match w {
+            Some(w) => PathWeight::Finite(w),
+            None => PathWeight::Infinite,
+        }
+    }
+}
+
+impl<W: fmt::Debug> fmt::Debug for PathWeight<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathWeight::Finite(w) => write!(f, "{w:?}"),
+            PathWeight::Infinite => write!(f, "φ"),
+        }
+    }
+}
+
+impl<W: fmt::Display> fmt::Display for PathWeight<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathWeight::Finite(w) => write!(f, "{w}"),
+            PathWeight::Infinite => write!(f, "φ"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_accessors() {
+        let w = PathWeight::Finite(7u64);
+        assert!(w.is_finite());
+        assert!(!w.is_infinite());
+        assert_eq!(w.finite(), Some(&7));
+        assert_eq!(w.into_finite(), Some(7));
+    }
+
+    #[test]
+    fn infinite_accessors() {
+        let w: PathWeight<u64> = PathWeight::Infinite;
+        assert!(w.is_infinite());
+        assert!(!w.is_finite());
+        assert_eq!(w.finite(), None);
+        assert_eq!(w.into_finite(), None);
+    }
+
+    #[test]
+    fn map_preserves_phi() {
+        let w: PathWeight<u64> = PathWeight::Infinite;
+        assert_eq!(w.map(|x| x + 1), PathWeight::Infinite);
+        assert_eq!(
+            PathWeight::Finite(1u64).map(|x| x + 1),
+            PathWeight::Finite(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unwrap_finite")]
+    fn unwrap_finite_panics_on_phi() {
+        let w: PathWeight<u64> = PathWeight::Infinite;
+        w.unwrap_finite();
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(PathWeight::from(3u64), PathWeight::Finite(3));
+        assert_eq!(PathWeight::<u64>::from(None), PathWeight::Infinite);
+        assert_eq!(PathWeight::from(Some(3u64)), PathWeight::Finite(3));
+    }
+
+    #[test]
+    fn debug_formats_phi() {
+        let w: PathWeight<u64> = PathWeight::Infinite;
+        assert_eq!(format!("{w:?}"), "φ");
+        assert_eq!(format!("{:?}", PathWeight::Finite(3u64)), "3");
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based algebra-law tests over randomized weight samples: the
+//! universally quantified statements of §2.1 checked far beyond the
+//! curated unit samples.
+
+use cpr_algebra::{
+    check_all_properties, check_stretch, cyclic_structure, measured_stretch,
+    policies::{
+        self, BoundedShortestPath, Capacity, MostReliablePath, ShortestPath, UsablePath, WidestPath,
+    },
+    CyclicStructure, Lex, PathWeight, Property, Ratio, RoutingAlgebra, StretchVerdict, Subalgebra,
+};
+use proptest::prelude::*;
+
+fn cap(v: u64) -> Capacity {
+    Capacity::new(v).expect("positive")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every declared property of every Table 1 algebra survives a random
+    /// weight sample (declared ⊆ holding; failures would be genuine
+    /// counterexamples to the paper's classification).
+    #[test]
+    fn declared_properties_hold_on_random_samples(
+        raw in proptest::collection::vec(1u64..500, 3..8),
+    ) {
+        macro_rules! check {
+            ($alg:expr, $sample:expr) => {{
+                let alg = $alg;
+                let holding = check_all_properties(&alg, &$sample).holding();
+                for p in alg.declared_properties().iter() {
+                    prop_assert!(
+                        holding.contains(p),
+                        "{}: declared {p} refuted on random sample",
+                        alg.name()
+                    );
+                }
+            }};
+        }
+        check!(ShortestPath, raw.clone());
+        check!(WidestPath, raw.iter().map(|&v| cap(v)).collect::<Vec<_>>());
+        check!(
+            MostReliablePath,
+            raw.iter().map(|&v| Ratio::new(v, 1000).unwrap()).collect::<Vec<_>>()
+        );
+        let ws = policies::widest_shortest();
+        let ws_sample: Vec<_> = raw.iter().map(|&v| (v, cap(v % 97 + 1))).collect();
+        check!(ws, ws_sample);
+        let sw = policies::shortest_widest();
+        let sw_sample: Vec<_> = raw.iter().map(|&v| (cap(v % 97 + 1), v)).collect();
+        check!(sw, sw_sample);
+    }
+
+    /// The product order is exactly lexicographic for arbitrary
+    /// component pairs.
+    #[test]
+    fn lex_order_is_lexicographic(
+        a1 in 1u64..100, b1 in 1u64..100,
+        a2 in 1u64..100, b2 in 1u64..100,
+    ) {
+        let ws = policies::widest_shortest();
+        let x = (a1, cap(b1));
+        let y = (a2, cap(b2));
+        let expected = a1.cmp(&a2).then(b2.cmp(&b1)); // cost asc, cap desc
+        prop_assert_eq!(ws.compare(&x, &y), expected);
+    }
+
+    /// Nested products associate observationally: ((S×W)×U ordering equals
+    /// S×(W×U) ordering under the tuple re-association.
+    #[test]
+    fn nested_products_order_consistently(
+        c1 in 1u64..50, w1 in 1u64..50,
+        c2 in 1u64..50, w2 in 1u64..50,
+    ) {
+        use policies::Usable;
+        let left = Lex::new(Lex::new(ShortestPath, WidestPath), UsablePath);
+        let right = Lex::new(ShortestPath, Lex::new(WidestPath, UsablePath));
+        let l1 = ((c1, cap(w1)), Usable);
+        let l2 = ((c2, cap(w2)), Usable);
+        let r1 = (c1, (cap(w1), Usable));
+        let r2 = (c2, (cap(w2), Usable));
+        prop_assert_eq!(left.compare(&l1, &l2), right.compare(&r1, &r2));
+    }
+
+    /// Ratio's total order agrees with exact cross multiplication.
+    #[test]
+    fn ratio_order_is_cross_multiplication(
+        (an, ad) in (1u64..10_000, 1u64..10_000),
+        (bn, bd) in (1u64..10_000, 1u64..10_000),
+    ) {
+        let a = Ratio::new(an.min(ad), an.max(ad)).unwrap();
+        let b = Ratio::new(bn.min(bd), bn.max(bd)).unwrap();
+        let lhs = (a.numer() as u128) * (b.denom() as u128);
+        let rhs = (b.numer() as u128) * (a.denom() as u128);
+        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+    }
+
+    /// Powers of the bounded algebra hit φ exactly when the arithmetic
+    /// says so.
+    #[test]
+    fn bounded_powers_hit_phi_at_the_budget(w in 1u64..50, bound in 1u64..200, k in 1u32..10) {
+        let alg = BoundedShortestPath::new(bound);
+        if w > bound {
+            // w itself is outside the carrier in spirit; skip.
+            return Ok(());
+        }
+        let expected_finite = w.checked_mul(k as u64).is_some_and(|t| t <= bound);
+        prop_assert_eq!(alg.power(&w, k).is_finite(), expected_finite);
+    }
+
+    /// The cyclic structure of a shortest-path generator is always the
+    /// free monotone chain w, 2w, 3w, …
+    #[test]
+    fn shortest_path_cyclic_chain(w in 1u64..1000, horizon in 2usize..12) {
+        let s = cyclic_structure(&ShortestPath, &w, horizon);
+        match s {
+            CyclicStructure::FreeMonotone { powers } => {
+                for (i, p) in powers.iter().enumerate() {
+                    prop_assert_eq!(*p, w * (i as u64 + 1));
+                }
+            }
+            other => prop_assert!(false, "unexpected structure {:?}", other),
+        }
+    }
+
+    /// Idempotent generators (selective algebras) never embed the
+    /// naturals; additive ones always do.
+    #[test]
+    fn embedding_dichotomy(v in 1u64..1000) {
+        prop_assert!(cpr_algebra::embeds_shortest_path(&ShortestPath, &v, 12));
+        prop_assert!(!cpr_algebra::embeds_shortest_path(&WidestPath, &cap(v), 12));
+    }
+
+    /// Stretch: Definition 3 for shortest path coincides with the
+    /// numeric multiplicative stretch.
+    #[test]
+    fn algebraic_stretch_is_multiplicative_for_s(
+        preferred in 1u64..1000,
+        factor in 1u64..10,
+        slack in 0u64..5,
+    ) {
+        let actual = preferred * factor + slack;
+        let k_alg = measured_stretch(
+            &ShortestPath,
+            &PathWeight::Finite(actual),
+            &PathWeight::Finite(preferred),
+            64,
+        ).unwrap();
+        let k_num = actual.div_ceil(preferred);
+        prop_assert_eq!(k_alg as u64, k_num);
+    }
+
+    /// For selective algebras, stretch-k is all-or-nothing: either the
+    /// path is preferred-weight (Within for every k) or it exceeds every
+    /// bound.
+    #[test]
+    fn selective_stretch_is_binary(pref in 2u64..100, worse in 1u64..100, k in 1u32..6) {
+        let w = WidestPath;
+        let preferred = PathWeight::Finite(cap(pref));
+        let narrower = PathWeight::Finite(cap(worse.min(pref - 1).max(1)));
+        if worse >= pref {
+            return Ok(());
+        }
+        prop_assert_eq!(
+            check_stretch(&w, &narrower, &preferred, k),
+            StretchVerdict::Exceeded
+        );
+        prop_assert_eq!(
+            check_stretch(&w, &preferred.clone(), &preferred, k),
+            StretchVerdict::Within
+        );
+    }
+}
+
+#[test]
+fn subalgebra_closure_is_verified_not_assumed() {
+    // min-closed sets are valid widest-path subalgebras...
+    let set: Vec<Capacity> = [3u64, 7, 20].into_iter().map(cap).collect();
+    let sub = Subalgebra::new(WidestPath, set).unwrap();
+    assert_eq!(sub.members().len(), 3);
+    // ...while addition escapes any finite set.
+    assert!(Subalgebra::new(ShortestPath, vec![1, 2, 3]).is_err());
+}
+
+#[test]
+fn property_report_counterexamples_are_genuine() {
+    // Whatever counterexample the checker reports must actually violate
+    // the law it names — re-verify the selectivity one for S.
+    let report = check_all_properties(&ShortestPath, &[2u64, 5, 9]);
+    let ce = report.counterexample(Property::Selective).unwrap();
+    let [w1, w2] = [ce.witnesses[0], ce.witnesses[1]];
+    let combined = ShortestPath.combine(&w1, &w2);
+    assert!(combined != PathWeight::Finite(w1) && combined != PathWeight::Finite(w2));
+}
+
+#[test]
+fn weigh_path_directions_agree_for_commutative_algebras() {
+    let ws = policies::widest_shortest();
+    let weights: Vec<(u64, Capacity)> = (1..8).map(|i| (i, cap(9 - i))).collect();
+    assert_eq!(
+        ws.weigh_path_left(weights.iter()),
+        ws.weigh_path_right(&weights)
+    );
+    let reversed: Vec<_> = weights.iter().rev().cloned().collect();
+    assert_eq!(
+        ws.weigh_path_left(weights.iter()),
+        ws.weigh_path_left(reversed.iter()),
+        "commutative algebras are direction-blind"
+    );
+}

@@ -1,0 +1,28 @@
+//! Criterion bench: the valley-free route engine and the Theorem 6/7
+//! compact scheme constructions on Internet-like AS graphs.
+
+use cpr_bench::experiment_rng;
+use cpr_bgp::{internet_like, routes_to, B1CompactScheme, B2CompactScheme, PreferCustomer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_bgp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bgp");
+    group.sample_size(20);
+    for n in [64usize, 256] {
+        let mut rng = experiment_rng("bgp", n);
+        let asg = internet_like(n, 2, n / 10, &mut rng);
+        group.bench_with_input(BenchmarkId::new("routes-to", n), &n, |b, _| {
+            b.iter(|| routes_to(&asg, &PreferCustomer, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("b1-compact-build", n), &n, |b, _| {
+            b.iter(|| B1CompactScheme::build(&asg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("b2-compact-build", n), &n, |b, _| {
+            b.iter(|| B2CompactScheme::build(&asg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bgp);
+criterion_main!(benches);

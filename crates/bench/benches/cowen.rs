@@ -1,0 +1,36 @@
+//! Criterion bench: constructing the generalized Cowen scheme
+//! (Theorem 3) — all-pairs trees, landmark selection, balls/clusters.
+
+use cpr_algebra::policies::ShortestPath;
+use cpr_bench::{experiment_rng, Topology};
+use cpr_graph::EdgeWeights;
+use cpr_routing::{CowenScheme, LandmarkStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cowen_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cowen-build");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        for topo in [Topology::Gnp, Topology::ScaleFree] {
+            let mut rng = experiment_rng("cowen", n);
+            let g = topo.build(n, &mut rng);
+            let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+            group.bench_with_input(BenchmarkId::new(topo.label(), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut r = experiment_rng("cowen-inner", n);
+                    CowenScheme::build(
+                        &g,
+                        &w,
+                        &ShortestPath,
+                        LandmarkStrategy::TzRandom { attempts: 4 },
+                        &mut r,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cowen_build);
+criterion_main!(benches);

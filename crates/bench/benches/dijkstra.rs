@@ -1,0 +1,38 @@
+//! Criterion bench: generalized Dijkstra across the Table 1 algebras.
+//!
+//! What to look for: the abstract-algebra indirection costs the same
+//! `O(m log n)` regardless of policy; heavier weights (exact rationals for
+//! `R`, pairs for `WS`) shift constants only.
+
+use cpr_algebra::policies::{self, MostReliablePath, ShortestPath, WidestPath};
+use cpr_bench::{experiment_rng, Topology};
+use cpr_graph::EdgeWeights;
+use cpr_paths::dijkstra;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra");
+    group.sample_size(20);
+    for n in [64usize, 256] {
+        let mut rng = experiment_rng("dijkstra", n);
+        let g = Topology::Gnp.build(n, &mut rng);
+
+        macro_rules! bench_alg {
+            ($alg:expr, $label:expr) => {{
+                let alg = $alg;
+                let w = EdgeWeights::random(&g, &alg, &mut rng);
+                group.bench_with_input(BenchmarkId::new($label, n), &n, |b, _| {
+                    b.iter(|| dijkstra(&g, &w, &alg, 0))
+                });
+            }};
+        }
+        bench_alg!(ShortestPath, "shortest-path");
+        bench_alg!(WidestPath, "widest-path");
+        bench_alg!(MostReliablePath, "most-reliable");
+        bench_alg!(policies::widest_shortest(), "widest-shortest");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra);
+criterion_main!(benches);

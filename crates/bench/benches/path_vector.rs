@@ -1,0 +1,49 @@
+//! Criterion bench: distributed path-vector convergence (cpr-sim),
+//! full-mesh RIBs from cold start.
+
+use cpr_algebra::policies::{self, ShortestPath};
+use cpr_bench::{experiment_rng, Topology};
+use cpr_graph::EdgeWeights;
+use cpr_sim::{AsyncSimulator, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path-vector-convergence");
+    group.sample_size(10);
+    for n in [16usize, 32, 48] {
+        let mut rng = experiment_rng("pv", n);
+        let g = Topology::Gnp.build(n, &mut rng);
+        let sp = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        group.bench_with_input(BenchmarkId::new("shortest-path", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &sp);
+                let report = sim.run_to_convergence(10 * n as u32);
+                assert!(report.converged);
+                report.messages
+            })
+        });
+        let ws = policies::widest_shortest();
+        let wsw = EdgeWeights::random(&g, &ws, &mut rng);
+        group.bench_with_input(BenchmarkId::new("widest-shortest", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulator::from_edge_weights(&g, &ws, &wsw);
+                let report = sim.run_to_convergence(10 * n as u32);
+                assert!(report.converged);
+                report.messages
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("async-shortest-path", n), &n, |b, _| {
+            b.iter(|| {
+                let mut delay_rng = experiment_rng("pv-async", n);
+                let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &sp, 10);
+                let report = sim.run(&mut delay_rng, 50_000_000);
+                assert!(report.converged);
+                report.events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

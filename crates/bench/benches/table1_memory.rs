@@ -1,0 +1,61 @@
+//! Criterion bench: end-to-end cost of *implementing* each Table 1 policy
+//! with its best admissible scheme (build + memory measurement) — the
+//! computational side of the paper's Table 1, whose memory numbers the
+//! `table1` binary prints.
+
+use cpr_algebra::policies::{self, MostReliablePath, ShortestPath, UsablePath, WidestPath};
+use cpr_bench::{experiment_rng, Topology};
+use cpr_graph::EdgeWeights;
+use cpr_paths::shortest_widest_exact;
+use cpr_routing::{DestTable, MemoryReport, SrcDestTable, TzTreeRouting};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let n = 64;
+    let mut rng = experiment_rng("table1-bench", n);
+    let g = Topology::Gnp.build(n, &mut rng);
+
+    let mut group = c.benchmark_group("table1-implementations");
+    group.sample_size(10);
+
+    // Θ(n): destination tables for the incompressible regular policies.
+    let sp = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+    group.bench_function("S/dest-table", |b| {
+        b.iter(|| MemoryReport::measure(&DestTable::build(&g, &sp, &ShortestPath)))
+    });
+    let r = EdgeWeights::random(&g, &MostReliablePath, &mut rng);
+    group.bench_function("R/dest-table", |b| {
+        b.iter(|| MemoryReport::measure(&DestTable::build(&g, &r, &MostReliablePath)))
+    });
+    let ws = policies::widest_shortest();
+    let wsw = EdgeWeights::random(&g, &ws, &mut rng);
+    group.bench_function("WS/dest-table", |b| {
+        b.iter(|| MemoryReport::measure(&DestTable::build(&g, &wsw, &ws)))
+    });
+
+    // Θ(log n): tree routing for the selective policies.
+    let wp = EdgeWeights::random(&g, &WidestPath, &mut rng);
+    group.bench_function("W/tz-tree", |b| {
+        b.iter(|| MemoryReport::measure(&TzTreeRouting::spanning(&g, &wp, &WidestPath)))
+    });
+    let up = EdgeWeights::random(&g, &UsablePath, &mut rng);
+    group.bench_function("U/tz-tree", |b| {
+        b.iter(|| MemoryReport::measure(&TzTreeRouting::spanning(&g, &up, &UsablePath)))
+    });
+
+    // Õ(n²): pair tables for the non-isotone policy.
+    let sw = policies::shortest_widest();
+    let sww = EdgeWeights::random(&g, &sw, &mut rng);
+    group.bench_function("SW/src-dest-table", |b| {
+        b.iter(|| {
+            MemoryReport::measure(&SrcDestTable::build(&g, "sw", |s| {
+                let r = shortest_widest_exact(&g, &sww, s);
+                g.nodes().map(|t| r.path_to(t).map(<[_]>::to_vec)).collect()
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

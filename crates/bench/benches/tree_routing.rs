@@ -1,0 +1,51 @@
+//! Criterion bench: per-packet forwarding cost of each routing scheme
+//! (the `step`-loop of the §2.3 routing-function model).
+
+use cpr_algebra::policies::{ShortestPath, WidestPath};
+use cpr_bench::{experiment_rng, Topology};
+use cpr_graph::EdgeWeights;
+use cpr_routing::{
+    route, CowenScheme, DestTable, IntervalTreeRouting, LandmarkStrategy, RoutingScheme,
+    TzTreeRouting,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_forwarding(c: &mut Criterion) {
+    let n = 128;
+    let mut rng = experiment_rng("forwarding", n);
+    let g = Topology::ScaleFree.build(n, &mut rng);
+    let wp = EdgeWeights::random(&g, &WidestPath, &mut rng);
+    let sp = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+
+    let tables = DestTable::build(&g, &sp, &ShortestPath);
+    let tz = TzTreeRouting::spanning(&g, &wp, &WidestPath);
+    let iv = IntervalTreeRouting::spanning(&g, &wp, &WidestPath);
+    let cowen = CowenScheme::build(
+        &g,
+        &sp,
+        &ShortestPath,
+        LandmarkStrategy::TzRandom { attempts: 4 },
+        &mut rng,
+    );
+
+    let pairs: Vec<(usize, usize)> = (0..n).map(|s| (s, (s * 37 + 11) % n)).collect();
+
+    let mut group = c.benchmark_group("forwarding");
+    group.sample_size(30);
+
+    fn run_all<S: RoutingScheme>(g: &cpr_graph::Graph, s: &S, pairs: &[(usize, usize)]) -> usize {
+        pairs
+            .iter()
+            .map(|&(a, b)| route(s, g, a, b).map(|p| p.len()).unwrap_or(0))
+            .sum()
+    }
+
+    group.bench_function("dest-table", |b| b.iter(|| run_all(&g, &tables, &pairs)));
+    group.bench_function("tz-tree", |b| b.iter(|| run_all(&g, &tz, &pairs)));
+    group.bench_function("interval-tree", |b| b.iter(|| run_all(&g, &iv, &pairs)));
+    group.bench_function("cowen", |b| b.iter(|| run_all(&g, &cowen, &pairs)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_forwarding);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! **Theorems 6 & 7** — under A1 + A2, `B1` and `B2` become compressible:
+//! the compact schemes measured against the Θ(n) state-table baseline
+//! over a size sweep.
+//!
+//! ```text
+//! cargo run --release -p cpr-bench --bin bgp_compact
+//! ```
+
+use cpr_algebra::RoutingAlgebra;
+use cpr_bench::{classify_growth, experiment_rng, Growth, TextTable};
+use cpr_bgp::{
+    internet_like, AsGraph, B1CompactScheme, B2CompactScheme, BgpStateTable, Relationship,
+    ValleyFree, Word,
+};
+use cpr_routing::{route, MemoryReport, RoutingScheme};
+
+const SIZES: [usize; 4] = [32, 64, 128, 256];
+
+fn check_delivery<S: RoutingScheme>(asg: &AsGraph, scheme: &S) -> (usize, usize) {
+    let mut delivered = 0;
+    let mut valley_free = 0;
+    let g = asg.graph();
+    for s in 0..asg.node_count() {
+        for t in 0..asg.node_count() {
+            if s == t {
+                continue;
+            }
+            if let Ok(path) = route(scheme, g, s, t) {
+                delivered += 1;
+                let words: Vec<Word> = path
+                    .windows(2)
+                    .map(|h| asg.word(h[0], h[1]).expect("edge"))
+                    .collect();
+                if ValleyFree.weigh_path_right(&words).is_finite() {
+                    valley_free += 1;
+                }
+            }
+        }
+    }
+    (delivered, valley_free)
+}
+
+/// `k` single-rooted hierarchies of `size` nodes each, roots fully peered.
+fn multi_svfc(k: usize, size: usize, rng: &mut rand::rngs::StdRng) -> AsGraph {
+    use rand::Rng;
+    let n = k * size;
+    let mut rels = Vec::new();
+    for c in 0..k {
+        let base = c * size;
+        for v in 1..size {
+            let provider = base + rng.gen_range(0..v);
+            rels.push((provider, base + v, Relationship::ProviderOf));
+        }
+    }
+    for a in 0..k {
+        for b in (a + 1)..k {
+            rels.push((a * size, b * size, Relationship::Peer));
+        }
+    }
+    AsGraph::from_relationships(n, rels).expect("construction is simple")
+}
+
+fn main() {
+    println!("Theorems 6 & 7 — A1 + A2 make B1/B2 compressible\n");
+
+    // ── Theorem 6: single hierarchy, B1. ──
+    println!("Theorem 6 — B1 on single-rooted hierarchies:");
+    let mut t6 = TextTable::new(vec![
+        "n",
+        "baseline bits",
+        "compact bits",
+        "ratio",
+        "delivered",
+        "valley-free",
+    ]);
+    let mut base_series = Vec::new();
+    let mut compact_series = Vec::new();
+    for n in SIZES {
+        let mut rng = experiment_rng("t6", n);
+        let asg = internet_like(n, 2, n / 8, &mut rng);
+        assert!(asg.check_a1() && asg.check_a2());
+        let baseline = MemoryReport::measure(&BgpStateTable::build(&asg, &ValleyFree));
+        let scheme = B1CompactScheme::build(&asg).expect("assumptions hold");
+        let compact = MemoryReport::measure(&scheme);
+        let (delivered, vf) = check_delivery(&asg, &scheme);
+        let pairs = n * (n - 1);
+        t6.row(vec![
+            n.to_string(),
+            baseline.max_local_bits.to_string(),
+            compact.max_local_bits.to_string(),
+            format!(
+                "{:.1}×",
+                baseline.max_local_bits as f64 / compact.max_local_bits as f64
+            ),
+            format!("{delivered}/{pairs}"),
+            format!("{vf}/{pairs}"),
+        ]);
+        assert_eq!(delivered, pairs);
+        assert_eq!(vf, pairs);
+        base_series.push((n, baseline.max_local_bits as f64));
+        compact_series.push((n, compact.max_local_bits as f64));
+    }
+    println!("{t6}");
+    let bg = classify_growth(&base_series);
+    let cg = classify_growth(&compact_series);
+    println!("  baseline growth: {bg}; compact growth: {cg}");
+    assert_eq!(bg, Growth::Linear);
+    assert_eq!(cg, Growth::Logarithmic);
+
+    // ── Theorem 7: multiple SVFCs, B2. ──
+    println!("\nTheorem 7 — B2 across peered hierarchies (SVFC scheme):");
+    let mut t7 = TextTable::new(vec![
+        "components",
+        "n",
+        "baseline bits",
+        "compact bits",
+        "delivered",
+        "valley-free",
+    ]);
+    for k in [2usize, 3, 5] {
+        let size = 24;
+        let mut rng = experiment_rng("t7", k);
+        let asg = multi_svfc(k, size, &mut rng);
+        assert!(asg.check_a1() && asg.check_a2(), "k={k}");
+        let baseline = MemoryReport::measure(&BgpStateTable::build(&asg, &ValleyFree));
+        let scheme = B2CompactScheme::build(&asg).expect("assumptions hold");
+        assert_eq!(scheme.component_count(), k);
+        let compact = MemoryReport::measure(&scheme);
+        let (delivered, vf) = check_delivery(&asg, &scheme);
+        let n = asg.node_count();
+        let pairs = n * (n - 1);
+        t7.row(vec![
+            k.to_string(),
+            n.to_string(),
+            baseline.max_local_bits.to_string(),
+            compact.max_local_bits.to_string(),
+            format!("{delivered}/{pairs}"),
+            format!("{vf}/{pairs}"),
+        ]);
+        assert_eq!(delivered, pairs);
+        assert_eq!(vf, pairs);
+    }
+    println!("{t7}");
+    println!(
+        "the compact schemes route every pair valley-free with Θ(log n) bits at non-roots\n\
+         (roots add one peer port per other component) — against the Θ(n) state tables\n\
+         that B1/B2 need without the assumptions. Contrast with bgp_bounds, where the\n\
+         same algebras are provably Ω(n) when A1/A2 fail."
+    );
+}

@@ -1,0 +1,75 @@
+//! **Extension: relationship inference** — recovering the §5 arc labels
+//! from observed routes alone (Gao's degree-based algorithm, the paper's
+//! citation 30): accuracy across topology size and peering density.
+//!
+//! ```text
+//! cargo run --release -p cpr-bench --bin bgp_infer
+//! ```
+
+use cpr_bench::{experiment_rng, TextTable};
+use cpr_bgp::{
+    infer_relationships, inference_accuracy, internet_like, observed_routes, InferredRel,
+    PreferCustomer, ValleyFree,
+};
+
+fn main() {
+    println!("AS-relationship inference from observed valley-free routes\n");
+    let mut table = TextTable::new(vec![
+        "n",
+        "peer links",
+        "routes observed",
+        "edges classified",
+        "accuracy",
+        "peers found",
+    ]);
+    for (n, peers) in [(40usize, 0usize), (40, 8), (80, 0), (80, 16), (160, 32)] {
+        let mut rng = experiment_rng("bgp-infer", n + peers);
+        let asg = internet_like(n, 2, peers, &mut rng);
+        let paths = observed_routes(&asg, &PreferCustomer);
+        let inferred = infer_relationships(asg.graph(), &paths, 0.5);
+        let (correct, classified) = inference_accuracy(&asg, &inferred);
+        let peers_found = inferred
+            .iter()
+            .filter(|r| matches!(r, InferredRel::Peer))
+            .count();
+        table.row(vec![
+            n.to_string(),
+            peers.to_string(),
+            paths.len().to_string(),
+            format!("{classified}/{}", asg.graph().edge_count()),
+            format!("{:.1}%", 100.0 * correct as f64 / classified.max(1) as f64),
+            peers_found.to_string(),
+        ]);
+        assert!(
+            correct as f64 >= 0.7 * classified as f64,
+            "inference collapsed at n={n}, peers={peers}"
+        );
+    }
+    println!("{table}");
+
+    // Route-selection matters: B2 (no preference) yields different
+    // observed routes than B3 (prefer customer) — and different accuracy.
+    let mut rng = experiment_rng("bgp-infer-alg", 7);
+    let asg = internet_like(80, 2, 16, &mut rng);
+    let mut cmp = TextTable::new(vec!["selection algebra", "accuracy"]);
+    for (label, paths) in [
+        ("B3 prefer-customer", observed_routes(&asg, &PreferCustomer)),
+        (
+            "B2 valley-free (min hops)",
+            observed_routes(&asg, &ValleyFree),
+        ),
+    ] {
+        let inferred = infer_relationships(asg.graph(), &paths, 0.5);
+        let (correct, classified) = inference_accuracy(&asg, &inferred);
+        cmp.row(vec![
+            label.into(),
+            format!("{:.1}%", 100.0 * correct as f64 / classified.max(1) as f64),
+        ]);
+    }
+    println!("{cmp}");
+    println!(
+        "On single-rooted internets the two selections mostly coincide (min-hop ties\n\
+         resolve towards customer routes anyway), so accuracy matches; peering noise is\n\
+         what hurts the degree heuristic, as the first table shows."
+    );
+}

@@ -1,0 +1,92 @@
+//! **Tables 2 & 3** — the weight-composition tables of the
+//! provider–customer (`B1`) and valley-free (`B2`/`B3`) algebras, printed
+//! operationally from the implementations, plus the path-language check
+//! (`p* c*` and `p* r? c*`).
+//!
+//! ```text
+//! cargo run -p cpr-bench --bin bgp_tables
+//! ```
+
+use cpr_algebra::{PathWeight, RoutingAlgebra};
+use cpr_bench::TextTable;
+use cpr_bgp::{PreferCustomer, ProviderCustomer, ValleyFree, Word};
+
+fn cell(w: PathWeight<Word>) -> String {
+    match w {
+        PathWeight::Finite(x) => x.to_string(),
+        PathWeight::Infinite => "φ".into(),
+    }
+}
+
+fn main() {
+    println!("Tables 2 & 3 — weight composition in the BGP algebras (row ⊕ column)\n");
+
+    // Table 2: B1 over {c, p}.
+    println!("Table 2 — provider-customer algebra B1:");
+    let b1 = ProviderCustomer;
+    let mut t2 = TextTable::new(vec!["⊕", "c", "p"]);
+    for a in [Word::C, Word::P] {
+        t2.row(vec![
+            a.to_string(),
+            cell(b1.combine(&a, &Word::C)),
+            cell(b1.combine(&a, &Word::P)),
+        ]);
+    }
+    println!("{t2}");
+    // The paper's table, verbatim.
+    assert_eq!(b1.combine(&Word::C, &Word::C), PathWeight::Finite(Word::C));
+    assert_eq!(b1.combine(&Word::C, &Word::P), PathWeight::Infinite);
+    assert_eq!(b1.combine(&Word::P, &Word::C), PathWeight::Finite(Word::P));
+    assert_eq!(b1.combine(&Word::P, &Word::P), PathWeight::Finite(Word::P));
+
+    // Table 3: B2/B3 over {c, r, p}.
+    println!("Table 3 — valley-free composition (B2 and B3):");
+    let b2 = ValleyFree;
+    let mut t3 = TextTable::new(vec!["⊕", "c", "r", "p"]);
+    for a in [Word::C, Word::R, Word::P] {
+        t3.row(vec![
+            a.to_string(),
+            cell(b2.combine(&a, &Word::C)),
+            cell(b2.combine(&a, &Word::R)),
+            cell(b2.combine(&a, &Word::P)),
+        ]);
+    }
+    println!("{t3}");
+    for a in [Word::C, Word::R, Word::P] {
+        for b in [Word::C, Word::R, Word::P] {
+            assert_eq!(
+                ValleyFree.combine(&a, &b),
+                PreferCustomer.combine(&a, &b),
+                "B2 and B3 share ⊕"
+            );
+        }
+    }
+
+    // Operational consequence: the accepted path language.
+    println!("accepted word sequences (right-associative evaluation):");
+    let samples: [(&str, &[Word]); 8] = [
+        ("p p c c", &[Word::P, Word::P, Word::C, Word::C]),
+        ("p r c", &[Word::P, Word::R, Word::C]),
+        ("c c", &[Word::C, Word::C]),
+        ("p", &[Word::P]),
+        ("c p", &[Word::C, Word::P]),
+        ("r r", &[Word::R, Word::R]),
+        ("p r p", &[Word::P, Word::R, Word::P]),
+        ("r c p", &[Word::R, Word::C, Word::P]),
+    ];
+    for (label, words) in samples {
+        let b2w = b2.weigh_path_right(words);
+        let b1w = if words.contains(&Word::R) {
+            "n/a (peer arcs outside B1)".to_string()
+        } else {
+            cell(b1.weigh_path_right(words))
+        };
+        println!("  [{label:^8}]  B2: {:<3}  B1: {}", cell(b2w), b1w);
+    }
+    println!(
+        "\nExactly the valley-free language p* r? c* is traversable under B2 (p* c* under B1):\n\
+         climb providers, cross at most one peer link at the top, descend customers.\n\
+         B3 shares the table and adds the preference c ≺ r ≺ p; B4 = B3 × S appends\n\
+         AS-path-length tie-breaking."
+    );
+}

@@ -1,0 +1,137 @@
+//! **Algebra classification** — the property columns of Table 1 (plus the
+//! `B1`–`B4` inter-domain algebras of §5) verified empirically, with the
+//! Lemma 2 cyclic-subsemigroup analysis and the compressibility verdict
+//! each theorem assigns.
+//!
+//! ```text
+//! cargo run -p cpr-bench --bin classify
+//! ```
+
+use cpr_algebra::{
+    check_all_properties, cyclic_structure, embeds_shortest_path,
+    policies::{self, Capacity, MostReliablePath, ShortestPath, UsablePath, WidestPath},
+    Property, Ratio, RoutingAlgebra, SampleWeights,
+};
+use cpr_bench::TextTable;
+use cpr_bgp::{PreferCustomer, ProviderCustomer, ValleyFree, Word};
+
+/// The theorem-derived verdict for a property set.
+fn verdict(props: &cpr_algebra::PropertySet, delimited: bool, embeds: bool) -> &'static str {
+    if props.contains(Property::Selective) && props.contains(Property::Monotone) {
+        "compressible (Thm 1): Θ(log n)"
+    } else if delimited && embeds {
+        "incompressible (Thm 2): Ω(n)"
+    } else if !delimited {
+        "non-delimited: see Thms 5–9"
+    } else {
+        "open (no theorem applies)"
+    }
+}
+
+fn main() {
+    println!("Algebraic classification of routing policies (Table 1 + §5)\n");
+    let mut table = TextTable::new(vec![
+        "Algebra",
+        "Empirical properties",
+        "Regular",
+        "Embeds (N,+,≤)",
+        "Verdict",
+    ]);
+
+    macro_rules! classify {
+        ($name:expr, $alg:expr, $generator:expr) => {{
+            let alg = $alg;
+            classify!($name, alg, $generator, alg.sample());
+        }};
+        ($name:expr, $alg:expr, $generator:expr, $sample:expr) => {{
+            let alg = $alg;
+            let report = check_all_properties(&alg, &$sample);
+            let holding = report.holding();
+            // Lemma 2: does some generator's cyclic subsemigroup embed
+            // (N, +, ≤) order-isomorphically?
+            let embeds = embeds_shortest_path(&alg, &$generator, 16);
+            let delimited = holding.contains(Property::Delimited);
+            table.row(vec![
+                $name.into(),
+                format!("{holding}"),
+                if holding.is_regular() { "yes" } else { "no" }.into(),
+                if embeds { "yes" } else { "no" }.into(),
+                verdict(&holding, delimited, embeds).into(),
+            ]);
+            // Cross-check declared vs empirical.
+            for p in alg.declared_properties().iter() {
+                assert!(holding.contains(p), "{}: declared {p} refuted", alg.name());
+            }
+        }};
+    }
+
+    classify!("S  shortest path", ShortestPath, 3u64);
+    classify!("W  widest path", WidestPath, Capacity::new(5).unwrap());
+    classify!(
+        "R  most reliable",
+        MostReliablePath,
+        Ratio::new(1, 2).unwrap()
+    );
+    classify!("U  usable path", UsablePath, policies::Usable);
+    classify!(
+        "WS widest-shortest",
+        policies::widest_shortest(),
+        (2u64, Capacity::new(5).unwrap())
+    );
+    classify!(
+        "SW shortest-widest",
+        policies::shortest_widest(),
+        (Capacity::new(5).unwrap(), 2u64)
+    );
+    // BGP algebras: finite word carriers, checked exhaustively.
+    classify!(
+        "B1 provider-customer",
+        ProviderCustomer,
+        Word::P,
+        [Word::C, Word::P]
+    );
+    classify!(
+        "B2 valley-free",
+        ValleyFree,
+        Word::P,
+        [Word::C, Word::R, Word::P]
+    );
+    classify!(
+        "B3 prefer-customer",
+        PreferCustomer,
+        Word::P,
+        [Word::C, Word::R, Word::P]
+    );
+    println!("{table}");
+
+    println!("Cyclic subsemigroup structure (Lemma 2), first 6 powers of a generator:");
+    println!(
+        "  S, w=3:        {:?}",
+        cyclic_structure(&ShortestPath, &3u64, 6).powers()
+    );
+    println!(
+        "  R, w=1/2:      {:?}",
+        cyclic_structure(&MostReliablePath, &Ratio::new(1, 2).unwrap(), 6).powers()
+    );
+    println!(
+        "  W, w=cap(5):   {:?} (idempotent — periodic, no embedding)",
+        cyclic_structure(&WidestPath, &Capacity::new(5).unwrap(), 6).powers()
+    );
+    let bounded = policies::BoundedShortestPath::new(10);
+    println!(
+        "  bounded(≤10), w=4: {:?} (power hits φ — non-delimited)",
+        cyclic_structure(&bounded, &4u64, 6).powers()
+    );
+
+    println!(
+        "\nB1/B2's ⪯ is a total *preorder* (c = p): the checker reports ¬order, as §5 requires."
+    );
+    let b1 = check_all_properties(&ProviderCustomer, &[Word::C, Word::P]);
+    assert!(!b1.holding().contains(Property::TotalOrder));
+    assert!(!b1.holding().contains(Property::Delimited));
+    assert!(!b1.holding().contains(Property::Commutative));
+    println!(
+        "  B1 counterexamples: {}",
+        b1.to_string().trim_end().replace('\n', "; ")
+    );
+}

@@ -1,0 +1,168 @@
+//! **Extension: the §6 open problem, enumerated** — *"Finding a minimal
+//! algebra that eventuates incompressibility is … an interesting open
+//! issue."*
+//!
+//! With a finite carrier every algebra is a composition table, so the
+//! complete design space of 1-, 2- and 3-weight algebras can be
+//! enumerated and pushed through the paper's classifiers:
+//!
+//! * Theorem 1 (selective + monotone ⇒ compressible), and
+//! * Lemma 2 (delimited strictly monotone subalgebra ⇒ incompressible).
+//!
+//! The run exposes a sharp structural fact: **Lemma 2 can never fire on a
+//! finite carrier** — strict monotonicity at the ⪯-maximal element forces
+//! a composition to `φ`, killing delimitedness (the cyclic subsemigroup
+//! of Lemma 2 is necessarily infinite). Every monotone, non-selective
+//! finite algebra therefore sits squarely in the paper's open gap, which
+//! is why the open problem is genuinely hard: the sufficient conditions
+//! cannot meet on small carriers at all.
+//!
+//! ```text
+//! cargo run --release -p cpr-bench --bin minimal_algebras
+//! ```
+
+use cpr_algebra::{
+    check_all_properties, check_associative, check_commutative, check_total_order,
+    enumerate_finite_algebras, PathWeight, Property, RoutingAlgebra, Verdict,
+};
+use cpr_bench::TextTable;
+
+fn main() {
+    println!("Enumerating all finite routing algebras with carriers of size 1–3\n");
+    println!(
+        "(weights ordered 0 ≺ 1 ≺ 2; only commutative, associative tables whose order\n\
+         checks pass are legal §2 algebras — the rest are counted separately)\n"
+    );
+
+    let mut table = TextTable::new(vec![
+        "carrier",
+        "tables",
+        "legal algebras",
+        "compressible (Thm 1)",
+        "incompressible (Lem 2)",
+        "non-monotone",
+        "open gap",
+    ]);
+
+    for size in 1u8..=3 {
+        let mut tables_count: u64 = 0;
+        let mut legal: u64 = 0;
+        let mut by_verdict = [0u64; 4];
+        let mut open_example: Option<String> = None;
+        for alg in enumerate_finite_algebras(size) {
+            tables_count += 1;
+            let carrier = alg.carrier();
+            if check_commutative(&alg, &carrier).is_err()
+                || check_associative(&alg, &carrier).is_err()
+                || check_total_order(&alg, &carrier).is_err()
+            {
+                continue;
+            }
+            legal += 1;
+            let verdict = alg.classify();
+            let slot = match verdict {
+                Verdict::CompressibleThm1 => 0,
+                Verdict::IncompressibleLemma2 => 1,
+                Verdict::NonMonotone => 2,
+                Verdict::Open => 3,
+            };
+            by_verdict[slot] += 1;
+            if verdict == Verdict::Open && open_example.is_none() && size == 2 {
+                open_example = Some(render_table(&alg));
+            }
+        }
+        table.row(vec![
+            size.to_string(),
+            tables_count.to_string(),
+            legal.to_string(),
+            by_verdict[0].to_string(),
+            by_verdict[1].to_string(),
+            by_verdict[2].to_string(),
+            by_verdict[3].to_string(),
+        ]);
+        if let Some(example) = open_example {
+            println!("smallest open-gap algebra found (carrier {{0, 1}}):\n{example}");
+        }
+        // The structural fact behind the open problem:
+        assert_eq!(
+            by_verdict[1], 0,
+            "Lemma 2 must never fire on a finite carrier"
+        );
+    }
+    println!("{table}");
+
+    // Demonstrate WHY Lemma 2 cannot fire: the maximal weight breaks it.
+    println!(
+        "why the incompressible column is empty: let m be the ⪯-maximal weight of a\n\
+         finite algebra. Strict monotonicity demands m ≺ m ⊕ m, but nothing finite sits\n\
+         above m — so m ⊕ m = φ and delimitedness dies. Checked exhaustively above; the\n\
+         Lemma 2 embedding (a copy of (N, +, ≤)) needs an infinite carrier, which is\n\
+         exactly why bounded-metric policies (hop limits, TTLs, bandwidth classes) fall\n\
+         into the paper's open gap between Theorem 1 and Theorem 2."
+    );
+
+    // And show the paper's own algebras landing where they should when
+    // truncated to finite carriers: a 3-class widest path is compressible,
+    // a 3-step bounded shortest path is the open gap.
+    println!("\nfamiliar policies truncated to 3 weights:");
+    let min3 = cpr_algebra::FiniteAlgebra::new(
+        "widest-3".into(),
+        3,
+        // a ⊕ b = max index (narrower bottleneck) — selective.
+        (0..3u8)
+            .flat_map(|a| (0..3u8).map(move |b| PathWeight::Finite(a.max(b))))
+            .collect(),
+    )
+    .unwrap();
+    println!(
+        "  widest-3 (min over 3 capacity classes): {}",
+        min3.classify()
+    );
+
+    let bounded3 = cpr_algebra::FiniteAlgebra::new(
+        "bounded-sp-3".into(),
+        3,
+        // a ⊕ b = a + b + 1 cost steps, φ past the budget: 0⊕0=1, 0⊕1=2,
+        // 1⊕1=φ, … (weights are "cost so far" classes).
+        vec![
+            PathWeight::Finite(1),
+            PathWeight::Finite(2),
+            PathWeight::Infinite,
+            PathWeight::Finite(2),
+            PathWeight::Infinite,
+            PathWeight::Infinite,
+            PathWeight::Infinite,
+            PathWeight::Infinite,
+            PathWeight::Infinite,
+        ],
+    )
+    .unwrap();
+    let holding = check_all_properties(&bounded3, &bounded3.carrier()).holding();
+    println!(
+        "  bounded-shortest-3 (hop-budget classes): {} — properties {{{holding}}}",
+        bounded3.classify()
+    );
+    assert_eq!(bounded3.classify(), Verdict::Open);
+    assert!(holding.contains(Property::StrictlyMonotone));
+    assert!(!holding.contains(Property::Delimited));
+}
+
+fn render_table(alg: &cpr_algebra::FiniteAlgebra) -> String {
+    let mut out = String::from("  ⊕ |");
+    let n = alg.size();
+    for b in 0..n {
+        out.push_str(&format!(" {b}"));
+    }
+    out.push('\n');
+    for a in 0..n {
+        out.push_str(&format!("  {a} |"));
+        for b in 0..n {
+            match alg.combine(&a, &b) {
+                PathWeight::Finite(r) => out.push_str(&format!(" {r}")),
+                PathWeight::Infinite => out.push_str(" φ"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}

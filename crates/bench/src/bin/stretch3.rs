@@ -1,0 +1,148 @@
+//! **Theorem 3** — the generalized Cowen stretch-3 scheme, measured:
+//! memory vs network size, realized stretch, and optimal-path fraction,
+//! for every delimited regular Table 1 algebra on the standard topology
+//! suite.
+//!
+//! ```text
+//! cargo run --release -p cpr-bench --bin stretch3
+//! ```
+
+use cpr_algebra::{
+    policies::{self, MostReliablePath, ShortestPath, WidestPath},
+    RoutingAlgebra, SampleWeights,
+};
+use cpr_bench::{classify_growth, experiment_rng, TextTable, Topology};
+use cpr_graph::EdgeWeights;
+use cpr_paths::AllPairs;
+use cpr_routing::{verify_scheme, CowenScheme, DestTable, LandmarkStrategy, MemoryReport};
+
+const SIZES: [usize; 4] = [32, 64, 128, 256];
+/// Extra sizes (memory only, stretch not re-verified) and seed count used
+/// to smooth the growth classification.
+const GROWTH_SIZES: [usize; 5] = [32, 64, 128, 256, 512];
+const GROWTH_SEEDS: u64 = 3;
+
+fn sweep<A>(alg: &A, topo: Topology, table: &mut TextTable) -> Vec<(usize, f64)>
+where
+    A: RoutingAlgebra + SampleWeights,
+{
+    for n in SIZES {
+        let mut rng = experiment_rng(&format!("stretch3-{}-{}", alg.name(), topo.label()), n);
+        let g = topo.build(n, &mut rng);
+        let w = EdgeWeights::random(&g, alg, &mut rng);
+        let ap = AllPairs::compute(&g, &w, alg);
+        let scheme = CowenScheme::build(
+            &g,
+            &w,
+            alg,
+            LandmarkStrategy::TzRandom { attempts: 4 },
+            &mut rng,
+        );
+        let report = verify_scheme(&g, &w, alg, &scheme, 3, |s, t| ap.weight(s, t).clone());
+        assert!(
+            report.all_within_bound(),
+            "{} on {}@{n}: {report}",
+            alg.name(),
+            topo.label()
+        );
+        let mem = MemoryReport::measure(&scheme);
+        let tables = MemoryReport::measure(&DestTable::build(&g, &w, alg));
+        table.row(vec![
+            alg.name(),
+            topo.label().into(),
+            g.node_count().to_string(),
+            scheme.landmarks().len().to_string(),
+            mem.max_local_bits.to_string(),
+            tables.max_local_bits.to_string(),
+            format!("{:.1}%", 100.0 * report.optimal_fraction()),
+            report
+                .max_measured_stretch
+                .map_or("-".into(), |k| k.to_string()),
+        ]);
+    }
+    // Growth series: seed-averaged memory over the extended size sweep
+    // (the per-instance landmark lottery is noisy at small n).
+    let mut series = Vec::new();
+    for n in GROWTH_SIZES {
+        let mut total = 0.0;
+        for seed in 0..GROWTH_SEEDS {
+            let mut rng = experiment_rng(
+                &format!("stretch3-growth-{}-{}-{seed}", alg.name(), topo.label()),
+                n,
+            );
+            let g = topo.build(n, &mut rng);
+            let w = EdgeWeights::random(&g, alg, &mut rng);
+            let scheme = CowenScheme::build(
+                &g,
+                &w,
+                alg,
+                LandmarkStrategy::TzRandom { attempts: 4 },
+                &mut rng,
+            );
+            total += MemoryReport::measure(&scheme).max_local_bits as f64;
+        }
+        series.push((n, total / GROWTH_SEEDS as f64));
+    }
+    series
+}
+
+fn main() {
+    println!("Theorem 3 — the stretch-3 Cowen scheme for delimited regular algebras\n");
+    let mut table = TextTable::new(vec![
+        "algebra",
+        "topology",
+        "n",
+        "|L|",
+        "cowen bits",
+        "table bits",
+        "optimal",
+        "max k",
+    ]);
+
+    let mut growth_rows: Vec<(String, String)> = Vec::new();
+    for topo in [
+        Topology::Gnp,
+        Topology::ScaleFree,
+        Topology::Grid,
+        Topology::Waxman,
+    ] {
+        let s = sweep(&ShortestPath, topo, &mut table);
+        growth_rows.push((
+            format!("shortest-path/{}", topo.label()),
+            format!("{}", classify_growth(&s)),
+        ));
+    }
+    let s = sweep(&MostReliablePath, Topology::Gnp, &mut table);
+    growth_rows.push((
+        "most-reliable/gnp".into(),
+        format!("{}", classify_growth(&s)),
+    ));
+    let ws = policies::widest_shortest();
+    let s = sweep(&ws, Topology::Gnp, &mut table);
+    growth_rows.push((
+        "widest-shortest/gnp".into(),
+        format!("{}", classify_growth(&s)),
+    ));
+    // Selective algebra: the scheme still works (stretch 3 collapses to
+    // stretch 1) but clusters blow up — the paper's reason to use tree
+    // routing instead.
+    let s = sweep(&WidestPath, Topology::Gnp, &mut table);
+    growth_rows.push((
+        "widest-path/gnp (degenerate)".into(),
+        format!("{}", classify_growth(&s)),
+    ));
+
+    println!("{table}");
+    println!("measured memory growth of the Cowen scheme:");
+    for (k, v) in growth_rows {
+        println!("  {k:<32} {v}");
+    }
+    println!(
+        "\nFor strictly monotone regular algebras the scheme is sublinear (the Õ(√n) regime)\n\
+         with every pair within algebraic stretch 3 — Theorem 3. Grid topologies classify\n\
+         as ~linear at these sizes (large-diameter finite-size effect: balls are area-like\n\
+         until n ≫ 10³), while for the selective widest-path algebra all weights tie, the\n\
+         balls absorb everything, and memory genuinely degenerates to Θ(n) — exactly why\n\
+         Theorem 1's tree routing is the right tool for selective policies."
+    );
+}

@@ -1,0 +1,256 @@
+//! **Table 1** — Local memory requirements of various routing policies.
+//!
+//! For each of the paper's six intra-domain policies, this experiment
+//! (a) verifies the declared algebraic property column empirically,
+//! (b) implements the policy with its best admissible scheme on a sweep of
+//! network sizes, (c) measures the worst-case local routing-function size
+//! in bits (Definition 2), and (d) classifies the measured growth — which
+//! must match the paper's Θ(n) / Θ(log n) column.
+//!
+//! ```text
+//! cargo run --release -p cpr-bench --bin table1
+//! ```
+
+use cpr_algebra::{
+    check_all_properties,
+    policies::{self, MostReliablePath, ShortestPath, UsablePath, WidestPath},
+    RoutingAlgebra, SampleWeights,
+};
+use cpr_bench::{classify_growth, experiment_rng, Growth, TextTable, Topology};
+use cpr_graph::{EdgeWeights, Graph};
+
+use cpr_paths::shortest_widest_exact;
+use cpr_routing::{DestTable, MemoryReport, RoutingScheme, SrcDestTable, TzTreeRouting};
+
+const SIZES: [usize; 4] = [32, 64, 128, 256];
+/// `SW` builds per-pair state via the exact solver: keep its sweep smaller.
+const SW_SIZES: [usize; 3] = [16, 32, 64];
+
+fn measure_per_size<S: RoutingScheme>(
+    build: impl Fn(&Graph, usize) -> S,
+    sizes: &[usize],
+) -> (Vec<(usize, f64)>, u64) {
+    let mut series = Vec::new();
+    let mut last_bits = 0;
+    for &n in sizes {
+        let mut rng = experiment_rng("table1", n);
+        let g = Topology::Gnp.build(n, &mut rng);
+        let scheme = build(&g, n);
+        let bits = MemoryReport::measure(&scheme).max_local_bits;
+        series.push((n, bits as f64));
+        last_bits = bits;
+    }
+    (series, last_bits)
+}
+
+fn growth_cell(series: &[(usize, f64)]) -> String {
+    format!("{}", classify_growth(series))
+}
+
+fn main() {
+    println!("Table 1 — local memory requirements of various routing policies");
+    println!(
+        "(measured: worst-case bits per node of the best admissible scheme, G(n,p) sweep n ∈ {SIZES:?})\n"
+    );
+
+    let mut table = TextTable::new(vec![
+        "Algebra",
+        "Definition",
+        "Properties",
+        "Scheme",
+        "bits@256",
+        "Measured",
+        "Paper",
+    ]);
+
+    // ── S: shortest path — destination tables, Θ(n). ──
+    let alg = ShortestPath;
+    let props = check_all_properties(&alg, &alg.sample()).holding();
+    let (series, bits) = measure_per_size(
+        |g, n| {
+            let mut rng = experiment_rng("table1-s", n);
+            let w = EdgeWeights::random(g, &ShortestPath, &mut rng);
+            DestTable::build(g, &w, &ShortestPath)
+        },
+        &SIZES,
+    );
+    table.row(vec![
+        "S  shortest path".into(),
+        "(N, ∞, +, ≤)".into(),
+        format!("{props}"),
+        "dest-table".into(),
+        bits.to_string(),
+        growth_cell(&series),
+        "Θ(n)".into(),
+    ]);
+    assert_eq!(classify_growth(&series), Growth::Linear);
+
+    // ── W: widest path — tree routing, Θ(log n). ──
+    let alg = WidestPath;
+    let props = check_all_properties(&alg, &alg.sample()).holding();
+    let (series, bits) = measure_per_size(
+        |g, n| {
+            let mut rng = experiment_rng("table1-w", n);
+            let w = EdgeWeights::random(g, &WidestPath, &mut rng);
+            TzTreeRouting::spanning(g, &w, &WidestPath)
+        },
+        &SIZES,
+    );
+    table.row(vec![
+        "W  widest path".into(),
+        "(N, 0, min, ≥)".into(),
+        format!("{props}"),
+        "tz-tree".into(),
+        bits.to_string(),
+        growth_cell(&series),
+        "Θ(log n)".into(),
+    ]);
+    assert_eq!(classify_growth(&series), Growth::Logarithmic);
+
+    // ── R: most reliable path — destination tables, Θ(n). ──
+    let alg = MostReliablePath;
+    let props = check_all_properties(&alg, &alg.sample()).holding();
+    let (series, bits) = measure_per_size(
+        |g, n| {
+            let mut rng = experiment_rng("table1-r", n);
+            let w = EdgeWeights::random(g, &MostReliablePath, &mut rng);
+            DestTable::build(g, &w, &MostReliablePath)
+        },
+        &SIZES,
+    );
+    table.row(vec![
+        "R  most reliable".into(),
+        "((0,1], 0, ·, ≥)".into(),
+        format!("{props} (+SM on (0,1))"),
+        "dest-table".into(),
+        bits.to_string(),
+        growth_cell(&series),
+        "Θ(n)".into(),
+    ]);
+    assert_eq!(classify_growth(&series), Growth::Linear);
+
+    // ── U: usable path — tree routing, Θ(log n). ──
+    let alg = UsablePath;
+    let props = check_all_properties(&alg, &alg.sample()).holding();
+    let (series, bits) = measure_per_size(
+        |g, n| {
+            let mut rng = experiment_rng("table1-u", n);
+            let w = EdgeWeights::random(g, &UsablePath, &mut rng);
+            TzTreeRouting::spanning(g, &w, &UsablePath)
+        },
+        &SIZES,
+    );
+    table.row(vec![
+        "U  usable path".into(),
+        "({1}, 0, ·, ≥)".into(),
+        format!("{props}"),
+        "tz-tree".into(),
+        bits.to_string(),
+        growth_cell(&series),
+        "Θ(log n)".into(),
+    ]);
+    assert_eq!(classify_growth(&series), Growth::Logarithmic);
+
+    // ── WS = S × W: widest-shortest — destination tables, Θ(n). ──
+    let alg = policies::widest_shortest();
+    let props = check_all_properties(&alg, &alg.sample()).holding();
+    let (series, bits) = measure_per_size(
+        |g, n| {
+            let mut rng = experiment_rng("table1-ws", n);
+            let alg = policies::widest_shortest();
+            let w = EdgeWeights::random(g, &alg, &mut rng);
+            DestTable::build(g, &w, &alg)
+        },
+        &SIZES,
+    );
+    table.row(vec![
+        "WS widest-shortest".into(),
+        "S × W".into(),
+        format!("{props}"),
+        "dest-table".into(),
+        bits.to_string(),
+        growth_cell(&series),
+        "Θ(n)".into(),
+    ]);
+    assert_eq!(classify_growth(&series), Growth::Linear);
+
+    // ── SW = W × S: shortest-widest — pair tables, Ω(n) (Õ(n²) scheme). ──
+    let alg = policies::shortest_widest();
+    let props = check_all_properties(&alg, &alg.sample()).holding();
+    let (series, bits) = measure_per_size(
+        |g, n| {
+            let mut rng = experiment_rng("table1-sw", n);
+            let alg = policies::shortest_widest();
+            let w = EdgeWeights::random(g, &alg, &mut rng);
+            SrcDestTable::build(g, &alg.name(), |s| {
+                let r = shortest_widest_exact(g, &w, s);
+                g.nodes().map(|t| r.path_to(t).map(<[_]>::to_vec)).collect()
+            })
+        },
+        &SW_SIZES,
+    );
+    table.row(vec![
+        "SW shortest-widest".into(),
+        "W × S".into(),
+        format!("{props}"),
+        "src-dest-table".into(),
+        format!("{bits}@64"),
+        growth_cell(&series),
+        "Ω(n), Õ(n²) upper".into(),
+    ]);
+    let sw_growth = classify_growth(&series);
+    assert!(
+        matches!(sw_growth, Growth::Quadratic | Growth::Linear),
+        "SW scheme must be polynomially heavy, got {sw_growth}"
+    );
+
+    println!("{table}");
+    println!("All measured growth classes match the paper's column. ✓\n");
+
+    // ── The intro's topology catalog: the same classification holds on
+    // trees, hypercubes, planar grids and scale-free graphs; only the
+    // log d factors move. ──
+    println!("topology catalog at n ≈ 256 (intro's citation of the compact-routing corpus):");
+    let mut catalog = TextTable::new(vec![
+        "topology",
+        "n",
+        "max deg",
+        "S dest-table bits",
+        "W tz-tree bits",
+    ]);
+    let instances: Vec<(&str, Graph)> = vec![
+        ("random tree", {
+            let mut rng = experiment_rng("table1-cat-tree", 256);
+            cpr_graph::generators::random_tree(256, &mut rng)
+        }),
+        ("hypercube", cpr_graph::generators::hypercube(8)),
+        ("grid 16×16", cpr_graph::generators::grid(16, 16)),
+        ("scale-free", {
+            let mut rng = experiment_rng("table1-cat-ba", 256);
+            cpr_graph::generators::barabasi_albert(256, 2, &mut rng)
+        }),
+        ("waxman", {
+            let mut rng = experiment_rng("table1-cat-wax", 256);
+            cpr_graph::generators::waxman_connected(256, 0.9, 0.1, &mut rng)
+        }),
+    ];
+    for (label, g) in instances {
+        let mut rng = experiment_rng("table1-cat", g.node_count());
+        let sp = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let wp = EdgeWeights::random(&g, &WidestPath, &mut rng);
+        let s_bits = MemoryReport::measure(&DestTable::build(&g, &sp, &ShortestPath));
+        let w_bits = MemoryReport::measure(&TzTreeRouting::spanning(&g, &wp, &WidestPath));
+        catalog.row(vec![
+            label.into(),
+            g.node_count().to_string(),
+            g.max_degree().to_string(),
+            s_bits.max_local_bits.to_string(),
+            w_bits.max_local_bits.to_string(),
+        ]);
+    }
+    println!("{catalog}");
+    println!(
+        "S pays n·(log d + 1) everywhere (the log d column moves with the hubs);\n\
+         W stays at a few dozen bits regardless of topology — Table 1, per the catalog."
+    );
+}

@@ -1,0 +1,323 @@
+//! The inter-domain routing algebras `B1`–`B4` (paper §5, Tables 2–3).
+//!
+//! These algebras weaken the §2 framework in two ways the paper spells
+//! out: `⊕` is only *right-associative* — a path's weight is
+//! `w(e₁) ⊕ (w(e₂) ⊕ (… ))`, composed from the destination towards the
+//! source exactly like a path-vector protocol — and, for `B1`/`B2`, `⪯`
+//! is a total *preorder* (all traversable paths tie, so anti-symmetry is
+//! deliberately waived). Implementations use
+//! [`RoutingAlgebra::weigh_path_right`] for path weights; the property
+//! checkers dutifully report `¬assoc`, `¬comm` and (for `B1`/`B2`)
+//! `¬order`, which is precisely the paper's point about how coarse these
+//! algebras are.
+
+use std::cmp::Ordering;
+
+use cpr_algebra::policies::ShortestPath;
+use cpr_algebra::{Lex, PathWeight, Property, PropertySet, RoutingAlgebra};
+
+use crate::word::Word;
+
+/// `B1` — the provider–customer algebra `({p, c}, φ, ⊕, ⪯)` with the
+/// composition of Table 2 (`c ⊕ p = φ`: no valley) and all traversable
+/// paths equally preferred.
+///
+/// Monotone, but neither regular nor delimited; Theorem 5 shows it is
+/// incompressible in general (with no finite-stretch rescue), while
+/// Theorem 6 shows assumptions A1 + A2 make it compressible.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{PathWeight, RoutingAlgebra};
+/// use cpr_bgp::{ProviderCustomer, Word};
+///
+/// let b1 = ProviderCustomer;
+/// // An up-then-down path is fine…
+/// assert_eq!(b1.weigh_path_right(&[Word::P, Word::C]), PathWeight::Finite(Word::P));
+/// // …but a valley (down then up) is forbidden.
+/// assert_eq!(b1.weigh_path_right(&[Word::C, Word::P]), PathWeight::Infinite);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ProviderCustomer;
+
+impl RoutingAlgebra for ProviderCustomer {
+    type W = Word;
+
+    fn name(&self) -> String {
+        "B1:provider-customer".to_owned()
+    }
+
+    fn combine(&self, a: &Word, b: &Word) -> PathWeight<Word> {
+        // Table 2. `R` is not in B1's carrier; composing it is a misuse
+        // caught here rather than silently accepted.
+        match (a, b) {
+            (Word::C, Word::C) => PathWeight::Finite(Word::C),
+            (Word::C, Word::P) => PathWeight::Infinite,
+            (Word::P, Word::C) => PathWeight::Finite(Word::P),
+            (Word::P, Word::P) => PathWeight::Finite(Word::P),
+            _ => panic!("B1 carrier is {{c, p}}; got {a} ⊕ {b}"),
+        }
+    }
+
+    fn compare(&self, _a: &Word, _b: &Word) -> Ordering {
+        // All traversable paths are equally preferred: c = p ≺ φ.
+        Ordering::Equal
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        // Monotone (w₁ ⪯ w₂ ⊕ w₁ trivially: everything finite ties and φ
+        // is maximal); not delimited, not commutative, not associative,
+        // and ⪯ is a preorder rather than an order.
+        PropertySet::empty().with(Property::Monotone)
+    }
+}
+
+/// Word-weighted BGP algebras usable with the valley-free route engine:
+/// [`admits`](Self::admits) says which arc words are in the carrier
+/// (`B1` excludes peer arcs — it models pure customer–provider networks,
+/// so peer links are simply not traversable under it).
+pub trait BgpAlgebra: RoutingAlgebra<W = Word> {
+    /// Whether `w` belongs to this algebra's carrier.
+    fn admits(&self, _w: Word) -> bool {
+        true
+    }
+}
+
+impl BgpAlgebra for ProviderCustomer {
+    fn admits(&self, w: Word) -> bool {
+        w != Word::R
+    }
+}
+
+impl BgpAlgebra for ValleyFree {}
+
+impl BgpAlgebra for PreferCustomer {}
+
+/// `B2` — the valley-free algebra `({p, r, c}, φ, ⊕, ⪯)` with the
+/// composition of Table 3 (at most one peer link, at the top) and all
+/// traversable paths equally preferred.
+///
+/// Compressible under A1 + A2 (Theorem 7) via SVFC decomposition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ValleyFree;
+
+/// Table 3, shared by `B2` and `B3`.
+fn table3(a: Word, b: Word) -> PathWeight<Word> {
+    match (a, b) {
+        (Word::C, Word::C) => PathWeight::Finite(Word::C),
+        (Word::C, _) => PathWeight::Infinite,
+        (Word::R, Word::C) => PathWeight::Finite(Word::R),
+        (Word::R, _) => PathWeight::Infinite,
+        (Word::P, _) => PathWeight::Finite(Word::P),
+    }
+}
+
+impl RoutingAlgebra for ValleyFree {
+    type W = Word;
+
+    fn name(&self) -> String {
+        "B2:valley-free".to_owned()
+    }
+
+    fn combine(&self, a: &Word, b: &Word) -> PathWeight<Word> {
+        table3(*a, *b)
+    }
+
+    fn compare(&self, _a: &Word, _b: &Word) -> Ordering {
+        // c = r = p ≺ φ.
+        Ordering::Equal
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        PropertySet::empty().with(Property::Monotone)
+    }
+}
+
+/// `B3` — valley-free routing with the ubiquitous local-preference rule
+/// *customer routes beat peer routes beat provider routes*: same `⊕` as
+/// `B2` (Table 3) but `c ≺ r ≺ p`.
+///
+/// The paper writes `c ≺ r ⪯ p`; this implementation resolves the slack
+/// to the strict `c ≺ r ≺ p` so that `⪯` is a genuine total order.
+/// Theorem 8: incompressible even under A1 + A2, with no finite-stretch
+/// compact scheme.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PreferCustomer;
+
+impl RoutingAlgebra for PreferCustomer {
+    type W = Word;
+
+    fn name(&self) -> String {
+        "B3:prefer-customer".to_owned()
+    }
+
+    fn combine(&self, a: &Word, b: &Word) -> PathWeight<Word> {
+        table3(*a, *b)
+    }
+
+    fn compare(&self, a: &Word, b: &Word) -> Ordering {
+        // Word derives Ord with C < R < P, matching c ≺ r ≺ p.
+        a.cmp(b)
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        PropertySet::empty()
+            .with(Property::Monotone)
+            .with(Property::TotalOrder)
+    }
+}
+
+/// `B4 = B3 × S` — prefer-customer with shortest-AS-path tie-breaking:
+/// the fourth level of the paper's BGP decision-process modelling.
+/// Theorem 9: incompressible even under A1 + A2.
+pub type PreferCustomerShortest = Lex<PreferCustomer, ShortestPath>;
+
+/// Constructs `B4 = B3 × S`.
+///
+/// Arc weights are `(Word, 1)`: each inter-AS hop contributes one unit of
+/// AS-path length.
+pub fn prefer_customer_shortest() -> PreferCustomerShortest {
+    Lex::new(PreferCustomer, ShortestPath)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_is_reproduced_exactly() {
+        let b1 = ProviderCustomer;
+        assert_eq!(b1.combine(&Word::C, &Word::C), PathWeight::Finite(Word::C));
+        assert_eq!(b1.combine(&Word::C, &Word::P), PathWeight::Infinite);
+        assert_eq!(b1.combine(&Word::P, &Word::C), PathWeight::Finite(Word::P));
+        assert_eq!(b1.combine(&Word::P, &Word::P), PathWeight::Finite(Word::P));
+    }
+
+    #[test]
+    fn table3_is_reproduced_exactly() {
+        let rows = [
+            (
+                Word::C,
+                [
+                    PathWeight::Finite(Word::C),
+                    PathWeight::Infinite,
+                    PathWeight::Infinite,
+                ],
+            ),
+            (
+                Word::R,
+                [
+                    PathWeight::Finite(Word::R),
+                    PathWeight::Infinite,
+                    PathWeight::Infinite,
+                ],
+            ),
+            (
+                Word::P,
+                [
+                    PathWeight::Finite(Word::P),
+                    PathWeight::Finite(Word::P),
+                    PathWeight::Finite(Word::P),
+                ],
+            ),
+        ];
+        for (a, expected) in rows {
+            for (b, want) in [Word::C, Word::R, Word::P].into_iter().zip(expected) {
+                assert_eq!(ValleyFree.combine(&a, &b), want, "{a} ⊕ {b}");
+                assert_eq!(PreferCustomer.combine(&a, &b), want, "{a} ⊕ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn b1_is_not_associative() {
+        // (p ⊕ c) ⊕ p = p ⊕ p = p, but p ⊕ (c ⊕ p) = p ⊕ φ = φ:
+        // right-associativity is semantic, not cosmetic.
+        let b1 = ProviderCustomer;
+        let left = b1.combine_pw(
+            &b1.combine(&Word::P, &Word::C),
+            &PathWeight::Finite(Word::P),
+        );
+        let right = b1.combine_pw(
+            &PathWeight::Finite(Word::P),
+            &b1.combine(&Word::C, &Word::P),
+        );
+        assert_ne!(left, right);
+        assert_eq!(left, PathWeight::Finite(Word::P));
+        assert_eq!(right, PathWeight::Infinite);
+    }
+
+    #[test]
+    fn valley_free_paths_read_p_star_r_c_star() {
+        let b2 = ValleyFree;
+        let ok: [&[Word]; 5] = [
+            &[Word::P, Word::P, Word::C],
+            &[Word::P, Word::R, Word::C],
+            &[Word::R, Word::C, Word::C],
+            &[Word::C],
+            &[Word::P, Word::P],
+        ];
+        for path in ok {
+            assert!(
+                b2.weigh_path_right(path).is_finite(),
+                "{path:?} should be traversable"
+            );
+        }
+        let bad: [&[Word]; 4] = [
+            &[Word::C, Word::P],
+            &[Word::R, Word::R],
+            &[Word::C, Word::R],
+            &[Word::P, Word::R, Word::P],
+        ];
+        for path in bad {
+            assert!(
+                b2.weigh_path_right(path).is_infinite(),
+                "{path:?} should be forbidden"
+            );
+        }
+    }
+
+    #[test]
+    fn b3_prefers_customer_routes() {
+        let b3 = PreferCustomer;
+        assert_eq!(b3.compare(&Word::C, &Word::R), Ordering::Less);
+        assert_eq!(b3.compare(&Word::R, &Word::P), Ordering::Less);
+        assert_eq!(b3.compare(&Word::C, &Word::P), Ordering::Less);
+    }
+
+    #[test]
+    fn b4_breaks_ties_on_length() {
+        let b4 = prefer_customer_shortest();
+        // Two customer routes: shorter wins.
+        assert_eq!(b4.compare(&(Word::C, 2), &(Word::C, 5)), Ordering::Less);
+        // Customer beats shorter provider route.
+        assert_eq!(b4.compare(&(Word::C, 9), &(Word::P, 1)), Ordering::Less);
+        // A valley is φ regardless of length.
+        assert_eq!(
+            b4.combine(&(Word::C, 1), &(Word::P, 1)),
+            PathWeight::Infinite
+        );
+    }
+
+    #[test]
+    fn property_checker_flags_b1_as_advertised() {
+        use cpr_algebra::check_all_properties;
+        let report = check_all_properties(&ProviderCustomer, &[Word::C, Word::P]);
+        let holding = report.holding();
+        assert!(holding.contains(Property::Monotone));
+        assert!(!holding.contains(Property::Delimited));
+        assert!(!holding.contains(Property::Commutative));
+        assert!(!holding.contains(Property::Associative));
+        assert!(!holding.contains(Property::TotalOrder)); // preorder
+        assert!(!holding.contains(Property::Isotone) || holding.contains(Property::Isotone));
+        // B1 is not regular either way: it is not delimited and its order
+        // degenerates; the compact results come from Theorems 5–6 instead.
+    }
+
+    #[test]
+    #[should_panic(expected = "carrier")]
+    fn b1_rejects_peer_words() {
+        ProviderCustomer.combine(&Word::R, &Word::C);
+    }
+}

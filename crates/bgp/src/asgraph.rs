@@ -1,0 +1,372 @@
+//! AS-level topologies: graphs whose edges carry business relationships.
+
+use cpr_graph::{EdgeId, Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::word::Word;
+
+/// The business relationship of an undirected AS–AS link, oriented by the
+/// stored edge endpoints `(u, v)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relationship {
+    /// `u` is the provider of `v` (traversing `u → v` goes to a customer).
+    ProviderOf,
+    /// `v` is the provider of `u` (traversing `u → v` goes to a provider).
+    CustomerOf,
+    /// Settlement-free peering (symmetric).
+    Peer,
+}
+
+/// An AS-level graph: a simple undirected topology plus a relationship
+/// per edge, i.e. the symmetric digraph with asymmetric arc words that §5
+/// works with.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_bgp::{AsGraph, Relationship, Word};
+///
+/// // 1 and 2 are customers of 0; 1 and 2 peer with each other.
+/// let asg = AsGraph::from_relationships(3, [
+///     (0, 1, Relationship::ProviderOf),
+///     (0, 2, Relationship::ProviderOf),
+///     (1, 2, Relationship::Peer),
+/// ]).unwrap();
+/// assert_eq!(asg.word(0, 1), Some(Word::C));
+/// assert_eq!(asg.word(1, 0), Some(Word::P));
+/// assert_eq!(asg.word(1, 2), Some(Word::R));
+/// assert_eq!(asg.roots(), vec![0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsGraph {
+    graph: Graph,
+    rel: Vec<Relationship>,
+}
+
+impl AsGraph {
+    /// Builds an AS graph from `(u, v, relationship)` triples over nodes
+    /// `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cpr_graph::GraphError`] for invalid edges.
+    pub fn from_relationships(
+        n: usize,
+        rels: impl IntoIterator<Item = (NodeId, NodeId, Relationship)>,
+    ) -> Result<Self, cpr_graph::GraphError> {
+        let mut graph = Graph::with_nodes(n);
+        let mut rel = Vec::new();
+        for (u, v, r) in rels {
+            graph.add_edge(u, v)?;
+            rel.push(r);
+        }
+        Ok(AsGraph { graph, rel })
+    }
+
+    /// Adds a peer link between `u` and `v`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cpr_graph::GraphError`] (duplicate edge, self-loop,
+    /// out of bounds).
+    pub fn add_peer_link(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, cpr_graph::GraphError> {
+        let e = self.graph.add_edge(u, v)?;
+        self.rel.push(Relationship::Peer);
+        Ok(e)
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of ASes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The relationship of edge `e` (oriented by its stored endpoints).
+    pub fn relationship(&self, e: EdgeId) -> Relationship {
+        self.rel[e]
+    }
+
+    /// The word of the arc `u → v`, or `None` when `{u, v}` is not an
+    /// edge.
+    pub fn word(&self, u: NodeId, v: NodeId) -> Option<Word> {
+        let e = self.graph.edge_between(u, v)?;
+        let (a, _) = self.graph.endpoints(e);
+        let forward = a == u; // stored orientation
+        Some(match (self.rel[e], forward) {
+            (Relationship::Peer, _) => Word::R,
+            (Relationship::ProviderOf, true) | (Relationship::CustomerOf, false) => Word::C,
+            (Relationship::ProviderOf, false) | (Relationship::CustomerOf, true) => Word::P,
+        })
+    }
+
+    /// The word of traversing edge `e` starting from endpoint `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of `e`.
+    pub fn word_along(&self, from: NodeId, e: EdgeId) -> Word {
+        let (a, b) = self.graph.endpoints(e);
+        let forward = if from == a {
+            true
+        } else if from == b {
+            false
+        } else {
+            panic!("node {from} is not an endpoint of edge {e}");
+        };
+        match (self.rel[e], forward) {
+            (Relationship::Peer, _) => Word::R,
+            (Relationship::ProviderOf, true) | (Relationship::CustomerOf, false) => Word::C,
+            (Relationship::ProviderOf, false) | (Relationship::CustomerOf, true) => Word::P,
+        }
+    }
+
+    /// The providers of `v`.
+    pub fn providers(&self, v: NodeId) -> Vec<NodeId> {
+        self.graph
+            .neighbors(v)
+            .filter(|&(u, _)| self.word(v, u) == Some(Word::P))
+            .map(|(u, _)| u)
+            .collect()
+    }
+
+    /// The customers of `v`.
+    pub fn customers(&self, v: NodeId) -> Vec<NodeId> {
+        self.graph
+            .neighbors(v)
+            .filter(|&(u, _)| self.word(v, u) == Some(Word::C))
+            .map(|(u, _)| u)
+            .collect()
+    }
+
+    /// The peers of `v`.
+    pub fn peers(&self, v: NodeId) -> Vec<NodeId> {
+        self.graph
+            .neighbors(v)
+            .filter(|&(u, _)| self.word(v, u) == Some(Word::R))
+            .map(|(u, _)| u)
+            .collect()
+    }
+
+    /// Root ASes: nodes without a provider (Theorem 6's roots).
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.graph
+            .nodes()
+            .filter(|&v| self.providers(v).is_empty())
+            .collect()
+    }
+
+    /// Assumption A2: the provider arcs contain no directed cycle.
+    /// (Checked by Kahn-style peeling of the provider digraph.)
+    pub fn check_a2(&self) -> bool {
+        let n = self.node_count();
+        // out-degree in the p-digraph = number of providers.
+        let mut out: Vec<usize> = (0..n).map(|v| self.providers(v).len()).collect();
+        let mut queue: Vec<NodeId> = (0..n).filter(|&v| out[v] == 0).collect();
+        let mut peeled = 0;
+        while let Some(v) = queue.pop() {
+            peeled += 1;
+            // Removing v kills one outgoing p-arc of each customer of v.
+            for c in self.customers(v) {
+                out[c] -= 1;
+                if out[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        peeled == n
+    }
+
+    /// Assumption A1 under the valley-free algebra `B2`: every ordered
+    /// pair of distinct nodes is connected by a traversable path.
+    pub fn check_a1(&self) -> bool {
+        let n = self.node_count();
+        for t in 0..n {
+            let routes = crate::valley::routes_to(self, &crate::ValleyFree, t);
+            for s in 0..n {
+                if s != t && routes.weight(s).is_infinite() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The connected components of the customer–provider subgraph (peer
+    /// links ignored): the candidate SVFCs of Theorem 7.
+    pub fn cp_components(&self) -> (Vec<usize>, usize) {
+        let n = self.node_count();
+        let mut comp = vec![usize::MAX; n];
+        let mut count = 0;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = count;
+            let mut stack = vec![start];
+            while let Some(u) = stack.pop() {
+                for (v, e) in self.graph.neighbors(u) {
+                    if self.rel[e] != Relationship::Peer && comp[v] == usize::MAX {
+                        comp[v] = count;
+                        stack.push(v);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count)
+    }
+}
+
+/// Generates an Internet-like customer–provider hierarchy with peering:
+/// node 0 is the unique root; every later node buys transit from
+/// `1..=max_providers` existing nodes chosen preferentially by degree
+/// (giving the familiar heavy-tailed provider degrees); then `peer_links`
+/// peer edges are added between random non-adjacent pairs.
+///
+/// The construction guarantees A2 (providers always have smaller ids, so
+/// p-arcs are acyclic) and A1 (a single root: any two nodes connect via
+/// `p* c*` through it), matching the assumptions of Theorems 6–7.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `max_providers == 0`.
+pub fn internet_like<R: Rng + ?Sized>(
+    n: usize,
+    max_providers: usize,
+    peer_links: usize,
+    rng: &mut R,
+) -> AsGraph {
+    assert!(n > 0, "need at least one AS");
+    assert!(max_providers > 0, "customers need at least one provider");
+    let mut rels: Vec<(NodeId, NodeId, Relationship)> = Vec::new();
+    // Degree-proportional endpoint pool (preferential attachment).
+    let mut pool: Vec<NodeId> = vec![0];
+    for v in 1..n {
+        let k = rng.gen_range(1..=max_providers.min(v));
+        let mut providers: Vec<NodeId> = Vec::with_capacity(k);
+        let mut guard = 0;
+        while providers.len() < k && guard < 100 * (k + 1) {
+            let &cand = pool.choose(rng).expect("pool is non-empty");
+            if cand != v && !providers.contains(&cand) {
+                providers.push(cand);
+            }
+            guard += 1;
+        }
+        if providers.is_empty() {
+            providers.push(v - 1);
+        }
+        for p in providers {
+            rels.push((p, v, Relationship::ProviderOf));
+            pool.push(p);
+            pool.push(v);
+        }
+    }
+    let mut asg = AsGraph::from_relationships(n, rels).expect("hierarchy edges are simple");
+    // Sprinkle peer links.
+    let mut added = 0;
+    let mut guard = 0;
+    while added < peer_links && guard < 100 * (peer_links + 1) {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || asg.graph.contains_edge(u, v) {
+            continue;
+        }
+        asg.graph.add_edge(u, v).expect("checked fresh");
+        asg.rel.push(Relationship::Peer);
+        added += 1;
+    }
+    asg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain() -> AsGraph {
+        // 0 ← 1 ← 2 (0 is the top provider).
+        AsGraph::from_relationships(
+            3,
+            [
+                (0, 1, Relationship::ProviderOf),
+                (1, 2, Relationship::ProviderOf),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn words_respect_orientation() {
+        let asg = chain();
+        assert_eq!(asg.word(0, 1), Some(Word::C));
+        assert_eq!(asg.word(1, 0), Some(Word::P));
+        assert_eq!(asg.word(2, 1), Some(Word::P));
+        assert_eq!(asg.word(0, 2), None);
+        assert_eq!(asg.word_along(1, 0), Word::P);
+        assert_eq!(asg.word_along(0, 0), Word::C);
+    }
+
+    #[test]
+    fn neighbour_classification() {
+        let asg = chain();
+        assert_eq!(asg.customers(0), vec![1]);
+        assert_eq!(asg.providers(2), vec![1]);
+        assert_eq!(asg.providers(1), vec![0]);
+        assert!(asg.peers(1).is_empty());
+        assert_eq!(asg.roots(), vec![0]);
+    }
+
+    #[test]
+    fn a2_detects_provider_cycles() {
+        let asg = chain();
+        assert!(asg.check_a2());
+        // 0 → 1 → 2 → 0 provider cycle.
+        let cyclic = AsGraph::from_relationships(
+            3,
+            [
+                (0, 1, Relationship::CustomerOf), // 1 provides 0
+                (1, 2, Relationship::CustomerOf), // 2 provides 1
+                (2, 0, Relationship::CustomerOf), // 0 provides 2
+            ],
+        )
+        .unwrap();
+        assert!(!cyclic.check_a2());
+    }
+
+    #[test]
+    fn cp_components_ignore_peers() {
+        let asg = AsGraph::from_relationships(
+            4,
+            [
+                (0, 1, Relationship::ProviderOf),
+                (2, 3, Relationship::ProviderOf),
+                (0, 2, Relationship::Peer),
+            ],
+        )
+        .unwrap();
+        let (comp, count) = asg.cp_components();
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn internet_like_satisfies_assumptions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(900);
+        for trial in 0..3 {
+            let asg = internet_like(40, 2, 10, &mut rng);
+            assert_eq!(asg.roots(), vec![0], "trial {trial}");
+            assert!(asg.check_a2(), "trial {trial}");
+            assert!(asg.check_a1(), "trial {trial}");
+            let (_, count) = asg.cp_components();
+            assert_eq!(count, 1, "single hierarchy expected");
+        }
+    }
+}

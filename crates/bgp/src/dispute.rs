@@ -1,0 +1,195 @@
+//! Policy disputes: the BAD GADGET, and why monotonicity is load-bearing.
+//!
+//! §5 cites Griffin, Shepherd & Wilfong's *Policy disputes in path-vector
+//! protocols*: when local preferences violate monotonicity, a path-vector
+//! protocol can oscillate forever. The classic witness is the BAD GADGET —
+//! a destination `0` ringed by three nodes, each preferring the route
+//! *through its clockwise neighbour* over its own direct route. No stable
+//! route assignment exists, and SPVP-style protocols diverge.
+//!
+//! This module expresses the gadget in the workspace's algebraic terms: a
+//! three-weight algebra whose composition makes the two-hop ring route
+//! *better* than the direct route it extends — a direct violation of
+//! monotonicity (`w₁ ⪯ w₂ ⊕ w₁` fails), which the property checker
+//! reports and the simulator punishes with non-convergence. The contrast
+//! with every monotone algebra in this workspace (which all converge, see
+//! `cpr-sim`) is exactly the paper's point that monotone algebras are the
+//! "well-behaved" ones.
+
+use std::cmp::Ordering;
+
+use cpr_algebra::{PathWeight, Property, PropertySet, RoutingAlgebra};
+use cpr_graph::{Graph, NodeId};
+
+/// The arc/path weights of the gadget algebra.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DisputeWeight {
+    /// A two-hop route around the ring (the *preferred* kind).
+    Good,
+    /// A direct route to the hub.
+    Direct,
+    /// A ring arc on its own (not yet a route to the hub).
+    Ring,
+}
+
+/// The BAD GADGET algebra: `Good ≺ Direct ≺ Ring`, and composition
+/// `Ring ⊕ Direct = Good` — prepending a ring arc to a direct route
+/// *improves* it, violating monotonicity. Longer ring walks are `φ`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct DisputeAlgebra;
+
+impl RoutingAlgebra for DisputeAlgebra {
+    type W = DisputeWeight;
+
+    fn name(&self) -> String {
+        "bad-gadget".to_owned()
+    }
+
+    fn combine(&self, a: &DisputeWeight, b: &DisputeWeight) -> PathWeight<DisputeWeight> {
+        match (a, b) {
+            // Ring arc prepended to a direct route: the coveted route.
+            (DisputeWeight::Ring, DisputeWeight::Direct) => PathWeight::Finite(DisputeWeight::Good),
+            // Everything longer or weirder is forbidden.
+            _ => PathWeight::Infinite,
+        }
+    }
+
+    fn compare(&self, a: &DisputeWeight, b: &DisputeWeight) -> Ordering {
+        // Good ≺ Direct ≺ Ring (derive order of the enum).
+        a.cmp(b)
+    }
+
+    fn declared_properties(&self) -> PropertySet {
+        // Deliberately almost nothing: the algebra is neither monotone nor
+        // isotone nor commutative — that is its entire purpose.
+        PropertySet::empty().with(Property::TotalOrder)
+    }
+}
+
+/// The BAD GADGET topology: hub `0`, ring `1 → 2 → 3 → 1`, with the arc
+/// weights that make each ring node prefer the route through its ring
+/// successor. Returns the graph and the arc-weight function for the
+/// simulators.
+pub fn bad_gadget() -> (Graph, impl Fn(NodeId, NodeId) -> Option<DisputeWeight>) {
+    let graph = Graph::from_edges(4, [(1, 0), (2, 0), (3, 0), (1, 2), (2, 3), (3, 1)])
+        .expect("gadget is simple");
+    let arc = |u: NodeId, v: NodeId| -> Option<DisputeWeight> {
+        match (u, v) {
+            // Spokes towards the hub.
+            (1, 0) | (2, 0) | (3, 0) => Some(DisputeWeight::Direct),
+            // Ring arcs, one direction only: i prefers through i+1.
+            (1, 2) | (2, 3) | (3, 1) => Some(DisputeWeight::Ring),
+            _ => None,
+        }
+    };
+    (graph, arc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_algebra::{check_all_properties, check_monotone};
+    use cpr_sim::Simulator;
+
+    #[test]
+    fn the_algebra_is_non_monotone_by_construction() {
+        let alg = DisputeAlgebra;
+        let sample = [
+            DisputeWeight::Good,
+            DisputeWeight::Direct,
+            DisputeWeight::Ring,
+        ];
+        // Ring ⊕ Direct = Good ≺ Direct: monotonicity's counterexample.
+        let err = check_monotone(&alg, &sample).unwrap_err();
+        assert!(err.detail.contains("monotonicity"));
+        let holding = check_all_properties(&alg, &sample).holding();
+        assert!(!holding.contains(Property::Monotone));
+        assert!(!holding.contains(Property::Isotone));
+        assert!(holding.contains(Property::TotalOrder));
+    }
+
+    #[test]
+    fn path_vector_diverges_on_the_gadget() {
+        // The paper-cited dispute: no round budget suffices.
+        let (graph, arc) = bad_gadget();
+        let alg = DisputeAlgebra;
+        for budget in [50u32, 200, 1000] {
+            let mut sim = Simulator::new(&graph, &alg, &arc);
+            let report = sim.run_to_convergence(budget);
+            assert!(
+                !report.converged,
+                "BAD GADGET must not converge (budget {budget})"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_one_ring_arc_restores_stability() {
+        // Breaking the dispute wheel (no cyclic preference) lets the
+        // protocol settle: drop the 3 → 1 ring arc.
+        let (graph, _) = bad_gadget();
+        let alg = DisputeAlgebra;
+        let arc = |u: NodeId, v: NodeId| -> Option<DisputeWeight> {
+            match (u, v) {
+                (1, 0) | (2, 0) | (3, 0) => Some(DisputeWeight::Direct),
+                (1, 2) | (2, 3) => Some(DisputeWeight::Ring),
+                _ => None,
+            }
+        };
+        let mut sim = Simulator::new(&graph, &alg, arc);
+        let report = sim.run_to_convergence(200);
+        assert!(report.converged, "acyclic preferences must settle");
+        // 3 has only its direct route; 2 rides through 3's direct route;
+        // 1 would ride through 2, but 2 advertises its selected Good
+        // route, which 1 cannot extend (Ring ⊕ Good = φ) — so 1 settles
+        // for its direct route. A stable assignment exists and is found.
+        assert_eq!(sim.route(3, 0).unwrap().path, vec![3, 0]);
+        assert_eq!(sim.route(2, 0).unwrap().path, vec![2, 3, 0]);
+        assert_eq!(sim.route(1, 0).unwrap().path, vec![1, 0]);
+    }
+
+    #[test]
+    fn gadget_weights_match_the_story() {
+        let (graph, arc) = bad_gadget();
+        assert_eq!(graph.node_count(), 4);
+        assert_eq!(arc(1, 0), Some(DisputeWeight::Direct));
+        assert_eq!(arc(0, 1), None, "the hub originates, never transits");
+        assert_eq!(arc(2, 1), None, "ring arcs are one-way");
+        let alg = DisputeAlgebra;
+        // The coveted route: ring + direct.
+        assert_eq!(
+            alg.combine(&DisputeWeight::Ring, &DisputeWeight::Direct),
+            PathWeight::Finite(DisputeWeight::Good)
+        );
+        // Three-hop ring walks are forbidden.
+        assert_eq!(
+            alg.combine(&DisputeWeight::Ring, &DisputeWeight::Good),
+            PathWeight::Infinite
+        );
+    }
+}
+
+#[cfg(test)]
+mod async_tests {
+    use super::*;
+    use cpr_sim::AsyncSimulator;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gadget_diverges_under_asynchrony_too() {
+        // Random delays do not rescue the dispute wheel: the event budget
+        // always runs out. (Asynchrony can make SPVP *worse*, never
+        // better, on a gadget with no stable state.)
+        let (graph, arc) = bad_gadget();
+        let alg = DisputeAlgebra;
+        for seed in [1u64, 2, 3] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut sim = AsyncSimulator::new(&graph, &alg, &arc, 9);
+            let report = sim.run(&mut rng, 100_000);
+            assert!(
+                !report.converged,
+                "seed {seed}: the gadget must keep oscillating"
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # cpr-bgp — inter-domain policy routing over non-delimited algebras
+//!
+//! The paper's §5 substrate: the BGP routing algebras `B1`–`B4`
+//! (provider–customer, valley-free, prefer-customer, and prefer-customer
+//! with AS-path-length tie-breaking), AS-level topologies with business
+//! relationships, an exact valley-free route engine, the assumption
+//! checkers A1 (global reachability) and A2 (no provider loops), the
+//! `Θ(n)` state-table baseline, the `Θ(log n)` compact schemes of
+//! Theorems 6 and 7, and the incompressibility constructions of
+//! Theorems 5 and 8.
+//!
+//! ```
+//! use cpr_bgp::{internet_like, routes_to, B1CompactScheme, PreferCustomer, Word};
+//! use cpr_routing::{route, MemoryReport};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let asg = internet_like(50, 2, 0, &mut rng);
+//! // Exact valley-free routes under "prefer customer routes".
+//! let routes = routes_to(&asg, &PreferCustomer, 0);
+//! assert!((1..50).all(|u| routes.weight(u).is_finite()));
+//! // Theorem 6: under A1 + A2, B1 routes fit in Θ(log n) bits.
+//! let scheme = B1CompactScheme::build(&asg).unwrap();
+//! assert!(MemoryReport::measure(&scheme).max_local_bits <= 64);
+//! assert_eq!(route(&scheme, asg.graph(), 31, 12).unwrap().last(), Some(&12));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algebra;
+mod asgraph;
+mod compact;
+mod dispute;
+mod infer;
+mod lower_bound;
+mod state_table;
+mod valley;
+mod word;
+
+pub use algebra::{
+    prefer_customer_shortest, BgpAlgebra, PreferCustomer, PreferCustomerShortest, ProviderCustomer,
+    ValleyFree,
+};
+pub use asgraph::{internet_like, AsGraph, Relationship};
+pub use compact::{B1CompactScheme, B2CompactScheme, B2Header, CompactSchemeError};
+pub use dispute::{bad_gadget, DisputeAlgebra, DisputeWeight};
+pub use infer::{
+    collect_votes, infer_relationships, inference_accuracy, observed_routes, votes_for, EdgeVotes,
+    InferredRel,
+};
+pub use lower_bound::{
+    information_bits, theorem5_construction, theorem8_construction, verify_lower_bound,
+    BgpLowerBound, LowerBoundViolation,
+};
+pub use state_table::{BgpHeader, BgpStateTable};
+pub use valley::{exhaustive_routes_to, routes_to, BgpRoutes, StateRoute};
+pub use word::Word;

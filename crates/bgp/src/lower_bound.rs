@@ -1,0 +1,239 @@
+//! The BGP incompressibility constructions of Theorems 5 and 8.
+//!
+//! Theorem 5 instantiates the Fig. 2 / Theorem 4 graph family with
+//! provider–customer arcs: every centre provides its relays, every relay
+//! provides its targets. The preferred `cᵢ → t` route is the word-selected
+//! two-hop customer chain (weight `c`); *any* other path crosses a
+//! provider arc after a customer arc and weighs `φ ≻ cᵏ` for every `k`, so
+//! even unbounded stretch cannot shrink the `Ω(n)` tables.
+//!
+//! Theorem 8 patches the same family to satisfy A1 by adding peer links
+//! between mutually unreachable pairs. Under `B3` (`c ≺ r ≺ p`) the
+//! preferred routes are unchanged, every alternative weighs `r` or `φ`,
+//! and `r ≻ c = cᵏ` — incompressibility survives the assumptions that
+//! rescued `B1` and `B2`.
+
+use cpr_graph::generators::{lower_bound_family, LowerBoundFamily};
+use cpr_graph::NodeId;
+
+use crate::algebra::{BgpAlgebra, PreferCustomer};
+use crate::asgraph::{AsGraph, Relationship};
+use crate::valley::routes_to;
+use crate::word::Word;
+
+/// A BGP-labelled member of the lower-bound family.
+#[derive(Clone, Debug)]
+pub struct BgpLowerBound {
+    /// The labelled AS graph.
+    pub asg: AsGraph,
+    /// The underlying combinatorial family member (centres, relays,
+    /// targets, words).
+    pub family: LowerBoundFamily,
+    /// Number of peer links added for A1 (0 for the Theorem 5 variant).
+    pub peer_links_added: usize,
+}
+
+/// Builds the Theorem 5 construction: the family graph with every edge a
+/// provider→customer arc pointing away from the centres.
+///
+/// # Panics
+///
+/// Propagates the panics of
+/// [`lower_bound_family`] for malformed parameters.
+pub fn theorem5_construction(p: usize, delta: usize, words: &[Vec<u8>]) -> BgpLowerBound {
+    let family = lower_bound_family(p, delta, words);
+    // Family edges are stored upper-to-lower (centre→relay, relay→target),
+    // so `ProviderOf` in stored orientation is exactly the labelling of
+    // the proof.
+    let rels = family
+        .graph
+        .edges()
+        .map(|(_, (u, v))| (u, v, Relationship::ProviderOf));
+    let asg = AsGraph::from_relationships(family.graph.node_count(), rels)
+        .expect("family graph is simple");
+    BgpLowerBound {
+        asg,
+        family,
+        peer_links_added: 0,
+    }
+}
+
+/// Builds the Theorem 8 construction: [`theorem5_construction`] plus a
+/// peer link between every mutually unreachable pair, which establishes
+/// A1 while keeping A2 (peers add no provider arcs).
+pub fn theorem8_construction(p: usize, delta: usize, words: &[Vec<u8>]) -> BgpLowerBound {
+    let mut lb = theorem5_construction(p, delta, words);
+    let n = lb.asg.node_count();
+    // Fixpoint: adding peer links creates new r-routes; iterate until A1.
+    loop {
+        let mut missing: Vec<(NodeId, NodeId)> = Vec::new();
+        for t in 0..n {
+            let routes = routes_to(&lb.asg, &PreferCustomer, t);
+            for s in 0..n {
+                if s != t && s < t && routes.weight(s).is_infinite() {
+                    missing.push((s, t));
+                }
+            }
+        }
+        if missing.is_empty() {
+            return lb;
+        }
+        for (s, t) in missing {
+            if lb.asg.graph().contains_edge(s, t) {
+                continue;
+            }
+            lb.asg.add_peer_link(s, t).expect("checked non-adjacent");
+            lb.peer_links_added += 1;
+        }
+    }
+}
+
+/// A violation found by [`verify_lower_bound`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum LowerBoundViolation {
+    /// A centre–target pair whose preferred route is not the two-hop
+    /// customer chain through the word-selected relay.
+    WrongPreferredRoute {
+        /// The centre.
+        center: NodeId,
+        /// The target.
+        target: NodeId,
+        /// The route the engine selected.
+        got: Option<Vec<NodeId>>,
+    },
+    /// An alternative route that would satisfy some finite stretch bound
+    /// (its weight is `⪯ cᵏ = c`), defeating the counting argument.
+    StretchEscape {
+        /// The centre.
+        center: NodeId,
+        /// The target.
+        target: NodeId,
+        /// The word of the escaping alternative.
+        word: Word,
+    },
+}
+
+/// Verifies the load-bearing claims of Theorems 5/8 on a constructed
+/// instance, under `alg` (`B1` for Theorem 5, `B3` for Theorem 8):
+///
+/// 1. for every centre `cᵢ` and target `t`, the preferred route is the
+///    two-hop customer chain through the relay `t`'s word selects;
+/// 2. every alternative `cᵢ → t` route weighs `≻ c = cᵏ` — so a stretch-k
+///    scheme *must* encode the preferred routes exactly, and the family's
+///    `δ^(p·|T|)` members force `Ω(n log δ)` bits at the centres.
+pub fn verify_lower_bound<A: BgpAlgebra>(
+    lb: &BgpLowerBound,
+    alg: &A,
+) -> Result<(), LowerBoundViolation> {
+    for (k, (t, word)) in lb.family.targets.iter().enumerate() {
+        let routes = routes_to(&lb.asg, alg, *t);
+        for (i, &c) in lb.family.centers.iter().enumerate() {
+            let expected_relay = lb.family.relays[i][word[i] as usize];
+            let got = routes.path_from(c);
+            // Claim 1: the unique preferred route is c → z_{i,word[i]} → t.
+            if got.as_deref() != Some(&[c, expected_relay, *t][..])
+                || routes.selected_word(c) != Some(Word::C)
+            {
+                return Err(LowerBoundViolation::WrongPreferredRoute {
+                    center: c,
+                    target: *t,
+                    got,
+                });
+            }
+            // Claim 2: no alternative route type is ⪯ c (which equals cᵏ
+            // for every k, because c ⊕ c = c).
+            for w in routes.words(c) {
+                if w != Word::C && alg.compare(&w, &Word::C) != std::cmp::Ordering::Greater {
+                    return Err(LowerBoundViolation::StretchEscape {
+                        center: c,
+                        target: *t,
+                        word: w,
+                    });
+                }
+            }
+            // And the c-route itself must be unique per relay: the engine
+            // already picked the min-hop c-route; any other c-route would
+            // have to pass another relay of the same centre, which forces
+            // a p-arc after a c-arc. Spot-check the hop count.
+            debug_assert_eq!(routes.hops(c), Some(2), "target {k}");
+        }
+    }
+    Ok(())
+}
+
+/// The information content of the instance: `log₂` of the number of
+/// distinct family members with the same shape — the bits any stretch-k
+/// scheme must collectively store at the centres (Fraigniaud–Gavoille
+/// counting).
+pub fn information_bits(lb: &BgpLowerBound) -> f64 {
+    lb.family.information_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{ProviderCustomer, ValleyFree};
+
+    fn all_words(p: usize, delta: usize) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let total = (delta as u32).pow(p as u32);
+        for mut ix in 0..total {
+            let mut w = vec![0u8; p];
+            for s in w.iter_mut() {
+                *s = (ix % delta as u32) as u8;
+                ix /= delta as u32;
+            }
+            out.push(w);
+        }
+        out
+    }
+
+    #[test]
+    fn theorem5_paper_instance_verifies() {
+        // Fig. 2's p = 2, δ = 2 instance with all four words.
+        let lb = theorem5_construction(2, 2, &all_words(2, 2));
+        assert_eq!(lb.peer_links_added, 0);
+        assert!(lb.asg.check_a2());
+        assert!(!lb.asg.check_a1(), "Theorem 5 violates A1 by design");
+        verify_lower_bound(&lb, &ProviderCustomer).unwrap();
+        assert!(information_bits(&lb) >= 8.0);
+    }
+
+    #[test]
+    fn theorem5_centres_cannot_reach_each_other() {
+        let lb = theorem5_construction(2, 2, &all_words(2, 2));
+        let routes = routes_to(&lb.asg, &ProviderCustomer, lb.family.centers[1]);
+        assert!(routes.weight(lb.family.centers[0]).is_infinite());
+    }
+
+    #[test]
+    fn theorem8_restores_a1_and_still_verifies() {
+        let lb = theorem8_construction(2, 2, &all_words(2, 2));
+        assert!(lb.peer_links_added > 0);
+        assert!(lb.asg.check_a2(), "peer links must not break A2");
+        assert!(lb.asg.check_a1(), "Theorem 8 needs A1");
+        verify_lower_bound(&lb, &PreferCustomer).unwrap();
+    }
+
+    #[test]
+    fn theorem8_alternatives_are_peer_routes() {
+        let lb = theorem8_construction(2, 2, &all_words(2, 2));
+        // Under B2 (no preference), a centre might select a peer route;
+        // under B3 it must keep the customer route. Both exist.
+        let t = lb.family.targets[0].0;
+        let routes = routes_to(&lb.asg, &PreferCustomer, t);
+        let c0 = lb.family.centers[0];
+        let words: Vec<Word> = routes.words(c0).collect();
+        assert!(words.contains(&Word::C));
+        assert_eq!(routes.selected_word(c0), Some(Word::C));
+        let _ = ValleyFree;
+    }
+
+    #[test]
+    fn larger_instances_verify() {
+        let lb5 = theorem5_construction(3, 3, &all_words(3, 3));
+        verify_lower_bound(&lb5, &ProviderCustomer).unwrap();
+        let lb8 = theorem8_construction(3, 2, &all_words(3, 2));
+        verify_lower_bound(&lb8, &PreferCustomer).unwrap();
+    }
+}

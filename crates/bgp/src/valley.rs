@@ -1,0 +1,434 @@
+//! Valley-free route computation.
+//!
+//! The composition tables of `B1`–`B3` are, read operationally, a
+//! *front-extension automaton*: the weight word of a path is a sufficient
+//! statistic for whether an arc can be prepended and what the new word is
+//! (`a ⊕ σ` per Table 2/3). Route computation therefore runs over the
+//! state space `(node, word)` — at most `3n` states — by BFS from the
+//! destination, tracking the minimum hop count per state. Selecting each
+//! node's best achieved word under the algebra's preference (ties to
+//! fewer hops) yields *exactly* the simple-path optimum: a non-simple
+//! best walk is impossible, because removing a loop from a valley-free
+//! walk keeps it valley-free and never worsens its word.
+//!
+//! This mirrors how a path-vector protocol computes routes per
+//! destination, composing link words from the destination towards each
+//! source (right-associatively), which is why the module works for every
+//! `Word`-weighted BGP algebra — including `B4`'s tie-breaking on AS-path
+//! length, which coincides with the hop counts tracked here.
+
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+
+use cpr_algebra::PathWeight;
+use cpr_graph::NodeId;
+
+use crate::algebra::BgpAlgebra;
+use crate::asgraph::AsGraph;
+use crate::word::Word;
+
+const WORDS: [Word; 3] = [Word::C, Word::R, Word::P];
+
+fn word_ix(w: Word) -> usize {
+    match w {
+        Word::C => 0,
+        Word::R => 1,
+        Word::P => 2,
+    }
+}
+
+/// Per-state route data: minimum hops and the chosen next hop with the
+/// suffix's word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StateRoute {
+    /// Hop count of the best route in this state.
+    pub hops: u32,
+    /// Next hop and the word of the remaining path (`None` when the next
+    /// hop is the target itself).
+    pub via: Option<(NodeId, Word)>,
+}
+
+/// All valley-free routes towards one destination, per `(node, word)`
+/// state, with each node's selected best route under a given algebra.
+#[derive(Clone, Debug)]
+pub struct BgpRoutes {
+    target: NodeId,
+    /// `states[word_ix][u]`.
+    states: [Vec<Option<StateRoute>>; 3],
+    /// The selected word per node (`None`: unreachable or the target).
+    selected: Vec<Option<Word>>,
+}
+
+impl BgpRoutes {
+    /// The destination these routes lead to.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// The per-state route of `u` with the given word.
+    pub fn state(&self, u: NodeId, word: Word) -> Option<StateRoute> {
+        self.states[word_ix(word)][u]
+    }
+
+    /// The words of all achievable valley-free routes from `u`.
+    pub fn words(&self, u: NodeId) -> impl Iterator<Item = Word> + '_ {
+        WORDS
+            .into_iter()
+            .filter(move |&w| self.states[word_ix(w)][u].is_some())
+    }
+
+    /// The selected best route word of `u` (`None` for the target itself
+    /// and for unreachable nodes).
+    pub fn selected_word(&self, u: NodeId) -> Option<Word> {
+        self.selected[u]
+    }
+
+    /// The weight of `u`'s selected route (`φ` when unreachable, and for
+    /// the target — the trivial path carries no weight).
+    pub fn weight(&self, u: NodeId) -> PathWeight<Word> {
+        self.selected[u].into()
+    }
+
+    /// The `B4` weight of `u`'s selected route: `(word, AS-path length)`.
+    pub fn weight_with_length(&self, u: NodeId) -> PathWeight<(Word, u64)> {
+        match self.selected[u] {
+            Some(w) => {
+                let hops = self.states[word_ix(w)][u]
+                    .expect("selected implies state")
+                    .hops;
+                PathWeight::Finite((w, hops as u64))
+            }
+            None => PathWeight::Infinite,
+        }
+    }
+
+    /// Hop count of `u`'s selected route.
+    pub fn hops(&self, u: NodeId) -> Option<u32> {
+        let w = self.selected[u]?;
+        Some(
+            self.states[word_ix(w)][u]
+                .expect("selected implies state")
+                .hops,
+        )
+    }
+
+    /// The selected route from `u` to the target as a node sequence.
+    pub fn path_from(&self, u: NodeId) -> Option<Vec<NodeId>> {
+        if u == self.target {
+            return Some(vec![u]);
+        }
+        let mut word = self.selected[u]?;
+        let mut at = u;
+        let mut path = vec![u];
+        loop {
+            let state = self.states[word_ix(word)][at].expect("chain states exist");
+            match state.via {
+                None => {
+                    path.push(self.target);
+                    return Some(path);
+                }
+                Some((next, next_word)) => {
+                    path.push(next);
+                    at = next;
+                    word = next_word;
+                    if path.len() > self.selected.len() {
+                        panic!("state chain exceeded node count");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Computes all valley-free routes to `target` and selects each node's
+/// preferred one under `alg` (ties broken by fewer hops, then by the
+/// `c < r < p` word order, deterministically).
+///
+/// Exact for `B1`, `B2`, `B3`, and — because the tracked hop count *is*
+/// the AS-path length — for `B4` via
+/// [`BgpRoutes::weight_with_length`].
+///
+/// # Examples
+///
+/// ```
+/// use cpr_bgp::{internet_like, routes_to, ValleyFree, Word};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let asg = internet_like(20, 2, 4, &mut rng);
+/// let routes = routes_to(&asg, &ValleyFree, 0);
+/// // A1 holds for internet_like topologies: everyone reaches node 0.
+/// assert!((1..20).all(|u| routes.weight(u).is_finite()));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `target` is out of bounds.
+pub fn routes_to<A: BgpAlgebra>(asg: &AsGraph, alg: &A, target: NodeId) -> BgpRoutes {
+    let n = asg.node_count();
+    assert!(target < n, "target out of bounds");
+    let graph = asg.graph();
+
+    let mut states: [Vec<Option<StateRoute>>; 3] = [vec![None; n], vec![None; n], vec![None; n]];
+
+    // BFS over (node, word) states, seeded by the target's neighbours.
+    let mut queue: VecDeque<(NodeId, Word)> = VecDeque::new();
+    for (u, e) in graph.neighbors(target) {
+        let w = asg.word_along(u, e);
+        if !alg.admits(w) {
+            continue;
+        }
+        let slot = &mut states[word_ix(w)][u];
+        if slot.is_none() {
+            *slot = Some(StateRoute { hops: 1, via: None });
+            queue.push_back((u, w));
+        }
+    }
+    while let Some((v, sigma)) = queue.pop_front() {
+        let hops = states[word_ix(sigma)][v].expect("queued state exists").hops;
+        for (u, e) in graph.neighbors(v) {
+            if u == target {
+                continue;
+            }
+            let a = asg.word_along(u, e);
+            if !alg.admits(a) {
+                continue;
+            }
+            let PathWeight::Finite(sigma2) = alg.combine(&a, &sigma) else {
+                continue;
+            };
+            let slot = &mut states[word_ix(sigma2)][u];
+            if slot.is_none() {
+                *slot = Some(StateRoute {
+                    hops: hops + 1,
+                    via: Some((v, sigma)),
+                });
+                queue.push_back((u, sigma2));
+            }
+        }
+    }
+
+    // Select per node.
+    let selected = (0..n)
+        .map(|u| {
+            if u == target {
+                return None;
+            }
+            let mut best: Option<(Word, u32)> = None;
+            for w in WORDS {
+                let Some(state) = states[word_ix(w)][u] else {
+                    continue;
+                };
+                best = match best {
+                    None => Some((w, state.hops)),
+                    Some((bw, bh)) => match alg.compare(&w, &bw) {
+                        Ordering::Less => Some((w, state.hops)),
+                        Ordering::Greater => Some((bw, bh)),
+                        Ordering::Equal => {
+                            if state.hops < bh {
+                                Some((w, state.hops))
+                            } else {
+                                Some((bw, bh))
+                            }
+                        }
+                    },
+                };
+            }
+            best.map(|(w, _)| w)
+        })
+        .collect();
+
+    BgpRoutes {
+        target,
+        states,
+        selected,
+    }
+}
+
+/// Ground truth by exhaustive enumeration of *simple* valley-free paths
+/// from every node to `target` (DFS with monotonicity pruning), weighing
+/// right-associatively via the algebra's own table. Exponential; for
+/// validating [`routes_to`] on small graphs.
+pub fn exhaustive_routes_to<A: BgpAlgebra>(
+    asg: &AsGraph,
+    alg: &A,
+    target: NodeId,
+) -> Vec<PathWeight<Word>> {
+    let n = asg.node_count();
+    assert!(target < n, "target out of bounds");
+    let mut best: Vec<PathWeight<Word>> = vec![PathWeight::Infinite; n];
+
+    // DFS from the target, prepending arcs: the running weight is the
+    // word of the (path-so-far → target) suffix.
+    fn walk<A: BgpAlgebra>(
+        asg: &AsGraph,
+        alg: &A,
+        at: NodeId,
+        sigma: Option<Word>,
+        on_path: &mut Vec<bool>,
+        best: &mut Vec<PathWeight<Word>>,
+    ) {
+        let graph = asg.graph();
+        for (u, e) in graph.neighbors(at) {
+            if on_path[u] {
+                continue;
+            }
+            let a = asg.word_along(u, e);
+            if !alg.admits(a) {
+                continue;
+            }
+            let cand = match sigma {
+                None => PathWeight::Finite(a),
+                Some(s) => alg.combine(&a, &s),
+            };
+            let PathWeight::Finite(word) = cand else {
+                continue;
+            };
+            if alg.compare_pw(&PathWeight::Finite(word), &best[u]) == Ordering::Less
+                || best[u].is_infinite()
+            {
+                best[u] = PathWeight::Finite(word);
+            }
+            on_path[u] = true;
+            walk(asg, alg, u, Some(word), on_path, best);
+            on_path[u] = false;
+        }
+    }
+
+    let mut on_path = vec![false; n];
+    on_path[target] = true;
+    walk(asg, alg, target, None, &mut on_path, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{PreferCustomer, ProviderCustomer, ValleyFree};
+    use crate::asgraph::{internet_like, AsGraph, Relationship};
+    use cpr_algebra::RoutingAlgebra;
+    use rand::SeedableRng;
+
+    fn diamond() -> AsGraph {
+        // Root 0 provides 1 and 2; both provide 3; 1–2 peer.
+        AsGraph::from_relationships(
+            4,
+            [
+                (0, 1, Relationship::ProviderOf),
+                (0, 2, Relationship::ProviderOf),
+                (1, 3, Relationship::ProviderOf),
+                (2, 3, Relationship::ProviderOf),
+                (1, 2, Relationship::Peer),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn b1_routes_climb_and_descend() {
+        let asg = diamond();
+        let routes = routes_to(&asg, &ProviderCustomer, 3);
+        // 0 reaches 3 downhill: word c.
+        assert_eq!(routes.selected_word(0), Some(Word::C));
+        // 1 reaches 3 directly: c, one hop.
+        assert_eq!(routes.hops(1), Some(1));
+        let path = routes.path_from(0).unwrap();
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&3));
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn peer_link_usable_once() {
+        // 1 → 2 over the peer link then down to 3's other provider? From
+        // 1, route r·c = r exists (1–2 peer, 2–3 customer).
+        let asg = diamond();
+        let routes = routes_to(&asg, &ValleyFree, 3);
+        let words: Vec<Word> = routes.words(1).collect();
+        assert!(words.contains(&Word::C)); // direct customer arc
+        assert!(words.contains(&Word::R)); // via the peer
+                                           // B3 prefers the customer route.
+        let pc = routes_to(&asg, &PreferCustomer, 3);
+        assert_eq!(pc.selected_word(1), Some(Word::C));
+    }
+
+    #[test]
+    fn valleys_are_rejected() {
+        // Two customers of the same provider, no peering: 1 → 0 → 2 is
+        // p then c — fine. But two *providers* of the same customer
+        // cannot transit through it: 0 → 3 → 2 in the chain below would
+        // be c then p — a valley.
+        let asg = AsGraph::from_relationships(
+            3,
+            [
+                (0, 1, Relationship::ProviderOf),
+                (2, 1, Relationship::ProviderOf),
+            ],
+        )
+        .unwrap();
+        let routes = routes_to(&asg, &ProviderCustomer, 2);
+        // 0 → 1 → 2 would be c ⊕ p = φ: 0 cannot reach 2.
+        assert!(routes.weight(0).is_infinite());
+        // 1 reaches its provider 2 directly.
+        assert_eq!(routes.selected_word(1), Some(Word::P));
+    }
+
+    #[test]
+    fn matches_exhaustive_on_random_internets() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(901);
+        for trial in 0..5 {
+            let asg = internet_like(14, 2, 3, &mut rng);
+            for target in 0..asg.node_count() {
+                let fast = routes_to(&asg, &PreferCustomer, target);
+                let truth = exhaustive_routes_to(&asg, &PreferCustomer, target);
+                for u in 0..asg.node_count() {
+                    if u == target {
+                        continue;
+                    }
+                    assert_eq!(fast.weight(u), truth[u], "trial {trial}, {u} → {target}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routed_paths_are_valley_free() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(902);
+        let asg = internet_like(30, 2, 6, &mut rng);
+        let b2 = ValleyFree;
+        for target in 0..asg.node_count() {
+            let routes = routes_to(&asg, &b2, target);
+            for u in 0..asg.node_count() {
+                let Some(path) = routes.path_from(u) else {
+                    continue;
+                };
+                if path.len() < 2 {
+                    continue;
+                }
+                let words: Vec<Word> = path
+                    .windows(2)
+                    .map(|hop| asg.word(hop[0], hop[1]).expect("path edge exists"))
+                    .collect();
+                assert!(
+                    b2.weigh_path_right(&words).is_finite(),
+                    "{u} → {target} traversed a valley: {words:?}"
+                );
+                // Simple path.
+                let mut seen = path.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(seen.len(), path.len(), "non-simple route");
+            }
+        }
+    }
+
+    #[test]
+    fn b4_lengths_are_hop_counts() {
+        let asg = diamond();
+        let routes = routes_to(&asg, &PreferCustomer, 3);
+        match routes.weight_with_length(0) {
+            PathWeight::Finite((Word::C, len)) => assert_eq!(len, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Arc words of the inter-domain algebras: customer, peer, provider.
+
+use std::fmt;
+
+/// The weight alphabet of the BGP algebras (paper §5): traversing an arc
+/// is a step towards a **c**ustomer, a pee**r**, or a **p**rovider.
+///
+/// A valley-free path reads `p* r? c*`: climb through providers, cross at
+/// most one peer link at the top, descend through customers. The
+/// composition tables of `B1`/`B2`/`B3` encode exactly this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Word {
+    /// `c`: the arc goes to a customer (downhill).
+    C,
+    /// `r`: the arc goes to a peer (sideways).
+    R,
+    /// `p`: the arc goes to a provider (uphill).
+    P,
+}
+
+impl Word {
+    /// The word of the reverse arc: `w(i,j) = p ⇔ w(j,i) = c`, and peer
+    /// links are symmetric.
+    pub fn reverse(self) -> Word {
+        match self {
+            Word::C => Word::P,
+            Word::P => Word::C,
+            Word::R => Word::R,
+        }
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Word::C => "c",
+            Word::R => "r",
+            Word::P => "p",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involutive() {
+        for w in [Word::C, Word::R, Word::P] {
+            assert_eq!(w.reverse().reverse(), w);
+        }
+        assert_eq!(Word::C.reverse(), Word::P);
+        assert_eq!(Word::R.reverse(), Word::R);
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(Word::C.to_string(), "c");
+        assert_eq!(Word::R.to_string(), "r");
+        assert_eq!(Word::P.to_string(), "p");
+    }
+}

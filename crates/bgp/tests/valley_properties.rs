@@ -1,0 +1,180 @@
+//! Property-based tests for the inter-domain substrate: the valley-free
+//! engine, assumption checkers, compact schemes and inference, on
+//! randomized Internet-like topologies.
+
+use cpr_algebra::RoutingAlgebra;
+use cpr_bgp::{
+    internet_like, routes_to, theorem5_construction, verify_lower_bound, AsGraph, B1CompactScheme,
+    B2CompactScheme, BgpStateTable, PreferCustomer, ProviderCustomer, Relationship, ValleyFree,
+    Word,
+};
+use cpr_routing::{route, RoutingScheme};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// internet_like always satisfies the Theorem 6/7 assumptions, for
+    /// any parameters.
+    #[test]
+    fn internet_like_satisfies_a1_a2(
+        n in 5usize..40,
+        max_providers in 1usize..4,
+        peers in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let asg = internet_like(n, max_providers, peers, &mut rng(seed));
+        prop_assert!(asg.check_a2(), "A2 must hold by construction");
+        prop_assert!(asg.check_a1(), "A1 must hold by construction");
+        prop_assert_eq!(asg.roots(), vec![0]);
+    }
+
+    /// Every route the engine selects is valley-free and simple, under
+    /// every BGP algebra.
+    #[test]
+    fn engine_routes_are_valley_free_and_simple(
+        n in 5usize..30,
+        peers in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let asg = internet_like(n, 2, peers, &mut rng(seed));
+        for t in 0..n.min(6) {
+            macro_rules! check {
+                ($alg:expr) => {{
+                    let routes = routes_to(&asg, &$alg, t);
+                    for u in 0..n {
+                        let Some(path) = routes.path_from(u) else { continue };
+                        if path.len() < 2 { continue; }
+                        let words: Vec<Word> = path
+                            .windows(2)
+                            .map(|h| asg.word(h[0], h[1]).unwrap())
+                            .collect();
+                        prop_assert!(
+                            $alg.weigh_path_right(&words).is_finite(),
+                            "{} → {}: valley in {:?}", u, t, words
+                        );
+                        let mut sorted = path.clone();
+                        sorted.sort_unstable();
+                        sorted.dedup();
+                        prop_assert_eq!(sorted.len(), path.len(), "non-simple route");
+                    }
+                }};
+            }
+            check!(ProviderCustomer);
+            check!(ValleyFree);
+            check!(PreferCustomer);
+        }
+    }
+
+    /// B3 selection dominance: the selected word is ⪯ every achievable
+    /// word, and B1 routes never use peer arcs.
+    #[test]
+    fn selection_is_dominant(n in 5usize..25, seed in any::<u64>()) {
+        let asg = internet_like(n, 2, n / 4, &mut rng(seed));
+        let b3 = PreferCustomer;
+        for t in 0..n.min(5) {
+            let routes = routes_to(&asg, &b3, t);
+            for u in 0..n {
+                let Some(selected) = routes.selected_word(u) else { continue };
+                for w in routes.words(u) {
+                    prop_assert_ne!(
+                        b3.compare(&w, &selected),
+                        std::cmp::Ordering::Less,
+                        "selection not dominant at {}", u
+                    );
+                }
+            }
+            let b1_routes = routes_to(&asg, &ProviderCustomer, t);
+            for u in 0..n {
+                if let Some(path) = b1_routes.path_from(u) {
+                    for h in path.windows(2) {
+                        prop_assert_ne!(asg.word(h[0], h[1]), Some(Word::R));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The compact schemes deliver every pair valley-free on arbitrary
+    /// internet_like instances.
+    #[test]
+    fn compact_schemes_always_deliver(n in 6usize..25, seed in any::<u64>()) {
+        let asg = internet_like(n, 2, 3, &mut rng(seed));
+        let b1 = B1CompactScheme::build(&asg).unwrap();
+        let b2 = B2CompactScheme::build(&asg).unwrap();
+        let table = BgpStateTable::build(&asg, &ValleyFree);
+        for s in 0..n {
+            for t in 0..n {
+                if s == t { continue; }
+                for path in [
+                    route(&b1, asg.graph(), s, t).unwrap(),
+                    route(&b2, asg.graph(), s, t).unwrap(),
+                    route(&table, asg.graph(), s, t).unwrap(),
+                ] {
+                    prop_assert_eq!(path.last(), Some(&t));
+                    let words: Vec<Word> = path
+                        .windows(2)
+                        .map(|h| asg.word(h[0], h[1]).unwrap())
+                        .collect();
+                    prop_assert!(ValleyFree.weigh_path_right(&words).is_finite());
+                }
+            }
+        }
+        // Sanity on the accounting: compact beats the baseline at any n.
+        let base_bits: u64 = (0..n).map(|v| table.local_memory_bits(v)).max().unwrap();
+        let b1_bits: u64 = (0..n).map(|v| b1.local_memory_bits(v)).max().unwrap();
+        prop_assert!(b1_bits <= base_bits);
+    }
+
+    /// Theorem 5 instances verify for every shape in range.
+    #[test]
+    fn theorem5_verifies_for_all_shapes(p in 2usize..4, delta in 2usize..4) {
+        let total = (delta as u32).pow(p as u32);
+        let words: Vec<Vec<u8>> = (0..total)
+            .map(|mut ix| {
+                let mut w = vec![0u8; p];
+                for s in w.iter_mut() {
+                    *s = (ix % delta as u32) as u8;
+                    ix /= delta as u32;
+                }
+                w
+            })
+            .collect();
+        let lb = theorem5_construction(p, delta, &words);
+        prop_assert!(verify_lower_bound(&lb, &ProviderCustomer).is_ok());
+        prop_assert!(!lb.asg.check_a1());
+    }
+
+    /// Arc words are always reverse-consistent: `w(u,v) = w(v,u).reverse()`.
+    #[test]
+    fn words_are_reverse_consistent(n in 4usize..30, seed in any::<u64>()) {
+        let asg = internet_like(n, 2, 5, &mut rng(seed));
+        for (_, (u, v)) in asg.graph().edges() {
+            let forward = asg.word(u, v).unwrap();
+            let backward = asg.word(v, u).unwrap();
+            prop_assert_eq!(forward.reverse(), backward);
+        }
+    }
+}
+
+#[test]
+fn multi_root_hierarchies_are_rejected_deterministically() {
+    // Two roots in one cp-component is impossible (they'd be disconnected
+    // in cp-arcs); two components without peering → B2 build fails with
+    // the missing-link error, B1 with BadRoots.
+    let asg = AsGraph::from_relationships(
+        4,
+        [
+            (0, 1, Relationship::ProviderOf),
+            (2, 3, Relationship::ProviderOf),
+        ],
+    )
+    .unwrap();
+    assert!(B1CompactScheme::build(&asg).is_err());
+    assert!(B2CompactScheme::build(&asg).is_err());
+}

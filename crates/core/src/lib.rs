@@ -1,0 +1,37 @@
+//! # compact-policy-routing
+//!
+//! A complete implementation of *Compact Policy Routing* (Gábor Rétvári,
+//! András Gulyás, Zalán Heszberger, Márton Csernai, József J. Bíró;
+//! PODC 2011): routing algebras, their algebraic classification, the
+//! generalized compact routing schemes, the BGP algebras of §5, and a
+//! distributed path-vector simulator.
+//!
+//! This crate is the umbrella: it re-exports the workspace crates under
+//! stable module names. See the README for a guided tour and the
+//! `examples/` directory for runnable end-to-end scenarios.
+//!
+//! ```
+//! use compact_policy_routing as cpr;
+//! use cpr::algebra::{policies::ShortestPath, RoutingAlgebra};
+//!
+//! // The paper in one line: policies are algebras, and this one is the
+//! // (incompressible) shortest-path algebra S = (N, ∞, +, ≤).
+//! assert!(ShortestPath.declared_properties().is_regular());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Routing algebras: `(W, φ, ⊕, ⪯)`, properties, products, stretch.
+pub use cpr_algebra as algebra;
+/// Inter-domain (BGP) algebras, AS graphs, valley-free routing, the
+/// Theorem 5–8 constructions and Theorem 6–7 compact schemes.
+pub use cpr_bgp as bgp;
+/// The port-labelled graph substrate and topology generators.
+pub use cpr_graph as graph;
+/// Preferred-path computation: generalized Dijkstra and friends.
+pub use cpr_paths as paths;
+/// Compact routing schemes, bit accounting and stretch verification.
+pub use cpr_routing as routing;
+/// The distributed path-vector protocol simulator.
+pub use cpr_sim as sim;

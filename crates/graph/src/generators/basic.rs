@@ -1,0 +1,207 @@
+//! Deterministic topology generators.
+
+use crate::graph::Graph;
+
+/// The path graph `0 − 1 − … − (n−1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path needs at least one node");
+    let mut g = Graph::with_nodes(n);
+    for v in 1..n {
+        g.add_edge(v - 1, v).expect("path edges are simple");
+    }
+    g
+}
+
+/// The cycle graph on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least three nodes");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0).expect("closing edge is simple");
+    g
+}
+
+/// The star graph: node `0` is the centre, nodes `1..n` are leaves.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs a centre and at least one leaf");
+    let mut g = Graph::with_nodes(n);
+    for v in 1..n {
+        g.add_edge(0, v).expect("star edges are simple");
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n > 0, "complete graph needs at least one node");
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v).expect("complete edges are simple");
+        }
+    }
+    g
+}
+
+/// The `rows × cols` grid graph; node `(r, c)` has id `r * cols + c`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = Graph::with_nodes(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(id, id + 1).expect("grid edges are simple");
+            }
+            if r + 1 < rows {
+                g.add_edge(id, id + cols).expect("grid edges are simple");
+            }
+        }
+    }
+    g
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes; nodes adjacent iff
+/// their ids differ in one bit.
+///
+/// # Panics
+///
+/// Panics if `d > 20` (over a million nodes is outside experiment scale).
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d <= 20, "hypercube dimension too large");
+    let n = 1usize << d;
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                g.add_edge(u, v).expect("hypercube edges are simple");
+            }
+        }
+    }
+    g
+}
+
+/// The complete `b`-ary tree of the given `depth` (depth 0 is a single
+/// root). Node 0 is the root; children are laid out breadth-first.
+///
+/// # Panics
+///
+/// Panics if `b < 2` or the tree would exceed a million nodes.
+pub fn balanced_tree(b: usize, depth: u32) -> Graph {
+    assert!(b >= 2, "branching factor must be at least 2");
+    // n = (b^(depth+1) - 1) / (b - 1)
+    let mut n: usize = 1;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level = level.checked_mul(b).expect("tree size overflow");
+        n = n.checked_add(level).expect("tree size overflow");
+        assert!(n <= 1_000_000, "tree too large for experiments");
+    }
+    let mut g = Graph::with_nodes(n);
+    for v in 1..n {
+        let parent = (v - 1) / b;
+        g.add_edge(parent, v).expect("tree edges are simple");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{is_connected, is_tree};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!((g.node_count(), g.edge_count()), (5, 4));
+        assert!(is_tree(&g));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn single_node_path() {
+        let g = path(1);
+        assert_eq!((g.node_count(), g.edge_count()), (1, 0));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!((g.node_count(), g.edge_count()), (5, 5));
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        assert!((1..6).all(|v| g.degree(v) == 1));
+        assert!(is_tree(&g));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // m = rows*(cols-1) + cols*(rows-1) = 3*3 + 4*2 = 17
+        assert_eq!(g.edge_count(), 17);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior (1,1)
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(g.contains_edge(0b0000, 0b1000));
+        assert!(!g.contains_edge(0b0000, 0b0011));
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.node_count(), 15);
+        assert!(is_tree(&g));
+        assert_eq!(g.degree(0), 2);
+        let g3 = balanced_tree(3, 2);
+        assert_eq!(g3.node_count(), 13);
+        assert!(is_tree(&g3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn tiny_cycle_rejected() {
+        cycle(2);
+    }
+}

@@ -1,0 +1,115 @@
+//! The counterexample graphs of the paper's Fig. 1.
+//!
+//! Lemma 1's converse direction is proved by exhibiting, for each way
+//! selectivity can fail in a monotone delimited algebra, a small graph in
+//! which the preferred paths do not form a tree. These generators build
+//! those graphs together with the weight-class assignment of their edges;
+//! the caller instantiates the classes with concrete weights of the algebra
+//! under test.
+
+use crate::graph::{EdgeId, Graph};
+
+/// A Fig. 1 counterexample: a graph whose edges are partitioned into the
+/// weight classes `w1` and `w2` (for Fig. 1a, all edges are in `w1`).
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The topology.
+    pub graph: Graph,
+    /// Edges carrying the weight `w1` (the paper's `w` for Fig. 1a).
+    pub w1_edges: Vec<EdgeId>,
+    /// Edges carrying the weight `w2` (empty for Fig. 1a).
+    pub w2_edges: Vec<EdgeId>,
+}
+
+impl Counterexample {
+    /// Materializes the per-edge weights: `w1` on `w1_edges`, `w2` on
+    /// `w2_edges`, in edge-id order.
+    pub fn weights<W: Clone>(&self, w1: &W, w2: &W) -> Vec<W> {
+        let mut out: Vec<Option<W>> = vec![None; self.graph.edge_count()];
+        for &e in &self.w1_edges {
+            out[e] = Some(w1.clone());
+        }
+        for &e in &self.w2_edges {
+            out[e] = Some(w2.clone());
+        }
+        out.into_iter()
+            .map(|w| w.expect("every edge is in exactly one class"))
+            .collect()
+    }
+}
+
+/// Fig. 1a — violation of *auto-selectivity* (`w ⊕ w ≻ w`): the triangle
+/// with all edges of weight `w`. Preferred paths are exactly the three
+/// direct edges, which form a cycle, not a tree.
+pub fn fig1a() -> Counterexample {
+    let graph = Graph::from_edges(3, [(0, 1), (0, 2), (1, 2)]).expect("triangle");
+    Counterexample {
+        w1_edges: (0..graph.edge_count()).collect(),
+        w2_edges: Vec::new(),
+        graph,
+    }
+}
+
+/// Fig. 1b — `w1 ≺ w2` but `w1 ⊕ w2 ≻ w2`: the triangle with edge
+/// `(0, 1)` of weight `w1` and edges `(0, 2)`, `(1, 2)` of weight `w2`.
+/// Again every preferred path is a direct edge.
+pub fn fig1b() -> Counterexample {
+    let graph = Graph::from_edges(3, [(0, 1), (0, 2), (1, 2)]).expect("triangle");
+    Counterexample {
+        w1_edges: vec![0],
+        w2_edges: vec![1, 2],
+        graph,
+    }
+}
+
+/// Fig. 1c — `w1 = w2` in preference but `w1 ⊕ w2 ≻ w2`: the 4-cycle
+/// `0 − 1 − 3 − 2 − 0` with weights alternating `w1, w2, w1, w2`.
+/// Adjacent pairs prefer their direct edge; the two diagonal pairs use
+/// two-hop paths — and all four edges appear on preferred paths, so no
+/// spanning tree contains a preferred path for every pair.
+pub fn fig1c() -> Counterexample {
+    // Node numbering follows the paper's figure: 1↦0, 2↦1, 3↦2, 4↦3.
+    let graph = Graph::from_edges(4, [(0, 1), (1, 3), (3, 2), (2, 0)]).expect("4-cycle");
+    Counterexample {
+        w1_edges: vec![0, 2],
+        w2_edges: vec![1, 3],
+        graph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_is_uniform_triangle() {
+        let ce = fig1a();
+        assert_eq!(ce.graph.node_count(), 3);
+        assert_eq!(ce.graph.edge_count(), 3);
+        assert_eq!(ce.w1_edges.len(), 3);
+        assert!(ce.w2_edges.is_empty());
+        let w = ce.weights(&10u64, &99u64);
+        assert_eq!(w, vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn fig1b_partition_covers_all_edges() {
+        let ce = fig1b();
+        assert_eq!(ce.w1_edges.len() + ce.w2_edges.len(), ce.graph.edge_count());
+        let w = ce.weights(&1u64, &5u64);
+        assert_eq!(w, vec![1, 5, 5]);
+    }
+
+    #[test]
+    fn fig1c_is_alternating_cycle() {
+        let ce = fig1c();
+        assert_eq!(ce.graph.node_count(), 4);
+        assert_eq!(ce.graph.edge_count(), 4);
+        assert!(ce.graph.nodes().all(|v| ce.graph.degree(v) == 2));
+        // Diagonals are non-edges.
+        assert!(!ce.graph.contains_edge(0, 3));
+        assert!(!ce.graph.contains_edge(1, 2));
+        let w = ce.weights(&7u64, &8u64);
+        assert_eq!(w, vec![7, 8, 7, 8]);
+    }
+}

@@ -1,0 +1,277 @@
+//! The Fraigniaud–Gavoille lower-bound graph family (paper Fig. 2,
+//! Theorem 4).
+//!
+//! The family starts from `p ≥ 2` centre nodes `c_i`, gives each centre
+//! `δ ≥ 2` relay neighbours `z_{i,1}, …, z_{i,δ}` (edges in weight class
+//! `i`), and wires every target `t ∈ T` to exactly one relay per centre
+//! according to a length-`p` *word* over the alphabet `{0, …, δ−1}`: the
+//! `i`-th symbol selects which relay of centre `i` links to `t` (again in
+//! weight class `i`).
+//!
+//! With weights satisfying the paper's condition (1), the preferred
+//! `c_i → t` path is the unique two-hop path through the relay the word
+//! selects, and *any* other path blows the stretch bound. Since there are
+//! `δ^(p·|T|)` distinct wirings that all demand different forwarding
+//! behaviour at the centres, some node needs `Ω(|T| · p · log δ)` bits —
+//! linear in the network size.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A member of the Fig. 2 lower-bound family, with the structure needed to
+/// (a) assign the class weights and (b) count the family's information
+/// content.
+#[derive(Clone, Debug)]
+pub struct LowerBoundFamily {
+    /// The topology.
+    pub graph: Graph,
+    /// The `p` centre nodes `c_i`.
+    pub centers: Vec<NodeId>,
+    /// `relays[i][j]` is `z_{i,j}`, the `j`-th relay of centre `i`.
+    pub relays: Vec<Vec<NodeId>>,
+    /// The target nodes, each with its defining word:
+    /// `words[k].1[i] = j` means target `k` links to relay `z_{i,j}`.
+    pub targets: Vec<(NodeId, Vec<u8>)>,
+    /// `class_of_edge[e] = i`: edge `e` carries the class-`i` weight `w_i`.
+    pub class_of_edge: Vec<usize>,
+}
+
+impl LowerBoundFamily {
+    /// Materializes per-edge weights by instantiating class `i` with
+    /// `class_weights[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_weights.len()` differs from the number of centres.
+    pub fn weights<W: Clone>(&self, class_weights: &[W]) -> Vec<W> {
+        assert_eq!(
+            class_weights.len(),
+            self.centers.len(),
+            "one weight per centre class required"
+        );
+        self.class_of_edge
+            .iter()
+            .map(|&i| class_weights[i].clone())
+            .collect()
+    }
+
+    /// Number of distinct family members with this shape: each of the
+    /// `|T|` targets independently picks one of `δ^p` words, so the family
+    /// encodes `|T| · p · log₂ δ` bits. This is the information-theoretic
+    /// content that any (even stretched) routing scheme must store at the
+    /// centre side (Fraigniaud–Gavoille counting argument).
+    pub fn information_bits(&self) -> f64 {
+        let delta = self.relays.first().map_or(0, Vec::len);
+        let p = self.centers.len();
+        self.targets.len() as f64 * p as f64 * (delta as f64).log2()
+    }
+}
+
+/// Builds the Fig. 2 family member for `p` centres, `δ` relays per centre
+/// and the given target words (each of length `p` over `0..δ`).
+///
+/// # Panics
+///
+/// Panics if `p < 2`, `δ < 2`, any word has the wrong length or an
+/// out-of-range symbol, or two words are identical (duplicate targets
+/// would create parallel structure the counting argument does not use).
+pub fn lower_bound_family(p: usize, delta: usize, words: &[Vec<u8>]) -> LowerBoundFamily {
+    assert!(p >= 2, "need at least two centres");
+    assert!(delta >= 2, "need at least two relays per centre");
+    for w in words {
+        assert_eq!(w.len(), p, "word length must equal the number of centres");
+        assert!(
+            w.iter().all(|&s| (s as usize) < delta),
+            "word symbol out of range"
+        );
+    }
+    for (a, w) in words.iter().enumerate() {
+        assert!(!words[a + 1..].contains(w), "duplicate target word {w:?}");
+    }
+
+    let mut graph = Graph::new();
+    let mut class_of_edge: Vec<usize> = Vec::new();
+    let push_edge = |graph: &mut Graph, class_of_edge: &mut Vec<usize>, u, v, class| {
+        let e: EdgeId = graph.add_edge(u, v).expect("family edges are simple");
+        debug_assert_eq!(e, class_of_edge.len());
+        class_of_edge.push(class);
+    };
+
+    let centers: Vec<NodeId> = (0..p).map(|_| graph.add_node()).collect();
+    let relays: Vec<Vec<NodeId>> = (0..p)
+        .map(|i| {
+            (0..delta)
+                .map(|_| {
+                    let z = graph.add_node();
+                    push_edge(&mut graph, &mut class_of_edge, centers[i], z, i);
+                    z
+                })
+                .collect()
+        })
+        .collect();
+    let targets: Vec<(NodeId, Vec<u8>)> = words
+        .iter()
+        .map(|word| {
+            let t = graph.add_node();
+            for (i, &j) in word.iter().enumerate() {
+                push_edge(&mut graph, &mut class_of_edge, relays[i][j as usize], t, i);
+            }
+            (t, word.clone())
+        })
+        .collect();
+
+    LowerBoundFamily {
+        graph,
+        centers,
+        relays,
+        targets,
+        class_of_edge,
+    }
+}
+
+/// Builds a family member with `t_count` *random distinct* words — the
+/// typical way an experiment samples the family.
+///
+/// # Panics
+///
+/// Panics if `t_count > δ^p` (not enough distinct words) or `δ^p`
+/// overflows `usize`.
+pub fn random_lower_bound_family<R: Rng + ?Sized>(
+    p: usize,
+    delta: usize,
+    t_count: usize,
+    rng: &mut R,
+) -> LowerBoundFamily {
+    let space = (delta as u128).pow(p as u32);
+    assert!(
+        (t_count as u128) <= space,
+        "requested more targets than distinct words exist"
+    );
+    // Sample distinct word indices, then decode to base-δ words.
+    let words: Vec<Vec<u8>> = if space <= 4 * t_count as u128 {
+        // Dense: shuffle the full space.
+        let mut all: Vec<u128> = (0..space).collect();
+        all.shuffle(rng);
+        all.truncate(t_count);
+        all.into_iter()
+            .map(|ix| decode_word(ix, p, delta))
+            .collect()
+    } else {
+        let mut chosen: Vec<u128> = Vec::with_capacity(t_count);
+        while chosen.len() < t_count {
+            let ix = rng.gen_range(0..space);
+            if !chosen.contains(&ix) {
+                chosen.push(ix);
+            }
+        }
+        chosen
+            .into_iter()
+            .map(|ix| decode_word(ix, p, delta))
+            .collect()
+    };
+    lower_bound_family(p, delta, &words)
+}
+
+fn decode_word(mut ix: u128, p: usize, delta: usize) -> Vec<u8> {
+    let mut word = vec![0u8; p];
+    for symbol in word.iter_mut() {
+        *symbol = (ix % delta as u128) as u8;
+        ix /= delta as u128;
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::bfs_distances;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_example_p2_delta2() {
+        // Fig. 2: p = 2, δ = 2, all four words.
+        let words = vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]];
+        let fam = lower_bound_family(2, 2, &words);
+        assert_eq!(fam.centers.len(), 2);
+        assert_eq!(fam.relays.iter().flatten().count(), 4);
+        assert_eq!(fam.targets.len(), 4);
+        // n = p + pδ + |T| = 2 + 4 + 4 = 10
+        assert_eq!(fam.graph.node_count(), 10);
+        // m = pδ (centre–relay) + |T|·p (relay–target) = 4 + 8 = 12
+        assert_eq!(fam.graph.edge_count(), 12);
+        assert_eq!(fam.information_bits(), 8.0); // 4 targets · 2 · log2(2)
+    }
+
+    #[test]
+    fn centre_to_target_distance_is_two() {
+        let words = vec![vec![0, 0], vec![1, 1], vec![0, 1]];
+        let fam = lower_bound_family(2, 2, &words);
+        for &c in &fam.centers {
+            let dist = bfs_distances(&fam.graph, c);
+            for (t, _) in &fam.targets {
+                assert_eq!(dist[*t], Some(2), "c={c} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_determines_wiring() {
+        let words = vec![vec![1, 0], vec![0, 1]];
+        let fam = lower_bound_family(2, 2, &words);
+        let (t0, w0) = &fam.targets[0];
+        assert_eq!(w0, &vec![1, 0]);
+        assert!(fam.graph.contains_edge(fam.relays[0][1], *t0));
+        assert!(fam.graph.contains_edge(fam.relays[1][0], *t0));
+        assert!(!fam.graph.contains_edge(fam.relays[0][0], *t0));
+    }
+
+    #[test]
+    fn edge_classes_match_centres() {
+        let words = vec![vec![0, 0, 1], vec![2, 1, 0]];
+        let fam = lower_bound_family(3, 3, &words);
+        let class_weights = vec![10u64, 20, 30];
+        let w = fam.weights(&class_weights);
+        for (e, (u, v)) in fam.graph.edges() {
+            let class = fam.class_of_edge[e];
+            assert_eq!(w[e], class_weights[class]);
+            // Each edge touches centre `class`'s star or a class-`class`
+            // relay–target link.
+            let relay_set = &fam.relays[class];
+            assert!(
+                u == fam.centers[class]
+                    || v == fam.centers[class]
+                    || relay_set.contains(&u)
+                    || relay_set.contains(&v)
+            );
+        }
+    }
+
+    #[test]
+    fn random_family_distinct_words() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let fam = random_lower_bound_family(3, 2, 8, &mut rng); // full space
+        assert_eq!(fam.targets.len(), 8);
+        let mut words: Vec<Vec<u8>> = fam.targets.iter().map(|(_, w)| w.clone()).collect();
+        words.sort();
+        words.dedup();
+        assert_eq!(words.len(), 8);
+        let sparse = random_lower_bound_family(4, 3, 10, &mut rng);
+        assert_eq!(sparse.targets.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_words_rejected() {
+        lower_bound_family(2, 2, &[vec![0, 0], vec![0, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more targets")]
+    fn oversampling_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        random_lower_bound_family(2, 2, 5, &mut rng);
+    }
+}

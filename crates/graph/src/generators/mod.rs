@@ -1,0 +1,15 @@
+//! Topology generators: deterministic families, random models, and the
+//! paper's special constructions (Fig. 1 counterexamples, Fig. 2
+//! lower-bound family).
+
+mod basic;
+mod counterexamples;
+mod lower_bound;
+mod random;
+
+pub use basic::{balanced_tree, complete, cycle, grid, hypercube, path, star};
+pub use counterexamples::{fig1a, fig1b, fig1c, Counterexample};
+pub use lower_bound::{lower_bound_family, random_lower_bound_family, LowerBoundFamily};
+pub use random::{
+    barabasi_albert, gnm, gnp, gnp_connected, random_tree, watts_strogatz, waxman_connected,
+};

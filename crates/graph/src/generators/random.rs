@@ -1,0 +1,383 @@
+//! Random topology generators.
+//!
+//! All generators are deterministic in the supplied RNG, so experiments are
+//! reproducible from a seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal::connected_components;
+
+/// A uniformly random labelled tree on `n` nodes via a random Prüfer
+/// sequence.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    assert!(n > 0, "tree needs at least one node");
+    if n == 1 {
+        return Graph::with_nodes(1);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]).expect("two-node tree");
+    }
+    let pruefer: Vec<NodeId> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &pruefer {
+        degree[v] += 1;
+    }
+    let mut g = Graph::with_nodes(n);
+    // Min-leaf extraction without a heap: n is experiment-sized.
+    let mut leaf_ptr = 0;
+    let mut leaf: Option<NodeId> = None;
+    for &v in &pruefer {
+        let l = match leaf.take() {
+            Some(l) => l,
+            None => {
+                while degree[leaf_ptr] != 1 {
+                    leaf_ptr += 1;
+                }
+                let l = leaf_ptr;
+                leaf_ptr += 1;
+                l
+            }
+        };
+        g.add_edge(l, v).expect("Prüfer edges are simple");
+        degree[l] -= 1;
+        degree[v] -= 1;
+        if degree[v] == 1 && v < leaf_ptr {
+            leaf = Some(v);
+        }
+    }
+    // Join the two remaining degree-1 nodes.
+    let mut last = degree
+        .iter()
+        .enumerate()
+        .filter(|&(_, d)| *d == 1)
+        .map(|(v, _)| v);
+    let a = last.next().expect("two leaves remain");
+    let b = last.next().expect("two leaves remain");
+    g.add_edge(a, b).expect("final Prüfer edge is simple");
+    g
+}
+
+/// Erdős–Rényi `G(n, p)`: every pair independently an edge with
+/// probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or `n == 0`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!(n > 0, "graph needs at least one node");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v).expect("fresh pair");
+            }
+        }
+    }
+    g
+}
+
+/// `G(n, p)` conditioned on connectivity: the random graph is augmented
+/// with uniformly random inter-component edges until connected. For
+/// `p ≳ ln n / n` the augmentation is almost always empty, so the
+/// distribution is close to true conditioned `G(n, p)`; experiments need
+/// connectivity because the paper assumes a connected network.
+pub fn gnp_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = gnp(n, p, rng);
+    loop {
+        let (comp, count) = connected_components(&g);
+        if count == 1 {
+            return g;
+        }
+        // Pick a random representative in component 0 and in another
+        // component and connect them.
+        let in_zero: Vec<NodeId> = g.nodes().filter(|&v| comp[v] == 0).collect();
+        let outside: Vec<NodeId> = g.nodes().filter(|&v| comp[v] != 0).collect();
+        let u = *in_zero.choose(rng).expect("component 0 is non-empty");
+        let v = *outside.choose(rng).expect("another component exists");
+        g.add_edge(u, v).expect("inter-component edge is new");
+    }
+}
+
+/// `G(n, m)`: exactly `m` edges chosen uniformly among all pairs.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds `n·(n−1)/2`.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(n > 0, "graph needs at least one node");
+    let max = n * (n - 1) / 2;
+    assert!(m <= max, "too many edges requested");
+    let mut g = Graph::with_nodes(n);
+    // Rejection sampling is fast while m is well below max; fall back to
+    // shuffling all pairs when dense.
+    if m * 3 < max {
+        while g.edge_count() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && !g.contains_edge(u, v) {
+                g.add_edge(u, v).expect("checked fresh");
+            }
+        }
+    } else {
+        let mut pairs: Vec<(NodeId, NodeId)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        pairs.shuffle(rng);
+        for &(u, v) in pairs.iter().take(m) {
+            g.add_edge(u, v).expect("each pair once");
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m0 = m_attach` nodes, then each new node attaches to `m_attach`
+/// distinct existing nodes chosen proportionally to degree. Produces
+/// connected scale-free graphs like the Internet-ish topologies compact
+/// routing is usually evaluated on.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0` or `n < m_attach + 1`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) -> Graph {
+    assert!(m_attach >= 1, "attachment degree must be positive");
+    assert!(n > m_attach, "need more nodes than the seed clique");
+    let mut g = Graph::with_nodes(n);
+    // Repeated-endpoint list: picking a uniform element is degree-
+    // proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    for u in 0..m_attach {
+        for v in (u + 1)..m_attach {
+            g.add_edge(u, v).expect("seed clique");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    if m_attach == 1 {
+        // Degenerate seed: a single node with no edges; seed the endpoint
+        // list so the first attachment has a target.
+        endpoints.push(0);
+    }
+    for v in m_attach..n {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m_attach);
+        while chosen.len() < m_attach {
+            let &candidate = endpoints.choose(rng).expect("endpoint list non-empty");
+            if candidate != v && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for u in chosen {
+            g.add_edge(v, u).expect("new node's edges are fresh");
+            endpoints.push(v);
+            endpoints.push(u);
+        }
+    }
+    g
+}
+
+/// Waxman's geometric random graph: nodes at uniform positions in the
+/// unit square, pair `{u, v}` an edge with probability
+/// `alpha · exp(−dist(u,v) / (beta · √2))` — the classic synthetic model
+/// of router-level topologies (locality-biased, tunable density).
+/// Augmented to connectivity like [`gnp_connected`].
+///
+/// # Panics
+///
+/// Panics if `alpha ∉ (0, 1]` or `beta ≤ 0` or `n == 0`.
+pub fn waxman_connected<R: Rng + ?Sized>(n: usize, alpha: f64, beta: f64, rng: &mut R) -> Graph {
+    assert!(n > 0, "graph needs at least one node");
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    assert!(beta > 0.0, "beta must be positive");
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let max_dist = std::f64::consts::SQRT_2;
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let (ux, uy) = positions[u];
+            let (vx, vy) = positions[v];
+            let dist = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt();
+            let p = alpha * (-dist / (beta * max_dist)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v).expect("fresh pair");
+            }
+        }
+    }
+    // Connectivity augmentation: link nearest cross-component pairs.
+    loop {
+        let (comp, count) = connected_components(&g);
+        if count == 1 {
+            return g;
+        }
+        let mut best: Option<(NodeId, NodeId, f64)> = None;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if comp[u] == comp[v] {
+                    continue;
+                }
+                let (ux, uy) = positions[u];
+                let (vx, vy) = positions[v];
+                let dist = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt();
+                if best.is_none_or(|(_, _, d)| dist < d) {
+                    best = Some((u, v, dist));
+                }
+            }
+        }
+        let (u, v, _) = best.expect("disconnected graph has a cross pair");
+        g.add_edge(u, v).expect("cross-component edge is new");
+    }
+}
+
+/// Watts–Strogatz small world: a ring lattice where each node connects to
+/// its `k/2` nearest neighbours on each side, with each edge rewired to a
+/// uniform random endpoint with probability `beta` (skipping rewires that
+/// would create loops or duplicates).
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k < 2`, or `k >= n`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "k must be even and at least 2"
+    );
+    assert!(k < n, "k must be below n");
+    assert!((0.0..=1.0).contains(&beta), "probability out of range");
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for offset in 1..=(k / 2) {
+            let v = (u + offset) % n;
+            if rng.gen_bool(beta) {
+                // Rewire: connect u to a random node instead.
+                let mut tries = 0;
+                loop {
+                    let w = rng.gen_range(0..n);
+                    if w != u && !g.contains_edge(u, w) {
+                        g.add_edge(u, w).expect("checked fresh");
+                        break;
+                    }
+                    tries += 1;
+                    if tries > 4 * n {
+                        // Saturated neighbourhood; keep the lattice edge if
+                        // still available.
+                        if !g.contains_edge(u, v) {
+                            g.add_edge(u, v).expect("checked fresh");
+                        }
+                        break;
+                    }
+                }
+            } else if !g.contains_edge(u, v) {
+                g.add_edge(u, v).expect("checked fresh");
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{is_connected, is_tree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..10 {
+            let g = random_tree(30, &mut rng(seed));
+            assert!(is_tree(&g), "seed {seed} did not produce a tree");
+        }
+        assert_eq!(random_tree(1, &mut rng(0)).node_count(), 1);
+        assert!(is_tree(&random_tree(2, &mut rng(0))));
+        assert!(is_tree(&random_tree(3, &mut rng(0))));
+    }
+
+    #[test]
+    fn random_tree_degree_sum() {
+        let g = random_tree(50, &mut rng(3));
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(total, 2 * (50 - 1));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = gnp(10, 0.0, &mut rng(1));
+        assert_eq!(empty.edge_count(), 0);
+        let full = gnp(10, 1.0, &mut rng(1));
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_connected_is_connected() {
+        for seed in 0..5 {
+            let g = gnp_connected(40, 0.05, &mut rng(seed));
+            assert!(is_connected(&g), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(20, 30, &mut rng(2));
+        assert_eq!(g.edge_count(), 30);
+        let dense = gnm(10, 44, &mut rng(2));
+        assert_eq!(dense.edge_count(), 44);
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let g = barabasi_albert(100, 3, &mut rng(5));
+        assert_eq!(g.node_count(), 100);
+        // seed clique C(3,2)=3 edges + 97 * 3
+        assert_eq!(g.edge_count(), 3 + 97 * 3);
+        assert!(is_connected(&g));
+        // Hubs exist: some node should have degree well above m.
+        assert!(g.max_degree() >= 9);
+    }
+
+    #[test]
+    fn barabasi_albert_m1_is_tree() {
+        let g = barabasi_albert(50, 1, &mut rng(6));
+        assert!(is_tree(&g));
+    }
+
+    #[test]
+    fn waxman_is_connected_and_locality_biased() {
+        let g = waxman_connected(60, 0.9, 0.12, &mut rng(9));
+        assert_eq!(g.node_count(), 60);
+        assert!(is_connected(&g));
+        // Locality bias keeps it sparse relative to dense G(n, 0.9).
+        assert!(g.edge_count() < 60 * 59 / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn waxman_rejects_bad_alpha() {
+        waxman_connected(10, 1.5, 0.1, &mut rng(0));
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_lattice() {
+        let g = watts_strogatz(12, 4, 0.0, &mut rng(7));
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn watts_strogatz_rewired_still_reasonable() {
+        let g = watts_strogatz(50, 4, 0.3, &mut rng(8));
+        assert_eq!(g.node_count(), 50);
+        assert!(g.edge_count() >= 90, "most edges should survive rewiring");
+    }
+}

@@ -1,0 +1,385 @@
+//! The port-labelled graph type used by every routing scheme in this
+//! workspace.
+//!
+//! The compact-routing model (paper §2.3) requires that the edges emanating
+//! from a node `v` are labelled *locally*: `L_E(v, ·) ∈ {1, …, deg(v)}`, so
+//! that a forwarding decision is "send the packet out of port `p`", not
+//! "send it to node `u`". [`Graph`] therefore exposes neighbours through
+//! 0-based *ports* — indices into the node's adjacency list — and all
+//! routing schemes account for port labels with `⌈log deg(v)⌉` bits.
+
+use std::fmt;
+
+/// Index of a node; nodes are `0..graph.node_count()`.
+pub type NodeId = usize;
+
+/// Index of an undirected edge; edges are `0..graph.edge_count()`.
+pub type EdgeId = usize;
+
+/// A local port number at a node: the `p`-th incident edge, `0 ≤ p <
+/// deg(v)`. Port numbers carry no global information (paper §2.3's
+/// requirement that labels encode nothing beyond identification).
+pub type Port = usize;
+
+/// Errors returned when constructing or mutating a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint is `>= node_count()`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+    },
+    /// Self-loops are not allowed (the model uses simple graphs).
+    SelfLoop {
+        /// The node with the attempted loop.
+        node: NodeId,
+    },
+    /// Parallel edges are not allowed (the model uses simple graphs).
+    DuplicateEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node } => write!(f, "node {node} out of bounds"),
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A finite, simple, undirected graph with port-labelled adjacency.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_graph::Graph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::with_nodes(3);
+/// let e01 = g.add_edge(0, 1)?;
+/// let e12 = g.add_edge(1, 2)?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// // Node 1 reaches node 2 through its local port 1.
+/// assert_eq!(g.port_towards(1, 2), Some(1));
+/// assert_eq!(g.neighbor_at(1, 1), Some((2, e12)));
+/// assert_eq!(g.edge_between(0, 1), Some(e01));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds the undirected edge `{u, v}` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-bounds endpoints, self-loops and parallel edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        let n = self.node_count();
+        for node in [u, v] {
+            if node >= n {
+                return Err(GraphError::NodeOutOfBounds { node });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.edge_between(u, v).is_some() {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        let e = self.edges.len();
+        self.edges.push((u, v));
+        self.adj[u].push((v, e));
+        self.adj[v].push((u, e));
+        Ok(e)
+    }
+
+    /// Number of nodes `n = |V|`.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges `m = |E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.node_count()
+    }
+
+    /// Iterator over `(EdgeId, (u, v))` for all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, (NodeId, NodeId))> + '_ {
+        self.edges.iter().copied().enumerate()
+    }
+
+    /// The endpoints of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e]
+    }
+
+    /// Given edge `e` incident to `v`, returns the opposite endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds or not incident to `v`.
+    pub fn opposite(&self, v: NodeId, e: EdgeId) -> NodeId {
+        let (a, b) = self.edges[e];
+        if a == v {
+            b
+        } else if b == v {
+            a
+        } else {
+            panic!("edge {e} = ({a}, {b}) is not incident to node {v}")
+        }
+    }
+
+    /// Degree of node `v` (also its number of ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The maximum degree `d` over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over `(neighbor, edge)` pairs of `v`, in port order: the
+    /// `p`-th yielded pair is reachable through port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adj[v].iter().copied()
+    }
+
+    /// The neighbour and edge behind port `p` of node `v`, or `None` when
+    /// `p ≥ deg(v)`.
+    pub fn neighbor_at(&self, v: NodeId, p: Port) -> Option<(NodeId, EdgeId)> {
+        self.adj[v].get(p).copied()
+    }
+
+    /// The port of `v` whose edge leads to `u`, or `None` if `{v, u} ∉ E`.
+    pub fn port_towards(&self, v: NodeId, u: NodeId) -> Option<Port> {
+        self.adj[v].iter().position(|&(w, _)| w == u)
+    }
+
+    /// The edge between `u` and `v`, if any.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        // Scan the smaller adjacency list.
+        let (base, target) = if self.adj[u].len() <= self.adj[v].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[base]
+            .iter()
+            .find(|&&(w, _)| w == target)
+            .map(|&(_, e)| e)
+    }
+
+    /// Returns `true` if the edge `{u, v}` exists.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Builds the edge-induced subgraph over the *same* node set: keeps
+    /// exactly the edges for which `keep` returns `true`. Returns the
+    /// subgraph plus, per subgraph edge, the originating edge id in
+    /// `self` — the mapping solver code needs to translate weights.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cpr_graph::Graph;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)])?;
+    /// let (sub, origin) = g.filter_edges(|e, _| e != 1);
+    /// assert_eq!(sub.edge_count(), 2);
+    /// assert_eq!(origin, vec![0, 2]);
+    /// assert!(!sub.contains_edge(1, 2));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn filter_edges(
+        &self,
+        mut keep: impl FnMut(EdgeId, (NodeId, NodeId)) -> bool,
+    ) -> (Graph, Vec<EdgeId>) {
+        let mut sub = Graph::with_nodes(self.node_count());
+        let mut origin = Vec::new();
+        for (e, (u, v)) in self.edges() {
+            if keep(e, (u, v)) {
+                sub.add_edge(u, v).expect("subgraph of a simple graph");
+                origin.push(e);
+            }
+        }
+        (sub, origin)
+    }
+
+    /// Builds a graph from an explicit edge list over nodes `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from [`add_edge`](Self::add_edge).
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        let mut g = Graph::with_nodes(n);
+        for (u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, edges={:?})",
+            self.node_count(),
+            self.edge_count(),
+            self.edges
+        )
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {}", self.node_count(), self.edge_count())?;
+        for (_, (u, v)) in self.edges() {
+            writeln!(f, "{u} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = Graph::with_nodes(2);
+        let v2 = g.add_node();
+        assert_eq!(v2, 2);
+        let e = g.add_edge(0, 2).unwrap();
+        assert_eq!(g.endpoints(e), (0, 2));
+        assert_eq!(g.opposite(0, e), 2);
+        assert_eq!(g.opposite(2, e), 0);
+    }
+
+    #[test]
+    fn rejects_self_loops_duplicates_oob() {
+        let mut g = Graph::with_nodes(3);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 }));
+        assert_eq!(
+            g.add_edge(0, 3),
+            Err(GraphError::NodeOutOfBounds { node: 3 })
+        );
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(
+            g.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge { u: 1, v: 0 })
+        );
+    }
+
+    #[test]
+    fn ports_are_insertion_ordered() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 3).unwrap();
+        let neighbors: Vec<NodeId> = g.neighbors(0).map(|(v, _)| v).collect();
+        assert_eq!(neighbors, vec![2, 1, 3]);
+        assert_eq!(g.port_towards(0, 1), Some(1));
+        assert_eq!(g.port_towards(0, 3), Some(2));
+        assert_eq!(g.port_towards(0, 0), None);
+        assert_eq!(g.neighbor_at(0, 5), None);
+    }
+
+    #[test]
+    fn edge_between_scans_smaller_side() {
+        let mut g = Graph::with_nodes(5);
+        for v in 1..5 {
+            g.add_edge(0, v).unwrap();
+        }
+        assert_eq!(g.edge_between(0, 3), Some(2));
+        assert_eq!(g.edge_between(3, 0), Some(2));
+        assert_eq!(g.edge_between(1, 2), None);
+        assert!(g.contains_edge(4, 0));
+    }
+
+    #[test]
+    fn from_edges_builds_path() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not incident")]
+    fn opposite_panics_for_foreign_edge() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        g.opposite(2, 0);
+    }
+
+    #[test]
+    fn display_is_edge_list() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.to_string(), "3 2\n0 1\n1 2\n");
+    }
+}

@@ -1,0 +1,241 @@
+//! Plain-text graph serialization.
+//!
+//! The format is the classic edge list the [`Display`](std::fmt::Display)
+//! impl of [`Graph`] emits: a header line `n m` followed by one `u v`
+//! line per edge, in edge-id order. Weighted variants append one weight
+//! token per line. Lines starting with `#` are comments.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::graph::{Graph, GraphError};
+use crate::weights::EdgeWeights;
+
+/// Errors from parsing an edge-list document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseGraphError {
+    /// The `n m` header line is missing or malformed.
+    BadHeader,
+    /// An edge line is malformed (wrong arity or non-numeric token).
+    BadEdgeLine {
+        /// 1-based line number in the input.
+        line: usize,
+    },
+    /// Fewer edge lines than the header's `m`.
+    MissingEdges {
+        /// Edges expected.
+        expected: usize,
+        /// Edges found.
+        found: usize,
+    },
+    /// The edge set is invalid (self-loop, duplicate, out of bounds).
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseGraphError::BadHeader => write!(f, "missing or malformed `n m` header"),
+            ParseGraphError::BadEdgeLine { line } => write!(f, "malformed edge on line {line}"),
+            ParseGraphError::MissingEdges { expected, found } => {
+                write!(f, "expected {expected} edges, found {found}")
+            }
+            ParseGraphError::Graph(e) => write!(f, "invalid edge: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+impl From<GraphError> for ParseGraphError {
+    fn from(e: GraphError) -> Self {
+        ParseGraphError::Graph(e)
+    }
+}
+
+/// Parses the edge-list format produced by `Graph`'s `Display`.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_graph::{generators, io};
+///
+/// let g = generators::cycle(5);
+/// let text = g.to_string();
+/// let parsed = io::parse_graph(&text).unwrap();
+/// assert_eq!(parsed, g);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed input.
+pub fn parse_graph(text: &str) -> Result<Graph, ParseGraphError> {
+    let mut lines = meaningful_lines(text);
+    let (_, header) = lines.next().ok_or(ParseGraphError::BadHeader)?;
+    let mut header_tokens = header.split_whitespace();
+    let n: usize = parse_token(header_tokens.next()).ok_or(ParseGraphError::BadHeader)?;
+    let m: usize = parse_token(header_tokens.next()).ok_or(ParseGraphError::BadHeader)?;
+    if header_tokens.next().is_some() {
+        return Err(ParseGraphError::BadHeader);
+    }
+    let mut graph = Graph::with_nodes(n);
+    let mut found = 0;
+    for (line_no, line) in lines {
+        let mut tokens = line.split_whitespace();
+        let u: usize =
+            parse_token(tokens.next()).ok_or(ParseGraphError::BadEdgeLine { line: line_no })?;
+        let v: usize =
+            parse_token(tokens.next()).ok_or(ParseGraphError::BadEdgeLine { line: line_no })?;
+        if tokens.next().is_some() {
+            return Err(ParseGraphError::BadEdgeLine { line: line_no });
+        }
+        graph.add_edge(u, v)?;
+        found += 1;
+    }
+    if found != m {
+        return Err(ParseGraphError::MissingEdges { expected: m, found });
+    }
+    Ok(graph)
+}
+
+/// Serializes a graph together with one weight per edge (appended as a
+/// third token on each edge line, via the weight's `Display`).
+pub fn write_weighted<W: std::fmt::Display + Clone>(
+    graph: &Graph,
+    weights: &EdgeWeights<W>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", graph.node_count(), graph.edge_count());
+    for (e, (u, v)) in graph.edges() {
+        let _ = writeln!(out, "{u} {v} {}", weights.weight(e));
+    }
+    out
+}
+
+/// Parses the weighted edge-list format of [`write_weighted`]; weights
+/// parse through `W::from_str`.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed input or unparsable weights.
+pub fn parse_weighted<W>(text: &str) -> Result<(Graph, EdgeWeights<W>), ParseGraphError>
+where
+    W: FromStr + Clone,
+{
+    let mut lines = meaningful_lines(text);
+    let (_, header) = lines.next().ok_or(ParseGraphError::BadHeader)?;
+    let mut header_tokens = header.split_whitespace();
+    let n: usize = parse_token(header_tokens.next()).ok_or(ParseGraphError::BadHeader)?;
+    let m: usize = parse_token(header_tokens.next()).ok_or(ParseGraphError::BadHeader)?;
+    let mut graph = Graph::with_nodes(n);
+    let mut weights: Vec<W> = Vec::new();
+    for (line_no, line) in lines {
+        let bad = ParseGraphError::BadEdgeLine { line: line_no };
+        let mut tokens = line.split_whitespace();
+        let u: usize = parse_token(tokens.next()).ok_or(bad.clone())?;
+        let v: usize = parse_token(tokens.next()).ok_or(bad.clone())?;
+        let w: W = tokens
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(bad.clone())?;
+        if tokens.next().is_some() {
+            return Err(bad);
+        }
+        graph.add_edge(u, v)?;
+        weights.push(w);
+    }
+    if weights.len() != m {
+        return Err(ParseGraphError::MissingEdges {
+            expected: m,
+            found: weights.len(),
+        });
+    }
+    let ew = EdgeWeights::from_vec(&graph, weights);
+    Ok((graph, ew))
+}
+
+fn meaningful_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+}
+
+fn parse_token<T: FromStr>(token: Option<&str>) -> Option<T> {
+    token.and_then(|t| t.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn display_parse_round_trip() {
+        for g in [
+            generators::cycle(7),
+            generators::grid(3, 3),
+            generators::star(5),
+            Graph::with_nodes(4), // edgeless
+        ] {
+            let text = g.to_string();
+            assert_eq!(parse_graph(&text).unwrap(), g, "round trip failed");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a triangle\n3 3\n\n0 1\n# middle comment\n1 2\n0 2\n";
+        let g = parse_graph(text).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.contains_edge(0, 2));
+    }
+
+    #[test]
+    fn header_errors() {
+        assert_eq!(parse_graph(""), Err(ParseGraphError::BadHeader));
+        assert_eq!(parse_graph("x y\n"), Err(ParseGraphError::BadHeader));
+        assert_eq!(parse_graph("3 1 9\n0 1\n"), Err(ParseGraphError::BadHeader));
+    }
+
+    #[test]
+    fn edge_errors() {
+        assert_eq!(
+            parse_graph("3 1\n0\n"),
+            Err(ParseGraphError::BadEdgeLine { line: 2 })
+        );
+        assert_eq!(
+            parse_graph("3 2\n0 1\n"),
+            Err(ParseGraphError::MissingEdges {
+                expected: 2,
+                found: 1
+            })
+        );
+        assert!(matches!(
+            parse_graph("2 1\n0 0\n"),
+            Err(ParseGraphError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn weighted_round_trip() {
+        let g = generators::path(4);
+        let w = EdgeWeights::from_fn(&g, |e| (e as u64 + 1) * 10);
+        let text = write_weighted(&g, &w);
+        let (g2, w2): (Graph, EdgeWeights<u64>) = parse_weighted(&text).unwrap();
+        assert_eq!(g2, g);
+        for e in 0..g.edge_count() {
+            assert_eq!(w2.weight(e), w.weight(e));
+        }
+    }
+
+    #[test]
+    fn weighted_rejects_missing_weight() {
+        assert_eq!(
+            parse_weighted::<u64>("2 1\n0 1\n"),
+            Err(ParseGraphError::BadEdgeLine { line: 2 })
+        );
+    }
+
+    use crate::Graph;
+}

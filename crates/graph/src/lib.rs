@@ -1,0 +1,36 @@
+//! # cpr-graph — the graph substrate for compact policy routing
+//!
+//! Port-labelled simple undirected graphs, edge weightings over routing
+//! algebras, unweighted traversal, and the topology generators the paper's
+//! experiments need — including the Fig. 1 counterexample graphs and the
+//! Fig. 2 Fraigniaud–Gavoille lower-bound family.
+//!
+//! The graph type exposes neighbours through *local ports* (indices into a
+//! node's adjacency list) because the compact-routing model measures
+//! routing tables in bits and forwarding decisions in `⌈log deg(v)⌉`-bit
+//! port numbers, never in global node identifiers.
+//!
+//! ```
+//! use cpr_algebra::policies::ShortestPath;
+//! use cpr_graph::{generators, traversal, EdgeWeights};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let g = generators::gnp_connected(64, 0.08, &mut rng);
+//! assert!(traversal::is_connected(&g));
+//! let weights = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+//! assert_eq!(weights.len(), g.edge_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+mod graph;
+pub mod io;
+pub mod metrics;
+pub mod traversal;
+mod weights;
+
+pub use graph::{EdgeId, Graph, GraphError, NodeId, Port};
+pub use weights::EdgeWeights;

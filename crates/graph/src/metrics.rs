@@ -1,0 +1,149 @@
+//! Topology metrics, used by the experiment harness to characterize the
+//! graphs the schemes are measured on (degree structure drives both the
+//! `log d` factors in the memory bounds and the cluster geometry of the
+//! landmark schemes).
+
+use crate::graph::{Graph, NodeId};
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree `d` (the paper's `d`).
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+}
+
+/// Computes the degree statistics.
+///
+/// # Panics
+///
+/// Panics on the empty graph.
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    assert!(graph.node_count() > 0, "empty graph has no degrees");
+    let mut degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+    degrees.sort_unstable();
+    DegreeStats {
+        min: degrees[0],
+        max: *degrees.last().expect("non-empty"),
+        mean: 2.0 * graph.edge_count() as f64 / graph.node_count() as f64,
+        median: degrees[degrees.len() / 2],
+    }
+}
+
+/// The degree histogram: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = vec![0; graph.max_degree() + 1];
+    for v in graph.nodes() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+/// The local clustering coefficient of `v`: the fraction of `v`'s
+/// neighbour pairs that are themselves adjacent (`None` for degree < 2).
+pub fn local_clustering(graph: &Graph, v: NodeId) -> Option<f64> {
+    let neighbors: Vec<NodeId> = graph.neighbors(v).map(|(u, _)| u).collect();
+    let k = neighbors.len();
+    if k < 2 {
+        return None;
+    }
+    let mut closed = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if graph.contains_edge(neighbors[i], neighbors[j]) {
+                closed += 1;
+            }
+        }
+    }
+    Some(closed as f64 / (k * (k - 1) / 2) as f64)
+}
+
+/// The average clustering coefficient over nodes of degree ≥ 2
+/// (Watts–Strogatz definition); 0.0 when no such node exists.
+pub fn average_clustering(graph: &Graph) -> f64 {
+    let values: Vec<f64> = graph
+        .nodes()
+        .filter_map(|v| local_clustering(graph, v))
+        .collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Number of triangles in the graph, each counted once: a triangle
+/// `{a < b < c}` is detected exactly at its unique lowest edge `{a, b}`
+/// by scanning for a common neighbour `c` above both endpoints.
+pub fn triangle_count(graph: &Graph) -> usize {
+    let mut count = 0;
+    for (_, (u, v)) in graph.edges() {
+        for (w, _) in graph.neighbors(u) {
+            if w > u && w > v && graph.contains_edge(v, w) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_stats_of_star() {
+        let g = generators::star(6);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert!((s.mean - 2.0 * 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.median, 1);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = generators::grid(3, 4);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 12);
+        assert_eq!(hist[2], 4); // corners
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = generators::complete(5);
+        assert_eq!(average_clustering(&g), 1.0);
+        assert_eq!(local_clustering(&g, 0), Some(1.0));
+    }
+
+    #[test]
+    fn clustering_of_tree_is_zero() {
+        let g = generators::balanced_tree(2, 3);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn leaf_has_no_clustering() {
+        let g = generators::star(4);
+        assert_eq!(local_clustering(&g, 1), None);
+        assert_eq!(local_clustering(&g, 0), Some(0.0));
+    }
+
+    #[test]
+    fn triangles_counted_once() {
+        let g = generators::complete(4); // C(4,3) = 4 triangles
+        assert_eq!(triangle_count(&g), 4);
+        let tri = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(triangle_count(&tri), 1);
+        let tree = generators::path(5);
+        assert_eq!(triangle_count(&tree), 0);
+    }
+
+    use crate::Graph;
+}

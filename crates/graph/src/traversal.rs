@@ -1,0 +1,176 @@
+//! Unweighted traversal: BFS, connectivity, components, diameter.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+
+/// BFS hop distances from `source`; `None` for unreachable nodes.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_graph::{generators, traversal};
+///
+/// let g = generators::path(4);
+/// assert_eq!(traversal::bfs_distances(&g, 0), vec![Some(0), Some(1), Some(2), Some(3)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    assert!(source < graph.node_count(), "source out of bounds");
+    let mut dist = vec![None; graph.node_count()];
+    dist[source] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for (v, _) in graph.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS parents from `source`: `parent[v]` is the predecessor of `v` on a
+/// minimum-hop path from `source` (`None` for the source itself and for
+/// unreachable nodes).
+pub fn bfs_parents(graph: &Graph, source: NodeId) -> Vec<Option<NodeId>> {
+    assert!(source < graph.node_count(), "source out of bounds");
+    let mut parent = vec![None; graph.node_count()];
+    let mut seen = vec![false; graph.node_count()];
+    seen[source] = true;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in graph.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// The connected components: `(component_of, count)` where
+/// `component_of[v]` is a dense component index in `0..count`.
+pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
+    let n = graph.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = count;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in graph.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// `true` when the graph is connected (the empty graph is connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.node_count() == 0 || connected_components(graph).1 == 1
+}
+
+/// The eccentricity of `v`: the maximum hop distance from `v` to any
+/// reachable node, or `None` when some node is unreachable.
+pub fn eccentricity(graph: &Graph, v: NodeId) -> Option<u32> {
+    let dist = bfs_distances(graph, v);
+    dist.into_iter()
+        .collect::<Option<Vec<_>>>()?
+        .into_iter()
+        .max()
+}
+
+/// The exact hop diameter, or `None` for disconnected or empty graphs.
+/// Runs one BFS per node — fine for experiment-sized graphs.
+pub fn diameter(graph: &Graph) -> Option<u32> {
+    if graph.node_count() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in graph.nodes() {
+        best = best.max(eccentricity(graph, v)?);
+    }
+    Some(best)
+}
+
+/// `true` when the graph is a tree: connected with `m = n − 1`.
+pub fn is_tree(graph: &Graph) -> bool {
+    graph.node_count() > 0 && graph.edge_count() == graph.node_count() - 1 && is_connected(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = generators::cycle(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(
+            d,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(2), Some(1)]
+        );
+    }
+
+    #[test]
+    fn parents_give_min_hop_tree() {
+        let g = generators::star(5); // center 0
+        let p = bfs_parents(&g, 1);
+        assert_eq!(p[1], None);
+        assert_eq!(p[0], Some(1));
+        assert_eq!(p[2], Some(0));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = crate::Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&generators::path(5)), Some(4));
+        assert_eq!(diameter(&generators::cycle(6)), Some(3));
+        assert_eq!(diameter(&generators::complete(4)), Some(1));
+        assert_eq!(diameter(&generators::hypercube(3)), Some(3));
+        let disconnected = crate::Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(diameter(&disconnected), None);
+        assert_eq!(diameter(&crate::Graph::new()), None);
+    }
+
+    #[test]
+    fn tree_detection() {
+        assert!(is_tree(&generators::path(5)));
+        assert!(is_tree(&generators::star(7)));
+        assert!(!is_tree(&generators::cycle(4)));
+        assert!(!is_tree(&crate::Graph::from_edges(3, [(0, 1)]).unwrap()));
+    }
+
+    #[test]
+    fn empty_graph_is_connected_by_convention() {
+        assert!(is_connected(&crate::Graph::new()));
+    }
+}

@@ -1,0 +1,170 @@
+//! Edge weightings: assigning algebra weights to the edges of a graph.
+//!
+//! Topology and weighting are separate so that one graph can be weighted
+//! under several algebras in the same experiment (exactly how the paper's
+//! Table 1 compares policies on common topologies).
+
+use cpr_algebra::{PathWeight, RoutingAlgebra, SampleWeights};
+use rand::Rng;
+
+use crate::graph::{EdgeId, Graph};
+
+/// A weighting of a graph's edges with the finite weights of some algebra.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::policies::ShortestPath;
+/// use cpr_graph::{generators, EdgeWeights};
+/// use rand::SeedableRng;
+///
+/// let g = generators::cycle(5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+/// assert_eq!(w.len(), g.edge_count());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeWeights<W> {
+    weights: Vec<W>,
+}
+
+impl<W: Clone> EdgeWeights<W> {
+    /// Creates a weighting from one weight per edge, in edge-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != graph.edge_count()`.
+    pub fn from_vec(graph: &Graph, weights: Vec<W>) -> Self {
+        assert_eq!(
+            weights.len(),
+            graph.edge_count(),
+            "one weight per edge required"
+        );
+        EdgeWeights { weights }
+    }
+
+    /// Creates a weighting where every edge has the same weight.
+    pub fn uniform(graph: &Graph, weight: W) -> Self {
+        EdgeWeights {
+            weights: vec![weight; graph.edge_count()],
+        }
+    }
+
+    /// Creates a weighting by evaluating `f` on each edge id.
+    pub fn from_fn(graph: &Graph, mut f: impl FnMut(EdgeId) -> W) -> Self {
+        EdgeWeights {
+            weights: (0..graph.edge_count()).map(&mut f).collect(),
+        }
+    }
+
+    /// Creates a random weighting using the algebra's weight sampler.
+    pub fn random<A, R>(graph: &Graph, alg: &A, rng: &mut R) -> Self
+    where
+        A: SampleWeights<W = W>,
+        R: Rng + ?Sized,
+    {
+        EdgeWeights {
+            weights: alg.random_weights(rng, graph.edge_count()),
+        }
+    }
+
+    /// The weight of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn weight(&self, e: EdgeId) -> &W {
+        &self.weights[e]
+    }
+
+    /// Replaces the weight of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn set(&mut self, e: EdgeId, w: W) {
+        self.weights[e] = w;
+    }
+
+    /// Number of weighted edges.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when the graph had no edges.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterates `(EdgeId, &W)` in edge order.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, &W)> {
+        self.weights.iter().enumerate()
+    }
+
+    /// The weight of a node path under `alg`, evaluated left-
+    /// associatively. Returns `φ` if the node sequence is not a path in
+    /// `graph` (or is a single node — the trivial path carries no weight).
+    pub fn path_weight<A>(&self, alg: &A, graph: &Graph, path: &[crate::NodeId]) -> PathWeight<W>
+    where
+        A: RoutingAlgebra<W = W>,
+        W: std::fmt::Debug + PartialEq,
+    {
+        let mut edge_weights = Vec::with_capacity(path.len().saturating_sub(1));
+        for hop in path.windows(2) {
+            match graph.edge_between(hop[0], hop[1]) {
+                Some(e) => edge_weights.push(self.weight(e).clone()),
+                None => return PathWeight::Infinite,
+            }
+        }
+        alg.weigh_path_left(edge_weights.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use cpr_algebra::policies::ShortestPath;
+
+    #[test]
+    fn uniform_and_from_fn() {
+        let g = generators::path(4);
+        let u = EdgeWeights::uniform(&g, 7u64);
+        assert_eq!(*u.weight(2), 7);
+        let f = EdgeWeights::from_fn(&g, |e| e as u64 + 1);
+        assert_eq!(*f.weight(0), 1);
+        assert_eq!(*f.weight(2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per edge")]
+    fn from_vec_length_checked() {
+        let g = generators::path(4);
+        EdgeWeights::from_vec(&g, vec![1u64, 2]);
+    }
+
+    #[test]
+    fn path_weight_sums_along_path() {
+        let g = generators::path(4); // 0-1-2-3, edges 0,1,2
+        let w = EdgeWeights::from_fn(&g, |e| e as u64 + 1); // 1,2,3
+        assert_eq!(
+            w.path_weight(&ShortestPath, &g, &[0, 1, 2, 3]),
+            PathWeight::Finite(6)
+        );
+        assert_eq!(
+            w.path_weight(&ShortestPath, &g, &[0, 2]),
+            PathWeight::Infinite
+        );
+        assert_eq!(w.path_weight(&ShortestPath, &g, &[2]), PathWeight::Infinite);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let g = generators::path(3);
+        let mut w = EdgeWeights::uniform(&g, 1u64);
+        w.set(1, 9);
+        assert_eq!(*w.weight(1), 9);
+        assert_eq!(w.iter().count(), 2);
+        assert!(!w.is_empty());
+    }
+}

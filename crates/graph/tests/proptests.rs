@@ -1,0 +1,154 @@
+//! Property-based tests for the graph substrate: structural invariants of
+//! the graph type and every generator.
+
+use cpr_graph::{generators, io, metrics, traversal, Graph};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Handshake lemma: degrees sum to 2m, for every generator.
+    #[test]
+    fn degree_sum_is_twice_edges(n in 4usize..40, seed in any::<u64>()) {
+        let graphs = [
+            generators::gnp(n, 0.3, &mut rng(seed)),
+            generators::gnm(n, n.min(n * (n - 1) / 2), &mut rng(seed)),
+            generators::random_tree(n, &mut rng(seed)),
+            generators::barabasi_albert(n.max(4), 2, &mut rng(seed)),
+        ];
+        for g in graphs {
+            let sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+            prop_assert_eq!(sum, 2 * g.edge_count());
+        }
+    }
+
+    /// Prüfer decoding always yields a tree, and trees have diameter
+    /// bounds consistent with BFS.
+    #[test]
+    fn random_trees_are_trees(n in 2usize..60, seed in any::<u64>()) {
+        let g = generators::random_tree(n, &mut rng(seed));
+        prop_assert!(traversal::is_tree(&g));
+        let d = traversal::diameter(&g).unwrap();
+        prop_assert!((d as usize) < n);
+        prop_assert_eq!(metrics::triangle_count(&g), 0);
+    }
+
+    /// gnp_connected really is connected, whatever p.
+    #[test]
+    fn gnp_connected_is_connected(n in 2usize..50, p in 0.0f64..0.4, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, p, &mut rng(seed));
+        prop_assert!(traversal::is_connected(&g));
+    }
+
+    /// Port labelling is consistent: `neighbor_at(v, port_towards(v, u)) == u`.
+    #[test]
+    fn ports_and_neighbors_agree(n in 3usize..30, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, 0.25, &mut rng(seed));
+        for v in g.nodes() {
+            for (p, (u, e)) in g.neighbors(v).enumerate() {
+                prop_assert_eq!(g.port_towards(v, u), Some(p));
+                prop_assert_eq!(g.neighbor_at(v, p), Some((u, e)));
+                prop_assert_eq!(g.opposite(v, e), u);
+                prop_assert_eq!(g.edge_between(v, u), Some(e));
+            }
+        }
+    }
+
+    /// BFS distances satisfy the edge relaxation inequality everywhere.
+    #[test]
+    fn bfs_distances_are_consistent(n in 3usize..40, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, 0.2, &mut rng(seed));
+        let dist = traversal::bfs_distances(&g, 0);
+        for (_, (u, v)) in g.edges() {
+            let du = dist[u].unwrap();
+            let dv = dist[v].unwrap();
+            prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+        }
+    }
+
+    /// Serialization round-trips for arbitrary connected graphs.
+    #[test]
+    fn edge_list_round_trip(n in 2usize..30, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, 0.3, &mut rng(seed));
+        let parsed = io::parse_graph(&g.to_string()).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    /// The lower-bound family always has the advertised shape.
+    #[test]
+    fn family_shape(p in 2usize..4, delta in 2usize..4, seed in any::<u64>()) {
+        let space = (delta as u64).pow(p as u32);
+        let t_count = (space / 2).max(1) as usize;
+        let fam = generators::random_lower_bound_family(p, delta, t_count, &mut rng(seed));
+        prop_assert_eq!(fam.graph.node_count(), p + p * delta + t_count);
+        prop_assert_eq!(fam.graph.edge_count(), p * delta + t_count * p);
+        // Every centre reaches every target in exactly 2 hops.
+        for &c in &fam.centers {
+            let dist = traversal::bfs_distances(&fam.graph, c);
+            for (t, _) in &fam.targets {
+                prop_assert_eq!(dist[*t], Some(2));
+            }
+        }
+    }
+
+    /// Watts–Strogatz keeps the node count and an edge count near the
+    /// lattice's, for any rewiring probability.
+    #[test]
+    fn watts_strogatz_shape(n in 8usize..40, beta in 0.0f64..1.0, seed in any::<u64>()) {
+        let g = generators::watts_strogatz(n, 4, beta, &mut rng(seed));
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.edge_count() <= 2 * n);
+        prop_assert!(g.edge_count() >= n); // few rewires get dropped
+    }
+}
+
+#[test]
+fn hypercube_is_vertex_transitive_in_degree() {
+    for d in 1..=6u32 {
+        let g = generators::hypercube(d);
+        assert!(g.nodes().all(|v| g.degree(v) == d as usize));
+        assert_eq!(traversal::diameter(&g), Some(d));
+    }
+}
+
+#[test]
+fn balanced_tree_counts() {
+    let g = generators::balanced_tree(3, 3);
+    assert_eq!(g.node_count(), 1 + 3 + 9 + 27);
+    assert!(traversal::is_tree(&g));
+}
+
+#[test]
+fn grid_diameter_is_manhattan() {
+    let g = generators::grid(4, 7);
+    assert_eq!(traversal::diameter(&g), Some(3 + 6));
+}
+
+#[test]
+fn fig1_graphs_are_the_paper_shapes() {
+    let a = generators::fig1a();
+    assert_eq!(
+        (a.graph.node_count(), a.graph.edge_count()),
+        (3, 3),
+        "fig1a is the triangle"
+    );
+    let c = generators::fig1c();
+    assert_eq!(traversal::diameter(&c.graph), Some(2));
+    assert_eq!(metrics::triangle_count(&c.graph), 0);
+}
+
+#[test]
+fn metrics_on_known_graph() {
+    // Two triangles sharing an edge: the "bowtie" minus the cut vertex.
+    let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)]).unwrap();
+    assert_eq!(metrics::triangle_count(&g), 2);
+    let stats = metrics::degree_stats(&g);
+    assert_eq!(stats.max, 3);
+    assert_eq!(stats.min, 2);
+    assert!(metrics::average_clustering(&g) > 0.5);
+}

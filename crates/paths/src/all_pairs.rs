@@ -1,0 +1,148 @@
+//! All-pairs preferred paths.
+
+use cpr_algebra::{PathWeight, RoutingAlgebra};
+use cpr_graph::{EdgeWeights, Graph, NodeId};
+
+use crate::dijkstra::dijkstra;
+use crate::tree::PreferredTree;
+
+/// All-pairs preferred paths for a regular algebra: one
+/// [`PreferredTree`] per source.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::{policies::ShortestPath, PathWeight};
+/// use cpr_graph::{generators, EdgeWeights};
+/// use cpr_paths::AllPairs;
+///
+/// let g = generators::cycle(5);
+/// let w = EdgeWeights::uniform(&g, 1u64);
+/// let ap = AllPairs::compute(&g, &w, &ShortestPath);
+/// assert_eq!(*ap.weight(1, 3), PathWeight::Finite(2));
+/// assert_eq!(ap.path(1, 3), Some(vec![1, 2, 3]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AllPairs<W> {
+    trees: Vec<PreferredTree<W>>,
+}
+
+impl<W: Clone> AllPairs<W> {
+    /// Runs the generalized Dijkstra from every source.
+    ///
+    /// The algebra must be regular for the results to be preferred paths
+    /// (see [`dijkstra`]).
+    pub fn compute<A: RoutingAlgebra<W = W>>(
+        graph: &Graph,
+        weights: &EdgeWeights<W>,
+        alg: &A,
+    ) -> Self {
+        AllPairs {
+            trees: graph
+                .nodes()
+                .map(|s| dijkstra(graph, weights, alg, s))
+                .collect(),
+        }
+    }
+
+    /// The per-source tree rooted at `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of bounds.
+    pub fn tree(&self, s: NodeId) -> &PreferredTree<W> {
+        &self.trees[s]
+    }
+
+    /// The preferred weight from `s` to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn weight(&self, s: NodeId, t: NodeId) -> &PathWeight<W> {
+        self.trees[s].weight(t)
+    }
+
+    /// The preferred `s → t` path, or `None` when unreachable.
+    pub fn path(&self, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+        self.trees[s].path_to(t)
+    }
+
+    /// Number of sources (= nodes).
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Iterates `(source, tree)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &PreferredTree<W>)> {
+        self.trees.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_algebra::policies::ShortestPath;
+    use cpr_algebra::RoutingAlgebra;
+    use cpr_graph::generators;
+
+    #[test]
+    fn symmetric_weights_on_undirected_graph() {
+        let g = generators::grid(3, 3);
+        let w = EdgeWeights::from_fn(&g, |e| (e as u64 % 5) + 1);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t {
+                    continue;
+                }
+                assert_eq!(
+                    ShortestPath.compare_pw(ap.weight(s, t), ap.weight(t, s)),
+                    std::cmp::Ordering::Equal,
+                    "asymmetric weight between {s} and {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        // The paper's footnote 6: w(p*_{u,v}) ⪯ w(p*_{u,w}) ⊕ w(p*_{w,v}).
+        let g = generators::gnp_connected(20, 0.2, &mut {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(3)
+        });
+        let w = EdgeWeights::from_fn(&g, |e| (e as u64 % 7) + 1);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                for x in g.nodes() {
+                    if u == v || u == x || v == x {
+                        continue;
+                    }
+                    let via = ShortestPath.combine_pw(ap.weight(u, x), ap.weight(x, v));
+                    assert!(
+                        !ShortestPath.compare_pw(ap.weight(u, v), &via).is_gt(),
+                        "triangle inequality violated at ({u},{x},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iter_covers_all_sources() {
+        let g = generators::path(4);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        assert_eq!(ap.len(), 4);
+        assert!(!ap.is_empty());
+        assert_eq!(ap.iter().count(), 4);
+        assert_eq!(ap.tree(2).source(), 2);
+    }
+}

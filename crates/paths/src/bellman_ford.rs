@@ -1,0 +1,202 @@
+//! Generalized Bellman–Ford: round-based relaxation sweeps.
+//!
+//! The distributed counterpart of [`dijkstra`](crate::dijkstra): nodes
+//! repeatedly relax their neighbours' labels, exactly like a
+//! distance-vector protocol converging. For regular algebras the fixpoint
+//! equals the Dijkstra tree; the routine also reports whether a fixpoint
+//! was reached within `n` rounds, which fails for algebras/weightings
+//! where distance-vector routing would count forever.
+
+use std::cmp::Ordering;
+
+use cpr_algebra::{PathWeight, RoutingAlgebra};
+use cpr_graph::{EdgeWeights, Graph, NodeId};
+
+use crate::tree::PreferredTree;
+
+/// The outcome of a Bellman–Ford run.
+#[derive(Clone, Debug)]
+pub struct BellmanFordResult<W> {
+    /// The per-destination labels and parents at termination.
+    pub tree: PreferredTree<W>,
+    /// `true` when a fixpoint was reached within `n` rounds — guaranteed
+    /// for regular algebras on finite graphs.
+    pub converged: bool,
+    /// Rounds executed until fixpoint (or the cutoff).
+    pub rounds: u32,
+}
+
+/// Single-source preferred paths by in-place relaxation sweeps
+/// (Gauss–Seidel style: a sweep reads labels updated earlier in the same
+/// sweep, so convergence is often faster than one hop per round; the
+/// message-accurate synchronous protocol lives in `cpr-sim`).
+///
+/// Labels improve monotonically in `(⪯, hops)`, so for monotone, isotone
+/// algebras the computation reaches the preferred weights after at most
+/// `n − 1` rounds. A run that still changes labels in round `n` is reported
+/// as non-converged.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::policies::ShortestPath;
+/// use cpr_graph::{generators, EdgeWeights};
+/// use cpr_paths::bellman_ford;
+///
+/// let g = generators::cycle(6);
+/// let w = EdgeWeights::uniform(&g, 2u64);
+/// let result = bellman_ford(&g, &w, &ShortestPath, 0);
+/// assert!(result.converged);
+/// assert_eq!(result.tree.path_to(3).unwrap().len(), 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or the weighting does not match the
+/// graph.
+pub fn bellman_ford<A: RoutingAlgebra>(
+    graph: &Graph,
+    weights: &EdgeWeights<A::W>,
+    alg: &A,
+    source: NodeId,
+) -> BellmanFordResult<A::W> {
+    let n = graph.node_count();
+    assert!(source < n, "source out of bounds");
+    assert_eq!(weights.len(), graph.edge_count(), "weighting mismatch");
+
+    let mut weight: Vec<PathWeight<A::W>> = vec![PathWeight::Infinite; n];
+    let mut parent: Vec<Option<(NodeId, cpr_graph::EdgeId)>> = vec![None; n];
+    let mut hops: Vec<u32> = vec![0; n];
+
+    // Seed with the source's incident edges (the trivial path carries no
+    // weight, see `dijkstra`).
+    for (v, e) in graph.neighbors(source) {
+        let w = PathWeight::Finite(weights.weight(e).clone());
+        if parent[v].is_none() || alg.compare_pw(&w, &weight[v]) == Ordering::Less {
+            weight[v] = w;
+            parent[v] = Some((source, e));
+            hops[v] = 1;
+        }
+    }
+
+    let mut rounds = 0;
+    let mut converged = false;
+    while rounds < n as u32 {
+        rounds += 1;
+        let mut changed = false;
+        for u in graph.nodes() {
+            if u == source || parent[u].is_none() {
+                continue;
+            }
+            for (v, e) in graph.neighbors(u) {
+                if v == source {
+                    continue;
+                }
+                let cand =
+                    alg.combine_pw(&weight[u], &PathWeight::Finite(weights.weight(e).clone()));
+                if cand.is_infinite() {
+                    continue;
+                }
+                let cand_hops = hops[u] + 1;
+                let take = match (parent[v].is_some(), alg.compare_pw(&cand, &weight[v])) {
+                    (false, _) => true,
+                    (true, Ordering::Less) => true,
+                    (true, Ordering::Equal) => cand_hops < hops[v],
+                    (true, Ordering::Greater) => false,
+                };
+                // Never relax through v's own subtree entry point in a way
+                // that creates a 2-cycle with stale data: parent u must not
+                // itself point at v.
+                if take && parent[u].map(|(p, _)| p) != Some(v) {
+                    weight[v] = cand.clone();
+                    parent[v] = Some((u, e));
+                    hops[v] = cand_hops;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    BellmanFordResult {
+        tree: PreferredTree::from_parts(source, weight, parent, hops),
+        converged,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use cpr_algebra::policies::{self, ShortestPath, WidestPath};
+    use cpr_graph::generators;
+    use rand::SeedableRng;
+
+    #[test]
+    fn agrees_with_dijkstra_on_random_graphs_shortest_path() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..5 {
+            let g = generators::gnp_connected(40, 0.12, &mut rng);
+            let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+            let bf = bellman_ford(&g, &w, &ShortestPath, 0);
+            assert!(bf.converged);
+            let dj = dijkstra(&g, &w, &ShortestPath, 0);
+            for v in g.nodes() {
+                assert_eq!(
+                    bf.tree.weight(v),
+                    dj.weight(v),
+                    "weight mismatch at node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_dijkstra_for_widest_and_ws() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let g = generators::barabasi_albert(50, 2, &mut rng);
+        let wp = EdgeWeights::random(&g, &WidestPath, &mut rng);
+        let bf = bellman_ford(&g, &wp, &WidestPath, 3);
+        let dj = dijkstra(&g, &wp, &WidestPath, 3);
+        assert!(bf.converged);
+        for v in g.nodes() {
+            assert_eq!(bf.tree.weight(v), dj.weight(v));
+        }
+        let ws = policies::widest_shortest();
+        let www = EdgeWeights::random(&g, &ws, &mut rng);
+        let bf = bellman_ford(&g, &www, &ws, 3);
+        let dj = dijkstra(&g, &www, &ws, 3);
+        assert!(bf.converged);
+        for v in g.nodes() {
+            assert_eq!(bf.tree.weight(v), dj.weight(v));
+        }
+    }
+
+    #[test]
+    fn reports_rounds() {
+        let g = generators::path(6);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let r = bellman_ford(&g, &w, &ShortestPath, 0);
+        assert!(r.converged);
+        // In-place sweeps visit nodes in id order, so a path graph labelled
+        // 0..n settles in one productive sweep plus one confirming sweep.
+        assert!(
+            (1..=g.node_count() as u32).contains(&r.rounds),
+            "rounds = {}",
+            r.rounds
+        );
+    }
+
+    #[test]
+    fn unreachable_stay_phi() {
+        let g = cpr_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let r = bellman_ford(&g, &w, &ShortestPath, 0);
+        assert!(r.converged);
+        assert!(r.tree.weight(2).is_infinite());
+    }
+}

@@ -1,0 +1,257 @@
+//! Exhaustive ground-truth preferred paths by simple-path enumeration.
+//!
+//! The paper defines a routing policy as selecting from the set of *paths*
+//! (walks without repeated nodes) between two endpoints, so enumerating all
+//! simple paths *is* the definition — no algorithmic cleverness, and no
+//! regularity assumptions. This is exponential in the worst case and meant
+//! for small graphs: validating [`dijkstra`](crate::dijkstra) on regular
+//! algebras, and computing correct preferred paths for non-isotone algebras
+//! (shortest-widest) where Dijkstra is unsound.
+
+use std::cmp::Ordering;
+
+use cpr_algebra::{PathWeight, RoutingAlgebra};
+use cpr_graph::{EdgeWeights, Graph, NodeId};
+
+/// Preferred paths from one source, with explicit per-destination paths
+/// (no tree structure is assumed — non-isotone algebras need none).
+#[derive(Clone, Debug)]
+pub struct SourceRouting<W> {
+    source: NodeId,
+    weight: Vec<PathWeight<W>>,
+    path: Vec<Option<Vec<NodeId>>>,
+}
+
+impl<W: Clone> SourceRouting<W> {
+    pub(crate) fn from_parts(
+        source: NodeId,
+        weight: Vec<PathWeight<W>>,
+        path: Vec<Option<Vec<NodeId>>>,
+    ) -> Self {
+        assert_eq!(weight.len(), path.len());
+        SourceRouting {
+            source,
+            weight,
+            path,
+        }
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The preferred weight to `t` (`φ` when unreachable, and for the
+    /// source itself — the trivial path carries no weight).
+    pub fn weight(&self, t: NodeId) -> &PathWeight<W> {
+        &self.weight[t]
+    }
+
+    /// The preferred path to `t` (including both endpoints), or `None`
+    /// when unreachable; the source maps to the trivial path `[source]`.
+    pub fn path_to(&self, t: NodeId) -> Option<&[NodeId]> {
+        self.path[t].as_deref()
+    }
+}
+
+struct Search<'a, A: RoutingAlgebra> {
+    graph: &'a Graph,
+    weights: &'a EdgeWeights<A::W>,
+    alg: &'a A,
+    prune: bool,
+    source: NodeId,
+    stack: Vec<NodeId>,
+    on_path: Vec<bool>,
+    best: Vec<PathWeight<A::W>>,
+    best_path: Vec<Option<Vec<NodeId>>>,
+}
+
+impl<A: RoutingAlgebra> Search<'_, A> {
+    /// Deterministic tie-breaking: better weight, then fewer hops, then
+    /// lexicographically smaller node sequence.
+    fn improves(&self, cand_w: &PathWeight<A::W>, v: NodeId) -> bool {
+        match self.alg.compare_pw(cand_w, &self.best[v]) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => match &self.best_path[v] {
+                None => true,
+                Some(p) => {
+                    self.stack.len() < p.len() || (self.stack.len() == p.len() && self.stack < *p)
+                }
+            },
+        }
+    }
+
+    /// A branch can be cut when (by monotonicity) no extension can beat
+    /// any incumbent: the current weight is `≻ best[t]` for every `t`
+    /// other than the source.
+    fn can_prune(&self, cand: &PathWeight<A::W>) -> bool {
+        self.prune
+            && self
+                .best
+                .iter()
+                .enumerate()
+                .all(|(t, b)| t == self.source || self.alg.compare_pw(cand, b) == Ordering::Greater)
+    }
+
+    fn walk(&mut self, u: NodeId, w_so_far: Option<&PathWeight<A::W>>) {
+        for (v, e) in self.graph.neighbors(u) {
+            if self.on_path[v] {
+                continue;
+            }
+            let edge_w = PathWeight::Finite(self.weights.weight(e).clone());
+            let cand = match w_so_far {
+                None => edge_w,
+                Some(w) => self.alg.combine_pw(w, &edge_w),
+            };
+            if cand.is_infinite() {
+                continue;
+            }
+            self.on_path[v] = true;
+            self.stack.push(v);
+            if self.improves(&cand, v) {
+                self.best[v] = cand.clone();
+                self.best_path[v] = Some(self.stack.clone());
+            }
+            if !self.can_prune(&cand) {
+                self.walk(v, Some(&cand));
+            }
+            self.stack.pop();
+            self.on_path[v] = false;
+        }
+    }
+}
+
+/// Exhaustive single-source preferred paths for any **monotone** algebra.
+///
+/// Enumerates simple paths depth-first. Pruning (`prune = true`) uses
+/// monotonicity — extending a path never improves its weight — and is
+/// unsound for non-monotone algebras; pass `prune = false` there for a
+/// full enumeration.
+///
+/// Ties are broken deterministically: equal-weight paths prefer fewer
+/// hops, then lexicographically smaller node sequences.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::policies;
+/// use cpr_graph::{EdgeWeights, Graph};
+/// use cpr_paths::exhaustive_preferred;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)])?;
+/// let w = EdgeWeights::from_vec(&g, vec![1u64, 1, 3]);
+/// let routing = exhaustive_preferred(&g, &w, &policies::ShortestPath, 0, true);
+/// assert_eq!(routing.path_to(2), Some(&[0, 1, 2][..]));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or the weighting does not match the
+/// graph.
+pub fn exhaustive_preferred<A: RoutingAlgebra>(
+    graph: &Graph,
+    weights: &EdgeWeights<A::W>,
+    alg: &A,
+    source: NodeId,
+    prune: bool,
+) -> SourceRouting<A::W> {
+    let n = graph.node_count();
+    assert!(source < n, "source out of bounds");
+    assert_eq!(weights.len(), graph.edge_count(), "weighting mismatch");
+
+    let mut best_path: Vec<Option<Vec<NodeId>>> = vec![None; n];
+    best_path[source] = Some(vec![source]);
+    let mut on_path = vec![false; n];
+    on_path[source] = true;
+
+    let mut search = Search {
+        graph,
+        weights,
+        alg,
+        prune,
+        source,
+        stack: vec![source],
+        on_path,
+        best: vec![PathWeight::Infinite; n],
+        best_path,
+    };
+    search.walk(source, None);
+
+    SourceRouting::from_parts(source, search.best, search.best_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use cpr_algebra::policies::{self, Capacity, ShortestPath};
+    use cpr_graph::generators;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_dijkstra_for_regular_algebras() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        for _ in 0..3 {
+            let g = generators::gnp_connected(12, 0.3, &mut rng);
+            let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+            let ex = exhaustive_preferred(&g, &w, &ShortestPath, 0, true);
+            let dj = dijkstra(&g, &w, &ShortestPath, 0);
+            for v in g.nodes() {
+                assert_eq!(ex.weight(v), dj.weight(v), "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn finds_shortest_widest_ground_truth() {
+        // 0→3 via a high-capacity long road or a low-capacity direct edge.
+        let g = cpr_graph::Graph::from_edges(4, [(0, 3), (0, 1), (1, 2), (2, 3)]).unwrap();
+        let sw = policies::shortest_widest();
+        let mk = |cap: u64, cost: u64| (Capacity::new(cap).unwrap(), cost);
+        let w = EdgeWeights::from_vec(&g, vec![mk(5, 1), mk(10, 1), mk(10, 1), mk(10, 1)]);
+        let ex = exhaustive_preferred(&g, &w, &sw, 0, true);
+        // Widest wins: capacity 10 via three hops beats capacity 5 direct.
+        assert_eq!(ex.path_to(3), Some(&[0, 1, 2, 3][..]));
+        assert_eq!(*ex.weight(3), cpr_algebra::PathWeight::Finite(mk(10, 3)));
+    }
+
+    #[test]
+    fn pruned_equals_unpruned_for_monotone() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let g = generators::gnp_connected(10, 0.35, &mut rng);
+        let sw = policies::shortest_widest();
+        let w = EdgeWeights::random(&g, &sw, &mut rng);
+        let fast = exhaustive_preferred(&g, &w, &sw, 2, true);
+        let slow = exhaustive_preferred(&g, &w, &sw, 2, false);
+        for v in g.nodes() {
+            assert_eq!(fast.weight(v), slow.weight(v), "node {v}");
+            assert_eq!(fast.path_to(v), slow.path_to(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn source_reports_trivial_path() {
+        let g = generators::path(3);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let ex = exhaustive_preferred(&g, &w, &ShortestPath, 1, true);
+        assert_eq!(ex.path_to(1), Some(&[1][..]));
+        assert!(ex.weight(1).is_infinite());
+        assert_eq!(ex.source(), 1);
+    }
+
+    #[test]
+    fn respects_phi_compositions() {
+        // Bounded budget: long way is untraversable.
+        let alg = policies::BoundedShortestPath::new(5);
+        let g = cpr_graph::Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let w = EdgeWeights::from_vec(&g, vec![3u64, 3, 5]);
+        let ex = exhaustive_preferred(&g, &w, &alg, 0, true);
+        // 0-1-2 costs 6 > 5 ⇒ φ; direct 0-2 costs 5, traversable.
+        assert_eq!(ex.path_to(2), Some(&[0, 2][..]));
+        assert_eq!(*ex.weight(2), cpr_algebra::PathWeight::Finite(5));
+    }
+}

@@ -1,0 +1,46 @@
+//! # cpr-paths — preferred-path computation over routing algebras
+//!
+//! The algorithms the paper's routing schemes stand on:
+//!
+//! * [`dijkstra`] — Sobrinho's generalized Dijkstra, exact for *regular*
+//!   (monotone + isotone) algebras, with deterministic tie-breaking;
+//! * [`bellman_ford`] — the synchronous distance-vector counterpart, with
+//!   convergence reporting;
+//! * [`exhaustive_preferred`] — ground truth by simple-path enumeration
+//!   (the policy *definition*), with monotonicity-based pruning;
+//! * [`shortest_widest_exact`] — the polynomial exact solver for the
+//!   non-isotone `SW = W × S` policy, where greedy Dijkstra is unsound;
+//! * [`AllPairs`] — all-pairs preferred trees.
+//!
+//! ```
+//! use cpr_algebra::policies::ShortestPath;
+//! use cpr_graph::{generators, EdgeWeights};
+//! use cpr_paths::{dijkstra, exhaustive_preferred};
+//!
+//! let g = generators::hypercube(3);
+//! let w = EdgeWeights::uniform(&g, 1u64);
+//! let fast = dijkstra(&g, &w, &ShortestPath, 0);
+//! let truth = exhaustive_preferred(&g, &w, &ShortestPath, 0, true);
+//! for v in g.nodes() {
+//!     assert_eq!(fast.weight(v), truth.weight(v));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod all_pairs;
+mod bellman_ford;
+mod dijkstra;
+mod exhaustive;
+mod heap;
+mod shortest_widest;
+mod tree;
+
+pub use all_pairs::AllPairs;
+pub use bellman_ford::{bellman_ford, BellmanFordResult};
+pub use dijkstra::dijkstra;
+pub use exhaustive::{exhaustive_preferred, SourceRouting};
+pub use heap::CmpHeap;
+pub use shortest_widest::{shortest_widest_exact, SwWeight};
+pub use tree::PreferredTree;

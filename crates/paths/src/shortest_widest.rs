@@ -1,0 +1,184 @@
+//! Exact polynomial-time solver for the shortest-widest path policy.
+//!
+//! `SW = W × S` is not isotone, so the generalized Dijkstra is unsound for
+//! it (Table 1 lists it as the canonical non-regular policy). It still has
+//! a polynomial exact algorithm by decomposition: compute each
+//! destination's maximum bottleneck with a widest-path Dijkstra, then for
+//! every distinct bottleneck value `b` run a cost-Dijkstra restricted to
+//! edges of capacity `≥ b` — every surviving `s–t` path has bottleneck
+//! exactly `b_t`, so the cheapest one is the shortest-widest path.
+
+use cpr_algebra::policies::{Capacity, ShortestPath, WidestPath};
+use cpr_algebra::PathWeight;
+use cpr_graph::{EdgeWeights, Graph, NodeId};
+
+use crate::dijkstra::dijkstra;
+use crate::exhaustive::SourceRouting;
+
+/// The shortest-widest weight of an edge or path: `(bottleneck, cost)`.
+pub type SwWeight = (Capacity, u64);
+
+/// Exact single-source shortest-widest paths (see module docs).
+///
+/// Runs one widest-path Dijkstra plus one cost-Dijkstra per distinct
+/// destination bottleneck value — `O(k · m log n)` with `k` distinct
+/// capacities.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::policies::Capacity;
+/// use cpr_graph::{EdgeWeights, Graph};
+/// use cpr_paths::shortest_widest_exact;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)])?;
+/// let mk = |cap, cost| (Capacity::new(cap).unwrap(), cost);
+/// // Direct 0–2 is cheap but narrow; the detour is wide.
+/// let w = EdgeWeights::from_vec(&g, vec![mk(10, 1), mk(10, 1), mk(1, 1)]);
+/// let routing = shortest_widest_exact(&g, &w, 0);
+/// assert_eq!(routing.path_to(2), Some(&[0, 1, 2][..]));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or the weighting does not match the
+/// graph.
+pub fn shortest_widest_exact(
+    graph: &Graph,
+    weights: &EdgeWeights<SwWeight>,
+    source: NodeId,
+) -> SourceRouting<SwWeight> {
+    let n = graph.node_count();
+    assert!(source < n, "source out of bounds");
+    assert_eq!(weights.len(), graph.edge_count(), "weighting mismatch");
+
+    // Phase 1: per-destination maximum bottleneck.
+    let caps = EdgeWeights::from_vec(
+        graph,
+        (0..graph.edge_count())
+            .map(|e| weights.weight(e).0)
+            .collect(),
+    );
+    let widest = dijkstra(graph, &caps, &WidestPath, source);
+
+    let mut out_weight: Vec<PathWeight<SwWeight>> = vec![PathWeight::Infinite; n];
+    let mut out_path: Vec<Option<Vec<NodeId>>> = vec![None; n];
+    out_path[source] = Some(vec![source]);
+
+    // Phase 2: one filtered cost-Dijkstra per distinct bottleneck value.
+    let mut bottlenecks: Vec<Capacity> = graph
+        .nodes()
+        .filter(|&t| t != source)
+        .filter_map(|t| widest.weight(t).finite().copied())
+        .collect();
+    bottlenecks.sort_unstable();
+    bottlenecks.dedup();
+
+    for &b in &bottlenecks {
+        // Subgraph of edges with capacity ≥ b, same node ids.
+        let (sub, origin) = graph.filter_edges(|e, _| weights.weight(e).0 >= b);
+        let sub_w =
+            EdgeWeights::from_vec(&sub, origin.iter().map(|&e| weights.weight(e).1).collect());
+        let cheapest = dijkstra(&sub, &sub_w, &ShortestPath, source);
+        for t in graph.nodes() {
+            if t == source || *widest.weight(t) != PathWeight::Finite(b) {
+                continue;
+            }
+            let cost = cheapest
+                .weight(t)
+                .finite()
+                .copied()
+                .expect("t reachable at its own bottleneck level");
+            out_weight[t] = PathWeight::Finite((b, cost));
+            out_path[t] = cheapest.path_to(t);
+        }
+    }
+
+    SourceRouting::from_parts(source, out_weight, out_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive_preferred;
+    use cpr_algebra::policies;
+    use cpr_algebra::RoutingAlgebra;
+    use cpr_graph::generators;
+    use rand::SeedableRng;
+
+    fn mk(cap: u64, cost: u64) -> SwWeight {
+        (Capacity::new(cap).unwrap(), cost)
+    }
+
+    #[test]
+    fn wide_detour_beats_narrow_direct() {
+        let g = Graph::from_edges(4, [(0, 3), (0, 1), (1, 2), (2, 3)]).unwrap();
+        let w = EdgeWeights::from_vec(&g, vec![mk(5, 1), mk(10, 2), mk(10, 2), mk(10, 2)]);
+        let r = shortest_widest_exact(&g, &w, 0);
+        assert_eq!(r.path_to(3), Some(&[0, 1, 2, 3][..]));
+        assert_eq!(*r.weight(3), PathWeight::Finite(mk(10, 6)));
+    }
+
+    #[test]
+    fn equal_bottleneck_picks_cheapest() {
+        // Two widest routes with the same bottleneck, different costs.
+        let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+        let w = EdgeWeights::from_vec(&g, vec![mk(7, 5), mk(7, 5), mk(7, 1), mk(7, 1)]);
+        let r = shortest_widest_exact(&g, &w, 0);
+        assert_eq!(r.path_to(3), Some(&[0, 2, 3][..]));
+        assert_eq!(*r.weight(3), PathWeight::Finite(mk(7, 2)));
+    }
+
+    #[test]
+    fn matches_exhaustive_on_random_graphs() {
+        let sw = policies::shortest_widest();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for trial in 0..5 {
+            let g = generators::gnp_connected(11, 0.3, &mut rng);
+            let w = EdgeWeights::random(&g, &sw, &mut rng);
+            let exact = shortest_widest_exact(&g, &w, 0);
+            let truth = exhaustive_preferred(&g, &w, &sw, 0, true);
+            for v in g.nodes() {
+                assert_eq!(exact.weight(v), truth.weight(v), "trial {trial}, node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_is_unsound_for_sw_somewhere() {
+        // Sanity: the reason this module exists. Find a random instance
+        // where the greedy Dijkstra weight differs from ground truth.
+        let sw = policies::shortest_widest();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut found_mismatch = false;
+        'outer: for _ in 0..60 {
+            let g = generators::gnp_connected(9, 0.35, &mut rng);
+            let w = EdgeWeights::random(&g, &sw, &mut rng);
+            let greedy = crate::dijkstra(&g, &w, &sw, 0);
+            let truth = shortest_widest_exact(&g, &w, 0);
+            for v in g.nodes() {
+                if sw.compare_pw(greedy.weight(v), truth.weight(v)).is_gt() {
+                    found_mismatch = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(
+            found_mismatch,
+            "expected at least one instance where greedy Dijkstra is suboptimal for SW"
+        );
+    }
+
+    #[test]
+    fn unreachable_stays_phi() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let w = EdgeWeights::from_vec(&g, vec![mk(5, 1)]);
+        let r = shortest_widest_exact(&g, &w, 0);
+        assert!(r.weight(2).is_infinite());
+        assert_eq!(r.path_to(2), None);
+        assert_eq!(*r.weight(1), PathWeight::Finite(mk(5, 1)));
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the path solvers: cross-solver agreement and
+//! structural invariants of preferred trees, on randomized graphs and
+//! weightings.
+
+use cpr_algebra::policies::{self, Capacity, MostReliablePath, ShortestPath, WidestPath};
+use cpr_algebra::{PathWeight, RoutingAlgebra};
+use cpr_graph::{generators, EdgeWeights, Graph};
+use cpr_paths::{bellman_ford, dijkstra, exhaustive_preferred, shortest_widest_exact, AllPairs};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn small_connected(n: usize, seed: u64) -> Graph {
+    generators::gnp_connected(n, 0.3, &mut rng(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The three solvers agree for every regular Table 1 algebra on
+    /// random instances: Dijkstra = Bellman–Ford = exhaustive.
+    #[test]
+    fn three_way_solver_agreement(n in 5usize..11, seed in any::<u64>()) {
+        let g = small_connected(n, seed);
+        macro_rules! check {
+            ($alg:expr) => {{
+                let alg = $alg;
+                let w = EdgeWeights::random(&g, &alg, &mut rng(seed ^ 0xA11CE));
+                let dj = dijkstra(&g, &w, &alg, 0);
+                let bf = bellman_ford(&g, &w, &alg, 0);
+                prop_assert!(bf.converged);
+                let ex = exhaustive_preferred(&g, &w, &alg, 0, true);
+                for v in g.nodes() {
+                    prop_assert_eq!(
+                        alg.compare_pw(dj.weight(v), ex.weight(v)),
+                        Ordering::Equal,
+                        "dijkstra vs exhaustive at {} for {}", v, alg.name()
+                    );
+                    prop_assert_eq!(
+                        alg.compare_pw(bf.tree.weight(v), ex.weight(v)),
+                        Ordering::Equal,
+                        "bellman-ford vs exhaustive at {} for {}", v, alg.name()
+                    );
+                }
+            }};
+        }
+        check!(ShortestPath);
+        check!(WidestPath);
+        check!(MostReliablePath);
+        check!(policies::widest_shortest());
+    }
+
+    /// Preferred trees really are trees: parent pointers are acyclic, the
+    /// extracted paths are simple, and path weights re-derive from edges.
+    #[test]
+    fn tree_paths_are_simple_and_weight_consistent(n in 5usize..14, seed in any::<u64>()) {
+        let g = small_connected(n, seed);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng(seed ^ 0x7EE));
+        let tree = dijkstra(&g, &w, &ShortestPath, 0);
+        for v in g.nodes() {
+            let Some(path) = tree.path_to(v) else { continue };
+            let mut sorted = path.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), path.len(), "non-simple tree path");
+            if v != 0 {
+                prop_assert_eq!(
+                    &w.path_weight(&ShortestPath, &g, &path),
+                    tree.weight(v)
+                );
+                prop_assert_eq!(path.len() as u32 - 1, tree.hops(v));
+            }
+        }
+    }
+
+    /// SW exact solver: the bottleneck of the returned path matches the
+    /// widest-path computation and the weight re-derives from the path.
+    #[test]
+    fn sw_paths_rederive_their_weights(n in 5usize..11, seed in any::<u64>()) {
+        let g = small_connected(n, seed);
+        let sw = policies::shortest_widest();
+        let w = EdgeWeights::random(&g, &sw, &mut rng(seed ^ 0x5111));
+        let exact = shortest_widest_exact(&g, &w, 0);
+        for v in g.nodes() {
+            if v == 0 { continue; }
+            let Some(path) = exact.path_to(v) else { continue };
+            prop_assert_eq!(
+                &w.path_weight(&sw, &g, path),
+                exact.weight(v),
+                "weight does not re-derive at {}", v
+            );
+        }
+    }
+
+    /// All-pairs: the per-source trees agree with a fresh single-source
+    /// run, and `s → t` weights are symmetric for symmetric weightings.
+    #[test]
+    fn all_pairs_is_consistent(n in 4usize..10, seed in any::<u64>()) {
+        let g = small_connected(n, seed);
+        let w = EdgeWeights::random(&g, &WidestPath, &mut rng(seed ^ 0xAA));
+        let ap = AllPairs::compute(&g, &w, &WidestPath);
+        for s in g.nodes() {
+            let fresh = dijkstra(&g, &w, &WidestPath, s);
+            for t in g.nodes() {
+                prop_assert_eq!(
+                    WidestPath.compare_pw(ap.weight(s, t), fresh.weight(t)),
+                    Ordering::Equal
+                );
+                prop_assert_eq!(
+                    WidestPath.compare_pw(ap.weight(s, t), ap.weight(t, s)),
+                    Ordering::Equal
+                );
+            }
+        }
+    }
+
+    /// Unreachable means unreachable, consistently: φ in Dijkstra iff φ
+    /// exhaustively iff no BFS path.
+    #[test]
+    fn reachability_agreement(seed in any::<u64>()) {
+        // A deliberately disconnected graph: two components.
+        let mut r = rng(seed);
+        let a = generators::gnp_connected(5, 0.4, &mut r);
+        let mut g = Graph::with_nodes(10);
+        for (_, (u, v)) in a.edges() {
+            g.add_edge(u, v).unwrap();
+        }
+        // Second component on nodes 5..10 (a path).
+        for v in 6..10 {
+            g.add_edge(v - 1, v).unwrap();
+        }
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut r);
+        let dj = dijkstra(&g, &w, &ShortestPath, 0);
+        let ex = exhaustive_preferred(&g, &w, &ShortestPath, 0, true);
+        let bfs = cpr_graph::traversal::bfs_distances(&g, 0);
+        for v in g.nodes() {
+            if v == 0 { continue; }
+            let reachable = bfs[v].is_some();
+            prop_assert_eq!(dj.weight(v).is_finite(), reachable);
+            prop_assert_eq!(ex.weight(v).is_finite(), reachable);
+        }
+    }
+}
+
+#[test]
+fn capacity_tie_break_is_deterministic_across_all_pairs() {
+    // A graph with massive weight ties: everything capacity 5.
+    let g = generators::grid(4, 4);
+    let w = EdgeWeights::uniform(&g, Capacity::new(5).unwrap());
+    let a = AllPairs::compute(&g, &w, &WidestPath);
+    let b = AllPairs::compute(&g, &w, &WidestPath);
+    for s in g.nodes() {
+        for t in g.nodes() {
+            assert_eq!(a.path(s, t), b.path(s, t));
+            // Ties resolve to min-hop paths.
+            if s != t {
+                let bfs = cpr_graph::traversal::bfs_distances(&g, s);
+                assert_eq!(
+                    a.path(s, t).unwrap().len() as u32 - 1,
+                    bfs[t].unwrap(),
+                    "tie-break must pick min-hop"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn phi_composition_blocks_paths_in_bounded_algebra() {
+    // A path graph with unit cost 2 per hop and a hard budget: nodes past
+    // the budget horizon are unreachable even though every edge is fine.
+    let g = generators::path(4);
+    let w = EdgeWeights::uniform(&g, 2u64);
+    let generous = policies::BoundedShortestPath::new(6);
+    let dj = dijkstra(&g, &w, &generous, 0);
+    assert_eq!(*dj.weight(3), PathWeight::Finite(6));
+    let tight = policies::BoundedShortestPath::new(4);
+    let dj = dijkstra(&g, &w, &tight, 0);
+    assert_eq!(*dj.weight(2), PathWeight::Finite(4));
+    assert!(
+        dj.weight(3).is_infinite(),
+        "2+2+2 blows the ≤4 budget, so node 3 is unreachable"
+    );
+    // And a detour that fits beats a direct composition that doesn't:
+    // 0-1 (4), 1-2 (1); budget 4: direct 0..2 via the cheap pair only.
+    let g2 = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+    let w2 = EdgeWeights::from_vec(&g2, vec![3u64, 3, 4]);
+    let dj = dijkstra(&g2, &w2, &tight, 0);
+    assert_eq!(
+        *dj.weight(2),
+        PathWeight::Finite(4),
+        "the direct in-budget edge wins over the over-budget composition"
+    );
+}

@@ -1,0 +1,76 @@
+//! Bit accounting for routing schemes.
+//!
+//! Definition 2 measures a routing scheme by the number of bits needed to
+//! encode each node's local routing function. These helpers give honest —
+//! neither optimistic nor padded — sizes for the encodings the schemes use.
+
+/// `⌈log₂ x⌉` with the conventions `ceil_log2(0) = 0` and
+/// `ceil_log2(1) = 0` (one distinguishable value needs no bits).
+///
+/// # Examples
+///
+/// ```
+/// use cpr_routing::bits::ceil_log2;
+///
+/// assert_eq!(ceil_log2(1), 0);
+/// assert_eq!(ceil_log2(2), 1);
+/// assert_eq!(ceil_log2(5), 3);
+/// assert_eq!(ceil_log2(1024), 10);
+/// ```
+pub fn ceil_log2(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// Bits to name one node in an `n`-node network, at least 1 (a header must
+/// still distinguish "deliver here" on a one-node network).
+pub fn node_id_bits(n: usize) -> u64 {
+    ceil_log2(n as u64).max(1) as u64
+}
+
+/// Bits to name one local port at a node of the given degree (0 for
+/// degree ≤ 1: a single port needs no bits).
+pub fn port_bits(degree: usize) -> u64 {
+    ceil_log2(degree as u64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_table() {
+        let expect = [
+            (0u64, 0u32),
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (u64::MAX, 64),
+        ];
+        for (x, want) in expect {
+            assert_eq!(ceil_log2(x), want, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn node_id_bits_minimum_one() {
+        assert_eq!(node_id_bits(1), 1);
+        assert_eq!(node_id_bits(2), 1);
+        assert_eq!(node_id_bits(1000), 10);
+    }
+
+    #[test]
+    fn port_bits_zero_for_leaf() {
+        assert_eq!(port_bits(0), 0);
+        assert_eq!(port_bits(1), 0);
+        assert_eq!(port_bits(2), 1);
+        assert_eq!(port_bits(5), 3);
+    }
+}

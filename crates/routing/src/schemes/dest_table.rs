@@ -1,0 +1,231 @@
+//! Destination-based routing tables (paper Observation 1).
+//!
+//! The trivial routing function `R̂` for a regular algebra: each node keeps
+//! one entry — a local port — per destination, `O(n log d)` bits. By
+//! Proposition 2 this is *correct exactly for regular algebras*: the
+//! preferred paths from each node form a tree, and by monotonicity +
+//! isotonicity the next hop's own preferred path continues the route.
+
+use cpr_algebra::RoutingAlgebra;
+use cpr_graph::{EdgeWeights, Graph, NodeId, Port};
+use cpr_paths::dijkstra;
+
+use crate::bits::{node_id_bits, port_bits};
+use crate::scheme::{RouteAction, RoutingScheme};
+
+/// Destination-indexed routing tables: `table[u][t]` is the local port at
+/// `u` of the first edge along the preferred `u → t` path.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::policies::ShortestPath;
+/// use cpr_graph::{generators, EdgeWeights};
+/// use cpr_routing::{route, DestTable};
+///
+/// let g = generators::cycle(5);
+/// let w = EdgeWeights::uniform(&g, 1u64);
+/// let scheme = DestTable::build(&g, &w, &ShortestPath);
+/// assert_eq!(route(&scheme, &g, 0, 2).unwrap(), vec![0, 1, 2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DestTable {
+    name: String,
+    table: Vec<Vec<Option<Port>>>,
+    degree: Vec<usize>,
+}
+
+impl DestTable {
+    /// Builds the tables by running the generalized Dijkstra from every
+    /// node. The algebra must be regular for the result to implement the
+    /// policy (Proposition 2).
+    pub fn build<A: RoutingAlgebra>(graph: &Graph, weights: &EdgeWeights<A::W>, alg: &A) -> Self {
+        let n = graph.node_count();
+        let mut table = Vec::with_capacity(n);
+        for u in graph.nodes() {
+            let tree = dijkstra(graph, weights, alg, u);
+            let row = graph
+                .nodes()
+                .map(|t| tree.first_hop(graph, t).map(|(_, port)| port))
+                .collect();
+            table.push(row);
+        }
+        DestTable {
+            name: format!("dest-table[{}]", alg.name()),
+            table,
+            degree: graph.nodes().map(|v| graph.degree(v)).collect(),
+        }
+    }
+
+    /// Builds tables from precomputed first hops (`hops[u][t]`); used by
+    /// schemes that compute paths with a non-Dijkstra solver.
+    pub fn from_first_hops(name: String, hops: Vec<Vec<Option<Port>>>, degree: Vec<usize>) -> Self {
+        assert_eq!(hops.len(), degree.len());
+        DestTable {
+            name,
+            table: hops,
+            degree,
+        }
+    }
+
+    /// The port `u` uses towards `t`, if routable.
+    pub fn port(&self, u: NodeId, t: NodeId) -> Option<Port> {
+        self.table[u][t]
+    }
+}
+
+impl RoutingScheme for DestTable {
+    type Header = NodeId;
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn node_count(&self) -> usize {
+        self.table.len()
+    }
+
+    fn initial_header(&self, source: NodeId, target: NodeId) -> Option<NodeId> {
+        if source == target || self.table[source][target].is_some() {
+            Some(target)
+        } else {
+            None
+        }
+    }
+
+    fn step(&self, at: NodeId, header: &NodeId) -> RouteAction<NodeId> {
+        let target = *header;
+        if at == target {
+            return RouteAction::Deliver;
+        }
+        match self.table[at][target] {
+            Some(port) => RouteAction::Forward {
+                port,
+                header: target,
+            },
+            // A reachable pair always has an entry when the algebra is
+            // regular; forwarding on port 0 here would mask scheme bugs,
+            // so misroute loudly instead.
+            None => RouteAction::Forward {
+                port: usize::MAX,
+                header: target,
+            },
+        }
+    }
+
+    fn local_memory_bits(&self, v: NodeId) -> u64 {
+        // One port per *other* destination, stored as a dense array
+        // indexed by destination id (so no keys are stored), plus one
+        // reachability bit per destination.
+        let entries = (self.table.len() - 1) as u64;
+        entries * (port_bits(self.degree[v]) + 1)
+    }
+
+    fn label_bits(&self, _v: NodeId) -> u64 {
+        node_id_bits(self.table.len())
+    }
+
+    fn header_bits(&self) -> u64 {
+        node_id_bits(self.table.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{route, MemoryReport};
+    use cpr_algebra::policies::{ShortestPath, WidestPath};
+    use cpr_algebra::{PathWeight, RoutingAlgebra};
+    use cpr_graph::generators;
+    use rand::SeedableRng;
+
+    #[test]
+    fn routes_all_pairs_on_random_graph_optimally() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+        let g = generators::gnp_connected(30, 0.15, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        let ap = cpr_paths::AllPairs::compute(&g, &w, &ShortestPath);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t {
+                    continue;
+                }
+                let path = route(&scheme, &g, s, t).unwrap();
+                let got = w.path_weight(&ShortestPath, &g, &path);
+                assert_eq!(
+                    ShortestPath.compare_pw(&got, ap.weight(s, t)),
+                    std::cmp::Ordering::Equal,
+                    "suboptimal route {s} → {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routes_widest_paths() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let g = generators::barabasi_albert(25, 2, &mut rng);
+        let w = EdgeWeights::random(&g, &WidestPath, &mut rng);
+        let scheme = DestTable::build(&g, &w, &WidestPath);
+        let ap = cpr_paths::AllPairs::compute(&g, &w, &WidestPath);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t {
+                    continue;
+                }
+                let path = route(&scheme, &g, s, t).unwrap();
+                let got = w.path_weight(&WidestPath, &g, &path);
+                assert_eq!(
+                    WidestPath.compare_pw(&got, ap.weight(s, t)),
+                    std::cmp::Ordering::Equal
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unroutable_pairs_rejected_at_source() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        assert!(scheme.initial_header(0, 2).is_none());
+        assert!(route(&scheme, &g, 0, 2).is_err());
+    }
+
+    #[test]
+    fn memory_grows_linearly_in_n() {
+        // Observation 1: Θ(n log d) — doubling n roughly doubles memory.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+        let mut prev = 0u64;
+        for n in [32usize, 64, 128] {
+            let g = generators::gnp_connected(n, 0.1, &mut rng);
+            let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+            let scheme = DestTable::build(&g, &w, &ShortestPath);
+            let report = MemoryReport::measure(&scheme);
+            assert!(report.max_local_bits > prev, "memory must grow with n");
+            prev = report.max_local_bits;
+        }
+    }
+
+    #[test]
+    fn self_delivery() {
+        let g = generators::path(3);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        assert_eq!(route(&scheme, &g, 1, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn weight_of_unreachable_is_phi_sanity() {
+        // Sanity-check the test helper itself.
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let w = EdgeWeights::uniform(&g, 1u64);
+        assert_eq!(
+            w.path_weight(&ShortestPath, &g, &[0, 2]),
+            PathWeight::Infinite
+        );
+    }
+
+    use cpr_graph::Graph;
+}

@@ -1,0 +1,244 @@
+//! Label swapping (MPLS-style forwarding), the remaining entry of §2.3's
+//! forwarding catalogue.
+//!
+//! The routing-function model explicitly covers "label swapping": a packet
+//! carries a short opaque label; each node keeps a table mapping incoming
+//! label → (outgoing port, outgoing label). Per-pair paths become
+//! label-switched paths (LSPs), and the *header* shrinks from the
+//! `(source, target)` pair (`2 log n` bits) to `log L` bits, where `L` is
+//! the largest number of LSPs crossing any single node. The total state is
+//! the same order as pair tables — labels trade header size for
+//! provisioning, not memory, which is why the paper measures *local
+//! memory* and not headers when classifying policies.
+
+use cpr_graph::{Graph, NodeId, Port};
+
+use crate::bits::{ceil_log2, node_id_bits};
+use crate::scheme::{RouteAction, RoutingScheme};
+
+/// One label-table entry: where to send the packet and which label it
+/// carries next (`None`: deliver here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SwapEntry {
+    port: Port,
+    next_label: usize,
+}
+
+/// A label-swapping scheme provisioned from explicit per-pair paths.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::policies::ShortestPath;
+/// use cpr_graph::{generators, EdgeWeights};
+/// use cpr_paths::AllPairs;
+/// use cpr_routing::{route, LabelSwapping};
+///
+/// let g = generators::cycle(5);
+/// let w = EdgeWeights::uniform(&g, 1u64);
+/// let ap = AllPairs::compute(&g, &w, &ShortestPath);
+/// let scheme = LabelSwapping::provision(&g, "sp", |s, t| ap.path(s, t));
+/// assert_eq!(route(&scheme, &g, 0, 3).unwrap(), vec![0, 4, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LabelSwapping {
+    name: String,
+    n: usize,
+    /// `tables[v][label]`: the swap entry, or `None` for "deliver".
+    tables: Vec<Vec<Option<SwapEntry>>>,
+    /// The ingress label at the source for each `(s, t)` pair.
+    ingress: Vec<Vec<Option<usize>>>,
+}
+
+impl LabelSwapping {
+    /// Provisions one LSP per ordered pair from `path_of(s, t)` (must
+    /// return the `[s, …, t]` node path, or `None` when unreachable).
+    /// Labels are allocated per node, densely, in pair order —
+    /// first-fit, exactly like an LDP-style allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a returned path is not a path of `graph` or has wrong
+    /// endpoints.
+    pub fn provision(
+        graph: &Graph,
+        policy_name: &str,
+        path_of: impl Fn(NodeId, NodeId) -> Option<Vec<NodeId>>,
+    ) -> Self {
+        let n = graph.node_count();
+        let mut tables: Vec<Vec<Option<SwapEntry>>> = vec![Vec::new(); n];
+        let mut ingress = vec![vec![None; n]; n];
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                let Some(path) = path_of(s, t) else { continue };
+                assert_eq!(path.first(), Some(&s), "LSP must start at the source");
+                assert_eq!(path.last(), Some(&t), "LSP must end at the target");
+                // Allocate labels back to front: the egress node needs a
+                // label whose entry says "deliver".
+                let mut next_label = {
+                    let label = tables[t].len();
+                    tables[t].push(None); // deliver
+                    label
+                };
+                for hop in path.windows(2).rev() {
+                    let port = graph
+                        .port_towards(hop[0], hop[1])
+                        .expect("LSP hop must be an edge");
+                    let label = tables[hop[0]].len();
+                    tables[hop[0]].push(Some(SwapEntry { port, next_label }));
+                    next_label = label;
+                }
+                ingress[s][t] = Some(next_label);
+            }
+        }
+        LabelSwapping {
+            name: format!("label-swapping[{policy_name}]"),
+            n,
+            tables,
+            ingress,
+        }
+    }
+
+    /// The largest label table at any node (= LSPs crossing it).
+    pub fn max_table_len(&self) -> usize {
+        self.tables.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+impl RoutingScheme for LabelSwapping {
+    /// The current label.
+    type Header = usize;
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn initial_header(&self, source: NodeId, target: NodeId) -> Option<usize> {
+        if source == target {
+            // The trivial LSP: deliver immediately; allocate no label.
+            // Use a sentinel the step function understands.
+            return Some(usize::MAX);
+        }
+        self.ingress[source][target]
+    }
+
+    fn step(&self, at: NodeId, header: &usize) -> RouteAction<usize> {
+        if *header == usize::MAX {
+            return RouteAction::Deliver;
+        }
+        match self.tables[at].get(*header) {
+            Some(Some(entry)) => RouteAction::Forward {
+                port: entry.port,
+                header: entry.next_label,
+            },
+            Some(None) => RouteAction::Deliver,
+            None => RouteAction::Forward {
+                port: usize::MAX, // misroute loudly
+                header: *header,
+            },
+        }
+    }
+
+    fn local_memory_bits(&self, v: NodeId) -> u64 {
+        // Each entry: a port and a next label, plus one deliver flag; the
+        // incoming label is the table index (not stored).
+        let label_bits = ceil_log2(self.max_table_len() as u64).max(1) as u64;
+        let port_bits = crate::bits::port_bits(self.n); // ports ≤ n − 1
+        self.tables[v].len() as u64 * (1 + port_bits + label_bits)
+    }
+
+    fn label_bits(&self, _v: NodeId) -> u64 {
+        node_id_bits(self.n)
+    }
+
+    fn header_bits(&self) -> u64 {
+        ceil_log2(self.max_table_len() as u64).max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{route, MemoryReport};
+    use crate::SrcDestTable;
+    use cpr_algebra::policies::ShortestPath;
+
+    use cpr_graph::{generators, EdgeWeights};
+    use cpr_paths::AllPairs;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lsps_follow_the_provisioned_paths_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1400);
+        let g = generators::gnp_connected(25, 0.18, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        let scheme = LabelSwapping::provision(&g, "sp", |s, t| ap.path(s, t));
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t {
+                    assert_eq!(route(&scheme, &g, s, t).unwrap(), vec![s]);
+                    continue;
+                }
+                assert_eq!(
+                    route(&scheme, &g, s, t).unwrap(),
+                    ap.path(s, t).unwrap(),
+                    "{s} → {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn headers_are_labels_not_addresses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1401);
+        let g = generators::barabasi_albert(40, 2, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        let ls = LabelSwapping::provision(&g, "sp", |s, t| ap.path(s, t));
+        let pair_tables =
+            SrcDestTable::build(&g, "sp", |s| g.nodes().map(|t| ap.path(s, t)).collect());
+        let m_ls = MemoryReport::measure(&ls);
+        let m_pair = MemoryReport::measure(&pair_tables);
+        // The label header beats the (s, t) header…
+        assert!(
+            m_ls.header_bits < m_pair.header_bits,
+            "labels ({}) must undercut address pairs ({})",
+            m_ls.header_bits,
+            m_pair.header_bits
+        );
+        // …while the state stays the same order (both are per-pair).
+        assert!(m_ls.max_local_bits < 4 * m_pair.max_local_bits.max(1));
+    }
+
+    #[test]
+    fn unreachable_pairs_have_no_lsp() {
+        let g = cpr_graph::Graph::from_edges(3, [(0, 1)]).unwrap();
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        let scheme = LabelSwapping::provision(&g, "sp", |s, t| ap.path(s, t));
+        assert!(scheme.initial_header(0, 2).is_none());
+        assert!(route(&scheme, &g, 0, 2).is_err());
+        assert_eq!(route(&scheme, &g, 0, 1).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn label_density_matches_lsp_load() {
+        // On a star, every LSP crosses the hub: hub table = n·(n−1) LSP
+        // segments + its own terminations.
+        let g = generators::star(6);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        let scheme = LabelSwapping::provision(&g, "sp", |s, t| ap.path(s, t));
+        // Leaf pairs: 5·4 = 20 transit entries at the hub, plus 5 hub-
+        // sourced LSPs and 5 deliveries (one per leaf sending to the hub).
+        assert_eq!(scheme.max_table_len(), 30);
+    }
+}

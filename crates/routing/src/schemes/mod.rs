@@ -1,0 +1,11 @@
+//! The routing schemes: trivial tables, tree schemes, and the generalized
+//! Cowen landmark scheme.
+
+pub(crate) mod cowen;
+pub(crate) mod dest_table;
+pub(crate) mod interval_tree;
+pub(crate) mod label_swapping;
+pub(crate) mod spanning_tree;
+pub(crate) mod src_dest_table;
+pub(crate) mod sw_class_table;
+pub(crate) mod tz_tree;

@@ -1,0 +1,285 @@
+//! The preferred spanning tree of Lemma 1.
+//!
+//! For a *monotone and selective* algebra, taking edges in non-decreasing
+//! weight order and adding each edge that closes no cycle (Kruskal's
+//! procedure with the algebra's order) yields a spanning tree whose unique
+//! in-tree path between any pair is a preferred path. That is the engine
+//! behind Theorem 1: selective + monotone ⇒ compressible, because routing
+//! on a tree needs only Θ(log n) bits.
+
+use std::cmp::Ordering;
+
+use cpr_algebra::{PathWeight, RoutingAlgebra};
+use cpr_graph::{EdgeId, EdgeWeights, Graph, NodeId};
+
+/// Union-find with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// The canonical representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// Builds the Lemma 1 preferred spanning tree (or forest, when the graph
+/// is disconnected): edges in non-decreasing `⪯` order, skipping those
+/// that close cycles. Ties are broken by edge id, deterministically.
+///
+/// For monotone **selective** algebras the result's in-tree paths are
+/// preferred paths for every pair (Lemma 1); for other algebras the tree
+/// exists but [`verify_tree_optimality`] may find violating pairs — that
+/// is exactly the paper's Fig. 1 demonstration.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::policies::{Capacity, WidestPath};
+/// use cpr_graph::{generators, EdgeWeights};
+/// use cpr_routing::preferred_spanning_tree;
+///
+/// let g = generators::complete(4);
+/// let w = EdgeWeights::from_fn(&g, |e| Capacity::new(e as u64 + 1).unwrap());
+/// let tree = preferred_spanning_tree(&g, &w, &WidestPath);
+/// assert_eq!(tree.len(), 3);
+/// ```
+pub fn preferred_spanning_tree<A: RoutingAlgebra>(
+    graph: &Graph,
+    weights: &EdgeWeights<A::W>,
+    alg: &A,
+) -> Vec<EdgeId> {
+    let mut edges: Vec<EdgeId> = (0..graph.edge_count()).collect();
+    edges.sort_by(|&a, &b| {
+        alg.compare(weights.weight(a), weights.weight(b))
+            .then(a.cmp(&b))
+    });
+    let mut uf = UnionFind::new(graph.node_count());
+    let mut tree = Vec::with_capacity(graph.node_count().saturating_sub(1));
+    for e in edges {
+        let (u, v) = graph.endpoints(e);
+        if uf.union(u, v) {
+            tree.push(e);
+        }
+    }
+    tree
+}
+
+/// A pair whose in-tree path is not preferred, with both weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeViolation<W> {
+    /// The source of the violating pair.
+    pub s: NodeId,
+    /// The target of the violating pair.
+    pub t: NodeId,
+    /// Weight of the unique in-tree `s–t` path.
+    pub tree_weight: PathWeight<W>,
+    /// The preferred `s–t` weight in the full graph.
+    pub preferred_weight: PathWeight<W>,
+}
+
+/// Checks Lemma 1's guarantee: is the unique in-tree path between every
+/// pair a preferred path of the *full* graph?
+///
+/// `preferred` supplies ground-truth preferred weights (e.g. from
+/// [`cpr_paths::AllPairs`] for regular algebras, or the exhaustive solver).
+/// Returns the first violation found, or `None` when the tree is optimal.
+///
+/// # Panics
+///
+/// Panics if `tree_edges` is not a spanning tree of `graph`.
+pub fn verify_tree_optimality<A: RoutingAlgebra>(
+    graph: &Graph,
+    weights: &EdgeWeights<A::W>,
+    alg: &A,
+    tree_edges: &[EdgeId],
+    preferred: impl Fn(NodeId, NodeId) -> PathWeight<A::W>,
+) -> Option<TreeViolation<A::W>> {
+    let tree = crate::tree::RootedTree::from_edges(graph, tree_edges, 0)
+        .expect("tree_edges must form a spanning tree");
+    for s in graph.nodes() {
+        for t in graph.nodes() {
+            if s == t {
+                continue;
+            }
+            let path = tree.tree_path(s, t);
+            let tree_weight = weights.path_weight(alg, graph, &path);
+            let preferred_weight = preferred(s, t);
+            if alg.compare_pw(&tree_weight, &preferred_weight) == Ordering::Greater {
+                return Some(TreeViolation {
+                    s,
+                    t,
+                    tree_weight,
+                    preferred_weight,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Enumerates *all* spanning trees of a small graph (by trying every
+/// `(n−1)`-subset of edges). Exponential — intended for the paper's tiny
+/// Fig. 1 counterexample graphs, where the claim is that *no* spanning
+/// tree contains a preferred path for every pair.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 24 edges (combinatorial safety rail).
+pub fn all_spanning_trees(graph: &Graph) -> Vec<Vec<EdgeId>> {
+    let m = graph.edge_count();
+    let n = graph.node_count();
+    assert!(m <= 24, "all_spanning_trees is for tiny graphs only");
+    if n == 0 || m + 1 < n {
+        return Vec::new();
+    }
+    let k = n - 1;
+    let mut out = Vec::new();
+    // Iterate subsets of size k via bitmask.
+    for mask in 0u32..(1 << m) {
+        if mask.count_ones() as usize != k {
+            continue;
+        }
+        let subset: Vec<EdgeId> = (0..m).filter(|e| mask & (1 << e) != 0).collect();
+        let mut uf = UnionFind::new(n);
+        let mut acyclic = true;
+        for &e in &subset {
+            let (u, v) = graph.endpoints(e);
+            if !uf.union(u, v) {
+                acyclic = false;
+                break;
+            }
+        }
+        if acyclic {
+            out.push(subset);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_algebra::policies::{Capacity, ShortestPath, UsablePath, WidestPath};
+
+    use cpr_graph::generators;
+    use cpr_paths::AllPairs;
+    use rand::SeedableRng;
+
+    #[test]
+    fn union_find_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert!(!uf.union(1, 2));
+        assert_eq!(uf.find(0), uf.find(2));
+    }
+
+    #[test]
+    fn widest_path_tree_is_optimal_on_random_graphs() {
+        // Theorem 1 / Lemma 1: selective + monotone ⇒ maps to a tree.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(301);
+        for trial in 0..5 {
+            let g = generators::gnp_connected(20, 0.25, &mut rng);
+            let w = EdgeWeights::random(&g, &WidestPath, &mut rng);
+            let tree = preferred_spanning_tree(&g, &w, &WidestPath);
+            assert_eq!(tree.len(), g.node_count() - 1);
+            let ap = AllPairs::compute(&g, &w, &WidestPath);
+            let violation =
+                verify_tree_optimality(&g, &w, &WidestPath, &tree, |s, t| *ap.weight(s, t));
+            assert!(violation.is_none(), "trial {trial}: {violation:?}");
+        }
+    }
+
+    #[test]
+    fn usable_path_any_spanning_tree_is_optimal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(302);
+        let g = generators::gnp_connected(15, 0.3, &mut rng);
+        let w = EdgeWeights::random(&g, &UsablePath, &mut rng);
+        let tree = preferred_spanning_tree(&g, &w, &UsablePath);
+        let ap = AllPairs::compute(&g, &w, &UsablePath);
+        assert!(
+            verify_tree_optimality(&g, &w, &UsablePath, &tree, |s, t| *ap.weight(s, t)).is_none()
+        );
+    }
+
+    #[test]
+    fn fig1a_no_spanning_tree_is_optimal_for_shortest_path() {
+        // Lemma 1's converse: shortest path is not selective, and on the
+        // uniform triangle no spanning tree carries only preferred paths.
+        let ce = generators::fig1a();
+        let w = EdgeWeights::from_vec(&ce.graph, ce.weights(&1u64, &1u64));
+        let ap = AllPairs::compute(&ce.graph, &w, &ShortestPath);
+        let trees = all_spanning_trees(&ce.graph);
+        assert_eq!(trees.len(), 3);
+        for tree in trees {
+            let violation = verify_tree_optimality(&ce.graph, &w, &ShortestPath, &tree, |s, t| {
+                *ap.weight(s, t)
+            });
+            assert!(violation.is_some(), "tree {tree:?} should violate");
+        }
+    }
+
+    #[test]
+    fn kruskal_picks_fattest_edges_for_widest_path() {
+        // On a triangle with capacities 1, 5, 9, the widest tree keeps the
+        // two fat edges.
+        let g = cpr_graph::Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let w = EdgeWeights::from_vec(
+            &g,
+            [1u64, 5, 9]
+                .into_iter()
+                .map(|c| Capacity::new(c).unwrap())
+                .collect(),
+        );
+        let tree = preferred_spanning_tree(&g, &w, &WidestPath);
+        assert_eq!(tree, vec![2, 1]); // capacity 9 first, then 5
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let g = cpr_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let w = EdgeWeights::uniform(&g, Capacity::new(1).unwrap());
+        let tree = preferred_spanning_tree(&g, &w, &WidestPath);
+        assert_eq!(tree.len(), 2); // spanning forest
+    }
+
+    #[test]
+    fn all_spanning_trees_of_cycle() {
+        let g = generators::cycle(4);
+        // A cycle of length 4 has exactly 4 spanning trees.
+        assert_eq!(all_spanning_trees(&g).len(), 4);
+    }
+}

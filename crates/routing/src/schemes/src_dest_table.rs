@@ -1,0 +1,237 @@
+//! Source–destination routing tables: the trivial routing function for
+//! *non-isotone* algebras (paper §3.1, the `S W` row of Table 1).
+//!
+//! When isotonicity fails, preferred paths from a node need not form a
+//! tree: the preferred `s → t` path through `u` can leave `u` on a
+//! different edge for different sources `s`. The fallback is to key the
+//! forwarding decision on the *pair* `(s, t)`, which costs `O(n² log d)`
+//! bits per node — the paper notes it is open whether the `Ω(n)` bound for
+//! `S W` is tight, this scheme being the only trivial upper bound.
+
+use cpr_graph::{Graph, NodeId, Port};
+
+use crate::bits::{node_id_bits, port_bits};
+use crate::scheme::{RouteAction, RoutingScheme};
+
+/// Per-pair routing tables built from explicit per-source preferred paths.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_graph::{generators, EdgeWeights};
+/// use cpr_algebra::policies::Capacity;
+/// use cpr_paths::shortest_widest_exact;
+/// use cpr_routing::{route, SrcDestTable};
+///
+/// let g = generators::cycle(4);
+/// let w = EdgeWeights::from_fn(&g, |e| (Capacity::new(e as u64 + 1).unwrap(), 1));
+/// let scheme = SrcDestTable::build(&g, "sw", |s| {
+///     let r = shortest_widest_exact(&g, &w, s);
+///     (0..g.node_count()).map(|t| r.path_to(t).map(<[_]>::to_vec)).collect()
+/// });
+/// let path = route(&scheme, &g, 0, 2).unwrap();
+/// assert_eq!(path.first(), Some(&0));
+/// assert_eq!(path.last(), Some(&2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SrcDestTable {
+    name: String,
+    n: usize,
+    /// `entries[v]` holds `((s, t), port)` for every pair whose preferred
+    /// path traverses (or starts at) `v`.
+    entries: Vec<Vec<((NodeId, NodeId), Port)>>,
+    degree: Vec<usize>,
+    routable: Vec<Vec<bool>>,
+}
+
+impl SrcDestTable {
+    /// Builds the tables. `paths_from(s)[t]` must yield the preferred
+    /// `s → t` path as a node sequence `[s, …, t]` (or `None` when
+    /// unreachable); each node on it learns its forwarding port for the
+    /// pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a returned path is not a valid path of `graph` or does
+    /// not start/end at the right nodes.
+    pub fn build(
+        graph: &Graph,
+        policy_name: &str,
+        paths_from: impl Fn(NodeId) -> Vec<Option<Vec<NodeId>>>,
+    ) -> Self {
+        let n = graph.node_count();
+        let mut entries: Vec<Vec<((NodeId, NodeId), Port)>> = vec![Vec::new(); n];
+        let mut routable = vec![vec![false; n]; n];
+        for s in graph.nodes() {
+            let paths = paths_from(s);
+            assert_eq!(paths.len(), n, "one (optional) path per destination");
+            for (t, path) in paths.iter().enumerate() {
+                let Some(path) = path else { continue };
+                if t == s {
+                    continue;
+                }
+                assert_eq!(path.first(), Some(&s), "path must start at the source");
+                assert_eq!(path.last(), Some(&t), "path must end at the target");
+                routable[s][t] = true;
+                for hop in path.windows(2) {
+                    let port = graph
+                        .port_towards(hop[0], hop[1])
+                        .expect("path edge must exist");
+                    entries[hop[0]].push(((s, t), port));
+                }
+            }
+        }
+        SrcDestTable {
+            name: format!("src-dest-table[{policy_name}]"),
+            n,
+            entries,
+            degree: graph.nodes().map(|v| graph.degree(v)).collect(),
+            routable,
+        }
+    }
+
+    /// Number of `(s, t)` entries stored at `v`.
+    pub fn entries_at(&self, v: NodeId) -> usize {
+        self.entries[v].len()
+    }
+}
+
+impl RoutingScheme for SrcDestTable {
+    /// The header carries the pair `(source, target)`.
+    type Header = (NodeId, NodeId);
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn initial_header(&self, source: NodeId, target: NodeId) -> Option<(NodeId, NodeId)> {
+        if source == target || self.routable[source][target] {
+            Some((source, target))
+        } else {
+            None
+        }
+    }
+
+    fn step(&self, at: NodeId, header: &(NodeId, NodeId)) -> RouteAction<(NodeId, NodeId)> {
+        let (_, target) = *header;
+        if at == target {
+            return RouteAction::Deliver;
+        }
+        match self.entries[at].iter().find(|(pair, _)| *pair == *header) {
+            Some((_, port)) => RouteAction::Forward {
+                port: *port,
+                header: *header,
+            },
+            None => RouteAction::Forward {
+                port: usize::MAX, // misroute loudly; see DestTable::step
+                header: *header,
+            },
+        }
+    }
+
+    fn local_memory_bits(&self, v: NodeId) -> u64 {
+        // Each entry stores its (s, t) key and a port.
+        let key = 2 * node_id_bits(self.n);
+        self.entries[v].len() as u64 * (key + port_bits(self.degree[v]))
+    }
+
+    fn label_bits(&self, _v: NodeId) -> u64 {
+        node_id_bits(self.n)
+    }
+
+    fn header_bits(&self) -> u64 {
+        2 * node_id_bits(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::route;
+    use cpr_algebra::{policies, PathWeight, RoutingAlgebra};
+    use cpr_graph::{generators, EdgeWeights};
+    use cpr_paths::shortest_widest_exact;
+    use rand::SeedableRng;
+
+    #[test]
+    fn routes_shortest_widest_exactly() {
+        let sw = policies::shortest_widest();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(200);
+        let g = generators::gnp_connected(16, 0.25, &mut rng);
+        let w = EdgeWeights::random(&g, &sw, &mut rng);
+        let scheme = SrcDestTable::build(&g, &sw.name(), |s| {
+            let r = shortest_widest_exact(&g, &w, s);
+            g.nodes().map(|t| r.path_to(t).map(<[_]>::to_vec)).collect()
+        });
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t {
+                    continue;
+                }
+                let truth = shortest_widest_exact(&g, &w, s);
+                let path = route(&scheme, &g, s, t).unwrap();
+                let got = w.path_weight(&sw, &g, &path);
+                assert_eq!(
+                    sw.compare_pw(&got, truth.weight(t)),
+                    std::cmp::Ordering::Equal,
+                    "non-preferred SW route {s} → {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_quadratic_ish() {
+        // Every pair's path has ≥ 1 on-path node storing it, so total
+        // entries ≥ n(n−1) over the graph.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(201);
+        let g = generators::gnp_connected(12, 0.3, &mut rng);
+        let sw = policies::shortest_widest();
+        let w = EdgeWeights::random(&g, &sw, &mut rng);
+        let scheme = SrcDestTable::build(&g, "sw", |s| {
+            let r = shortest_widest_exact(&g, &w, s);
+            g.nodes().map(|t| r.path_to(t).map(<[_]>::to_vec)).collect()
+        });
+        let total: usize = g.nodes().map(|v| scheme.entries_at(v)).sum();
+        let n = g.node_count();
+        assert!(total >= n * (n - 1), "total entries {total}");
+    }
+
+    #[test]
+    fn unreachable_pairs_rejected() {
+        let g = cpr_graph::Graph::from_edges(3, [(0, 1)]).unwrap();
+        let w = EdgeWeights::from_vec(&g, vec![(policies::Capacity::new(1).unwrap(), 1u64)]);
+        let scheme = SrcDestTable::build(&g, "sw", |s| {
+            let r = shortest_widest_exact(&g, &w, s);
+            g.nodes().map(|t| r.path_to(t).map(<[_]>::to_vec)).collect()
+        });
+        assert!(scheme.initial_header(0, 2).is_none());
+        assert!(scheme.initial_header(0, 1).is_some());
+    }
+
+    #[test]
+    fn self_pairs_deliver_immediately() {
+        let g = generators::path(3);
+        let w = EdgeWeights::uniform(&g, (policies::Capacity::new(1).unwrap(), 1u64));
+        let scheme = SrcDestTable::build(&g, "sw", |s| {
+            let r = shortest_widest_exact(&g, &w, s);
+            g.nodes().map(|t| r.path_to(t).map(<[_]>::to_vec)).collect()
+        });
+        assert_eq!(route(&scheme, &g, 2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn phi_weight_helper_consistency() {
+        let g = generators::path(2);
+        let sw = policies::shortest_widest();
+        let w = EdgeWeights::uniform(&g, (policies::Capacity::new(3).unwrap(), 2u64));
+        assert_eq!(
+            w.path_weight(&sw, &g, &[0, 1]),
+            PathWeight::Finite((policies::Capacity::new(3).unwrap(), 2))
+        );
+    }
+}

@@ -1,0 +1,450 @@
+//! Rooted trees over a host graph, with heavy-light DFS numbering.
+//!
+//! Tree-routing schemes (Fraigniaud–Gavoille, Thorup–Zwick) route on a
+//! spanning tree of the network. [`RootedTree`] captures the tree structure
+//! plus everything those schemes need: host-graph ports for each tree edge,
+//! a preorder DFS numbering that visits the *heavy* child (largest subtree)
+//! first, and subtree intervals.
+
+use cpr_graph::{EdgeId, Graph, NodeId, Port};
+
+/// Error returned by [`RootedTree::from_edges`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// The edge set does not span every node from the root.
+    NotSpanning {
+        /// A node the edge set does not reach.
+        unreached: NodeId,
+    },
+    /// The edge set contains a cycle (more edges than a forest allows).
+    HasCycle,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::NotSpanning { unreached } => {
+                write!(f, "tree does not reach node {unreached}")
+            }
+            TreeError::HasCycle => write!(f, "edge set contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A spanning tree of a host graph, rooted, DFS-numbered heavy-first.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_graph::generators;
+/// use cpr_routing::RootedTree;
+///
+/// let g = generators::star(4); // centre 0
+/// let edges: Vec<_> = g.edges().map(|(e, _)| e).collect();
+/// let tree = RootedTree::from_edges(&g, &edges, 0).unwrap();
+/// assert_eq!(tree.root(), 0);
+/// assert_eq!(tree.dfs(0), 0);
+/// assert!(tree.in_subtree(0, tree.dfs(3)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    parent_port: Vec<Option<Port>>,
+    children: Vec<Vec<(NodeId, Port)>>,
+    dfs: Vec<u32>,
+    subtree_end: Vec<u32>,
+    by_dfs: Vec<NodeId>,
+    depth: Vec<u32>,
+}
+
+impl RootedTree {
+    /// Builds a rooted tree from `edges` of `graph`, rooted at `root`.
+    /// Children are ordered heavy-first (largest subtree first), which
+    /// bounds the light edges on any root path by `log₂ n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError`] if the edges do not form a spanning tree of
+    /// the graph's nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` or an edge id is out of bounds.
+    pub fn from_edges(graph: &Graph, edges: &[EdgeId], root: NodeId) -> Result<Self, TreeError> {
+        let members: Vec<NodeId> = graph.nodes().collect();
+        Self::spanning_nodes(graph, edges, root, &members)
+    }
+
+    /// Builds a rooted tree over a *subset* of the graph's nodes: `edges`
+    /// must form a tree on exactly `members` (which must contain `root`).
+    /// Used for per-component trees (e.g. the SVFC provider trees of the
+    /// inter-domain schemes); queries for non-member nodes return
+    /// placeholder values and must not be made.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError`] if the edges do not form a tree spanning the
+    /// member set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of bounds or not a member.
+    pub fn spanning_nodes(
+        graph: &Graph,
+        edges: &[EdgeId],
+        root: NodeId,
+        members: &[NodeId],
+    ) -> Result<Self, TreeError> {
+        let n = graph.node_count();
+        assert!(root < n, "root out of bounds");
+        assert!(members.contains(&root), "root must be a member");
+        if edges.len() + 1 > members.len() {
+            return Err(TreeError::HasCycle);
+        }
+        // Tree adjacency.
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &e in edges {
+            let (u, v) = graph.endpoints(e);
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        // Orient away from the root (iterative DFS), computing sizes.
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        seen[root] = true;
+        let mut stack = vec![root];
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = Some(u);
+                    stack.push(v);
+                }
+            }
+        }
+        if order.len() != members.len() {
+            let unreached = members
+                .iter()
+                .copied()
+                .find(|&v| !seen[v])
+                .expect("some member unreached");
+            return Err(TreeError::NotSpanning { unreached });
+        }
+        if edges.len() != members.len() - 1 {
+            return Err(TreeError::HasCycle);
+        }
+        let mut size = vec![1u32; n];
+        for &u in order.iter().rev() {
+            if let Some(p) = parent[u] {
+                size[p] += size[u];
+            }
+        }
+        // Children lists, heavy-first, with host ports.
+        let mut children: Vec<Vec<(NodeId, Port)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some(p) = parent[v] {
+                let port = graph
+                    .port_towards(p, v)
+                    .expect("tree edge exists in host graph");
+                children[p].push((v, port));
+            }
+        }
+        for list in &mut children {
+            list.sort_by_key(|&(c, _)| std::cmp::Reverse(size[c]));
+        }
+        let parent_port: Vec<Option<Port>> = (0..n)
+            .map(|v| {
+                parent[v].map(|p| {
+                    graph
+                        .port_towards(v, p)
+                        .expect("tree edge exists in host graph")
+                })
+            })
+            .collect();
+        // Heavy-first preorder DFS numbering.
+        let mut dfs = vec![0u32; n];
+        let mut subtree_end = vec![0u32; n];
+        let mut by_dfs = vec![0usize; n];
+        let mut depth = vec![0u32; n];
+        let mut counter = 0u32;
+        // Iterative preorder with post-visit bookkeeping.
+        enum Frame {
+            Enter(NodeId, u32),
+            Exit(NodeId),
+        }
+        let mut stack = vec![Frame::Enter(root, 0)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(u, d) => {
+                    dfs[u] = counter;
+                    by_dfs[counter as usize] = u;
+                    depth[u] = d;
+                    counter += 1;
+                    stack.push(Frame::Exit(u));
+                    // Push children reversed so the heavy child is
+                    // processed (numbered) first.
+                    for &(c, _) in children[u].iter().rev() {
+                        stack.push(Frame::Enter(c, d + 1));
+                    }
+                }
+                Frame::Exit(u) => {
+                    subtree_end[u] = counter;
+                }
+            }
+        }
+        Ok(RootedTree {
+            root,
+            parent,
+            parent_port,
+            children,
+            dfs,
+            subtree_end,
+            by_dfs,
+            depth,
+        })
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.dfs.len()
+    }
+
+    /// `true` only for an empty tree (never constructed by `from_edges`).
+    pub fn is_empty(&self) -> bool {
+        self.dfs.is_empty()
+    }
+
+    /// The tree parent of `v` (`None` for the root).
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v]
+    }
+
+    /// `v`'s host-graph port towards its parent.
+    pub fn parent_port(&self, v: NodeId) -> Option<Port> {
+        self.parent_port[v]
+    }
+
+    /// `v`'s children with their host-graph ports at `v`, heavy-first.
+    pub fn children(&self, v: NodeId) -> &[(NodeId, Port)] {
+        &self.children[v]
+    }
+
+    /// The heavy child (largest subtree) of `v`, with its port.
+    pub fn heavy_child(&self, v: NodeId) -> Option<(NodeId, Port)> {
+        self.children[v].first().copied()
+    }
+
+    /// The DFS (preorder) number of `v`.
+    pub fn dfs(&self, v: NodeId) -> u32 {
+        self.dfs[v]
+    }
+
+    /// `v`'s subtree is exactly the DFS interval
+    /// `[dfs(v), subtree_end(v))`.
+    pub fn subtree_end(&self, v: NodeId) -> u32 {
+        self.subtree_end[v]
+    }
+
+    /// `true` when the node with DFS number `d` lies in `v`'s subtree.
+    pub fn in_subtree(&self, v: NodeId, d: u32) -> bool {
+        (self.dfs[v]..self.subtree_end[v]).contains(&d)
+    }
+
+    /// The node with DFS number `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn node_at_dfs(&self, d: u32) -> NodeId {
+        self.by_dfs[d as usize]
+    }
+
+    /// Depth of `v` (root = 0).
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v]
+    }
+
+    /// The path root → `v` as (node, is_light_edge_to_next) is internal;
+    /// instead expose the light edges on the root → `v` path: pairs
+    /// `(u, port)` where the tree edge `u → child` towards `v` is *light*
+    /// (the child is not `u`'s heavy child). At most `⌊log₂ n⌋` entries.
+    pub fn light_edges_to(&self, v: NodeId) -> Vec<(NodeId, Port)> {
+        let mut out = Vec::new();
+        let mut cur = v;
+        while let Some(p) = self.parent[cur] {
+            let heavy = self.heavy_child(p).map(|(c, _)| c);
+            if heavy != Some(cur) {
+                let port = self.children[p]
+                    .iter()
+                    .find(|&&(c, _)| c == cur)
+                    .map(|&(_, port)| port)
+                    .expect("cur is a child of p");
+                out.push((p, port));
+            }
+            cur = p;
+        }
+        out.reverse();
+        out
+    }
+
+    /// The tree path from `u` to `v` (node sequence, both inclusive).
+    pub fn tree_path(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        // Climb both ends to the common ancestor.
+        let (mut a, mut b) = (u, v);
+        let mut left = vec![a];
+        let mut right = vec![b];
+        while a != b {
+            if self.depth[a] >= self.depth[b] {
+                a = self.parent[a].expect("non-root has parent");
+                left.push(a);
+            } else {
+                b = self.parent[b].expect("non-root has parent");
+                right.push(b);
+            }
+        }
+        right.pop(); // drop duplicate ancestor
+        left.extend(right.into_iter().rev());
+        left
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_graph::generators;
+
+    fn tree_of(graph: &Graph, root: NodeId) -> RootedTree {
+        let edges: Vec<_> = graph.edges().map(|(e, _)| e).collect();
+        RootedTree::from_edges(graph, &edges, root).unwrap()
+    }
+
+    #[test]
+    fn dfs_intervals_nest() {
+        let g = generators::balanced_tree(2, 3);
+        let t = tree_of(&g, 0);
+        for v in g.nodes() {
+            for &(c, _) in t.children(v) {
+                assert!(t.dfs(c) > t.dfs(v));
+                assert!(t.subtree_end(c) <= t.subtree_end(v));
+                assert!(t.in_subtree(v, t.dfs(c)));
+            }
+        }
+        assert_eq!(t.subtree_end(0), g.node_count() as u32);
+    }
+
+    #[test]
+    fn heavy_child_is_first_and_largest() {
+        // Root 0 with a path of 3 below child 1 and a single leaf child 2.
+        let g = Graph::from_edges(6, [(0, 1), (1, 3), (3, 4), (0, 2), (4, 5)]).unwrap();
+        let t = tree_of(&g, 0);
+        assert_eq!(t.heavy_child(0).map(|(c, _)| c), Some(1));
+    }
+
+    #[test]
+    fn light_edges_bounded_by_log() {
+        let g = generators::balanced_tree(2, 6); // 127 nodes
+        let t = tree_of(&g, 0);
+        for v in g.nodes() {
+            let light = t.light_edges_to(v);
+            assert!(light.len() <= 7, "node {v} has {} light edges", light.len());
+        }
+    }
+
+    #[test]
+    fn tree_path_endpoints_and_continuity() {
+        let g = generators::balanced_tree(3, 3);
+        let t = tree_of(&g, 0);
+        let p = t.tree_path(5, 11);
+        assert_eq!(*p.first().unwrap(), 5);
+        assert_eq!(*p.last().unwrap(), 11);
+        for hop in p.windows(2) {
+            assert!(
+                t.parent(hop[0]) == Some(hop[1]) || t.parent(hop[1]) == Some(hop[0]),
+                "non-tree hop {hop:?}"
+            );
+        }
+        // Trivial path.
+        assert_eq!(t.tree_path(4, 4), vec![4]);
+    }
+
+    #[test]
+    fn rejects_non_spanning_and_cyclic() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        // Missing node 3:
+        let err = RootedTree::from_edges(&g, &[0, 1], 0).unwrap_err();
+        assert_eq!(err, TreeError::NotSpanning { unreached: 3 });
+        // Cycle:
+        let err = RootedTree::from_edges(&g, &[0, 1, 2, 3], 0).unwrap_err();
+        assert_eq!(err, TreeError::HasCycle);
+        // Proper spanning tree:
+        assert!(RootedTree::from_edges(&g, &[0, 1, 3], 0).is_ok());
+    }
+
+    #[test]
+    fn parent_ports_lead_home() {
+        let g = generators::star(5);
+        let t = tree_of(&g, 2); // root at a leaf
+        assert_eq!(t.parent(0), Some(2));
+        assert_eq!(t.parent(4), Some(0));
+        let port = t.parent_port(4).unwrap();
+        assert_eq!(g.neighbor_at(4, port).unwrap().0, 0);
+        assert_eq!(t.parent_port(2), None);
+    }
+
+    use cpr_graph::Graph;
+}
+
+#[cfg(test)]
+mod subset_tests {
+    use super::*;
+    use cpr_graph::Graph;
+
+    #[test]
+    fn spanning_nodes_covers_a_component_only() {
+        // Two components: tree over {0,1,2} only.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5), (0, 2)]).unwrap();
+        let members = vec![0, 1, 2];
+        let tree = RootedTree::spanning_nodes(&g, &[0, 1], 0, &members).unwrap();
+        assert_eq!(tree.root(), 0);
+        assert_eq!(tree.parent(1), Some(0));
+        assert_eq!(tree.parent(2), Some(1));
+        assert_eq!(tree.subtree_end(0), 3);
+        // Tree paths within the member set work.
+        assert_eq!(tree.tree_path(2, 0), vec![2, 1, 0]);
+        // Light-edge lists stay within the component.
+        assert!(tree.light_edges_to(2).len() <= 1);
+    }
+
+    #[test]
+    fn spanning_nodes_rejects_short_and_cyclic_edge_sets() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let members = vec![0, 1, 2];
+        // Too few edges: not spanning.
+        assert!(matches!(
+            RootedTree::spanning_nodes(&g, &[0], 0, &members),
+            Err(TreeError::NotSpanning { .. })
+        ));
+        // A cycle: too many edges for the member count.
+        assert!(matches!(
+            RootedTree::spanning_nodes(&g, &[0, 1, 2], 0, &members),
+            Err(TreeError::HasCycle)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "member")]
+    fn spanning_nodes_requires_member_root() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let _ = RootedTree::spanning_nodes(&g, &[0], 2, &[0, 1]);
+    }
+}

@@ -1,0 +1,196 @@
+//! End-to-end scheme verification: route every pair, weigh the routed
+//! path, and check it against ground truth and the algebraic stretch
+//! bound (Definition 3).
+
+use std::cmp::Ordering;
+
+use cpr_algebra::{check_stretch, measured_stretch, PathWeight, RoutingAlgebra, StretchVerdict};
+use cpr_graph::{EdgeWeights, Graph, NodeId};
+
+use crate::scheme::{route, RoutingScheme};
+
+/// Aggregate outcome of routing all pairs through a scheme.
+#[derive(Clone, Debug)]
+pub struct StretchReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Ordered pairs attempted (`s ≠ t`, both directions).
+    pub pairs: usize,
+    /// Pairs delivered on a *preferred* path (stretch 1).
+    pub optimal: usize,
+    /// Pairs delivered within the checked stretch bound.
+    pub within_bound: usize,
+    /// Pairs where the stretch bound degenerated to `φ`
+    /// (non-delimited algebras only; see
+    /// [`StretchVerdict::DegenerateBound`]).
+    pub degenerate: usize,
+    /// Pairs that exceeded the bound (must be 0 for a correct scheme).
+    pub exceeded: Vec<(NodeId, NodeId)>,
+    /// Pairs that failed to route at all (loop / bad port / unroutable).
+    pub failed: Vec<(NodeId, NodeId)>,
+    /// The largest *measured* algebraic stretch over all delivered pairs
+    /// (`None` when nothing was delivered or a measured stretch exceeded
+    /// the probe horizon).
+    pub max_measured_stretch: Option<u32>,
+    /// The stretch bound that was checked.
+    pub checked_bound: u32,
+}
+
+impl StretchReport {
+    /// `true` when every pair routed and met the bound.
+    pub fn all_within_bound(&self) -> bool {
+        self.failed.is_empty() && self.exceeded.is_empty()
+    }
+
+    /// Fraction of delivered pairs routed on exactly preferred paths.
+    pub fn optimal_fraction(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.optimal as f64 / self.pairs as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StretchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}/{} pairs within stretch-{} ({} optimal, {} degenerate, {} exceeded, {} failed), max measured stretch {:?}",
+            self.scheme,
+            self.within_bound,
+            self.pairs,
+            self.checked_bound,
+            self.optimal,
+            self.degenerate,
+            self.exceeded.len(),
+            self.failed.len(),
+            self.max_measured_stretch
+        )
+    }
+}
+
+/// Routes every ordered pair through `scheme`, weighs the traversed path
+/// under `alg`, and checks Definition 3 against `preferred` ground truth
+/// with the given stretch bound `k`.
+///
+/// `preferred(s, t)` must return the preferred `s → t` weight (`φ` when
+/// unreachable); unreachable pairs are skipped (a correct scheme has
+/// nothing to deliver).
+pub fn verify_scheme<A, S>(
+    graph: &Graph,
+    weights: &EdgeWeights<A::W>,
+    alg: &A,
+    scheme: &S,
+    k: u32,
+    preferred: impl Fn(NodeId, NodeId) -> PathWeight<A::W>,
+) -> StretchReport
+where
+    A: RoutingAlgebra,
+    S: RoutingScheme,
+{
+    let mut report = StretchReport {
+        scheme: scheme.name(),
+        pairs: 0,
+        optimal: 0,
+        within_bound: 0,
+        degenerate: 0,
+        exceeded: Vec::new(),
+        failed: Vec::new(),
+        max_measured_stretch: None,
+        checked_bound: k,
+    };
+    for s in graph.nodes() {
+        for t in graph.nodes() {
+            if s == t {
+                continue;
+            }
+            let truth = preferred(s, t);
+            if truth.is_infinite() {
+                continue;
+            }
+            report.pairs += 1;
+            let path = match route(scheme, graph, s, t) {
+                Ok(p) => p,
+                Err(_) => {
+                    report.failed.push((s, t));
+                    continue;
+                }
+            };
+            let got = weights.path_weight(alg, graph, &path);
+            if alg.compare_pw(&got, &truth) == Ordering::Equal {
+                report.optimal += 1;
+            }
+            match check_stretch(alg, &got, &truth, k) {
+                StretchVerdict::Within => report.within_bound += 1,
+                StretchVerdict::DegenerateBound => {
+                    report.degenerate += 1;
+                    report.within_bound += 1;
+                }
+                StretchVerdict::Exceeded => report.exceeded.push((s, t)),
+                StretchVerdict::Unreachable => unreachable!("truth checked finite"),
+            }
+            if let Some(m) = measured_stretch(alg, &got, &truth, 4 * k) {
+                report.max_measured_stretch = Some(report.max_measured_stretch.unwrap_or(0).max(m));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::dest_table::DestTable;
+    use crate::{CowenScheme, LandmarkStrategy};
+    use cpr_algebra::policies::ShortestPath;
+
+    use cpr_graph::generators;
+    use cpr_paths::AllPairs;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dest_table_is_stretch_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(700);
+        let g = generators::gnp_connected(25, 0.15, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        let report = verify_scheme(&g, &w, &ShortestPath, &scheme, 1, |s, t| *ap.weight(s, t));
+        assert!(report.all_within_bound(), "{report}");
+        assert_eq!(report.optimal, report.pairs);
+        assert_eq!(report.optimal_fraction(), 1.0);
+        assert_eq!(report.max_measured_stretch, Some(1));
+    }
+
+    #[test]
+    fn cowen_report_within_three() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(701);
+        let g = generators::barabasi_albert(30, 2, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        let scheme = CowenScheme::build(
+            &g,
+            &w,
+            &ShortestPath,
+            LandmarkStrategy::TzRandom { attempts: 4 },
+            &mut rng,
+        );
+        let report = verify_scheme(&g, &w, &ShortestPath, &scheme, 3, |s, t| *ap.weight(s, t));
+        assert!(report.all_within_bound(), "{report}");
+        assert!(report.max_measured_stretch.unwrap() <= 3);
+        assert!(report.to_string().contains("within stretch-3"));
+    }
+
+    #[test]
+    fn skips_unreachable_pairs() {
+        let g = cpr_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        let report = verify_scheme(&g, &w, &ShortestPath, &scheme, 1, |s, t| *ap.weight(s, t));
+        // Only the 2 + 2 intra-component ordered pairs count.
+        assert_eq!(report.pairs, 4);
+        assert!(report.all_within_bound());
+    }
+}

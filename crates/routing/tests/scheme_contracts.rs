@@ -1,0 +1,164 @@
+//! Contract tests applied uniformly to every routing scheme in the crate
+//! through the [`RoutingScheme`] trait: delivered paths are genuine graph
+//! paths with the right endpoints, self-routing is trivial, headers stay
+//! within their declared bit budget, and memory accounting is internally
+//! consistent.
+
+use cpr_algebra::policies::{self, ShortestPath, WidestPath};
+use cpr_graph::{generators, EdgeWeights, Graph};
+use cpr_paths::{shortest_widest_exact, AllPairs};
+use cpr_routing::{
+    route, CowenScheme, DestTable, IntervalTreeRouting, LabelSwapping, LandmarkStrategy,
+    MemoryReport, RoutingScheme, SrcDestTable, SwClassTable, TzTreeRouting,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// The generic contract every scheme must satisfy on a connected graph.
+fn check_contract<S: RoutingScheme>(g: &Graph, scheme: &S) -> Result<(), TestCaseError> {
+    prop_assert_eq!(scheme.node_count(), g.node_count());
+    let report = MemoryReport::measure(scheme);
+    prop_assert_eq!(report.nodes, g.node_count());
+    prop_assert!(report.total_bits >= report.max_local_bits);
+    prop_assert!(report.avg_local_bits() <= report.max_local_bits as f64 + 1e-9);
+
+    for s in g.nodes() {
+        // Self-routing is the trivial path.
+        prop_assert_eq!(
+            route(scheme, g, s, s).ok(),
+            Some(vec![s]),
+            "self-route at {} must be trivial",
+            s
+        );
+        for t in g.nodes() {
+            if s == t {
+                continue;
+            }
+            let path = match route(scheme, g, s, t) {
+                Ok(p) => p,
+                Err(e) => return Err(TestCaseError::fail(format!("{s} → {t}: {e}"))),
+            };
+            prop_assert_eq!(*path.first().unwrap(), s);
+            prop_assert_eq!(*path.last().unwrap(), t);
+            for hop in path.windows(2) {
+                prop_assert!(
+                    g.contains_edge(hop[0], hop[1]),
+                    "{} → {}: non-edge hop {:?}",
+                    s,
+                    t,
+                    hop
+                );
+            }
+            // The hop budget of `route` already guards against loops; a
+            // delivered path of length > n would indicate one anyway.
+            prop_assert!(path.len() <= g.node_count());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All seven schemes honour the contract on random connected graphs.
+    #[test]
+    fn all_schemes_satisfy_the_contract(n in 5usize..16, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, 0.3, &mut rng(seed));
+        let mut r = rng(seed ^ 0xC0117AC7);
+
+        let sp = EdgeWeights::random(&g, &ShortestPath, &mut r);
+        check_contract(&g, &DestTable::build(&g, &sp, &ShortestPath))?;
+
+        let wp = EdgeWeights::random(&g, &WidestPath, &mut r);
+        check_contract(&g, &IntervalTreeRouting::spanning(&g, &wp, &WidestPath))?;
+        check_contract(&g, &TzTreeRouting::spanning(&g, &wp, &WidestPath))?;
+
+        check_contract(
+            &g,
+            &CowenScheme::build(
+                &g,
+                &sp,
+                &ShortestPath,
+                LandmarkStrategy::TzRandom { attempts: 3 },
+                &mut r,
+            ),
+        )?;
+
+        let sw = policies::shortest_widest();
+        let sww = EdgeWeights::random(&g, &sw, &mut r);
+        check_contract(
+            &g,
+            &SrcDestTable::build(&g, "sw", |s| {
+                let routes = shortest_widest_exact(&g, &sww, s);
+                g.nodes().map(|t| routes.path_to(t).map(<[_]>::to_vec)).collect()
+            }),
+        )?;
+        check_contract(&g, &SwClassTable::build(&g, &sww))?;
+
+        let ap = AllPairs::compute(&g, &sp, &ShortestPath);
+        check_contract(&g, &LabelSwapping::provision(&g, "sp", |s, t| ap.path(s, t)))?;
+    }
+
+    /// Header bit budgets: every scheme's headers stay within its declared
+    /// `header_bits` (checked via the information content of the header
+    /// space each scheme uses).
+    #[test]
+    fn declared_header_bits_are_honest(n in 8usize..32, seed in any::<u64>()) {
+        let g = generators::barabasi_albert(n, 2, &mut rng(seed));
+        let mut r = rng(seed ^ 0xBEEF);
+        let sp = EdgeWeights::random(&g, &ShortestPath, &mut r);
+        // Destination tables: the header is a node id.
+        let tables = DestTable::build(&g, &sp, &ShortestPath);
+        prop_assert!(tables.header_bits() as u32 >= (usize::BITS - (n - 1).leading_zeros()));
+        // Label swapping: the header must cover the largest label table.
+        let ap = AllPairs::compute(&g, &sp, &ShortestPath);
+        let ls = LabelSwapping::provision(&g, "sp", |s, t| ap.path(s, t));
+        prop_assert!(
+            (1u64 << ls.header_bits().min(63)) as usize >= ls.max_table_len(),
+            "label space 2^{} cannot address {} labels",
+            ls.header_bits(),
+            ls.max_table_len()
+        );
+    }
+}
+
+#[test]
+fn schemes_report_distinct_names() {
+    let g = generators::cycle(6);
+    let mut r = rng(1);
+    let sp = EdgeWeights::random(&g, &ShortestPath, &mut r);
+    let wp = EdgeWeights::random(&g, &WidestPath, &mut r);
+    let sw = policies::shortest_widest();
+    let sww = EdgeWeights::random(&g, &sw, &mut r);
+    let ap = AllPairs::compute(&g, &sp, &ShortestPath);
+    let names = vec![
+        DestTable::build(&g, &sp, &ShortestPath).name(),
+        IntervalTreeRouting::spanning(&g, &wp, &WidestPath).name(),
+        TzTreeRouting::spanning(&g, &wp, &WidestPath).name(),
+        CowenScheme::build(
+            &g,
+            &sp,
+            &ShortestPath,
+            LandmarkStrategy::GreedyCluster { threshold: None },
+            &mut r,
+        )
+        .name(),
+        SrcDestTable::build(&g, "sw", |s| {
+            let routes = shortest_widest_exact(&g, &sww, s);
+            g.nodes()
+                .map(|t| routes.path_to(t).map(<[_]>::to_vec))
+                .collect()
+        })
+        .name(),
+        SwClassTable::build(&g, &sww).name(),
+        LabelSwapping::provision(&g, "sp", |s, t| ap.path(s, t)).name(),
+    ];
+    let mut unique = names.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), names.len(), "scheme names collide: {names:?}");
+}

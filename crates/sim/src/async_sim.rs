@@ -1,0 +1,549 @@
+//! An asynchronous, event-driven path-vector simulator.
+//!
+//! The synchronous [`Simulator`](crate::Simulator) models lock-step
+//! rounds; real protocols deliver messages with arbitrary per-link
+//! delays. This module runs the same path-vector protocol over a
+//! discrete-event queue with (seeded) random delivery delays and
+//! per-neighbour Adj-RIB-In state, exactly like a BGP speaker: a node
+//! stores the latest advertisement from each neighbour per destination,
+//! re-selects when one changes, and advertises its own selection to every
+//! neighbour when — and only when — it changed.
+//!
+//! For the monotone algebras of the paper the protocol is safe: the
+//! simulation quiesces, and the final RIBs must (and in the tests do)
+//! agree with the synchronous fixpoint and the centralized solvers,
+//! regardless of the delay schedule.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use cpr_algebra::{PathWeight, RoutingAlgebra};
+use cpr_graph::{Graph, NodeId};
+use rand::Rng;
+
+use crate::sim::Route;
+
+/// Per-node Adj-RIB-In: `[port][destination] → latest advertisement`.
+type AdjRibIn<W> = Vec<Vec<Option<Route<W>>>>;
+
+/// Statistics of an asynchronous run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AsyncReport {
+    /// Events (message deliveries) processed.
+    pub events: u64,
+    /// Virtual time of the last delivery.
+    pub quiesce_time: u64,
+    /// Whether the queue drained before the event budget.
+    pub converged: bool,
+}
+
+/// A queued message: `route` is the sender's selected route towards
+/// `dest` (`None` = withdrawal).
+#[derive(Clone, Debug)]
+struct Message<W> {
+    at: u64,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    dest: NodeId,
+    route: Option<Route<W>>,
+}
+
+impl<W> PartialEq for Message<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Message<W> {}
+impl<W> PartialOrd for Message<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Message<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first, with the
+        // sequence number as a deterministic FIFO tie-break.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The asynchronous path-vector simulator. See module docs.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::policies::ShortestPath;
+/// use cpr_graph::{generators, EdgeWeights};
+/// use cpr_sim::AsyncSimulator;
+/// use rand::SeedableRng;
+///
+/// let g = generators::cycle(5);
+/// let w = EdgeWeights::uniform(&g, 1u64);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 10);
+/// let report = sim.run(&mut rng, 1_000_000);
+/// assert!(report.converged);
+/// assert_eq!(sim.route(0, 2).unwrap().weight, 2);
+/// ```
+pub struct AsyncSimulator<'a, A: RoutingAlgebra, F> {
+    graph: &'a Graph,
+    alg: &'a A,
+    arc_weight: F,
+    max_delay: u64,
+    /// `adj_in[u][port][t]`: the latest advertisement from the neighbour
+    /// behind `port` for destination `t` (as *their* route).
+    adj_in: Vec<AdjRibIn<A::W>>,
+    /// `rib[u][t]`: `u`'s current selection.
+    rib: Vec<Vec<Option<Route<A::W>>>>,
+    queue: BinaryHeap<Message<A::W>>,
+    /// `channel_clock[u][port]`: the delivery time of the last message
+    /// scheduled on the channel `u → neighbour(port)`. Channels are FIFO
+    /// (like the TCP sessions under BGP): a later advertisement is never
+    /// delivered before an earlier one on the same channel, otherwise a
+    /// stale route could overwrite a fresh one in the Adj-RIB-In.
+    channel_clock: Vec<Vec<u64>>,
+    /// Administratively-down links, by edge id: no messages cross them.
+    down: Vec<bool>,
+    seq: u64,
+    now: u64,
+}
+
+impl<'a, A, F> AsyncSimulator<'a, A, F>
+where
+    A: RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+{
+    /// Creates the simulator and seeds the event queue with every node's
+    /// self-origination (each node advertises itself to all neighbours at
+    /// time 0…max_delay).
+    pub fn new(graph: &'a Graph, alg: &'a A, arc_weight: F, max_delay: u64) -> Self {
+        let n = graph.node_count();
+        let adj_in: Vec<AdjRibIn<A::W>> = (0..n)
+            .map(|u| vec![vec![None; n]; graph.degree(u)])
+            .collect();
+        let channel_clock = (0..n).map(|u| vec![0; graph.degree(u)]).collect();
+        let mut sim = AsyncSimulator {
+            graph,
+            alg,
+            arc_weight,
+            max_delay: max_delay.max(1),
+            adj_in,
+            rib: vec![vec![None; n]; n],
+            queue: BinaryHeap::new(),
+            channel_clock,
+            down: vec![false; graph.edge_count()],
+            seq: 0,
+            now: 0,
+        };
+        // Self-origination: destination v announces itself. Encoded as a
+        // route with the trivial path [v]; receivers extend it with the
+        // incoming arc.
+        for v in 0..n {
+            for (u, _) in graph.neighbors(v) {
+                let msg = Message {
+                    at: 0,
+                    seq: sim.seq,
+                    from: v,
+                    to: u,
+                    dest: v,
+                    route: Some(Route {
+                        // The weight field of a trivial route is never
+                        // read (the receiver uses only the arc weight);
+                        // carry the arc weight as a placeholder.
+                        weight: (sim.arc_weight)(u, v).unwrap_or_else(|| {
+                            // One-way arcs: the reverse direction may be
+                            // absent; receivers check again anyway.
+                            (sim.arc_weight)(v, u).expect("edge has some direction")
+                        }),
+                        path: vec![v],
+                    }),
+                };
+                sim.seq += 1;
+                sim.queue.push(msg);
+            }
+        }
+        sim
+    }
+
+    /// The selected route of `u` towards `t`.
+    pub fn route(&self, u: NodeId, t: NodeId) -> Option<&Route<A::W>> {
+        self.rib[u][t].as_ref()
+    }
+
+    /// The weight of `u`'s route to `t` as a [`PathWeight`].
+    pub fn weight(&self, u: NodeId, t: NodeId) -> PathWeight<A::W> {
+        self.rib[u][t].as_ref().map(|r| r.weight.clone()).into()
+    }
+
+    /// Extends the advertised route with the incoming arc, or `None` when
+    /// not traversable / looping.
+    fn extend(&self, to: NodeId, from: NodeId, advert: &Route<A::W>) -> Option<Route<A::W>> {
+        if advert.path.contains(&to) {
+            return None;
+        }
+        let w_arc = (self.arc_weight)(to, from)?;
+        let weight = if advert.path.len() == 1 {
+            // Trivial origin route: the path weight is just the arc.
+            w_arc
+        } else {
+            match self.alg.combine(&w_arc, &advert.weight) {
+                PathWeight::Finite(w) => w,
+                PathWeight::Infinite => return None,
+            }
+        };
+        let mut path = Vec::with_capacity(advert.path.len() + 1);
+        path.push(to);
+        path.extend_from_slice(&advert.path);
+        Some(Route { weight, path })
+    }
+
+    /// Re-selects `u`'s route for `dest` from the Adj-RIB-In; returns
+    /// `true` when the selection changed.
+    fn reselect(&mut self, u: NodeId, dest: NodeId) -> bool {
+        let mut best: Option<Route<A::W>> = None;
+        for (port, (v, edge)) in self.graph.neighbors(u).enumerate() {
+            if self.down[edge] {
+                continue;
+            }
+            let Some(advert) = self.adj_in[u][port][dest].clone() else {
+                continue;
+            };
+            let _ = v;
+            let Some(cand) = self.extend(u, advert.path[0], &advert) else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some(cur) => match self.alg.compare(&cand.weight, &cur.weight) {
+                    Ordering::Less => true,
+                    Ordering::Greater => false,
+                    Ordering::Equal => {
+                        cand.path.len() < cur.path.len()
+                            || (cand.path.len() == cur.path.len() && cand.path < cur.path)
+                    }
+                },
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+        if self.rib[u][dest] != best {
+            self.rib[u][dest] = best;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fails the link between `a` and `b` at the current virtual time:
+    /// both ends purge the channel's Adj-RIB-In entries, re-select every
+    /// affected destination, and (per the normal protocol reaction)
+    /// advertise the changes — withdrawals included — to their remaining
+    /// neighbours. Call [`run`](Self::run) afterwards to re-converge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{a, b}` is not an edge.
+    pub fn fail_link<R: Rng + ?Sized>(&mut self, a: NodeId, b: NodeId, rng: &mut R) {
+        let e = self
+            .graph
+            .edge_between(a, b)
+            .expect("failed link must exist");
+        self.down[e] = true;
+        let n = self.graph.node_count();
+        for (this, other) in [(a, b), (b, a)] {
+            let port = self
+                .graph
+                .port_towards(this, other)
+                .expect("edge checked above");
+            for dest in 0..n {
+                self.adj_in[this][port][dest] = None;
+            }
+            // The failed channel also drops in-flight messages.
+            let dropped: Vec<Message<A::W>> = std::mem::take(&mut self.queue)
+                .into_iter()
+                .filter(|m| !(m.from == other && m.to == this))
+                .collect();
+            self.queue = dropped.into_iter().collect();
+            for dest in 0..n {
+                if dest != this && self.reselect(this, dest) {
+                    self.advertise(this, dest, rng);
+                }
+            }
+        }
+    }
+
+    /// Sends `node`'s current selection for `dest` to all its neighbours
+    /// (a `None` selection is a withdrawal), respecting channel FIFO.
+    fn advertise<R: Rng + ?Sized>(&mut self, node: NodeId, dest: NodeId, rng: &mut R) {
+        let advert = self.rib[node][dest].clone();
+        let nbrs: Vec<(NodeId, cpr_graph::EdgeId)> = self.graph.neighbors(node).collect();
+        for (port, (nbr, edge)) in nbrs.into_iter().enumerate() {
+            if self.down[edge] {
+                continue;
+            }
+            let delay = rng.gen_range(1..=self.max_delay);
+            let at = (self.now + delay).max(self.channel_clock[node][port] + 1);
+            self.channel_clock[node][port] = at;
+            self.queue.push(Message {
+                at,
+                seq: self.seq,
+                from: node,
+                to: nbr,
+                dest,
+                route: advert.clone(),
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Runs until the queue drains or `max_events` deliveries.
+    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R, max_events: u64) -> AsyncReport {
+        let mut events = 0;
+        while let Some(msg) = self.queue.pop() {
+            events += 1;
+            if events > max_events {
+                return AsyncReport {
+                    events: events - 1,
+                    quiesce_time: self.now,
+                    converged: false,
+                };
+            }
+            self.now = msg.at;
+            let Message {
+                from,
+                to,
+                dest,
+                route,
+                ..
+            } = msg;
+            let port = self
+                .graph
+                .port_towards(to, from)
+                .expect("messages travel along edges");
+            self.adj_in[to][port][dest] = route;
+            if dest != to && self.reselect(to, dest) {
+                self.advertise(to, dest, rng);
+            }
+        }
+        AsyncReport {
+            events,
+            quiesce_time: self.now,
+            converged: true,
+        }
+    }
+}
+
+impl<'a, A> AsyncSimulator<'a, A, Box<dyn Fn(NodeId, NodeId) -> Option<A::W> + 'a>>
+where
+    A: RoutingAlgebra,
+{
+    /// Convenience constructor for symmetric intra-domain weightings.
+    pub fn from_edge_weights(
+        graph: &'a Graph,
+        alg: &'a A,
+        weights: &'a cpr_graph::EdgeWeights<A::W>,
+        max_delay: u64,
+    ) -> Self {
+        let f: Box<dyn Fn(NodeId, NodeId) -> Option<A::W> + 'a> =
+            Box::new(move |u, v| graph.edge_between(u, v).map(|e| weights.weight(e).clone()));
+        AsyncSimulator::new(graph, alg, f, max_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use cpr_algebra::policies::{self, ShortestPath, WidestPath};
+
+    use cpr_graph::{generators, EdgeWeights};
+    use cpr_paths::dijkstra;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quiesces_to_dijkstra_under_random_delays() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1100);
+        for trial in 0..3 {
+            let g = generators::gnp_connected(18, 0.2, &mut rng);
+            let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+            let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 25);
+            let report = sim.run(&mut rng, 5_000_000);
+            assert!(report.converged, "trial {trial}");
+            for t in g.nodes() {
+                let tree = dijkstra(&g, &w, &ShortestPath, t);
+                for u in g.nodes() {
+                    if u != t {
+                        assert_eq!(
+                            ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                            Ordering::Equal,
+                            "trial {trial}: {u} → {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_and_sync_fixpoints_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1101);
+        let g = generators::barabasi_albert(16, 2, &mut rng);
+        let ws = policies::widest_shortest();
+        let w = EdgeWeights::random(&g, &ws, &mut rng);
+        let mut async_sim = AsyncSimulator::from_edge_weights(&g, &ws, &w, 13);
+        assert!(async_sim.run(&mut rng, 5_000_000).converged);
+        let mut sync_sim = Simulator::from_edge_weights(&g, &ws, &w);
+        assert!(sync_sim.run_to_convergence(300).converged);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s != t {
+                    assert_eq!(
+                        ws.compare_pw(&async_sim.weight(s, t), &sync_sim.weight(s, t)),
+                        Ordering::Equal,
+                        "{s} → {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delay_schedule_does_not_change_fixpoint() {
+        let mut topo_rng = rand::rngs::StdRng::seed_from_u64(1102);
+        let g = generators::gnp_connected(12, 0.3, &mut topo_rng);
+        let w = EdgeWeights::random(&g, &WidestPath, &mut topo_rng);
+        let mut weights_per_schedule = Vec::new();
+        for seed in [7u64, 8, 9] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut sim = AsyncSimulator::from_edge_weights(&g, &WidestPath, &w, 50);
+            assert!(sim.run(&mut rng, 5_000_000).converged);
+            let snapshot: Vec<PathWeight<_>> = (0..g.node_count())
+                .flat_map(|s| (0..g.node_count()).map(move |t| (s, t)))
+                .map(|(s, t)| sim.weight(s, t))
+                .collect();
+            weights_per_schedule.push(snapshot);
+        }
+        for pair in weights_per_schedule.windows(2) {
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                assert_eq!(
+                    WidestPath.compare_pw(a, b),
+                    Ordering::Equal,
+                    "fixpoint depends on delays"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_budget_reports_nonconvergence() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1103);
+        let g = generators::grid(4, 4);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 5);
+        let report = sim.run(&mut rng, 10);
+        assert!(!report.converged);
+        assert_eq!(report.events, 10);
+    }
+
+    #[test]
+    fn virtual_time_progresses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1104);
+        let g = generators::path(6);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 10);
+        let report = sim.run(&mut rng, 1_000_000);
+        assert!(report.converged);
+        // Information about the far end needs ≥ path-length deliveries.
+        assert!(report.quiesce_time >= 5, "time = {}", report.quiesce_time);
+        assert!(report.events >= 10);
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use cpr_algebra::policies::ShortestPath;
+
+    use cpr_graph::{generators, EdgeWeights, Graph};
+    use cpr_paths::dijkstra;
+    use rand::SeedableRng;
+
+    #[test]
+    fn withdrawal_storm_reconverges_to_degraded_truth() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1200);
+        let g = generators::gnp_connected(16, 0.3, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 17);
+        assert!(sim.run(&mut rng, 5_000_000).converged);
+
+        // Fail a non-bridge edge.
+        let (fail_e, (a, b)) = g
+            .edges()
+            .find(|&(e, _)| {
+                let g2 = Graph::from_edges(
+                    g.node_count(),
+                    g.edges().filter(|&(e2, _)| e2 != e).map(|(_, uv)| uv),
+                )
+                .unwrap();
+                cpr_graph::traversal::is_connected(&g2)
+            })
+            .expect("non-bridge edge exists");
+        sim.fail_link(a, b, &mut rng);
+        assert!(sim.run(&mut rng, 5_000_000).converged);
+
+        let g2 = Graph::from_edges(
+            g.node_count(),
+            g.edges().filter(|&(e2, _)| e2 != fail_e).map(|(_, uv)| uv),
+        )
+        .unwrap();
+        let w2 = EdgeWeights::from_vec(
+            &g2,
+            g.edges()
+                .filter(|&(e2, _)| e2 != fail_e)
+                .map(|(e2, _)| *w.weight(e2))
+                .collect(),
+        );
+        for t in g2.nodes() {
+            let tree = dijkstra(&g2, &w2, &ShortestPath, t);
+            for u in g2.nodes() {
+                if u != t {
+                    assert_eq!(
+                        ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                        Ordering::Equal,
+                        "{u} → {t} after failing ({a}, {b})"
+                    );
+                    // No surviving route uses the dead link.
+                    let route = sim.route(u, t).unwrap();
+                    for hop in route.path.windows(2) {
+                        assert!(
+                            !((hop[0] == a && hop[1] == b) || (hop[0] == b && hop[1] == a)),
+                            "route {u} → {t} still crosses the failed link"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_failure_withdraws_routes_entirely() {
+        // A path graph: failing the middle edge partitions it, and the
+        // far side's routes must be withdrawn (not just rerouted).
+        let g = generators::path(4);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1201);
+        let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 7);
+        assert!(sim.run(&mut rng, 1_000_000).converged);
+        assert!(sim.weight(0, 3).is_finite());
+        sim.fail_link(1, 2, &mut rng);
+        assert!(sim.run(&mut rng, 1_000_000).converged);
+        assert!(
+            sim.weight(0, 3).is_infinite(),
+            "partitioned route must vanish"
+        );
+        assert!(sim.weight(0, 1).is_finite());
+        assert!(sim.weight(3, 2).is_finite());
+    }
+}

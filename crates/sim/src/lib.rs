@@ -1,0 +1,30 @@
+//! # cpr-sim — a distributed path-vector protocol simulator
+//!
+//! Round-synchronous message-passing simulation of the path-vector
+//! protocols that routing algebras model (paper §2.4 and §5): nodes
+//! advertise selected routes, extend neighbours' routes with arc weights
+//! right-associatively, drop loops via the carried path, and select by
+//! the algebra's preference. Supports asymmetric arcs (BGP words),
+//! convergence/message accounting, and link failure + re-convergence.
+//!
+//! ```
+//! use cpr_algebra::policies::ShortestPath;
+//! use cpr_graph::{generators, EdgeWeights};
+//! use cpr_sim::Simulator;
+//!
+//! let g = generators::grid(3, 3);
+//! let w = EdgeWeights::uniform(&g, 1u64);
+//! let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+//! let report = sim.run_to_convergence(100);
+//! assert!(report.converged);
+//! assert_eq!(sim.route(0, 8).unwrap().weight, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod async_sim;
+mod sim;
+
+pub use async_sim::{AsyncReport, AsyncSimulator};
+pub use sim::{ConvergenceReport, Route, Simulator};

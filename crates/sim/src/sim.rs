@@ -1,0 +1,433 @@
+//! A synchronous path-vector protocol simulator.
+//!
+//! The paper grounds its algebra semantics in path-vector protocols: link
+//! weights compose from the destination towards the source (§5), and
+//! regular algebras are exactly the ones a distributed, destination-based
+//! protocol can implement (§2.4). This simulator runs the protocol
+//! directly: every node keeps a RIB with its selected route per
+//! destination, advertises changes to its neighbours each round, extends
+//! received routes with the incoming arc's weight (right-associatively),
+//! discards routes whose AS-path already contains it (loop prevention),
+//! and selects per destination by the algebra's preference.
+//!
+//! Arc weights come from a caller-supplied function, so the same engine
+//! runs symmetric intra-domain weightings and asymmetric BGP-style arc
+//! words; arcs may be absent in one direction (`None`).
+
+use std::cmp::Ordering;
+
+use cpr_algebra::{PathWeight, RoutingAlgebra};
+use cpr_graph::{Graph, NodeId};
+
+/// A selected route in a node's RIB.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Route<W> {
+    /// The route's weight under the protocol's algebra.
+    pub weight: W,
+    /// The full node path `[self, …, destination]` (path-vector loop
+    /// prevention needs it, exactly like BGP's AS-path).
+    pub path: Vec<NodeId>,
+}
+
+impl<W> Route<W> {
+    /// The next hop (the second node on the path).
+    pub fn next_hop(&self) -> NodeId {
+        self.path[1]
+    }
+}
+
+/// Statistics of a convergence run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Rounds executed until no RIB changed (or the cutoff).
+    pub rounds: u32,
+    /// Total route advertisements sent (changed routes × neighbours).
+    pub messages: u64,
+    /// Whether a fixpoint was reached within the round budget.
+    pub converged: bool,
+}
+
+/// The synchronous path-vector simulator. See module docs.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_algebra::policies::ShortestPath;
+/// use cpr_graph::{generators, EdgeWeights};
+/// use cpr_sim::Simulator;
+///
+/// let g = generators::cycle(6);
+/// let w = EdgeWeights::uniform(&g, 1u64);
+/// let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+/// let report = sim.run_to_convergence(100);
+/// assert!(report.converged);
+/// assert_eq!(sim.route(0, 3).unwrap().weight, 3);
+/// ```
+pub struct Simulator<'a, A: RoutingAlgebra, F> {
+    graph: &'a Graph,
+    alg: &'a A,
+    arc_weight: F,
+    /// `rib[u][t]`: `u`'s selected route to `t`.
+    rib: Vec<Vec<Option<Route<A::W>>>>,
+    /// Links administratively down (by edge id).
+    down: Vec<bool>,
+    total_messages: u64,
+}
+
+impl<'a, A, F> Simulator<'a, A, F>
+where
+    A: RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+{
+    /// Creates a simulator with an explicit arc-weight function
+    /// (`arc_weight(u, v)` is the weight of traversing `u → v`, `None`
+    /// when that direction is not traversable).
+    pub fn new(graph: &'a Graph, alg: &'a A, arc_weight: F) -> Self {
+        let n = graph.node_count();
+        Simulator {
+            graph,
+            alg,
+            arc_weight,
+            rib: vec![vec![None; n]; n],
+            down: vec![false; graph.edge_count()],
+            total_messages: 0,
+        }
+    }
+
+    /// The selected route of `u` towards `t`, if any.
+    pub fn route(&self, u: NodeId, t: NodeId) -> Option<&Route<A::W>> {
+        self.rib[u][t].as_ref()
+    }
+
+    /// The weight of `u`'s route to `t` as a [`PathWeight`].
+    pub fn weight(&self, u: NodeId, t: NodeId) -> PathWeight<A::W> {
+        self.rib[u][t].as_ref().map(|r| r.weight.clone()).into()
+    }
+
+    /// Messages sent since construction.
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Marks the link between `u` and `v` as failed and flushes every RIB
+    /// route whose path used it; the next
+    /// [`run_to_convergence`](Self::run_to_convergence) re-converges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge.
+    pub fn fail_link(&mut self, u: NodeId, v: NodeId) {
+        let e = self
+            .graph
+            .edge_between(u, v)
+            .expect("failed link must exist");
+        self.down[e] = true;
+        for rib in &mut self.rib {
+            for slot in rib.iter_mut() {
+                let uses = slot.as_ref().is_some_and(|r| {
+                    r.path
+                        .windows(2)
+                        .any(|h| (h[0] == u && h[1] == v) || (h[0] == v && h[1] == u))
+                });
+                if uses {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    /// Restores a previously failed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge.
+    pub fn restore_link(&mut self, u: NodeId, v: NodeId) {
+        let e = self
+            .graph
+            .edge_between(u, v)
+            .expect("restored link must exist");
+        self.down[e] = false;
+    }
+
+    fn arc(&self, u: NodeId, v: NodeId) -> Option<A::W> {
+        let e = self.graph.edge_between(u, v)?;
+        if self.down[e] {
+            return None;
+        }
+        (self.arc_weight)(u, v)
+    }
+
+    /// `true` when `cand` should replace `cur` (preference, then shorter
+    /// path, then smaller next hop — deterministic).
+    fn better(&self, cand: &Route<A::W>, cur: &Option<Route<A::W>>) -> bool {
+        match cur {
+            None => true,
+            Some(cur) => match self.alg.compare(&cand.weight, &cur.weight) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => {
+                    cand.path.len() < cur.path.len()
+                        || (cand.path.len() == cur.path.len() && cand.next_hop() < cur.next_hop())
+                }
+            },
+        }
+    }
+
+    /// Runs synchronous rounds until no RIB changes or `max_rounds` is
+    /// hit. Each round every node re-selects each destination from its
+    /// neighbours' *previous-round* routes (Jacobi iteration — the
+    /// message-accurate model of simultaneous advertisement exchange).
+    pub fn run_to_convergence(&mut self, max_rounds: u32) -> ConvergenceReport {
+        let n = self.graph.node_count();
+        let mut rounds = 0;
+        let mut converged = false;
+        let mut messages = 0u64;
+        while rounds < max_rounds {
+            rounds += 1;
+            let mut next = self.rib.clone();
+            let mut changed = 0u64;
+            for u in 0..n {
+                for t in 0..n {
+                    if t == u {
+                        continue;
+                    }
+                    // Re-select from scratch among current advertisements.
+                    let mut best: Option<Route<A::W>> = None;
+                    for (v, _) in self.graph.neighbors(u) {
+                        let Some(w_uv) = self.arc(u, v) else { continue };
+                        let cand = if v == t {
+                            Some(Route {
+                                weight: w_uv,
+                                path: vec![u, t],
+                            })
+                        } else {
+                            self.rib[v][t].as_ref().and_then(|r| {
+                                if r.path.contains(&u) {
+                                    return None; // loop prevention
+                                }
+                                match self.alg.combine(&w_uv, &r.weight) {
+                                    PathWeight::Finite(w) => {
+                                        let mut path = Vec::with_capacity(r.path.len() + 1);
+                                        path.push(u);
+                                        path.extend_from_slice(&r.path);
+                                        Some(Route { weight: w, path })
+                                    }
+                                    PathWeight::Infinite => None,
+                                }
+                            })
+                        };
+                        if let Some(cand) = cand {
+                            if self.better(&cand, &best) {
+                                best = Some(cand);
+                            }
+                        }
+                    }
+                    if next[u][t] != best {
+                        changed += 1;
+                        next[u][t] = best;
+                    }
+                }
+            }
+            // Each changed route is advertised to every neighbour.
+            for u in 0..n {
+                for t in 0..n {
+                    if next[u][t] != self.rib[u][t] {
+                        messages += self.graph.degree(u) as u64;
+                    }
+                }
+            }
+            self.rib = next;
+            if changed == 0 {
+                converged = true;
+                break;
+            }
+        }
+        self.total_messages += messages;
+        ConvergenceReport {
+            rounds,
+            messages,
+            converged,
+        }
+    }
+}
+
+impl<'a, A> Simulator<'a, A, Box<dyn Fn(NodeId, NodeId) -> Option<A::W> + 'a>>
+where
+    A: RoutingAlgebra,
+{
+    /// Convenience constructor for symmetric intra-domain weightings: both
+    /// directions of every edge carry the edge's weight.
+    pub fn from_edge_weights(
+        graph: &'a Graph,
+        alg: &'a A,
+        weights: &'a cpr_graph::EdgeWeights<A::W>,
+    ) -> Self {
+        let f: Box<dyn Fn(NodeId, NodeId) -> Option<A::W> + 'a> =
+            Box::new(move |u, v| graph.edge_between(u, v).map(|e| weights.weight(e).clone()));
+        Simulator::new(graph, alg, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_algebra::policies::{self, ShortestPath, WidestPath};
+
+    use cpr_graph::{generators, EdgeWeights};
+    use cpr_paths::dijkstra;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_to_dijkstra_weights_shortest_path() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1000);
+        let g = generators::gnp_connected(25, 0.15, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+        let report = sim.run_to_convergence(200);
+        assert!(report.converged);
+        for t in g.nodes() {
+            let tree = dijkstra(&g, &w, &ShortestPath, t);
+            for u in g.nodes() {
+                if u == t {
+                    continue;
+                }
+                // Undirected symmetric weights: dist(u→t) = dist(t→u).
+                assert_eq!(
+                    ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                    Ordering::Equal,
+                    "{u} → {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn converges_for_widest_and_ws() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1001);
+        let g = generators::barabasi_albert(20, 2, &mut rng);
+        let wp = EdgeWeights::random(&g, &WidestPath, &mut rng);
+        let mut sim = Simulator::from_edge_weights(&g, &WidestPath, &wp);
+        assert!(sim.run_to_convergence(200).converged);
+        let ws = policies::widest_shortest();
+        let www = EdgeWeights::random(&g, &ws, &mut rng);
+        let mut sim2 = Simulator::from_edge_weights(&g, &ws, &www);
+        assert!(sim2.run_to_convergence(200).converged);
+        for t in g.nodes() {
+            let tree = dijkstra(&g, &www, &ws, t);
+            for u in g.nodes() {
+                if u != t {
+                    assert_eq!(
+                        ws.compare_pw(&sim2.weight(u, t), tree.weight(u)),
+                        Ordering::Equal
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn information_travels_one_hop_per_round() {
+        let g = generators::path(8);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+        let report = sim.run_to_convergence(100);
+        // Needs at least diameter rounds plus the quiet confirmation one.
+        assert!(report.rounds >= 7, "rounds = {}", report.rounds);
+        assert!(report.messages > 0);
+        assert_eq!(sim.total_messages(), report.messages);
+    }
+
+    #[test]
+    fn link_failure_reconverges_correctly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1002);
+        let g = generators::gnp_connected(15, 0.3, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+        assert!(sim.run_to_convergence(200).converged);
+        // Fail an edge whose removal keeps the graph connected.
+        let (fail_e, (fu, fv)) = g
+            .edges()
+            .find(|&(e, _)| {
+                let g2 = Graph::from_edges(
+                    g.node_count(),
+                    g.edges().filter(|&(e2, _)| e2 != e).map(|(_, uv)| uv),
+                )
+                .unwrap();
+                cpr_graph::traversal::is_connected(&g2)
+            })
+            .expect("some non-bridge edge");
+        sim.fail_link(fu, fv);
+        assert!(sim.run_to_convergence(300).converged);
+        // Ground truth on the reduced graph.
+        let g2 = Graph::from_edges(
+            g.node_count(),
+            g.edges().filter(|&(e2, _)| e2 != fail_e).map(|(_, uv)| uv),
+        )
+        .unwrap();
+        let w2 = EdgeWeights::from_vec(
+            &g2,
+            g.edges()
+                .filter(|&(e2, _)| e2 != fail_e)
+                .map(|(e2, _)| *w.weight(e2))
+                .collect(),
+        );
+        for t in g2.nodes() {
+            let tree = dijkstra(&g2, &w2, &ShortestPath, t);
+            for u in g2.nodes() {
+                if u != t {
+                    assert_eq!(
+                        ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                        Ordering::Equal,
+                        "{u} → {t} after failure"
+                    );
+                }
+            }
+        }
+        // Restoring the link converges back to the original weights.
+        sim.restore_link(fu, fv);
+        assert!(sim.run_to_convergence(300).converged);
+        let tree = dijkstra(&g, &w, &ShortestPath, 0);
+        for u in g.nodes() {
+            if u != 0 {
+                assert_eq!(
+                    ShortestPath.compare_pw(&sim.weight(u, 0), tree.weight(u)),
+                    Ordering::Equal
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_arcs_respected() {
+        // A 3-cycle where one direction of an edge is unusable: 0→1 only.
+        let g = generators::cycle(3);
+        let alg = ShortestPath;
+        let arc = |u: NodeId, v: NodeId| -> Option<u64> {
+            g.edge_between(u, v)?;
+            if (u, v) == (1, 0) {
+                None // one-way street
+            } else {
+                Some(1)
+            }
+        };
+        let mut sim = Simulator::new(&g, &alg, arc);
+        assert!(sim.run_to_convergence(50).converged);
+        // 1 cannot use the direct arc to 0; it goes 1 → 2 → 0.
+        assert_eq!(sim.route(1, 0).unwrap().path, vec![1, 2, 0]);
+        // 0 still uses the direct arc to 1.
+        assert_eq!(sim.route(0, 1).unwrap().path, vec![0, 1]);
+    }
+
+    #[test]
+    fn routes_expose_next_hop() {
+        let g = generators::path(3);
+        let w = EdgeWeights::uniform(&g, 2u64);
+        let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+        sim.run_to_convergence(50);
+        assert_eq!(sim.route(0, 2).unwrap().next_hop(), 1);
+        assert_eq!(sim.route(0, 2).unwrap().weight, 4);
+        assert!(sim.route(0, 0).is_none());
+    }
+
+    use cpr_graph::Graph;
+}

@@ -1,0 +1,90 @@
+//! Protocol dynamics: the distributed side of policy routing.
+//!
+//! ```text
+//! cargo run --release --example protocol_dynamics
+//! ```
+//!
+//! Runs the path-vector protocol that routing algebras model (§2.4, §5)
+//! in both synchronous rounds and an asynchronous event simulation with
+//! random delays, injects a link failure, watches the withdrawal storm
+//! re-converge, and finishes with the practitioner's inverse problem:
+//! re-inferring the AS relationships from nothing but the observed
+//! routes (Gao's algorithm).
+
+use compact_policy_routing::algebra::{policies, RoutingAlgebra};
+use compact_policy_routing::bgp::{
+    infer_relationships, inference_accuracy, internet_like, observed_routes, PreferCustomer,
+};
+use compact_policy_routing::graph::{generators, EdgeWeights};
+use compact_policy_routing::sim::{AsyncSimulator, Simulator};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+
+    // ── 1. Synchronous convergence: rounds ≈ network diameter. ──
+    let g = generators::barabasi_albert(60, 2, &mut rng);
+    let ws = policies::widest_shortest();
+    let w = EdgeWeights::random(&g, &ws, &mut rng);
+    let mut sync = Simulator::from_edge_weights(&g, &ws, &w);
+    let report = sync.run_to_convergence(500);
+    println!(
+        "synchronous path-vector, {} ({} nodes): {} rounds, {} messages, converged = {}",
+        ws.name(),
+        g.node_count(),
+        report.rounds,
+        report.messages,
+        report.converged
+    );
+
+    // ── 2. Asynchronous convergence: same fixpoint, despite chaos. ──
+    let mut async_sim = AsyncSimulator::from_edge_weights(&g, &ws, &w, 20);
+    let areport = async_sim.run(&mut rng, 50_000_000);
+    println!(
+        "asynchronous (random delays ≤ 20): {} events over {} virtual time units, converged = {}",
+        areport.events, areport.quiesce_time, areport.converged
+    );
+    let mut agree = true;
+    for s in g.nodes() {
+        for t in g.nodes() {
+            if s != t
+                && ws
+                    .compare_pw(&async_sim.weight(s, t), &sync.weight(s, t))
+                    .is_ne()
+            {
+                agree = false;
+            }
+        }
+    }
+    println!("async fixpoint equals sync fixpoint on all pairs: {agree}");
+    assert!(agree);
+
+    // ── 3. Failure injection: withdrawals propagate, routes heal. ──
+    let hub = g.nodes().max_by_key(|&v| g.degree(v)).unwrap();
+    let (victim, _) = g.neighbors(hub).next().unwrap();
+    async_sim.fail_link(hub, victim, &mut rng);
+    let heal = async_sim.run(&mut rng, 50_000_000);
+    println!(
+        "failed the hub link ({hub}, {victim}): {} more events to re-converge",
+        heal.events
+    );
+    assert!(heal.converged);
+
+    // ── 4. Inter-domain: infer relationships back from routes. ──
+    let asg = internet_like(80, 2, 15, &mut rng);
+    let paths = observed_routes(&asg, &PreferCustomer);
+    let inferred = infer_relationships(asg.graph(), &paths, 0.5);
+    let (correct, classified) = inference_accuracy(&asg, &inferred);
+    println!(
+        "\nGao inference on a fresh 80-AS internet: {} observed routes, {}/{} edges \
+         classified correctly ({:.1}%)",
+        paths.len(),
+        correct,
+        classified,
+        100.0 * correct as f64 / classified as f64
+    );
+    println!(
+        "(the same valley-free structure §5 formalizes is recoverable from routes alone —\n\
+         which is how real AS-relationship datasets are built in the first place)"
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: classify a policy, route with tables, then go compact.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the paper's main loop on one random network: pick a routing
+//! policy (an algebra), check its algebraic properties, implement it the
+//! trivial way (destination tables, Observation 1), then with the
+//! generalized Cowen stretch-3 scheme (Theorem 3), and compare memory and
+//! path quality.
+
+use compact_policy_routing::algebra::{
+    check_all_properties, policies::ShortestPath, RoutingAlgebra, SampleWeights,
+};
+use compact_policy_routing::graph::{generators, EdgeWeights};
+use compact_policy_routing::paths::AllPairs;
+use compact_policy_routing::routing::{
+    verify_scheme, CowenScheme, DestTable, LandmarkStrategy, MemoryReport,
+};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let alg = ShortestPath;
+
+    // 1. A policy is an algebra; its properties decide its fate.
+    let report = check_all_properties(&alg, &alg.sample());
+    println!("policy {}: properties {{{}}}", alg.name(), report.holding());
+    println!(
+        "  regular (monotone + isotone): {} → Dijkstra & destination tables are sound",
+        report.is_regular()
+    );
+    println!("  strictly monotone → incompressible by Theorem 2: Θ(n) tables\n");
+
+    // 2. A random network with random positive integer weights.
+    let n = 128;
+    let graph = generators::gnp_connected(n, 0.06, &mut rng);
+    let weights = EdgeWeights::random(&graph, &alg, &mut rng);
+    println!(
+        "network: n = {}, m = {}, max degree {}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.max_degree()
+    );
+
+    // 3. Ground truth: all-pairs preferred paths.
+    let ap = AllPairs::compute(&graph, &weights, &alg);
+
+    // 4. The trivial implementation: destination-based tables.
+    let tables = DestTable::build(&graph, &weights, &alg);
+    let tables_mem = MemoryReport::measure(&tables);
+    let tables_stretch = verify_scheme(&graph, &weights, &alg, &tables, 1, |s, t| *ap.weight(s, t));
+    println!("\n{tables_mem}");
+    println!("  {tables_stretch}");
+
+    // 5. The compact implementation: Cowen's landmark scheme, stretch 3.
+    let cowen = CowenScheme::build(
+        &graph,
+        &weights,
+        &alg,
+        LandmarkStrategy::TzRandom { attempts: 4 },
+        &mut rng,
+    );
+    let cowen_mem = MemoryReport::measure(&cowen);
+    let cowen_stretch = verify_scheme(&graph, &weights, &alg, &cowen, 3, |s, t| *ap.weight(s, t));
+    println!("\n{cowen_mem} ({} landmarks)", cowen.landmarks().len());
+    println!("  {cowen_stretch}");
+
+    assert!(cowen_stretch.all_within_bound(), "Theorem 3 violated?!");
+    println!(
+        "\nmemory saved: {:.1}× smaller worst-case tables, {:.0}% of pairs still on preferred paths",
+        tables_mem.max_local_bits as f64 / cowen_mem.max_local_bits as f64,
+        100.0 * cowen_stretch.optimal_fraction()
+    );
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every experiment's output under /tmp/exp (used to refresh
+# EXPERIMENTS.md). Run from the repository root.
+set -euo pipefail
+cargo build --release -p cpr-bench
+mkdir -p /tmp/exp
+for b in table1 classify fig1 fig2 stretch3 bgp_tables bgp_bounds bgp_compact \
+         ablation disputes bgp_infer minimal_algebras scaling; do
+  ./target/release/$b > /tmp/exp/$b.txt
+  echo "captured $b"
+done

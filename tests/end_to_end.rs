@@ -1,0 +1,399 @@
+//! Cross-crate integration: the algebra, path, routing, BGP and simulator
+//! crates agreeing with each other on shared scenarios.
+
+use compact_policy_routing::algebra::{
+    policies::{self, MostReliablePath, ShortestPath, UsablePath, WidestPath},
+    PathWeight, RoutingAlgebra,
+};
+use compact_policy_routing::bgp::{
+    internet_like, routes_to, B1CompactScheme, B2CompactScheme, BgpStateTable, PreferCustomer,
+    ValleyFree, Word,
+};
+use compact_policy_routing::graph::{generators, EdgeWeights, NodeId};
+use compact_policy_routing::paths::{dijkstra, AllPairs};
+use compact_policy_routing::routing::{
+    route, verify_scheme, CowenScheme, DestTable, IntervalTreeRouting, LandmarkStrategy,
+    MemoryReport, TzTreeRouting,
+};
+use compact_policy_routing::sim::Simulator;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// The distributed protocol and the centralized solver must agree for
+/// every regular Table 1 algebra.
+#[test]
+fn simulator_agrees_with_dijkstra_on_all_regular_policies() {
+    let mut rng = rng(1);
+    let g = generators::gnp_connected(24, 0.18, &mut rng);
+
+    macro_rules! check {
+        ($alg:expr) => {{
+            let alg = $alg;
+            let w = EdgeWeights::random(&g, &alg, &mut rng);
+            let mut sim = Simulator::from_edge_weights(&g, &alg, &w);
+            assert!(sim.run_to_convergence(200).converged, "{}", alg.name());
+            for t in g.nodes() {
+                let tree = dijkstra(&g, &w, &alg, t);
+                for u in g.nodes() {
+                    if u != t {
+                        assert_eq!(
+                            alg.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                            Ordering::Equal,
+                            "{}: {u} → {t}",
+                            alg.name()
+                        );
+                    }
+                }
+            }
+        }};
+    }
+    check!(ShortestPath);
+    check!(WidestPath);
+    check!(MostReliablePath);
+    check!(UsablePath);
+    check!(policies::widest_shortest());
+}
+
+/// The path-vector simulator driven by BGP arc words converges to the
+/// same route selection as the centralized valley-free engine.
+#[test]
+fn simulator_agrees_with_valley_free_engine() {
+    let mut rng = rng(2);
+    let asg = internet_like(22, 2, 5, &mut rng);
+    let g = asg.graph();
+    let b3 = PreferCustomer;
+    let arc = |u: NodeId, v: NodeId| asg.word(u, v);
+    let mut sim = Simulator::new(g, &b3, arc);
+    let report = sim.run_to_convergence(300);
+    assert!(report.converged);
+    for t in g.nodes() {
+        let routes = routes_to(&asg, &b3, t);
+        for u in g.nodes() {
+            if u == t {
+                continue;
+            }
+            assert_eq!(
+                b3.compare_pw(&sim.weight(u, t), &routes.weight(u)),
+                Ordering::Equal,
+                "{u} → {t}: sim {:?} vs engine {:?}",
+                sim.weight(u, t),
+                routes.weight(u)
+            );
+        }
+    }
+}
+
+/// Every intra-domain scheme built on the same widest-path instance
+/// delivers preferred paths; their memory footprints order as the theory
+/// predicts (tree ≤ Cowen ≤ tables at this size, labels inverse).
+#[test]
+fn scheme_zoo_on_one_widest_path_instance() {
+    let mut rng = rng(3);
+    let g = generators::gnp_connected(64, 0.08, &mut rng);
+    let alg = WidestPath;
+    let w = EdgeWeights::random(&g, &alg, &mut rng);
+    let ap = AllPairs::compute(&g, &w, &alg);
+
+    let tables = DestTable::build(&g, &w, &alg);
+    let tz = TzTreeRouting::spanning(&g, &w, &alg);
+    let iv = IntervalTreeRouting::spanning(&g, &w, &alg);
+
+    for (name, report) in [
+        (
+            "tables",
+            verify_scheme(&g, &w, &alg, &tables, 1, |s, t| *ap.weight(s, t)),
+        ),
+        (
+            "tz-tree",
+            verify_scheme(&g, &w, &alg, &tz, 1, |s, t| *ap.weight(s, t)),
+        ),
+        (
+            "interval-tree",
+            verify_scheme(&g, &w, &alg, &iv, 1, |s, t| *ap.weight(s, t)),
+        ),
+    ] {
+        assert!(report.all_within_bound(), "{name}: {report}");
+        assert_eq!(report.optimal, report.pairs, "{name} must be stretch-1");
+    }
+
+    let m_tables = MemoryReport::measure(&tables);
+    let m_tz = MemoryReport::measure(&tz);
+    assert!(
+        m_tz.max_local_bits < m_tables.max_local_bits,
+        "tree routing must beat Θ(n log d) tables"
+    );
+    assert!(m_tz.max_label_bits >= m_tables.max_label_bits);
+}
+
+/// The Cowen scheme holds its Theorem 3 contract on every delimited
+/// regular Table 1 algebra simultaneously (same topology, per-policy
+/// weights).
+#[test]
+fn cowen_stretch3_across_policies() {
+    let mut rng = rng(4);
+    let g = generators::barabasi_albert(48, 2, &mut rng);
+
+    macro_rules! check {
+        ($alg:expr) => {{
+            let alg = $alg;
+            let w = EdgeWeights::random(&g, &alg, &mut rng);
+            let ap = AllPairs::compute(&g, &w, &alg);
+            let scheme = CowenScheme::build(
+                &g,
+                &w,
+                &alg,
+                LandmarkStrategy::TzRandom { attempts: 4 },
+                &mut rng,
+            );
+            let report = verify_scheme(&g, &w, &alg, &scheme, 3, |s, t| ap.weight(s, t).clone());
+            assert!(report.all_within_bound(), "{}: {report}", alg.name());
+        }};
+    }
+    check!(ShortestPath);
+    check!(MostReliablePath);
+    check!(policies::widest_shortest());
+    check!(WidestPath); // selective: stretch 3 collapses to stretch 1
+}
+
+/// BGP schemes against the engine: the Θ(n) state table is selection-
+/// exact; the Θ(log n) compact schemes deliver valley-free routes and
+/// undercut its memory.
+#[test]
+fn bgp_schemes_against_engine() {
+    let mut rng = rng(5);
+    let asg = internet_like(60, 2, 12, &mut rng);
+    assert!(asg.check_a1() && asg.check_a2());
+    let g = asg.graph();
+
+    let baseline = BgpStateTable::build(&asg, &ValleyFree);
+    let b1 = B1CompactScheme::build(&asg).unwrap();
+    let b2 = B2CompactScheme::build(&asg).unwrap();
+
+    for s in g.nodes() {
+        for t in g.nodes() {
+            if s == t {
+                continue;
+            }
+            for (name, path) in [
+                ("baseline", route(&baseline, g, s, t).unwrap()),
+                ("b1-compact", route(&b1, g, s, t).unwrap()),
+                ("b2-compact", route(&b2, g, s, t).unwrap()),
+            ] {
+                assert_eq!(path.last(), Some(&t), "{name} {s} → {t}");
+                let words: Vec<Word> = path
+                    .windows(2)
+                    .map(|h| asg.word(h[0], h[1]).unwrap())
+                    .collect();
+                assert!(
+                    ValleyFree.weigh_path_right(&words).is_finite(),
+                    "{name} {s} → {t}: valley in {words:?}"
+                );
+            }
+        }
+    }
+
+    let m_base = MemoryReport::measure(&baseline);
+    let m_b1 = MemoryReport::measure(&b1);
+    assert!(
+        m_b1.max_local_bits * 4 < m_base.max_local_bits,
+        "Theorem 6 memory ({}) must be far below the Θ(n) baseline ({})",
+        m_b1.max_local_bits,
+        m_base.max_local_bits
+    );
+}
+
+/// A link failure mid-simulation: the protocol re-converges and the new
+/// routes match the centralized solution on the degraded topology.
+#[test]
+fn failure_injection_end_to_end() {
+    let mut rng = rng(6);
+    let g = generators::gnp_connected(18, 0.25, &mut rng);
+    let alg = policies::widest_shortest();
+    let w = EdgeWeights::random(&g, &alg, &mut rng);
+    let mut sim = Simulator::from_edge_weights(&g, &alg, &w);
+    assert!(sim.run_to_convergence(300).converged);
+
+    // Fail the highest-degree node's first non-bridge edge.
+    let hub = g.nodes().max_by_key(|&v| g.degree(v)).unwrap();
+    let (e, (u, v)) = g
+        .edges()
+        .find(|&(e, (a, b))| {
+            (a == hub || b == hub) && {
+                let g2 = compact_policy_routing::graph::Graph::from_edges(
+                    g.node_count(),
+                    g.edges().filter(|&(e2, _)| e2 != e).map(|(_, uv)| uv),
+                )
+                .unwrap();
+                compact_policy_routing::graph::traversal::is_connected(&g2)
+            }
+        })
+        .expect("hub has a non-bridge edge");
+    sim.fail_link(u, v);
+    assert!(sim.run_to_convergence(400).converged);
+
+    let g2 = compact_policy_routing::graph::Graph::from_edges(
+        g.node_count(),
+        g.edges().filter(|&(e2, _)| e2 != e).map(|(_, uv)| uv),
+    )
+    .unwrap();
+    let w2 = EdgeWeights::from_vec(
+        &g2,
+        g.edges()
+            .filter(|&(e2, _)| e2 != e)
+            .map(|(e2, _)| *w.weight(e2))
+            .collect(),
+    );
+    for t in g2.nodes() {
+        let tree = dijkstra(&g2, &w2, &alg, t);
+        for s in g2.nodes() {
+            if s != t {
+                assert_eq!(
+                    alg.compare_pw(&sim.weight(s, t), tree.weight(s)),
+                    Ordering::Equal,
+                    "{s} → {t} after failing ({u}, {v})"
+                );
+            }
+        }
+    }
+}
+
+/// Unreachability is reported consistently across the stack.
+#[test]
+fn consistent_unreachability() {
+    let g = compact_policy_routing::graph::Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+    let alg = ShortestPath;
+    let w = EdgeWeights::uniform(&g, 1u64);
+    let tree = dijkstra(&g, &w, &alg, 0);
+    assert_eq!(*tree.weight(3), PathWeight::Infinite);
+    let tables = DestTable::build(&g, &w, &alg);
+    assert!(route(&tables, &g, 0, 3).is_err());
+    let mut sim = Simulator::from_edge_weights(&g, &alg, &w);
+    sim.run_to_convergence(50);
+    assert!(sim.weight(0, 3).is_infinite());
+    assert!(sim.weight(0, 2).is_finite());
+}
+
+/// Control plane to data plane: compile the converged simulator RIBs into
+/// destination tables and forward packets through them — the full
+/// protocol → FIB → forwarding pipeline.
+#[test]
+fn converged_ribs_compile_into_forwarding_tables() {
+    let mut rng = rng(7);
+    let g = generators::gnp_connected(20, 0.2, &mut rng);
+    let alg = policies::widest_shortest();
+    let w = EdgeWeights::random(&g, &alg, &mut rng);
+    let mut sim = Simulator::from_edge_weights(&g, &alg, &w);
+    assert!(sim.run_to_convergence(300).converged);
+
+    // FIB extraction: each node's next-hop port per destination.
+    let hops: Vec<Vec<Option<usize>>> = g
+        .nodes()
+        .map(|u| {
+            g.nodes()
+                .map(|t| {
+                    if u == t {
+                        return None;
+                    }
+                    sim.route(u, t)
+                        .map(|r| g.port_towards(u, r.next_hop()).expect("RIB edge exists"))
+                })
+                .collect()
+        })
+        .collect();
+    let degrees = g.nodes().map(|v| g.degree(v)).collect();
+    let fib = DestTable::from_first_hops("fib[ws]".into(), hops, degrees);
+
+    let ap = AllPairs::compute(&g, &w, &alg);
+    let report = verify_scheme(&g, &w, &alg, &fib, 1, |s, t| *ap.weight(s, t));
+    assert!(report.all_within_bound(), "{report}");
+    assert_eq!(
+        report.optimal, report.pairs,
+        "FIB must forward on preferred paths"
+    );
+}
+
+/// Cowen on a disconnected graph: intra-component pairs route within
+/// stretch 3; cross-component attempts fail loudly instead of looping.
+#[test]
+fn cowen_handles_disconnection_gracefully() {
+    let mut rng = rng(8);
+    let mut g = compact_policy_routing::graph::Graph::with_nodes(16);
+    // Two 8-node components.
+    for base in [0usize, 8] {
+        for i in 1..8 {
+            g.add_edge(base + i - 1, base + i).unwrap();
+        }
+        g.add_edge(base, base + 4).unwrap();
+    }
+    let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+    let scheme = CowenScheme::build(
+        &g,
+        &w,
+        &ShortestPath,
+        LandmarkStrategy::Custom(vec![0, 8]),
+        &mut rng,
+    );
+    let ap = AllPairs::compute(&g, &w, &ShortestPath);
+    // verify_scheme skips unreachable pairs by construction.
+    let report = verify_scheme(&g, &w, &ShortestPath, &scheme, 3, |s, t| *ap.weight(s, t));
+    assert!(report.all_within_bound(), "{report}");
+    assert_eq!(report.pairs, 2 * 8 * 7, "only intra-component pairs count");
+    // Cross-component: must error, never loop.
+    assert!(route(&scheme, &g, 0, 9).is_err());
+}
+
+/// The BGP state table refuses unroutable pairs on non-A1 graphs
+/// (Theorem 5 instances) rather than looping.
+#[test]
+fn bgp_state_table_rejects_unreachable_pairs() {
+    let lb = compact_policy_routing::bgp::theorem5_construction(
+        2,
+        2,
+        &[vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]],
+    );
+    let scheme = BgpStateTable::build(&lb.asg, &compact_policy_routing::bgp::ProviderCustomer);
+    let [c0, c1] = [lb.family.centers[0], lb.family.centers[1]];
+    // Centres cannot reach each other (any path has a valley).
+    assert!(route(&scheme, lb.asg.graph(), c0, c1).is_err());
+    // But they reach every target on the 2-hop customer chain.
+    for (t, _) in &lb.family.targets {
+        let path = route(&scheme, lb.asg.graph(), c0, *t).unwrap();
+        assert_eq!(path.len(), 3);
+    }
+}
+
+/// Negative control: the stretch verifier must *catch* a broken scheme,
+/// not just bless working ones. Build destination tables against the
+/// wrong weighting and check the verifier reports stretch violations.
+#[test]
+fn verifier_catches_deliberately_wrong_schemes() {
+    let mut rng = rng(9);
+    let g = generators::gnp_connected(24, 0.18, &mut rng);
+    let real = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+    // A scrambled weighting: same edges, weights permuted via reversal.
+    let scrambled = EdgeWeights::from_fn(&g, |e| *real.weight(g.edge_count() - 1 - e));
+    let wrong_scheme = DestTable::build(&g, &scrambled, &ShortestPath);
+    let ap = AllPairs::compute(&g, &real, &ShortestPath);
+    // Against the *real* weights, the scrambled tables cannot be
+    // universally optimal.
+    let strict = verify_scheme(&g, &real, &ShortestPath, &wrong_scheme, 1, |s, t| {
+        *ap.weight(s, t)
+    });
+    assert!(
+        !strict.exceeded.is_empty(),
+        "scrambled tables should violate stretch-1 somewhere: {strict}"
+    );
+    // They still deliver everything (forwarding is loop-free per the
+    // scrambled-but-consistent trees), so failures are stretch, not loss.
+    assert!(strict.failed.is_empty(), "{strict}");
+    // And a generous stretch bound eventually absorbs the damage (the
+    // scrambled trees are still finite detours, not black holes).
+    let loose = verify_scheme(&g, &real, &ShortestPath, &wrong_scheme, 64, |s, t| {
+        *ap.weight(s, t)
+    });
+    assert!(loose.exceeded.is_empty(), "{loose}");
+}

@@ -1,0 +1,257 @@
+//! Property-based tests (proptest) on the core invariants: algebra laws,
+//! exact arithmetic, solver agreement, scheme contracts.
+
+use compact_policy_routing::algebra::{
+    check_stretch, measured_stretch,
+    policies::{self, Capacity, MostReliablePath, ShortestPath, WidestPath},
+    PathWeight, Ratio, RoutingAlgebra, StretchVerdict,
+};
+use compact_policy_routing::bgp::{ProviderCustomer, ValleyFree, Word};
+use compact_policy_routing::graph::{generators, EdgeWeights, Graph};
+use compact_policy_routing::paths::{
+    bellman_ford, dijkstra, exhaustive_preferred, shortest_widest_exact,
+};
+use compact_policy_routing::routing::{
+    route, verify_scheme, CowenScheme, DestTable, LandmarkStrategy, TzTreeRouting,
+};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// A strategy for small connected weighted graphs: `n` nodes on a random
+/// tree backbone plus extra random edges.
+fn small_graph() -> impl Strategy<Value = (Graph, u64)> {
+    (4usize..10, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = generators::random_tree(n, &mut rng);
+        // Densify a little.
+        for _ in 0..n {
+            let u = rand::Rng::gen_range(&mut rng, 0..n);
+            let v = rand::Rng::gen_range(&mut rng, 0..n);
+            if u != v && !g.contains_edge(u, v) {
+                g.add_edge(u, v).unwrap();
+            }
+        }
+        (g, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact rational arithmetic: commutativity, associativity, and order
+    /// consistency with the reduced cross-product definition.
+    #[test]
+    fn ratio_multiplication_laws(
+        (an, ad) in (1u64..1000, 1u64..1000),
+        (bn, bd) in (1u64..1000, 1u64..1000),
+        (cn, cd) in (1u64..1000, 1u64..1000),
+    ) {
+        let r = |n: u64, d: u64| Ratio::new(n.min(d), n.max(d)).unwrap();
+        let (a, b, c) = (r(an, ad), r(bn, bd), r(cn, cd));
+        prop_assert_eq!(a.checked_mul(b).unwrap(), b.checked_mul(a).unwrap());
+        let left = a.checked_mul(b).unwrap().checked_mul(c).unwrap();
+        let right = a.checked_mul(b.checked_mul(c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+        // Multiplying by something ≤ 1 never increases the value.
+        prop_assert!(a.checked_mul(b).unwrap() <= a);
+    }
+
+    /// Shortest-path algebra laws hold for arbitrary positive weights.
+    #[test]
+    fn shortest_path_laws(a in 1u64..1_000_000, b in 1u64..1_000_000, c in 1u64..1_000_000) {
+        let s = ShortestPath;
+        prop_assert_eq!(s.combine(&a, &b), s.combine(&b, &a));
+        let left = s.combine_pw(&s.combine(&a, &b), &PathWeight::Finite(c));
+        let right = s.combine_pw(&PathWeight::Finite(a), &s.combine(&b, &c));
+        prop_assert_eq!(left, right);
+        // Strict monotonicity.
+        prop_assert_eq!(
+            s.compare_pw(&PathWeight::Finite(a), &s.combine(&b, &a)),
+            Ordering::Less
+        );
+    }
+
+    /// compare is antisymmetric-consistent for lexicographic products.
+    #[test]
+    fn lex_compare_consistency(
+        c1 in 1u64..100, cap1 in 1u64..100,
+        c2 in 1u64..100, cap2 in 1u64..100,
+    ) {
+        let ws = policies::widest_shortest();
+        let w1 = (c1, Capacity::new(cap1).unwrap());
+        let w2 = (c2, Capacity::new(cap2).unwrap());
+        prop_assert_eq!(ws.compare(&w1, &w2).reverse(), ws.compare(&w2, &w1));
+        prop_assert_eq!(ws.compare(&w1, &w2) == Ordering::Equal, w1 == w2);
+    }
+
+    /// Powers never get more preferred as the exponent grows (monotone
+    /// algebras).
+    #[test]
+    fn powers_are_monotone(w in 1u64..1000, k in 1u32..8) {
+        let s = ShortestPath;
+        let wk = s.power(&w, k);
+        let wk1 = s.power(&w, k + 1);
+        prop_assert_ne!(s.compare_pw(&wk1, &wk), Ordering::Less);
+    }
+
+    /// measured_stretch and check_stretch agree.
+    #[test]
+    fn stretch_measures_agree(actual in 1u64..500, preferred in 1u64..100, k in 1u32..6) {
+        let s = ShortestPath;
+        let a = PathWeight::Finite(actual.max(preferred));
+        let p = PathWeight::Finite(preferred);
+        let verdict = check_stretch(&s, &a, &p, k);
+        let measured = measured_stretch(&s, &a, &p, 64);
+        match verdict {
+            StretchVerdict::Within => prop_assert!(measured.unwrap() <= k),
+            StretchVerdict::Exceeded => prop_assert!(measured.is_none_or(|m| m > k)),
+            _ => unreachable!("finite weights"),
+        }
+    }
+
+    /// The generalized Dijkstra equals exhaustive enumeration on random
+    /// graphs for regular algebras.
+    #[test]
+    fn dijkstra_equals_ground_truth((g, seed) in small_graph()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD1D1);
+
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let fast = dijkstra(&g, &w, &ShortestPath, 0);
+        let truth = exhaustive_preferred(&g, &w, &ShortestPath, 0, true);
+        for v in g.nodes() {
+            prop_assert_eq!(fast.weight(v), truth.weight(v));
+        }
+        // And Bellman–Ford agrees too.
+        let bf = bellman_ford(&g, &w, &ShortestPath, 0);
+        prop_assert!(bf.converged);
+        for v in g.nodes() {
+            prop_assert_eq!(bf.tree.weight(v), truth.weight(v));
+        }
+    }
+
+    /// The exact shortest-widest solver equals exhaustive enumeration.
+    #[test]
+    fn sw_exact_equals_ground_truth((g, seed) in small_graph()) {
+        use rand::SeedableRng;
+
+        let sw = policies::shortest_widest();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5105);
+        let w = EdgeWeights::random(&g, &sw, &mut rng);
+        let exact = shortest_widest_exact(&g, &w, 0);
+        let truth = exhaustive_preferred(&g, &w, &sw, 0, true);
+        for v in g.nodes() {
+            prop_assert_eq!(exact.weight(v), truth.weight(v));
+        }
+    }
+
+    /// Destination tables deliver preferred paths on every random regular
+    /// instance.
+    #[test]
+    fn dest_tables_always_optimal((g, seed) in small_graph()) {
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x7AB1);
+        let w = EdgeWeights::random(&g, &WidestPath, &mut rng);
+        let scheme = DestTable::build(&g, &w, &WidestPath);
+        let ap = compact_policy_routing::paths::AllPairs::compute(&g, &w, &WidestPath);
+        let report = verify_scheme(&g, &w, &WidestPath, &scheme, 1,
+            |s, t| *ap.weight(s, t));
+        prop_assert!(report.all_within_bound());
+        prop_assert_eq!(report.optimal, report.pairs);
+    }
+
+    /// The Cowen scheme never exceeds stretch 3 on random regular
+    /// instances, whatever the landmarks.
+    #[test]
+    fn cowen_never_exceeds_stretch3(
+        (g, seed) in small_graph(),
+        landmark in 0usize..4,
+    ) {
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0E0);
+        let alg = MostReliablePath;
+        let w = EdgeWeights::random(&g, &alg, &mut rng);
+        let scheme = CowenScheme::build(
+            &g, &w, &alg,
+            LandmarkStrategy::Custom(vec![landmark % g.node_count()]),
+            &mut rng,
+        );
+        let ap = compact_policy_routing::paths::AllPairs::compute(&g, &w, &alg);
+        let report = verify_scheme(&g, &w, &alg, &scheme, 3,
+            |s, t| *ap.weight(s, t));
+        prop_assert!(report.all_within_bound(), "{}", report);
+    }
+
+    /// Tree routing always follows tree paths, for arbitrary spanning
+    /// trees of arbitrary graphs.
+    #[test]
+    fn tz_tree_routing_follows_tree_paths((g, _seed) in small_graph()) {
+        use compact_policy_routing::routing::preferred_spanning_tree;
+        let w = EdgeWeights::uniform(&g, Capacity::new(1).unwrap());
+        let tree_edges = preferred_spanning_tree(&g, &w, &WidestPath);
+        let scheme = TzTreeRouting::new("t".into(), &g, &tree_edges, 0);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                let path = route(&scheme, &g, s, t).unwrap();
+                prop_assert_eq!(path, scheme.tree().tree_path(s, t));
+            }
+        }
+    }
+
+    /// Valley-freeness: a word sequence composes to a finite B2 weight
+    /// iff it reads p* r? c*.
+    #[test]
+    fn b2_accepts_exactly_valley_free_words(words in proptest::collection::vec(0u8..3, 1..8)) {
+        let words: Vec<Word> = words
+            .into_iter()
+            .map(|x| [Word::C, Word::R, Word::P][x as usize])
+            .collect();
+        let finite = ValleyFree.weigh_path_right(&words).is_finite();
+        // Reference recognizer for p* r? c*.
+        let mut phase = 0; // 0 = climbing, 1 = after peer, 2 = descending
+        let mut ok = true;
+        for w in &words {
+            match (phase, w) {
+                (0, Word::P) => {}
+                (0, Word::R) => phase = 1,
+                (0, Word::C) | (1, Word::C) => phase = 2,
+                (2, Word::C) => {}
+                _ => { ok = false; break; }
+            }
+        }
+        prop_assert_eq!(finite, ok, "words {:?}", words);
+        // And B1 agrees on peer-free sequences.
+        if !words.contains(&Word::R) {
+            prop_assert_eq!(
+                ProviderCustomer.weigh_path_right(&words).is_finite(),
+                ok
+            );
+        }
+    }
+
+    /// The routed weight of a delivered packet equals the weight of the
+    /// traversed path (no accounting drift between simulator and algebra).
+    #[test]
+    fn path_weight_accounting_consistent((g, seed) in small_graph()) {
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xACC0);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t { continue; }
+                let path = route(&scheme, &g, s, t).unwrap();
+                let by_path = w.path_weight(&ShortestPath, &g, &path);
+                let by_fold: u64 = path
+                    .windows(2)
+                    .map(|h| *w.weight(g.edge_between(h[0], h[1]).unwrap()))
+                    .sum();
+                prop_assert_eq!(by_path, PathWeight::Finite(by_fold));
+            }
+        }
+    }
+}
