@@ -1,0 +1,140 @@
+//! **Forwarding-plane throughput** — live `step` simulation vs compiled
+//! [`cpr_plane::ForwardingPlane`] lookups, single-threaded and sharded.
+//!
+//! For each scheme the same uniform query batch is served three ways:
+//! through the live simulator (`cpr_routing::route`), through the
+//! compiled plane on one shard, and through the compiled plane on 2 and
+//! 4 shards. The speedup column is compiled-vs-live on a single thread;
+//! the scaling columns show the sharded engine (which can only help on
+//! multi-core hosts — shard counts above the core count cost nothing but
+//! gain nothing).
+//!
+//! ```text
+//! cargo run --release -p cpr-bench --bin plane_throughput
+//! ```
+
+use std::time::Instant;
+
+use cpr_algebra::policies::{ShortestPath, WidestPath};
+use cpr_bench::{experiment_rng, TextTable, Topology};
+use cpr_graph::{EdgeWeights, Graph, NodeId};
+use cpr_plane::{compile, serve, EngineConfig, TrafficPattern};
+use cpr_routing::{route, CowenScheme, DestTable, LandmarkStrategy, RoutingScheme, TzTreeRouting};
+
+const N: usize = 512;
+const QUERIES: usize = 100_000;
+/// Each configuration is timed this many times and the best trial kept,
+/// damping scheduler noise on shared hosts.
+const TRIALS: usize = 3;
+
+/// Serves the batch through the live simulator, returning (seconds, hops).
+fn live_serve<S: RoutingScheme>(scheme: &S, g: &Graph, queries: &[(NodeId, NodeId)]) -> (f64, u64) {
+    let start = Instant::now();
+    let mut hops = 0u64;
+    for &(s, t) in queries {
+        if let Ok(p) = route(scheme, g, s, t) {
+            hops += (p.len() - 1) as u64;
+        }
+    }
+    (start.elapsed().as_secs_f64(), hops)
+}
+
+fn bench_scheme<S: RoutingScheme>(
+    scheme: &S,
+    g: &Graph,
+    queries: &[(NodeId, NodeId)],
+    table: &mut TextTable,
+) {
+    let plane = compile(scheme, g).expect("scheme compiles");
+    cpr_plane::validate(&plane, scheme, g).expect("plane matches live simulation");
+
+    let mut live_secs = f64::INFINITY;
+    let mut live_hops = 0;
+    for _ in 0..TRIALS {
+        let (secs, hops) = live_serve(scheme, g, queries);
+        live_secs = live_secs.min(secs);
+        live_hops = hops;
+    }
+    let live_qps = queries.len() as f64 / live_secs;
+
+    let mut shard_qps = Vec::new();
+    let mut compiled_hops = 0;
+    for shards in [1usize, 2, 4] {
+        let mut best = 0.0f64;
+        for _ in 0..TRIALS {
+            let report = serve(&plane, queries, None, &EngineConfig::with_shards(shards));
+            assert!(
+                report.failures.is_empty(),
+                "{}: {} failures",
+                report.scheme,
+                report.failures.len()
+            );
+            compiled_hops = report.total_hops;
+            best = best.max(report.throughput_qps());
+        }
+        shard_qps.push(best);
+    }
+    assert_eq!(live_hops, compiled_hops, "hop counts must agree");
+
+    let mem = plane.memory();
+    table.row(vec![
+        scheme.name(),
+        format!("{:.2}", live_qps / 1e6),
+        format!("{:.2}", shard_qps[0] / 1e6),
+        format!("{:.1}×", shard_qps[0] / live_qps),
+        format!("{:.2}", shard_qps[1] / 1e6),
+        format!("{:.2}", shard_qps[2] / 1e6),
+        format!("{}", mem.total_bits() / 8192),
+    ]);
+}
+
+fn main() {
+    let mut rng = experiment_rng("plane-throughput", N);
+    let g = Topology::ScaleFree.build(N, &mut rng);
+    let sp = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+    let wp = EdgeWeights::random(&g, &WidestPath, &mut rng);
+    let queries = cpr_plane::generate(&g, &TrafficPattern::Uniform, QUERIES, &mut rng);
+
+    println!(
+        "Forwarding-plane throughput: n={N} scale-free, {QUERIES} uniform queries (best of {TRIALS} trials), \
+         {} hardware thread(s)\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "live Mq/s",
+        "plane×1 Mq/s",
+        "speedup",
+        "plane×2 Mq/s",
+        "plane×4 Mq/s",
+        "plane KiB",
+    ]);
+
+    bench_scheme(
+        &DestTable::build(&g, &sp, &ShortestPath),
+        &g,
+        &queries,
+        &mut table,
+    );
+    bench_scheme(
+        &TzTreeRouting::spanning(&g, &wp, &WidestPath),
+        &g,
+        &queries,
+        &mut table,
+    );
+    bench_scheme(
+        &CowenScheme::build(
+            &g,
+            &sp,
+            &ShortestPath,
+            LandmarkStrategy::TzRandom { attempts: 4 },
+            &mut rng,
+        ),
+        &g,
+        &queries,
+        &mut table,
+    );
+
+    println!("{table}");
+}

@@ -175,7 +175,7 @@ impl RoutingScheme for B1CompactScheme {
 
 /// The header of the Theorem 7 scheme: the target's SVFC plus its label
 /// in that component's provider tree.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct B2Header {
     /// The target's cp-component index.
     pub component: usize,

@@ -21,7 +21,7 @@ use crate::word::Word;
 
 /// The header: destination plus the word of the path the packet is still
 /// to traverse.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BgpHeader {
     /// The destination AS.
     pub target: NodeId,

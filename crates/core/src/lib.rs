@@ -31,6 +31,9 @@ pub use cpr_bgp as bgp;
 pub use cpr_graph as graph;
 /// Preferred-path computation: generalized Dijkstra and friends.
 pub use cpr_paths as paths;
+/// Compiled forwarding plane: schemes flattened into bit-packed
+/// transition arrays, served by a sharded batch query engine.
+pub use cpr_plane as plane;
 /// Compact routing schemes, bit accounting and stretch verification.
 pub use cpr_routing as routing;
 /// The distributed path-vector protocol simulator.

@@ -1,0 +1,871 @@
+//! Scheme → forwarding-plane compilation.
+//!
+//! [`compile`] flattens a [`RoutingScheme`] into an immutable
+//! [`ForwardingPlane`]: every reachable `(node, header)` state of the
+//! scheme is *interned* to a dense integer id and its forwarding decision
+//! is packed into a fixed-width entry of a [`PackedArray`]. A lookup in
+//! the compiled plane is then a couple of shifts and masks instead of an
+//! evaluation of the scheme's local routing function — no allocation, no
+//! header cloning, no tree walking.
+//!
+//! The compiler is *honest* in the same sense as the rest of the
+//! workspace: every `(source, target)` pair is driven through the live
+//! [`step`](RoutingScheme::step) simulation during compilation, a packet
+//! that is misdelivered or loops aborts the compile with the underlying
+//! [`RouteError`], and the bit accounting of the plane
+//! ([`PlaneMemory`]) counts every array at its packed width.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cpr_graph::{Graph, NodeId, Port};
+use cpr_routing::bits::ceil_log2;
+use cpr_routing::{RouteAction, RouteError, RoutingScheme};
+
+/// Entry kind: no transition stored for this `(node, header)` state.
+const KIND_INVALID: u64 = 0;
+/// Entry kind: deliver the packet here.
+const KIND_DELIVER: u64 = 1;
+/// Entry kind: forward on a port with a rewritten header id.
+const KIND_FORWARD: u64 = 2;
+
+/// A fixed-width bit-packed array: `len` unsigned values of `width ≤ 64`
+/// bits each, stored contiguously across little-endian `u64` words.
+///
+/// This is the storage primitive of the compiled plane — transition
+/// entries, sparse-layout keys and the initial-header table are all
+/// `PackedArray`s, so the plane's memory footprint is exactly the honest
+/// bit widths dictated by the instance (`⌈log₂ degree⌉` ports,
+/// `⌈log₂ headers⌉` header ids) rather than whatever Rust's native types
+/// round up to.
+#[derive(Clone, Debug)]
+pub struct PackedArray {
+    width: u32,
+    mask: u64,
+    len: usize,
+    /// Packed payload plus one sentinel word, so a get may always read
+    /// the pair of words a value could span without branching.
+    words: Vec<u64>,
+}
+
+impl PackedArray {
+    /// An all-zero array of `len` values of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn new(len: usize, width: u32) -> Self {
+        assert!(width <= 64, "field width {width} exceeds 64 bits");
+        let bits = len as u64 * u64::from(width);
+        let words = usize::try_from(bits.div_ceil(64)).expect("array fits memory");
+        PackedArray {
+            width,
+            mask: if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            },
+            len,
+            words: vec![0; words.max(1) + 1],
+        }
+    }
+
+    fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// The value at index `i`.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        let bit = i as u64 * u64::from(self.width);
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        // Branchless double-word read through the sentinel word.
+        let pair = (u128::from(self.words[word + 1]) << 64) | u128::from(self.words[word]);
+        ((pair >> off) as u64) & self.mask
+    }
+
+    /// Stores `value` at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `value` does not fit in `width` bits.
+    pub fn set(&mut self, i: usize, value: u64) {
+        debug_assert!(i < self.len);
+        if self.width == 0 {
+            debug_assert_eq!(value, 0);
+            return;
+        }
+        let mask = self.mask();
+        debug_assert!(
+            value <= mask,
+            "value {value} does not fit in {} bits",
+            self.width
+        );
+        let bit = i as u64 * u64::from(self.width);
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        self.words[word] = (self.words[word] & !(mask << off)) | (value << off);
+        if off + self.width > 64 {
+            let spill_bits = self.width - (64 - off);
+            let spill_mask = (1u64 << spill_bits) - 1;
+            self.words[word + 1] = (self.words[word + 1] & !spill_mask) | (value >> (64 - off));
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the array holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width of one value in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Total payload size in bits (`len × width`).
+    pub fn bits(&self) -> u64 {
+        self.len as u64 * u64::from(self.width)
+    }
+}
+
+/// How the per-node transition entries are laid out.
+#[derive(Clone, Debug)]
+enum Layout {
+    /// Flat `headers × n` table indexed by `header · n + node`: O(1)
+    /// lookup, best when most header ids occur at most nodes (tree and
+    /// destination-table schemes, where `headers ≈ n`). Header-major
+    /// order because headers change rarely along a walk — consecutive
+    /// hops then touch one `n`-entry row, not scattered columns.
+    Dense(PackedArray),
+    /// Per-node sorted `(header, entry)` runs with binary-search lookup:
+    /// chosen when the dense table would waste space, e.g. source-routed
+    /// schemes whose header space is `Θ(n²)` but whose reachable states
+    /// are only the pairs actually on paths.
+    Sparse {
+        /// CSR-style run boundaries, `n + 1` offsets into `keys`/`entries`.
+        offsets: Vec<u32>,
+        /// Sorted interned header ids, one run per node.
+        keys: PackedArray,
+        /// The entry for the matching key.
+        entries: PackedArray,
+    },
+}
+
+/// One decoded forwarding decision of a compiled plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Deliver here.
+    Deliver,
+    /// Forward on `port`, the packet now carrying interned header `next`.
+    Forward {
+        /// The local out-port at the current node.
+        port: Port,
+        /// Interned id of the rewritten header.
+        next: u32,
+    },
+    /// No transition is stored for this state — reaching this from an
+    /// initial header indicates a plane/scheme inconsistency and is
+    /// surfaced by the engine as a failure, never skipped.
+    Invalid,
+}
+
+/// An immutable compiled forwarding plane: the scheme's reachable
+/// `(node, header)` states flattened into bit-packed transition arrays,
+/// plus the `n²` initial-header table and a CSR snapshot of the graph's
+/// port-labelled adjacency (so lookups never touch the original
+/// [`Graph`] or scheme again).
+#[derive(Clone, Debug)]
+pub struct ForwardingPlane {
+    scheme: String,
+    n: usize,
+    headers: usize,
+    states: usize,
+    port_width: u32,
+    header_width: u32,
+    entry_width: u32,
+    layout: Layout,
+    /// `n²` interned initial-header ids; the value `headers` is the
+    /// "unroutable" sentinel.
+    initial: PackedArray,
+    /// CSR row offsets into `nbr`, length `n + 1`.
+    row: Vec<u32>,
+    /// Neighbor of each `(node, port)` in port order.
+    nbr: Vec<u32>,
+    scheme_header_bits: u64,
+    hop_budget: usize,
+}
+
+/// Why compilation failed. Routing errors discovered while driving the
+/// live simulation are carried verbatim — the compiler never masks a
+/// misbehaving scheme.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    /// The scheme was built for a different node count than the graph.
+    NodeCountMismatch {
+        /// `scheme.node_count()`.
+        scheme: usize,
+        /// `graph.node_count()`.
+        graph: usize,
+    },
+    /// The live simulation failed while tracing a pair during compilation.
+    Route {
+        /// Source of the failing pair.
+        source: NodeId,
+        /// Target of the failing pair.
+        target: NodeId,
+        /// The underlying simulation error.
+        error: RouteError,
+    },
+    /// The packet stopped at a node other than its target.
+    Misdelivery {
+        /// Source of the failing pair.
+        source: NodeId,
+        /// Intended target.
+        target: NodeId,
+        /// Where the packet was actually delivered.
+        delivered: NodeId,
+    },
+    /// An internal id space (headers, states, nodes) overflowed `u32`.
+    CapacityExceeded {
+        /// Which id space overflowed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NodeCountMismatch { scheme, graph } => {
+                write!(f, "scheme built for {scheme} nodes, graph has {graph}")
+            }
+            CompileError::Route {
+                source,
+                target,
+                error,
+            } => write!(f, "tracing {source} → {target}: {error}"),
+            CompileError::Misdelivery {
+                source,
+                target,
+                delivered,
+            } => write!(f, "packet {source} → {target} delivered at {delivered}"),
+            CompileError::CapacityExceeded { what } => {
+                write!(f, "too many {what} for 32-bit interned ids")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A `(source, target)` pair where the compiled plane and the live
+/// simulation disagree, with both sides' outcomes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Divergence {
+    /// Source of the diverging pair.
+    pub source: NodeId,
+    /// Target of the diverging pair.
+    pub target: NodeId,
+    /// What the compiled plane did.
+    pub plane: Result<Vec<NodeId>, RouteError>,
+    /// What the live simulation did.
+    pub live: Result<Vec<NodeId>, RouteError>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} → {}: plane {:?}, live {:?}",
+            self.source, self.target, self.plane, self.live
+        )
+    }
+}
+
+/// Honest bit accounting of a compiled plane, in the spirit of
+/// [`cpr_routing::MemoryReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlaneMemory {
+    /// Scheme the plane was compiled from.
+    pub scheme: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Distinct interned headers.
+    pub headers: usize,
+    /// Stored `(node, header)` transition states.
+    pub states: usize,
+    /// Width of one packed transition entry in bits.
+    pub entry_width: u32,
+    /// Which layout the compiler chose (`"dense"` or `"sparse"`).
+    pub layout: &'static str,
+    /// Bits in the transition arrays (keys + entries + run offsets for
+    /// the sparse layout).
+    pub transition_bits: u64,
+    /// Bits in the `n²` initial-header table.
+    pub initial_bits: u64,
+    /// Bits in the CSR adjacency snapshot.
+    pub adjacency_bits: u64,
+    /// The source scheme's own `header_bits()`, carried over so plane
+    /// reports can be compared against Definition 2 accounting.
+    pub scheme_header_bits: u64,
+}
+
+impl PlaneMemory {
+    /// Total plane footprint in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.transition_bits + self.initial_bits + self.adjacency_bits
+    }
+}
+
+impl fmt::Display for PlaneMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={}, {} headers, {} states, {} layout, {}-bit entries, \
+             {} KiB total ({} transition + {} initial + {} adjacency bits)",
+            self.scheme,
+            self.nodes,
+            self.headers,
+            self.states,
+            self.layout,
+            self.entry_width,
+            self.total_bits() / 8192,
+            self.transition_bits,
+            self.initial_bits,
+            self.adjacency_bits
+        )
+    }
+}
+
+fn intern_header<H: Clone + Eq + std::hash::Hash>(
+    intern: &mut HashMap<H, u32>,
+    h: &H,
+) -> Result<u32, CompileError> {
+    if let Some(&id) = intern.get(h) {
+        return Ok(id);
+    }
+    let id = u32::try_from(intern.len())
+        .ok()
+        .filter(|&id| id < u32::MAX)
+        .ok_or(CompileError::CapacityExceeded { what: "headers" })?;
+    intern.insert(h.clone(), id);
+    Ok(id)
+}
+
+/// A not-yet-packed transition recorded during the compile walk.
+#[derive(Clone, Copy)]
+enum Step {
+    Deliver,
+    Forward { port: Port, next: u32 },
+}
+
+/// Compiles `scheme` into a [`ForwardingPlane`] over `graph`.
+///
+/// Every `(source, target)` pair with an initial header is traced through
+/// the live [`step`](RoutingScheme::step) simulation exactly once;
+/// transitions are committed only after the walk provably delivers at the
+/// correct target, and walks stop early when they reach an
+/// already-committed state (whose delivery target was recorded), so the
+/// total work is proportional to the number of distinct states, not the
+/// sum of path lengths.
+///
+/// # Errors
+///
+/// Fails with the underlying [`RouteError`] if any traced pair
+/// misroutes, loops or names a bad port, and with
+/// [`CompileError::Misdelivery`] if a packet stops at the wrong node.
+pub fn compile<S: RoutingScheme>(
+    scheme: &S,
+    graph: &Graph,
+) -> Result<ForwardingPlane, CompileError> {
+    let n = graph.node_count();
+    if scheme.node_count() != n {
+        return Err(CompileError::NodeCountMismatch {
+            scheme: scheme.node_count(),
+            graph: n,
+        });
+    }
+    if u32::try_from(n).is_err() {
+        return Err(CompileError::CapacityExceeded { what: "nodes" });
+    }
+    let hop_budget = 4 * n + 4;
+
+    let mut intern: HashMap<S::Header, u32> = HashMap::new();
+    let mut trans: HashMap<(NodeId, u32), Step> = HashMap::new();
+    // Target a committed state is known to deliver at — lets later walks
+    // stop as soon as they join an already-verified path.
+    let mut delivers_at: HashMap<(NodeId, u32), NodeId> = HashMap::new();
+    let mut initial_ids = vec![u32::MAX; n * n];
+
+    for source in graph.nodes() {
+        for target in graph.nodes() {
+            let Some(mut header) = scheme.initial_header(source, target) else {
+                continue;
+            };
+            let mut hid = intern_header(&mut intern, &header)?;
+            initial_ids[source * n + target] = hid;
+            let mut at = source;
+            let mut pending: Vec<((NodeId, u32), Step)> = Vec::new();
+            let reached = loop {
+                if let Some(&d) = delivers_at.get(&(at, hid)) {
+                    break d;
+                }
+                match scheme.step(at, &header) {
+                    RouteAction::Deliver => {
+                        pending.push(((at, hid), Step::Deliver));
+                        break at;
+                    }
+                    RouteAction::Forward { port, header: next } => {
+                        let Some((next_node, _)) = graph.neighbor_at(at, port) else {
+                            return Err(CompileError::Route {
+                                source,
+                                target,
+                                error: RouteError::BadPort { at, port },
+                            });
+                        };
+                        let next_id = intern_header(&mut intern, &next)?;
+                        pending.push((
+                            (at, hid),
+                            Step::Forward {
+                                port,
+                                next: next_id,
+                            },
+                        ));
+                        at = next_node;
+                        hid = next_id;
+                        header = next;
+                        if pending.len() > hop_budget {
+                            let visited = pending
+                                .iter()
+                                .map(|&((u, _), _)| u)
+                                .chain(std::iter::once(at))
+                                .collect();
+                            return Err(CompileError::Route {
+                                source,
+                                target,
+                                error: RouteError::HopBudgetExhausted { visited },
+                            });
+                        }
+                    }
+                }
+            };
+            if reached != target {
+                return Err(CompileError::Misdelivery {
+                    source,
+                    target,
+                    delivered: reached,
+                });
+            }
+            for (state, step) in pending {
+                trans.insert(state, step);
+                delivers_at.insert(state, target);
+            }
+        }
+    }
+
+    let headers = intern.len();
+    let states = trans.len();
+    if u32::try_from(states).is_err() {
+        return Err(CompileError::CapacityExceeded { what: "states" });
+    }
+    let port_width = ceil_log2(graph.max_degree() as u64);
+    let header_width = ceil_log2(headers as u64);
+    let entry_width = 2 + port_width + header_width;
+
+    let encode = |step: &Step| -> u64 {
+        match *step {
+            Step::Deliver => KIND_DELIVER << (port_width + header_width),
+            Step::Forward { port, next } => {
+                (KIND_FORWARD << (port_width + header_width))
+                    | ((port as u64) << header_width)
+                    | u64::from(next)
+            }
+        }
+    };
+
+    // Dense is O(1) per lookup, sparse pays a binary search; prefer dense
+    // unless it costs more than 2× the sparse encoding.
+    let dense_bits = (n as u64) * (headers as u64) * u64::from(entry_width);
+    let sparse_bits = states as u64 * u64::from(header_width + entry_width) + (n as u64 + 1) * 32;
+    let layout = if dense_bits <= sparse_bits.saturating_mul(2) {
+        let mut table = PackedArray::new(n * headers, entry_width);
+        for (&(u, h), step) in &trans {
+            table.set(h as usize * n + u, encode(step));
+        }
+        Layout::Dense(table)
+    } else {
+        let mut per_node: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        for (&(u, h), step) in &trans {
+            per_node[u].push((h, encode(step)));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut keys = PackedArray::new(states, header_width);
+        let mut entries = PackedArray::new(states, entry_width);
+        let mut pos = 0usize;
+        offsets.push(0u32);
+        for run in &mut per_node {
+            run.sort_unstable_by_key(|&(h, _)| h);
+            for &(h, e) in run.iter() {
+                keys.set(pos, u64::from(h));
+                entries.set(pos, e);
+                pos += 1;
+            }
+            offsets.push(pos as u32);
+        }
+        Layout::Sparse {
+            offsets,
+            keys,
+            entries,
+        }
+    };
+
+    let mut initial = PackedArray::new(n * n, ceil_log2(headers as u64 + 1));
+    for (i, &hid) in initial_ids.iter().enumerate() {
+        initial.set(
+            i,
+            if hid == u32::MAX {
+                headers as u64
+            } else {
+                u64::from(hid)
+            },
+        );
+    }
+
+    let mut row = Vec::with_capacity(n + 1);
+    let mut nbr = Vec::with_capacity(2 * graph.edge_count());
+    row.push(0u32);
+    for v in graph.nodes() {
+        for (u, _) in graph.neighbors(v) {
+            nbr.push(u as u32);
+        }
+        row.push(nbr.len() as u32);
+    }
+
+    Ok(ForwardingPlane {
+        scheme: scheme.name(),
+        n,
+        headers,
+        states,
+        port_width,
+        header_width,
+        entry_width,
+        layout,
+        initial,
+        row,
+        nbr,
+        scheme_header_bits: scheme.header_bits(),
+        hop_budget,
+    })
+}
+
+impl ForwardingPlane {
+    /// The raw packed entry for `(at, hid)`, `0` (invalid) when absent.
+    #[inline(always)]
+    fn entry(&self, at: NodeId, hid: u32) -> u64 {
+        match &self.layout {
+            Layout::Dense(table) => table.get(hid as usize * self.n + at),
+            Layout::Sparse {
+                offsets,
+                keys,
+                entries,
+            } => {
+                let mut lo = offsets[at] as usize;
+                let mut hi = offsets[at + 1] as usize;
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    let k = keys.get(mid) as u32;
+                    match k.cmp(&hid) {
+                        std::cmp::Ordering::Less => lo = mid + 1,
+                        std::cmp::Ordering::Greater => hi = mid,
+                        std::cmp::Ordering::Equal => return entries.get(mid),
+                    }
+                }
+                KIND_INVALID
+            }
+        }
+    }
+
+    /// The forwarding decision of node `at` on interned header `hid`.
+    #[inline(always)]
+    pub fn decide(&self, at: NodeId, hid: u32) -> Decision {
+        let e = self.entry(at, hid);
+        match e >> (self.port_width + self.header_width) {
+            KIND_DELIVER => Decision::Deliver,
+            KIND_FORWARD => {
+                let hmask = low_mask(self.header_width);
+                Decision::Forward {
+                    port: ((e >> self.header_width) & low_mask(self.port_width)) as Port,
+                    next: (e & hmask) as u32,
+                }
+            }
+            _ => Decision::Invalid,
+        }
+    }
+
+    /// The interned initial-header id a source attaches for `target`, or
+    /// `None` when the scheme declared the pair unroutable.
+    #[inline]
+    pub fn initial_id(&self, source: NodeId, target: NodeId) -> Option<u32> {
+        let v = self.initial.get(source * self.n + target);
+        if v == self.headers as u64 {
+            None
+        } else {
+            Some(v as u32)
+        }
+    }
+
+    /// The neighbor reached from `at` through local `port`, from the CSR
+    /// adjacency snapshot.
+    #[inline(always)]
+    pub fn neighbor(&self, at: NodeId, port: Port) -> Option<NodeId> {
+        let lo = self.row[at] as usize;
+        let i = lo + port;
+        if i < self.row[at + 1] as usize {
+            Some(self.nbr[i] as NodeId)
+        } else {
+            None
+        }
+    }
+
+    /// Replays `source → target` through the compiled plane and returns
+    /// the node sequence — the plane-side analogue of
+    /// [`cpr_routing::route`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`RouteError`]s the live simulator would: an
+    /// unroutable pair, a bad port, or hop-budget exhaustion.
+    pub fn walk(&self, source: NodeId, target: NodeId) -> Result<Vec<NodeId>, RouteError> {
+        let Some(mut hid) = self.initial_id(source, target) else {
+            return Err(RouteError::Unroutable { source, target });
+        };
+        let mut at = source;
+        let mut visited = vec![source];
+        loop {
+            match self.decide(at, hid) {
+                Decision::Deliver => return Ok(visited),
+                Decision::Forward { port, next } => {
+                    let Some(next_node) = self.neighbor(at, port) else {
+                        return Err(RouteError::BadPort { at, port });
+                    };
+                    at = next_node;
+                    hid = next;
+                    visited.push(at);
+                    if visited.len() > self.hop_budget {
+                        return Err(RouteError::HopBudgetExhausted { visited });
+                    }
+                }
+                Decision::Invalid => return Err(RouteError::Unroutable { source, target }),
+            }
+        }
+    }
+
+    /// The scheme name the plane was compiled from.
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct interned headers.
+    pub fn header_count(&self) -> usize {
+        self.headers
+    }
+
+    /// Number of stored `(node, header)` transition states.
+    pub fn state_count(&self) -> usize {
+        self.states
+    }
+
+    /// The hop budget a walk may spend (`4n + 4`, matching
+    /// [`cpr_routing::route`]).
+    pub fn hop_budget(&self) -> usize {
+        self.hop_budget
+    }
+
+    /// Honest bit accounting of the plane.
+    pub fn memory(&self) -> PlaneMemory {
+        let (layout, transition_bits) = match &self.layout {
+            Layout::Dense(table) => ("dense", table.bits()),
+            Layout::Sparse {
+                offsets,
+                keys,
+                entries,
+            } => (
+                "sparse",
+                keys.bits() + entries.bits() + offsets.len() as u64 * 32,
+            ),
+        };
+        PlaneMemory {
+            scheme: self.scheme.clone(),
+            nodes: self.n,
+            headers: self.headers,
+            states: self.states,
+            entry_width: self.entry_width,
+            layout,
+            transition_bits,
+            initial_bits: self.initial.bits(),
+            adjacency_bits: (self.row.len() + self.nbr.len()) as u64 * 32,
+            scheme_header_bits: self.scheme_header_bits,
+        }
+    }
+}
+
+#[inline]
+fn low_mask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Checks the compiled plane against the live simulation on *every*
+/// `(source, target)` pair: the node sequences (or errors) must be
+/// identical, hop for hop.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn validate<S: RoutingScheme>(
+    plane: &ForwardingPlane,
+    scheme: &S,
+    graph: &Graph,
+) -> Result<(), Box<Divergence>> {
+    for source in graph.nodes() {
+        for target in graph.nodes() {
+            let plane_path = plane.walk(source, target);
+            let live_path = cpr_routing::route(scheme, graph, source, target);
+            if plane_path != live_path {
+                return Err(Box::new(Divergence {
+                    source,
+                    target,
+                    plane: plane_path,
+                    live: live_path,
+                }));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_algebra::policies::ShortestPath;
+    use cpr_graph::{generators, EdgeWeights};
+    use cpr_routing::DestTable;
+    use rand::SeedableRng;
+
+    #[test]
+    fn packed_array_round_trips() {
+        for width in [1u32, 3, 7, 13, 31, 33, 64] {
+            let mut a = PackedArray::new(100, width);
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
+            for i in 0..100 {
+                a.set(i, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask);
+            }
+            for i in 0..100 {
+                assert_eq!(
+                    a.get(i),
+                    (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask,
+                    "width {width}, index {i}"
+                );
+            }
+            assert_eq!(a.bits(), 100 * u64::from(width));
+        }
+    }
+
+    #[test]
+    fn packed_array_zero_width() {
+        let a = PackedArray::new(10, 0);
+        assert_eq!(a.get(5), 0);
+        assert_eq!(a.bits(), 0);
+    }
+
+    #[test]
+    fn packed_array_set_overwrites_neighbors_cleanly() {
+        let mut a = PackedArray::new(8, 13);
+        for i in 0..8 {
+            a.set(i, 0x1FFF);
+        }
+        a.set(3, 0);
+        assert_eq!(a.get(2), 0x1FFF);
+        assert_eq!(a.get(3), 0);
+        assert_eq!(a.get(4), 0x1FFF);
+    }
+
+    #[test]
+    fn compiles_dest_table_and_matches_live() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = generators::gnp_connected(24, 0.15, &mut rng);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        let plane = compile(&scheme, &g).unwrap();
+        assert_eq!(plane.node_count(), 24);
+        validate(&plane, &scheme, &g).unwrap();
+    }
+
+    #[test]
+    fn unroutable_pairs_hit_the_sentinel() {
+        // Two disconnected edges: cross-component pairs are unroutable.
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        let plane = compile(&scheme, &g).unwrap();
+        validate(&plane, &scheme, &g).unwrap();
+        assert!(plane.initial_id(0, 1).is_some());
+        assert_eq!(
+            plane.walk(0, 2).unwrap_err(),
+            RouteError::Unroutable {
+                source: 0,
+                target: 2
+            }
+        );
+    }
+
+    #[test]
+    fn node_count_mismatch_is_rejected() {
+        let g4 = generators::path(4);
+        let g5 = generators::path(5);
+        let w = EdgeWeights::uniform(&g4, 1u64);
+        let scheme = DestTable::build(&g4, &w, &ShortestPath);
+        assert_eq!(
+            compile(&scheme, &g5).unwrap_err(),
+            CompileError::NodeCountMismatch {
+                scheme: 4,
+                graph: 5
+            }
+        );
+    }
+
+    #[test]
+    fn memory_report_counts_every_array() {
+        let g = generators::cycle(8);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        let plane = compile(&scheme, &g).unwrap();
+        let mem = plane.memory();
+        assert!(mem.transition_bits > 0);
+        assert!(mem.initial_bits > 0);
+        assert!(mem.adjacency_bits > 0);
+        assert_eq!(
+            mem.total_bits(),
+            mem.transition_bits + mem.initial_bits + mem.adjacency_bits
+        );
+        assert!(mem.to_string().contains("dense") || mem.to_string().contains("sparse"));
+    }
+}

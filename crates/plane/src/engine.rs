@@ -1,0 +1,403 @@
+//! The batched query engine: sharded workers serving compiled lookups.
+//!
+//! [`serve`] splits a query batch into contiguous chunks and walks each
+//! chunk through the [`ForwardingPlane`] on its own scoped thread; the
+//! plane is immutable, so workers share it without locks. Per-shard
+//! statistics are merged into a [`ServeReport`] carrying throughput, hop
+//! counts, hop stretch against the `cpr-paths` all-pairs optima
+//! ([`HopOptima`]) and — never masked — every failed query with its
+//! [`RouteError`].
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use cpr_algebra::policies::ShortestPath;
+use cpr_algebra::PathWeight;
+use cpr_graph::{EdgeWeights, Graph, NodeId};
+use cpr_paths::AllPairs;
+use cpr_routing::RouteError;
+
+use crate::compile::{Decision, ForwardingPlane};
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of worker shards. Clamped to the batch size; `0` is
+    /// treated as `1`.
+    pub shards: usize,
+}
+
+impl EngineConfig {
+    /// A config with an explicit shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        EngineConfig { shards }
+    }
+}
+
+impl Default for EngineConfig {
+    /// One shard per available hardware thread.
+    fn default() -> Self {
+        EngineConfig {
+            shards: std::thread::available_parallelism().map_or(1, usize::from),
+        }
+    }
+}
+
+/// Hop-count distances from the `cpr-paths` all-pairs solver (shortest
+/// path under uniform unit weights), used to score hop stretch.
+#[derive(Clone, Debug)]
+pub struct HopOptima {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl HopOptima {
+    /// Computes all-pairs hop distances for `graph`.
+    pub fn compute(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let w = EdgeWeights::uniform(graph, 1u64);
+        let ap = AllPairs::compute(graph, &w, &ShortestPath);
+        let mut dist = vec![u32::MAX; n * n];
+        for s in graph.nodes() {
+            for t in graph.nodes() {
+                if let PathWeight::Finite(d) = ap.weight(s, t) {
+                    dist[s * n + t] = *d as u32;
+                }
+            }
+        }
+        HopOptima { n, dist }
+    }
+
+    /// The optimal hop count `s → t`, or `None` when disconnected.
+    #[inline]
+    pub fn hops(&self, s: NodeId, t: NodeId) -> Option<u32> {
+        let d = self.dist[s * self.n + t];
+        if d == u32::MAX {
+            None
+        } else {
+            Some(d)
+        }
+    }
+}
+
+/// A query the plane failed to deliver, with the surfaced error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryFailure {
+    /// Source of the failed query.
+    pub source: NodeId,
+    /// Target of the failed query.
+    pub target: NodeId,
+    /// Why it failed.
+    pub error: RouteError,
+}
+
+/// Hop-stretch statistics over the delivered queries whose optimal hop
+/// count is at least 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StretchStats {
+    /// Mean of `hops / optimal_hops`.
+    pub mean: f64,
+    /// Worst observed ratio.
+    pub max: f64,
+    /// Number of queries scored.
+    pub samples: usize,
+}
+
+/// The merged outcome of serving one batch.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Scheme the plane was compiled from.
+    pub scheme: String,
+    /// Number of queries in the batch.
+    pub queries: usize,
+    /// Worker shards actually used.
+    pub shards: usize,
+    /// Queries delivered at their target.
+    pub delivered: usize,
+    /// Every failed query, in batch order within each shard.
+    pub failures: Vec<QueryFailure>,
+    /// Total hops across delivered queries.
+    pub total_hops: u64,
+    /// Longest delivered route.
+    pub max_hops: usize,
+    /// Wall-clock time spent serving.
+    pub elapsed: Duration,
+    /// Hop stretch vs [`HopOptima`], when optima were supplied.
+    pub stretch: Option<StretchStats>,
+}
+
+impl ServeReport {
+    /// Queries served per second.
+    pub fn throughput_qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Mean hops over delivered queries.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} queries / {} shard(s) in {:.2?} — {:.2} Mq/s, {} delivered \
+             (avg {:.2} hops, max {}), {} failed",
+            self.scheme,
+            self.queries,
+            self.shards,
+            self.elapsed,
+            self.throughput_qps() / 1e6,
+            self.delivered,
+            self.mean_hops(),
+            self.max_hops,
+            self.failures.len()
+        )?;
+        if let Some(s) = &self.stretch {
+            write!(
+                f,
+                ", hop stretch mean {:.3} max {:.2} ({} scored)",
+                s.mean, s.max, s.samples
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct ShardStats {
+    delivered: usize,
+    total_hops: u64,
+    max_hops: usize,
+    failures: Vec<QueryFailure>,
+    stretch_sum: f64,
+    stretch_max: f64,
+    stretch_samples: usize,
+}
+
+fn run_shard(
+    plane: &ForwardingPlane,
+    queries: &[(NodeId, NodeId)],
+    optima: Option<&HopOptima>,
+) -> ShardStats {
+    let budget = plane.hop_budget();
+    let mut st = ShardStats::default();
+    for &(source, target) in queries {
+        let Some(mut hid) = plane.initial_id(source, target) else {
+            st.failures.push(QueryFailure {
+                source,
+                target,
+                error: RouteError::Unroutable { source, target },
+            });
+            continue;
+        };
+        let mut at = source;
+        let mut hops = 0usize;
+        loop {
+            match plane.decide(at, hid) {
+                Decision::Deliver => {
+                    st.delivered += 1;
+                    st.total_hops += hops as u64;
+                    st.max_hops = st.max_hops.max(hops);
+                    if let Some(opt) = optima {
+                        if let Some(d) = opt.hops(source, target) {
+                            if d > 0 {
+                                let ratio = hops as f64 / f64::from(d);
+                                st.stretch_sum += ratio;
+                                st.stretch_max = st.stretch_max.max(ratio);
+                                st.stretch_samples += 1;
+                            }
+                        }
+                    }
+                    break;
+                }
+                Decision::Forward { port, next } => {
+                    let Some(next_node) = plane.neighbor(at, port) else {
+                        st.failures.push(QueryFailure {
+                            source,
+                            target,
+                            error: RouteError::BadPort { at, port },
+                        });
+                        break;
+                    };
+                    at = next_node;
+                    hid = next;
+                    hops += 1;
+                    if hops > budget {
+                        // Replay the walk to surface the full visited
+                        // sequence — failures are rare, so the extra
+                        // pass costs nothing on the hot path.
+                        let error = plane.walk(source, target).err().unwrap_or(
+                            RouteError::HopBudgetExhausted {
+                                visited: Vec::new(),
+                            },
+                        );
+                        st.failures.push(QueryFailure {
+                            source,
+                            target,
+                            error,
+                        });
+                        break;
+                    }
+                }
+                Decision::Invalid => {
+                    st.failures.push(QueryFailure {
+                        source,
+                        target,
+                        error: RouteError::Unroutable { source, target },
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    st
+}
+
+/// Serves `queries` against the compiled plane across
+/// [`EngineConfig::shards`] scoped worker threads.
+///
+/// Pass [`HopOptima`] to score hop stretch; pass `None` to skip the
+/// all-pairs comparison (e.g. in throughput benchmarks).
+pub fn serve(
+    plane: &ForwardingPlane,
+    queries: &[(NodeId, NodeId)],
+    optima: Option<&HopOptima>,
+    config: &EngineConfig,
+) -> ServeReport {
+    let shards = config.shards.max(1).min(queries.len().max(1));
+    let chunk = queries.len().div_ceil(shards).max(1);
+    let start = Instant::now();
+    let mut stats: Vec<ShardStats> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || run_shard(plane, c, optima)))
+            .collect();
+        for h in handles {
+            stats.push(h.join().expect("shard worker panicked"));
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let used = stats.len().max(1);
+    let mut report = ServeReport {
+        scheme: plane.scheme().to_string(),
+        queries: queries.len(),
+        shards: used,
+        delivered: 0,
+        failures: Vec::new(),
+        total_hops: 0,
+        max_hops: 0,
+        elapsed,
+        stretch: None,
+    };
+    let mut stretch_sum = 0.0;
+    let mut stretch_max = 0.0f64;
+    let mut stretch_samples = 0usize;
+    for st in stats {
+        report.delivered += st.delivered;
+        report.total_hops += st.total_hops;
+        report.max_hops = report.max_hops.max(st.max_hops);
+        report.failures.extend(st.failures);
+        stretch_sum += st.stretch_sum;
+        stretch_max = stretch_max.max(st.stretch_max);
+        stretch_samples += st.stretch_samples;
+    }
+    if optima.is_some() {
+        report.stretch = Some(StretchStats {
+            mean: if stretch_samples == 0 {
+                1.0
+            } else {
+                stretch_sum / stretch_samples as f64
+            },
+            max: stretch_max,
+            samples: stretch_samples,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::workload::{generate, TrafficPattern};
+    use cpr_algebra::policies::ShortestPath;
+    use cpr_graph::generators;
+    use cpr_routing::DestTable;
+    use rand::SeedableRng;
+
+    fn plane_on_gnp(n: usize, seed: u64) -> (Graph, ForwardingPlane) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, 0.12, &mut rng);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        let plane = compile(&scheme, &g).unwrap();
+        (g, plane)
+    }
+
+    #[test]
+    fn serves_uniform_batch_with_optimal_stretch() {
+        let (g, plane) = plane_on_gnp(30, 11);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let queries = generate(&g, &TrafficPattern::Uniform, 2000, &mut rng);
+        let optima = HopOptima::compute(&g);
+        let report = serve(
+            &plane,
+            &queries,
+            Some(&optima),
+            &EngineConfig::with_shards(1),
+        );
+        assert_eq!(report.delivered, 2000);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        // Destination tables under shortest path are hop-optimal.
+        let s = report.stretch.as_ref().unwrap();
+        assert!((s.mean - 1.0).abs() < 1e-9, "mean stretch {}", s.mean);
+        assert_eq!(s.samples, 2000);
+        assert!(report.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn sharded_serving_matches_single_shard() {
+        let (g, plane) = plane_on_gnp(25, 13);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let queries = generate(&g, &TrafficPattern::Gravity, 999, &mut rng);
+        let one = serve(&plane, &queries, None, &EngineConfig::with_shards(1));
+        let four = serve(&plane, &queries, None, &EngineConfig::with_shards(4));
+        assert_eq!(one.delivered, four.delivered);
+        assert_eq!(one.total_hops, four.total_hops);
+        assert_eq!(one.max_hops, four.max_hops);
+        assert_eq!(four.shards, 4);
+    }
+
+    #[test]
+    fn unroutable_queries_are_reported_not_masked() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        let plane = compile(&scheme, &g).unwrap();
+        let queries = vec![(0, 1), (0, 2), (2, 3), (3, 1)];
+        let report = serve(&plane, &queries, None, &EngineConfig::with_shards(2));
+        assert_eq!(report.delivered, 2);
+        assert_eq!(report.failures.len(), 2);
+        assert!(report
+            .failures
+            .iter()
+            .all(|f| matches!(f.error, RouteError::Unroutable { .. })));
+        assert!(report.to_string().contains("2 failed"));
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_batch_size() {
+        let (_, plane) = plane_on_gnp(10, 15);
+        let report = serve(&plane, &[(0, 1)], None, &EngineConfig::with_shards(64));
+        assert_eq!(report.shards, 1);
+        assert_eq!(report.queries, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! # cpr-plane — a compiled forwarding plane for compact routing schemes
+//!
+//! The schemes in `cpr-routing` are *specifications*: each hop evaluates
+//! a local routing function on a structured header (clone a Thorup–Zwick
+//! label, binary-search a table, …). That is the right shape for proving
+//! bit bounds, and the wrong shape for serving route queries at rate.
+//! This crate closes the gap the way real routers do — by separating the
+//! control plane from the forwarding plane:
+//!
+//! * [`compile`] flattens any [`RoutingScheme`](cpr_routing::RoutingScheme)
+//!   into an immutable [`ForwardingPlane`]: reachable `(node, header)`
+//!   states are interned to dense ids and their decisions bit-packed into
+//!   flat transition arrays ([`PackedArray`]), with a dense or sparse
+//!   layout chosen from the instance's honest bit accounting. Compilation
+//!   drives the live `step` simulation for every pair and aborts on any
+//!   misroute, and [`validate`] replays all pairs hop-for-hop afterwards.
+//! * [`workload`] generates deterministic query batches — uniform,
+//!   degree-weighted gravity, and hotspot traffic.
+//! * [`engine`] serves a batch across sharded scoped threads and reports
+//!   throughput, hop counts, hop stretch against the `cpr-paths` optima,
+//!   and every failure ([`ServeReport`]) — delivery errors are surfaced
+//!   as [`RouteError`](cpr_routing::RouteError)s, never masked.
+//!
+//! ```
+//! use cpr_algebra::policies::ShortestPath;
+//! use cpr_graph::{generators, EdgeWeights};
+//! use cpr_plane::{compile, serve, validate, EngineConfig, HopOptima, TrafficPattern};
+//! use cpr_routing::DestTable;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let g = generators::gnp_connected(16, 0.2, &mut rng);
+//! let w = EdgeWeights::uniform(&g, 1u64);
+//! let scheme = DestTable::build(&g, &w, &ShortestPath);
+//!
+//! let plane = compile(&scheme, &g).unwrap();
+//! validate(&plane, &scheme, &g).unwrap();
+//!
+//! let queries = cpr_plane::generate(&g, &TrafficPattern::Uniform, 1000, &mut rng);
+//! let optima = HopOptima::compute(&g);
+//! let report = serve(&plane, &queries, Some(&optima), &EngineConfig::with_shards(2));
+//! assert_eq!(report.delivered, 1000);
+//! println!("{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod engine;
+pub mod workload;
+
+pub use compile::{
+    compile, validate, CompileError, Decision, Divergence, ForwardingPlane, PackedArray,
+    PlaneMemory,
+};
+pub use engine::{serve, EngineConfig, HopOptima, QueryFailure, ServeReport, StretchStats};
+pub use workload::{generate, TrafficPattern};

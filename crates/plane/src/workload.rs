@@ -1,0 +1,211 @@
+//! Deterministic traffic generators for forwarding-plane experiments.
+//!
+//! A workload is just a vector of `(source, target)` queries; the three
+//! [`TrafficPattern`]s cover the standard experimental mixes — uniform
+//! random pairs, degree-weighted "gravity" traffic where hubs originate
+//! and sink proportionally more flows, and hotspot traffic that
+//! concentrates a fraction of all targets on the few highest-degree
+//! nodes. Generation is fully determined by the RNG seed, mirroring
+//! `cpr_bench::experiment_rng`-style reproducibility.
+
+use cpr_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// A synthetic traffic pattern over the nodes of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficPattern {
+    /// Source and target drawn independently and uniformly, `s ≠ t`
+    /// whenever the graph has at least two nodes.
+    Uniform,
+    /// Both endpoints drawn with probability proportional to node degree
+    /// (a gravity model): an AS with many links sees proportionally more
+    /// traffic in both directions.
+    Gravity,
+    /// Targets concentrate on the highest-degree nodes: with probability
+    /// `fraction` the target is one of the `hotspots` top-degree nodes
+    /// (uniformly among them), otherwise uniform; sources stay uniform.
+    Hotspot {
+        /// Number of top-degree nodes acting as hotspots (clamped to
+        /// `1..=n`).
+        hotspots: usize,
+        /// Fraction of queries aimed at a hotspot (clamped to
+        /// `0.0..=1.0`).
+        fraction: f64,
+    },
+}
+
+impl TrafficPattern {
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::Gravity => "gravity",
+            TrafficPattern::Hotspot { .. } => "hotspot",
+        }
+    }
+}
+
+/// Generates `count` `(source, target)` queries under `pattern`.
+///
+/// Self-pairs are excluded whenever the graph has at least two nodes (on
+/// a single-node graph every query is `(0, 0)`). The output is fully
+/// determined by the RNG state.
+///
+/// # Panics
+///
+/// Panics on an empty graph.
+pub fn generate<R: Rng + ?Sized>(
+    graph: &Graph,
+    pattern: &TrafficPattern,
+    count: usize,
+    rng: &mut R,
+) -> Vec<(NodeId, NodeId)> {
+    let n = graph.node_count();
+    assert!(n > 0, "cannot generate traffic on an empty graph");
+    match pattern {
+        TrafficPattern::Uniform => (0..count).map(|_| uniform_pair(n, rng)).collect(),
+        TrafficPattern::Gravity => {
+            // Cumulative degree table; sampling is one gen_range plus a
+            // binary search.
+            let mut cum = Vec::with_capacity(n);
+            let mut total = 0u64;
+            for v in graph.nodes() {
+                total += graph.degree(v) as u64;
+                cum.push(total);
+            }
+            if total == 0 {
+                // Edgeless graph: gravity degenerates to uniform.
+                return (0..count).map(|_| uniform_pair(n, rng)).collect();
+            }
+            let draw = |rng: &mut R| -> NodeId {
+                let x = rng.gen_range(0..total);
+                cum.partition_point(|&c| c <= x)
+            };
+            (0..count)
+                .map(|_| {
+                    let s = draw(rng);
+                    if n == 1 {
+                        return (s, s);
+                    }
+                    loop {
+                        let t = draw(rng);
+                        if t != s {
+                            return (s, t);
+                        }
+                    }
+                })
+                .collect()
+        }
+        TrafficPattern::Hotspot { hotspots, fraction } => {
+            let k = (*hotspots).clamp(1, n);
+            let p = fraction.clamp(0.0, 1.0);
+            let mut by_degree: Vec<NodeId> = graph.nodes().collect();
+            by_degree.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+            let hot = &by_degree[..k];
+            (0..count)
+                .map(|_| {
+                    let t = if rng.gen_bool(p) {
+                        hot[rng.gen_range(0..k)]
+                    } else {
+                        rng.gen_range(0..n)
+                    };
+                    if n == 1 {
+                        return (t, t);
+                    }
+                    loop {
+                        let s = rng.gen_range(0..n);
+                        if s != t {
+                            return (s, t);
+                        }
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+fn uniform_pair<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (NodeId, NodeId) {
+    let s = rng.gen_range(0..n);
+    if n == 1 {
+        return (s, s);
+    }
+    loop {
+        let t = rng.gen_range(0..n);
+        if t != s {
+            return (s, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_graph::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_pairs_are_in_range_and_distinct() {
+        let g = generators::cycle(10);
+        let qs = generate(&g, &TrafficPattern::Uniform, 500, &mut rng(1));
+        assert_eq!(qs.len(), 500);
+        for &(s, t) in &qs {
+            assert!(s < 10 && t < 10 && s != t);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = generators::star(12);
+        for pattern in [
+            TrafficPattern::Uniform,
+            TrafficPattern::Gravity,
+            TrafficPattern::Hotspot {
+                hotspots: 2,
+                fraction: 0.8,
+            },
+        ] {
+            let a = generate(&g, &pattern, 200, &mut rng(9));
+            let b = generate(&g, &pattern, 200, &mut rng(9));
+            assert_eq!(a, b, "{}", pattern.name());
+        }
+    }
+
+    #[test]
+    fn gravity_prefers_the_hub() {
+        // Star: the hub has degree n−1, each leaf degree 1 — the hub
+        // should appear as an endpoint in the overwhelming majority of
+        // flows.
+        let g = generators::star(16);
+        let qs = generate(&g, &TrafficPattern::Gravity, 1000, &mut rng(2));
+        let hub_flows = qs.iter().filter(|&&(s, t)| s == 0 || t == 0).count();
+        assert!(hub_flows > 600, "hub in only {hub_flows}/1000 flows");
+    }
+
+    #[test]
+    fn hotspot_concentrates_targets() {
+        let g = generators::star(20);
+        let qs = generate(
+            &g,
+            &TrafficPattern::Hotspot {
+                hotspots: 1,
+                fraction: 0.9,
+            },
+            1000,
+            &mut rng(3),
+        );
+        // Node 0 is the unique top-degree node.
+        let to_hot = qs.iter().filter(|&&(_, t)| t == 0).count();
+        assert!(to_hot > 700, "only {to_hot}/1000 queries hit the hotspot");
+    }
+
+    #[test]
+    fn single_node_graph_yields_self_pairs() {
+        let g = Graph::with_nodes(1);
+        let qs = generate(&g, &TrafficPattern::Uniform, 5, &mut rng(4));
+        assert_eq!(qs, vec![(0, 0); 5]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property test: for every routing scheme in `cpr-routing`, the compiled
+//! forwarding plane agrees hop-for-hop with the live
+//! [`RoutingScheme::step`] simulation — on random connected `G(n,p)`
+//! instances and on random trees (where tree-based schemes are exercised
+//! on their natural substrate and table schemes on a sparse one).
+//!
+//! Agreement is checked by [`cpr_plane::validate`], which replays *every*
+//! `(source, target)` pair through both the plane and the simulator and
+//! requires identical node sequences (or identical errors).
+
+use cpr_algebra::policies::{self, ShortestPath, WidestPath};
+use cpr_graph::{generators, EdgeWeights, Graph};
+use cpr_paths::{shortest_widest_exact, AllPairs};
+use cpr_plane::{compile, validate};
+use cpr_routing::{
+    CowenScheme, DestTable, IntervalTreeRouting, LabelSwapping, LandmarkStrategy, RoutingScheme,
+    SrcDestTable, SwClassTable, TzTreeRouting,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Compiles `scheme` and validates hop-for-hop agreement on all pairs.
+fn check_plane<S: RoutingScheme>(g: &Graph, scheme: &S) -> Result<(), TestCaseError> {
+    let plane = match compile(scheme, g) {
+        Ok(p) => p,
+        Err(e) => {
+            return Err(TestCaseError::fail(format!(
+                "{} failed to compile: {e}",
+                scheme.name()
+            )))
+        }
+    };
+    if let Err(d) = validate(&plane, scheme, g) {
+        return Err(TestCaseError::fail(format!(
+            "{} diverges from live simulation: {d}",
+            scheme.name()
+        )));
+    }
+    // The interned state space can never exceed nodes × headers.
+    prop_assert!(plane.state_count() <= plane.node_count() * plane.header_count());
+    Ok(())
+}
+
+/// Every scheme in `cpr_routing::schemes`, built over `g` and compiled.
+fn check_all_schemes(g: &Graph, seed: u64) -> Result<(), TestCaseError> {
+    let mut r = rng(seed ^ 0x9_1A7E);
+
+    let sp = EdgeWeights::random(g, &ShortestPath, &mut r);
+    check_plane(g, &DestTable::build(g, &sp, &ShortestPath))?;
+
+    let wp = EdgeWeights::random(g, &WidestPath, &mut r);
+    check_plane(g, &IntervalTreeRouting::spanning(g, &wp, &WidestPath))?;
+    check_plane(g, &TzTreeRouting::spanning(g, &wp, &WidestPath))?;
+
+    check_plane(
+        g,
+        &CowenScheme::build(
+            g,
+            &sp,
+            &ShortestPath,
+            LandmarkStrategy::TzRandom { attempts: 3 },
+            &mut r,
+        ),
+    )?;
+
+    let sw = policies::shortest_widest();
+    let sww = EdgeWeights::random(g, &sw, &mut r);
+    check_plane(
+        g,
+        &SrcDestTable::build(g, "sw", |s| {
+            let routes = shortest_widest_exact(g, &sww, s);
+            g.nodes()
+                .map(|t| routes.path_to(t).map(<[_]>::to_vec))
+                .collect()
+        }),
+    )?;
+    check_plane(g, &SwClassTable::build(g, &sww))?;
+
+    let ap = AllPairs::compute(g, &sp, &ShortestPath);
+    check_plane(g, &LabelSwapping::provision(g, "sp", |s, t| ap.path(s, t)))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Compiled planes agree with live stepping on random connected
+    /// G(n,p) instances, for all seven schemes.
+    #[test]
+    fn planes_agree_on_gnp(n in 5usize..16, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, 0.3, &mut rng(seed));
+        check_all_schemes(&g, seed)?;
+    }
+
+    /// Compiled planes agree with live stepping on random trees.
+    #[test]
+    fn planes_agree_on_trees(n in 5usize..20, seed in any::<u64>()) {
+        let g = generators::random_tree(n, &mut rng(seed));
+        check_all_schemes(&g, seed)?;
+    }
+}

@@ -76,7 +76,12 @@ impl std::error::Error for RouteError {}
 pub trait RoutingScheme {
     /// The packet header type. Encodable on
     /// [`header_bits`](Self::header_bits) bits.
-    type Header: Clone + fmt::Debug;
+    ///
+    /// `Eq + Hash` is required so header states can be *interned*: the
+    /// `cpr-plane` forwarding-plane compiler enumerates the reachable
+    /// `(node, header)` states of a scheme and flattens them into packed
+    /// transition arrays, which needs headers as map keys.
+    type Header: Clone + fmt::Debug + Eq + std::hash::Hash;
 
     /// Human-readable scheme name for reports.
     fn name(&self) -> String;

@@ -51,7 +51,7 @@ pub enum LandmarkStrategy {
 }
 
 /// The Cowen label of a node: `(v, l_v, port at l_v towards v)`.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CowenLabel {
     /// The node itself.
     pub node: NodeId,

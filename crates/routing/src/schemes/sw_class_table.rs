@@ -31,7 +31,7 @@ use crate::scheme::{RouteAction, RoutingScheme};
 
 /// The header: the destination and its bottleneck-class index (an index
 /// into the sorted list of distinct edge capacities).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SwHeader {
     /// The destination node.
     pub target: NodeId,

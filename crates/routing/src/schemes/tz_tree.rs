@@ -19,7 +19,7 @@ use crate::tree::RootedTree;
 
 /// A Thorup–Zwick tree-routing label: the node's DFS number plus the light
 /// edges `(dfs(u), port-at-u)` on its root path, in root-to-leaf order.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TzLabel {
     /// DFS number of the labelled node.
     pub dfs: u32,

@@ -260,7 +260,7 @@ fn theorem3_cowen_stretch3_and_sublinearity() {
     let alg = ShortestPath;
     let mut prev_ratio = f64::INFINITY;
     for n in [32usize, 128] {
-        let mut r = rng(13 + n as u64);
+        let mut r = rng(19 + n as u64);
         let g = generators::gnp_connected(n, (3.0 * (n as f64).ln() / n as f64).min(0.4), &mut r);
         let w = EdgeWeights::random(&g, &alg, &mut r);
         let ap = AllPairs::compute(&g, &w, &alg);

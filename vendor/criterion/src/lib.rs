@@ -1,0 +1,351 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The workspace builds hermetically, so the real `criterion` cannot be
+//! fetched. This crate implements the surface the workspace's benches use
+//! — `Criterion`, `benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — as a straightforward
+//! wall-clock sampling harness.
+//!
+//! Mirroring the real crate's behaviour under `cargo test` vs
+//! `cargo bench`: when the binary is invoked *without* `--bench` each
+//! benchmark body runs once (smoke test), and with `--bench` it is
+//! measured (warm-up, then `sample_size` timed samples) with a
+//! `mean / min / max` line per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How the harness was invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// `cargo test`: run every body once.
+    Test,
+    /// `cargo bench`: measure.
+    Bench,
+}
+
+/// The benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Test,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies the CLI arguments cargo passes to bench binaries:
+    /// `--bench` selects measurement mode, the first free-standing
+    /// argument filters benchmarks by substring, everything else is
+    /// accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => self.mode = Mode::Bench,
+                "--test" => self.mode = Mode::Test,
+                s if s.starts_with("--") => {
+                    // Flags with a value (e.g. `--save-baseline x`).
+                    if matches!(
+                        s,
+                        "--save-baseline" | "--baseline" | "--load-baseline" | "--profile-time"
+                    ) {
+                        let _ = args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let label = id.into().label;
+        run_one(self.mode, &self.filter, &label, 100, &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares expected per-iteration work; accepted for API parity,
+    /// not used in reporting.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &label,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &label,
+            self.sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Declared per-iteration throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to every benchmark body; [`iter`](Bencher::iter) does the
+/// timing.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    report: Option<String>,
+}
+
+impl Bencher {
+    /// Runs `f` once (test mode) or measures it (bench mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Test => {
+                black_box(f());
+            }
+            Mode::Bench => {
+                // Warm up for ~60ms to estimate the per-iteration cost.
+                let warmup = Duration::from_millis(60);
+                let start = Instant::now();
+                let mut warm_iters = 0u64;
+                while start.elapsed() < warmup {
+                    black_box(f());
+                    warm_iters += 1;
+                }
+                let per_iter_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+                // Aim for ~600ms of total measurement across the samples.
+                let target_sample_ns = 600e6 / self.sample_size as f64;
+                let iters = ((target_sample_ns / per_iter_ns).ceil() as u64).max(1);
+                let mut samples_ns = Vec::with_capacity(self.sample_size);
+                for _ in 0..self.sample_size {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+                }
+                let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+                let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = samples_ns.iter().cloned().fold(0.0f64, f64::max);
+                self.report = Some(format!(
+                    "time: [{} {} {}] ({} samples × {} iters)",
+                    fmt_ns(min),
+                    fmt_ns(mean),
+                    fmt_ns(max),
+                    self.sample_size,
+                    iters
+                ));
+            }
+        }
+    }
+}
+
+/// Renders nanoseconds with criterion-style units.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_one(
+    mode: Mode,
+    filter: &Option<String>,
+    label: &str,
+    sample_size: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !label.contains(pat.as_str()) {
+            return;
+        }
+    }
+    match mode {
+        Mode::Test => {
+            println!("Testing {label}");
+            let mut b = Bencher {
+                mode,
+                sample_size,
+                report: None,
+            };
+            f(&mut b);
+            println!("Success");
+        }
+        Mode::Bench => {
+            let mut b = Bencher {
+                mode,
+                sample_size,
+                report: None,
+            };
+            f(&mut b);
+            let report = b.report.unwrap_or_else(|| "no measurement".to_owned());
+            println!("{label:<50} {report}");
+        }
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_bodies_once() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("one", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut seen = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 9), &9usize, |b, &n| {
+            b.iter(|| seen = n)
+        });
+        group.finish();
+        assert_eq!(seen, 9);
+    }
+
+    #[test]
+    fn ids_render_with_parameters() {
+        assert_eq!(BenchmarkId::new("x", 32).label, "x/32");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2e9).contains(" s"));
+    }
+}
