@@ -1,0 +1,158 @@
+//! **Control-plane scaling** — all-pairs computation and plane
+//! compilation timed across explicit thread counts.
+//!
+//! The two control-plane hot paths this workspace parallelizes —
+//! [`AllPairs::compute`] (one generalized Dijkstra per source) and
+//! [`cpr_plane::compile`] (one interning walk per source shard) — are
+//! timed at 1, 2, 4 and `available_parallelism` workers on the same
+//! instance, using the explicit-thread entry points so the sweep never
+//! mutates `CPR_THREADS`. Every parallel result is checked identical to
+//! the serial one before its timing is reported: tree weights per pair
+//! for all-pairs, the FNV digest for planes.
+//!
+//! Writes `BENCH_allpairs.json` (override with `CPR_BENCH_OUT`);
+//! `CPR_BENCH_N` sets the instance size.
+//!
+//! ```text
+//! cargo run --release -p cpr-bench --bin allpairs_bench
+//! CPR_BENCH_N=64 cargo run --release -p cpr-bench --bin allpairs_bench
+//! ```
+
+use std::time::Instant;
+
+use cpr_algebra::policies::ShortestPath;
+use cpr_algebra::RoutingAlgebra;
+use cpr_bench::{experiment_rng, experiment_seed, Json, TextTable, Topology};
+use cpr_graph::EdgeWeights;
+use cpr_paths::AllPairs;
+use cpr_plane::compile_with_threads;
+use cpr_routing::DestTable;
+
+const DEFAULT_N: usize = 512;
+/// Best-of-trials to damp scheduler noise.
+const TRIALS: usize = 3;
+
+fn env_n() -> usize {
+    match std::env::var("CPR_BENCH_N") {
+        Ok(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&v| v >= 2)
+            .unwrap_or_else(|| panic!("CPR_BENCH_N must be an integer ≥ 2, got {v:?}")),
+        Err(_) => DEFAULT_N,
+    }
+}
+
+/// 1, 2, 4, …, available_parallelism — deduplicated, ascending.
+fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut sweep = vec![1usize, 2, 4, max];
+    sweep.retain(|&t| t <= max.max(4));
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
+fn best_of<R>(mut run: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        let r = run();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best * 1e3, out.expect("TRIALS ≥ 1"))
+}
+
+fn main() {
+    let n = env_n();
+    let out_path =
+        std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_allpairs.json".to_string());
+    let sweep = thread_sweep();
+
+    let mut rng = experiment_rng("allpairs-bench", n);
+    let g = Topology::ScaleFree.build(n, &mut rng);
+    let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+
+    println!(
+        "Control-plane scaling: n={n} scale-free, best of {TRIALS} trials, thread sweep {sweep:?}, \
+         {} hardware thread(s)\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+
+    // Serial references: the sweep must reproduce these exactly.
+    let (serial_ap_ms, serial_ap) =
+        best_of(|| AllPairs::compute_with_threads(&g, &w, &ShortestPath, 1));
+    let scheme = DestTable::build(&g, &w, &ShortestPath);
+    let (serial_plane_ms, serial_plane) =
+        best_of(|| compile_with_threads(&scheme, &g, 1).expect("scheme compiles"));
+    let serial_digest = serial_plane.digest();
+
+    let mut table = TextTable::new(vec![
+        "threads",
+        "all-pairs ms",
+        "speedup",
+        "compile ms",
+        "speedup",
+    ]);
+    let mut rows = Vec::new();
+    for &threads in &sweep {
+        let (ap_ms, ap) =
+            best_of(|| AllPairs::compute_with_threads(&g, &w, &ShortestPath, threads));
+        for s in g.nodes() {
+            for t in g.nodes() {
+                assert_eq!(
+                    ShortestPath.compare_pw(ap.weight(s, t), serial_ap.weight(s, t)),
+                    std::cmp::Ordering::Equal,
+                    "all-pairs weight diverged at {threads} threads ({s} → {t})"
+                );
+            }
+        }
+        let (plane_ms, plane) =
+            best_of(|| compile_with_threads(&scheme, &g, threads).expect("scheme compiles"));
+        assert_eq!(
+            plane.digest(),
+            serial_digest,
+            "plane digest diverged at {threads} threads"
+        );
+
+        table.row(vec![
+            threads.to_string(),
+            format!("{ap_ms:.1}"),
+            format!("{:.2}×", serial_ap_ms / ap_ms),
+            format!("{plane_ms:.1}"),
+            format!("{:.2}×", serial_plane_ms / plane_ms),
+        ]);
+        rows.push(Json::obj([
+            ("threads", Json::int(threads)),
+            ("allpairs_ms", Json::float(ap_ms)),
+            ("allpairs_speedup", Json::float(serial_ap_ms / ap_ms)),
+            ("compile_ms", Json::float(plane_ms)),
+            ("compile_speedup", Json::float(serial_plane_ms / plane_ms)),
+        ]));
+    }
+    println!("{table}");
+
+    let report = Json::obj([
+        ("bench", Json::str("allpairs")),
+        ("n", Json::int(n)),
+        ("edges", Json::int(g.edge_count())),
+        ("topology", Json::str("scale-free")),
+        ("trials", Json::int(TRIALS)),
+        (
+            "hardware_threads",
+            Json::int(std::thread::available_parallelism().map_or(1, usize::from)),
+        ),
+        (
+            "seed",
+            Json::str(format!("{:#018x}", experiment_seed("allpairs-bench", n))),
+        ),
+        ("serial_allpairs_ms", Json::float(serial_ap_ms)),
+        ("serial_compile_ms", Json::float(serial_plane_ms)),
+        ("plane_digest", Json::str(format!("{serial_digest:016x}"))),
+        ("sweep", Json::Arr(rows)),
+    ]);
+    std::fs::write(&out_path, report.to_pretty()).expect("write bench report");
+    println!("wrote {out_path}");
+}

@@ -38,30 +38,39 @@ fn main() {
         "Verdict",
     ]);
 
+    // Each algebra's property check is independent: the macro queues one
+    // boxed job per row and the whole batch runs on the scoped-thread
+    // layer, results collected back in declaration order.
+    let mut jobs: Vec<Box<dyn Fn() -> Vec<String> + Send + Sync>> = Vec::new();
     macro_rules! classify {
         ($name:expr, $alg:expr, $generator:expr) => {{
             let alg = $alg;
-            classify!($name, alg, $generator, alg.sample());
+            let sample = alg.sample();
+            classify!($name, alg, $generator, sample);
         }};
         ($name:expr, $alg:expr, $generator:expr, $sample:expr) => {{
             let alg = $alg;
-            let report = check_all_properties(&alg, &$sample);
-            let holding = report.holding();
-            // Lemma 2: does some generator's cyclic subsemigroup embed
-            // (N, +, ≤) order-isomorphically?
-            let embeds = embeds_shortest_path(&alg, &$generator, 16);
-            let delimited = holding.contains(Property::Delimited);
-            table.row(vec![
-                $name.into(),
-                format!("{holding}"),
-                if holding.is_regular() { "yes" } else { "no" }.into(),
-                if embeds { "yes" } else { "no" }.into(),
-                verdict(&holding, delimited, embeds).into(),
-            ]);
-            // Cross-check declared vs empirical.
-            for p in alg.declared_properties().iter() {
-                assert!(holding.contains(p), "{}: declared {p} refuted", alg.name());
-            }
+            let generator = $generator;
+            let sample = $sample;
+            jobs.push(Box::new(move || {
+                let report = check_all_properties(&alg, &sample);
+                let holding = report.holding();
+                // Lemma 2: does some generator's cyclic subsemigroup embed
+                // (N, +, ≤) order-isomorphically?
+                let embeds = embeds_shortest_path(&alg, &generator, 16);
+                let delimited = holding.contains(Property::Delimited);
+                // Cross-check declared vs empirical.
+                for p in alg.declared_properties().iter() {
+                    assert!(holding.contains(p), "{}: declared {p} refuted", alg.name());
+                }
+                vec![
+                    $name.into(),
+                    format!("{holding}"),
+                    if holding.is_regular() { "yes" } else { "no" }.into(),
+                    if embeds { "yes" } else { "no" }.into(),
+                    verdict(&holding, delimited, embeds).into(),
+                ]
+            }));
         }};
     }
 
@@ -102,6 +111,9 @@ fn main() {
         Word::P,
         [Word::C, Word::R, Word::P]
     );
+    for row in cpr_core::par::par_map(&jobs, |job| job()) {
+        table.row(row);
+    }
     println!("{table}");
 
     println!("Cyclic subsemigroup structure (Lemma 2), first 6 powers of a generator:");

@@ -7,25 +7,44 @@
 //! 4 shards. The speedup column is compiled-vs-live on a single thread;
 //! the scaling columns show the sharded engine (which can only help on
 //! multi-core hosts — shard counts above the core count cost nothing but
-//! gain nothing).
+//! gain nothing). Scheme construction and plane compilation run on the
+//! `CPR_THREADS` scoped-thread layer and compilation is timed.
+//!
+//! Besides the text table, the run writes a machine-readable report to
+//! `BENCH_plane.json` (override with `CPR_BENCH_OUT`). Instance size and
+//! batch size come from `CPR_BENCH_N` / `CPR_BENCH_QUERIES` so CI smoke
+//! jobs can run a small instance.
 //!
 //! ```text
 //! cargo run --release -p cpr-bench --bin plane_throughput
+//! CPR_BENCH_N=64 CPR_BENCH_QUERIES=5000 cargo run --release -p cpr-bench --bin plane_throughput
 //! ```
 
 use std::time::Instant;
 
 use cpr_algebra::policies::{ShortestPath, WidestPath};
-use cpr_bench::{experiment_rng, TextTable, Topology};
+use cpr_bench::{experiment_rng, experiment_seed, Json, TextTable, Topology};
 use cpr_graph::{EdgeWeights, Graph, NodeId};
 use cpr_plane::{compile, serve, EngineConfig, TrafficPattern};
 use cpr_routing::{route, CowenScheme, DestTable, LandmarkStrategy, RoutingScheme, TzTreeRouting};
 
-const N: usize = 512;
-const QUERIES: usize = 100_000;
+const DEFAULT_N: usize = 512;
+const DEFAULT_QUERIES: usize = 100_000;
 /// Each configuration is timed this many times and the best trial kept,
 /// damping scheduler noise on shared hosts.
 const TRIALS: usize = 3;
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+fn env_size(key: &str, default: usize) -> usize {
+    match std::env::var(key) {
+        Ok(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&v| v >= 2)
+            .unwrap_or_else(|| panic!("{key} must be an integer ≥ 2, got {v:?}")),
+        Err(_) => default,
+    }
+}
 
 /// Serves the batch through the live simulator, returning (seconds, hops).
 fn live_serve<S: RoutingScheme>(scheme: &S, g: &Graph, queries: &[(NodeId, NodeId)]) -> (f64, u64) {
@@ -39,13 +58,18 @@ fn live_serve<S: RoutingScheme>(scheme: &S, g: &Graph, queries: &[(NodeId, NodeI
     (start.elapsed().as_secs_f64(), hops)
 }
 
-fn bench_scheme<S: RoutingScheme>(
+fn bench_scheme<S: RoutingScheme + Sync>(
     scheme: &S,
     g: &Graph,
     queries: &[(NodeId, NodeId)],
     table: &mut TextTable,
-) {
+) -> Json
+where
+    S::Header: Send,
+{
+    let compile_start = Instant::now();
     let plane = compile(scheme, g).expect("scheme compiles");
+    let compile_ms = compile_start.elapsed().as_secs_f64() * 1e3;
     cpr_plane::validate(&plane, scheme, g).expect("plane matches live simulation");
 
     let mut live_secs = f64::INFINITY;
@@ -59,7 +83,7 @@ fn bench_scheme<S: RoutingScheme>(
 
     let mut shard_qps = Vec::new();
     let mut compiled_hops = 0;
-    for shards in [1usize, 2, 4] {
+    for shards in SHARDS {
         let mut best = 0.0f64;
         for _ in 0..TRIALS {
             let report = serve(&plane, queries, None, &EngineConfig::with_shards(shards));
@@ -86,18 +110,44 @@ fn bench_scheme<S: RoutingScheme>(
         format!("{:.2}", shard_qps[2] / 1e6),
         format!("{}", mem.total_bits() / 8192),
     ]);
+
+    Json::obj([
+        ("scheme", Json::str(scheme.name())),
+        ("compile_ms", Json::float(compile_ms)),
+        ("live_qps", Json::float(live_qps)),
+        (
+            "plane_qps_by_shards",
+            Json::obj(
+                SHARDS
+                    .iter()
+                    .zip(&shard_qps)
+                    .map(|(s, &qps)| (s.to_string(), Json::float(qps))),
+            ),
+        ),
+        (
+            "plane_digest",
+            Json::str(format!("{:016x}", plane.digest())),
+        ),
+        ("plane_bits", Json::int(mem.total_bits())),
+    ])
 }
 
 fn main() {
-    let mut rng = experiment_rng("plane-throughput", N);
-    let g = Topology::ScaleFree.build(N, &mut rng);
+    let n = env_size("CPR_BENCH_N", DEFAULT_N);
+    let queries_n = env_size("CPR_BENCH_QUERIES", DEFAULT_QUERIES);
+    let out_path =
+        std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_plane.json".to_string());
+    let threads = cpr_core::par::thread_count();
+
+    let mut rng = experiment_rng("plane-throughput", n);
+    let g = Topology::ScaleFree.build(n, &mut rng);
     let sp = EdgeWeights::random(&g, &ShortestPath, &mut rng);
     let wp = EdgeWeights::random(&g, &WidestPath, &mut rng);
-    let queries = cpr_plane::generate(&g, &TrafficPattern::Uniform, QUERIES, &mut rng);
+    let queries = cpr_plane::generate(&g, &TrafficPattern::Uniform, queries_n, &mut rng);
 
     println!(
-        "Forwarding-plane throughput: n={N} scale-free, {QUERIES} uniform queries (best of {TRIALS} trials), \
-         {} hardware thread(s)\n",
+        "Forwarding-plane throughput: n={n} scale-free, {queries_n} uniform queries \
+         (best of {TRIALS} trials), {threads} compile thread(s), {} hardware thread(s)\n",
         std::thread::available_parallelism().map_or(1, usize::from)
     );
 
@@ -111,30 +161,49 @@ fn main() {
         "plane KiB",
     ]);
 
-    bench_scheme(
-        &DestTable::build(&g, &sp, &ShortestPath),
-        &g,
-        &queries,
-        &mut table,
-    );
-    bench_scheme(
-        &TzTreeRouting::spanning(&g, &wp, &WidestPath),
-        &g,
-        &queries,
-        &mut table,
-    );
-    bench_scheme(
-        &CowenScheme::build(
+    let schemes = vec![
+        bench_scheme(
+            &DestTable::build(&g, &sp, &ShortestPath),
             &g,
-            &sp,
-            &ShortestPath,
-            LandmarkStrategy::TzRandom { attempts: 4 },
-            &mut rng,
+            &queries,
+            &mut table,
         ),
-        &g,
-        &queries,
-        &mut table,
-    );
+        bench_scheme(
+            &TzTreeRouting::spanning(&g, &wp, &WidestPath),
+            &g,
+            &queries,
+            &mut table,
+        ),
+        bench_scheme(
+            &CowenScheme::build(
+                &g,
+                &sp,
+                &ShortestPath,
+                LandmarkStrategy::TzRandom { attempts: 4 },
+                &mut rng,
+            ),
+            &g,
+            &queries,
+            &mut table,
+        ),
+    ];
 
     println!("{table}");
+
+    let report = Json::obj([
+        ("bench", Json::str("plane_throughput")),
+        ("n", Json::int(n)),
+        ("edges", Json::int(g.edge_count())),
+        ("topology", Json::str("scale-free")),
+        ("queries", Json::int(queries_n)),
+        ("trials", Json::int(TRIALS)),
+        ("threads", Json::int(threads)),
+        (
+            "seed",
+            Json::str(format!("{:#018x}", experiment_seed("plane-throughput", n))),
+        ),
+        ("schemes", Json::Arr(schemes)),
+    ]);
+    std::fs::write(&out_path, report.to_pretty()).expect("write bench report");
+    println!("wrote {out_path}");
 }

@@ -24,7 +24,8 @@ const GROWTH_SEEDS: u64 = 3;
 
 fn sweep<A>(alg: &A, topo: Topology, table: &mut TextTable) -> Vec<(usize, f64)>
 where
-    A: RoutingAlgebra + SampleWeights,
+    A: RoutingAlgebra + SampleWeights + Sync,
+    A::W: Send + Sync,
 {
     for n in SIZES {
         let mut rng = experiment_rng(&format!("stretch3-{}-{}", alg.name(), topo.label()), n);

@@ -27,19 +27,19 @@ const SIZES: [usize; 4] = [32, 64, 128, 256];
 const SW_SIZES: [usize; 3] = [16, 32, 64];
 
 fn measure_per_size<S: RoutingScheme>(
-    build: impl Fn(&Graph, usize) -> S,
+    build: impl Fn(&Graph, usize) -> S + Sync,
     sizes: &[usize],
 ) -> (Vec<(usize, f64)>, u64) {
-    let mut series = Vec::new();
-    let mut last_bits = 0;
-    for &n in sizes {
+    // Each size is an independent instance; fan the sweep out on the
+    // scoped-thread layer and keep the results in size order.
+    let measured = cpr_core::par::par_map(sizes, |&n| {
         let mut rng = experiment_rng("table1", n);
         let g = Topology::Gnp.build(n, &mut rng);
         let scheme = build(&g, n);
-        let bits = MemoryReport::measure(&scheme).max_local_bits;
-        series.push((n, bits as f64));
-        last_bits = bits;
-    }
+        (n, MemoryReport::measure(&scheme).max_local_bits)
+    });
+    let last_bits = measured.last().map_or(0, |&(_, bits)| bits);
+    let series = measured.into_iter().map(|(n, b)| (n, b as f64)).collect();
     (series, last_bits)
 }
 
@@ -234,19 +234,21 @@ fn main() {
             cpr_graph::generators::waxman_connected(256, 0.9, 0.1, &mut rng)
         }),
     ];
-    for (label, g) in instances {
+    for row in cpr_core::par::par_map(&instances, |(label, g)| {
         let mut rng = experiment_rng("table1-cat", g.node_count());
-        let sp = EdgeWeights::random(&g, &ShortestPath, &mut rng);
-        let wp = EdgeWeights::random(&g, &WidestPath, &mut rng);
-        let s_bits = MemoryReport::measure(&DestTable::build(&g, &sp, &ShortestPath));
-        let w_bits = MemoryReport::measure(&TzTreeRouting::spanning(&g, &wp, &WidestPath));
-        catalog.row(vec![
-            label.into(),
+        let sp = EdgeWeights::random(g, &ShortestPath, &mut rng);
+        let wp = EdgeWeights::random(g, &WidestPath, &mut rng);
+        let s_bits = MemoryReport::measure(&DestTable::build(g, &sp, &ShortestPath));
+        let w_bits = MemoryReport::measure(&TzTreeRouting::spanning(g, &wp, &WidestPath));
+        vec![
+            (*label).into(),
             g.node_count().to_string(),
             g.max_degree().to_string(),
             s_bits.max_local_bits.to_string(),
             w_bits.max_local_bits.to_string(),
-        ]);
+        ]
+    }) {
+        catalog.row(row);
     }
     println!("{catalog}");
     println!(

@@ -1,0 +1,214 @@
+//! A minimal JSON emitter for machine-readable bench reports.
+//!
+//! The container has no serde, and the bench reports are flat trees of
+//! numbers and strings — so this module hand-rolls exactly the subset of
+//! RFC 8259 the `BENCH_*.json` artifacts need: objects with ordered keys,
+//! arrays, strings, integers, floats and booleans. Non-finite floats
+//! serialize as `null` (JSON has no NaN/∞).
+//!
+//! # Examples
+//!
+//! ```
+//! use cpr_bench::Json;
+//!
+//! let report = Json::obj([
+//!     ("bench", Json::str("plane_throughput")),
+//!     ("n", Json::int(512)),
+//!     ("qps", Json::float(1.25e6)),
+//!     ("shards", Json::arr([Json::int(1), Json::int(2)])),
+//! ]);
+//! assert_eq!(
+//!     report.to_compact(),
+//!     r#"{"bench":"plane_throughput","n":512,"qps":1250000.0,"shards":[1,2]}"#
+//! );
+//! ```
+
+/// A JSON value; construct with the associated helpers and serialize with
+/// [`Json::to_compact`] or [`Json::to_pretty`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept separate from floats so counts render exactly).
+    Int(i64),
+    /// A finite float; non-finite values render as `null`.
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not fit in `i64` (no bench count does).
+    pub fn int(v: impl TryInto<i64>) -> Json {
+        Json::Int(v.try_into().ok().expect("bench integer exceeds i64"))
+    }
+
+    /// A float value.
+    pub fn float(v: f64) -> Json {
+        Json::Float(v)
+    }
+
+    /// An array from any iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, keys kept in the given order.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Serializes on one line, no whitespace.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation — the format the checked-in
+    /// `BENCH_*.json` baselines use so diffs stay reviewable.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // `{:?}` keeps a decimal point or exponent, so the
+                    // value round-trips as a float (`1.0`, not `1`).
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+/// Shared layout for arrays and objects: separators, newlines, indent.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip_shapes() {
+        let v = Json::obj([
+            ("s", Json::str("a\"b\\c\nd")),
+            ("i", Json::int(42u32)),
+            ("f", Json::float(2.5)),
+            ("whole", Json::float(3.0)),
+            ("nan", Json::float(f64::NAN)),
+            ("b", Json::Bool(true)),
+            ("none", Json::Null),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<String>([])),
+        ]);
+        assert_eq!(
+            v.to_compact(),
+            r#"{"s":"a\"b\\c\nd","i":42,"f":2.5,"whole":3.0,"nan":null,"b":true,"none":null,"empty_arr":[],"empty_obj":{}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents_nested_structures() {
+        let v = Json::obj([("xs", Json::arr([Json::int(1), Json::int(2)]))]);
+        assert_eq!(v.to_pretty(), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}\n");
+    }
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let v = Json::obj([("z", Json::int(1)), ("a", Json::int(2))]);
+        assert_eq!(v.to_compact(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn control_characters_escape_as_unicode() {
+        assert_eq!(Json::str("\u{1}").to_compact(), "\"\\u0001\"");
+    }
+}

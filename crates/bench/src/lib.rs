@@ -23,6 +23,9 @@ use cpr_graph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub mod json;
+pub use json::Json;
+
 /// A plain-text table printer with right-aligned columns.
 ///
 /// # Examples
@@ -217,13 +220,19 @@ impl Topology {
     }
 }
 
-/// The workspace-wide deterministic RNG for experiment `tag` at size `n`.
-pub fn experiment_rng(tag: &str, n: usize) -> StdRng {
+/// The deterministic seed behind [`experiment_rng`], exposed so bench
+/// reports can record exactly which stream produced their numbers.
+pub fn experiment_seed(tag: &str, n: usize) -> u64 {
     let mut seed = 0xC0FFEE_u64;
     for b in tag.bytes() {
         seed = seed.wrapping_mul(31).wrapping_add(b as u64);
     }
-    StdRng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9E3779B97F4A7C15))
+    seed ^ (n as u64).wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+/// The workspace-wide deterministic RNG for experiment `tag` at size `n`.
+pub fn experiment_rng(tag: &str, n: usize) -> StdRng {
+    StdRng::seed_from_u64(experiment_seed(tag, n))
 }
 
 #[cfg(test)]

@@ -27,6 +27,8 @@ pub use cpr_algebra as algebra;
 /// Inter-domain (BGP) algebras, AS graphs, valley-free routing, the
 /// Theorem 5–8 constructions and Theorem 6–7 compact schemes.
 pub use cpr_bgp as bgp;
+/// The scoped-thread parallel execution layer (`CPR_THREADS`).
+pub use cpr_core::par;
 /// The port-labelled graph substrate and topology generators.
 pub use cpr_graph as graph;
 /// Preferred-path computation: generalized Dijkstra and friends.

@@ -1,0 +1,24 @@
+//! # cpr-core — the workspace-wide parallel execution layer
+//!
+//! Everything that *builds* routing state in this workspace — all-pairs
+//! preferred trees, forwarding-plane compilation, per-source table
+//! construction, the experiment sweeps — is embarrassingly parallel
+//! across an index range (sources, sizes, instances). This crate is the
+//! one place that parallelism lives: a small, dependency-free,
+//! scoped-thread [`par`] module with deterministic, order-preserving
+//! result collection.
+//!
+//! The container this workspace targets has no crates.io access, so
+//! there is deliberately no rayon here: just `std::thread::scope`, an
+//! atomic chunk cursor, and results stitched back in input order.
+//!
+//! The thread count comes from the `CPR_THREADS` environment variable
+//! (default: `std::thread::available_parallelism`); `CPR_THREADS=1` is
+//! an *exact* serial fallback — the closure runs on the calling thread
+//! in input order, so single-threaded runs are bit-for-bit the old
+//! serial code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod par;

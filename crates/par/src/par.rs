@@ -1,0 +1,213 @@
+//! Chunked scoped-thread `par_map` over index ranges.
+//!
+//! The primitives here are deliberately minimal:
+//!
+//! * [`thread_count`] — the worker count, from `CPR_THREADS` or the
+//!   hardware.
+//! * [`par_map_indexed`] — map a closure over `0..len`, collecting the
+//!   results **in index order** regardless of which worker computed
+//!   what.
+//! * [`par_map`] — the same over a slice.
+//! * [`split_ranges`] — contiguous near-equal index ranges, for callers
+//!   (like the forwarding-plane compiler) that shard work into ranges
+//!   and merge per-shard state themselves.
+//!
+//! # Determinism
+//!
+//! The output of every function here is a pure function of its inputs:
+//! workers steal *chunks* of the index range from an atomic cursor, but
+//! each result lands in the output slot of its input index, so
+//! scheduling order can never reorder results. With `threads == 1` (or
+//! `len <= 1`) the closure runs on the calling thread in index order —
+//! the exact serial code path, with no thread spawned at all.
+//!
+//! # Panics
+//!
+//! A panic inside the closure on any worker is propagated to the caller
+//! after the scope joins (no result is silently dropped).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker count used by [`par_map`]/[`par_map_indexed`]: the value
+/// of the `CPR_THREADS` environment variable when it parses to a
+/// positive integer, otherwise `std::thread::available_parallelism`.
+///
+/// `CPR_THREADS=1` selects the exact serial fallback everywhere.
+pub fn thread_count() -> usize {
+    match std::env::var("CPR_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(k) if k >= 1 => k,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Splits `0..len` into at most `parts` contiguous, near-equal, in-order
+/// ranges. Every index is covered exactly once; empty input yields no
+/// ranges.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let hi = lo + base + usize::from(i < extra);
+        ranges.push(lo..hi);
+        lo = hi;
+    }
+    ranges
+}
+
+/// Maps `f` over `0..len` on [`thread_count`] scoped worker threads,
+/// returning the results in index order.
+pub fn par_map_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indexed_with(thread_count(), len, f)
+}
+
+/// [`par_map_indexed`] with an explicit worker count (used by benches
+/// that sweep thread counts without touching the environment).
+pub fn par_map_indexed_with<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(len.max(1));
+    if threads == 1 || len <= 1 {
+        // Exact serial fallback: calling thread, index order.
+        return (0..len).map(f).collect();
+    }
+
+    // Chunks are finer than the worker count so a straggler chunk cannot
+    // serialize the whole map; 4 chunks per worker keeps the atomic
+    // cursor traffic negligible for the coarse tasks this layer carries
+    // (one Dijkstra, one compile shard, one experiment instance).
+    let chunk = len.div_ceil(threads * 4).max(1);
+    let chunks = len.div_ceil(chunk);
+    let workers = threads.min(chunks);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+
+    let mut parts: Vec<(usize, Vec<R>)> = Vec::with_capacity(chunks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(len);
+                        out.push((lo, (lo..hi).map(f).collect()));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.extend(h.join().expect("cpr-core parallel worker panicked"));
+        }
+    });
+
+    // Stitch chunks back in index order: sorting by chunk origin is
+    // enough because chunks are contiguous and disjoint.
+    parts.sort_unstable_by_key(|&(lo, _)| lo);
+    let mut out = Vec::with_capacity(len);
+    for (_, mut vals) in parts {
+        out.append(&mut vals);
+    }
+    debug_assert_eq!(out.len(), len);
+    out
+}
+
+/// Maps `f` over a slice on [`thread_count`] scoped worker threads,
+/// returning the results in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_every_thread_count() {
+        let n = 257;
+        let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map_indexed_with(threads, n, |i| i * i);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<usize> = par_map_indexed_with(8, 0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_indexed_with(8, 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn par_map_over_slice() {
+        let items = vec!["a", "bb", "ccc"];
+        assert_eq!(par_map(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly_once() {
+        for (len, parts) in [(0, 4), (1, 4), (7, 3), (8, 3), (100, 7), (5, 99)] {
+            let ranges = split_ranges(len, parts);
+            let mut covered = 0;
+            let mut expect_lo = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expect_lo, "contiguous in order");
+                assert!(!r.is_empty(), "no empty shard");
+                covered += r.len();
+                expect_lo = r.end;
+            }
+            assert_eq!(covered, len, "len {len} parts {parts}");
+            if len > 0 {
+                assert!(ranges.len() <= parts.max(1));
+                let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "near-equal shards: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let _ = par_map_indexed_with(4, 100, |i| {
+            assert!(i != 63, "boom");
+            i
+        });
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

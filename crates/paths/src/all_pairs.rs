@@ -28,20 +28,45 @@ pub struct AllPairs<W> {
 }
 
 impl<W: Clone> AllPairs<W> {
-    /// Runs the generalized Dijkstra from every source.
+    /// Runs the generalized Dijkstra from every source, one source per
+    /// task on the [`cpr_core::par`] scoped-thread layer (`CPR_THREADS`
+    /// workers; `CPR_THREADS=1` is the exact serial loop). Each source's
+    /// tree is independent and the collection is order-preserving, so
+    /// the result is identical for every thread count.
     ///
     /// The algebra must be regular for the results to be preferred paths
     /// (see [`dijkstra`]).
-    pub fn compute<A: RoutingAlgebra<W = W>>(
+    pub fn compute<A: RoutingAlgebra<W = W> + Sync>(
         graph: &Graph,
         weights: &EdgeWeights<W>,
         alg: &A,
-    ) -> Self {
+    ) -> Self
+    where
+        W: Send + Sync,
+    {
         AllPairs {
-            trees: graph
-                .nodes()
-                .map(|s| dijkstra(graph, weights, alg, s))
-                .collect(),
+            trees: cpr_core::par::par_map_indexed(graph.node_count(), |s| {
+                dijkstra(graph, weights, alg, s)
+            }),
+        }
+    }
+
+    /// [`AllPairs::compute`] with an explicit worker count, ignoring
+    /// `CPR_THREADS`. Benchmarks use this to sweep thread counts without
+    /// mutating the environment; `threads == 1` is the exact serial loop.
+    pub fn compute_with_threads<A: RoutingAlgebra<W = W> + Sync>(
+        graph: &Graph,
+        weights: &EdgeWeights<W>,
+        alg: &A,
+        threads: usize,
+    ) -> Self
+    where
+        W: Send + Sync,
+    {
+        AllPairs {
+            trees: cpr_core::par::par_map_indexed_with(threads, graph.node_count(), |s| {
+                dijkstra(graph, weights, alg, s)
+            }),
         }
     }
 

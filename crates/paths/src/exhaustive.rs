@@ -184,6 +184,27 @@ pub fn exhaustive_preferred<A: RoutingAlgebra>(
     SourceRouting::from_parts(source, search.best, search.best_path)
 }
 
+/// [`exhaustive_preferred`] fanned out across **every** source on the
+/// [`cpr_core::par`] scoped-thread layer, returned in source order.
+///
+/// The per-source enumerations are independent, so the result is
+/// identical for every `CPR_THREADS` value; this is the preferred entry
+/// point for the all-sources ground-truth sweeps the experiment harness
+/// runs (the exponential enumeration is exactly where wall-clock goes).
+pub fn exhaustive_preferred_all<A: RoutingAlgebra + Sync>(
+    graph: &Graph,
+    weights: &EdgeWeights<A::W>,
+    alg: &A,
+    prune: bool,
+) -> Vec<SourceRouting<A::W>>
+where
+    A::W: Send + Sync,
+{
+    cpr_core::par::par_map_indexed(graph.node_count(), |s| {
+        exhaustive_preferred(graph, weights, alg, s, prune)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +251,24 @@ mod tests {
         for v in g.nodes() {
             assert_eq!(fast.weight(v), slow.weight(v), "node {v}");
             assert_eq!(fast.path_to(v), slow.path_to(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn all_sources_fan_out_matches_single_source() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let g = generators::gnp_connected(9, 0.35, &mut rng);
+        let sw = policies::shortest_widest();
+        let w = EdgeWeights::random(&g, &sw, &mut rng);
+        let all = exhaustive_preferred_all(&g, &w, &sw, true);
+        assert_eq!(all.len(), g.node_count());
+        for s in g.nodes() {
+            let one = exhaustive_preferred(&g, &w, &sw, s, true);
+            assert_eq!(all[s].source(), s);
+            for t in g.nodes() {
+                assert_eq!(all[s].weight(t), one.weight(t), "({s},{t})");
+                assert_eq!(all[s].path_to(t), one.path_to(t), "({s},{t})");
+            }
         }
     }
 

@@ -40,7 +40,7 @@ mod tree;
 pub use all_pairs::AllPairs;
 pub use bellman_ford::{bellman_ford, BellmanFordResult};
 pub use dijkstra::dijkstra;
-pub use exhaustive::{exhaustive_preferred, SourceRouting};
+pub use exhaustive::{exhaustive_preferred, exhaustive_preferred_all, SourceRouting};
 pub use heap::CmpHeap;
 pub use shortest_widest::{shortest_widest_exact, SwWeight};
 pub use tree::PreferredTree;

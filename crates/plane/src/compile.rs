@@ -343,19 +343,54 @@ impl fmt::Display for PlaneMemory {
     }
 }
 
-fn intern_header<H: Clone + Eq + std::hash::Hash>(
-    intern: &mut HashMap<H, u32>,
-    h: &H,
-) -> Result<u32, CompileError> {
-    if let Some(&id) = intern.get(h) {
-        return Ok(id);
+/// A header interner: headers to dense ids, plus the id → header table
+/// in assignment order (which the sharded compiler replays to merge
+/// shard-local id spaces deterministically).
+///
+/// [`intern`](Self::intern) takes the header *by value* and goes through
+/// `HashMap::entry`, so the hot path — a hit on an already-interned
+/// header, which is the overwhelming majority once walks start joining
+/// committed states — hashes exactly once and never clones; the single
+/// clone per *distinct* header happens only on the vacant arm, where the
+/// map must own a copy anyway.
+struct Interner<H> {
+    map: HashMap<H, u32>,
+    order: Vec<H>,
+}
+
+impl<H: Clone + Eq + std::hash::Hash> Interner<H> {
+    fn new() -> Self {
+        Interner {
+            map: HashMap::new(),
+            order: Vec::new(),
+        }
     }
-    let id = u32::try_from(intern.len())
-        .ok()
-        .filter(|&id| id < u32::MAX)
-        .ok_or(CompileError::CapacityExceeded { what: "headers" })?;
-    intern.insert(h.clone(), id);
-    Ok(id)
+
+    /// The id for `h`, assigning the next dense id on first sight.
+    fn intern(&mut self, h: H) -> Result<u32, CompileError> {
+        use std::collections::hash_map::Entry;
+        match self.map.entry(h) {
+            Entry::Occupied(e) => Ok(*e.get()),
+            Entry::Vacant(v) => {
+                let id = u32::try_from(self.order.len())
+                    .ok()
+                    .filter(|&id| id < u32::MAX)
+                    .ok_or(CompileError::CapacityExceeded { what: "headers" })?;
+                self.order.push(v.key().clone());
+                v.insert(id);
+                Ok(id)
+            }
+        }
+    }
+
+    /// The header behind an interned id.
+    fn header(&self, id: u32) -> &H {
+        &self.order[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
 }
 
 /// A not-yet-packed transition recorded during the compile walk.
@@ -365,58 +400,59 @@ enum Step {
     Forward { port: Port, next: u32 },
 }
 
-/// Compiles `scheme` into a [`ForwardingPlane`] over `graph`.
+/// Everything one compile shard (a contiguous source range) learned:
+/// its local header-id space in discovery order, the transitions and
+/// initial-header ids expressed in local ids, ready to be remapped into
+/// the global id space during the in-order merge.
+struct ShardTrace<H> {
+    /// Shard-local interned headers, in local discovery order.
+    headers: Vec<H>,
+    /// `(node, local header id) → step` (step's `next` is a local id).
+    trans: HashMap<(NodeId, u32), Step>,
+    /// `sources.len() × n` local initial-header ids, `u32::MAX` when the
+    /// pair is unroutable.
+    initial: Vec<u32>,
+}
+
+/// Traces every `(source, target)` pair of a contiguous `sources` range
+/// through the live simulation, exactly like the serial compiler but
+/// with shard-local interning and shard-local early-stop state.
 ///
-/// Every `(source, target)` pair with an initial header is traced through
-/// the live [`step`](RoutingScheme::step) simulation exactly once;
-/// transitions are committed only after the walk provably delivers at the
-/// correct target, and walks stop early when they reach an
-/// already-committed state (whose delivery target was recorded), so the
-/// total work is proportional to the number of distinct states, not the
-/// sum of path lengths.
-///
-/// # Errors
-///
-/// Fails with the underlying [`RouteError`] if any traced pair
-/// misroutes, loops or names a bad port, and with
-/// [`CompileError::Misdelivery`] if a packet stops at the wrong node.
-pub fn compile<S: RoutingScheme>(
+/// Determinism of the merged result does not depend on shard boundaries:
+/// a shard walk that (lacking another shard's `delivers_at` knowledge)
+/// continues past a state an earlier source already committed only ever
+/// revisits states whose transitions are a pure function of the scheme —
+/// it re-derives byte-identical entries, and every header it meets there
+/// was already interned by that earlier source, so the merge keeps the
+/// serial discovery order of genuinely-new headers.
+fn trace_shard<S: RoutingScheme>(
     scheme: &S,
     graph: &Graph,
-) -> Result<ForwardingPlane, CompileError> {
+    sources: std::ops::Range<usize>,
+    hop_budget: usize,
+) -> Result<ShardTrace<S::Header>, CompileError> {
     let n = graph.node_count();
-    if scheme.node_count() != n {
-        return Err(CompileError::NodeCountMismatch {
-            scheme: scheme.node_count(),
-            graph: n,
-        });
-    }
-    if u32::try_from(n).is_err() {
-        return Err(CompileError::CapacityExceeded { what: "nodes" });
-    }
-    let hop_budget = 4 * n + 4;
-
-    let mut intern: HashMap<S::Header, u32> = HashMap::new();
+    let mut intern: Interner<S::Header> = Interner::new();
     let mut trans: HashMap<(NodeId, u32), Step> = HashMap::new();
     // Target a committed state is known to deliver at — lets later walks
     // stop as soon as they join an already-verified path.
     let mut delivers_at: HashMap<(NodeId, u32), NodeId> = HashMap::new();
-    let mut initial_ids = vec![u32::MAX; n * n];
+    let mut initial = vec![u32::MAX; sources.len() * n];
 
-    for source in graph.nodes() {
+    for source in sources.clone() {
         for target in graph.nodes() {
-            let Some(mut header) = scheme.initial_header(source, target) else {
+            let Some(h0) = scheme.initial_header(source, target) else {
                 continue;
             };
-            let mut hid = intern_header(&mut intern, &header)?;
-            initial_ids[source * n + target] = hid;
+            let mut hid = intern.intern(h0)?;
+            initial[(source - sources.start) * n + target] = hid;
             let mut at = source;
             let mut pending: Vec<((NodeId, u32), Step)> = Vec::new();
             let reached = loop {
                 if let Some(&d) = delivers_at.get(&(at, hid)) {
                     break d;
                 }
-                match scheme.step(at, &header) {
+                match scheme.step(at, intern.header(hid)) {
                     RouteAction::Deliver => {
                         pending.push(((at, hid), Step::Deliver));
                         break at;
@@ -429,7 +465,7 @@ pub fn compile<S: RoutingScheme>(
                                 error: RouteError::BadPort { at, port },
                             });
                         };
-                        let next_id = intern_header(&mut intern, &next)?;
+                        let next_id = intern.intern(next)?;
                         pending.push((
                             (at, hid),
                             Step::Forward {
@@ -439,7 +475,6 @@ pub fn compile<S: RoutingScheme>(
                         ));
                         at = next_node;
                         hid = next_id;
-                        header = next;
                         if pending.len() > hop_budget {
                             let visited = pending
                                 .iter()
@@ -465,6 +500,110 @@ pub fn compile<S: RoutingScheme>(
             for (state, step) in pending {
                 trans.insert(state, step);
                 delivers_at.insert(state, target);
+            }
+        }
+    }
+
+    Ok(ShardTrace {
+        headers: intern.order,
+        trans,
+        initial,
+    })
+}
+
+/// Compiles `scheme` into a [`ForwardingPlane`] over `graph`.
+///
+/// Every `(source, target)` pair with an initial header is traced through
+/// the live [`step`](RoutingScheme::step) simulation; transitions are
+/// committed only after the walk provably delivers at the correct
+/// target, and walks stop early when they reach an already-committed
+/// state (whose delivery target was recorded), so the total work is
+/// proportional to the number of distinct states, not the sum of path
+/// lengths.
+///
+/// Compilation is parallel across **contiguous source shards** on the
+/// [`cpr_core::par`] scoped-thread layer (`CPR_THREADS` workers): each
+/// shard traces its sources with shard-local header interning, and the
+/// shards are then merged *in source order* into the global intern
+/// table. The merge replays each shard's header discovery order, so the
+/// global id assignment — and therefore the packed plane, byte for
+/// byte — is identical for every thread count, including the exact
+/// serial walk at `CPR_THREADS=1`.
+///
+/// # Errors
+///
+/// Fails with the underlying [`RouteError`] if any traced pair
+/// misroutes, loops or names a bad port, and with
+/// [`CompileError::Misdelivery`] if a packet stops at the wrong node.
+/// The reported pair is the failing pair of the earliest shard, scanned
+/// in `(source, target)` order.
+pub fn compile<S: RoutingScheme + Sync>(
+    scheme: &S,
+    graph: &Graph,
+) -> Result<ForwardingPlane, CompileError>
+where
+    S::Header: Send,
+{
+    compile_with_threads(scheme, graph, cpr_core::par::thread_count())
+}
+
+/// [`compile`] with an explicit worker count, for benches and tests that
+/// sweep thread counts without mutating `CPR_THREADS`. `threads = 1` is
+/// the exact serial compiler.
+pub fn compile_with_threads<S: RoutingScheme + Sync>(
+    scheme: &S,
+    graph: &Graph,
+    threads: usize,
+) -> Result<ForwardingPlane, CompileError>
+where
+    S::Header: Send,
+{
+    let n = graph.node_count();
+    if scheme.node_count() != n {
+        return Err(CompileError::NodeCountMismatch {
+            scheme: scheme.node_count(),
+            graph: n,
+        });
+    }
+    if u32::try_from(n).is_err() {
+        return Err(CompileError::CapacityExceeded { what: "nodes" });
+    }
+    let hop_budget = 4 * n + 4;
+
+    // Fan the source ranges out, then merge shard-local id spaces in
+    // source order. One shard (CPR_THREADS=1) is exactly the old serial
+    // compiler: the merge below is then an identity remap.
+    let shards = cpr_core::par::split_ranges(n, threads);
+    let traces = cpr_core::par::par_map_indexed_with(threads, shards.len(), |i| {
+        trace_shard(scheme, graph, shards[i].clone(), hop_budget)
+    });
+
+    let mut intern: Interner<S::Header> = Interner::new();
+    let mut trans: HashMap<(NodeId, u32), Step> = HashMap::new();
+    let mut initial_ids = vec![u32::MAX; n * n];
+    for (shard, trace) in shards.iter().zip(traces) {
+        let trace = trace?;
+        // Replay this shard's discovery order against the global table:
+        // headers already seen by an earlier shard keep their global id,
+        // genuinely new ones extend the table in discovery order.
+        let mut remap = Vec::with_capacity(trace.headers.len());
+        for h in trace.headers {
+            remap.push(intern.intern(h)?);
+        }
+        for ((node, hid), step) in trace.trans {
+            let step = match step {
+                Step::Deliver => Step::Deliver,
+                Step::Forward { port, next } => Step::Forward {
+                    port,
+                    next: remap[next as usize],
+                },
+            };
+            trans.insert((node, remap[hid as usize]), step);
+        }
+        let dst = &mut initial_ids[shard.start * n..shard.end * n];
+        for (slot, local) in dst.iter_mut().zip(trace.initial) {
+            if local != u32::MAX {
+                *slot = remap[local as usize];
             }
         }
     }
@@ -646,7 +785,11 @@ impl ForwardingPlane {
             return Err(RouteError::Unroutable { source, target });
         };
         let mut at = source;
-        let mut visited = vec![source];
+        // Diameter-guess capacity, mirroring `cpr_routing::route`.
+        let mut visited = Vec::with_capacity(
+            (4 * (usize::BITS - self.n.leading_zeros()) as usize + 8).min(self.hop_budget + 1),
+        );
+        visited.push(source);
         loop {
             match self.decide(at, hid) {
                 Decision::Deliver => return Ok(visited),
@@ -692,6 +835,55 @@ impl ForwardingPlane {
         self.hop_budget
     }
 
+    /// An FNV-1a digest over every packed array and scalar of the plane.
+    ///
+    /// Two planes with equal digests are byte-identical in all stored
+    /// state — the determinism suite uses this to assert that compiling
+    /// under different `CPR_THREADS` values yields the *same* plane, not
+    /// merely an equivalent one.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(self.scheme.as_bytes());
+        for v in [
+            self.n as u64,
+            self.headers as u64,
+            self.states as u64,
+            u64::from(self.port_width),
+            u64::from(self.header_width),
+            u64::from(self.entry_width),
+            self.scheme_header_bits,
+            self.hop_budget as u64,
+        ] {
+            h.word(v);
+        }
+        match &self.layout {
+            Layout::Dense(table) => {
+                h.word(0);
+                h.packed(table);
+            }
+            Layout::Sparse {
+                offsets,
+                keys,
+                entries,
+            } => {
+                h.word(1);
+                for &o in offsets {
+                    h.word(u64::from(o));
+                }
+                h.packed(keys);
+                h.packed(entries);
+            }
+        }
+        h.packed(&self.initial);
+        for &r in &self.row {
+            h.word(u64::from(r));
+        }
+        for &v in &self.nbr {
+            h.word(u64::from(v));
+        }
+        h.finish()
+    }
+
     /// Honest bit accounting of the plane.
     pub fn memory(&self) -> PlaneMemory {
         let (layout, transition_bits) = match &self.layout {
@@ -720,6 +912,41 @@ impl ForwardingPlane {
     }
 }
 
+/// Minimal FNV-1a accumulator for [`ForwardingPlane::digest`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.bytes(&w.to_le_bytes());
+    }
+
+    fn packed(&mut self, a: &PackedArray) {
+        self.word(a.len() as u64);
+        self.word(u64::from(a.width()));
+        for i in 0..a.len() {
+            self.word(a.get(i));
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 #[inline]
 fn low_mask(width: u32) -> u64 {
     if width == 64 {
@@ -733,20 +960,25 @@ fn low_mask(width: u32) -> u64 {
 /// `(source, target)` pair: the node sequences (or errors) must be
 /// identical, hop for hop.
 ///
+/// The walk is exact and exhaustive — no sampling — but fans out across
+/// sources on the [`cpr_core::par`] scoped-thread layer; each source
+/// scans its targets in order, so the reported divergence is the first
+/// in `(source, target)` order for every thread count.
+///
 /// # Errors
 ///
 /// Returns the first [`Divergence`] found.
-pub fn validate<S: RoutingScheme>(
+pub fn validate<S: RoutingScheme + Sync>(
     plane: &ForwardingPlane,
     scheme: &S,
     graph: &Graph,
 ) -> Result<(), Box<Divergence>> {
-    for source in graph.nodes() {
+    let per_source = cpr_core::par::par_map_indexed(graph.node_count(), |source| {
         for target in graph.nodes() {
             let plane_path = plane.walk(source, target);
             let live_path = cpr_routing::route(scheme, graph, source, target);
             if plane_path != live_path {
-                return Err(Box::new(Divergence {
+                return Some(Box::new(Divergence {
                     source,
                     target,
                     plane: plane_path,
@@ -754,8 +986,12 @@ pub fn validate<S: RoutingScheme>(
                 }));
             }
         }
+        None
+    });
+    match per_source.into_iter().flatten().next() {
+        Some(d) => Err(d),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -817,6 +1053,55 @@ mod tests {
         let plane = compile(&scheme, &g).unwrap();
         assert_eq!(plane.node_count(), 24);
         validate(&plane, &scheme, &g).unwrap();
+    }
+
+    #[test]
+    fn sharded_compile_is_byte_identical_to_serial() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let g = generators::gnp_connected(40, 0.12, &mut rng);
+        let w = EdgeWeights::from_fn(&g, |e| (e as u64 % 9) + 1);
+        let scheme = DestTable::build(&g, &w, &ShortestPath);
+        let serial = compile_with_threads(&scheme, &g, 1).unwrap();
+        for threads in [2, 3, 8, 40, 100] {
+            let par = compile_with_threads(&scheme, &g, threads).unwrap();
+            assert_eq!(par.digest(), serial.digest(), "threads = {threads}");
+            assert_eq!(par.header_count(), serial.header_count());
+            assert_eq!(par.state_count(), serial.state_count());
+        }
+        validate(&serial, &scheme, &g).unwrap();
+    }
+
+    #[test]
+    fn sharded_compile_matches_serial_for_interned_label_schemes() {
+        use cpr_algebra::policies::WidestPath;
+        use cpr_routing::{CowenScheme, LandmarkStrategy, TzTreeRouting};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let g = generators::gnp_connected(32, 0.15, &mut rng);
+        let wp = EdgeWeights::random(&g, &WidestPath, &mut rng);
+        let sp = EdgeWeights::from_fn(&g, |e| (e as u64 % 5) + 1);
+
+        let tz = TzTreeRouting::spanning(&g, &wp, &WidestPath);
+        let cowen = CowenScheme::build(
+            &g,
+            &sp,
+            &ShortestPath,
+            LandmarkStrategy::TzRandom { attempts: 2 },
+            &mut rng,
+        );
+        let tz_serial = compile_with_threads(&tz, &g, 1).unwrap();
+        let cowen_serial = compile_with_threads(&cowen, &g, 1).unwrap();
+        for threads in [2, 5, 32] {
+            assert_eq!(
+                compile_with_threads(&tz, &g, threads).unwrap().digest(),
+                tz_serial.digest(),
+                "tz-tree, threads = {threads}"
+            );
+            assert_eq!(
+                compile_with_threads(&cowen, &g, threads).unwrap().digest(),
+                cowen_serial.digest(),
+                "cowen, threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -35,10 +35,11 @@ impl EngineConfig {
 }
 
 impl Default for EngineConfig {
-    /// One shard per available hardware thread.
+    /// One shard per worker thread of the workspace execution layer:
+    /// `CPR_THREADS` when set, otherwise the available hardware threads.
     fn default() -> Self {
         EngineConfig {
-            shards: std::thread::available_parallelism().map_or(1, usize::from),
+            shards: cpr_core::par::thread_count(),
         }
     }
 }

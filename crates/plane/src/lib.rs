@@ -51,8 +51,8 @@ pub mod engine;
 pub mod workload;
 
 pub use compile::{
-    compile, validate, CompileError, Decision, Divergence, ForwardingPlane, PackedArray,
-    PlaneMemory,
+    compile, compile_with_threads, validate, CompileError, Decision, Divergence, ForwardingPlane,
+    PackedArray, PlaneMemory,
 };
 pub use engine::{serve, EngineConfig, HopOptima, QueryFailure, ServeReport, StretchStats};
 pub use workload::{generate, TrafficPattern};

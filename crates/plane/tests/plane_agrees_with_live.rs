@@ -24,7 +24,10 @@ fn rng(seed: u64) -> rand::rngs::StdRng {
 }
 
 /// Compiles `scheme` and validates hop-for-hop agreement on all pairs.
-fn check_plane<S: RoutingScheme>(g: &Graph, scheme: &S) -> Result<(), TestCaseError> {
+fn check_plane<S: RoutingScheme + Sync>(g: &Graph, scheme: &S) -> Result<(), TestCaseError>
+where
+    S::Header: Send,
+{
     let plane = match compile(scheme, g) {
         Ok(p) => p,
         Err(e) => {

@@ -109,19 +109,23 @@ impl CowenScheme {
     ///
     /// Panics if the graph is empty or a custom landmark set is empty or
     /// out of bounds.
-    pub fn build<A: RoutingAlgebra, R: Rng + ?Sized>(
+    pub fn build<A: RoutingAlgebra + Sync, R: Rng + ?Sized>(
         graph: &Graph,
         weights: &EdgeWeights<A::W>,
         alg: &A,
         strategy: LandmarkStrategy,
         rng: &mut R,
-    ) -> Self {
+    ) -> Self
+    where
+        A::W: Send + Sync,
+    {
         let n = graph.node_count();
         assert!(n > 0, "graph must be non-empty");
-        let trees: Vec<PreferredTree<A::W>> = graph
-            .nodes()
-            .map(|s| dijkstra(graph, weights, alg, s))
-            .collect();
+        // The all-pairs trees dominate build time and are embarrassingly
+        // parallel; landmark selection stays serial because it draws from
+        // the caller's rng.
+        let trees: Vec<PreferredTree<A::W>> =
+            cpr_core::par::par_map_indexed(n, |s| dijkstra(graph, weights, alg, s));
 
         let landmarks = match strategy {
             LandmarkStrategy::Custom(set) => {
@@ -421,7 +425,8 @@ mod tests {
         scheme: &CowenScheme,
     ) -> (usize, usize)
     where
-        A: RoutingAlgebra,
+        A: RoutingAlgebra + Sync,
+        A::W: Send + Sync,
     {
         let ap = AllPairs::compute(g, w, alg);
         let mut pairs = 0;

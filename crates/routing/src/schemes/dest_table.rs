@@ -37,19 +37,23 @@ pub struct DestTable {
 
 impl DestTable {
     /// Builds the tables by running the generalized Dijkstra from every
-    /// node. The algebra must be regular for the result to implement the
-    /// policy (Proposition 2).
-    pub fn build<A: RoutingAlgebra>(graph: &Graph, weights: &EdgeWeights<A::W>, alg: &A) -> Self {
-        let n = graph.node_count();
-        let mut table = Vec::with_capacity(n);
-        for u in graph.nodes() {
+    /// node — in parallel across sources (`CPR_THREADS`). The algebra must
+    /// be regular for the result to implement the policy (Proposition 2).
+    pub fn build<A: RoutingAlgebra + Sync>(
+        graph: &Graph,
+        weights: &EdgeWeights<A::W>,
+        alg: &A,
+    ) -> Self
+    where
+        A::W: Send + Sync,
+    {
+        let table = cpr_core::par::par_map_indexed(graph.node_count(), |u| {
             let tree = dijkstra(graph, weights, alg, u);
-            let row = graph
+            graph
                 .nodes()
                 .map(|t| tree.first_hop(graph, t).map(|(_, port)| port))
-                .collect();
-            table.push(row);
-        }
+                .collect()
+        });
         DestTable {
             name: format!("dest-table[{}]", alg.name()),
             table,

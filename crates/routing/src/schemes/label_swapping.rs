@@ -63,17 +63,22 @@ impl LabelSwapping {
     pub fn provision(
         graph: &Graph,
         policy_name: &str,
-        path_of: impl Fn(NodeId, NodeId) -> Option<Vec<NodeId>>,
+        path_of: impl Fn(NodeId, NodeId) -> Option<Vec<NodeId>> + Sync,
     ) -> Self {
         let n = graph.node_count();
         let mut tables: Vec<Vec<Option<SwapEntry>>> = vec![Vec::new(); n];
         let mut ingress = vec![vec![None; n]; n];
-        for s in 0..n {
-            for t in 0..n {
+        // Path computation fans out per source; label allocation below is
+        // first-fit in pair order and must stay serial to keep the exact
+        // LDP-style label assignment.
+        let paths: Vec<Vec<Option<Vec<NodeId>>>> =
+            cpr_core::par::par_map_indexed(n, |s| (0..n).map(|t| path_of(s, t)).collect());
+        for (s, row) in paths.into_iter().enumerate() {
+            for (t, path) in row.into_iter().enumerate() {
                 if s == t {
                     continue;
                 }
-                let Some(path) = path_of(s, t) else { continue };
+                let Some(path) = path else { continue };
                 assert_eq!(path.first(), Some(&s), "LSP must start at the source");
                 assert_eq!(path.last(), Some(&t), "LSP must end at the target");
                 // Allocate labels back to front: the egress node needs a

@@ -57,13 +57,16 @@ impl SrcDestTable {
     pub fn build(
         graph: &Graph,
         policy_name: &str,
-        paths_from: impl Fn(NodeId) -> Vec<Option<Vec<NodeId>>>,
+        paths_from: impl Fn(NodeId) -> Vec<Option<Vec<NodeId>>> + Sync,
     ) -> Self {
         let n = graph.node_count();
         let mut entries: Vec<Vec<((NodeId, NodeId), Port)>> = vec![Vec::new(); n];
         let mut routable = vec![vec![false; n]; n];
-        for s in graph.nodes() {
-            let paths = paths_from(s);
+        // `paths_from` is the expensive part (typically a full preferred-path
+        // solve per source); fan it out, then assemble the shared per-node
+        // entry lists serially so their order stays the serial order.
+        let all_paths = cpr_core::par::par_map_indexed(n, &paths_from);
+        for (s, paths) in all_paths.into_iter().enumerate() {
             assert_eq!(paths.len(), n, "one (optional) path per destination");
             for (t, path) in paths.iter().enumerate() {
                 let Some(path) = path else { continue };

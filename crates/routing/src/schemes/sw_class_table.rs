@@ -93,20 +93,18 @@ impl SwClassTable {
             let (sub, origin) = graph.filter_edges(|e, _| weights.weight(e).0 >= b);
             let sub_w =
                 EdgeWeights::from_vec(&sub, origin.iter().map(|&e| weights.weight(e).1).collect());
-            let per_source: Vec<Vec<Option<Port>>> = (0..n)
-                .map(|s| {
-                    let tree = dijkstra(&sub, &sub_w, &ShortestPath, s);
-                    (0..n)
-                        .map(|t| {
-                            tree.first_hop(&sub, t).map(|(next, _)| {
-                                graph
-                                    .port_towards(s, next)
-                                    .expect("subgraph edge exists in host")
-                            })
+            let per_source: Vec<Vec<Option<Port>>> = cpr_core::par::par_map_indexed(n, |s| {
+                let tree = dijkstra(&sub, &sub_w, &ShortestPath, s);
+                (0..n)
+                    .map(|t| {
+                        tree.first_hop(&sub, t).map(|(next, _)| {
+                            graph
+                                .port_towards(s, next)
+                                .expect("subgraph edge exists in host")
                         })
-                        .collect()
-                })
-                .collect();
+                    })
+                    .collect()
+            });
             tables.push(per_source);
         }
 
@@ -117,20 +115,18 @@ impl SwClassTable {
                 .map(|e| weights.weight(e).0)
                 .collect(),
         );
-        let class_of: Vec<Vec<Option<usize>>> = (0..n)
-            .map(|s| {
-                let widest = dijkstra(graph, &caps, &cpr_algebra::policies::WidestPath, s);
-                (0..n)
-                    .map(|t| {
-                        widest.weight(t).finite().map(|b| {
-                            classes
-                                .binary_search(b)
-                                .expect("bottleneck is a distinct edge capacity")
-                        })
+        let class_of: Vec<Vec<Option<usize>>> = cpr_core::par::par_map_indexed(n, |s| {
+            let widest = dijkstra(graph, &caps, &cpr_algebra::policies::WidestPath, s);
+            (0..n)
+                .map(|t| {
+                    widest.weight(t).finite().map(|b| {
+                        classes
+                            .binary_search(b)
+                            .expect("bottleneck is a distinct edge capacity")
                     })
-                    .collect()
-            })
-            .collect();
+                })
+                .collect()
+        });
 
         SwClassTable {
             n,
