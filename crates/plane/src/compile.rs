@@ -200,6 +200,8 @@ pub struct ForwardingPlane {
     nbr: Vec<u32>,
     scheme_header_bits: u64,
     hop_budget: usize,
+    /// [`graph_digest`] of the topology the plane was compiled against.
+    topology_digest: u64,
 }
 
 /// Why compilation failed. Routing errors discovered while driving the
@@ -353,13 +355,13 @@ impl fmt::Display for PlaneMemory {
 /// committed states — hashes exactly once and never clones; the single
 /// clone per *distinct* header happens only on the vacant arm, where the
 /// map must own a copy anyway.
-struct Interner<H> {
-    map: HashMap<H, u32>,
-    order: Vec<H>,
+pub(crate) struct Interner<H> {
+    pub(crate) map: HashMap<H, u32>,
+    pub(crate) order: Vec<H>,
 }
 
 impl<H: Clone + Eq + std::hash::Hash> Interner<H> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Interner {
             map: HashMap::new(),
             order: Vec::new(),
@@ -367,7 +369,7 @@ impl<H: Clone + Eq + std::hash::Hash> Interner<H> {
     }
 
     /// The id for `h`, assigning the next dense id on first sight.
-    fn intern(&mut self, h: H) -> Result<u32, CompileError> {
+    pub(crate) fn intern(&mut self, h: H) -> Result<u32, CompileError> {
         use std::collections::hash_map::Entry;
         match self.map.entry(h) {
             Entry::Occupied(e) => Ok(*e.get()),
@@ -391,6 +393,21 @@ impl<H: Clone + Eq + std::hash::Hash> Interner<H> {
     fn len(&self) -> usize {
         self.order.len()
     }
+}
+
+/// FNV-1a digest of a topology: the node count plus the edge list in
+/// edge-id order. A compiled plane records the digest of the graph it
+/// was compiled against, so a stale plane — one compiled before a link
+/// died or appeared — is detectable with a single integer compare
+/// instead of being trusted to serve silently wrong hops.
+pub fn graph_digest(graph: &Graph) -> u64 {
+    let mut h = Fnv::new();
+    h.word(graph.node_count() as u64);
+    for (_, (u, v)) in graph.edges() {
+        h.word(u as u64);
+        h.word(v as u64);
+    }
+    h.finish()
 }
 
 /// A not-yet-packed transition recorded during the compile walk.
@@ -558,6 +575,20 @@ pub fn compile_with_threads<S: RoutingScheme + Sync>(
 where
     S::Header: Send,
 {
+    compile_with_intern(scheme, graph, threads).map(|(plane, _)| plane)
+}
+
+/// [`compile_with_threads`], additionally returning the full header
+/// intern table in id order — the self-healing layer keeps it so
+/// `repair()` can extend the id space past the base plane's headers.
+pub(crate) fn compile_with_intern<S: RoutingScheme + Sync>(
+    scheme: &S,
+    graph: &Graph,
+    threads: usize,
+) -> Result<(ForwardingPlane, Vec<S::Header>), CompileError>
+where
+    S::Header: Send,
+{
     let n = graph.node_count();
     if scheme.node_count() != n {
         return Err(CompileError::NodeCountMismatch {
@@ -686,21 +717,25 @@ where
         row.push(nbr.len() as u32);
     }
 
-    Ok(ForwardingPlane {
-        scheme: scheme.name(),
-        n,
-        headers,
-        states,
-        port_width,
-        header_width,
-        entry_width,
-        layout,
-        initial,
-        row,
-        nbr,
-        scheme_header_bits: scheme.header_bits(),
-        hop_budget,
-    })
+    Ok((
+        ForwardingPlane {
+            scheme: scheme.name(),
+            n,
+            headers,
+            states,
+            port_width,
+            header_width,
+            entry_width,
+            layout,
+            initial,
+            row,
+            nbr,
+            scheme_header_bits: scheme.header_bits(),
+            hop_budget,
+            topology_digest: graph_digest(graph),
+        },
+        intern.order,
+    ))
 }
 
 impl ForwardingPlane {
@@ -835,6 +870,19 @@ impl ForwardingPlane {
         self.hop_budget
     }
 
+    /// The [`graph_digest`] of the topology this plane was compiled
+    /// against.
+    pub fn topology_digest(&self) -> u64 {
+        self.topology_digest
+    }
+
+    /// Whether this plane is current for `graph` — `false` means the
+    /// topology changed since compilation (a dead or new link) and the
+    /// plane may serve stale hops; see `SelfHealingPlane`.
+    pub fn is_current_for(&self, graph: &Graph) -> bool {
+        graph_digest(graph) == self.topology_digest
+    }
+
     /// An FNV-1a digest over every packed array and scalar of the plane.
     ///
     /// Two planes with equal digests are byte-identical in all stored
@@ -853,6 +901,7 @@ impl ForwardingPlane {
             u64::from(self.entry_width),
             self.scheme_header_bits,
             self.hop_budget as u64,
+            self.topology_digest,
         ] {
             h.word(v);
         }

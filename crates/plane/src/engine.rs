@@ -125,6 +125,13 @@ pub struct ServeReport {
     pub elapsed: Duration,
     /// Hop stretch vs [`HopOptima`], when optima were supplied.
     pub stretch: Option<StretchStats>,
+    /// Queries served through a patched (repaired) walk rather than the
+    /// pristine compiled arrays. Always `0` for [`serve`]; filled by the
+    /// self-healing plane's serve path.
+    pub degraded: usize,
+    /// Queries answered by falling back to the live scheme because their
+    /// pair was dirty (awaiting repair). Always `0` for [`serve`].
+    pub fallback: usize,
 }
 
 impl ServeReport {
@@ -159,6 +166,13 @@ impl fmt::Display for ServeReport {
             self.max_hops,
             self.failures.len()
         )?;
+        if self.degraded > 0 || self.fallback > 0 {
+            write!(
+                f,
+                ", {} degraded (patched walk), {} fallback (live route)",
+                self.degraded, self.fallback
+            )?;
+        }
         if let Some(s) = &self.stretch {
             write!(
                 f,
@@ -297,6 +311,8 @@ pub fn serve(
         max_hops: 0,
         elapsed,
         stretch: None,
+        degraded: 0,
+        fallback: 0,
     };
     let mut stretch_sum = 0.0;
     let mut stretch_max = 0.0f64;

@@ -1,0 +1,559 @@
+//! A self-healing forwarding plane.
+//!
+//! A compiled [`ForwardingPlane`] is a snapshot: the moment a link dies
+//! the plane's CSR adjacency and transition arrays describe a topology
+//! that no longer exists, and a plain `decide()` walk would forward
+//! packets onto the dead link — silently. This module makes staleness
+//! *detectable*, *repairable* and *survivable*:
+//!
+//! * **Detect** — every plane records a [`graph_digest`] of the topology
+//!   it was compiled against ([`ForwardingPlane::is_current_for`]), and
+//!   [`SelfHealingPlane::observe`] diffs the live graph's edge set
+//!   against the plane's view, bumping a topology epoch and computing
+//!   exactly which `(source, target)` pairs a removed link dirties (by
+//!   walking their compiled paths — a pair whose walk never crossed the
+//!   link is untouched).
+//! * **Repair** — [`SelfHealingPlane::repair`] re-traces only the dirty
+//!   pairs through the live scheme on the *new* graph, extending the
+//!   header intern space as needed, and installs the re-verified steps
+//!   in a patch layer that overrides the base arrays. Edge additions
+//!   dirty every pair (any route may improve), which degenerates to a
+//!   full recompile.
+//! * **Survive** — while a pair is dirty (observed but not yet
+//!   repaired), [`SelfHealingPlane::route`] falls back to the live
+//!   scheme's [`route`](cpr_routing::route) instead of serving a stale
+//!   hop, and [`HealthCounters`] records every compiled / degraded /
+//!   fallback / failed query. A query is *never* answered with a hop
+//!   over an edge absent from the current topology: base-array hops are
+//!   checked against the live edge set and surface as
+//!   [`RouteError::BadPort`] if the arrays try — a loud failure, never a
+//!   silently wrong hop.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
+
+use cpr_graph::{Graph, NodeId};
+use cpr_routing::{RouteAction, RouteError, RoutingScheme};
+
+use crate::compile::{
+    compile_with_intern, graph_digest, CompileError, Decision, ForwardingPlane, Interner,
+};
+use crate::engine::{QueryFailure, ServeReport};
+
+/// How a query was answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Served {
+    /// Entirely from the pristine compiled arrays.
+    Compiled,
+    /// Through at least one repaired (patched) transition.
+    Degraded,
+    /// By the live scheme, because the pair was dirty awaiting repair.
+    Fallback,
+}
+
+/// Cumulative health counters of a self-healing plane.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Queries served entirely from the base compiled arrays.
+    pub compiled: u64,
+    /// Queries served through at least one patched transition.
+    pub degraded: u64,
+    /// Queries answered by the live scheme while their pair was dirty.
+    pub fallback: u64,
+    /// Queries that failed (unroutable, budget, or a stale hop caught by
+    /// the live-edge check).
+    pub failed: u64,
+    /// Completed [`repair`](SelfHealingPlane::repair) passes.
+    pub repairs: u64,
+    /// Topology epoch: number of observed topology changes.
+    pub epoch: u64,
+}
+
+/// What [`SelfHealingPlane::observe`] found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaleReport {
+    /// Whether the observed topology differs from the plane's view.
+    pub stale: bool,
+    /// Edges the plane was compiled with that no longer exist.
+    pub removed_edges: Vec<(NodeId, NodeId)>,
+    /// Edges of the live graph the plane has never seen.
+    pub added_edges: Vec<(NodeId, NodeId)>,
+    /// Total `(source, target)` pairs currently dirty.
+    pub dirty_pairs: usize,
+}
+
+/// What one [`SelfHealingPlane::repair`] pass did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Topology epoch after the repair.
+    pub epoch: u64,
+    /// Dirty pairs going into the repair.
+    pub dirty_pairs: usize,
+    /// Pairs re-traced to a verified route on the new topology.
+    pub repaired_pairs: usize,
+    /// Pairs the new topology cannot route (now loudly unroutable).
+    pub unroutable_pairs: usize,
+    /// `(node, header)` patch entries now overriding the base arrays.
+    pub patched_states: usize,
+    /// Whether the pass fell back to a full recompile (edge additions
+    /// dirty every pair, so patching would rebuild everything anyway).
+    pub full_rebuild: bool,
+}
+
+/// A repaired transition: the resolved *node* is stored rather than a
+/// port, because port numbering in the base plane's CSR snapshot refers
+/// to the old topology.
+#[derive(Clone, Copy, Debug)]
+enum PatchStep {
+    Deliver,
+    Forward { to: NodeId, next: u32 },
+}
+
+/// A [`ForwardingPlane`] wrapped with topology-drift detection, an
+/// incremental repair layer and live-scheme fallback. See module docs.
+pub struct SelfHealingPlane<S: RoutingScheme> {
+    base: ForwardingPlane,
+    intern: Interner<S::Header>,
+    /// The edge set (normalized `(min, max)`) the plane currently
+    /// serves; updated by [`observe`](Self::observe).
+    current_edges: BTreeSet<(NodeId, NodeId)>,
+    current_digest: u64,
+    /// Repaired transitions, keyed by `(node, interned header id)`;
+    /// checked before the base arrays.
+    patch: HashMap<(NodeId, u32), PatchStep>,
+    /// Repaired initial-header ids (`None` = pair became unroutable).
+    initial_patch: HashMap<(NodeId, NodeId), Option<u32>>,
+    /// Pairs observed stale and not yet repaired; ordered so repair
+    /// passes (and thus header-id assignment) are deterministic.
+    dirty: BTreeSet<(NodeId, NodeId)>,
+    counters: HealthCounters,
+}
+
+fn norm(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    (u.min(v), u.max(v))
+}
+
+fn edge_set(graph: &Graph) -> BTreeSet<(NodeId, NodeId)> {
+    graph.edges().map(|(_, (u, v))| norm(u, v)).collect()
+}
+
+impl<S> SelfHealingPlane<S>
+where
+    S: RoutingScheme + Sync,
+    S::Header: Send,
+{
+    /// Compiles `scheme` over `graph` and wraps the plane with healing
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] of the underlying compile.
+    pub fn new(scheme: &S, graph: &Graph) -> Result<Self, CompileError> {
+        let (base, order) = compile_with_intern(scheme, graph, cpr_core::par::thread_count())?;
+        let map = order
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (h.clone(), i as u32))
+            .collect();
+        Ok(SelfHealingPlane {
+            base,
+            intern: Interner { map, order },
+            current_edges: edge_set(graph),
+            current_digest: graph_digest(graph),
+            patch: HashMap::new(),
+            initial_patch: HashMap::new(),
+            dirty: BTreeSet::new(),
+            counters: HealthCounters::default(),
+        })
+    }
+
+    /// The wrapped base plane.
+    pub fn base(&self) -> &ForwardingPlane {
+        &self.base
+    }
+
+    /// Cumulative health counters.
+    pub fn counters(&self) -> HealthCounters {
+        self.counters
+    }
+
+    /// Pairs currently dirty (served via live fallback).
+    pub fn dirty_pairs(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// `true` when the plane's view matches `graph` and no pair awaits
+    /// repair.
+    pub fn is_fresh_for(&self, graph: &Graph) -> bool {
+        self.current_digest == graph_digest(graph) && self.dirty.is_empty()
+    }
+
+    /// Diffs `graph` against the plane's current topology view. On any
+    /// change the topology epoch advances and the affected pairs are
+    /// marked dirty: for removed edges, exactly the pairs whose healed
+    /// walk crossed the edge; for added edges, every pair (any route may
+    /// improve). Idempotent when nothing changed.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::NodeCountMismatch`] when `graph` has a different
+    /// node count — node-set changes are a rebuild, not a repair.
+    pub fn observe(&mut self, graph: &Graph) -> Result<StaleReport, CompileError> {
+        let n = self.base.node_count();
+        if graph.node_count() != n {
+            return Err(CompileError::NodeCountMismatch {
+                scheme: n,
+                graph: graph.node_count(),
+            });
+        }
+        let new_edges = edge_set(graph);
+        let removed: Vec<(NodeId, NodeId)> =
+            self.current_edges.difference(&new_edges).copied().collect();
+        let added: Vec<(NodeId, NodeId)> =
+            new_edges.difference(&self.current_edges).copied().collect();
+        if removed.is_empty() && added.is_empty() {
+            return Ok(StaleReport {
+                stale: false,
+                removed_edges: removed,
+                added_edges: added,
+                dirty_pairs: self.dirty.len(),
+            });
+        }
+        self.counters.epoch += 1;
+        if !added.is_empty() {
+            // A new link can improve any pair: all dirty.
+            for s in 0..n {
+                for t in 0..n {
+                    if s != t {
+                        self.dirty.insert((s, t));
+                    }
+                }
+            }
+        } else {
+            let removed_set: BTreeSet<(NodeId, NodeId)> = removed.iter().copied().collect();
+            for s in 0..n {
+                for t in 0..n {
+                    if s == t || self.dirty.contains(&(s, t)) {
+                        continue;
+                    }
+                    if self.walk_crosses(s, t, &removed_set) {
+                        self.dirty.insert((s, t));
+                    }
+                }
+            }
+        }
+        self.current_edges = new_edges;
+        self.current_digest = graph_digest(graph);
+        Ok(StaleReport {
+            stale: true,
+            removed_edges: removed,
+            added_edges: added,
+            dirty_pairs: self.dirty.len(),
+        })
+    }
+
+    /// Whether the healed walk for `(s, t)` crosses any edge in
+    /// `removed`, or can no longer be decided (conservatively dirty).
+    /// Pairs that were already unroutable stay unroutable under edge
+    /// removal and are not dirtied.
+    fn walk_crosses(&self, s: NodeId, t: NodeId, removed: &BTreeSet<(NodeId, NodeId)>) -> bool {
+        let Some(mut hid) = self.initial_of(s, t) else {
+            return false;
+        };
+        let mut at = s;
+        let mut hops = 0usize;
+        loop {
+            match self.healed_decide(at, hid) {
+                HealedDecision::Deliver => return false,
+                HealedDecision::Forward { to, next } => {
+                    if removed.contains(&norm(at, to)) {
+                        return true;
+                    }
+                    at = to;
+                    hid = next;
+                    hops += 1;
+                    if hops > self.base.hop_budget() {
+                        return true;
+                    }
+                }
+                HealedDecision::Invalid => return true,
+            }
+        }
+    }
+
+    /// The pair's initial header id through the patch layer.
+    fn initial_of(&self, s: NodeId, t: NodeId) -> Option<u32> {
+        match self.initial_patch.get(&(s, t)) {
+            Some(over) => *over,
+            None => self.base.initial_id(s, t),
+        }
+    }
+
+    /// One healed decision: the patch layer first, then the base arrays
+    /// (only for header ids the base plane knows about — repaired walks
+    /// may intern ids past its table).
+    fn healed_decide(&self, at: NodeId, hid: u32) -> HealedDecision {
+        if let Some(step) = self.patch.get(&(at, hid)) {
+            return match *step {
+                PatchStep::Deliver => HealedDecision::Deliver,
+                PatchStep::Forward { to, next } => HealedDecision::Forward { to, next },
+            };
+        }
+        if (hid as usize) >= self.base.header_count() {
+            return HealedDecision::Invalid;
+        }
+        match self.base.decide(at, hid) {
+            Decision::Deliver => HealedDecision::Deliver,
+            Decision::Forward { port, next } => match self.base.neighbor(at, port) {
+                Some(to) => HealedDecision::Forward { to, next },
+                None => HealedDecision::Invalid,
+            },
+            Decision::Invalid => HealedDecision::Invalid,
+        }
+    }
+
+    /// Re-traces every dirty pair through the live `scheme` on `graph`
+    /// (which must describe the same topology passed to the latest
+    /// [`observe`](Self::observe) — `repair` re-observes first, so a
+    /// single call does both). Dirty pairs that re-trace successfully
+    /// leave the fallback path; pairs the new topology cannot route
+    /// become loudly unroutable. When every pair is dirty (edge
+    /// additions), the pass recompiles the base plane instead.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`]: the live scheme misdelivering or looping
+    /// during a re-trace aborts the repair with the pair's error.
+    pub fn repair(&mut self, scheme: &S, graph: &Graph) -> Result<RepairStats, CompileError> {
+        self.observe(graph)?;
+        let n = self.base.node_count();
+        let dirty_pairs = self.dirty.len();
+        if dirty_pairs == n * n - n && n > 1 {
+            // Everything is dirty: a fresh compile is the same work with
+            // better layout, and it resets the patch layer entirely.
+            let rebuilt = Self::new(scheme, graph)?;
+            let counters = HealthCounters {
+                repairs: self.counters.repairs + 1,
+                ..self.counters
+            };
+            *self = rebuilt;
+            self.counters = counters;
+            return Ok(RepairStats {
+                epoch: self.counters.epoch,
+                dirty_pairs,
+                repaired_pairs: dirty_pairs,
+                unroutable_pairs: 0,
+                patched_states: 0,
+                full_rebuild: true,
+            });
+        }
+
+        let budget = self.base.hop_budget();
+        let mut repaired = 0usize;
+        let mut unroutable = 0usize;
+        let pairs: Vec<(NodeId, NodeId)> = self.dirty.iter().copied().collect();
+        for (s, t) in pairs {
+            let Some(h0) = scheme.initial_header(s, t) else {
+                self.initial_patch.insert((s, t), None);
+                unroutable += 1;
+                continue;
+            };
+            let mut hid = self.intern.intern(h0.clone())?;
+            self.initial_patch.insert((s, t), Some(hid));
+            let mut h = h0;
+            let mut at = s;
+            let mut hops = 0usize;
+            loop {
+                match scheme.step(at, &h) {
+                    RouteAction::Deliver => {
+                        if at != t {
+                            return Err(CompileError::Misdelivery {
+                                source: s,
+                                target: t,
+                                delivered: at,
+                            });
+                        }
+                        self.patch.insert((at, hid), PatchStep::Deliver);
+                        break;
+                    }
+                    RouteAction::Forward { port, header } => {
+                        let Some((to, _)) = graph.neighbor_at(at, port) else {
+                            return Err(CompileError::Route {
+                                source: s,
+                                target: t,
+                                error: RouteError::BadPort { at, port },
+                            });
+                        };
+                        let next = self.intern.intern(header.clone())?;
+                        self.patch
+                            .insert((at, hid), PatchStep::Forward { to, next });
+                        at = to;
+                        hid = next;
+                        h = header;
+                        hops += 1;
+                        if hops > budget {
+                            return Err(CompileError::Route {
+                                source: s,
+                                target: t,
+                                error: RouteError::HopBudgetExhausted {
+                                    visited: Vec::new(),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+            repaired += 1;
+        }
+        self.dirty.clear();
+        self.counters.repairs += 1;
+        Ok(RepairStats {
+            epoch: self.counters.epoch,
+            dirty_pairs,
+            repaired_pairs: repaired,
+            unroutable_pairs: unroutable,
+            patched_states: self.patch.len(),
+            full_rebuild: false,
+        })
+    }
+
+    /// Routes one query through the healed plane: dirty pairs fall back
+    /// to the live scheme, everything else walks the patch-over-base
+    /// arrays with every base hop checked against the live edge set —
+    /// a stale hop surfaces as [`RouteError::BadPort`], never silently.
+    ///
+    /// # Errors
+    ///
+    /// The same [`RouteError`]s as [`ForwardingPlane::walk`], plus
+    /// `BadPort` for a stale base hop caught by the live-edge check.
+    pub fn route(
+        &mut self,
+        scheme: &S,
+        graph: &Graph,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<(Vec<NodeId>, Served), RouteError> {
+        if self.dirty.contains(&(source, target)) {
+            return match cpr_routing::route(scheme, graph, source, target) {
+                Ok(path) => {
+                    self.counters.fallback += 1;
+                    Ok((path, Served::Fallback))
+                }
+                Err(e) => {
+                    self.counters.failed += 1;
+                    Err(e)
+                }
+            };
+        }
+        match self.walk_healed(source, target) {
+            Ok((path, degraded)) => {
+                if degraded {
+                    self.counters.degraded += 1;
+                    Ok((path, Served::Degraded))
+                } else {
+                    self.counters.compiled += 1;
+                    Ok((path, Served::Compiled))
+                }
+            }
+            Err(e) => {
+                self.counters.failed += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn walk_healed(
+        &self,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<(Vec<NodeId>, bool), RouteError> {
+        let Some(mut hid) = self.initial_of(source, target) else {
+            return Err(RouteError::Unroutable { source, target });
+        };
+        let mut at = source;
+        let mut visited = vec![source];
+        let mut degraded = false;
+        loop {
+            let from_patch = self.patch.contains_key(&(at, hid));
+            match self.healed_decide(at, hid) {
+                HealedDecision::Deliver => return Ok((visited, degraded)),
+                HealedDecision::Forward { to, next } => {
+                    if !from_patch && !self.current_edges.contains(&norm(at, to)) {
+                        // The base arrays point at an edge that no longer
+                        // exists and the pair escaped the dirty set — fail
+                        // loudly rather than forward onto a dead link.
+                        let port = match self.base.decide(at, hid) {
+                            Decision::Forward { port, .. } => port,
+                            _ => 0,
+                        };
+                        return Err(RouteError::BadPort { at, port });
+                    }
+                    degraded |= from_patch;
+                    at = to;
+                    hid = next;
+                    visited.push(at);
+                    if visited.len() > self.base.hop_budget() {
+                        return Err(RouteError::HopBudgetExhausted { visited });
+                    }
+                }
+                HealedDecision::Invalid => return Err(RouteError::Unroutable { source, target }),
+            }
+        }
+    }
+
+    /// Serves a batch through [`route`](Self::route), producing a
+    /// [`ServeReport`] whose `degraded` / `fallback` counters are
+    /// filled in (a plain [`serve`](crate::engine::serve) always
+    /// reports them as zero).
+    pub fn serve(
+        &mut self,
+        scheme: &S,
+        graph: &Graph,
+        queries: &[(NodeId, NodeId)],
+    ) -> ServeReport {
+        let start = Instant::now();
+        let mut report = ServeReport {
+            scheme: self.base.scheme().to_string(),
+            queries: queries.len(),
+            shards: 1,
+            delivered: 0,
+            failures: Vec::new(),
+            total_hops: 0,
+            max_hops: 0,
+            elapsed: std::time::Duration::ZERO,
+            stretch: None,
+            degraded: 0,
+            fallback: 0,
+        };
+        for &(source, target) in queries {
+            match self.route(scheme, graph, source, target) {
+                Ok((path, served)) => {
+                    let hops = path.len().saturating_sub(1);
+                    report.delivered += 1;
+                    report.total_hops += hops as u64;
+                    report.max_hops = report.max_hops.max(hops);
+                    match served {
+                        Served::Compiled => {}
+                        Served::Degraded => report.degraded += 1,
+                        Served::Fallback => report.fallback += 1,
+                    }
+                }
+                Err(error) => report.failures.push(QueryFailure {
+                    source,
+                    target,
+                    error,
+                }),
+            }
+        }
+        report.elapsed = start.elapsed();
+        report
+    }
+}
+
+/// A patched-or-base decision with the next node already resolved.
+#[derive(Clone, Copy, Debug)]
+enum HealedDecision {
+    Deliver,
+    Forward { to: NodeId, next: u32 },
+    Invalid,
+}

@@ -20,6 +20,12 @@
 //!   throughput, hop counts, hop stretch against the `cpr-paths` optima,
 //!   and every failure ([`ServeReport`]) — delivery errors are surfaced
 //!   as [`RouteError`](cpr_routing::RouteError)s, never masked.
+//! * [`heal`] keeps a compiled plane honest under topology churn: every
+//!   plane carries a [`graph_digest`] of the topology it was compiled
+//!   against, and [`SelfHealingPlane`] detects drift, incrementally
+//!   repairs only the affected pairs, and falls back to the live scheme
+//!   while repairs are pending — a stale plane degrades loudly, it
+//!   never forwards onto a dead link.
 //!
 //! ```
 //! use cpr_algebra::policies::ShortestPath;
@@ -48,11 +54,13 @@
 
 pub mod compile;
 pub mod engine;
+pub mod heal;
 pub mod workload;
 
 pub use compile::{
-    compile, compile_with_threads, validate, CompileError, Decision, Divergence, ForwardingPlane,
-    PackedArray, PlaneMemory,
+    compile, compile_with_threads, graph_digest, validate, CompileError, Decision, Divergence,
+    ForwardingPlane, PackedArray, PlaneMemory,
 };
 pub use engine::{serve, EngineConfig, HopOptima, QueryFailure, ServeReport, StretchStats};
+pub use heal::{HealthCounters, RepairStats, SelfHealingPlane, Served, StaleReport};
 pub use workload::{generate, TrafficPattern};

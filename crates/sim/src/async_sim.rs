@@ -18,9 +18,10 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use cpr_algebra::{PathWeight, RoutingAlgebra};
-use cpr_graph::{Graph, NodeId};
+use cpr_graph::{EdgeId, Graph, NodeId, Port};
 use rand::Rng;
 
+use crate::fault::{LinkChaos, RibSnapshot, SimError};
 use crate::sim::Route;
 
 /// Per-node Adj-RIB-In: `[port][destination] → latest advertisement`.
@@ -105,6 +106,9 @@ pub struct AsyncSimulator<'a, A: RoutingAlgebra, F> {
     channel_clock: Vec<Vec<u64>>,
     /// Administratively-down links, by edge id: no messages cross them.
     down: Vec<bool>,
+    /// Per-link perturbation (loss-as-retransmission, duplication, extra
+    /// delay), by edge id.
+    chaos: Vec<Option<LinkChaos>>,
     seq: u64,
     now: u64,
 }
@@ -133,6 +137,7 @@ where
             queue: BinaryHeap::new(),
             channel_clock,
             down: vec![false; graph.edge_count()],
+            chaos: vec![None; graph.edge_count()],
             seq: 0,
             now: 0,
         };
@@ -236,22 +241,100 @@ where
         }
     }
 
+    /// The simulated topology.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Whether the link between `u` and `v` is currently up.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotAnEdge`] when `{u, v}` is not an edge.
+    pub fn link_up(&self, u: NodeId, v: NodeId) -> Result<bool, SimError> {
+        let e = self.edge(u, v)?;
+        Ok(!self.down[e])
+    }
+
+    /// Messages currently in flight (queued, undelivered).
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Messages currently in flight across the link `{u, v}` (either
+    /// direction).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotAnEdge`] when `{u, v}` is not an edge.
+    pub fn in_flight_on(&self, u: NodeId, v: NodeId) -> Result<usize, SimError> {
+        self.edge(u, v)?;
+        Ok(self
+            .queue
+            .iter()
+            .filter(|m| (m.from == u && m.to == v) || (m.from == v && m.to == u))
+            .count())
+    }
+
+    fn edge(&self, u: NodeId, v: NodeId) -> Result<EdgeId, SimError> {
+        self.graph
+            .edge_between(u, v)
+            .ok_or(SimError::NotAnEdge { u, v })
+    }
+
+    /// Installs a [`LinkChaos`] perturbation on the link `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotAnEdge`] when `{u, v}` is not an edge.
+    pub fn set_link_chaos(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        chaos: LinkChaos,
+    ) -> Result<(), SimError> {
+        let e = self.edge(u, v)?;
+        self.chaos[e] = Some(chaos);
+        Ok(())
+    }
+
+    /// Removes any perturbation from the link `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotAnEdge`] when `{u, v}` is not an edge.
+    pub fn clear_link_chaos(&mut self, u: NodeId, v: NodeId) -> Result<(), SimError> {
+        let e = self.edge(u, v)?;
+        self.chaos[e] = None;
+        Ok(())
+    }
+
     /// Fails the link between `a` and `b` at the current virtual time:
-    /// both ends purge the channel's Adj-RIB-In entries, re-select every
-    /// affected destination, and (per the normal protocol reaction)
-    /// advertise the changes — withdrawals included — to their remaining
-    /// neighbours. Call [`run`](Self::run) afterwards to re-converge.
+    /// both ends purge the channel's Adj-RIB-In entries, every message
+    /// still in flight on the link — in both directions — is dropped,
+    /// and both ends re-select every affected destination and (per the
+    /// normal protocol reaction) advertise the changes — withdrawals
+    /// included — to their remaining neighbours. Call
+    /// [`run`](Self::run) afterwards to re-converge.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `{a, b}` is not an edge.
-    pub fn fail_link<R: Rng + ?Sized>(&mut self, a: NodeId, b: NodeId, rng: &mut R) {
-        let e = self
-            .graph
-            .edge_between(a, b)
-            .expect("failed link must exist");
+    /// [`SimError::NotAnEdge`] when `{a, b}` is not an edge (this used
+    /// to panic — fault schedules are data, so it must be reportable).
+    pub fn fail_link<R: Rng + ?Sized>(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        rng: &mut R,
+    ) -> Result<(), SimError> {
+        let e = self.edge(a, b)?;
         self.down[e] = true;
         let n = self.graph.node_count();
+        // The failed channel drops in-flight messages, both directions.
+        self.queue = std::mem::take(&mut self.queue)
+            .into_iter()
+            .filter(|m| !((m.from == a && m.to == b) || (m.from == b && m.to == a)))
+            .collect();
         for (this, other) in [(a, b), (b, a)] {
             let port = self
                 .graph
@@ -260,17 +343,176 @@ where
             for dest in 0..n {
                 self.adj_in[this][port][dest] = None;
             }
-            // The failed channel also drops in-flight messages.
-            let dropped: Vec<Message<A::W>> = std::mem::take(&mut self.queue)
-                .into_iter()
-                .filter(|m| !(m.from == other && m.to == this))
-                .collect();
-            self.queue = dropped.into_iter().collect();
             for dest in 0..n {
                 if dest != this && self.reselect(this, dest) {
                     self.advertise(this, dest, rng);
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Restores a previously failed link and re-establishes the session
+    /// over it, BGP-style: each end re-announces itself and its full
+    /// current RIB to the other, so the revived channel's Adj-RIB-Ins
+    /// repopulate without waiting for unrelated churn.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotAnEdge`] when `{a, b}` is not an edge.
+    pub fn restore_link<R: Rng + ?Sized>(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        rng: &mut R,
+    ) -> Result<(), SimError> {
+        let e = self.edge(a, b)?;
+        if !self.down[e] {
+            return Ok(());
+        }
+        self.down[e] = false;
+        self.resync_channel(a, b, rng);
+        self.resync_channel(b, a, rng);
+        Ok(())
+    }
+
+    /// Crashes and immediately restarts `node`, like a BGP speaker
+    /// rebooting: all messages to or from it are dropped, its RIB and
+    /// every Adj-RIB-In are flushed, each neighbour tears down its
+    /// session state towards it (purges the channel's Adj-RIB-In,
+    /// re-selects, advertises the changes), and sessions re-establish —
+    /// neighbours send their full tables to the rebooted node, which
+    /// re-originates itself.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeOutOfBounds`] when `node` is not in the graph.
+    pub fn crash_node<R: Rng + ?Sized>(
+        &mut self,
+        node: NodeId,
+        rng: &mut R,
+    ) -> Result<(), SimError> {
+        let n = self.graph.node_count();
+        if node >= n {
+            return Err(SimError::NodeOutOfBounds { node });
+        }
+        self.queue = std::mem::take(&mut self.queue)
+            .into_iter()
+            .filter(|m| m.from != node && m.to != node)
+            .collect();
+        for port_rib in &mut self.adj_in[node] {
+            for slot in port_rib.iter_mut() {
+                *slot = None;
+            }
+        }
+        for slot in self.rib[node].iter_mut() {
+            *slot = None;
+        }
+        let nbrs: Vec<(NodeId, EdgeId)> = self.graph.neighbors(node).collect();
+        for (u, edge) in nbrs {
+            if self.down[edge] {
+                continue; // no session over a downed link
+            }
+            let pu = self
+                .graph
+                .port_towards(u, node)
+                .expect("neighbor iteration yields edges");
+            for dest in 0..n {
+                self.adj_in[u][pu][dest] = None;
+            }
+            for dest in 0..n {
+                if dest != u && self.reselect(u, dest) {
+                    self.advertise(u, dest, rng);
+                }
+            }
+            // Session re-establishment, both directions. The rebooted
+            // node's RIB is empty, so its side is just self-origination.
+            self.resync_channel(u, node, rng);
+            self.resync_channel(node, u, rng);
+        }
+        Ok(())
+    }
+
+    /// Re-announces `from`'s self-origination and full RIB to `to`, as
+    /// after a session (re-)establishment on a revived channel.
+    fn resync_channel<R: Rng + ?Sized>(&mut self, from: NodeId, to: NodeId, rng: &mut R) {
+        let port = self
+            .graph
+            .port_towards(from, to)
+            .expect("resync runs along an edge");
+        let edge = self
+            .graph
+            .edge_between(from, to)
+            .expect("resync runs along an edge");
+        // Self-origination: the trivial route's weight is never read by
+        // receivers (they use only the arc weight) — same placeholder as
+        // in `new`.
+        let origin = Route {
+            weight: (self.arc_weight)(to, from)
+                .or_else(|| (self.arc_weight)(from, to))
+                .expect("edge has some direction"),
+            path: vec![from],
+        };
+        self.send((from, port, to, edge), from, Some(origin), rng);
+        let n = self.graph.node_count();
+        for dest in 0..n {
+            if dest == from || dest == to {
+                continue;
+            }
+            if let Some(route) = self.rib[from][dest].clone() {
+                self.send((from, port, to, edge), dest, Some(route), rng);
+            }
+        }
+    }
+
+    /// Schedules one message on the FIFO channel `from → to`, applying
+    /// any [`LinkChaos`] on the edge: extra delay widens the delivery
+    /// distribution; loss adds one retransmission timeout per lost copy
+    /// (the session is reliable, like BGP over TCP — a lost
+    /// advertisement is retransmitted, never silently gone, otherwise
+    /// the protocol would be left permanently stale); duplication
+    /// schedules a second, later copy through the same FIFO clock.
+    fn send<R: Rng + ?Sized>(
+        &mut self,
+        channel: (NodeId, Port, NodeId, EdgeId),
+        dest: NodeId,
+        route: Option<Route<A::W>>,
+        rng: &mut R,
+    ) {
+        let (from, port, to, edge) = channel;
+        if self.down[edge] {
+            return;
+        }
+        let mut delay = rng.gen_range(1..=self.max_delay);
+        let mut copies = 1;
+        if let Some(c) = self.chaos[edge] {
+            if c.extra_delay > 0 {
+                delay += rng.gen_range(0..=c.extra_delay);
+            }
+            let loss = c.loss.clamp(0.0, 0.95);
+            if loss > 0.0 {
+                let timeout = self.max_delay + c.extra_delay + 1;
+                while rng.gen_bool(loss) {
+                    delay += timeout;
+                }
+            }
+            if c.duplicate > 0.0 && rng.gen_bool(c.duplicate.clamp(0.0, 1.0)) {
+                copies = 2;
+            }
+        }
+        for _ in 0..copies {
+            let at = (self.now + delay).max(self.channel_clock[from][port] + 1);
+            self.channel_clock[from][port] = at;
+            self.queue.push(Message {
+                at,
+                seq: self.seq,
+                from,
+                to,
+                dest,
+                route: route.clone(),
+            });
+            self.seq += 1;
+            delay += 1; // a duplicate arrives strictly later
         }
     }
 
@@ -278,23 +520,9 @@ where
     /// (a `None` selection is a withdrawal), respecting channel FIFO.
     fn advertise<R: Rng + ?Sized>(&mut self, node: NodeId, dest: NodeId, rng: &mut R) {
         let advert = self.rib[node][dest].clone();
-        let nbrs: Vec<(NodeId, cpr_graph::EdgeId)> = self.graph.neighbors(node).collect();
+        let nbrs: Vec<(NodeId, EdgeId)> = self.graph.neighbors(node).collect();
         for (port, (nbr, edge)) in nbrs.into_iter().enumerate() {
-            if self.down[edge] {
-                continue;
-            }
-            let delay = rng.gen_range(1..=self.max_delay);
-            let at = (self.now + delay).max(self.channel_clock[node][port] + 1);
-            self.channel_clock[node][port] = at;
-            self.queue.push(Message {
-                at,
-                seq: self.seq,
-                from: node,
-                to: nbr,
-                dest,
-                route: advert.clone(),
-            });
-            self.seq += 1;
+            self.send((node, port, nbr, edge), dest, advert.clone(), rng);
         }
     }
 
@@ -332,6 +560,24 @@ where
             quiesce_time: self.now,
             converged: true,
         }
+    }
+}
+
+impl<A, F> RibSnapshot for AsyncSimulator<'_, A, F>
+where
+    A: RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+{
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn edge_up(&self, e: EdgeId) -> bool {
+        !self.down[e]
+    }
+
+    fn route_path(&self, u: NodeId, t: NodeId) -> Option<&[NodeId]> {
+        self.rib[u][t].as_ref().map(|r| r.path.as_slice())
     }
 }
 
@@ -490,7 +736,7 @@ mod failure_tests {
                 cpr_graph::traversal::is_connected(&g2)
             })
             .expect("non-bridge edge exists");
-        sim.fail_link(a, b, &mut rng);
+        sim.fail_link(a, b, &mut rng).unwrap();
         assert!(sim.run(&mut rng, 5_000_000).converged);
 
         let g2 = Graph::from_edges(
@@ -537,7 +783,7 @@ mod failure_tests {
         let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 7);
         assert!(sim.run(&mut rng, 1_000_000).converged);
         assert!(sim.weight(0, 3).is_finite());
-        sim.fail_link(1, 2, &mut rng);
+        sim.fail_link(1, 2, &mut rng).unwrap();
         assert!(sim.run(&mut rng, 1_000_000).converged);
         assert!(
             sim.weight(0, 3).is_infinite(),
@@ -545,5 +791,154 @@ mod failure_tests {
         );
         assert!(sim.weight(0, 1).is_finite());
         assert!(sim.weight(3, 2).is_finite());
+    }
+
+    #[test]
+    fn fail_link_drops_in_flight_messages_both_directions() {
+        // Before running a single event, every channel still carries its
+        // self-origination messages — so failing a link with traffic in
+        // flight must delete the queued deliveries crossing it, in both
+        // directions, rather than applying them after the failure.
+        let g = generators::cycle(5);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1202);
+        let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 9);
+        assert!(
+            sim.in_flight_on(1, 2).unwrap() >= 2,
+            "both directions queued"
+        );
+        sim.fail_link(1, 2, &mut rng).unwrap();
+        assert_eq!(
+            sim.in_flight_on(1, 2).unwrap(),
+            0,
+            "queued deliveries over the downed edge must be dropped"
+        );
+        // Messages on other links survive.
+        assert!(sim.in_flight() > 0);
+        // The dropped advertisements are never applied: after quiescing,
+        // neither endpoint routes over the dead link.
+        assert!(sim.run(&mut rng, 1_000_000).converged);
+        for (u, t) in [(1, 2), (2, 1)] {
+            let path = &sim.route(u, t).unwrap().path;
+            for hop in path.windows(2) {
+                assert!(
+                    !((hop[0] == 1 && hop[1] == 2) || (hop[0] == 2 && hop[1] == 1)),
+                    "route {u} → {t} crosses the failed link"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_link_resyncs_and_reconverges() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1203);
+        let g = generators::gnp_connected(14, 0.25, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 11);
+        assert!(sim.run(&mut rng, 5_000_000).converged);
+        let (_, (a, b)) = g.edges().next().unwrap();
+        sim.fail_link(a, b, &mut rng).unwrap();
+        assert!(sim.run(&mut rng, 5_000_000).converged);
+        sim.restore_link(a, b, &mut rng).unwrap();
+        assert!(sim.run(&mut rng, 5_000_000).converged);
+        // Back on the full topology: RIBs agree with dijkstra again.
+        for t in g.nodes() {
+            let tree = dijkstra(&g, &w, &ShortestPath, t);
+            for u in g.nodes() {
+                if u != t {
+                    assert_eq!(
+                        ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                        Ordering::Equal,
+                        "{u} → {t} after restore"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_node_flushes_state_and_recovers() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1204);
+        let g = generators::gnp_connected(13, 0.3, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 7);
+        assert!(sim.run(&mut rng, 5_000_000).converged);
+        sim.crash_node(4, &mut rng).unwrap();
+        assert!(g
+            .nodes()
+            .filter(|&t| t != 4)
+            .all(|t| sim.route(4, t).is_none()));
+        assert!(sim.run(&mut rng, 5_000_000).converged);
+        for t in g.nodes() {
+            let tree = dijkstra(&g, &w, &ShortestPath, t);
+            for u in g.nodes() {
+                if u != t {
+                    assert_eq!(
+                        ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                        Ordering::Equal,
+                        "{u} → {t} after crash/restart of 4"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_chaos_does_not_change_the_fixpoint() {
+        use crate::LinkChaos;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1205);
+        let g = generators::gnp_connected(12, 0.3, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 9);
+        for (_, (u, v)) in g.edges() {
+            sim.set_link_chaos(
+                u,
+                v,
+                LinkChaos {
+                    loss: 0.3,
+                    duplicate: 0.25,
+                    extra_delay: 40,
+                },
+            )
+            .unwrap();
+        }
+        assert!(sim.run(&mut rng, 10_000_000).converged);
+        for t in g.nodes() {
+            let tree = dijkstra(&g, &w, &ShortestPath, t);
+            for u in g.nodes() {
+                if u != t {
+                    assert_eq!(
+                        ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                        Ordering::Equal,
+                        "{u} → {t} under loss/duplication/extra delay"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_fault_api_rejects_non_edges() {
+        let g = generators::path(4);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1206);
+        let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 5);
+        use crate::{LinkChaos, SimError};
+        assert_eq!(
+            sim.fail_link(0, 2, &mut rng),
+            Err(SimError::NotAnEdge { u: 0, v: 2 })
+        );
+        assert_eq!(
+            sim.restore_link(0, 2, &mut rng),
+            Err(SimError::NotAnEdge { u: 0, v: 2 })
+        );
+        assert_eq!(
+            sim.crash_node(17, &mut rng),
+            Err(SimError::NodeOutOfBounds { node: 17 })
+        );
+        assert_eq!(
+            sim.set_link_chaos(0, 3, LinkChaos::calm()),
+            Err(SimError::NotAnEdge { u: 0, v: 3 })
+        );
     }
 }

@@ -1,0 +1,777 @@
+//! Fault injection, recovery auditing and chaos schedules.
+//!
+//! The convergence theorems this workspace reproduces (§2.4, Theorems
+//! 4–5) only mean something if they survive topology churn: a routing
+//! protocol that converges on a static graph but blackholes traffic for
+//! unbounded time after a link flap has not implemented the algebra
+//! safely. This module turns both simulators into chaos subjects:
+//!
+//! * [`FaultEvent`] — the injectable faults: link failure/restore, node
+//!   crash + restart (the node's RIB and Adj-RIB-Ins are flushed, like a
+//!   BGP speaker rebooting), network partitions along a node cut, and —
+//!   async simulator only — per-link message loss, duplication and extra
+//!   delay ([`LinkChaos`]).
+//! * [`FaultPlan`] / [`FaultSchedule`] — scripted event lists, or
+//!   seeded-random fault storms ([`StormConfig`]) whose every draw is
+//!   determined by the RNG seed and which can be asked to heal all
+//!   failed links at the end so the surviving topology is the original.
+//! * [`run_chaos_sync`] / [`run_chaos_async`] — drive a simulator
+//!   through a schedule, settling between events, and return a
+//!   [`RecoveryReport`] that audits the *transient* state right after
+//!   each fault (blackholed pairs, forwarding loops found by walking
+//!   next-hops against the current RIBs) and the state at quiescence.
+//! * An oscillation detector: the synchronous runner fingerprints the
+//!   global RIB state each round, so a dispute wheel (e.g.
+//!   `cpr_bgp::bad_gadget`) is flagged as *oscillating* the moment a
+//!   state repeats — typically within a handful of rounds — instead of
+//!   spinning to the round budget. The asynchronous runner flags
+//!   exhaustion of its event budget the same way.
+//!
+//! The audits never mask: a pair that is connected in the surviving
+//! topology but has no usable next-hop chain is a blackhole; a next-hop
+//! chain that revisits a node is a loop; both are counted per event and
+//! at the end, and the chaos bench (`cpr-bench --bin chaos`) fails CI
+//! when either survives quiescence.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use cpr_graph::{EdgeId, Graph, NodeId};
+use rand::Rng;
+
+/// Errors returned by the fault-injection APIs. The pre-chaos versions
+/// of `fail_link`/`restore_link` panicked on a non-edge; chaos schedules
+/// are data (often randomly generated), so malformed events must be
+/// reportable, not fatal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The named pair is not an edge of the simulated graph.
+    NotAnEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// A node id at or beyond the node count.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotAnEdge { u, v } => write!(f, "{{{u}, {v}}} is not an edge"),
+            SimError::NodeOutOfBounds { node } => write!(f, "node {node} out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-link message perturbation for the asynchronous simulator.
+///
+/// `loss` models a lossy link *under a reliable session* (BGP runs over
+/// TCP): a lost transmission is retransmitted after a timeout, so each
+/// loss adds one timeout to the delivery delay instead of silently
+/// deleting the advertisement — deleting it would leave the protocol
+/// permanently stale, which is a transport bug, not a routing one.
+/// `duplicate` delivers a second, later copy of the message (idempotent
+/// for a path-vector Adj-RIB-In, but it exercises the FIFO-channel
+/// invariants). `extra_delay` widens the per-message delay distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkChaos {
+    /// Per-transmission loss probability (clamped to `0.0..=0.95`); each
+    /// loss costs one retransmission timeout of extra delay.
+    pub loss: f64,
+    /// Probability that a message is delivered twice (clamped to
+    /// `0.0..=1.0`).
+    pub duplicate: f64,
+    /// Extra uniform delay (`0..=extra_delay`) added to every message.
+    pub extra_delay: u64,
+}
+
+impl LinkChaos {
+    /// No perturbation at all.
+    pub fn calm() -> Self {
+        LinkChaos {
+            loss: 0.0,
+            duplicate: 0.0,
+            extra_delay: 0,
+        }
+    }
+}
+
+/// One injectable fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Take the link `{u, v}` down.
+    FailLink {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Bring a previously failed link back up.
+    RestoreLink {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Crash and immediately restart a node: its RIB (and, in the async
+    /// simulator, its Adj-RIB-Ins and in-flight messages) are flushed;
+    /// neighbours drop their session state towards it and re-advertise.
+    CrashNode {
+        /// The rebooting node.
+        node: NodeId,
+    },
+    /// Partition the network: fail every currently-up link with exactly
+    /// one endpoint in `side`.
+    Partition {
+        /// One side of the cut.
+        side: Vec<NodeId>,
+    },
+    /// Heal a partition: restore every currently-down link with exactly
+    /// one endpoint in `side`.
+    HealPartition {
+        /// One side of the cut.
+        side: Vec<NodeId>,
+    },
+    /// Apply [`LinkChaos`] to a link (asynchronous simulator only; the
+    /// synchronous runner records it as a no-op, since lock-step rounds
+    /// have no message channel to perturb).
+    PerturbLink {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+        /// The perturbation to install.
+        chaos: LinkChaos,
+    },
+    /// Remove any [`LinkChaos`] from a link.
+    CalmLink {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::FailLink { u, v } => write!(f, "fail {{{u}, {v}}}"),
+            FaultEvent::RestoreLink { u, v } => write!(f, "restore {{{u}, {v}}}"),
+            FaultEvent::CrashNode { node } => write!(f, "crash {node}"),
+            FaultEvent::Partition { side } => write!(f, "partition {side:?}"),
+            FaultEvent::HealPartition { side } => write!(f, "heal-partition {side:?}"),
+            FaultEvent::PerturbLink { u, v, chaos } => {
+                write!(
+                    f,
+                    "perturb {{{u}, {v}}} loss={} dup={} delay+{}",
+                    chaos.loss, chaos.duplicate, chaos.extra_delay
+                )
+            }
+            FaultEvent::CalmLink { u, v } => write!(f, "calm {{{u}, {v}}}"),
+        }
+    }
+}
+
+/// Parameters of a seeded-random fault storm. Event kinds are drawn by
+/// the listed weights among the kinds that are *valid* in the current
+/// virtual topology state (a link can only fail while up, only restore
+/// while down), so every generated schedule is applicable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StormConfig {
+    /// Number of random events before any healing tail.
+    pub events: usize,
+    /// Relative weight of link failures.
+    pub fail_weight: u32,
+    /// Relative weight of link restores.
+    pub restore_weight: u32,
+    /// Relative weight of node crash/restarts.
+    pub crash_weight: u32,
+    /// Relative weight of partitions (a later draw heals them).
+    pub partition_weight: u32,
+    /// Append `RestoreLink` events for every link still down after the
+    /// storm, so the surviving topology equals the original graph.
+    pub heal_at_end: bool,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            events: 8,
+            fail_weight: 5,
+            restore_weight: 3,
+            crash_weight: 2,
+            partition_weight: 1,
+            heal_at_end: true,
+        }
+    }
+}
+
+/// A fault plan: either a scripted event list or a storm to be drawn
+/// from a seed. [`schedule`](Self::schedule) lowers both to a concrete
+/// [`FaultSchedule`] for a given graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultPlan {
+    /// Replay exactly these events.
+    Scripted(Vec<FaultEvent>),
+    /// Draw a seeded-random storm.
+    Storm(StormConfig),
+}
+
+impl FaultPlan {
+    /// Lowers the plan to a concrete schedule over `graph`. Scripted
+    /// plans pass through unchanged; storms are drawn from `rng` (the
+    /// schedule is a pure function of the seed and the graph).
+    pub fn schedule<R: Rng + ?Sized>(&self, graph: &Graph, rng: &mut R) -> FaultSchedule {
+        match self {
+            FaultPlan::Scripted(events) => FaultSchedule {
+                events: events.clone(),
+            },
+            FaultPlan::Storm(config) => storm_schedule(graph, config, rng),
+        }
+    }
+}
+
+/// A concrete, ordered list of fault events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    /// The events, applied in order with a settle phase after each.
+    pub events: Vec<FaultEvent>,
+}
+
+fn crossing_edges(graph: &Graph, side: &[NodeId]) -> Vec<(EdgeId, NodeId, NodeId)> {
+    let in_side: HashSet<NodeId> = side.iter().copied().collect();
+    graph
+        .edges()
+        .filter(|&(_, (u, v))| in_side.contains(&u) != in_side.contains(&v))
+        .map(|(e, (u, v))| (e, u, v))
+        .collect()
+}
+
+fn storm_schedule<R: Rng + ?Sized>(
+    graph: &Graph,
+    config: &StormConfig,
+    rng: &mut R,
+) -> FaultSchedule {
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let mut down: Vec<bool> = vec![false; m];
+    let mut events = Vec::with_capacity(config.events + m);
+    for _ in 0..config.events {
+        // Only kinds that are valid right now participate in the draw.
+        let up_edges: Vec<EdgeId> = (0..m).filter(|&e| !down[e]).collect();
+        let down_edges: Vec<EdgeId> = (0..m).filter(|&e| down[e]).collect();
+        let mut kinds: Vec<(u32, u8)> = Vec::new();
+        if !up_edges.is_empty() {
+            kinds.push((config.fail_weight, 0));
+        }
+        if !down_edges.is_empty() {
+            kinds.push((config.restore_weight, 1));
+        }
+        if n > 0 {
+            kinds.push((config.crash_weight, 2));
+        }
+        if n >= 2 && !up_edges.is_empty() {
+            kinds.push((config.partition_weight, 3));
+        }
+        let total: u32 = kinds.iter().map(|&(w, _)| w).sum();
+        if total == 0 {
+            break;
+        }
+        let mut draw = rng.gen_range(0..total);
+        let kind = kinds
+            .iter()
+            .find(|&&(w, _)| {
+                if draw < w {
+                    true
+                } else {
+                    draw -= w;
+                    false
+                }
+            })
+            .map(|&(_, k)| k)
+            .expect("weights sum to total");
+        match kind {
+            0 => {
+                let e = up_edges[rng.gen_range(0..up_edges.len())];
+                let (u, v) = graph.edges().nth(e).map(|(_, uv)| uv).expect("edge id");
+                down[e] = true;
+                events.push(FaultEvent::FailLink { u, v });
+            }
+            1 => {
+                let e = down_edges[rng.gen_range(0..down_edges.len())];
+                let (u, v) = graph.edges().nth(e).map(|(_, uv)| uv).expect("edge id");
+                down[e] = false;
+                events.push(FaultEvent::RestoreLink { u, v });
+            }
+            2 => {
+                events.push(FaultEvent::CrashNode {
+                    node: rng.gen_range(0..n),
+                });
+            }
+            _ => {
+                // A random side of size 1..=n/2, then heal it two draws
+                // later at the latest — here we emit the partition and
+                // let the heal-at-end tail (or a restore draw) fix it.
+                let size = rng.gen_range(1..=(n / 2).max(1));
+                let mut side: Vec<NodeId> = (0..n).collect();
+                for i in 0..size {
+                    let j = rng.gen_range(i..n);
+                    side.swap(i, j);
+                }
+                side.truncate(size);
+                side.sort_unstable();
+                for (e, _, _) in crossing_edges(graph, &side) {
+                    down[e] = true;
+                }
+                events.push(FaultEvent::Partition { side });
+            }
+        }
+    }
+    if config.heal_at_end {
+        for (e, (u, v)) in graph.edges() {
+            if down[e] {
+                events.push(FaultEvent::RestoreLink { u, v });
+                down[e] = false;
+            }
+        }
+    }
+    FaultSchedule { events }
+}
+
+/// A read-only view of a simulator's forwarding state, shared by the
+/// audits so the same blackhole/loop walker serves both simulators.
+pub trait RibSnapshot {
+    /// The simulated topology.
+    fn graph(&self) -> &Graph;
+    /// Whether edge `e` is currently up.
+    fn edge_up(&self, e: EdgeId) -> bool;
+    /// The node path of `u`'s selected route towards `t`, if any.
+    fn route_path(&self, u: NodeId, t: NodeId) -> Option<&[NodeId]>;
+}
+
+/// The outcome of one forwarding audit: every ordered pair that is
+/// connected in the surviving topology but undeliverable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Audit {
+    /// Pairs `(u, t)` where hop-by-hop forwarding dead-ends (a node on
+    /// the chain has no route, names an unusable next hop, or the next
+    /// hop crosses a downed link).
+    pub blackholed: Vec<(NodeId, NodeId)>,
+    /// Pairs `(u, t)` whose next-hop chain revisits a node.
+    pub looping: Vec<(NodeId, NodeId)>,
+}
+
+impl Audit {
+    /// `true` when no pair is blackholed or looping.
+    pub fn clean(&self) -> bool {
+        self.blackholed.is_empty() && self.looping.is_empty()
+    }
+}
+
+/// Walks every connected ordered pair hop-by-hop against the current
+/// RIBs and reports blackholes and forwarding loops.
+///
+/// "Connected" is judged on the *surviving* topology (up edges only):
+/// a pair the topology genuinely cannot serve is not a blackhole, it is
+/// a partition — the audit never blames the protocol for physics.
+pub fn audit_forwarding<V: RibSnapshot + ?Sized>(view: &V) -> Audit {
+    let graph = view.graph();
+    let n = graph.node_count();
+    // Components of the up-subgraph.
+    let mut comp = vec![usize::MAX; n];
+    let mut next_comp = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = next_comp;
+        while let Some(u) = stack.pop() {
+            for (v, e) in graph.neighbors(u) {
+                if view.edge_up(e) && comp[v] == usize::MAX {
+                    comp[v] = next_comp;
+                    stack.push(v);
+                }
+            }
+        }
+        next_comp += 1;
+    }
+
+    let mut audit = Audit::default();
+    for u in 0..n {
+        'pair: for t in 0..n {
+            if u == t || comp[u] != comp[t] {
+                continue;
+            }
+            let mut at = u;
+            let mut hops = 0usize;
+            while at != t {
+                let Some(path) = view.route_path(at, t) else {
+                    audit.blackholed.push((u, t));
+                    continue 'pair;
+                };
+                let Some(&nh) = path.get(1) else {
+                    audit.blackholed.push((u, t));
+                    continue 'pair;
+                };
+                match graph.edge_between(at, nh) {
+                    Some(e) if view.edge_up(e) => {}
+                    _ => {
+                        // Next hop over a missing or downed link: the
+                        // packet is dropped on the floor.
+                        audit.blackholed.push((u, t));
+                        continue 'pair;
+                    }
+                }
+                at = nh;
+                hops += 1;
+                if hops > n {
+                    audit.looping.push((u, t));
+                    continue 'pair;
+                }
+            }
+        }
+    }
+    audit
+}
+
+/// Statistics of one settle phase (the protocol running until it
+/// quiesces, oscillates, or exhausts its budget).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Settle {
+    /// Synchronous rounds, or asynchronous message deliveries.
+    pub steps: u64,
+    /// Route advertisements sent.
+    pub messages: u64,
+    /// Whether a fixpoint was reached.
+    pub quiesced: bool,
+    /// Whether the run was cut off as non-quiescing: the synchronous
+    /// runner saw a *repeated global RIB state while routes were still
+    /// changing* (an exact oscillation witness — the simulator is
+    /// deterministic, so a revisited state proves a cycle); the
+    /// asynchronous runner exhausted its event budget.
+    pub oscillating: bool,
+}
+
+/// Recovery record for one injected fault.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecovery {
+    /// The injected event.
+    pub event: FaultEvent,
+    /// Blackholed pairs observed immediately after the event, before
+    /// the protocol reacted — the transient exposure window.
+    pub transient_blackholes: usize,
+    /// Forwarding loops observed immediately after the event.
+    pub transient_loops: usize,
+    /// The settle phase that followed.
+    pub settle: Settle,
+    /// Blackholed pairs remaining at quiescence.
+    pub blackholes: usize,
+    /// Forwarding loops remaining at quiescence.
+    pub loops: usize,
+}
+
+/// The full audit trail of a chaos run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryReport {
+    /// The settle phase before any event (cold-start convergence, or a
+    /// no-op if the simulator was already converged).
+    pub initial: Settle,
+    /// One record per injected event, in order.
+    pub events: Vec<EventRecovery>,
+}
+
+impl RecoveryReport {
+    /// `true` when the initial run and every per-event settle quiesced.
+    pub fn quiesced(&self) -> bool {
+        self.initial.quiesced && self.events.iter().all(|e| e.settle.quiesced)
+    }
+
+    /// `true` when any settle phase was flagged as oscillating.
+    pub fn oscillating(&self) -> bool {
+        self.initial.oscillating || self.events.iter().any(|e| e.settle.oscillating)
+    }
+
+    /// Total messages across all settle phases.
+    pub fn total_messages(&self) -> u64 {
+        self.initial.messages + self.events.iter().map(|e| e.settle.messages).sum::<u64>()
+    }
+
+    /// Blackholes at the final quiescence (0 events: after the initial
+    /// settle, which the runners audit into a synthetic count of 0 —
+    /// callers with no events should audit the simulator directly).
+    pub fn final_blackholes(&self) -> usize {
+        self.events.last().map_or(0, |e| e.blackholes)
+    }
+
+    /// Forwarding loops at the final quiescence.
+    pub fn final_loops(&self) -> usize {
+        self.events.last().map_or(0, |e| e.loops)
+    }
+
+    /// Sum of transient blackholed pairs across events — the exposure
+    /// the storm created before the protocol healed each wound.
+    pub fn transient_blackhole_exposure(&self) -> usize {
+        self.events.iter().map(|e| e.transient_blackholes).sum()
+    }
+
+    /// The `p`-th percentile (0.0..=1.0) of per-event settle steps
+    /// (reconvergence rounds or deliveries), by nearest-rank.
+    pub fn settle_steps_percentile(&self, p: f64) -> u64 {
+        let mut steps: Vec<u64> = self.events.iter().map(|e| e.settle.steps).collect();
+        if steps.is_empty() {
+            return 0;
+        }
+        steps.sort_unstable();
+        let rank = ((p.clamp(0.0, 1.0) * steps.len() as f64).ceil() as usize).max(1) - 1;
+        steps[rank.min(steps.len() - 1)]
+    }
+}
+
+/// Budgets for the settle phases of a chaos run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosOptions {
+    /// Round budget per settle phase (synchronous runner). The
+    /// oscillation detector normally cuts non-quiescing runs off far
+    /// earlier; the budget is the backstop.
+    pub round_budget: u32,
+    /// Delivery budget per settle phase (asynchronous runner).
+    pub event_budget: u64,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            round_budget: 5_000,
+            event_budget: 20_000_000,
+        }
+    }
+}
+
+/// FNV-1a accumulator for RIB fingerprints.
+#[derive(Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    pub(crate) fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Runs `sim` through `schedule`: settle, then per event apply → audit
+/// the transient state → settle (with exact oscillation detection) →
+/// audit at quiescence.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] of a malformed event (non-edge, node
+/// out of bounds); events before it have been applied.
+pub fn run_chaos_sync<A, F>(
+    sim: &mut crate::Simulator<'_, A, F>,
+    schedule: &FaultSchedule,
+    opts: &ChaosOptions,
+) -> Result<RecoveryReport, SimError>
+where
+    A: cpr_algebra::RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+{
+    let initial = settle_sync(sim, opts.round_budget);
+    let mut events = Vec::with_capacity(schedule.events.len());
+    for event in &schedule.events {
+        apply_sync(sim, event)?;
+        let transient = audit_forwarding(sim);
+        let settle = settle_sync(sim, opts.round_budget);
+        let after = audit_forwarding(sim);
+        events.push(EventRecovery {
+            event: event.clone(),
+            transient_blackholes: transient.blackholed.len(),
+            transient_loops: transient.looping.len(),
+            settle,
+            blackholes: after.blackholed.len(),
+            loops: after.looping.len(),
+        });
+    }
+    Ok(RecoveryReport { initial, events })
+}
+
+fn apply_sync<A, F>(
+    sim: &mut crate::Simulator<'_, A, F>,
+    event: &FaultEvent,
+) -> Result<(), SimError>
+where
+    A: cpr_algebra::RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+{
+    match event {
+        FaultEvent::FailLink { u, v } => sim.fail_link(*u, *v),
+        FaultEvent::RestoreLink { u, v } => sim.restore_link(*u, *v),
+        FaultEvent::CrashNode { node } => sim.crash_node(*node),
+        FaultEvent::Partition { side } => {
+            check_side(sim.graph(), side)?;
+            for (_, u, v) in crossing_edges(sim.graph(), side) {
+                if sim.link_up(u, v)? {
+                    sim.fail_link(u, v)?;
+                }
+            }
+            Ok(())
+        }
+        FaultEvent::HealPartition { side } => {
+            check_side(sim.graph(), side)?;
+            for (_, u, v) in crossing_edges(sim.graph(), side) {
+                if !sim.link_up(u, v)? {
+                    sim.restore_link(u, v)?;
+                }
+            }
+            Ok(())
+        }
+        // Lock-step rounds have no message channel to perturb.
+        FaultEvent::PerturbLink { .. } | FaultEvent::CalmLink { .. } => Ok(()),
+    }
+}
+
+fn settle_sync<A, F>(sim: &mut crate::Simulator<'_, A, F>, round_budget: u32) -> Settle
+where
+    A: cpr_algebra::RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+{
+    let mut seen = HashSet::new();
+    seen.insert(sim.rib_fingerprint());
+    let mut settle = Settle::default();
+    for _ in 0..round_budget {
+        let delta = sim.step_round();
+        settle.steps += 1;
+        settle.messages += delta.messages;
+        if delta.changed == 0 {
+            settle.quiesced = true;
+            break;
+        }
+        if !seen.insert(sim.rib_fingerprint()) {
+            // The simulator is a deterministic function of the RIB
+            // state: a revisited state while routes still change is a
+            // proven cycle — stop now instead of spinning to budget.
+            settle.oscillating = true;
+            break;
+        }
+    }
+    settle
+}
+
+fn check_side(graph: &Graph, side: &[NodeId]) -> Result<(), SimError> {
+    let n = graph.node_count();
+    match side.iter().find(|&&v| v >= n) {
+        Some(&node) => Err(SimError::NodeOutOfBounds { node }),
+        None => Ok(()),
+    }
+}
+
+/// The asynchronous counterpart of [`run_chaos_sync`]. Message delays,
+/// losses and duplications draw from `rng`; the whole run is a pure
+/// function of the seed. Oscillation is flagged when a settle phase
+/// exhausts its delivery budget (the event queue has no finite global
+/// state to fingerprint).
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] of a malformed event.
+pub fn run_chaos_async<A, F, R>(
+    sim: &mut crate::AsyncSimulator<'_, A, F>,
+    schedule: &FaultSchedule,
+    rng: &mut R,
+    opts: &ChaosOptions,
+) -> Result<RecoveryReport, SimError>
+where
+    A: cpr_algebra::RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+    R: Rng + ?Sized,
+{
+    let initial = settle_async(sim, rng, opts.event_budget);
+    let mut events = Vec::with_capacity(schedule.events.len());
+    for event in &schedule.events {
+        apply_async(sim, event, rng)?;
+        let transient = audit_forwarding(sim);
+        let settle = settle_async(sim, rng, opts.event_budget);
+        let after = audit_forwarding(sim);
+        events.push(EventRecovery {
+            event: event.clone(),
+            transient_blackholes: transient.blackholed.len(),
+            transient_loops: transient.looping.len(),
+            settle,
+            blackholes: after.blackholed.len(),
+            loops: after.looping.len(),
+        });
+    }
+    Ok(RecoveryReport { initial, events })
+}
+
+fn apply_async<A, F, R>(
+    sim: &mut crate::AsyncSimulator<'_, A, F>,
+    event: &FaultEvent,
+    rng: &mut R,
+) -> Result<(), SimError>
+where
+    A: cpr_algebra::RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+    R: Rng + ?Sized,
+{
+    match event {
+        FaultEvent::FailLink { u, v } => sim.fail_link(*u, *v, rng),
+        FaultEvent::RestoreLink { u, v } => sim.restore_link(*u, *v, rng),
+        FaultEvent::CrashNode { node } => sim.crash_node(*node, rng),
+        FaultEvent::Partition { side } => {
+            check_side(sim.graph(), side)?;
+            for (_, u, v) in crossing_edges(sim.graph(), side) {
+                if sim.link_up(u, v)? {
+                    sim.fail_link(u, v, rng)?;
+                }
+            }
+            Ok(())
+        }
+        FaultEvent::HealPartition { side } => {
+            check_side(sim.graph(), side)?;
+            for (_, u, v) in crossing_edges(sim.graph(), side) {
+                if !sim.link_up(u, v)? {
+                    sim.restore_link(u, v, rng)?;
+                }
+            }
+            Ok(())
+        }
+        FaultEvent::PerturbLink { u, v, chaos } => sim.set_link_chaos(*u, *v, *chaos),
+        FaultEvent::CalmLink { u, v } => sim.clear_link_chaos(*u, *v),
+    }
+}
+
+fn settle_async<A, F, R>(
+    sim: &mut crate::AsyncSimulator<'_, A, F>,
+    rng: &mut R,
+    event_budget: u64,
+) -> Settle
+where
+    A: cpr_algebra::RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+    R: Rng + ?Sized,
+{
+    let report = sim.run(rng, event_budget);
+    Settle {
+        steps: report.events,
+        messages: report.events,
+        quiesced: report.converged,
+        oscillating: !report.converged,
+    }
+}

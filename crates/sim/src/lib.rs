@@ -7,6 +7,13 @@
 //! the algebra's preference. Supports asymmetric arcs (BGP words),
 //! convergence/message accounting, and link failure + re-convergence.
 //!
+//! The [`fault`] module adds a chaos harness on top: scripted or
+//! seeded-random fault schedules (link flaps, node crash/restart,
+//! partitions, per-link message loss/duplication/delay), recovery
+//! audits that walk next-hops against current RIBs to count blackholes
+//! and forwarding loops, and an oscillation detector that flags
+//! non-quiescing (dispute-wheel) runs instead of spinning to budget.
+//!
 //! ```
 //! use cpr_algebra::policies::ShortestPath;
 //! use cpr_graph::{generators, EdgeWeights};
@@ -24,7 +31,13 @@
 #![warn(missing_docs)]
 
 mod async_sim;
+pub mod fault;
 mod sim;
 
 pub use async_sim::{AsyncReport, AsyncSimulator};
-pub use sim::{ConvergenceReport, Route, Simulator};
+pub use fault::{
+    audit_forwarding, run_chaos_async, run_chaos_sync, Audit, ChaosOptions, EventRecovery,
+    FaultEvent, FaultPlan, FaultSchedule, LinkChaos, RecoveryReport, RibSnapshot, Settle, SimError,
+    StormConfig,
+};
+pub use sim::{ConvergenceReport, RoundDelta, Route, Simulator};

@@ -17,7 +17,9 @@
 use std::cmp::Ordering;
 
 use cpr_algebra::{PathWeight, RoutingAlgebra};
-use cpr_graph::{Graph, NodeId};
+use cpr_graph::{EdgeId, Graph, NodeId};
+
+use crate::fault::{Fnv, RibSnapshot, SimError};
 
 /// A selected route in a node's RIB.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,13 +32,28 @@ pub struct Route<W> {
 }
 
 impl<W> Route<W> {
-    /// The next hop (the second node on the path).
-    pub fn next_hop(&self) -> NodeId {
-        self.path[1]
+    /// The next hop (the second node on the path), or `None` for a
+    /// degenerate single-node path — a self-route carries no hop, and
+    /// indexing `path[1]` used to panic on it.
+    pub fn next_hop(&self) -> Option<NodeId> {
+        self.path.get(1).copied()
     }
 }
 
+/// What one synchronous round changed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundDelta {
+    /// RIB entries that changed this round.
+    pub changed: u64,
+    /// Route advertisements sent (changed routes × neighbours).
+    pub messages: u64,
+}
+
 /// Statistics of a convergence run.
+///
+/// Marked `#[must_use]`: a run that hits the round cutoff is
+/// indistinguishable from success unless the caller checks `converged`.
+#[must_use = "check `converged` — hitting the round budget looks like success otherwise"]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ConvergenceReport {
     /// Rounds executed until no RIB changed (or the cutoff).
@@ -109,18 +126,37 @@ where
         self.total_messages
     }
 
+    /// The simulated topology.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Whether the link between `u` and `v` is currently up.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotAnEdge`] when `{u, v}` is not an edge.
+    pub fn link_up(&self, u: NodeId, v: NodeId) -> Result<bool, SimError> {
+        let e = self.edge(u, v)?;
+        Ok(!self.down[e])
+    }
+
+    fn edge(&self, u: NodeId, v: NodeId) -> Result<EdgeId, SimError> {
+        self.graph
+            .edge_between(u, v)
+            .ok_or(SimError::NotAnEdge { u, v })
+    }
+
     /// Marks the link between `u` and `v` as failed and flushes every RIB
     /// route whose path used it; the next
     /// [`run_to_convergence`](Self::run_to_convergence) re-converges.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `{u, v}` is not an edge.
-    pub fn fail_link(&mut self, u: NodeId, v: NodeId) {
-        let e = self
-            .graph
-            .edge_between(u, v)
-            .expect("failed link must exist");
+    /// [`SimError::NotAnEdge`] when `{u, v}` is not an edge (this used
+    /// to panic — fault schedules are data, so it must be reportable).
+    pub fn fail_link(&mut self, u: NodeId, v: NodeId) -> Result<(), SimError> {
+        let e = self.edge(u, v)?;
         self.down[e] = true;
         for rib in &mut self.rib {
             for slot in rib.iter_mut() {
@@ -134,19 +170,61 @@ where
                 }
             }
         }
+        Ok(())
     }
 
     /// Restores a previously failed link.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `{u, v}` is not an edge.
-    pub fn restore_link(&mut self, u: NodeId, v: NodeId) {
-        let e = self
-            .graph
-            .edge_between(u, v)
-            .expect("restored link must exist");
+    /// [`SimError::NotAnEdge`] when `{u, v}` is not an edge.
+    pub fn restore_link(&mut self, u: NodeId, v: NodeId) -> Result<(), SimError> {
+        let e = self.edge(u, v)?;
         self.down[e] = false;
+        Ok(())
+    }
+
+    /// Crashes and immediately restarts `node`: its RIB is flushed, as
+    /// if the router rebooted and lost all protocol state. Neighbours
+    /// still hold (now stale) routes through it — the audit right after
+    /// sees those as transient blackholes, and the next rounds heal them
+    /// because every node re-selects from scratch each round.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeOutOfBounds`] when `node` is not in the graph.
+    pub fn crash_node(&mut self, node: NodeId) -> Result<(), SimError> {
+        if node >= self.graph.node_count() {
+            return Err(SimError::NodeOutOfBounds { node });
+        }
+        for slot in self.rib[node].iter_mut() {
+            *slot = None;
+        }
+        Ok(())
+    }
+
+    /// FNV-1a fingerprint of the global RIB state (all selected paths).
+    /// Two equal fingerprints (modulo hashing) mean the same state; the
+    /// simulator is deterministic, so a revisited state proves the run
+    /// cycles — the chaos runner's oscillation detector builds on this.
+    /// Paths suffice: given the fixed arc function, a route's weight is
+    /// a function of its path.
+    pub fn rib_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for rib in &self.rib {
+            for slot in rib {
+                match slot {
+                    None => h.word(u64::MAX),
+                    Some(r) => {
+                        h.word(r.path.len() as u64);
+                        for &v in &r.path {
+                            h.word(v as u64);
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
     }
 
     fn arc(&self, u: NodeId, v: NodeId) -> Option<A::W> {
@@ -167,87 +245,108 @@ where
                 Ordering::Greater => false,
                 Ordering::Equal => {
                     cand.path.len() < cur.path.len()
-                        || (cand.path.len() == cur.path.len() && cand.next_hop() < cur.next_hop())
+                        || (cand.path.len() == cur.path.len() && cand.path.get(1) < cur.path.get(1))
                 }
             },
         }
     }
 
-    /// Runs synchronous rounds until no RIB changes or `max_rounds` is
-    /// hit. Each round every node re-selects each destination from its
-    /// neighbours' *previous-round* routes (Jacobi iteration — the
-    /// message-accurate model of simultaneous advertisement exchange).
-    pub fn run_to_convergence(&mut self, max_rounds: u32) -> ConvergenceReport {
+    /// Executes one synchronous round: every node re-selects each
+    /// destination from its neighbours' *previous-round* routes (Jacobi
+    /// iteration — the message-accurate model of simultaneous
+    /// advertisement exchange). Returns what changed; `changed == 0`
+    /// means the protocol is at a fixpoint.
+    pub fn step_round(&mut self) -> RoundDelta {
         let n = self.graph.node_count();
+        let mut next = self.rib.clone();
+        let mut delta = RoundDelta::default();
+        for u in 0..n {
+            for t in 0..n {
+                if t == u {
+                    continue;
+                }
+                // Re-select from scratch among current advertisements.
+                let mut best: Option<Route<A::W>> = None;
+                for (v, _) in self.graph.neighbors(u) {
+                    let Some(w_uv) = self.arc(u, v) else { continue };
+                    let cand = if v == t {
+                        Some(Route {
+                            weight: w_uv,
+                            path: vec![u, t],
+                        })
+                    } else {
+                        self.rib[v][t].as_ref().and_then(|r| {
+                            if r.path.contains(&u) {
+                                return None; // loop prevention
+                            }
+                            match self.alg.combine(&w_uv, &r.weight) {
+                                PathWeight::Finite(w) => {
+                                    let mut path = Vec::with_capacity(r.path.len() + 1);
+                                    path.push(u);
+                                    path.extend_from_slice(&r.path);
+                                    Some(Route { weight: w, path })
+                                }
+                                PathWeight::Infinite => None,
+                            }
+                        })
+                    };
+                    if let Some(cand) = cand {
+                        if self.better(&cand, &best) {
+                            best = Some(cand);
+                        }
+                    }
+                }
+                if next[u][t] != best {
+                    delta.changed += 1;
+                    // Each changed route is advertised to every neighbour.
+                    delta.messages += self.graph.degree(u) as u64;
+                    next[u][t] = best;
+                }
+            }
+        }
+        self.rib = next;
+        self.total_messages += delta.messages;
+        delta
+    }
+
+    /// Runs synchronous rounds until no RIB changes or `max_rounds` is
+    /// hit. See [`step_round`](Self::step_round) for round semantics.
+    pub fn run_to_convergence(&mut self, max_rounds: u32) -> ConvergenceReport {
         let mut rounds = 0;
         let mut converged = false;
         let mut messages = 0u64;
         while rounds < max_rounds {
             rounds += 1;
-            let mut next = self.rib.clone();
-            let mut changed = 0u64;
-            for u in 0..n {
-                for t in 0..n {
-                    if t == u {
-                        continue;
-                    }
-                    // Re-select from scratch among current advertisements.
-                    let mut best: Option<Route<A::W>> = None;
-                    for (v, _) in self.graph.neighbors(u) {
-                        let Some(w_uv) = self.arc(u, v) else { continue };
-                        let cand = if v == t {
-                            Some(Route {
-                                weight: w_uv,
-                                path: vec![u, t],
-                            })
-                        } else {
-                            self.rib[v][t].as_ref().and_then(|r| {
-                                if r.path.contains(&u) {
-                                    return None; // loop prevention
-                                }
-                                match self.alg.combine(&w_uv, &r.weight) {
-                                    PathWeight::Finite(w) => {
-                                        let mut path = Vec::with_capacity(r.path.len() + 1);
-                                        path.push(u);
-                                        path.extend_from_slice(&r.path);
-                                        Some(Route { weight: w, path })
-                                    }
-                                    PathWeight::Infinite => None,
-                                }
-                            })
-                        };
-                        if let Some(cand) = cand {
-                            if self.better(&cand, &best) {
-                                best = Some(cand);
-                            }
-                        }
-                    }
-                    if next[u][t] != best {
-                        changed += 1;
-                        next[u][t] = best;
-                    }
-                }
-            }
-            // Each changed route is advertised to every neighbour.
-            for u in 0..n {
-                for t in 0..n {
-                    if next[u][t] != self.rib[u][t] {
-                        messages += self.graph.degree(u) as u64;
-                    }
-                }
-            }
-            self.rib = next;
-            if changed == 0 {
+            let delta = self.step_round();
+            messages += delta.messages;
+            if delta.changed == 0 {
                 converged = true;
                 break;
             }
         }
-        self.total_messages += messages;
         ConvergenceReport {
             rounds,
             messages,
             converged,
         }
+    }
+}
+
+impl<A, F> RibSnapshot for Simulator<'_, A, F>
+where
+    A: RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+{
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn edge_up(&self, e: EdgeId) -> bool {
+        !self.down[e]
+    }
+
+    fn route_path(&self, u: NodeId, t: NodeId) -> Option<&[NodeId]> {
+        self.rib[u][t].as_ref().map(|r| r.path.as_slice())
     }
 }
 
@@ -356,7 +455,7 @@ mod tests {
                 cpr_graph::traversal::is_connected(&g2)
             })
             .expect("some non-bridge edge");
-        sim.fail_link(fu, fv);
+        sim.fail_link(fu, fv).unwrap();
         assert!(sim.run_to_convergence(300).converged);
         // Ground truth on the reduced graph.
         let g2 = Graph::from_edges(
@@ -384,7 +483,7 @@ mod tests {
             }
         }
         // Restoring the link converges back to the original weights.
-        sim.restore_link(fu, fv);
+        sim.restore_link(fu, fv).unwrap();
         assert!(sim.run_to_convergence(300).converged);
         let tree = dijkstra(&g, &w, &ShortestPath, 0);
         for u in g.nodes() {
@@ -423,10 +522,56 @@ mod tests {
         let g = generators::path(3);
         let w = EdgeWeights::uniform(&g, 2u64);
         let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
-        sim.run_to_convergence(50);
-        assert_eq!(sim.route(0, 2).unwrap().next_hop(), 1);
+        assert!(sim.run_to_convergence(50).converged);
+        assert_eq!(sim.route(0, 2).unwrap().next_hop(), Some(1));
         assert_eq!(sim.route(0, 2).unwrap().weight, 4);
         assert!(sim.route(0, 0).is_none());
+        // Degenerate single-node paths carry no hop instead of panicking.
+        let trivial = Route {
+            weight: 0u64,
+            path: vec![2],
+        };
+        assert_eq!(trivial.next_hop(), None);
+    }
+
+    #[test]
+    fn fault_api_rejects_non_edges() {
+        let g = generators::path(4); // edges: 0-1, 1-2, 2-3
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+        assert_eq!(
+            sim.fail_link(0, 3),
+            Err(crate::SimError::NotAnEdge { u: 0, v: 3 })
+        );
+        assert_eq!(
+            sim.restore_link(3, 0),
+            Err(crate::SimError::NotAnEdge { u: 3, v: 0 })
+        );
+        assert_eq!(
+            sim.crash_node(9),
+            Err(crate::SimError::NodeOutOfBounds { node: 9 })
+        );
+        assert!(sim.link_up(0, 1).unwrap());
+        sim.fail_link(0, 1).unwrap();
+        assert!(!sim.link_up(0, 1).unwrap());
+    }
+
+    #[test]
+    fn crash_node_flushes_rib_and_recovers() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1003);
+        let g = generators::gnp_connected(12, 0.3, &mut rng);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+        assert!(sim.run_to_convergence(200).converged);
+        let before = sim.rib_fingerprint();
+        sim.crash_node(3).unwrap();
+        assert!(g
+            .nodes()
+            .filter(|&t| t != 3)
+            .all(|t| sim.route(3, t).is_none()));
+        assert!(sim.run_to_convergence(200).converged);
+        // Same topology, deterministic tie-breaks: the fixpoint returns.
+        assert_eq!(sim.rib_fingerprint(), before);
     }
 
     use cpr_graph::Graph;

@@ -1,0 +1,296 @@
+//! Chaos-harness integration tests: seeded fault storms on monotone
+//! algebras must heal completely (zero blackholes and loops at
+//! quiescence, RIBs agreeing with the centralized solver on the
+//! surviving topology), and non-monotone policies must be *flagged* as
+//! oscillating instead of spinning to the round budget.
+
+use std::cmp::Ordering;
+
+use cpr_algebra::policies::{self, ShortestPath};
+use cpr_algebra::{PathWeight, RoutingAlgebra};
+use cpr_graph::{generators, EdgeWeights, NodeId};
+use cpr_paths::dijkstra;
+use cpr_sim::{
+    audit_forwarding, run_chaos_async, run_chaos_sync, AsyncSimulator, ChaosOptions, FaultEvent,
+    FaultPlan, FaultSchedule, LinkChaos, Simulator, StormConfig,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn sync_storm_heals_to_dijkstra_truth() {
+    let mut rng = StdRng::seed_from_u64(4000);
+    let g = generators::gnp_connected(20, 0.18, &mut rng);
+    let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+    let plan = FaultPlan::Storm(StormConfig {
+        events: 12,
+        ..StormConfig::default()
+    });
+    let schedule = plan.schedule(&g, &mut rng);
+    assert!(!schedule.events.is_empty());
+
+    let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+    let report = run_chaos_sync(&mut sim, &schedule, &ChaosOptions::default()).unwrap();
+    assert!(report.quiesced(), "monotone storm must quiesce");
+    assert!(!report.oscillating());
+    assert_eq!(report.final_blackholes(), 0, "blackholes at quiescence");
+    assert_eq!(report.final_loops(), 0, "forwarding loops at quiescence");
+
+    // heal_at_end: the surviving topology is the original graph, so the
+    // final RIBs must agree pairwise with dijkstra on it.
+    for t in g.nodes() {
+        let tree = dijkstra(&g, &w, &ShortestPath, t);
+        for u in g.nodes() {
+            if u != t {
+                assert_eq!(
+                    ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                    Ordering::Equal,
+                    "{u} → {t} after the healed storm"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn async_storm_heals_to_dijkstra_truth() {
+    let mut rng = StdRng::seed_from_u64(4001);
+    let g = generators::gnp_connected(14, 0.25, &mut rng);
+    let ws = policies::widest_shortest();
+    let w = EdgeWeights::random(&g, &ws, &mut rng);
+    let schedule = FaultPlan::Storm(StormConfig {
+        events: 8,
+        ..StormConfig::default()
+    })
+    .schedule(&g, &mut rng);
+
+    let mut sim = AsyncSimulator::from_edge_weights(&g, &ws, &w, 11);
+    let report = run_chaos_async(&mut sim, &schedule, &mut rng, &ChaosOptions::default()).unwrap();
+    assert!(report.quiesced());
+    assert_eq!(report.final_blackholes(), 0);
+    assert_eq!(report.final_loops(), 0);
+    for t in g.nodes() {
+        let tree = dijkstra(&g, &w, &ws, t);
+        for u in g.nodes() {
+            if u != t {
+                assert_eq!(
+                    ws.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                    Ordering::Equal,
+                    "{u} → {t} after the healed async storm"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn storm_schedules_are_deterministic_under_a_fixed_seed() {
+    let mut topo_rng = StdRng::seed_from_u64(4002);
+    let g = generators::gnp_connected(16, 0.2, &mut topo_rng);
+    let w = EdgeWeights::random(&g, &ShortestPath, &mut topo_rng);
+    let plan = FaultPlan::Storm(StormConfig::default());
+
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = plan.schedule(&g, &mut rng);
+        let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+        let report = run_chaos_sync(&mut sim, &schedule, &ChaosOptions::default()).unwrap();
+        (schedule, report)
+    };
+    let (s1, r1) = run(99);
+    let (s2, r2) = run(99);
+    assert_eq!(s1, s2, "same seed, same schedule");
+    assert_eq!(r1, r2, "same seed, same recovery report");
+    let (s3, _) = run(100);
+    assert_ne!(s1, s3, "different seed, different storm");
+}
+
+#[test]
+fn bridge_failure_exposes_transient_blackholes_but_not_partition_blame() {
+    // path(4): failing the middle link partitions the graph. The audit
+    // right after the event sees stale routes over the dead link as
+    // blackholes; at quiescence the disconnected pairs are *not* counted
+    // (the topology, not the protocol, is at fault).
+    let g = generators::path(4);
+    let w = EdgeWeights::uniform(&g, 1u64);
+    let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+    let schedule = FaultSchedule {
+        events: vec![FaultEvent::FailLink { u: 1, v: 2 }],
+    };
+    let report = run_chaos_sync(&mut sim, &schedule, &ChaosOptions::default()).unwrap();
+    assert!(report.quiesced());
+    let rec = &report.events[0];
+    // The sync fail_link flushes routes over the dead link, so the pairs
+    // it served are immediately blackholed... no: flushed routes are on
+    // still-connected pairs only if an alternate exists. Here 0→1 kept
+    // its route; 0→3 is cross-partition, hence not audited. What remains
+    // transiently blackholed is nothing — but at *quiescence* both
+    // blackholes and loops must be zero either way.
+    assert_eq!(rec.blackholes, 0);
+    assert_eq!(rec.loops, 0);
+
+    // A crash, by contrast, leaves neighbours pointing at a flushed node:
+    // connected pairs whose chain dead-ends there are transient blackholes.
+    let g2 = generators::path(3);
+    let w2 = EdgeWeights::uniform(&g2, 1u64);
+    let mut sim2 = Simulator::from_edge_weights(&g2, &ShortestPath, &w2);
+    let schedule2 = FaultSchedule {
+        events: vec![FaultEvent::CrashNode { node: 1 }],
+    };
+    let report2 = run_chaos_sync(&mut sim2, &schedule2, &ChaosOptions::default()).unwrap();
+    let rec2 = &report2.events[0];
+    assert!(
+        rec2.transient_blackholes > 0,
+        "0 → 2 dead-ends at the rebooted relay before re-convergence"
+    );
+    assert!(report2.quiesced());
+    assert_eq!(rec2.blackholes, 0);
+}
+
+#[test]
+fn partition_and_heal_events_round_trip() {
+    let mut rng = StdRng::seed_from_u64(4003);
+    let g = generators::gnp_connected(12, 0.3, &mut rng);
+    let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+    let side = vec![0, 1, 2];
+    let schedule = FaultSchedule {
+        events: vec![
+            FaultEvent::Partition { side: side.clone() },
+            FaultEvent::HealPartition { side },
+        ],
+    };
+    let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+    let report = run_chaos_sync(&mut sim, &schedule, &ChaosOptions::default()).unwrap();
+    assert!(report.quiesced());
+    assert_eq!(report.final_blackholes(), 0);
+    // Healed: full-topology truth again.
+    for t in g.nodes() {
+        let tree = dijkstra(&g, &w, &ShortestPath, t);
+        for u in g.nodes() {
+            if u != t {
+                assert_eq!(
+                    ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                    Ordering::Equal
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn async_storm_with_link_chaos_still_heals() {
+    let mut rng = StdRng::seed_from_u64(4004);
+    let g = generators::gnp_connected(10, 0.35, &mut rng);
+    let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+    let chaos = LinkChaos {
+        loss: 0.25,
+        duplicate: 0.2,
+        extra_delay: 15,
+    };
+    let mut events: Vec<FaultEvent> = g
+        .edges()
+        .map(|(_, (u, v))| FaultEvent::PerturbLink { u, v, chaos })
+        .collect();
+    let (_, (fu, fv)) = g.edges().next().unwrap();
+    events.push(FaultEvent::FailLink { u: fu, v: fv });
+    events.push(FaultEvent::RestoreLink { u: fu, v: fv });
+    let schedule = FaultSchedule { events };
+    let mut sim = AsyncSimulator::from_edge_weights(&g, &ShortestPath, &w, 9);
+    let report = run_chaos_async(&mut sim, &schedule, &mut rng, &ChaosOptions::default()).unwrap();
+    assert!(
+        report.quiesced(),
+        "loss/dup/delay must not prevent quiescence"
+    );
+    assert_eq!(report.final_blackholes(), 0);
+    assert_eq!(report.final_loops(), 0);
+    for t in g.nodes() {
+        let tree = dijkstra(&g, &w, &ShortestPath, t);
+        for u in g.nodes() {
+            if u != t {
+                assert_eq!(
+                    ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                    Ordering::Equal,
+                    "{u} → {t} under chaos"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_events_surface_as_errors_not_panics() {
+    let g = generators::path(4);
+    let w = EdgeWeights::uniform(&g, 1u64);
+    let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+    let schedule = FaultSchedule {
+        events: vec![FaultEvent::FailLink { u: 0, v: 3 }],
+    };
+    let err = run_chaos_sync(&mut sim, &schedule, &ChaosOptions::default()).unwrap_err();
+    assert_eq!(err, cpr_sim::SimError::NotAnEdge { u: 0, v: 3 });
+}
+
+/// A miniature dispute-wheel algebra (the BAD GADGET shape, kept local
+/// to avoid a dev-dependency cycle with `cpr-bgp`; the full cross-crate
+/// regression lives in the workspace-level `chaos_resilience` test).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Wheel {
+    Good,
+    Direct,
+    Ring,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct WheelAlgebra;
+
+impl RoutingAlgebra for WheelAlgebra {
+    type W = Wheel;
+
+    fn name(&self) -> String {
+        "mini-dispute-wheel".to_owned()
+    }
+
+    fn combine(&self, a: &Wheel, b: &Wheel) -> PathWeight<Wheel> {
+        match (a, b) {
+            (Wheel::Ring, Wheel::Direct) => PathWeight::Finite(Wheel::Good),
+            _ => PathWeight::Infinite,
+        }
+    }
+
+    fn compare(&self, a: &Wheel, b: &Wheel) -> Ordering {
+        a.cmp(b)
+    }
+}
+
+#[test]
+fn dispute_wheel_is_flagged_oscillating_without_spinning_to_budget() {
+    let graph =
+        cpr_graph::Graph::from_edges(4, [(1, 0), (2, 0), (3, 0), (1, 2), (2, 3), (3, 1)]).unwrap();
+    let arc = |u: NodeId, v: NodeId| -> Option<Wheel> {
+        match (u, v) {
+            (1, 0) | (2, 0) | (3, 0) => Some(Wheel::Direct),
+            (1, 2) | (2, 3) | (3, 1) => Some(Wheel::Ring),
+            _ => None,
+        }
+    };
+    let alg = WheelAlgebra;
+    let mut sim = Simulator::new(&graph, &alg, arc);
+    let opts = ChaosOptions {
+        round_budget: 100_000,
+        ..ChaosOptions::default()
+    };
+    let schedule = FaultSchedule { events: vec![] };
+    let report = run_chaos_sync(&mut sim, &schedule, &opts).unwrap();
+    assert!(report.oscillating(), "dispute wheel must be flagged");
+    assert!(!report.quiesced());
+    // The state-fingerprint detector catches the cycle almost instantly
+    // instead of burning the 100k-round budget.
+    assert!(
+        report.initial.steps < 100,
+        "cut off after {} rounds — detector did not fire",
+        report.initial.steps
+    );
+    // The plain report agrees: the budgeted run does not converge.
+    let mut sim2 = Simulator::new(&graph, &alg, arc);
+    assert!(!sim2.run_to_convergence(500).converged);
+    // And the audit of the mid-oscillation state is reportable (no panic).
+    let _ = audit_forwarding(&sim2);
+}

@@ -36,6 +36,7 @@ fn main() {
         report.messages,
         report.converged
     );
+    assert!(report.converged, "monotone policy must converge");
 
     // ── 2. Asynchronous convergence: same fixpoint, despite chaos. ──
     let mut async_sim = AsyncSimulator::from_edge_weights(&g, &ws, &w, 20);
@@ -62,7 +63,9 @@ fn main() {
     // ── 3. Failure injection: withdrawals propagate, routes heal. ──
     let hub = g.nodes().max_by_key(|&v| g.degree(v)).unwrap();
     let (victim, _) = g.neighbors(hub).next().unwrap();
-    async_sim.fail_link(hub, victim, &mut rng);
+    async_sim
+        .fail_link(hub, victim, &mut rng)
+        .expect("hub link exists");
     let heal = async_sim.run(&mut rng, 50_000_000);
     println!(
         "failed the hub link ({hub}, {victim}): {} more events to re-converge",

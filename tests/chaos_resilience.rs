@@ -1,0 +1,83 @@
+//! Cross-crate chaos regressions: the BAD GADGET dispute wheel of
+//! `cpr-bgp` must be *reported* as non-convergent by the simulator and
+//! *flagged* as oscillating by the chaos harness (never silently spun to
+//! a round budget that makes it look converged), and a seeded storm on a
+//! monotone policy must heal end to end — the properties the `chaos`
+//! bench binary gates in CI, pinned here as plain tests.
+
+use std::cmp::Ordering;
+
+use cpr_algebra::policies::ShortestPath;
+use cpr_algebra::RoutingAlgebra;
+use cpr_bgp::{bad_gadget, DisputeAlgebra};
+use cpr_graph::{generators, EdgeWeights};
+use cpr_paths::dijkstra;
+use cpr_sim::{run_chaos_sync, ChaosOptions, FaultPlan, FaultSchedule, Simulator, StormConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn bad_gadget_reports_converged_false_not_a_silent_timeout() {
+    let (g, arc) = bad_gadget();
+    let mut sim = Simulator::new(&g, &DisputeAlgebra, arc);
+    let report = sim.run_to_convergence(10_000);
+    assert!(
+        !report.converged,
+        "the dispute wheel must not be reported as converged"
+    );
+    // The report reached the budget — the caller must check `converged`;
+    // `rounds` alone is indistinguishable from a slow success.
+    assert_eq!(report.rounds, 10_000);
+}
+
+#[test]
+fn bad_gadget_is_flagged_oscillating_by_the_chaos_harness() {
+    let (g, arc) = bad_gadget();
+    let mut sim = Simulator::new(&g, &DisputeAlgebra, arc);
+    let schedule = FaultSchedule { events: Vec::new() };
+    let opts = ChaosOptions {
+        round_budget: 1_000_000,
+        ..ChaosOptions::default()
+    };
+    let report = run_chaos_sync(&mut sim, &schedule, &opts).unwrap();
+    assert!(report.oscillating(), "dispute wheel must be flagged");
+    assert!(!report.quiesced());
+    assert!(
+        report.initial.steps < 100,
+        "the detector must cut the wheel off after a revisited RIB state \
+         ({} rounds is a spin to budget)",
+        report.initial.steps
+    );
+}
+
+#[test]
+fn seeded_storm_on_a_monotone_policy_heals_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(0xC4A05);
+    let g = generators::gnp_connected(18, 0.2, &mut rng);
+    let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+    let schedule = FaultPlan::Storm(StormConfig {
+        events: 10,
+        ..StormConfig::default()
+    })
+    .schedule(&g, &mut rng);
+
+    let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+    let report = run_chaos_sync(&mut sim, &schedule, &ChaosOptions::default()).unwrap();
+    assert!(report.quiesced());
+    assert!(!report.oscillating());
+    assert_eq!(report.final_blackholes(), 0);
+    assert_eq!(report.final_loops(), 0);
+
+    // heal_at_end restores the original topology: dijkstra truth holds.
+    for t in g.nodes() {
+        let tree = dijkstra(&g, &w, &ShortestPath, t);
+        for u in g.nodes() {
+            if u != t {
+                assert_eq!(
+                    ShortestPath.compare_pw(&sim.weight(u, t), tree.weight(u)),
+                    Ordering::Equal,
+                    "{u} → {t} after the healed storm"
+                );
+            }
+        }
+    }
+}

@@ -232,7 +232,7 @@ fn failure_injection_end_to_end() {
             }
         })
         .expect("hub has a non-bridge edge");
-    sim.fail_link(u, v);
+    sim.fail_link(u, v).unwrap();
     assert!(sim.run_to_convergence(400).converged);
 
     let g2 = compact_policy_routing::graph::Graph::from_edges(
@@ -272,7 +272,7 @@ fn consistent_unreachability() {
     let tables = DestTable::build(&g, &w, &alg);
     assert!(route(&tables, &g, 0, 3).is_err());
     let mut sim = Simulator::from_edge_weights(&g, &alg, &w);
-    sim.run_to_convergence(50);
+    assert!(sim.run_to_convergence(50).converged);
     assert!(sim.weight(0, 3).is_infinite());
     assert!(sim.weight(0, 2).is_finite());
 }
@@ -299,7 +299,8 @@ fn converged_ribs_compile_into_forwarding_tables() {
                         return None;
                     }
                     sim.route(u, t)
-                        .map(|r| g.port_towards(u, r.next_hop()).expect("RIB edge exists"))
+                        .map(|r| r.next_hop().expect("non-trivial route has a next hop"))
+                        .map(|hop| g.port_towards(u, hop).expect("RIB edge exists"))
                 })
                 .collect()
         })
