@@ -3,11 +3,13 @@
 //! curated unit samples.
 
 use cpr_algebra::{
-    check_all_properties, check_stretch, cyclic_structure, measured_stretch,
+    check_all_properties, check_stretch, cyclic_structure, lex_transfer, measured_stretch,
     policies::{
-        self, BoundedShortestPath, Capacity, MostReliablePath, ShortestPath, UsablePath, WidestPath,
+        self, BoundedShortestPath, Capacity, HopCount, MostReliablePath, ShortestPath, UsablePath,
+        WidestPath,
     },
-    CyclicStructure, Lex, PathWeight, Property, Ratio, RoutingAlgebra, StretchVerdict, Subalgebra,
+    product_isotone, product_monotone, product_strictly_monotone, CyclicStructure, Lex, PathWeight,
+    Property, Ratio, RoutingAlgebra, StretchVerdict, Subalgebra,
 };
 use proptest::prelude::*;
 
@@ -208,4 +210,188 @@ fn weigh_path_directions_agree_for_commutative_algebras() {
         ws.weigh_path_left(reversed.iter()),
         "commutative algebras are direction-blind"
     );
+}
+
+/// Checks the §2.1 semigroup/order laws on every pair and triple drawn
+/// from `ws`: ⊕ associates (with φ absorbing on both sides), ⪯ is
+/// reflexive, total (compare is antisymmetric under operand swap) and
+/// transitive. Plain asserts — the vendored `prop_assert*` macros
+/// forward to `assert*` anyway.
+fn assert_algebra_laws<A: RoutingAlgebra>(alg: &A, ws: &[A::W])
+where
+    A::W: Clone + PartialEq + std::fmt::Debug,
+{
+    use std::cmp::Ordering;
+    for a in ws {
+        assert_eq!(
+            alg.compare(a, a),
+            Ordering::Equal,
+            "{}: ⪯ is not reflexive",
+            alg.name()
+        );
+        for b in ws {
+            assert_eq!(
+                alg.compare(a, b),
+                alg.compare(b, a).reverse(),
+                "{}: compare({a:?}, {b:?}) is not the reverse of its swap",
+                alg.name()
+            );
+            for c in ws {
+                let left = alg.combine_pw(&alg.combine(a, b), &PathWeight::Finite(c.clone()));
+                let right = alg.combine_pw(&PathWeight::Finite(a.clone()), &alg.combine(b, c));
+                assert_eq!(
+                    left,
+                    right,
+                    "{}: ⊕ is not associative on ({a:?}, {b:?}, {c:?})",
+                    alg.name()
+                );
+                if alg.compare(a, b) != Ordering::Greater && alg.compare(b, c) != Ordering::Greater
+                {
+                    assert_ne!(
+                        alg.compare(a, c),
+                        Ordering::Greater,
+                        "{}: ⪯ is not transitive on ({a:?}, {b:?}, {c:?})",
+                        alg.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The semigroup and total-order laws hold for every concrete
+    /// algebra in Table 1 — S, W, R, U, WS = S×W, SW = W×S, hop count,
+    /// and the bounded-cost algebra — on random weight triples, φ
+    /// included (bounded-cost compositions overflow into φ).
+    #[test]
+    fn semigroup_and_order_laws_hold_for_every_table1_algebra(
+        raw in proptest::collection::vec(1u64..400, 3..7),
+    ) {
+        assert_algebra_laws(&ShortestPath, &raw);
+        assert_algebra_laws(
+            &HopCount,
+            &raw.iter().map(|&v| v % 10 + 1).collect::<Vec<_>>(),
+        );
+        assert_algebra_laws(
+            &BoundedShortestPath::new(600),
+            &raw.iter().map(|&v| v % 500 + 1).collect::<Vec<_>>(),
+        );
+        assert_algebra_laws(
+            &WidestPath,
+            &raw.iter().map(|&v| cap(v)).collect::<Vec<_>>(),
+        );
+        assert_algebra_laws(
+            &MostReliablePath,
+            &raw
+                .iter()
+                .map(|&v| Ratio::new(v % 999 + 1, 1000).unwrap())
+                .collect::<Vec<_>>(),
+        );
+        assert_algebra_laws(&UsablePath, &[policies::Usable, policies::Usable]);
+        assert_algebra_laws(
+            &policies::widest_shortest(),
+            &raw.iter().map(|&v| (v, cap(v % 97 + 1))).collect::<Vec<_>>(),
+        );
+        assert_algebra_laws(
+            &policies::shortest_widest(),
+            &raw.iter().map(|&v| (cap(v % 97 + 1), v)).collect::<Vec<_>>(),
+        );
+    }
+
+    /// The remaining Table 1 rows — U, hop count, bounded cost — keep
+    /// their declared property flags on random samples, completing the
+    /// declared-⊆-holding sweep over all eight concrete algebras.
+    #[test]
+    fn declared_flags_hold_for_u_hopcount_and_bounded(
+        raw in proptest::collection::vec(1u64..500, 3..8),
+    ) {
+        macro_rules! check {
+            ($alg:expr, $sample:expr) => {{
+                let alg = $alg;
+                let holding = check_all_properties(&alg, &$sample).holding();
+                for p in alg.declared_properties().iter() {
+                    prop_assert!(
+                        holding.contains(p),
+                        "{}: declared {p} refuted on random sample",
+                        alg.name()
+                    );
+                }
+            }};
+        }
+        check!(UsablePath, [policies::Usable]);
+        check!(HopCount, raw.iter().map(|&v| v % 8 + 1).collect::<Vec<_>>());
+        // Keep the sample inside the carrier (weights ≤ bound) so the
+        // checker exercises both finite and φ compositions.
+        check!(
+            BoundedShortestPath::new(700),
+            raw.iter().map(|&v| v % 700 + 1).collect::<Vec<_>>()
+        );
+    }
+
+    /// Proposition 1 on random samples: the lexicographic product's
+    /// declared set is exactly `lex_transfer` of the factors' declared
+    /// sets, the M/I/SM transfer rules agree with it flag-by-flag, and
+    /// every transferred property *holds empirically* on a random cross
+    /// sample of the product's carrier.
+    #[test]
+    fn proposition1_transfer_is_sound_on_random_samples(
+        raw in proptest::collection::vec(1u64..200, 3..6),
+    ) {
+        macro_rules! check_product {
+            ($a:expr, $b:expr, $wa:expr, $wb:expr) => {{
+                let prod = Lex::new($a, $b);
+                let da = $a.declared_properties();
+                let db = $b.declared_properties();
+                let transferred = lex_transfer(&da, &db);
+                prop_assert_eq!(
+                    prod.declared_properties(),
+                    transferred,
+                    "{}: declared set is not lex_transfer of the factors",
+                    prod.name()
+                );
+                // Rule-by-rule agreement (Prop. 1 (i)–(iii)).
+                prop_assert_eq!(
+                    transferred.contains(Property::Monotone),
+                    product_monotone(&da, &db)
+                );
+                prop_assert_eq!(
+                    transferred.contains(Property::Isotone),
+                    product_isotone(&da, &db)
+                );
+                prop_assert_eq!(
+                    transferred.contains(Property::StrictlyMonotone),
+                    product_strictly_monotone(&da, &db)
+                );
+                // Soundness: the transferred flags survive an empirical
+                // check on the random cross sample.
+                let sample: Vec<_> = $wa
+                    .iter()
+                    .flat_map(|x| $wb.iter().map(move |y| (x.clone(), y.clone())))
+                    .collect();
+                let holding = check_all_properties(&prod, &sample).holding();
+                for p in transferred.iter() {
+                    prop_assert!(
+                        holding.contains(p),
+                        "{}: transferred {p} refuted empirically",
+                        prod.name()
+                    );
+                }
+            }};
+        }
+        let costs: Vec<u64> = raw.clone();
+        let caps: Vec<Capacity> = raw.iter().map(|&v| cap(v % 97 + 1)).collect();
+        let ratios: Vec<Ratio> = raw
+            .iter()
+            .map(|&v| Ratio::new(v % 199 + 1, 200).unwrap())
+            .collect();
+        let usable = [policies::Usable];
+        check_product!(ShortestPath, WidestPath, costs, caps); // WS
+        check_product!(WidestPath, ShortestPath, caps, costs); // SW
+        check_product!(ShortestPath, MostReliablePath, costs, ratios);
+        check_product!(MostReliablePath, UsablePath, ratios, usable);
+        check_product!(WidestPath, UsablePath, caps, usable);
+    }
 }

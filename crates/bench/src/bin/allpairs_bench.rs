@@ -22,7 +22,9 @@ use std::time::Instant;
 
 use cpr_algebra::policies::ShortestPath;
 use cpr_algebra::RoutingAlgebra;
-use cpr_bench::{experiment_rng, experiment_seed, Json, TextTable, Topology};
+use cpr_bench::{
+    experiment_rng, experiment_seed, timing_enabled, timing_field, Json, TextTable, Topology,
+};
 use cpr_graph::EdgeWeights;
 use cpr_paths::AllPairs;
 use cpr_plane::compile_with_threads;
@@ -54,9 +56,13 @@ fn thread_sweep() -> Vec<usize> {
 }
 
 fn best_of<R>(mut run: impl FnMut() -> R) -> (f64, R) {
+    // With CPR_BENCH_TIMING=0 the timings render as null anyway, so one
+    // trial suffices — the sweep still exercises every thread count and
+    // checks every result against the serial reference.
+    let trials = if timing_enabled() { TRIALS } else { 1 };
     let mut best = f64::INFINITY;
     let mut out = None;
-    for _ in 0..TRIALS {
+    for _ in 0..trials {
         let start = Instant::now();
         let r = run();
         best = best.min(start.elapsed().as_secs_f64());
@@ -71,6 +77,7 @@ fn main() {
         std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_allpairs.json".to_string());
     let sweep = thread_sweep();
 
+    let obs = cpr_obs::Obs::from_env();
     let mut rng = experiment_rng("allpairs-bench", n);
     let g = Topology::ScaleFree.build(n, &mut rng);
     let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
@@ -124,22 +131,32 @@ fn main() {
             format!("{plane_ms:.1}"),
             format!("{:.2}×", serial_plane_ms / plane_ms),
         ]);
+        obs.incr("bench.sweep_points");
         rows.push(Json::obj([
             ("threads", Json::int(threads)),
-            ("allpairs_ms", Json::float(ap_ms)),
-            ("allpairs_speedup", Json::float(serial_ap_ms / ap_ms)),
-            ("compile_ms", Json::float(plane_ms)),
-            ("compile_speedup", Json::float(serial_plane_ms / plane_ms)),
+            ("allpairs_ms", timing_field(ap_ms)),
+            ("allpairs_speedup", timing_field(serial_ap_ms / ap_ms)),
+            ("compile_ms", timing_field(plane_ms)),
+            ("compile_speedup", timing_field(serial_plane_ms / plane_ms)),
         ]));
     }
     println!("{table}");
+
+    // Logical plane shape: thread-count-invariant (the digest check above
+    // proves it), so these land in the embedded registry snapshot.
+    obs.set_gauge("plane.headers", serial_plane.header_count() as i64);
+    obs.set_gauge("bench.nodes", n as i64);
+    obs.set_gauge("bench.edges", g.edge_count() as i64);
 
     let report = Json::obj([
         ("bench", Json::str("allpairs")),
         ("n", Json::int(n)),
         ("edges", Json::int(g.edge_count())),
         ("topology", Json::str("scale-free")),
-        ("trials", Json::int(TRIALS)),
+        (
+            "trials",
+            Json::int(if timing_enabled() { TRIALS } else { 1 }),
+        ),
         (
             "hardware_threads",
             Json::int(std::thread::available_parallelism().map_or(1, usize::from)),
@@ -148,10 +165,11 @@ fn main() {
             "seed",
             Json::str(format!("{:#018x}", experiment_seed("allpairs-bench", n))),
         ),
-        ("serial_allpairs_ms", Json::float(serial_ap_ms)),
-        ("serial_compile_ms", Json::float(serial_plane_ms)),
+        ("serial_allpairs_ms", timing_field(serial_ap_ms)),
+        ("serial_compile_ms", timing_field(serial_plane_ms)),
         ("plane_digest", Json::str(format!("{serial_digest:016x}"))),
         ("sweep", Json::Arr(rows)),
+        ("metrics", obs.registry.render_json()),
     ]);
     std::fs::write(&out_path, report.to_pretty()).expect("write bench report");
     println!("wrote {out_path}");

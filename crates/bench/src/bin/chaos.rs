@@ -43,8 +43,8 @@ use cpr_paths::dijkstra;
 use cpr_plane::{SelfHealingPlane, Served};
 use cpr_routing::{DestTable, RoutingScheme};
 use cpr_sim::{
-    run_chaos_async, run_chaos_sync, AsyncSimulator, ChaosOptions, FaultPlan, RecoveryReport,
-    Simulator, StormConfig,
+    run_chaos_async_obs, run_chaos_sync, run_chaos_sync_obs, AsyncSimulator, ChaosOptions,
+    FaultPlan, RecoveryReport, Simulator, StormConfig,
 };
 
 const DEFAULT_N: usize = 48;
@@ -87,7 +87,9 @@ fn assert_dijkstra_truth<A: RoutingAlgebra>(
 }
 
 /// Audit + tabulate one finished storm; panics on any robustness
-/// violation (non-quiescence, residual blackholes or loops).
+/// violation (non-quiescence, residual blackholes or loops). The settle
+/// percentiles come from the report's [`cpr_obs::Histogram`], the same
+/// exact-bucket accumulator the obs registry aggregates across storms.
 fn gate_report(label: &str, report: &RecoveryReport, table: &mut TextTable) -> Json {
     assert!(report.quiesced(), "{label}: storm failed to quiesce");
     assert!(!report.oscillating(), "{label}: monotone policy oscillated");
@@ -144,6 +146,7 @@ fn storm_pair<A: cpr_algebra::SampleWeights>(
     n: usize,
     events: usize,
     table: &mut TextTable,
+    obs: &cpr_obs::Obs,
 ) -> Vec<Json> {
     let mut rng = experiment_rng(&format!("chaos-{name}"), n);
     let p = (2.5 * (n as f64).ln() / n as f64).min(0.5);
@@ -158,7 +161,8 @@ fn storm_pair<A: cpr_algebra::SampleWeights>(
 
     let schedule = plan.schedule(&g, &mut rng);
     let mut sim = Simulator::from_edge_weights(&g, alg, &w);
-    let report = run_chaos_sync(&mut sim, &schedule, &opts).expect("sync storm events are valid");
+    let report =
+        run_chaos_sync_obs(&mut sim, &schedule, &opts, obs).expect("sync storm events are valid");
     assert_dijkstra_truth(&format!("{name}/sync"), alg, &g, &w, |u, t| {
         sim.weight(u, t)
     });
@@ -166,7 +170,7 @@ fn storm_pair<A: cpr_algebra::SampleWeights>(
 
     let schedule = plan.schedule(&g, &mut rng);
     let mut sim = AsyncSimulator::from_edge_weights(&g, alg, &w, MAX_DELAY);
-    let report = run_chaos_async(&mut sim, &schedule, &mut rng, &opts)
+    let report = run_chaos_async_obs(&mut sim, &schedule, &mut rng, &opts, obs)
         .expect("async storm events are valid");
     assert_dijkstra_truth(&format!("{name}/async"), alg, &g, &w, |u, t| {
         sim.weight(u, t)
@@ -210,7 +214,7 @@ fn oscillation_drill() -> Json {
 
 /// Fails a routed, non-bridge link under a compiled plane and drills the
 /// detect → fallback → repair → agree cycle.
-fn self_healing_drill(n: usize) -> Json {
+fn self_healing_drill(n: usize, obs: &cpr_obs::Obs) -> Json {
     let mut rng = experiment_rng("chaos-heal", n);
     let p = (2.5 * (n as f64).ln() / n as f64).min(0.5);
     let g = generators::gnp_connected(n, p, &mut rng);
@@ -279,7 +283,9 @@ fn self_healing_drill(n: usize) -> Json {
     }
     assert_eq!(pre_fallback as usize, stale.dirty_pairs);
 
-    let stats = healing.repair(&scheme2, &g2).expect("repair succeeds");
+    let stats = healing
+        .repair_obs(&scheme2, &g2, obs)
+        .expect("repair succeeds");
     assert!(
         !stats.full_rebuild,
         "one removed link must patch, not rebuild"
@@ -307,6 +313,7 @@ fn self_healing_drill(n: usize) -> Json {
     );
     let c = healing.counters();
     assert_eq!(c.failed, 0, "no query may fail across the drill");
+    healing.record_health(obs);
 
     Json::obj([
         ("scheme", Json::str(scheme.name())),
@@ -342,15 +349,36 @@ fn main() {
         "settle max",
     ]);
 
+    // All storm metrics are logical (event counts, settle-step
+    // histograms), so the registry snapshot embedded below is
+    // byte-deterministic at a fixed seed. CPR_TRACE additionally streams
+    // span/event lines for every fault event without touching the report.
+    let obs = cpr_obs::Obs::from_env();
+
     let mut storms = Vec::new();
-    storms.extend(storm_pair("shortest", &ShortestPath, n, events, &mut table));
-    storms.extend(storm_pair("widest", &WidestPath, n, events, &mut table));
+    storms.extend(storm_pair(
+        "shortest",
+        &ShortestPath,
+        n,
+        events,
+        &mut table,
+        &obs,
+    ));
+    storms.extend(storm_pair(
+        "widest",
+        &WidestPath,
+        n,
+        events,
+        &mut table,
+        &obs,
+    ));
     storms.extend(storm_pair(
         "widest-shortest",
         &policies::widest_shortest(),
         n,
         events,
         &mut table,
+        &obs,
     ));
 
     println!("{table}");
@@ -366,7 +394,7 @@ fn main() {
         }
     });
 
-    let heal = self_healing_drill(n);
+    let heal = self_healing_drill(n, &obs);
     println!("self-healing: detect → fallback → repair → agree ✓");
 
     let report = Json::obj([
@@ -381,6 +409,7 @@ fn main() {
         ("storms", Json::Arr(storms)),
         ("oscillation", oscillation),
         ("self_healing", heal),
+        ("metrics", obs.registry.render_json()),
     ]);
     std::fs::write(&out_path, report.to_pretty()).expect("write bench report");
     println!("\nwrote {out_path}");

@@ -53,6 +53,11 @@ fn main() {
             let generator = $generator;
             let sample = $sample;
             jobs.push(Box::new(move || {
+                let obs = cpr_obs::global();
+                let span = obs.span(
+                    "classify.algebra",
+                    &[("algebra", cpr_obs::Json::str(alg.name()))],
+                );
                 let report = check_all_properties(&alg, &sample);
                 let holding = report.holding();
                 // Lemma 2: does some generator's cyclic subsemigroup embed
@@ -63,6 +68,22 @@ fn main() {
                 for p in alg.declared_properties().iter() {
                     assert!(holding.contains(p), "{}: declared {p} refuted", alg.name());
                 }
+                obs.incr("classify.algebras");
+                obs.record("classify.properties_holding", holding.iter().count() as u64);
+                if holding.is_regular() {
+                    obs.incr("classify.regular");
+                }
+                if embeds {
+                    obs.incr("classify.embeds_shortest_path");
+                }
+                span.event(
+                    "classify.verdict",
+                    &[
+                        ("properties", cpr_obs::Json::str(holding.to_string())),
+                        ("embeds", cpr_obs::Json::Bool(embeds)),
+                        ("delimited", cpr_obs::Json::Bool(delimited)),
+                    ],
+                );
                 vec![
                     $name.into(),
                     format!("{holding}"),

@@ -23,9 +23,11 @@
 use std::time::Instant;
 
 use cpr_algebra::policies::{ShortestPath, WidestPath};
-use cpr_bench::{experiment_rng, experiment_seed, Json, TextTable, Topology};
+use cpr_bench::{
+    experiment_rng, experiment_seed, timing_enabled, timing_field, Json, TextTable, Topology,
+};
 use cpr_graph::{EdgeWeights, Graph, NodeId};
-use cpr_plane::{compile, serve, EngineConfig, TrafficPattern};
+use cpr_plane::{compile, serve_obs, EngineConfig, TrafficPattern};
 use cpr_routing::{route, CowenScheme, DestTable, LandmarkStrategy, RoutingScheme, TzTreeRouting};
 
 const DEFAULT_N: usize = 512;
@@ -63,10 +65,12 @@ fn bench_scheme<S: RoutingScheme + Sync>(
     g: &Graph,
     queries: &[(NodeId, NodeId)],
     table: &mut TextTable,
+    obs: &cpr_obs::Obs,
 ) -> Json
 where
     S::Header: Send,
 {
+    let trials = if timing_enabled() { TRIALS } else { 1 };
     let compile_start = Instant::now();
     let plane = compile(scheme, g).expect("scheme compiles");
     let compile_ms = compile_start.elapsed().as_secs_f64() * 1e3;
@@ -74,7 +78,7 @@ where
 
     let mut live_secs = f64::INFINITY;
     let mut live_hops = 0;
-    for _ in 0..TRIALS {
+    for _ in 0..trials {
         let (secs, hops) = live_serve(scheme, g, queries);
         live_secs = live_secs.min(secs);
         live_hops = hops;
@@ -85,8 +89,14 @@ where
     let mut compiled_hops = 0;
     for shards in SHARDS {
         let mut best = 0.0f64;
-        for _ in 0..TRIALS {
-            let report = serve(&plane, queries, None, &EngineConfig::with_shards(shards));
+        for _ in 0..trials {
+            let report = serve_obs(
+                &plane,
+                queries,
+                None,
+                &EngineConfig::with_shards(shards),
+                obs,
+            );
             assert!(
                 report.failures.is_empty(),
                 "{}: {} failures",
@@ -113,15 +123,15 @@ where
 
     Json::obj([
         ("scheme", Json::str(scheme.name())),
-        ("compile_ms", Json::float(compile_ms)),
-        ("live_qps", Json::float(live_qps)),
+        ("compile_ms", timing_field(compile_ms)),
+        ("live_qps", timing_field(live_qps)),
         (
             "plane_qps_by_shards",
             Json::obj(
                 SHARDS
                     .iter()
                     .zip(&shard_qps)
-                    .map(|(s, &qps)| (s.to_string(), Json::float(qps))),
+                    .map(|(s, &qps)| (s.to_string(), timing_field(qps))),
             ),
         ),
         (
@@ -139,6 +149,7 @@ fn main() {
         std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_plane.json".to_string());
     let threads = cpr_core::par::thread_count();
 
+    let obs = cpr_obs::Obs::from_env();
     let mut rng = experiment_rng("plane-throughput", n);
     let g = Topology::ScaleFree.build(n, &mut rng);
     let sp = EdgeWeights::random(&g, &ShortestPath, &mut rng);
@@ -167,12 +178,14 @@ fn main() {
             &g,
             &queries,
             &mut table,
+            &obs,
         ),
         bench_scheme(
             &TzTreeRouting::spanning(&g, &wp, &WidestPath),
             &g,
             &queries,
             &mut table,
+            &obs,
         ),
         bench_scheme(
             &CowenScheme::build(
@@ -185,6 +198,7 @@ fn main() {
             &g,
             &queries,
             &mut table,
+            &obs,
         ),
     ];
 
@@ -196,13 +210,27 @@ fn main() {
         ("edges", Json::int(g.edge_count())),
         ("topology", Json::str("scale-free")),
         ("queries", Json::int(queries_n)),
-        ("trials", Json::int(TRIALS)),
-        ("threads", Json::int(threads)),
+        (
+            "trials",
+            Json::int(if timing_enabled() { TRIALS } else { 1 }),
+        ),
+        // The compile thread count tracks CPR_THREADS; with timing
+        // disabled it is nulled so the report stays byte-identical
+        // across thread counts (the compiled plane's digest already is).
+        (
+            "threads",
+            if timing_enabled() {
+                Json::int(threads)
+            } else {
+                Json::Null
+            },
+        ),
         (
             "seed",
             Json::str(format!("{:#018x}", experiment_seed("plane-throughput", n))),
         ),
         ("schemes", Json::Arr(schemes)),
+        ("metrics", obs.registry.render_json()),
     ]);
     std::fs::write(&out_path, report.to_pretty()).expect("write bench report");
     println!("wrote {out_path}");

@@ -23,8 +23,28 @@ use cpr_graph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-pub mod json;
-pub use json::Json;
+/// The workspace JSON emitter now lives in `cpr-obs` (one emitter for
+/// BENCH reports and trace lines alike); re-exported here so existing
+/// `cpr_bench::Json` callers keep compiling.
+pub use cpr_obs::Json;
+
+/// `false` when `CPR_BENCH_TIMING=0`: bench binaries then skip repeated
+/// timing trials and render every wall-clock field as `null`, making
+/// whole `BENCH_*.json` files byte-deterministic (the mode the
+/// determinism tests pin). Defaults to `true`.
+pub fn timing_enabled() -> bool {
+    std::env::var("CPR_BENCH_TIMING").map_or(true, |v| v != "0")
+}
+
+/// `ms` as a JSON float, or `null` when timing is disabled — wall-clock
+/// fields must never reach a pinned report.
+pub fn timing_field(ms: f64) -> Json {
+    if timing_enabled() {
+        Json::float(ms)
+    } else {
+        Json::Null
+    }
+}
 
 /// A plain-text table printer with right-aligned columns.
 ///

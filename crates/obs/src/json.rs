@@ -1,0 +1,421 @@
+//! A minimal JSON emitter for machine-readable reports.
+//!
+//! The container has no serde, and the workspace's reports are flat trees
+//! of numbers and strings — so this module hand-rolls exactly the subset
+//! of RFC 8259 the `BENCH_*.json` artifacts and trace sinks need: objects
+//! with ordered keys, arrays, strings, integers, floats and booleans.
+//! Non-finite floats serialize as `null` (JSON has no NaN/∞).
+//!
+//! This is the *single* JSON writer of the workspace: the bench crate
+//! re-exports it, and every `BENCH_*.json` and `CPR_TRACE` line is
+//! produced through it, so float formatting (`{:?}`: `1.0`, not `1`) and
+//! string escaping cannot drift between emitters.
+//!
+//! [`validate`] is the matching checker — a recursive-descent recognizer
+//! for the same subset, used by the `obs-smoke` CI gate to reject
+//! malformed JSON-lines trace output.
+//!
+//! # Examples
+//!
+//! ```
+//! use cpr_obs::Json;
+//!
+//! let report = Json::obj([
+//!     ("bench", Json::str("plane_throughput")),
+//!     ("n", Json::int(512)),
+//!     ("qps", Json::float(1.25e6)),
+//!     ("shards", Json::arr([Json::int(1), Json::int(2)])),
+//! ]);
+//! assert_eq!(
+//!     report.to_compact(),
+//!     r#"{"bench":"plane_throughput","n":512,"qps":1250000.0,"shards":[1,2]}"#
+//! );
+//! assert!(cpr_obs::json::validate(&report.to_compact()).is_ok());
+//! ```
+
+/// A JSON value; construct with the associated helpers and serialize with
+/// [`Json::to_compact`] or [`Json::to_pretty`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept separate from floats so counts render exactly).
+    Int(i64),
+    /// A finite float; non-finite values render as `null`.
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not fit in `i64` (no report count does).
+    pub fn int(v: impl TryInto<i64>) -> Json {
+        Json::Int(v.try_into().ok().expect("report integer exceeds i64"))
+    }
+
+    /// A float value.
+    pub fn float(v: f64) -> Json {
+        Json::Float(v)
+    }
+
+    /// An array from any iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, keys kept in the given order.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Serializes on one line, no whitespace.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation — the format the checked-in
+    /// `BENCH_*.json` baselines use so diffs stay reviewable.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // `{:?}` keeps a decimal point or exponent, so the
+                    // value round-trips as a float (`1.0`, not `1`).
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+/// Shared layout for arrays and objects: separators, newlines, indent.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Checks that `s` is exactly one well-formed JSON value (leading and
+/// trailing whitespace allowed). Returns the byte offset and a short
+/// message on the first error.
+///
+/// This is a recognizer, not a parser — it allocates nothing and is the
+/// gate the `obs-smoke` CI step runs over every `CPR_TRACE` line.
+///
+/// # Errors
+///
+/// A `(byte_offset, message)` pair describing the first syntax error.
+pub fn validate(s: &str) -> Result<(), (usize, &'static str)> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err((pos, "trailing characters after JSON value"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, (usize, &'static str)> {
+    match b.get(pos) {
+        None => Err((pos, "expected a JSON value")),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(b, pos),
+        Some(_) => Err((pos, "unexpected character")),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &'static [u8]) -> Result<usize, (usize, &'static str)> {
+    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+        Ok(pos + lit.len())
+    } else {
+        Err((pos, "malformed literal"))
+    }
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, (usize, &'static str)> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut pos: usize| {
+        let s = pos;
+        while pos < b.len() && b[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        (pos, pos > s)
+    };
+    // Integer part: a single 0, or a nonzero digit then any digits.
+    match b.get(pos) {
+        Some(b'0') => pos += 1,
+        Some(b'1'..=b'9') => (pos, _) = digits(b, pos),
+        _ => return Err((start, "malformed number")),
+    }
+    if b.get(pos) == Some(&b'.') {
+        let (p, any) = digits(b, pos + 1);
+        if !any {
+            return Err((pos, "digits required after decimal point"));
+        }
+        pos = p;
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        let (p, any) = digits(b, pos);
+        if !any {
+            return Err((pos, "digits required in exponent"));
+        }
+        pos = p;
+    }
+    Ok(pos)
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, (usize, &'static str)> {
+    pos += 1; // opening quote
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(pos + 2..pos + 6);
+                    match hex {
+                        Some(h) if h.iter().all(u8::is_ascii_hexdigit) => pos += 6,
+                        _ => return Err((pos, "malformed \\u escape")),
+                    }
+                }
+                _ => return Err((pos, "invalid escape")),
+            },
+            0x00..=0x1f => return Err((pos, "raw control character in string")),
+            _ => pos += 1,
+        }
+    }
+    Err((pos, "unterminated string"))
+}
+
+fn array(b: &[u8], pos: usize) -> Result<usize, (usize, &'static str)> {
+    let mut pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err((pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn object(b: &[u8], pos: usize) -> Result<usize, (usize, &'static str)> {
+    let mut pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err((pos, "expected string key"));
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err((pos, "expected ':' after key"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err((pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip_shapes() {
+        let v = Json::obj([
+            ("s", Json::str("a\"b\\c\nd")),
+            ("i", Json::int(42u32)),
+            ("f", Json::float(2.5)),
+            ("whole", Json::float(3.0)),
+            ("nan", Json::float(f64::NAN)),
+            ("b", Json::Bool(true)),
+            ("none", Json::Null),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<String>([])),
+        ]);
+        assert_eq!(
+            v.to_compact(),
+            r#"{"s":"a\"b\\c\nd","i":42,"f":2.5,"whole":3.0,"nan":null,"b":true,"none":null,"empty_arr":[],"empty_obj":{}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents_nested_structures() {
+        let v = Json::obj([("xs", Json::arr([Json::int(1), Json::int(2)]))]);
+        assert_eq!(v.to_pretty(), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}\n");
+    }
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let v = Json::obj([("z", Json::int(1)), ("a", Json::int(2))]);
+        assert_eq!(v.to_compact(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn control_characters_escape_as_unicode() {
+        assert_eq!(Json::str("\u{1}").to_compact(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn validate_accepts_everything_the_emitter_produces() {
+        let v = Json::obj([
+            ("s", Json::str("esc\"\\\n\t\u{1}")),
+            ("neg", Json::int(-7)),
+            ("f", Json::float(1.25e-6)),
+            ("big", Json::float(1e300)),
+            ("nested", Json::arr([Json::obj([("k", Json::Null)])])),
+        ]);
+        assert_eq!(validate(&v.to_compact()), Ok(()));
+        assert_eq!(validate(&v.to_pretty()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"k\":}",
+            "{\"k\" 1}",
+            "{k:1}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\x\"",
+            "{} trailing",
+            "\"raw\u{1}control\"",
+        ] {
+            assert!(validate(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validate_reports_error_offsets() {
+        assert_eq!(validate("[1,]").unwrap_err().0, 3);
+        assert_eq!(
+            validate("{} x").unwrap_err().1,
+            "trailing characters after JSON value"
+        );
+    }
+}

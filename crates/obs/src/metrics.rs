@@ -1,0 +1,219 @@
+//! Exact-bucket histograms over integer samples.
+//!
+//! The workspace's interesting signals — messages per round, settle
+//! steps, hops per query, chunks per worker — are small non-negative
+//! integers, so [`Histogram`] keeps one *exact* bucket per distinct
+//! value (a sorted sparse map) instead of approximating with
+//! pre-configured bucket boundaries. Percentiles are therefore exact
+//! nearest-rank statistics, identical to sorting the raw samples, and
+//! two histograms built from the same multiset of samples are equal no
+//! matter the recording order — the property that makes per-worker
+//! shards mergeable in index order without breaking the workspace's
+//! byte-determinism contract (`CPR_THREADS ∈ {1, 2, 8}` must render
+//! identically).
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// An exact histogram of `u64` samples: one bucket per distinct value.
+///
+/// Equality, rendering, and [`percentile`](Histogram::percentile) depend
+/// only on the multiset of recorded samples, never on recording order.
+///
+/// # Examples
+///
+/// ```
+/// use cpr_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [3, 1, 4, 1, 5] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.percentile(0.5), Some(3));
+/// assert_eq!(h.max(), Some(5));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Sample value → occurrence count, sorted by value.
+    buckets: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(value).or_insert(0) += n;
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
+    }
+
+    /// Folds every bucket of `other` into `self`. Merging per-worker
+    /// shard histograms in any order yields the same result as recording
+    /// all samples into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&value, &n) in &other.buckets {
+            self.record_n(value, n);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.buckets.keys().next().copied()
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Mean of all samples, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Exact nearest-rank percentile: the value at sorted index
+    /// `max(⌈p·count⌉, 1) − 1`, the same convention as
+    /// `RecoveryReport::settle_steps_percentile` so histogram and report
+    /// statistics can never drift. `p` is clamped to `[0, 1]`; returns
+    /// `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&value, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates `(value, count)` buckets in ascending value order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&v, &n)| (v, n))
+    }
+
+    /// The canonical JSON summary rendered into registry snapshots:
+    /// `count`, `sum`, `min`, `max`, `mean`, `p50`, `p90`, `p99`. All
+    /// fields except `mean` are integers, and `mean` is the exact
+    /// `f64` quotient of two integers — so the rendering is
+    /// byte-deterministic for a given sample multiset.
+    pub fn to_json(&self) -> Json {
+        let pct = |p: f64| self.percentile(p).map_or(Json::Null, Json::int);
+        Json::obj([
+            ("count", Json::int(self.count)),
+            (
+                "sum",
+                i64::try_from(self.sum).map_or(Json::float(self.sum as f64), Json::Int),
+            ),
+            ("min", self.min().map_or(Json::Null, Json::int)),
+            ("max", self.max().map_or(Json::Null, Json::int)),
+            ("mean", self.mean().map_or(Json::Null, Json::float)),
+            ("p50", pct(0.50)),
+            ("p90", pct(0.90)),
+            ("p99", pct(0.99)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: sort and index, the convention used by
+    /// the chaos harness's inline percentile before it moved here.
+    fn sorted_percentile(samples: &[u64], p: f64) -> Option<u64> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        let rank = ((p.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).max(1) - 1;
+        Some(s[rank])
+    }
+
+    #[test]
+    fn percentile_matches_sorted_nearest_rank() {
+        let samples: Vec<u64> = (0..257).map(|i: u64| (i * i * 31) % 97).collect();
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        for p in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), sorted_percentile(&samples, p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_recording() {
+        let mut whole = Histogram::new();
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for i in 0u64..100 {
+            let v = (i * 7) % 13;
+            whole.record(v);
+            parts[(i % 3) as usize].record(v);
+        }
+        // Merge in reverse order: still identical.
+        let mut merged = Histogram::new();
+        for part in parts.iter().rev() {
+            merged.merge(part);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.to_json(), whole.to_json());
+    }
+
+    #[test]
+    fn empty_histogram_renders_nulls() {
+        let h = Histogram::new();
+        assert_eq!(
+            h.to_json().to_compact(),
+            r#"{"count":0,"sum":0,"min":null,"max":null,"mean":null,"p50":null,"p90":null,"p99":null}"#
+        );
+    }
+
+    #[test]
+    fn single_sample_statistics() {
+        let mut h = Histogram::new();
+        h.record_n(42, 3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 126);
+        assert_eq!(h.min(), Some(42));
+        assert_eq!(h.max(), Some(42));
+        assert_eq!(h.mean(), Some(42.0));
+        assert_eq!(h.percentile(0.0), Some(42));
+        assert_eq!(h.percentile(1.0), Some(42));
+    }
+}

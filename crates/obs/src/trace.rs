@@ -1,0 +1,304 @@
+//! Structured span/event tracing with a ring buffer and pluggable sink.
+//!
+//! The tracer is the *non-deterministic-friendly* half of the
+//! observability layer: unlike the registry, trace lines never feed the
+//! pinned `BENCH_*.json` snapshots, so they may carry anything — the
+//! wall-clock timings that must stay out of the registry land here.
+//! Lines themselves avoid wall clocks by default: events are ordered by
+//! a logical sequence number, so a trace of a deterministic run is
+//! itself deterministic.
+//!
+//! Every line is one compact JSON object (JSON-lines) produced by the
+//! shared [`Json`] emitter:
+//!
+//! ```text
+//! {"seq":0,"kind":"span_open","name":"repair","fields":{"dirty":12}}
+//! {"seq":1,"kind":"event","name":"retrace","fields":{"pair":3}}
+//! {"seq":2,"kind":"span_close","name":"repair","span":0,"fields":{}}
+//! ```
+//!
+//! Sinks: [`Tracer::null`] (ring buffer only), [`Tracer::stderr`],
+//! [`Tracer::to_file`] (JSON-lines), selected at runtime by
+//! [`Tracer::from_env`] from `CPR_TRACE` (unset → fully disabled,
+//! `stderr` → stderr, anything else → file path). The last
+//! [`RING_CAPACITY`] lines are always retained in memory for
+//! post-mortem inspection via [`Tracer::recent`].
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Number of most-recent trace lines kept in the in-memory ring.
+pub const RING_CAPACITY: usize = 256;
+
+/// Environment variable selecting the trace sink (`stderr` or a file
+/// path; unset disables tracing).
+pub const TRACE_ENV: &str = "CPR_TRACE";
+
+#[derive(Debug)]
+enum Sink {
+    /// Ring buffer only.
+    Null,
+    /// One line per event on standard error.
+    Stderr,
+    /// JSON-lines appended to a file.
+    File(BufWriter<File>),
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    seq: u64,
+    ring: VecDeque<String>,
+    sink: Sink,
+}
+
+/// A structured tracer: emits JSON-lines events and spans to a sink,
+/// keeping the most recent lines in a ring buffer.
+///
+/// A disabled tracer ([`Tracer::disabled`]) skips all work including
+/// sequence numbering, so instrumented hot paths cost one branch when
+/// tracing is off.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    inner: Mutex<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    fn with_sink(enabled: bool, sink: Sink) -> Tracer {
+        Tracer {
+            enabled,
+            inner: Mutex::new(TracerInner {
+                seq: 0,
+                ring: VecDeque::with_capacity(if enabled { RING_CAPACITY } else { 0 }),
+                sink,
+            }),
+        }
+    }
+
+    /// A tracer that records nothing at all.
+    pub fn disabled() -> Tracer {
+        Tracer::with_sink(false, Sink::Null)
+    }
+
+    /// An enabled tracer with no sink: lines go only to the ring buffer.
+    pub fn null() -> Tracer {
+        Tracer::with_sink(true, Sink::Null)
+    }
+
+    /// An enabled tracer writing one line per event to standard error.
+    pub fn stderr() -> Tracer {
+        Tracer::with_sink(true, Sink::Stderr)
+    }
+
+    /// An enabled tracer appending JSON-lines to the file at `path`
+    /// (truncated if it exists).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the file.
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Tracer> {
+        let file = File::create(path)?;
+        Ok(Tracer::with_sink(true, Sink::File(BufWriter::new(file))))
+    }
+
+    /// Builds the tracer `CPR_TRACE` asks for: unset or empty →
+    /// [`disabled`](Tracer::disabled), `stderr` → standard error,
+    /// anything else → a JSON-lines file at that path (falling back to
+    /// stderr with a warning when the file cannot be created).
+    pub fn from_env() -> Tracer {
+        match std::env::var(TRACE_ENV) {
+            Err(_) => Tracer::disabled(),
+            Ok(v) if v.is_empty() || v == "0" => Tracer::disabled(),
+            Ok(v) if v == "stderr" => Tracer::stderr(),
+            Ok(path) => Tracer::to_file(&path).unwrap_or_else(|e| {
+                eprintln!("cpr-obs: cannot open {TRACE_ENV}={path}: {e}; tracing to stderr");
+                Tracer::stderr()
+            }),
+        }
+    }
+
+    /// `true` when this tracer records events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emits one event line. `fields` values are cloned into the line;
+    /// keys render in the given order.
+    pub fn event(&self, name: &str, fields: &[(&str, Json)]) {
+        if !self.enabled {
+            return;
+        }
+        self.emit("event", name, None, fields);
+    }
+
+    /// Opens a span: emits a `span_open` line now and a matching
+    /// `span_close` line (carrying the open line's sequence number) when
+    /// the returned guard drops. Disabled tracers return an inert guard.
+    pub fn span(&self, name: &str, fields: &[(&str, Json)]) -> Span<'_> {
+        if !self.enabled {
+            return Span {
+                tracer: self,
+                name: String::new(),
+                id: 0,
+            };
+        }
+        let id = self.emit("span_open", name, None, fields);
+        Span {
+            tracer: self,
+            name: name.to_string(),
+            id,
+        }
+    }
+
+    /// The most recent trace lines (oldest first), at most
+    /// [`RING_CAPACITY`] of them.
+    pub fn recent(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("tracer poisoned")
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Flushes a file sink; no-op for the others.
+    pub fn flush(&self) {
+        if let Sink::File(w) = &mut self.inner.lock().expect("tracer poisoned").sink {
+            let _ = w.flush();
+        }
+    }
+
+    /// Writes one line, returns its sequence number.
+    fn emit(&self, kind: &str, name: &str, span: Option<u64>, fields: &[(&str, Json)]) -> u64 {
+        let mut inner = self.inner.lock().expect("tracer poisoned");
+        let seq = inner.seq;
+        inner.seq += 1;
+        let mut obj = vec![
+            ("seq".to_string(), Json::int(seq)),
+            ("kind".to_string(), Json::str(kind)),
+            ("name".to_string(), Json::str(name)),
+        ];
+        if let Some(id) = span {
+            obj.push(("span".to_string(), Json::int(id)));
+        }
+        obj.push((
+            "fields".to_string(),
+            Json::Obj(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            ),
+        ));
+        let line = Json::Obj(obj).to_compact();
+        if inner.ring.len() == RING_CAPACITY {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(line.clone());
+        match &mut inner.sink {
+            Sink::Null => {}
+            Sink::Stderr => eprintln!("{line}"),
+            Sink::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+        seq
+    }
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        if let Ok(inner) = self.inner.get_mut() {
+            if let Sink::File(w) = &mut inner.sink {
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
+/// Guard for an open span; emits the `span_close` line on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    id: u64,
+}
+
+impl Span<'_> {
+    /// Emits an event line associated with this span.
+    pub fn event(&self, name: &str, fields: &[(&str, Json)]) {
+        if self.tracer.enabled {
+            self.tracer.emit("event", name, Some(self.id), fields);
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.tracer.enabled {
+            self.tracer
+                .emit("span_close", &self.name, Some(self.id), &[]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    #[test]
+    fn spans_nest_and_lines_validate() {
+        let t = Tracer::null();
+        {
+            let outer = t.span("outer", &[("n", Json::int(2))]);
+            outer.event("tick", &[]);
+            let _inner = t.span("inner", &[]);
+        }
+        t.event("done", &[("ok", Json::Bool(true))]);
+        let lines = t.recent();
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            assert_eq!(validate(line), Ok(()), "line {line}");
+        }
+        assert!(lines[0].contains(r#""seq":0,"kind":"span_open","name":"outer""#));
+        assert!(lines[1].contains(r#""kind":"event","name":"tick","span":0"#));
+        // Inner span closes before outer (drop order).
+        assert!(lines[3].contains(r#""kind":"span_close","name":"inner","span":2"#));
+        assert!(lines[4].contains(r#""kind":"span_close","name":"outer","span":0"#));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        let span = t.span("never", &[]);
+        span.event("never", &[]);
+        drop(span);
+        t.event("never", &[]);
+        assert!(t.recent().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_lines() {
+        let t = Tracer::null();
+        for i in 0..(RING_CAPACITY + 10) {
+            t.event("e", &[("i", Json::int(i))]);
+        }
+        let lines = t.recent();
+        assert_eq!(lines.len(), RING_CAPACITY);
+        assert!(lines[0].contains(r#""seq":10,"#));
+    }
+}

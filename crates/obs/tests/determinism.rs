@@ -1,0 +1,112 @@
+//! The registry's byte-determinism contract: a fixed logical workload
+//! recorded through per-worker [`ShardMetrics`] shards renders the
+//! *identical* `render_json()` snapshot no matter how many workers the
+//! work is split across (the `CPR_THREADS ∈ {1, 2, 8}` sweep every
+//! pinned BENCH report relies on) and no matter how the OS interleaves
+//! the workers — because shards are absorbed in index order and every
+//! registry operation is commutative per name.
+
+use std::collections::BTreeMap;
+
+use cpr_obs::{Histogram, Obs, Registry, ShardMetrics};
+
+/// The worker splits exercised by the workspace determinism suite.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+const REPEATS: usize = 3;
+/// Logical work items: item `i` bumps a couple of counters and records
+/// one histogram sample derived only from `i`.
+const ITEMS: usize = 1000;
+
+/// Runs the fixed workload split across `workers` OS threads, each
+/// recording into its own shard, and returns the rendered snapshot.
+fn run_split(workers: usize) -> String {
+    let obs = Obs::with_null_tracer();
+    let chunk = ITEMS.div_ceil(workers);
+    let ranges: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(ITEMS)))
+        .collect();
+    let mut shards: Vec<ShardMetrics> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move || {
+                    let mut m = ShardMetrics::new();
+                    for i in lo..hi {
+                        m.add("work.items", 1);
+                        m.add("work.cost", (i % 7) as u64);
+                        m.record("work.latency", (i * i % 97) as u64);
+                    }
+                    m
+                })
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("worker panicked"));
+        }
+    });
+    // Absorb in index order — the contract the parallel layers follow.
+    for shard in shards {
+        obs.absorb(shard);
+    }
+    obs.set_gauge("work.total", ITEMS as i64);
+    obs.registry.render_json().to_compact()
+}
+
+#[test]
+fn snapshot_is_byte_identical_across_worker_counts_and_repeats() {
+    let reference = run_split(1);
+    for workers in WORKER_COUNTS {
+        for repeat in 0..REPEATS {
+            assert_eq!(
+                run_split(workers),
+                reference,
+                "snapshot diverged at {workers} worker(s), repeat {repeat}"
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_merge_is_order_independent() {
+    // Merging per-worker histograms in any order yields the same
+    // buckets — the property that makes absorb-in-index-order merely a
+    // convention rather than a load-bearing requirement for histograms.
+    let mut parts: Vec<Histogram> = Vec::new();
+    for w in 0..4u64 {
+        let mut h = Histogram::new();
+        for i in 0..100u64 {
+            h.record(w * 31 + i % 13);
+        }
+        parts.push(h);
+    }
+    let mut forward = Histogram::new();
+    for p in &parts {
+        forward.merge(p);
+    }
+    let mut backward = Histogram::new();
+    for p in parts.iter().rev() {
+        backward.merge(p);
+    }
+    assert_eq!(
+        forward.to_json().to_compact(),
+        backward.to_json().to_compact()
+    );
+    assert_eq!(
+        forward.buckets().collect::<BTreeMap<_, _>>(),
+        backward.buckets().collect::<BTreeMap<_, _>>()
+    );
+}
+
+#[test]
+fn registry_reset_restores_the_empty_snapshot() {
+    let reg = Registry::new();
+    reg.add("a", 1);
+    reg.record("h", 9);
+    reg.set_gauge("g", -2);
+    reg.reset();
+    assert_eq!(
+        reg.render_json().to_compact(),
+        r#"{"counters":{},"gauges":{},"histograms":{}}"#
+    );
+}

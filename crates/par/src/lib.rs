@@ -4,9 +4,11 @@
 //! preferred trees, forwarding-plane compilation, per-source table
 //! construction, the experiment sweeps — is embarrassingly parallel
 //! across an index range (sources, sizes, instances). This crate is the
-//! one place that parallelism lives: a small, dependency-free,
-//! scoped-thread [`par`] module with deterministic, order-preserving
-//! result collection.
+//! one place that parallelism lives: a small, std-only, scoped-thread
+//! [`par`] module with deterministic, order-preserving result
+//! collection. Its only workspace dependency is `cpr-obs`, into whose
+//! [global registry](cpr_obs::global) each parallel invocation records
+//! per-worker chunk counts and a scheduling-imbalance gauge.
 //!
 //! The container this workspace targets has no crates.io access, so
 //! there is deliberately no rayon here: just `std::thread::scope`, an

@@ -102,6 +102,7 @@ where
     let f = &f;
 
     let mut parts: Vec<(usize, Vec<R>)> = Vec::with_capacity(chunks);
+    let mut worker_chunks: Vec<u64> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -122,9 +123,26 @@ where
             })
             .collect();
         for h in handles {
-            parts.extend(h.join().expect("cpr-core parallel worker panicked"));
+            let out = h.join().expect("cpr-core parallel worker panicked");
+            worker_chunks.push(out.len() as u64);
+            parts.extend(out);
         }
     });
+
+    // Scheduling telemetry into the process-wide registry: how many
+    // chunks each worker claimed, and how lopsided the claim was. The
+    // chunk *assignment* is racy by design (only results are
+    // deterministic), so these land in the global registry — which no
+    // pinned snapshot reads — not in a caller's report registry.
+    let obs = cpr_obs::global();
+    obs.incr("par.invocations");
+    obs.add("par.chunks", chunks as u64);
+    for &claimed in &worker_chunks {
+        obs.record("par.worker_chunks", claimed);
+    }
+    let most = worker_chunks.iter().copied().max().unwrap_or(0);
+    let least = worker_chunks.iter().copied().min().unwrap_or(0);
+    obs.set_gauge("par.imbalance", (most - least) as i64);
 
     // Stitch chunks back in index order: sorting by chunk origin is
     // enough because chunks are contiguous and disjoint.
@@ -209,5 +227,23 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn parallel_runs_record_scheduling_telemetry() {
+        let obs = cpr_obs::global();
+        let invocations = obs.registry.counter("par.invocations");
+        let samples = obs
+            .registry
+            .histogram("par.worker_chunks")
+            .map_or(0, |h| h.count());
+        let _ = par_map_indexed_with(4, 64, |i| i);
+        assert!(obs.registry.counter("par.invocations") > invocations);
+        let h = obs
+            .registry
+            .histogram("par.worker_chunks")
+            .expect("recorded");
+        assert!(h.count() > samples);
+        assert!(obs.registry.gauge("par.imbalance").is_some());
     }
 }

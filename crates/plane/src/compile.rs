@@ -604,9 +604,31 @@ where
     // Fan the source ranges out, then merge shard-local id spaces in
     // source order. One shard (CPR_THREADS=1) is exactly the old serial
     // compiler: the merge below is then an identity remap.
+    //
+    // Per-shard wall-clock compile times go to the global tracer (set
+    // `CPR_TRACE` to see them) — never to a registry, where wall clocks
+    // would break the byte-determinism of pinned snapshots.
+    let obs = cpr_obs::global();
+    let span = obs.span(
+        "plane.compile",
+        &[
+            ("scheme", cpr_obs::Json::str(scheme.name())),
+            ("nodes", cpr_obs::Json::int(n)),
+        ],
+    );
     let shards = cpr_core::par::split_ranges(n, threads);
     let traces = cpr_core::par::par_map_indexed_with(threads, shards.len(), |i| {
-        trace_shard(scheme, graph, shards[i].clone(), hop_budget)
+        let t0 = std::time::Instant::now();
+        let out = trace_shard(scheme, graph, shards[i].clone(), hop_budget);
+        span.event(
+            "plane.compile.shard",
+            &[
+                ("shard", cpr_obs::Json::int(i)),
+                ("sources", cpr_obs::Json::int(shards[i].len())),
+                ("micros", cpr_obs::Json::int(t0.elapsed().as_micros())),
+            ],
+        );
+        out
     });
 
     let mut intern: Interner<S::Header> = Interner::new();
@@ -644,6 +666,11 @@ where
     if u32::try_from(states).is_err() {
         return Err(CompileError::CapacityExceeded { what: "states" });
     }
+    // Logical compile metrics: totals are thread-count-invariant (the
+    // shard merge is deterministic), so they are registry-safe.
+    obs.incr("plane.compile.planes");
+    obs.add("plane.compile.headers", headers as u64);
+    obs.add("plane.compile.states", states as u64);
     let port_width = ceil_log2(graph.max_degree() as u64);
     let header_width = ceil_log2(headers as u64);
     let entry_width = 2 + port_width + header_width;

@@ -199,11 +199,16 @@ fn run_shard(
     plane: &ForwardingPlane,
     queries: &[(NodeId, NodeId)],
     optima: Option<&HopOptima>,
-) -> ShardStats {
+    record: bool,
+) -> (ShardStats, cpr_obs::ShardMetrics) {
     let budget = plane.hop_budget();
     let mut st = ShardStats::default();
+    let mut metrics = cpr_obs::ShardMetrics::new();
     for &(source, target) in queries {
         let Some(mut hid) = plane.initial_id(source, target) else {
+            if record {
+                metrics.add("plane.serve.unroutable", 1);
+            }
             st.failures.push(QueryFailure {
                 source,
                 target,
@@ -219,6 +224,11 @@ fn run_shard(
                     st.delivered += 1;
                     st.total_hops += hops as u64;
                     st.max_hops = st.max_hops.max(hops);
+                    if record {
+                        // Latency in hops: the logical per-query service
+                        // cost, bucketed exactly.
+                        metrics.record("plane.serve.hops", hops as u64);
+                    }
                     if let Some(opt) = optima {
                         if let Some(d) = opt.hops(source, target) {
                             if d > 0 {
@@ -271,7 +281,10 @@ fn run_shard(
             }
         }
     }
-    st
+    if record {
+        metrics.add("plane.serve.failed", st.failures.len() as u64);
+    }
+    (st, metrics)
 }
 
 /// Serves `queries` against the compiled plane across
@@ -285,20 +298,53 @@ pub fn serve(
     optima: Option<&HopOptima>,
     config: &EngineConfig,
 ) -> ServeReport {
+    serve_obs(plane, queries, optima, config, &cpr_obs::Obs::disabled())
+}
+
+/// [`serve`], recording engine metrics into `obs`: a per-query
+/// `plane.serve.hops` latency histogram (exact hop buckets, recorded
+/// into per-shard [`cpr_obs::ShardMetrics`] absorbed in shard index
+/// order, so the histogram is byte-identical for any shard count),
+/// delivered/unroutable/failed counters, and a trace event carrying the
+/// batch's wall-clock serve time (tracer only — wall clocks stay out of
+/// the registry).
+pub fn serve_obs(
+    plane: &ForwardingPlane,
+    queries: &[(NodeId, NodeId)],
+    optima: Option<&HopOptima>,
+    config: &EngineConfig,
+    obs: &cpr_obs::Obs,
+) -> ServeReport {
     let shards = config.shards.max(1).min(queries.len().max(1));
     let chunk = queries.len().div_ceil(shards).max(1);
+    let record = obs.is_enabled();
     let start = Instant::now();
     let mut stats: Vec<ShardStats> = Vec::with_capacity(shards);
     std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
-            .map(|c| scope.spawn(move || run_shard(plane, c, optima)))
+            .map(|c| scope.spawn(move || run_shard(plane, c, optima, record)))
             .collect();
+        // Join in spawn order = shard index order; shard metrics are
+        // absorbed in the same order.
         for h in handles {
-            stats.push(h.join().expect("shard worker panicked"));
+            let (st, metrics) = h.join().expect("shard worker panicked");
+            obs.absorb(metrics);
+            stats.push(st);
         }
     });
     let elapsed = start.elapsed();
+    obs.incr("plane.serve.batches");
+    obs.add("plane.serve.queries", queries.len() as u64);
+    obs.event(
+        "plane.serve",
+        &[
+            ("scheme", cpr_obs::Json::str(plane.scheme())),
+            ("queries", cpr_obs::Json::int(queries.len())),
+            ("shards", cpr_obs::Json::int(stats.len())),
+            ("micros", cpr_obs::Json::int(elapsed.as_micros())),
+        ],
+    );
 
     let used = stats.len().max(1);
     let mut report = ServeReport {
@@ -326,6 +372,7 @@ pub fn serve(
         stretch_max = stretch_max.max(st.stretch_max);
         stretch_samples += st.stretch_samples;
     }
+    obs.add("plane.serve.delivered", report.delivered as u64);
     if optima.is_some() {
         report.stretch = Some(StretchStats {
             mean: if stretch_samples == 0 {

@@ -325,6 +325,54 @@ where
     /// Any [`CompileError`]: the live scheme misdelivering or looping
     /// during a re-trace aborts the repair with the pair's error.
     pub fn repair(&mut self, scheme: &S, graph: &Graph) -> Result<RepairStats, CompileError> {
+        self.repair_obs(scheme, graph, &cpr_obs::Obs::disabled())
+    }
+
+    /// [`repair`](Self::repair), recording the pass into `obs`: the whole
+    /// pass runs under a `heal.repair` span whose close event carries the
+    /// repair outcome, and the registry accumulates
+    /// `heal.repairs` / `heal.repaired_pairs` / `heal.unroutable_pairs`
+    /// counters plus a `heal.dirty_pairs` histogram of per-pass dirty-set
+    /// sizes — all logical quantities, so snapshots stay deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`repair`](Self::repair).
+    pub fn repair_obs(
+        &mut self,
+        scheme: &S,
+        graph: &Graph,
+        obs: &cpr_obs::Obs,
+    ) -> Result<RepairStats, CompileError> {
+        let span = obs.span(
+            "heal.repair",
+            &[("epoch", cpr_obs::Json::int(self.counters.epoch))],
+        );
+        let stats = self.repair_inner(scheme, graph)?;
+        span.event(
+            "heal.repair.done",
+            &[
+                ("dirty_pairs", cpr_obs::Json::int(stats.dirty_pairs)),
+                ("repaired_pairs", cpr_obs::Json::int(stats.repaired_pairs)),
+                (
+                    "unroutable_pairs",
+                    cpr_obs::Json::int(stats.unroutable_pairs),
+                ),
+                ("patched_states", cpr_obs::Json::int(stats.patched_states)),
+                ("full_rebuild", cpr_obs::Json::Bool(stats.full_rebuild)),
+            ],
+        );
+        obs.incr("heal.repairs");
+        obs.add("heal.repaired_pairs", stats.repaired_pairs as u64);
+        obs.add("heal.unroutable_pairs", stats.unroutable_pairs as u64);
+        obs.record("heal.dirty_pairs", stats.dirty_pairs as u64);
+        if stats.full_rebuild {
+            obs.incr("heal.full_rebuilds");
+        }
+        Ok(stats)
+    }
+
+    fn repair_inner(&mut self, scheme: &S, graph: &Graph) -> Result<RepairStats, CompileError> {
         self.observe(graph)?;
         let n = self.base.node_count();
         let dirty_pairs = self.dirty.len();
@@ -511,6 +559,22 @@ where
         graph: &Graph,
         queries: &[(NodeId, NodeId)],
     ) -> ServeReport {
+        self.serve_obs(scheme, graph, queries, &cpr_obs::Obs::disabled())
+    }
+
+    /// [`serve`](Self::serve), recording the batch into `obs`: a
+    /// `heal.serve.hops` latency histogram over delivered queries,
+    /// `heal.serve.*` counters split by how each query was answered
+    /// (compiled / degraded / fallback / failed), a mirror of the
+    /// cumulative [`HealthCounters`] as `heal.health.*` gauges, and a
+    /// trace event carrying the batch's wall-clock time (tracer only).
+    pub fn serve_obs(
+        &mut self,
+        scheme: &S,
+        graph: &Graph,
+        queries: &[(NodeId, NodeId)],
+        obs: &cpr_obs::Obs,
+    ) -> ServeReport {
         let start = Instant::now();
         let mut report = ServeReport {
             scheme: self.base.scheme().to_string(),
@@ -532,21 +596,54 @@ where
                     report.delivered += 1;
                     report.total_hops += hops as u64;
                     report.max_hops = report.max_hops.max(hops);
+                    obs.record("heal.serve.hops", hops as u64);
                     match served {
-                        Served::Compiled => {}
-                        Served::Degraded => report.degraded += 1,
-                        Served::Fallback => report.fallback += 1,
+                        Served::Compiled => obs.incr("heal.serve.compiled"),
+                        Served::Degraded => {
+                            report.degraded += 1;
+                            obs.incr("heal.serve.degraded");
+                        }
+                        Served::Fallback => {
+                            report.fallback += 1;
+                            obs.incr("heal.serve.fallback");
+                        }
                     }
                 }
-                Err(error) => report.failures.push(QueryFailure {
-                    source,
-                    target,
-                    error,
-                }),
+                Err(error) => {
+                    obs.incr("heal.serve.failed");
+                    report.failures.push(QueryFailure {
+                        source,
+                        target,
+                        error,
+                    });
+                }
             }
         }
         report.elapsed = start.elapsed();
+        obs.add("heal.serve.queries", queries.len() as u64);
+        self.record_health(obs);
+        obs.event(
+            "heal.serve",
+            &[
+                ("queries", cpr_obs::Json::int(queries.len())),
+                ("delivered", cpr_obs::Json::int(report.delivered)),
+                ("micros", cpr_obs::Json::int(report.elapsed.as_micros())),
+            ],
+        );
         report
+    }
+
+    /// Mirrors the cumulative [`HealthCounters`] into `obs` as
+    /// `heal.health.*` gauges, so a registry snapshot carries the
+    /// plane's current health alongside the per-batch counters.
+    pub fn record_health(&self, obs: &cpr_obs::Obs) {
+        let c = self.counters;
+        obs.set_gauge("heal.health.compiled", c.compiled as i64);
+        obs.set_gauge("heal.health.degraded", c.degraded as i64);
+        obs.set_gauge("heal.health.fallback", c.fallback as i64);
+        obs.set_gauge("heal.health.failed", c.failed as i64);
+        obs.set_gauge("heal.health.repairs", c.repairs as i64);
+        obs.set_gauge("heal.health.epoch", c.epoch as i64);
     }
 }
 

@@ -61,6 +61,8 @@ pub use compile::{
     compile, compile_with_threads, graph_digest, validate, CompileError, Decision, Divergence,
     ForwardingPlane, PackedArray, PlaneMemory,
 };
-pub use engine::{serve, EngineConfig, HopOptima, QueryFailure, ServeReport, StretchStats};
+pub use engine::{
+    serve, serve_obs, EngineConfig, HopOptima, QueryFailure, ServeReport, StretchStats,
+};
 pub use heal::{HealthCounters, RepairStats, SelfHealingPlane, Served, StaleReport};
 pub use workload::{generate, TrafficPattern};

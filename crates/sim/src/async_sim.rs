@@ -528,15 +528,32 @@ where
 
     /// Runs until the queue drains or `max_events` deliveries.
     pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R, max_events: u64) -> AsyncReport {
+        self.run_obs(rng, max_events, &cpr_obs::Obs::disabled())
+    }
+
+    /// [`run`](Self::run), recording delivery metrics into `obs`:
+    /// `async.events` / `async.withdrawal_deliveries` /
+    /// `async.reselections` counters and, when the queue drains, the
+    /// run's virtual quiesce time into the `async.quiesce_time`
+    /// histogram (a budget cutoff increments `async.timeouts`). Virtual
+    /// time is logical, so all of these are deterministic for a given
+    /// delay seed.
+    pub fn run_obs<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        max_events: u64,
+        obs: &cpr_obs::Obs,
+    ) -> AsyncReport {
         let mut events = 0;
+        let mut withdrawals = 0u64;
+        let mut reselections = 0u64;
+        let mut converged = true;
         while let Some(msg) = self.queue.pop() {
             events += 1;
             if events > max_events {
-                return AsyncReport {
-                    events: events - 1,
-                    quiesce_time: self.now,
-                    converged: false,
-                };
+                events -= 1;
+                converged = false;
+                break;
             }
             self.now = msg.at;
             let Message {
@@ -546,19 +563,31 @@ where
                 route,
                 ..
             } = msg;
+            if route.is_none() {
+                withdrawals += 1;
+            }
             let port = self
                 .graph
                 .port_towards(to, from)
                 .expect("messages travel along edges");
             self.adj_in[to][port][dest] = route;
             if dest != to && self.reselect(to, dest) {
+                reselections += 1;
                 self.advertise(to, dest, rng);
             }
+        }
+        obs.add("async.events", events);
+        obs.add("async.withdrawal_deliveries", withdrawals);
+        obs.add("async.reselections", reselections);
+        if converged {
+            obs.record("async.quiesce_time", self.now);
+        } else {
+            obs.incr("async.timeouts");
         }
         AsyncReport {
             events,
             quiesce_time: self.now,
-            converged: true,
+            converged,
         }
     }
 }

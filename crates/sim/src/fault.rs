@@ -522,16 +522,23 @@ impl RecoveryReport {
         self.events.iter().map(|e| e.transient_blackholes).sum()
     }
 
-    /// The `p`-th percentile (0.0..=1.0) of per-event settle steps
-    /// (reconvergence rounds or deliveries), by nearest-rank.
-    pub fn settle_steps_percentile(&self, p: f64) -> u64 {
-        let mut steps: Vec<u64> = self.events.iter().map(|e| e.settle.steps).collect();
-        if steps.is_empty() {
-            return 0;
+    /// The per-event settle steps (reconvergence rounds or deliveries)
+    /// as an exact [`cpr_obs::Histogram`] — the same histogram the
+    /// obs-aware runners record under `chaos.settle_steps`, so report
+    /// percentiles and registry percentiles can never drift.
+    pub fn settle_steps_histogram(&self) -> cpr_obs::Histogram {
+        let mut h = cpr_obs::Histogram::new();
+        for e in &self.events {
+            h.record(e.settle.steps);
         }
-        steps.sort_unstable();
-        let rank = ((p.clamp(0.0, 1.0) * steps.len() as f64).ceil() as usize).max(1) - 1;
-        steps[rank.min(steps.len() - 1)]
+        h
+    }
+
+    /// The `p`-th percentile (0.0..=1.0) of per-event settle steps, by
+    /// nearest-rank. (This used to sort inline; it now delegates to the
+    /// shared histogram so there is exactly one percentile convention.)
+    pub fn settle_steps_percentile(&self, p: f64) -> u64 {
+        self.settle_steps_histogram().percentile(p).unwrap_or(0)
     }
 }
 
@@ -592,23 +599,82 @@ where
     A: cpr_algebra::RoutingAlgebra,
     F: Fn(NodeId, NodeId) -> Option<A::W>,
 {
+    run_chaos_sync_obs(sim, schedule, opts, &cpr_obs::Obs::disabled())
+}
+
+/// [`run_chaos_sync`], recording every recovery segment into `obs`:
+/// per-event `chaos.settle_steps` / `chaos.settle_messages` histograms
+/// (the registry-side twin of [`RecoveryReport::settle_steps_histogram`]),
+/// transient blackhole/loop exposure counters, oscillation and
+/// non-quiescence counters, and one trace span per injected fault.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] of a malformed event.
+pub fn run_chaos_sync_obs<A, F>(
+    sim: &mut crate::Simulator<'_, A, F>,
+    schedule: &FaultSchedule,
+    opts: &ChaosOptions,
+    obs: &cpr_obs::Obs,
+) -> Result<RecoveryReport, SimError>
+where
+    A: cpr_algebra::RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+{
     let initial = settle_sync(sim, opts.round_budget);
+    record_initial_settle(obs, &initial);
     let mut events = Vec::with_capacity(schedule.events.len());
     for event in &schedule.events {
+        let span = obs.span(
+            "chaos.event",
+            &[("event", cpr_obs::Json::str(event.to_string()))],
+        );
         apply_sync(sim, event)?;
         let transient = audit_forwarding(sim);
         let settle = settle_sync(sim, opts.round_budget);
         let after = audit_forwarding(sim);
-        events.push(EventRecovery {
+        drop(span);
+        let rec = EventRecovery {
             event: event.clone(),
             transient_blackholes: transient.blackholed.len(),
             transient_loops: transient.looping.len(),
             settle,
             blackholes: after.blackholed.len(),
             loops: after.looping.len(),
-        });
+        };
+        record_event_recovery(obs, &rec);
+        events.push(rec);
     }
     Ok(RecoveryReport { initial, events })
+}
+
+/// One event's recovery metrics into the registry.
+fn record_event_recovery(obs: &cpr_obs::Obs, rec: &EventRecovery) {
+    obs.incr("chaos.events");
+    obs.record("chaos.settle_steps", rec.settle.steps);
+    obs.record("chaos.settle_messages", rec.settle.messages);
+    obs.add(
+        "chaos.transient_blackholes",
+        rec.transient_blackholes as u64,
+    );
+    obs.add("chaos.transient_loops", rec.transient_loops as u64);
+    obs.add("chaos.residual_blackholes", rec.blackholes as u64);
+    obs.add("chaos.residual_loops", rec.loops as u64);
+    if rec.settle.oscillating {
+        obs.incr("chaos.oscillations");
+    }
+    if !rec.settle.quiesced {
+        obs.incr("chaos.non_quiescent_settles");
+    }
+}
+
+/// The cold-start settle's metrics into the registry.
+fn record_initial_settle(obs: &cpr_obs::Obs, initial: &Settle) {
+    obs.record("chaos.initial_settle_steps", initial.steps);
+    obs.add("chaos.initial_settle_messages", initial.messages);
+    if initial.oscillating {
+        obs.incr("chaos.oscillations");
+    }
 }
 
 fn apply_sync<A, F>(
@@ -701,21 +767,51 @@ where
     F: Fn(NodeId, NodeId) -> Option<A::W>,
     R: Rng + ?Sized,
 {
+    run_chaos_async_obs(sim, schedule, rng, opts, &cpr_obs::Obs::disabled())
+}
+
+/// [`run_chaos_async`] with recovery metrics recorded into `obs` — the
+/// asynchronous twin of [`run_chaos_sync_obs`] (settle steps here are
+/// message deliveries, not rounds).
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] of a malformed event.
+pub fn run_chaos_async_obs<A, F, R>(
+    sim: &mut crate::AsyncSimulator<'_, A, F>,
+    schedule: &FaultSchedule,
+    rng: &mut R,
+    opts: &ChaosOptions,
+    obs: &cpr_obs::Obs,
+) -> Result<RecoveryReport, SimError>
+where
+    A: cpr_algebra::RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::W>,
+    R: Rng + ?Sized,
+{
     let initial = settle_async(sim, rng, opts.event_budget);
+    record_initial_settle(obs, &initial);
     let mut events = Vec::with_capacity(schedule.events.len());
     for event in &schedule.events {
+        let span = obs.span(
+            "chaos.event",
+            &[("event", cpr_obs::Json::str(event.to_string()))],
+        );
         apply_async(sim, event, rng)?;
         let transient = audit_forwarding(sim);
         let settle = settle_async(sim, rng, opts.event_budget);
         let after = audit_forwarding(sim);
-        events.push(EventRecovery {
+        drop(span);
+        let rec = EventRecovery {
             event: event.clone(),
             transient_blackholes: transient.blackholed.len(),
             transient_loops: transient.looping.len(),
             settle,
             blackholes: after.blackholed.len(),
             loops: after.looping.len(),
-        });
+        };
+        record_event_recovery(obs, &rec);
+        events.push(rec);
     }
     Ok(RecoveryReport { initial, events })
 }

@@ -45,6 +45,10 @@ impl<W> Route<W> {
 pub struct RoundDelta {
     /// RIB entries that changed this round.
     pub changed: u64,
+    /// RIB entries that were *withdrawn* this round (a selected route
+    /// disappeared with no replacement — the `changed` subset that went
+    /// from `Some` to `None`).
+    pub withdrawn: u64,
     /// Route advertisements sent (changed routes × neighbours).
     pub messages: u64,
 }
@@ -298,6 +302,9 @@ where
                 }
                 if next[u][t] != best {
                     delta.changed += 1;
+                    if best.is_none() {
+                        delta.withdrawn += 1;
+                    }
                     // Each changed route is advertised to every neighbour.
                     delta.messages += self.graph.degree(u) as u64;
                     next[u][t] = best;
@@ -312,6 +319,22 @@ where
     /// Runs synchronous rounds until no RIB changes or `max_rounds` is
     /// hit. See [`step_round`](Self::step_round) for round semantics.
     pub fn run_to_convergence(&mut self, max_rounds: u32) -> ConvergenceReport {
+        self.run_to_convergence_obs(max_rounds, &cpr_obs::Obs::disabled())
+    }
+
+    /// [`run_to_convergence`](Self::run_to_convergence), recording round
+    /// metrics into `obs`: `sim.messages` / `sim.withdrawals` /
+    /// `sim.rounds` counters, per-round `sim.rib_changes_per_round` and
+    /// `sim.messages_per_round` histograms, and on a reached fixpoint
+    /// the run's round count into the `sim.convergence_rounds`
+    /// histogram (a budget cutoff increments `sim.convergence_timeouts`
+    /// instead). All of these are logical quantities, safe for pinned
+    /// registry snapshots.
+    pub fn run_to_convergence_obs(
+        &mut self,
+        max_rounds: u32,
+        obs: &cpr_obs::Obs,
+    ) -> ConvergenceReport {
         let mut rounds = 0;
         let mut converged = false;
         let mut messages = 0u64;
@@ -319,10 +342,20 @@ where
             rounds += 1;
             let delta = self.step_round();
             messages += delta.messages;
+            obs.add("sim.messages", delta.messages);
+            obs.add("sim.withdrawals", delta.withdrawn);
+            obs.record("sim.rib_changes_per_round", delta.changed);
+            obs.record("sim.messages_per_round", delta.messages);
             if delta.changed == 0 {
                 converged = true;
                 break;
             }
+        }
+        obs.add("sim.rounds", u64::from(rounds));
+        if converged {
+            obs.record("sim.convergence_rounds", u64::from(rounds));
+        } else {
+            obs.incr("sim.convergence_timeouts");
         }
         ConvergenceReport {
             rounds,

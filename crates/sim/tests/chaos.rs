@@ -294,3 +294,69 @@ fn dispute_wheel_is_flagged_oscillating_without_spinning_to_budget() {
     // And the audit of the mid-oscillation state is reportable (no panic).
     let _ = audit_forwarding(&sim2);
 }
+
+#[test]
+fn registry_settle_histogram_agrees_with_recovery_report() {
+    // The chaos metric regression gate: on a scripted plan, the
+    // `chaos.settle_steps` histogram the obs registry accumulated must
+    // agree sample-for-sample with the RecoveryReport's own settle
+    // percentiles — they are two views of the same recovery segments,
+    // and the registry view is what BENCH_chaos.json embeds.
+    let mut rng = StdRng::seed_from_u64(4010);
+    let g = generators::gnp_connected(16, 0.25, &mut rng);
+    let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+    let (_, (fu, fv)) = g.edges().next().unwrap();
+    let schedule = FaultSchedule {
+        events: vec![
+            FaultEvent::FailLink { u: fu, v: fv },
+            FaultEvent::RestoreLink { u: fu, v: fv },
+            FaultEvent::CrashNode { node: 3 },
+            FaultEvent::Partition {
+                side: vec![0, 1, 2],
+            },
+            FaultEvent::HealPartition {
+                side: vec![0, 1, 2],
+            },
+        ],
+    };
+
+    let obs = cpr_obs::Obs::with_null_tracer();
+    let mut sim = Simulator::from_edge_weights(&g, &ShortestPath, &w);
+    let report =
+        cpr_sim::run_chaos_sync_obs(&mut sim, &schedule, &ChaosOptions::default(), &obs).unwrap();
+    assert!(report.quiesced());
+
+    let hist = obs
+        .registry
+        .histogram("chaos.settle_steps")
+        .expect("obs run records settle steps");
+    assert_eq!(hist.count(), report.events.len() as u64);
+    for p in [0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(
+            hist.percentile(p).unwrap_or(0),
+            report.settle_steps_percentile(p),
+            "p{:.0} diverged between registry and report",
+            p * 100.0
+        );
+    }
+    // And the histogram is byte-for-byte the report's own accumulator.
+    assert_eq!(
+        hist.to_json().to_compact(),
+        report.settle_steps_histogram().to_json().to_compact()
+    );
+
+    // Counters cross-check: events and message totals.
+    assert_eq!(
+        obs.registry.counter("chaos.events"),
+        report.events.len() as u64
+    );
+    let msg_hist = obs
+        .registry
+        .histogram("chaos.settle_messages")
+        .expect("obs run records settle messages");
+    assert_eq!(
+        msg_hist.sum() + u128::from(obs.registry.counter("chaos.initial_settle_messages")),
+        u128::from(report.total_messages()),
+        "registry message accounting diverged from the report"
+    );
+}
