@@ -1,0 +1,108 @@
+//! **Conformance driver** — the CI entry point for the cpr-conform
+//! differential harness.
+//!
+//! Runs the mutant-algebra rejection suite, then fuzzes a contiguous
+//! seed range through the full differential engine (five live schemes,
+//! the compiled plane, the self-healing repair drill, stretch
+//! certification against the theorem bounds). On a violation the
+//! instance is shrunk to a locally minimal witness and written as a
+//! self-contained repro into the corpus directory, so the failing case
+//! replays forever via the `conform_replay` test.
+//!
+//! ```text
+//! CPR_CONFORM_ITERS=32 CPR_CONFORM_SEED=0 cargo run --release -p cpr-bench --bin conform
+//! cargo run -p cpr-bench --bin conform -- --emit-corpus 0 3 13
+//! ```
+//!
+//! Environment:
+//!
+//! * `CPR_CONFORM_ITERS` — seeds to fuzz (default 32).
+//! * `CPR_CONFORM_SEED` — first seed of the range (default 0).
+//! * `CPR_CONFORM_CORPUS` — repro directory (default `conform/corpus`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cpr_conform::{check_mutants, fuzz, generate, write_repro};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn corpus_dir() -> PathBuf {
+    std::env::var("CPR_CONFORM_CORPUS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("conform/corpus"))
+}
+
+/// `--emit-corpus <seed>...`: regenerate checked-in seed instances in
+/// canonical serialized form. Used to (re)build the regression corpus.
+fn emit_corpus(seeds: &[String]) -> ExitCode {
+    let dir = corpus_dir();
+    for raw in seeds {
+        let seed: u64 = raw.parse().expect("--emit-corpus takes integer seeds");
+        let mut inst = generate(seed);
+        inst.note = format!("seed corpus: pinned clean instance for seed {seed}");
+        let path = write_repro(&dir, &format!("seed-{seed:04}"), &inst)
+            .expect("corpus directory must be writable");
+        println!("conform: wrote {} ({})", path.display(), inst.tag());
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--emit-corpus") {
+        return emit_corpus(&args[1..]);
+    }
+
+    let start = env_u64("CPR_CONFORM_SEED", 0);
+    let iters = env_u64("CPR_CONFORM_ITERS", 32);
+
+    let mutant_violations = check_mutants();
+    if !mutant_violations.is_empty() {
+        eprintln!("conform: mutant-algebra suite FAILED:");
+        for v in &mutant_violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("conform: mutant algebras classified and rejected");
+
+    println!("conform: fuzzing seeds {start}..{}", start + iters);
+    let outcome = fuzz(start, iters);
+    print!("{}", outcome.report.render());
+
+    if outcome.is_clean() {
+        println!(
+            "conform: OK — {} instances, {} coverage cells",
+            outcome.iterations,
+            outcome.report.coverage.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let dir = corpus_dir();
+    eprintln!(
+        "conform: {} violating seed(s); writing shrunk repros to {}",
+        outcome.failures.len(),
+        dir.display()
+    );
+    for failure in &outcome.failures {
+        match write_repro(
+            &dir,
+            &format!("fuzz-seed-{:04}", failure.seed),
+            &failure.repro,
+        ) {
+            Ok(path) => eprintln!("  {} -> {}", failure.seed, path.display()),
+            Err(e) => eprintln!("  {} -> write failed: {e}", failure.seed),
+        }
+        for v in &failure.violations {
+            eprintln!("    {v}");
+        }
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,274 @@
+//! The algebra registry: every Table 1 algebra the differential engine
+//! sweeps, with seed-serializable edge weights.
+//!
+//! Repro files must be self-contained and byte-stable, so edge weights
+//! are stored as *atoms* — pairs of `u64` — and each algebra interprets
+//! an atom into its own carrier deterministically
+//! ([`ConformAlgebra::weight_from_atom`]). The same atom array therefore
+//! reproduces the same instance for every algebra, and shrinking an atom
+//! shrinks the weight in every interpretation at once.
+
+use cpr_algebra::policies::{
+    self, BoundedShortestPath, Capacity, HopCount, MostReliablePath, ShortestPath, ShortestWidest,
+    Usable, UsablePath, WidestPath, WidestShortest,
+};
+use cpr_algebra::{Ratio, RoutingAlgebra, SampleWeights};
+use cpr_graph::{EdgeWeights, Graph};
+
+/// The cost budget of the non-delimited [`BoundedShortestPath`] entry:
+/// large enough that most pairs stay routable on the small conformance
+/// graphs, small enough that long detours genuinely hit `φ`.
+pub const BOUNDED_BUDGET: u64 = 120;
+
+/// All registered algebras, in sweep order.
+pub const ALL_ALGEBRAS: [AlgebraId; 8] = [
+    AlgebraId::ShortestPath,
+    AlgebraId::HopCount,
+    AlgebraId::WidestPath,
+    AlgebraId::UsablePath,
+    AlgebraId::MostReliablePath,
+    AlgebraId::WidestShortest,
+    AlgebraId::ShortestWidest,
+    AlgebraId::BoundedShortestPath,
+];
+
+/// Identifies one of the eight Table 1 algebras in the registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // Variants mirror the `policies` types one-to-one.
+pub enum AlgebraId {
+    ShortestPath,
+    HopCount,
+    WidestPath,
+    UsablePath,
+    MostReliablePath,
+    WidestShortest,
+    ShortestWidest,
+    BoundedShortestPath,
+}
+
+impl AlgebraId {
+    /// Stable name used in reports and repro files.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgebraId::ShortestPath => "shortest-path",
+            AlgebraId::HopCount => "hop-count",
+            AlgebraId::WidestPath => "widest-path",
+            AlgebraId::UsablePath => "usable-path",
+            AlgebraId::MostReliablePath => "most-reliable-path",
+            AlgebraId::WidestShortest => "widest-shortest",
+            AlgebraId::ShortestWidest => "shortest-widest",
+            AlgebraId::BoundedShortestPath => "bounded-shortest-path",
+        }
+    }
+
+    /// Parses [`name`](Self::name) back; used by repro replay.
+    pub fn from_name(s: &str) -> Option<AlgebraId> {
+        ALL_ALGEBRAS.into_iter().find(|a| a.name() == s)
+    }
+}
+
+/// A registry algebra: a [`RoutingAlgebra`] whose edge weights can be
+/// materialized from serialized atoms.
+///
+/// Implementing this trait (plus listing the algebra in the engine's
+/// dispatch) is all it takes to put a new algebra under the conformance
+/// microscope.
+pub trait ConformAlgebra: RoutingAlgebra + SampleWeights + Sync
+where
+    Self::W: Send + Sync,
+{
+    /// Deterministically interprets one serialized atom `(a, b)` as an
+    /// edge weight of this algebra.
+    fn weight_from_atom(&self, atom: (u64, u64)) -> Self::W;
+
+    /// Materializes per-edge weights from the instance's atom array
+    /// (`atoms[e]` belongs to edge `e` in graph edge order).
+    fn weights_from_atoms(&self, graph: &Graph, atoms: &[(u64, u64)]) -> EdgeWeights<Self::W> {
+        assert_eq!(atoms.len(), graph.edge_count(), "one atom per edge");
+        let mut i = 0;
+        EdgeWeights::from_fn(graph, |_| {
+            let w = self.weight_from_atom(atoms[i]);
+            i += 1;
+            w
+        })
+    }
+}
+
+impl ConformAlgebra for ShortestPath {
+    fn weight_from_atom(&self, atom: (u64, u64)) -> u64 {
+        1 + atom.0 % 100
+    }
+}
+
+impl ConformAlgebra for HopCount {
+    fn weight_from_atom(&self, _atom: (u64, u64)) -> u64 {
+        1
+    }
+}
+
+impl ConformAlgebra for WidestPath {
+    fn weight_from_atom(&self, atom: (u64, u64)) -> Capacity {
+        // Coarse capacities: ties are common, which is exactly where
+        // selective algebras get interesting (and where the
+        // bottleneck-class tables stay small).
+        Capacity::new(1 + atom.1 % 8).expect("non-zero")
+    }
+}
+
+impl ConformAlgebra for UsablePath {
+    fn weight_from_atom(&self, _atom: (u64, u64)) -> Usable {
+        Usable
+    }
+}
+
+impl ConformAlgebra for MostReliablePath {
+    fn weight_from_atom(&self, atom: (u64, u64)) -> Ratio {
+        Ratio::new(50 + atom.0 % 50, 100).expect("in (0, 1]")
+    }
+}
+
+impl ConformAlgebra for WidestShortest {
+    fn weight_from_atom(&self, atom: (u64, u64)) -> (u64, Capacity) {
+        (
+            ShortestPath.weight_from_atom(atom),
+            WidestPath.weight_from_atom(atom),
+        )
+    }
+}
+
+impl ConformAlgebra for ShortestWidest {
+    fn weight_from_atom(&self, atom: (u64, u64)) -> (Capacity, u64) {
+        (
+            WidestPath.weight_from_atom(atom),
+            ShortestPath.weight_from_atom(atom),
+        )
+    }
+}
+
+impl ConformAlgebra for BoundedShortestPath {
+    fn weight_from_atom(&self, atom: (u64, u64)) -> u64 {
+        1 + atom.0 % 40
+    }
+}
+
+/// Runs `f` with the concrete algebra value behind an [`AlgebraId`].
+///
+/// This is the monomorphization point: the engine is generic over
+/// [`ConformAlgebra`] and this macro stamps it out once per registered
+/// algebra. New algebras are added here and in [`ALL_ALGEBRAS`].
+#[macro_export]
+macro_rules! with_algebra {
+    ($id:expr, $alg:ident => $body:expr) => {
+        match $id {
+            $crate::AlgebraId::ShortestPath => {
+                let $alg = cpr_algebra::policies::ShortestPath;
+                $body
+            }
+            $crate::AlgebraId::HopCount => {
+                let $alg = cpr_algebra::policies::HopCount;
+                $body
+            }
+            $crate::AlgebraId::WidestPath => {
+                let $alg = cpr_algebra::policies::WidestPath;
+                $body
+            }
+            $crate::AlgebraId::UsablePath => {
+                let $alg = cpr_algebra::policies::UsablePath;
+                $body
+            }
+            $crate::AlgebraId::MostReliablePath => {
+                let $alg = cpr_algebra::policies::MostReliablePath;
+                $body
+            }
+            $crate::AlgebraId::WidestShortest => {
+                let $alg = cpr_algebra::policies::widest_shortest();
+                $body
+            }
+            $crate::AlgebraId::ShortestWidest => {
+                let $alg = cpr_algebra::policies::shortest_widest();
+                $body
+            }
+            $crate::AlgebraId::BoundedShortestPath => {
+                let $alg = cpr_algebra::policies::BoundedShortestPath::new($crate::BOUNDED_BUDGET);
+                $body
+            }
+        }
+    };
+}
+
+/// The empirically checked property set of a registry algebra, used by
+/// the engine's admissibility gate. For the eight registry algebras this
+/// agrees with the paper's Table 1 (pinned by a test below); the gate
+/// still re-derives it empirically so that a regression in an algebra
+/// implementation is caught as a conformance failure, not silently
+/// trusted from its declaration.
+pub fn empirical_properties(id: AlgebraId) -> cpr_algebra::PropertySet {
+    with_algebra!(id, alg => {
+        cpr_algebra::check_all_properties(&alg, &alg.sample()).holding()
+    })
+}
+
+/// Convenience constructor for the registered bounded algebra.
+pub fn bounded() -> BoundedShortestPath {
+    BoundedShortestPath::new(BOUNDED_BUDGET)
+}
+
+/// Convenience constructor matching [`AlgebraId::WidestShortest`].
+pub fn widest_shortest() -> WidestShortest {
+    policies::widest_shortest()
+}
+
+/// Convenience constructor matching [`AlgebraId::ShortestWidest`].
+pub fn shortest_widest() -> ShortestWidest {
+    policies::shortest_widest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_algebra::Property;
+
+    #[test]
+    fn names_round_trip() {
+        for id in ALL_ALGEBRAS {
+            assert_eq!(AlgebraId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(AlgebraId::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn empirical_properties_match_table1() {
+        // The gate inputs the engine actually uses, pinned to the paper.
+        assert!(empirical_properties(AlgebraId::ShortestPath).is_regular());
+        assert!(empirical_properties(AlgebraId::WidestPath).contains(Property::Selective));
+        assert!(empirical_properties(AlgebraId::UsablePath).is_regular());
+        assert!(empirical_properties(AlgebraId::MostReliablePath).is_regular());
+        assert!(empirical_properties(AlgebraId::WidestShortest).is_regular());
+        let sw = empirical_properties(AlgebraId::ShortestWidest);
+        assert!(sw.contains(Property::StrictlyMonotone));
+        assert!(!sw.contains(Property::Isotone), "SW must not look isotone");
+        let bounded = empirical_properties(AlgebraId::BoundedShortestPath);
+        assert!(bounded.is_regular());
+        assert!(
+            !bounded.contains(Property::Delimited),
+            "the bounded algebra must not look delimited"
+        );
+    }
+
+    #[test]
+    fn atoms_materialize_deterministically() {
+        let g = cpr_graph::generators::path(3);
+        let atoms = [(7, 3), (12, 9)];
+        let w1 = ShortestPath.weights_from_atoms(&g, &atoms);
+        let w2 = ShortestPath.weights_from_atoms(&g, &atoms);
+        for (e, w) in w1.iter() {
+            assert_eq!(w, w2.weight(e));
+        }
+        // Every algebra accepts the same atom array.
+        for id in ALL_ALGEBRAS {
+            with_algebra!(id, alg => {
+                assert_eq!(alg.weights_from_atoms(&g, &atoms).len(), 2);
+            });
+        }
+    }
+}

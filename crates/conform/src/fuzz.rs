@@ -1,0 +1,97 @@
+//! The deterministic fuzz driver: generate → check → shrink.
+//!
+//! [`fuzz`] walks a contiguous seed range, runs the full differential
+//! sweep on each generated instance, and on the first violation shrinks
+//! the instance to a locally minimal witness. Everything is a pure
+//! function of the seed range, so a CI failure names the exact seed and
+//! any machine reproduces it bit-for-bit.
+
+use crate::engine::{check_instance, Report, Violation};
+use crate::generate::{generate, Instance};
+use crate::shrink::shrink;
+
+/// One shrunk failure found by the fuzzer.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The seed whose instance violated conformance.
+    pub seed: u64,
+    /// The shrunk instance, `note` annotated with the original violation.
+    pub repro: Instance,
+    /// The violations the *shrunk* instance still exhibits.
+    pub violations: Vec<Violation>,
+}
+
+/// Outcome of a fuzz run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzOutcome {
+    /// Instances checked.
+    pub iterations: u64,
+    /// Aggregate statistics across all clean instances.
+    pub report: Report,
+    /// Shrunk failures, in seed order.
+    pub failures: Vec<Failure>,
+}
+
+impl FuzzOutcome {
+    /// `true` when every instance passed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Fuzzes seeds `start..start + iters`. Violating instances are shrunk
+/// with the engine itself as the reproduction predicate; the run keeps
+/// going after a failure so one bad seed does not mask another (capped
+/// at 8 failures to bound shrink time in a badly broken tree).
+pub fn fuzz(start: u64, iters: u64) -> FuzzOutcome {
+    let mut outcome = FuzzOutcome::default();
+    for seed in start..start.saturating_add(iters) {
+        outcome.iterations += 1;
+        let inst = generate(seed);
+        let report = check_instance(&inst);
+        if report.is_clean() {
+            outcome.report.merge(report);
+            continue;
+        }
+        let shrunk = shrink(&inst, |cand| !check_instance(cand).is_clean());
+        let violations = check_instance(&shrunk).violations;
+        let mut repro = shrunk;
+        repro.note = format!(
+            "seed {seed}: {}",
+            violations
+                .first()
+                .map(ToString::to_string)
+                .unwrap_or_default()
+        );
+        outcome.failures.push(Failure {
+            seed,
+            repro,
+            violations,
+        });
+        if outcome.failures.len() >= 8 {
+            break;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_short_fuzz_run_is_clean() {
+        let outcome = fuzz(0, 3);
+        assert_eq!(outcome.iterations, 3);
+        assert!(
+            outcome.is_clean(),
+            "{:?}",
+            outcome
+                .failures
+                .iter()
+                .map(|f| &f.violations)
+                .collect::<Vec<_>>()
+        );
+        assert!(outcome.report.pairs_checked > 0);
+    }
+}

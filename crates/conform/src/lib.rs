@@ -1,0 +1,45 @@
+//! # cpr-conform — differential conformance harness
+//!
+//! Everything in this workspace that claims to *route* — the five live
+//! [`RoutingScheme`](cpr_routing::RoutingScheme)s, the compiled
+//! cpr-plane, and the self-healing repair path — is checked here against
+//! one ground truth: the exhaustive simple-path oracle
+//! ([`cpr_paths::exhaustive_preferred_all`]), which implements the
+//! paper's *definition* of a routing policy with no algorithmic
+//! shortcuts. The harness has four pillars:
+//!
+//! * **Generator kit** ([`generate`]) — seed-deterministic, fully
+//!   self-contained instances over every cpr-graph generator family,
+//!   interpreted under all eight Table 1 algebras ([`algebras`]).
+//! * **Mutant algebras** ([`mutant`]) — `⊕`/`⪯` perturbed to break
+//!   exactly one of M, I, SM, S, with ground-truth labels; the property
+//!   classifier must detect each break and the scheme admissibility
+//!   gates must reject what the broken property gated
+//!   ([`check_mutants`]).
+//! * **Differential engine** ([`engine`]) — routability agreement,
+//!   per-pair stretch certification against the claimed theorem bound,
+//!   hop-for-hop plane conformance, and a fault → repair drill on the
+//!   self-healing plane.
+//! * **Shrinking fuzzer** ([`fuzz`], [`shrink`]) — on violation, greedily
+//!   deletes edges/nodes, simplifies weights and drops the fault event
+//!   while the violation reproduces, then emits a self-contained repro
+//!   ([`repro`]) that `conform/corpus/` replays in CI forever.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebras;
+pub mod engine;
+pub mod fuzz;
+pub mod generate;
+pub mod mutant;
+pub mod repro;
+pub mod shrink;
+
+pub use algebras::{empirical_properties, AlgebraId, ConformAlgebra, ALL_ALGEBRAS, BOUNDED_BUDGET};
+pub use engine::{check_instance, check_mutants, Report, Violation, COWEN_STRETCH, TABLE_STRETCH};
+pub use fuzz::{fuzz, Failure, FuzzOutcome};
+pub use generate::{generate, GraphFamily, Instance, ALL_FAMILIES};
+pub use mutant::{classify_mutant, MutantId, ALL_MUTANTS};
+pub use repro::{from_json, to_json, write_repro, REPRO_VERSION};
+pub use shrink::shrink;

@@ -1,0 +1,338 @@
+//! Mutant algebras: deliberately broken `(W, φ, ⊕, ⪯)` instances with
+//! *known* ground-truth property labels.
+//!
+//! The paper's theorems gate every compact scheme on algebraic properties
+//! (Definition 1): destination tables need regularity (Proposition 2), the
+//! generalized Cowen scheme additionally needs delimitedness (Theorem 3).
+//! A classifier that merely *passes* the eight well-behaved Table 1
+//! algebras proves little — these mutants perturb `⊕` on chosen elements
+//! so that exactly one targeted law fails, and the conformance engine
+//! asserts (a) the empirical property checker finds a counterexample for
+//! every property a mutant is designed to break, and (b) the scheme
+//! registry refuses to run any scheme whose admissibility depends on a
+//! broken property. A mutant slipping through either gate is a harness
+//! bug, caught before it can mask a real regression.
+
+use std::cmp::Ordering;
+
+use cpr_algebra::policies::Capacity;
+use cpr_algebra::{PathWeight, Property, PropertySet, RoutingAlgebra, SampleWeights};
+use rand::Rng;
+
+/// The catalogue of mutants, in sweep order.
+pub const ALL_MUTANTS: [MutantId; 4] = [
+    MutantId::Detour,
+    MutantId::Penalty,
+    MutantId::Plateau,
+    MutantId::NarrowSelf,
+];
+
+/// Identifies one mutant algebra and its ground-truth labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MutantId {
+    /// [`Detour`]: breaks monotonicity (and with it strict monotonicity).
+    Detour,
+    /// [`Penalty`]: breaks isotonicity while staying strictly monotone.
+    Penalty,
+    /// [`Plateau`]: breaks strict monotonicity while staying monotone.
+    Plateau,
+    /// [`NarrowSelf`]: breaks selectivity while staying monotone.
+    NarrowSelf,
+}
+
+impl MutantId {
+    /// Stable name used in reports and repro files.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutantId::Detour => "mutant-detour",
+            MutantId::Penalty => "mutant-penalty",
+            MutantId::Plateau => "mutant-plateau",
+            MutantId::NarrowSelf => "mutant-narrow-self",
+        }
+    }
+
+    /// Parses [`name`](Self::name) back; used by repro replay.
+    pub fn from_name(s: &str) -> Option<MutantId> {
+        ALL_MUTANTS.into_iter().find(|m| m.name() == s)
+    }
+
+    /// The properties this mutant is *designed* to violate: the empirical
+    /// checker must produce a counterexample for every one of them.
+    pub fn broken(self) -> PropertySet {
+        match self {
+            MutantId::Detour => {
+                PropertySet::from_iter([Property::Monotone, Property::StrictlyMonotone])
+            }
+            MutantId::Penalty => PropertySet::from_iter([Property::Isotone]),
+            MutantId::Plateau => PropertySet::from_iter([Property::StrictlyMonotone]),
+            MutantId::NarrowSelf => PropertySet::from_iter([Property::Selective]),
+        }
+    }
+
+    /// Properties guaranteed to *survive* the mutation on the sample —
+    /// checked too, so detection is targeted rather than vacuous (a
+    /// checker that rejected everything would also "catch" every mutant).
+    pub fn intact(self) -> PropertySet {
+        match self {
+            MutantId::Detour => {
+                PropertySet::from_iter([Property::Commutative, Property::TotalOrder])
+            }
+            MutantId::Penalty => PropertySet::from_iter([
+                Property::Commutative,
+                Property::TotalOrder,
+                Property::Monotone,
+                Property::StrictlyMonotone,
+                Property::Delimited,
+            ]),
+            MutantId::Plateau => PropertySet::from_iter([
+                Property::Commutative,
+                Property::Associative,
+                Property::TotalOrder,
+                Property::Monotone,
+                Property::Isotone,
+                Property::Selective,
+                Property::Delimited,
+            ]),
+            MutantId::NarrowSelf => PropertySet::from_iter([
+                Property::Commutative,
+                Property::TotalOrder,
+                Property::Monotone,
+                Property::Delimited,
+            ]),
+        }
+    }
+}
+
+/// `⊕ = |a − b| + 1` over `(N, ≤)`: composing with a nearby weight
+/// *shrinks* the result below either operand, so `w₁ ⪯ w₂ ⊕ w₁` fails
+/// (take `w₁ = 5, w₂ = 4`: `4 ⊕ 5 = 2 ≺ 5`). Commutative and totally
+/// ordered, so only the monotonicity family is damaged.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Detour;
+
+impl RoutingAlgebra for Detour {
+    type W = u64;
+
+    fn name(&self) -> String {
+        MutantId::Detour.name().to_owned()
+    }
+
+    fn combine(&self, a: &u64, b: &u64) -> PathWeight<u64> {
+        PathWeight::Finite(a.abs_diff(*b) + 1)
+    }
+
+    fn compare(&self, a: &u64, b: &u64) -> Ordering {
+        a.cmp(b)
+    }
+}
+
+impl SampleWeights for Detour {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(1..=50)
+    }
+
+    fn sample(&self) -> Vec<u64> {
+        vec![1, 2, 4, 5, 9, 20]
+    }
+}
+
+/// Shortest path with a congestion cliff: `a ⊕ b = a + b`, except sums
+/// hitting exactly [`Penalty::TRIGGER`] jump to [`Penalty::PENALTY`].
+/// Strict monotonicity survives (the result always exceeds either
+/// operand on the sample), but isotonicity dies: `4 ⪯ 5`, yet
+/// `6 ⊕ 4 = 100 ≻ 11 = 6 ⊕ 5`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Penalty;
+
+impl Penalty {
+    /// The sum that triggers the cliff.
+    pub const TRIGGER: u64 = 10;
+    /// The post-cliff weight (larger than any sample weight).
+    pub const PENALTY: u64 = 100;
+}
+
+impl RoutingAlgebra for Penalty {
+    type W = u64;
+
+    fn name(&self) -> String {
+        MutantId::Penalty.name().to_owned()
+    }
+
+    fn combine(&self, a: &u64, b: &u64) -> PathWeight<u64> {
+        let sum = a.saturating_add(*b);
+        PathWeight::Finite(if sum == Self::TRIGGER {
+            Self::PENALTY
+        } else {
+            sum
+        })
+    }
+
+    fn compare(&self, a: &u64, b: &u64) -> Ordering {
+        a.cmp(b)
+    }
+}
+
+impl SampleWeights for Penalty {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(1..=9)
+    }
+
+    fn sample(&self) -> Vec<u64> {
+        // Contains pairs summing to the trigger (4 + 6, 5 + 5) and the
+        // isotonicity witnesses (4, 5, 6).
+        vec![1, 2, 4, 5, 6, 9]
+    }
+}
+
+/// `⊕ = max` over `(N, ≤)`: a worst-edge ("highest latency link") metric.
+/// Monotone, isotone and selective, but composing with a dominated weight
+/// leaves the result unchanged — `w₁ ≺ w₂ ⊕ w₁` fails whenever
+/// `w₂ ≤ w₁`, so strict monotonicity (which Theorem 2's Lemma 2 embedding
+/// requires) is gone while regularity is fully intact.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Plateau;
+
+impl RoutingAlgebra for Plateau {
+    type W = u64;
+
+    fn name(&self) -> String {
+        MutantId::Plateau.name().to_owned()
+    }
+
+    fn combine(&self, a: &u64, b: &u64) -> PathWeight<u64> {
+        PathWeight::Finite(*a.max(b))
+    }
+
+    fn compare(&self, a: &u64, b: &u64) -> Ordering {
+        a.cmp(b)
+    }
+}
+
+impl SampleWeights for Plateau {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(1..=50)
+    }
+
+    fn sample(&self) -> Vec<u64> {
+        vec![1, 3, 7, 20, 50]
+    }
+}
+
+/// Widest path with self-interference: `a ⊕ b = min(a, b)` except
+/// `a ⊕ a = a − 1` (floored at capacity 1) — two equal-capacity links in
+/// series lose a unit of bandwidth. The result escapes `{w₁, w₂}`, so
+/// selectivity fails, while monotonicity holds (the composition only ever
+/// narrows, and narrower is less preferred).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NarrowSelf;
+
+impl RoutingAlgebra for NarrowSelf {
+    type W = Capacity;
+
+    fn name(&self) -> String {
+        MutantId::NarrowSelf.name().to_owned()
+    }
+
+    fn combine(&self, a: &Capacity, b: &Capacity) -> PathWeight<Capacity> {
+        let v = if a == b {
+            (a.value() - 1).max(1)
+        } else {
+            a.value().min(b.value())
+        };
+        PathWeight::Finite(Capacity::new(v).expect("floored at 1"))
+    }
+
+    fn compare(&self, a: &Capacity, b: &Capacity) -> Ordering {
+        // Wider is preferred, as in the real widest-path algebra.
+        b.cmp(a)
+    }
+}
+
+impl SampleWeights for NarrowSelf {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> Capacity {
+        Capacity::new(rng.gen_range(2..=40)).expect("non-zero")
+    }
+
+    fn sample(&self) -> Vec<Capacity> {
+        [2, 5, 10, 40]
+            .into_iter()
+            .map(|v| Capacity::new(v).expect("non-zero"))
+            .collect()
+    }
+}
+
+/// Classifies one mutant empirically and cross-checks the verdicts
+/// against its ground-truth labels. Returns the list of discrepancies
+/// (empty = the classifier conforms).
+pub fn classify_mutant(id: MutantId) -> Vec<String> {
+    match id {
+        MutantId::Detour => classify(id, &Detour),
+        MutantId::Penalty => classify(id, &Penalty),
+        MutantId::Plateau => classify(id, &Plateau),
+        MutantId::NarrowSelf => classify(id, &NarrowSelf),
+    }
+}
+
+fn classify<A>(id: MutantId, alg: &A) -> Vec<String>
+where
+    A: RoutingAlgebra + SampleWeights,
+{
+    let report = cpr_algebra::check_all_properties(alg, &alg.sample());
+    let holding = report.holding();
+    let mut errors = Vec::new();
+    for p in id.broken().iter() {
+        if holding.contains(p) {
+            errors.push(format!(
+                "{}: designed-broken property {p} was NOT detected (no counterexample found)",
+                id.name()
+            ));
+        }
+    }
+    for p in id.intact().iter() {
+        if !holding.contains(p) {
+            let detail = report
+                .counterexample(p)
+                .map(|ce| ce.to_string())
+                .unwrap_or_default();
+            errors.push(format!(
+                "{}: intact property {p} was spuriously rejected: {detail}",
+                id.name()
+            ));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mutant_classifies_exactly_as_labelled() {
+        for id in ALL_MUTANTS {
+            let errors = classify_mutant(id);
+            assert!(errors.is_empty(), "{}", errors.join("\n"));
+        }
+    }
+
+    #[test]
+    fn no_mutant_is_admissible_for_table_schemes_when_regularity_breaks() {
+        // Detour and Penalty both lose regularity (M or I), which is the
+        // gate for destination tables; Plateau keeps it but loses SM.
+        let detour = cpr_algebra::check_all_properties(&Detour, &Detour.sample()).holding();
+        assert!(!detour.is_regular());
+        let penalty = cpr_algebra::check_all_properties(&Penalty, &Penalty.sample()).holding();
+        assert!(!penalty.is_regular());
+        let plateau = cpr_algebra::check_all_properties(&Plateau, &Plateau.sample()).holding();
+        assert!(plateau.is_regular());
+        assert!(!plateau.contains(Property::StrictlyMonotone));
+    }
+
+    #[test]
+    fn mutant_names_round_trip() {
+        for id in ALL_MUTANTS {
+            assert_eq!(MutantId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(MutantId::from_name("not-a-mutant"), None);
+    }
+}

@@ -1,0 +1,405 @@
+//! Self-contained repro files.
+//!
+//! A repro is one [`Instance`] serialized as JSON under `conform/corpus/`.
+//! Writing goes through `cpr_obs::Json` (deterministic key order, stable
+//! pretty-printing, so files are byte-reproducible); reading uses the
+//! minimal recursive-descent parser below — the workspace deliberately
+//! has no JSON-parsing dependency, and repro files only ever contain
+//! objects, arrays, strings, unsigned integers and `null`.
+
+use std::path::{Path, PathBuf};
+
+use cpr_obs::Json;
+
+use crate::generate::Instance;
+
+/// Repro format version, bumped on incompatible field changes.
+pub const REPRO_VERSION: u64 = 1;
+
+/// Serializes an instance as a pretty-printed, byte-stable JSON document.
+pub fn to_json(inst: &Instance) -> String {
+    let pair = |(a, b): (u64, u64)| Json::arr([Json::int(a), Json::int(b)]);
+    Json::obj([
+        ("version", Json::int(REPRO_VERSION)),
+        ("seed", Json::int(inst.seed)),
+        ("family", Json::str(inst.family.clone())),
+        ("n", Json::int(inst.n)),
+        (
+            "edges",
+            Json::arr(inst.edges.iter().map(|&(u, v)| pair((u as u64, v as u64)))),
+        ),
+        ("atoms", Json::arr(inst.atoms.iter().map(|&a| pair(a)))),
+        (
+            "heal_edge",
+            match inst.heal_edge {
+                Some(e) => Json::int(e),
+                None => Json::Null,
+            },
+        ),
+        ("note", Json::str(inst.note.clone())),
+    ])
+    .to_pretty()
+}
+
+/// Parses a repro document back into an [`Instance`].
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema problem.
+pub fn from_json(text: &str) -> Result<Instance, String> {
+    let value = Parser::new(text).document()?;
+    let obj = value.as_obj("repro document")?;
+    let version = obj.field(text, "version")?.as_u64("version")?;
+    if version != REPRO_VERSION {
+        return Err(format!("unsupported repro version {version}"));
+    }
+    let pair = |v: &Value, what: &str| -> Result<(u64, u64), String> {
+        let items = v.as_arr(what)?;
+        if items.len() != 2 {
+            return Err(format!("{what}: expected a two-element array"));
+        }
+        Ok((items[0].as_u64(what)?, items[1].as_u64(what)?))
+    };
+    let edges = obj
+        .field(text, "edges")?
+        .as_arr("edges")?
+        .iter()
+        .map(|v| pair(v, "edge").map(|(u, w)| (u as usize, w as usize)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let atoms = obj
+        .field(text, "atoms")?
+        .as_arr("atoms")?
+        .iter()
+        .map(|v| pair(v, "atom"))
+        .collect::<Result<Vec<_>, _>>()?;
+    if atoms.len() != edges.len() {
+        return Err(format!(
+            "repro has {} edges but {} atoms",
+            edges.len(),
+            atoms.len()
+        ));
+    }
+    let heal_edge = match obj.field(text, "heal_edge")? {
+        Value::Null => None,
+        v => Some(v.as_u64("heal_edge")? as usize),
+    };
+    let inst = Instance {
+        seed: obj.field(text, "seed")?.as_u64("seed")?,
+        family: obj.field(text, "family")?.as_str("family")?.to_owned(),
+        n: obj.field(text, "n")?.as_u64("n")? as usize,
+        edges,
+        atoms,
+        heal_edge,
+        note: obj.field(text, "note")?.as_str("note")?.to_owned(),
+    };
+    for &(u, v) in &inst.edges {
+        if u >= inst.n || v >= inst.n {
+            return Err(format!("edge ({u}, {v}) out of bounds for n = {}", inst.n));
+        }
+    }
+    if let Some(e) = inst.heal_edge {
+        if e >= inst.edges.len() {
+            return Err(format!("heal_edge {e} out of bounds"));
+        }
+    }
+    Ok(inst)
+}
+
+/// Writes `inst` into `dir` as `<stem>.json`, returning the path.
+///
+/// # Errors
+///
+/// Any I/O error creating the directory or writing the file.
+pub fn write_repro(dir: &Path, stem: &str, inst: &Instance) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{stem}.json"));
+    std::fs::write(&path, to_json(inst))?;
+    Ok(path)
+}
+
+/// The JSON subset repro files use. Numbers are unsigned integers — the
+/// writer never emits anything else.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Str(String),
+    Num(u64),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
+        match self {
+            Value::Obj(fields) => Ok(fields),
+            other => Err(format!("{what}: expected an object, got {other:?}")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(format!("{what}: expected an array, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Value::Num(v) => Ok(*v),
+            other => Err(format!("{what}: expected an integer, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("{what}: expected a string, got {other:?}")),
+        }
+    }
+}
+
+trait Fields {
+    fn field(&self, text: &str, key: &str) -> Result<&Value, String>;
+}
+
+impl Fields for &[(String, Value)] {
+    fn field(&self, _text: &str, key: &str) -> Result<&Value, String> {
+        self.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field \"{key}\""))
+    }
+}
+
+/// Recursive-descent parser for the subset above.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn document(&mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing input at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_owned())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'n' => self.literal(b"null", Value::Null),
+            b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected '{}' at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse::<u64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| "bad \\u escape".to_owned())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "surrogate \\u escape unsupported".to_owned())?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (repro notes may hold any text).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string".to_owned())?;
+                    let c = rest.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, got '{}'",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got '{}'",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+
+    #[test]
+    fn round_trips_generated_instances() {
+        for seed in 0..16 {
+            let inst = generate(seed);
+            let text = to_json(&inst);
+            cpr_obs::json::validate(&text).expect("writer emits valid JSON");
+            let back = from_json(&text).expect("parser accepts writer output");
+            assert_eq!(inst, back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn serialization_is_byte_stable() {
+        let inst = generate(3);
+        assert_eq!(to_json(&inst), to_json(&inst));
+    }
+
+    #[test]
+    fn notes_with_escapes_survive() {
+        let mut inst = generate(1);
+        inst.note = "stretch \"k=3\"\nline2\ttab \\ slash".to_owned();
+        let back = from_json(&to_json(&inst)).expect("escaped note parses");
+        assert_eq!(back.note, inst.note);
+    }
+
+    #[test]
+    fn schema_problems_are_reported() {
+        assert!(from_json("[]").is_err());
+        assert!(from_json("{\"version\": 99}").is_err());
+        assert!(from_json("not json").is_err());
+        let truncated = "{\"version\": 1, \"seed\": 0";
+        assert!(from_json(truncated).is_err());
+        // Atom/edge count mismatch.
+        let bad = r#"{"version":1,"seed":0,"family":"path","n":2,
+            "edges":[[0,1]],"atoms":[],"heal_edge":null,"note":""}"#;
+        assert!(from_json(bad).unwrap_err().contains("atoms"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Greedy deterministic shrinking.
+//!
+//! On a violation, the fuzzer hands the failing [`Instance`] to
+//! [`shrink`], which repeatedly tries structural simplifications — drop
+//! the heal edge, delete an edge, delete a node, zero a weight atom —
+//! keeping each change only if the violation still reproduces. The
+//! passes iterate to a fixpoint, so the emitted repro is locally minimal:
+//! no single deletion or atom reset preserves the failure.
+
+use crate::generate::Instance;
+
+/// Shrinks `inst` while `fails` keeps returning `true`, returning the
+/// smallest reproducing instance found. `fails(inst)` must hold on entry
+/// (the caller just observed the violation); the function panics
+/// otherwise to surface a non-reproducing (flaky) failure immediately.
+pub fn shrink(inst: &Instance, fails: impl Fn(&Instance) -> bool) -> Instance {
+    assert!(
+        fails(inst),
+        "shrink target does not reproduce its violation: {}",
+        inst.tag()
+    );
+    let mut current = inst.clone();
+    loop {
+        let mut changed = false;
+
+        // Pass 1: drop the heal-drill edge annotation.
+        if current.heal_edge.is_some() {
+            let mut cand = current.clone();
+            cand.heal_edge = None;
+            if fails(&cand) {
+                current = cand;
+                changed = true;
+            }
+        }
+
+        // Pass 2: delete edges, highest index first so earlier candidate
+        // indices stay valid after a removal.
+        let mut e = current.edges.len();
+        while e > 0 {
+            e -= 1;
+            let cand = remove_edge(&current, e);
+            if fails(&cand) {
+                current = cand;
+                changed = true;
+            }
+        }
+
+        // Pass 3: delete nodes (with their incident edges), highest id
+        // first; remaining ids are compacted.
+        let mut v = current.n;
+        while v > 0 && current.n > 2 {
+            v -= 1;
+            let cand = remove_node(&current, v);
+            if cand.n < current.n && fails(&cand) {
+                current = cand;
+                changed = true;
+                v = v.min(current.n);
+            }
+        }
+
+        // Pass 4: simplify atoms to the unit weight.
+        for i in 0..current.atoms.len() {
+            if current.atoms[i] != (0, 0) {
+                let mut cand = current.clone();
+                cand.atoms[i] = (0, 0);
+                if fails(&cand) {
+                    current = cand;
+                    changed = true;
+                }
+            }
+        }
+
+        if !changed {
+            return current;
+        }
+    }
+}
+
+/// `inst` without edge `e`; the heal-edge index is re-aligned (or
+/// dropped, if it pointed at `e`).
+fn remove_edge(inst: &Instance, e: usize) -> Instance {
+    let mut out = inst.clone();
+    out.edges.remove(e);
+    out.atoms.remove(e);
+    out.heal_edge = match inst.heal_edge {
+        Some(h) if h == e => None,
+        Some(h) if h > e => Some(h - 1),
+        keep => keep,
+    };
+    out
+}
+
+/// `inst` without node `v`: incident edges go with it and ids above `v`
+/// shift down by one.
+fn remove_node(inst: &Instance, v: usize) -> Instance {
+    let remap = |x: usize| if x > v { x - 1 } else { x };
+    let mut edges = Vec::with_capacity(inst.edges.len());
+    let mut atoms = Vec::with_capacity(inst.atoms.len());
+    let mut heal_edge = None;
+    for (i, &(a, b)) in inst.edges.iter().enumerate() {
+        if a == v || b == v {
+            continue;
+        }
+        if inst.heal_edge == Some(i) {
+            heal_edge = Some(edges.len());
+        }
+        edges.push((remap(a), remap(b)));
+        atoms.push(inst.atoms[i]);
+    }
+    Instance {
+        seed: inst.seed,
+        family: inst.family.clone(),
+        n: inst.n - 1,
+        edges,
+        atoms,
+        heal_edge,
+        note: inst.note.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+
+    /// A synthetic "violation": the instance still contains an edge
+    /// between the (current) two lowest-numbered nodes with atom.0 ≥ 50.
+    fn planted(inst: &Instance) -> bool {
+        inst.edges
+            .iter()
+            .zip(&inst.atoms)
+            .any(|(&(u, v), &(a, _))| u.min(v) == 0 && u.max(v) == 1 && a >= 50)
+    }
+
+    #[test]
+    fn shrinks_to_a_minimal_witness() {
+        let mut inst = generate(4);
+        // Plant the failure.
+        inst.edges.push((0, 1));
+        inst.atoms.push((77, 3));
+        let small = shrink(&inst, planted);
+        assert!(planted(&small));
+        // Locally minimal: the witness edge alone, on the minimum node count.
+        assert_eq!(small.edges.len(), 1);
+        assert_eq!(small.n, 2);
+        assert_eq!(small.heal_edge, None);
+        // No single further deletion reproduces.
+        assert!(!planted(&remove_edge(&small, 0)));
+    }
+
+    #[test]
+    fn heal_edge_stays_aligned_under_edge_removal() {
+        let inst = Instance {
+            seed: 0,
+            family: "manual".into(),
+            n: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3)],
+            atoms: vec![(1, 1), (2, 2), (3, 3)],
+            heal_edge: Some(2),
+            note: String::new(),
+        };
+        let out = remove_edge(&inst, 0);
+        assert_eq!(out.heal_edge, Some(1));
+        assert_eq!(out.edges, vec![(1, 2), (2, 3)]);
+        assert_eq!(out.atoms, vec![(2, 2), (3, 3)]);
+        let dropped = remove_edge(&inst, 2);
+        assert_eq!(dropped.heal_edge, None);
+    }
+
+    #[test]
+    fn node_removal_compacts_ids_and_tracks_heal_edge() {
+        let inst = Instance {
+            seed: 0,
+            family: "manual".into(),
+            n: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3), (0, 3)],
+            atoms: vec![(1, 1), (2, 2), (3, 3), (4, 4)],
+            heal_edge: Some(3),
+            note: String::new(),
+        };
+        let out = remove_node(&inst, 1);
+        assert_eq!(out.n, 3);
+        // Edges (0,1) and (1,2) died with node 1; survivors remapped.
+        assert_eq!(out.edges, vec![(1, 2), (0, 2)]);
+        assert_eq!(out.atoms, vec![(3, 3), (4, 4)]);
+        assert_eq!(out.heal_edge, Some(1));
+        // The instance stays buildable.
+        assert_eq!(out.graph().node_count(), 3);
+    }
+
+    #[test]
+    fn non_reproducing_target_panics() {
+        let inst = generate(0);
+        let result = std::panic::catch_unwind(|| shrink(&inst, |_| false));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Corpus replay: every repro under `conform/corpus/` re-runs in CI
+//! forever.
+//!
+//! Files land here two ways: checked-in seed instances (regression
+//! anchors for the differential engine) and shrunk repros emitted by the
+//! fuzzer on a past failure. Either way the contract is the same — the
+//! instance must replay *clean* (the bug it witnessed stays fixed) and
+//! byte-deterministically under `CPR_THREADS ∈ {1, 2, 8}`.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use cpr_conform::{check_instance, from_json, to_json};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let previous = std::env::var("CPR_THREADS").ok();
+    std::env::set_var("CPR_THREADS", threads.to_string());
+    let out = f();
+    match previous {
+        Some(v) => std::env::set_var("CPR_THREADS", v),
+        None => std::env::remove_var("CPR_THREADS"),
+    }
+    out
+}
+
+/// The checked-in corpus directory at the workspace root.
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../conform/corpus"))
+}
+
+/// Every `*.json` file in the corpus, sorted for deterministic order.
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("conform/corpus must exist and be readable")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_present_and_parses() {
+    let files = corpus_files();
+    assert!(!files.is_empty(), "conform/corpus has no repro files");
+    for path in files {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let inst =
+            from_json(&text).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        // Round-trip is byte-stable: what we would re-emit is exactly
+        // what is checked in, so repro files never churn in diffs.
+        assert_eq!(
+            to_json(&inst),
+            text,
+            "{} is not in canonical serialized form",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_replays_clean_across_thread_counts() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let inst = from_json(&text).unwrap();
+        let reference = with_threads(1, || check_instance(&inst));
+        assert!(
+            reference.is_clean(),
+            "{} replays dirty:\n{}",
+            path.display(),
+            reference.render()
+        );
+        for threads in THREAD_COUNTS {
+            let report = with_threads(threads, || check_instance(&inst));
+            assert_eq!(
+                report.render(),
+                reference.render(),
+                "{} replay diverged at CPR_THREADS={threads}",
+                path.display()
+            );
+        }
+    }
+}

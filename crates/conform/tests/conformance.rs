@@ -1,0 +1,140 @@
+//! The headline conformance sweep.
+//!
+//! Runs the differential engine over a contiguous seed range (default 16
+//! instances, override with `CPR_CONFORM_ITERS`) and then *proves* the
+//! coverage claim from the report's own records: every scheme kind, all
+//! eight Table 1 algebras, at least six generator families, and all four
+//! mutant rejections. The rendered report must be byte-identical under
+//! `CPR_THREADS ∈ {1, 2, 8}` — the whole point of a deterministic
+//! harness is that CI failures replay anywhere.
+//!
+//! Tests that touch `CPR_THREADS` serialize behind one mutex: the
+//! variable is process-global and Rust runs tests concurrently.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use cpr_conform::{check_instance, check_mutants, generate, Report, ALL_ALGEBRAS, ALL_MUTANTS};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with `CPR_THREADS` set to `threads`, restoring the previous
+/// value afterwards; callers serialize on [`ENV_LOCK`].
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let previous = std::env::var("CPR_THREADS").ok();
+    std::env::set_var("CPR_THREADS", threads.to_string());
+    let out = f();
+    match previous {
+        Some(v) => std::env::set_var("CPR_THREADS", v),
+        None => std::env::remove_var("CPR_THREADS"),
+    }
+    out
+}
+
+/// Seeds swept by this test. The family rotates with `seed % 8`, so 16
+/// seeds visit every generator family twice.
+fn sweep_seeds() -> u64 {
+    std::env::var("CPR_CONFORM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+        .max(8)
+}
+
+/// One full sweep at the current thread count, returning the merged
+/// report and the set of families actually generated.
+fn sweep(iters: u64) -> (Report, BTreeSet<String>) {
+    let mut merged = Report::default();
+    let mut families = BTreeSet::new();
+    for seed in 0..iters {
+        let inst = generate(seed);
+        families.insert(inst.family.clone());
+        let report = check_instance(&inst);
+        assert!(
+            report.is_clean(),
+            "seed {seed} ({}) violated conformance:\n{}",
+            inst.tag(),
+            report.render()
+        );
+        merged.merge(report);
+    }
+    (merged, families)
+}
+
+#[test]
+fn differential_sweep_is_clean_and_covers_the_matrix() {
+    let iters = sweep_seeds();
+    let (report, families) = with_threads(1, || sweep(iters));
+
+    // Five live schemes plus the compiled plane (validated inside every
+    // scheme kind) plus the heal drill.
+    let kinds = report.scheme_kinds();
+    for kind in [
+        "dest-table",
+        "cowen",
+        "src-dest-table",
+        "label-swapping",
+        "sw-class-table",
+        "heal",
+    ] {
+        assert!(
+            kinds.contains(kind),
+            "scheme kind {kind} never ran: {kinds:?}"
+        );
+    }
+
+    // All eight Table 1 algebras appear in the exercised coverage.
+    let algebras: BTreeSet<&str> = report
+        .coverage
+        .iter()
+        .filter_map(|c| c.split(':').next())
+        .collect();
+    for id in ALL_ALGEBRAS {
+        assert!(
+            algebras.contains(id.name()),
+            "algebra {} never exercised: {algebras:?}",
+            id.name()
+        );
+    }
+
+    // At least six distinct generator families were swept.
+    assert!(
+        families.len() >= 6,
+        "only {} families swept: {families:?}",
+        families.len()
+    );
+
+    assert!(report.pairs_checked > 0);
+    assert!(report.schemes_run > 0);
+}
+
+#[test]
+fn mutant_algebras_are_rejected() {
+    assert!(ALL_MUTANTS.len() >= 4);
+    let violations = check_mutants();
+    assert!(
+        violations.is_empty(),
+        "mutant conformance failed:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn reports_are_byte_identical_across_thread_counts() {
+    let iters = sweep_seeds().min(8);
+    let reference = with_threads(1, || sweep(iters).0.render());
+    for threads in THREAD_COUNTS {
+        let rendered = with_threads(threads, || sweep(iters).0.render());
+        assert_eq!(
+            rendered, reference,
+            "conformance report diverged at CPR_THREADS={threads}"
+        );
+    }
+}

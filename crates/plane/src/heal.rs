@@ -182,6 +182,14 @@ where
         self.dirty.len()
     }
 
+    /// `(node, header)` entries currently overriding the base arrays —
+    /// the live size of the patch layer. A full rebuild resets this to
+    /// zero; anything else here must have been written by the *latest*
+    /// repair, never left over from an earlier topology.
+    pub fn patch_entries(&self) -> usize {
+        self.patch.len() + self.initial_patch.len()
+    }
+
     /// `true` when the plane's view matches `graph` and no pair awaits
     /// repair.
     pub fn is_fresh_for(&self, graph: &Graph) -> bool {

@@ -218,3 +218,57 @@ fn node_count_change_is_a_loud_error_not_a_repair() {
         }
     );
 }
+
+#[test]
+fn crash_restore_crash_leaves_no_stale_patch_entries() {
+    let mut r = rng(0xCAFE5);
+    let g = cpr_graph::generators::gnp_connected(20, 0.2, &mut r);
+    let w = EdgeWeights::random(&g, &ShortestPath, &mut r);
+    let scheme = DestTable::build(&g, &w, &ShortestPath);
+    let mut healing = SelfHealingPlane::new(&scheme, &g).unwrap();
+    assert_eq!(healing.patch_entries(), 0, "a fresh plane has no patches");
+
+    let (a, b) = routed_non_bridge_edge(&g, &scheme);
+    let (g2, w2) = without_edge(&g, &w, a, b);
+    let scheme2 = DestTable::build(&g2, &w2, &ShortestPath);
+
+    // Crash #1: the link fails and the plane heals incrementally.
+    let stats1 = healing.repair(&scheme2, &g2).unwrap();
+    assert!(!stats1.full_rebuild);
+    assert!(stats1.patched_states > 0);
+    let first_entries = healing.patch_entries();
+    assert!(first_entries > 0);
+    assert_agrees_all_pairs(&mut healing, &scheme2, &g2);
+
+    // Restore: the link comes back. An added edge dirties every pair, so
+    // the repair degenerates to a rebuild — which must wipe the patch
+    // layer, not leave crash #1's overrides shadowing the fresh base.
+    let restore = healing.repair(&scheme, &g).unwrap();
+    assert!(restore.full_rebuild);
+    assert_eq!(restore.patched_states, 0);
+    assert_eq!(
+        healing.patch_entries(),
+        0,
+        "stale patch entries survived the restore rebuild"
+    );
+    assert!(healing.is_fresh_for(&g));
+    let degraded = assert_agrees_all_pairs(&mut healing, &scheme, &g);
+    assert_eq!(degraded, 0, "restored plane must serve pure base routes");
+
+    // Crash #2 — the same link again. The rebuilt plane must heal
+    // exactly as the original did: identical dirty set and an identical
+    // patch layer, with nothing accumulated across the cycle.
+    let stats2 = healing.repair(&scheme2, &g2).unwrap();
+    assert!(!stats2.full_rebuild);
+    assert_eq!(stats2.dirty_pairs, stats1.dirty_pairs);
+    assert_eq!(stats2.repaired_pairs, stats1.repaired_pairs);
+    assert_eq!(stats2.unroutable_pairs, 0);
+    assert_eq!(stats2.patched_states, stats1.patched_states);
+    assert_eq!(
+        healing.patch_entries(),
+        first_entries,
+        "second repair of the same fault produced a different patch layer"
+    );
+    let degraded2 = assert_agrees_all_pairs(&mut healing, &scheme2, &g2);
+    assert!(degraded2 > 0, "healed pairs must route through patches");
+}

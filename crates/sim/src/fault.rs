@@ -537,8 +537,14 @@ impl RecoveryReport {
     /// The `p`-th percentile (0.0..=1.0) of per-event settle steps, by
     /// nearest-rank. (This used to sort inline; it now delegates to the
     /// shared histogram so there is exactly one percentile convention.)
+    ///
+    /// Panics on a report with no recovery events: a percentile of an
+    /// empty run previously masqueraded as `0`, which let a harness
+    /// that accidentally ran zero fault events look maximally healthy.
     pub fn settle_steps_percentile(&self, p: f64) -> u64 {
-        self.settle_steps_histogram().percentile(p).unwrap_or(0)
+        self.settle_steps_histogram()
+            .percentile(p)
+            .expect("settle percentile requested for a report with no recovery events")
     }
 }
 

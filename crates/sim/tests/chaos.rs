@@ -291,8 +291,23 @@ fn dispute_wheel_is_flagged_oscillating_without_spinning_to_budget() {
     // The plain report agrees: the budgeted run does not converge.
     let mut sim2 = Simulator::new(&graph, &alg, arc);
     assert!(!sim2.run_to_convergence(500).converged);
-    // And the audit of the mid-oscillation state is reportable (no panic).
-    let _ = audit_forwarding(&sim2);
+    // The audit of the mid-oscillation snapshot is deterministic (the
+    // synchronous runner is seed-free) and must expose the sick state:
+    // every spoke prefers its ring neighbour towards the hub, closing
+    // forwarding loops, and the remaining pairs dead-end. A clean audit
+    // here would mean oscillation damage can hide from the auditor.
+    let audit = audit_forwarding(&sim2);
+    assert_eq!(
+        audit.looping,
+        vec![(1, 0), (2, 0), (3, 0)],
+        "every spoke->hub chain must be caught looping through the ring"
+    );
+    assert_eq!(
+        audit.blackholed,
+        vec![(0, 1), (0, 2), (0, 3), (1, 3), (2, 1), (3, 2)],
+        "the non-hub-bound pairs must be caught dead-ending"
+    );
+    assert!(!audit.clean());
 }
 
 #[test]

@@ -1,0 +1,90 @@
+//! Golden stretch regression anchors for the Cowen scheme (Theorem 3).
+//!
+//! The theorem guarantees stretch ≤ 3 for delimited regular algebras;
+//! these tests pin the *achieved* numbers — max measured stretch and the
+//! count of exactly-preferred pairs — on fixed seeded instances of the
+//! three graph families the paper's experiments lean on: G(n, p),
+//! Barabási–Albert, and the Fig. 2 lower-bound family. The bound holding
+//! is correctness; the golden values holding means landmark selection,
+//! cluster construction, and tie-breaking did not silently drift. If a
+//! deliberate algorithm change moves a number *without* breaching the
+//! bound, re-pin the constant in the same commit and say why.
+
+use compact_policy_routing::algebra::policies::ShortestPath;
+use compact_policy_routing::graph::{generators, EdgeWeights, Graph};
+use compact_policy_routing::paths::AllPairs;
+use compact_policy_routing::routing::{verify_scheme, CowenScheme, LandmarkStrategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The seeds every family is pinned at.
+const SEEDS: [u64; 3] = [11, 42, 97];
+
+/// One golden record: `(seed, max_measured_stretch, optimal_pairs, pairs)`.
+type Golden = (u64, u32, usize, usize);
+
+/// Builds the Cowen scheme on `g` (seeded Thorup–Zwick landmarks) and
+/// returns `(max_measured_stretch, optimal, pairs)`, asserting the
+/// theorem bound along the way.
+fn cowen_numbers(g: &Graph, seed: u64) -> (u32, usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x90_1d);
+    let w = EdgeWeights::random(g, &ShortestPath, &mut rng);
+    let scheme = CowenScheme::build(
+        g,
+        &w,
+        &ShortestPath,
+        LandmarkStrategy::TzRandom { attempts: 4 },
+        &mut rng,
+    );
+    let ap = AllPairs::compute(g, &w, &ShortestPath);
+    let report = verify_scheme(g, &w, &ShortestPath, &scheme, 3, |s, t| *ap.weight(s, t));
+    assert!(report.all_within_bound(), "stretch-3 breached: {report}");
+    (
+        report.max_measured_stretch.expect("connected instance"),
+        report.optimal,
+        report.pairs,
+    )
+}
+
+fn check_family(golden: &[Golden; 3], make: impl Fn(&mut StdRng) -> Graph, family: &str) {
+    let pinned: Vec<u64> = golden.iter().map(|g| g.0).collect();
+    assert_eq!(pinned, SEEDS, "{family} must pin the canonical seeds");
+    for &(seed, max_stretch, optimal, pairs) in golden {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = make(&mut rng);
+        let got = cowen_numbers(&g, seed);
+        assert_eq!(
+            got,
+            (max_stretch, optimal, pairs),
+            "golden stretch drifted on {family} seed {seed} \
+             (got (max_stretch, optimal, pairs) = {got:?})"
+        );
+    }
+}
+
+#[test]
+fn gnp_cowen_stretch_is_pinned() {
+    check_family(
+        &[(11, 3, 494, 600), (42, 2, 563, 600), (97, 3, 441, 600)],
+        |rng| generators::gnp_connected(25, 0.18, rng),
+        "gnp",
+    );
+}
+
+#[test]
+fn barabasi_albert_cowen_stretch_is_pinned() {
+    check_family(
+        &[(11, 2, 551, 600), (42, 2, 557, 600), (97, 3, 485, 600)],
+        |rng| generators::barabasi_albert(25, 2, rng),
+        "barabasi-albert",
+    );
+}
+
+#[test]
+fn lower_bound_family_cowen_stretch_is_pinned() {
+    check_family(
+        &[(11, 2, 120, 132), (42, 3, 109, 132), (97, 2, 115, 132)],
+        |rng| generators::random_lower_bound_family(2, 3, 4, rng).graph,
+        "lower-bound",
+    );
+}

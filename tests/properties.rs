@@ -9,10 +9,12 @@ use compact_policy_routing::algebra::{
 use compact_policy_routing::bgp::{ProviderCustomer, ValleyFree, Word};
 use compact_policy_routing::graph::{generators, EdgeWeights, Graph};
 use compact_policy_routing::paths::{
-    bellman_ford, dijkstra, exhaustive_preferred, shortest_widest_exact,
+    bellman_ford, dijkstra, exhaustive_preferred, exhaustive_preferred_all, shortest_widest_exact,
+    SwWeight,
 };
 use compact_policy_routing::routing::{
-    route, verify_scheme, CowenScheme, DestTable, LandmarkStrategy, TzTreeRouting,
+    route, verify_scheme, CowenScheme, DestTable, LabelSwapping, LandmarkStrategy, SrcDestTable,
+    SwClassTable, TzTreeRouting,
 };
 use proptest::prelude::*;
 use std::cmp::Ordering;
@@ -34,6 +36,43 @@ fn small_graph() -> impl Strategy<Value = (Graph, u64)> {
         }
         (g, seed)
     })
+}
+
+/// A uniformly random node relabeling `π` of `0..n`, with its inverse.
+fn random_permutation(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut pi: Vec<usize> = (0..n).collect();
+    pi.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    let mut inv = vec![0; n];
+    for (i, &p) in pi.iter().enumerate() {
+        inv[p] = i;
+    }
+    (pi, inv)
+}
+
+/// Metamorphic transform: relabels nodes through `pi` AND shuffles the
+/// edge insertion order — the latter permutes every node's adjacency
+/// list, i.e. relabels its local ports. The returned weight table agrees
+/// with the original edge-for-edge, so the instances are isomorphic as
+/// weighted graphs.
+fn relabeled<W: Clone>(
+    g: &Graph,
+    w: &EdgeWeights<W>,
+    pi: &[usize],
+    seed: u64,
+) -> (Graph, EdgeWeights<W>) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut order: Vec<(usize, usize, W)> = g
+        .edges()
+        .map(|(e, (u, v))| (pi[u], pi[v], w.weight(e).clone()))
+        .collect();
+    order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    let g2 = Graph::from_edges(g.node_count(), order.iter().map(|&(u, v, _)| (u, v)))
+        .expect("relabeling a simple graph yields a simple graph");
+    let w2 = EdgeWeights::from_fn(&g2, |e| order[e].2.clone());
+    (g2, w2)
 }
 
 proptest! {
@@ -251,6 +290,187 @@ proptest! {
                     .map(|h| *w.weight(g.edge_between(h[0], h[1]).unwrap()))
                     .sum();
                 prop_assert_eq!(by_path, PathWeight::Finite(by_fold));
+            }
+        }
+    }
+
+    /// Metamorphic (port relabeling): shuffling the edge insertion order
+    /// renumbers every node's ports but must leave the destination-table
+    /// node paths bit-identical — forwarding decisions are about next
+    /// *hops*, not port numbers.
+    #[test]
+    fn dest_table_paths_survive_port_relabeling((g, seed) in small_graph()) {
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9087);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let identity: Vec<usize> = (0..g.node_count()).collect();
+        let (g2, w2) = relabeled(&g, &w, &identity, seed ^ 0x50);
+        let a = DestTable::build(&g, &w, &ShortestPath);
+        let b = DestTable::build(&g2, &w2, &ShortestPath);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                prop_assert_eq!(
+                    route(&a, &g, s, t).unwrap(),
+                    route(&b, &g2, s, t).unwrap()
+                );
+            }
+        }
+    }
+
+    /// Metamorphic (node permutation): routing on the π-relabeled
+    /// instance delivers paths of exactly the π-image weights. Paths
+    /// themselves may differ by tie-break (lexicographic order is not
+    /// π-invariant); delivered weights may not.
+    #[test]
+    fn dest_table_weights_survive_node_permutation((g, seed) in small_graph()) {
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9088);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let (pi, _) = random_permutation(g.node_count(), seed ^ 0x51);
+        let (g2, w2) = relabeled(&g, &w, &pi, seed ^ 0x52);
+        let a = DestTable::build(&g, &w, &ShortestPath);
+        let b = DestTable::build(&g2, &w2, &ShortestPath);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                let p = route(&a, &g, s, t).unwrap();
+                let q = route(&b, &g2, pi[s], pi[t]).unwrap();
+                prop_assert_eq!(
+                    w.path_weight(&ShortestPath, &g, &p),
+                    w2.path_weight(&ShortestPath, &g2, &q)
+                );
+            }
+        }
+    }
+
+    /// Metamorphic: the Cowen scheme with the π-image landmark set stays
+    /// within stretch 3 on the relabeled instance, and the preferred
+    /// weights it is certified against are π-invariant.
+    #[test]
+    fn cowen_stretch_survives_relabeling(
+        (g, seed) in small_graph(),
+        landmark in 0usize..4,
+    ) {
+        use rand::SeedableRng;
+
+        let alg = ShortestPath;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0E1);
+        let w = EdgeWeights::random(&g, &alg, &mut rng);
+        let l = landmark % g.node_count();
+        let (pi, _) = random_permutation(g.node_count(), seed ^ 0x61);
+        let (g2, w2) = relabeled(&g, &w, &pi, seed ^ 0x62);
+
+        let s1 = CowenScheme::build(
+            &g, &w, &alg, LandmarkStrategy::Custom(vec![l]), &mut rng);
+        let s2 = CowenScheme::build(
+            &g2, &w2, &alg, LandmarkStrategy::Custom(vec![pi[l]]), &mut rng);
+
+        let ap = compact_policy_routing::paths::AllPairs::compute(&g, &w, &alg);
+        let ap2 = compact_policy_routing::paths::AllPairs::compute(&g2, &w2, &alg);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                prop_assert_eq!(ap.weight(s, t), ap2.weight(pi[s], pi[t]));
+            }
+        }
+        let r1 = verify_scheme(&g, &w, &alg, &s1, 3, |s, t| *ap.weight(s, t));
+        let r2 = verify_scheme(&g2, &w2, &alg, &s2, 3, |s, t| *ap2.weight(s, t));
+        prop_assert!(r1.all_within_bound(), "{}", r1);
+        prop_assert!(r2.all_within_bound(), "{}", r2);
+    }
+
+    /// Metamorphic: a source–destination table provisioned with the
+    /// π-image paths routes every pair along exactly the π-image of the
+    /// original route — provisioned forwarding commutes with relabeling.
+    #[test]
+    fn src_dest_table_commutes_with_relabeling((g, seed) in small_graph()) {
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5D01);
+        let w = EdgeWeights::random(&g, &WidestPath, &mut rng);
+        let (pi, inv) = random_permutation(g.node_count(), seed ^ 0x71);
+        let (g2, _w2) = relabeled(&g, &w, &pi, seed ^ 0x72);
+
+        let oracle = exhaustive_preferred_all(&g, &w, &WidestPath, true);
+        let a = SrcDestTable::build(&g, "wp", |s| {
+            g.nodes()
+                .map(|t| oracle[s].path_to(t).map(<[_]>::to_vec))
+                .collect()
+        });
+        let b = SrcDestTable::build(&g2, "wp", |s2| {
+            g2.nodes()
+                .map(|t2| {
+                    oracle[inv[s2]]
+                        .path_to(inv[t2])
+                        .map(|p| p.iter().map(|&x| pi[x]).collect())
+                })
+                .collect()
+        });
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t { continue; }
+                let p = route(&a, &g, s, t).unwrap();
+                let mapped: Vec<usize> = p.iter().map(|&x| pi[x]).collect();
+                prop_assert_eq!(route(&b, &g2, pi[s], pi[t]).unwrap(), mapped);
+            }
+        }
+    }
+
+    /// Metamorphic: label swapping provisioned with the π-image paths
+    /// forwards every pair along exactly the π-image route, whatever
+    /// labels the first-fit allocator hands out on the relabeled graph.
+    #[test]
+    fn label_swapping_commutes_with_relabeling((g, seed) in small_graph()) {
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1AB1);
+        let w = EdgeWeights::random(&g, &ShortestPath, &mut rng);
+        let (pi, inv) = random_permutation(g.node_count(), seed ^ 0x81);
+        let (g2, _w2) = relabeled(&g, &w, &pi, seed ^ 0x82);
+
+        let oracle = exhaustive_preferred_all(&g, &w, &ShortestPath, true);
+        let a = LabelSwapping::provision(&g, "sp", |s, t| {
+            oracle[s].path_to(t).map(<[_]>::to_vec)
+        });
+        let b = LabelSwapping::provision(&g2, "sp", |s2, t2| {
+            oracle[inv[s2]]
+                .path_to(inv[t2])
+                .map(|p| p.iter().map(|&x| pi[x]).collect())
+        });
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t { continue; }
+                let p = route(&a, &g, s, t).unwrap();
+                let mapped: Vec<usize> = p.iter().map(|&x| pi[x]).collect();
+                prop_assert_eq!(route(&b, &g2, pi[s], pi[t]).unwrap(), mapped);
+            }
+        }
+    }
+
+    /// Metamorphic: the shortest-widest class table on the relabeled
+    /// instance delivers paths of exactly the π-image (capacity, cost)
+    /// weights for every pair.
+    #[test]
+    fn sw_class_table_weights_survive_relabeling((g, seed) in small_graph()) {
+        use rand::SeedableRng;
+
+        let sw = policies::shortest_widest();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5C01);
+        let w: EdgeWeights<SwWeight> = EdgeWeights::random(&g, &sw, &mut rng);
+        let (pi, _) = random_permutation(g.node_count(), seed ^ 0x91);
+        let (g2, w2) = relabeled(&g, &w, &pi, seed ^ 0x92);
+
+        let a = SwClassTable::build(&g, &w);
+        let b = SwClassTable::build(&g2, &w2);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t { continue; }
+                let p = route(&a, &g, s, t).unwrap();
+                let q = route(&b, &g2, pi[s], pi[t]).unwrap();
+                prop_assert_eq!(
+                    w.path_weight(&sw, &g, &p),
+                    w2.path_weight(&sw, &g2, &q)
+                );
             }
         }
     }
