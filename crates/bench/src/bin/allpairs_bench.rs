@@ -157,10 +157,7 @@ fn main() {
             "trials",
             Json::int(if timing_enabled() { TRIALS } else { 1 }),
         ),
-        (
-            "hardware_threads",
-            Json::int(std::thread::available_parallelism().map_or(1, usize::from)),
-        ),
+        ("host", cpr_bench::host_metadata()),
         (
             "seed",
             Json::str(format!("{:#018x}", experiment_seed("allpairs-bench", n))),

@@ -399,6 +399,7 @@ fn main() {
 
     let report = Json::obj([
         ("bench", Json::str("chaos")),
+        ("host", cpr_bench::host_metadata()),
         ("n", Json::int(n)),
         ("events_per_storm", Json::int(events)),
         ("async_max_delay", Json::int(MAX_DELAY)),

@@ -206,6 +206,7 @@ fn main() {
 
     let report = Json::obj([
         ("bench", Json::str("plane_throughput")),
+        ("host", cpr_bench::host_metadata()),
         ("n", Json::int(n)),
         ("edges", Json::int(g.edge_count())),
         ("topology", Json::str("scale-free")),

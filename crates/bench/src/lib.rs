@@ -46,6 +46,27 @@ pub fn timing_field(ms: f64) -> Json {
     }
 }
 
+/// Host metadata for BENCH reports: the machine's hardware parallelism
+/// and the effective worker-thread count (which honors `CPR_THREADS`).
+/// Both are host-dependent, so under `CPR_BENCH_TIMING=0` every field
+/// renders as `null` — pinned reports must stay byte-identical across
+/// machines and thread counts.
+pub fn host_metadata() -> Json {
+    let field = |v: Json| if timing_enabled() { v } else { Json::Null };
+    Json::obj([
+        (
+            "hardware_threads",
+            field(Json::int(
+                std::thread::available_parallelism().map_or(1, usize::from),
+            )),
+        ),
+        (
+            "cpr_threads",
+            field(Json::int(cpr_core::par::thread_count())),
+        ),
+    ])
+}
+
 /// A plain-text table printer with right-aligned columns.
 ///
 /// # Examples

@@ -88,3 +88,22 @@ fn plane_throughput_report_is_byte_deterministic() {
         &[("CPR_BENCH_N", "32"), ("CPR_BENCH_QUERIES", "500")],
     );
 }
+
+/// The serving bench runs a real daemon on a loopback socket with
+/// closed-loop clients; with timing disabled it serializes swaps
+/// between bursts, so even the per-epoch query counters in the embedded
+/// registry snapshot are pinned. The client count is held at 2 while
+/// `CPR_THREADS` sweeps — serving determinism must not depend on the
+/// worker pool.
+#[test]
+fn serve_report_is_byte_deterministic() {
+    pin_report(
+        env!("CARGO_BIN_EXE_serve_bench"),
+        "serve",
+        &[
+            ("CPR_BENCH_N", "24"),
+            ("CPR_BENCH_QUERIES", "200"),
+            ("CPR_SERVE_CLIENTS", "2"),
+        ],
+    );
+}

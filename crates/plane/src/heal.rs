@@ -74,6 +74,14 @@ pub struct HealthCounters {
 pub struct StaleReport {
     /// Whether the observed topology differs from the plane's view.
     pub stale: bool,
+    /// [`graph_digest`] of the topology the plane was serving *before*
+    /// this observation — what it expected to see.
+    pub expected_digest: u64,
+    /// [`graph_digest`] of the topology actually observed. Equal to
+    /// [`expected_digest`](Self::expected_digest) exactly when
+    /// [`stale`](Self::stale) is `false`; both are carried here so swap
+    /// logic and logs never recompute `graph_digest` on the hot path.
+    pub observed_digest: u64,
     /// Edges the plane was compiled with that no longer exist.
     pub removed_edges: Vec<(NodeId, NodeId)>,
     /// Edges of the live graph the plane has never seen.
@@ -129,6 +137,30 @@ pub struct SelfHealingPlane<S: RoutingScheme> {
     counters: HealthCounters,
 }
 
+/// A healed plane is cloneable into an immutable serving snapshot: the
+/// clone shares nothing with the original, so a route-query server can
+/// publish it RCU-style while the master keeps absorbing churn. Only the
+/// header type must be cloneable (it already is — every
+/// [`RoutingScheme::Header`] is `Clone`); the scheme itself stays
+/// outside the plane.
+impl<S: RoutingScheme> Clone for SelfHealingPlane<S> {
+    fn clone(&self) -> Self {
+        SelfHealingPlane {
+            base: self.base.clone(),
+            intern: Interner {
+                map: self.intern.map.clone(),
+                order: self.intern.order.clone(),
+            },
+            current_edges: self.current_edges.clone(),
+            current_digest: self.current_digest,
+            patch: self.patch.clone(),
+            initial_patch: self.initial_patch.clone(),
+            dirty: self.dirty.clone(),
+            counters: self.counters,
+        }
+    }
+}
+
 fn norm(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
     (u.min(v), u.max(v))
 }
@@ -182,6 +214,19 @@ where
         self.dirty.len()
     }
 
+    /// The current topology epoch: number of observed topology changes.
+    /// Cheap accessor — no digest is recomputed.
+    pub fn epoch(&self) -> u64 {
+        self.counters.epoch
+    }
+
+    /// The cached [`graph_digest`] of the topology this plane currently
+    /// serves (as of the latest [`observe`](Self::observe)). Cheap
+    /// accessor — no digest is recomputed.
+    pub fn digest(&self) -> u64 {
+        self.current_digest
+    }
+
     /// `(node, header)` entries currently overriding the base arrays —
     /// the live size of the patch layer. A full rebuild resets this to
     /// zero; anything else here must have been written by the *latest*
@@ -215,13 +260,18 @@ where
             });
         }
         let new_edges = edge_set(graph);
+        let expected_digest = self.current_digest;
         let removed: Vec<(NodeId, NodeId)> =
             self.current_edges.difference(&new_edges).copied().collect();
         let added: Vec<(NodeId, NodeId)> =
             new_edges.difference(&self.current_edges).copied().collect();
         if removed.is_empty() && added.is_empty() {
+            // Identical edge sets mean identical digests, so the cached
+            // one serves for both sides — nothing is recomputed here.
             return Ok(StaleReport {
                 stale: false,
+                expected_digest,
+                observed_digest: expected_digest,
                 removed_edges: removed,
                 added_edges: added,
                 dirty_pairs: self.dirty.len(),
@@ -254,6 +304,8 @@ where
         self.current_digest = graph_digest(graph);
         Ok(StaleReport {
             stale: true,
+            expected_digest,
+            observed_digest: self.current_digest,
             removed_edges: removed,
             added_edges: added,
             dirty_pairs: self.dirty.len(),
@@ -489,33 +541,48 @@ where
         source: NodeId,
         target: NodeId,
     ) -> Result<(Vec<NodeId>, Served), RouteError> {
-        if self.dirty.contains(&(source, target)) {
-            return match cpr_routing::route(scheme, graph, source, target) {
-                Ok(path) => {
-                    self.counters.fallback += 1;
-                    Ok((path, Served::Fallback))
+        match self.lookup(scheme, graph, source, target) {
+            Ok((path, served)) => {
+                match served {
+                    Served::Compiled => self.counters.compiled += 1,
+                    Served::Degraded => self.counters.degraded += 1,
+                    Served::Fallback => self.counters.fallback += 1,
                 }
-                Err(e) => {
-                    self.counters.failed += 1;
-                    Err(e)
-                }
-            };
-        }
-        match self.walk_healed(source, target) {
-            Ok((path, degraded)) => {
-                if degraded {
-                    self.counters.degraded += 1;
-                    Ok((path, Served::Degraded))
-                } else {
-                    self.counters.compiled += 1;
-                    Ok((path, Served::Compiled))
-                }
+                Ok((path, served))
             }
             Err(e) => {
                 self.counters.failed += 1;
                 Err(e)
             }
         }
+    }
+
+    /// [`route`](Self::route) without the counter updates: a `&self`
+    /// read-only lookup, safe to share across serving threads. This is
+    /// the hot path of the `cpr-serve` daemon, which publishes a healed
+    /// plane snapshot behind an `Arc` and counts queries on its own side.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`route`](Self::route).
+    pub fn lookup(
+        &self,
+        scheme: &S,
+        graph: &Graph,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<(Vec<NodeId>, Served), RouteError> {
+        if self.dirty.contains(&(source, target)) {
+            return cpr_routing::route(scheme, graph, source, target)
+                .map(|path| (path, Served::Fallback));
+        }
+        self.walk_healed(source, target).map(|(path, degraded)| {
+            if degraded {
+                (path, Served::Degraded)
+            } else {
+                (path, Served::Compiled)
+            }
+        })
     }
 
     fn walk_healed(

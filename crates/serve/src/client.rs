@@ -1,0 +1,167 @@
+//! A blocking client for the serve protocol.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{
+    read_frame, write_frame, ProtoError, Request, Response, RouteOutcome, StatsSnapshot,
+    DEFAULT_MAX_FRAME,
+};
+
+/// Why a client call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The wire layer failed (I/O, malformed frame, peer closed
+    /// mid-conversation).
+    Proto(ProtoError),
+    /// The server answered with an `Error` frame.
+    Server {
+        /// The server's error code.
+        code: u8,
+        /// The server's error message.
+        message: String,
+    },
+    /// The server answered with a response type that does not match the
+    /// request (a server bug, surfaced rather than swallowed).
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error {code}: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e.kind()))
+    }
+}
+
+/// One blocking connection: requests go out, responses come back, in
+/// order, one at a time.
+pub struct RouteClient {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl RouteClient {
+    /// Connects to a running [`RouteServer`](crate::RouteServer).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from connecting.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<RouteClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(RouteClient {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one request and reads one response — the raw exchange the
+    /// typed helpers below are built on.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Proto`] on wire failure; an `Error` frame is
+    /// returned as a normal [`Response::Error`], not an `Err`.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode()).map_err(ProtoError::from)?;
+        match read_frame(&mut self.stream, self.max_frame)? {
+            Some(body) => Ok(Response::decode(&body)?),
+            None => Err(ClientError::Proto(ProtoError::Io(
+                io::ErrorKind::UnexpectedEof,
+            ))),
+        }
+    }
+
+    fn reject(response: Response, want: &'static str) -> ClientError {
+        match response {
+            Response::Error { code, message } => ClientError::Server { code, message },
+            _ => ClientError::Unexpected(want),
+        }
+    }
+
+    /// Routes one pair; returns the serving epoch and the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on wire failure or an `Error` frame.
+    pub fn lookup(&mut self, source: u32, target: u32) -> Result<(u64, RouteOutcome), ClientError> {
+        match self.call(&Request::Lookup { source, target })? {
+            Response::Route { epoch, outcome } => Ok((epoch, outcome)),
+            other => Err(Self::reject(other, "route reply")),
+        }
+    }
+
+    /// Routes a batch against one consistent epoch; returns the epoch
+    /// and per-pair outcomes in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on wire failure or an `Error` frame.
+    pub fn batch(
+        &mut self,
+        pairs: Vec<(u32, u32)>,
+    ) -> Result<(u64, Vec<RouteOutcome>), ClientError> {
+        match self.call(&Request::Batch { pairs })? {
+            Response::Batch { epoch, outcomes } => Ok((epoch, outcomes)),
+            other => Err(Self::reject(other, "batch reply")),
+        }
+    }
+
+    /// Probes liveness; returns `(epoch, digest, fresh)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on wire failure or an `Error` frame.
+    pub fn health(&mut self) -> Result<(u64, u64, bool), ClientError> {
+        match self.call(&Request::Health)? {
+            Response::Health {
+                epoch,
+                digest,
+                fresh,
+            } => Ok((epoch, digest, fresh)),
+            other => Err(Self::reject(other, "health reply")),
+        }
+    }
+
+    /// Fetches the server's `cpr-obs` registry snapshot as compact JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on wire failure or an `Error` frame.
+    pub fn metrics(&mut self) -> Result<(u64, String), ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { epoch, json } => Ok((epoch, json)),
+            other => Err(Self::reject(other, "metrics reply")),
+        }
+    }
+
+    /// Fetches the fixed-layout serving statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on wire failure or an `Error` frame.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(Self::reject(other, "stats reply")),
+        }
+    }
+}

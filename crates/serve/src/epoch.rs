@@ -1,0 +1,142 @@
+//! Epoch-based hot swap: immutable serving snapshots behind an
+//! atomically swappable cell.
+//!
+//! The serving path never takes a lock for longer than one pointer
+//! clone. A [`PlaneEpoch`] bundles everything a lookup needs — the
+//! topology, the live scheme (for dirty-pair fallback, which a
+//! *published* snapshot never exercises because swaps only publish
+//! repaired planes), and a [`SelfHealingPlane`] snapshot — into one
+//! immutable value. An [`EpochCell`] holds the current snapshot behind
+//! `RwLock<Arc<_>>`: readers clone the `Arc` out (an uncontended read
+//! lock held for nanoseconds), the control plane swaps in a new `Arc`
+//! after repairing off-path. In-flight queries keep the old epoch alive
+//! through their own `Arc` and finish against a consistent topology;
+//! new queries see the new epoch — nothing is dropped, and every answer
+//! carries the epoch it was computed against so clients can prove
+//! they were never served a stale-topology answer.
+
+use std::sync::{Arc, PoisonError, RwLock};
+
+use cpr_graph::{Graph, NodeId};
+use cpr_plane::{SelfHealingPlane, Served};
+use cpr_routing::{RouteError, RoutingScheme};
+
+/// One immutable serving snapshot: a repaired plane pinned to the
+/// topology (and live scheme) it was repaired against.
+pub struct PlaneEpoch<S: RoutingScheme> {
+    epoch: u64,
+    digest: u64,
+    graph: Graph,
+    scheme: S,
+    plane: SelfHealingPlane<S>,
+}
+
+impl<S> PlaneEpoch<S>
+where
+    S: RoutingScheme + Sync,
+    S::Header: Send,
+{
+    /// Pins `plane` (typically a clone of the control plane's master)
+    /// to the `scheme` and `graph` it currently serves. The snapshot's
+    /// epoch and digest are read off the plane's cheap accessors.
+    pub fn new(scheme: S, graph: Graph, plane: SelfHealingPlane<S>) -> Self {
+        PlaneEpoch {
+            epoch: plane.epoch(),
+            digest: plane.digest(),
+            graph,
+            scheme,
+            plane,
+        }
+    }
+
+    /// The topology epoch this snapshot serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The [`graph_digest`](cpr_plane::graph_digest) of the topology
+    /// this snapshot serves.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The topology this snapshot serves.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The wrapped plane snapshot.
+    pub fn plane(&self) -> &SelfHealingPlane<S> {
+        &self.plane
+    }
+
+    /// `true` when no pair awaits repair. Published snapshots are
+    /// always fresh — [`reconcile`](crate::RouteService::reconcile)
+    /// repairs before it swaps.
+    pub fn is_fresh(&self) -> bool {
+        self.plane.dirty_pairs() == 0
+    }
+
+    /// Routes one pair against this snapshot's topology. Read-only and
+    /// lock-free; safe to call from any number of serving threads.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelfHealingPlane::lookup`].
+    pub fn lookup(
+        &self,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<(Vec<NodeId>, Served), RouteError> {
+        self.plane.lookup(&self.scheme, &self.graph, source, target)
+    }
+}
+
+/// An atomically swappable `Arc` slot — the RCU pivot of the hot swap.
+///
+/// `load` is the read side: clone the current `Arc` out under a read
+/// lock. `store` is the (rare) write side: swap the pointer under the
+/// write lock. Readers blocked behind a `store` wait only for the
+/// pointer assignment, never for a repair — repairs happen before the
+/// `store`, off the serving path.
+pub struct EpochCell<T> {
+    inner: RwLock<Arc<T>>,
+}
+
+impl<T> EpochCell<T> {
+    /// A cell initially holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        EpochCell {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// The current snapshot. The returned `Arc` keeps its epoch alive
+    /// for as long as the caller holds it, swaps notwithstanding.
+    pub fn load(&self) -> Arc<T> {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Publishes a new snapshot. Readers that already `load`ed keep the
+    /// old one; every subsequent `load` sees `value`.
+    pub fn store(&self, value: Arc<T>) {
+        *self.inner.write().unwrap_or_else(PoisonError::into_inner) = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_swaps_for_new_loads_but_old_arcs_survive() {
+        let cell = EpochCell::new(Arc::new(1u64));
+        let old = cell.load();
+        cell.store(Arc::new(2u64));
+        assert_eq!(*old, 1);
+        assert_eq!(*cell.load(), 2);
+    }
+}

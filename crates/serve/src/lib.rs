@@ -1,0 +1,68 @@
+//! # cpr-serve — a long-lived route-query daemon with epoch-based hot swap
+//!
+//! Everything below `cpr-serve` answers route queries in batch: compile
+//! a plane, serve a workload, exit. This crate keeps a compiled
+//! [`ForwardingPlane`](cpr_plane::ForwardingPlane) *resident* — a TCP
+//! daemon speaking a small length-prefixed binary protocol ([`proto`]) —
+//! and keeps it *honest under churn* with an RCU-style epoch swap:
+//!
+//! * The data path ([`RouteService::answer`]) loads the current
+//!   [`PlaneEpoch`] from an [`EpochCell`] (an `Arc` clone under an
+//!   uncontended read lock) and walks the compiled plane. Every
+//!   response carries the epoch it was computed against.
+//! * The control path ([`RouteService::reconcile`]) observes topology
+//!   drift on a master [`SelfHealingPlane`](cpr_plane::SelfHealingPlane),
+//!   repairs it **off the serving path**, then publishes a cloned
+//!   snapshot with one pointer swap. In-flight queries finish on the
+//!   epoch they started with; no query is dropped, and no answer is
+//!   computed against a topology older than its stamped epoch.
+//! * [`loadgen`] drives it closed-loop with seed-deterministic query
+//!   streams, and the server records per-epoch query counts, hop and
+//!   latency histograms, and swap counts into a `cpr-obs` registry
+//!   served by the `Metrics` opcode.
+//!
+//! ```
+//! use cpr_algebra::policies::ShortestPath;
+//! use cpr_graph::{generators, EdgeWeights};
+//! use cpr_routing::DestTable;
+//! use cpr_serve::{RouteClient, RouteServer, RouteService, ServeConfig};
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let g = generators::gnp_connected(12, 0.3, &mut rng);
+//! let w = EdgeWeights::uniform(&g, 1u64);
+//! let scheme = DestTable::build(&g, &w, &ShortestPath);
+//!
+//! let service = Arc::new(
+//!     RouteService::new(scheme, g, ServeConfig::default(), cpr_obs::Obs::with_null_tracer())
+//!         .unwrap(),
+//! );
+//! let server = RouteServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let stop = server.stop_handle();
+//!
+//! std::thread::scope(|s| {
+//!     s.spawn(|| server.run().unwrap());
+//!     let mut client = RouteClient::connect(addr).unwrap();
+//!     let (epoch, outcome) = client.lookup(0, 11).unwrap();
+//!     assert_eq!(epoch, 0);
+//!     matches!(outcome, cpr_serve::RouteOutcome::Path(_));
+//!     stop.store(true, std::sync::atomic::Ordering::Relaxed);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod epoch;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientError, RouteClient};
+pub use epoch::{EpochCell, PlaneEpoch};
+pub use loadgen::{run_load, Answer, LoadConfig, LoadReport};
+pub use proto::{ProtoError, Request, Response, RouteOutcome, StatsSnapshot};
+pub use server::{RouteServer, RouteService, ServeConfig, SwapReport};

@@ -1,0 +1,220 @@
+//! A seed-deterministic closed-loop load generator.
+//!
+//! `clients` blocking connections each issue a private, seeded query
+//! stream ([`cpr_plane::generate`] over a [`TrafficPattern`]) and wait
+//! for every answer before sending the next — closed-loop, so offered
+//! load adapts to the server instead of overrunning it. The client
+//! count comes from config (or `CPR_SERVE_CLIENTS`), **never** from the
+//! machine's parallelism: the logical content of a [`LoadReport`] —
+//! queries sent, outcomes, hop histogram, epochs observed — is a pure
+//! function of `(graph, pattern, seed, clients, queries_per_client)`
+//! plus the server's swap schedule. Wall-clock latency histograms ride
+//! along for the bench but are excluded from deterministic snapshots.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use cpr_graph::Graph;
+use cpr_obs::Histogram;
+use cpr_plane::TrafficPattern;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::client::{ClientError, RouteClient};
+use crate::proto::RouteOutcome;
+
+/// What load to offer.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop connections.
+    pub clients: usize,
+    /// Queries each connection issues.
+    pub queries_per_client: usize,
+    /// Source/target distribution.
+    pub pattern: TrafficPattern,
+    /// Seed splitting deterministically into per-client streams.
+    pub seed: u64,
+    /// Keep every [`Answer`] (epoch + outcome per query) for oracle
+    /// checks. Off for pure throughput runs.
+    pub collect_answers: bool,
+}
+
+impl LoadConfig {
+    /// The client count honoring `CPR_SERVE_CLIENTS`, defaulting to
+    /// `fallback`. Deliberately independent of the machine's thread
+    /// count so reports stay comparable across hosts.
+    pub fn clients_from_env(fallback: usize) -> usize {
+        std::env::var("CPR_SERVE_CLIENTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c: &usize| c > 0)
+            .unwrap_or(fallback)
+    }
+}
+
+/// One recorded answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Answer {
+    /// Index of the issuing client.
+    pub client: usize,
+    /// Serving epoch stamped on the response.
+    pub epoch: u64,
+    /// Queried source.
+    pub source: u32,
+    /// Queried target.
+    pub target: u32,
+    /// The outcome.
+    pub outcome: RouteOutcome,
+}
+
+/// Merged results of one load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Queries sent (every one of them answered — closed loop).
+    pub sent: u64,
+    /// Answers that delivered a path.
+    pub delivered: u64,
+    /// Answers reporting the pair unroutable.
+    pub unroutable: u64,
+    /// Answers reporting a loud failure.
+    pub failed: u64,
+    /// Hop counts over delivered answers (logical — deterministic).
+    pub hops: Histogram,
+    /// Client-observed round-trip latency in microseconds (wall-clock).
+    pub latency_us: Histogram,
+    /// Latency of answers that completed while the caller's window flag
+    /// was raised (e.g. during a repair + swap) — empty without a flag.
+    pub window_latency_us: Histogram,
+    /// Smallest epoch observed on any answer.
+    pub epoch_min: u64,
+    /// Largest epoch observed on any answer.
+    pub epoch_max: u64,
+    /// Whether every client saw non-decreasing epochs — the hot-swap
+    /// staleness guarantee, checked client-side.
+    pub monotonic: bool,
+    /// Every answer, in client order then issue order; empty unless
+    /// [`LoadConfig::collect_answers`] was set.
+    pub answers: Vec<Answer>,
+}
+
+impl LoadReport {
+    /// Folds another report into this one: counters add, histograms
+    /// merge, the epoch window widens, monotonicity ANDs, answers
+    /// concatenate. Used both to merge per-client reports and to
+    /// accumulate multiple bursts into one phase report.
+    pub fn absorb(&mut self, other: LoadReport) {
+        if self.sent == 0 {
+            self.epoch_min = other.epoch_min;
+            self.epoch_max = other.epoch_max;
+        } else if other.sent > 0 {
+            self.epoch_min = self.epoch_min.min(other.epoch_min);
+            self.epoch_max = self.epoch_max.max(other.epoch_max);
+        }
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.unroutable += other.unroutable;
+        self.failed += other.failed;
+        self.hops.merge(&other.hops);
+        self.latency_us.merge(&other.latency_us);
+        self.window_latency_us.merge(&other.window_latency_us);
+        self.monotonic &= other.monotonic;
+        self.answers.extend(other.answers);
+    }
+}
+
+fn client_seed(seed: u64, index: usize) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)
+}
+
+fn run_client(
+    addr: SocketAddr,
+    graph: &Graph,
+    config: &LoadConfig,
+    index: usize,
+    window: Option<&AtomicBool>,
+) -> Result<LoadReport, ClientError> {
+    let mut rng = StdRng::seed_from_u64(client_seed(config.seed, index));
+    let pairs = cpr_plane::generate(graph, &config.pattern, config.queries_per_client, &mut rng);
+    let mut client = RouteClient::connect(addr)?;
+    let mut report = LoadReport {
+        monotonic: true,
+        ..LoadReport::default()
+    };
+    let mut last_epoch = 0u64;
+    for (s, t) in pairs {
+        let started = Instant::now();
+        let (epoch, outcome) = client.lookup(s as u32, t as u32)?;
+        let micros = started.elapsed().as_micros() as u64;
+        report.latency_us.record(micros);
+        if window.is_some_and(|w| w.load(Ordering::Relaxed)) {
+            report.window_latency_us.record(micros);
+        }
+        if report.sent == 0 {
+            report.epoch_min = epoch;
+            report.epoch_max = epoch;
+        } else {
+            report.epoch_min = report.epoch_min.min(epoch);
+            report.epoch_max = report.epoch_max.max(epoch);
+            if epoch < last_epoch {
+                report.monotonic = false;
+            }
+        }
+        last_epoch = epoch;
+        report.sent += 1;
+        match &outcome {
+            RouteOutcome::Path(path) => {
+                report.delivered += 1;
+                report.hops.record(path.len().saturating_sub(1) as u64);
+            }
+            RouteOutcome::Unroutable => report.unroutable += 1,
+            RouteOutcome::Failed(_) => report.failed += 1,
+        }
+        if config.collect_answers {
+            report.answers.push(Answer {
+                client: index,
+                epoch,
+                source: s as u32,
+                target: t as u32,
+                outcome,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Runs the configured load against a server at `addr` and merges the
+/// per-client reports. `window`, when given, tags each answer's latency
+/// sample by whether the flag was raised when it completed — the bench
+/// raises it around repair + swap windows to report in-window p99
+/// separately.
+///
+/// # Errors
+///
+/// The first wire-level [`ClientError`] any client hits (outcome-level
+/// failures are counted, not errors).
+pub fn run_load(
+    addr: SocketAddr,
+    graph: &Graph,
+    config: &LoadConfig,
+    window: Option<&AtomicBool>,
+) -> Result<LoadReport, ClientError> {
+    let clients = config.clients.max(1);
+    let results: Vec<Result<LoadReport, ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|index| scope.spawn(move || run_client(addr, graph, config, index, window)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let mut merged = LoadReport {
+        monotonic: true,
+        ..LoadReport::default()
+    };
+    for r in results {
+        merged.absorb(r?);
+    }
+    Ok(merged)
+}

@@ -1,0 +1,726 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message on the socket is one *frame*: a little-endian `u32`
+//! length prefix followed by exactly that many body bytes. The first
+//! body byte is the opcode, the rest is the opcode's fixed payload
+//! layout (all integers little-endian). The protocol is deliberately
+//! tiny — five request opcodes, six response opcodes — and decoding is
+//! **total**: every malformed input (truncated prefix, truncated body,
+//! oversized frame, unknown opcode, short or trailing payload bytes)
+//! maps to a [`ProtoError`] value, never a panic, so one bad client
+//! cannot take a connection worker down.
+//!
+//! | opcode | direction | payload |
+//! |---|---|---|
+//! | `0x01` Lookup  | → | `u32 source, u32 target` |
+//! | `0x02` Batch   | → | `u32 count, count × (u32 source, u32 target)` |
+//! | `0x03` Health  | → | empty |
+//! | `0x04` Metrics | → | empty |
+//! | `0x05` Stats   | → | empty |
+//! | `0x81` Route   | ← | `u64 epoch, outcome` |
+//! | `0x82` Batch   | ← | `u64 epoch, u32 count, count × outcome` |
+//! | `0x83` Health  | ← | `u64 epoch, u64 digest, u8 fresh` |
+//! | `0x84` Metrics | ← | `u64 epoch, u32 len, len JSON bytes` |
+//! | `0x85` Stats   | ← | fixed counters, see [`StatsSnapshot`] |
+//! | `0xEE` Error   | ← | `u8 code, u32 len, len UTF-8 bytes` |
+//!
+//! An *outcome* is `u8 kind`: `0` = delivered (`u32 hop_count + 1`
+//! node ids, source first, target last), `1` = unroutable in the
+//! current topology, `2` = failed (`u32 len` + UTF-8 error text).
+//!
+//! The `epoch` carried by every response is the serving epoch the
+//! answer was computed against — the client-visible face of the
+//! RCU-style hot swap (see [`crate::epoch`]).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Default cap on one frame's body length. A route over a plane of
+/// `n ≤ 100k` nodes fits comfortably; anything larger is a protocol
+/// violation, not a big route.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Default cap on pairs per batched lookup.
+pub const DEFAULT_MAX_BATCH: u32 = 4096;
+
+/// Request opcodes.
+pub const OP_LOOKUP: u8 = 0x01;
+/// See [`OP_LOOKUP`].
+pub const OP_BATCH: u8 = 0x02;
+/// See [`OP_LOOKUP`].
+pub const OP_HEALTH: u8 = 0x03;
+/// See [`OP_LOOKUP`].
+pub const OP_METRICS: u8 = 0x04;
+/// See [`OP_LOOKUP`].
+pub const OP_STATS: u8 = 0x05;
+
+/// Response opcodes.
+pub const OP_ROUTE_REPLY: u8 = 0x81;
+/// See [`OP_ROUTE_REPLY`].
+pub const OP_BATCH_REPLY: u8 = 0x82;
+/// See [`OP_ROUTE_REPLY`].
+pub const OP_HEALTH_REPLY: u8 = 0x83;
+/// See [`OP_ROUTE_REPLY`].
+pub const OP_METRICS_REPLY: u8 = 0x84;
+/// See [`OP_ROUTE_REPLY`].
+pub const OP_STATS_REPLY: u8 = 0x85;
+/// See [`OP_ROUTE_REPLY`].
+pub const OP_ERROR: u8 = 0xEE;
+
+/// Error codes carried by an `Error` response.
+pub const ERR_PROTO: u8 = 1;
+/// The request decoded but violated a server limit (e.g. batch cap).
+pub const ERR_BAD_REQUEST: u8 = 2;
+/// The server failed internally while answering.
+pub const ERR_INTERNAL: u8 = 3;
+
+/// Why a frame or payload failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The stream ended (or the payload ran out) before `context` was
+    /// fully read.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// The length prefix exceeds the frame cap.
+    Oversized {
+        /// Announced body length.
+        len: u32,
+        /// The cap it violates.
+        max: u32,
+    },
+    /// The first body byte is not a known opcode.
+    UnknownOpcode(u8),
+    /// The payload decoded structurally but is invalid (zero-length
+    /// frame, trailing bytes, bad UTF-8, …).
+    BadPayload(&'static str),
+    /// An I/O error other than clean end-of-stream.
+    Io(io::ErrorKind),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { context } => write!(f, "truncated {context}"),
+            ProtoError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap of {max}")
+            }
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtoError::BadPayload(what) => write!(f, "bad payload: {what}"),
+            ProtoError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e.kind())
+    }
+}
+
+/// A client → server request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Route one `(source, target)` pair.
+    Lookup {
+        /// Source node id.
+        source: u32,
+        /// Target node id.
+        target: u32,
+    },
+    /// Route a batch of pairs against one consistent epoch.
+    Batch {
+        /// The pairs, answered in order.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Liveness + freshness probe.
+    Health,
+    /// The introspection endpoint: the server's `cpr-obs` registry
+    /// snapshot as JSON.
+    Metrics,
+    /// Fixed-layout serving statistics.
+    Stats,
+}
+
+/// How one pair was answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// Delivered: the full node path, source first, target last.
+    Path(Vec<u32>),
+    /// The pair is unroutable in the serving topology.
+    Unroutable,
+    /// The plane failed loudly (hop budget, bad port, …).
+    Failed(String),
+}
+
+/// The fixed-layout payload of a `Stats` reply.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Current serving epoch.
+    pub epoch: u64,
+    /// Topology digest of the serving epoch.
+    pub digest: u64,
+    /// Completed hot swaps since boot.
+    pub swaps: u64,
+    /// Queries answered (single lookups + batched pairs).
+    pub queries: u64,
+    /// Queries delivered at their target.
+    pub delivered: u64,
+    /// Queries answered "unroutable".
+    pub unroutable: u64,
+    /// Queries that failed loudly.
+    pub failed: u64,
+    /// Per-epoch query counts, ascending by epoch.
+    pub epoch_queries: Vec<(u64, u64)>,
+}
+
+/// A server → client response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to `Lookup`.
+    Route {
+        /// Serving epoch the answer was computed against.
+        epoch: u64,
+        /// The outcome.
+        outcome: RouteOutcome,
+    },
+    /// Answer to `Batch`: every pair answered against one epoch.
+    Batch {
+        /// Serving epoch the whole batch was computed against.
+        epoch: u64,
+        /// Outcomes in request order.
+        outcomes: Vec<RouteOutcome>,
+    },
+    /// Answer to `Health`.
+    Health {
+        /// Current serving epoch.
+        epoch: u64,
+        /// Topology digest of the serving epoch.
+        digest: u64,
+        /// `true` when no repair is pending (always `true` for a
+        /// published snapshot — swaps only publish clean planes).
+        fresh: bool,
+    },
+    /// Answer to `Metrics`: the registry snapshot as compact JSON.
+    Metrics {
+        /// Current serving epoch.
+        epoch: u64,
+        /// `Registry::render_json().to_compact()` output.
+        json: String,
+    },
+    /// Answer to `Stats`.
+    Stats(StatsSnapshot),
+    /// The request could not be served.
+    Error {
+        /// One of [`ERR_PROTO`], [`ERR_BAD_REQUEST`], [`ERR_INTERNAL`].
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Payload cursor: every read is bounds-checked.
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Truncated { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, ProtoError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self, context: &'static str) -> Result<String, ProtoError> {
+        let len = self.u32(context)? as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadPayload("invalid UTF-8"))
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.remaining() != 0 {
+            return Err(ProtoError::BadPayload("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Request {
+    /// Serializes the request into a frame *body* (opcode + payload; no
+    /// length prefix — [`write_frame`] adds that).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Lookup { source, target } => {
+                out.push(OP_LOOKUP);
+                put_u32(&mut out, *source);
+                put_u32(&mut out, *target);
+            }
+            Request::Batch { pairs } => {
+                out.push(OP_BATCH);
+                put_u32(&mut out, pairs.len() as u32);
+                for &(s, t) in pairs {
+                    put_u32(&mut out, s);
+                    put_u32(&mut out, t);
+                }
+            }
+            Request::Health => out.push(OP_HEALTH),
+            Request::Metrics => out.push(OP_METRICS),
+            Request::Stats => out.push(OP_STATS),
+        }
+        out
+    }
+
+    /// Decodes a frame body into a request.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtoError`]; never panics, whatever the bytes.
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(body);
+        let op = c.u8("opcode")?;
+        let req = match op {
+            OP_LOOKUP => Request::Lookup {
+                source: c.u32("lookup source")?,
+                target: c.u32("lookup target")?,
+            },
+            OP_BATCH => {
+                let count = c.u32("batch count")? as usize;
+                if count.saturating_mul(8) > c.remaining() {
+                    return Err(ProtoError::Truncated {
+                        context: "batch pairs",
+                    });
+                }
+                let mut pairs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    pairs.push((c.u32("batch source")?, c.u32("batch target")?));
+                }
+                Request::Batch { pairs }
+            }
+            OP_HEALTH => Request::Health,
+            OP_METRICS => Request::Metrics,
+            OP_STATS => Request::Stats,
+            other => return Err(ProtoError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+fn encode_outcome(out: &mut Vec<u8>, outcome: &RouteOutcome) {
+    match outcome {
+        RouteOutcome::Path(path) => {
+            out.push(0);
+            put_u32(out, path.len() as u32);
+            for &v in path {
+                put_u32(out, v);
+            }
+        }
+        RouteOutcome::Unroutable => out.push(1),
+        RouteOutcome::Failed(msg) => {
+            out.push(2);
+            put_string(out, msg);
+        }
+    }
+}
+
+fn decode_outcome(c: &mut Cursor<'_>) -> Result<RouteOutcome, ProtoError> {
+    match c.u8("outcome kind")? {
+        0 => {
+            let len = c.u32("path length")? as usize;
+            if len.saturating_mul(4) > c.remaining() {
+                return Err(ProtoError::Truncated {
+                    context: "path nodes",
+                });
+            }
+            let mut path = Vec::with_capacity(len);
+            for _ in 0..len {
+                path.push(c.u32("path node")?);
+            }
+            Ok(RouteOutcome::Path(path))
+        }
+        1 => Ok(RouteOutcome::Unroutable),
+        2 => Ok(RouteOutcome::Failed(c.string("failure text")?)),
+        _ => Err(ProtoError::BadPayload("unknown outcome kind")),
+    }
+}
+
+impl Response {
+    /// Serializes the response into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Route { epoch, outcome } => {
+                out.push(OP_ROUTE_REPLY);
+                put_u64(&mut out, *epoch);
+                encode_outcome(&mut out, outcome);
+            }
+            Response::Batch { epoch, outcomes } => {
+                out.push(OP_BATCH_REPLY);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, outcomes.len() as u32);
+                for o in outcomes {
+                    encode_outcome(&mut out, o);
+                }
+            }
+            Response::Health {
+                epoch,
+                digest,
+                fresh,
+            } => {
+                out.push(OP_HEALTH_REPLY);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *digest);
+                out.push(u8::from(*fresh));
+            }
+            Response::Metrics { epoch, json } => {
+                out.push(OP_METRICS_REPLY);
+                put_u64(&mut out, *epoch);
+                put_string(&mut out, json);
+            }
+            Response::Stats(s) => {
+                out.push(OP_STATS_REPLY);
+                put_u64(&mut out, s.epoch);
+                put_u64(&mut out, s.digest);
+                put_u64(&mut out, s.swaps);
+                put_u64(&mut out, s.queries);
+                put_u64(&mut out, s.delivered);
+                put_u64(&mut out, s.unroutable);
+                put_u64(&mut out, s.failed);
+                put_u32(&mut out, s.epoch_queries.len() as u32);
+                for &(e, q) in &s.epoch_queries {
+                    put_u64(&mut out, e);
+                    put_u64(&mut out, q);
+                }
+            }
+            Response::Error { code, message } => {
+                out.push(OP_ERROR);
+                out.push(*code);
+                put_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame body into a response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtoError`]; never panics, whatever the bytes.
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cursor::new(body);
+        let op = c.u8("opcode")?;
+        let resp = match op {
+            OP_ROUTE_REPLY => Response::Route {
+                epoch: c.u64("route epoch")?,
+                outcome: decode_outcome(&mut c)?,
+            },
+            OP_BATCH_REPLY => {
+                let epoch = c.u64("batch epoch")?;
+                let count = c.u32("batch reply count")? as usize;
+                if count > c.remaining() {
+                    // Each outcome is at least one byte.
+                    return Err(ProtoError::Truncated {
+                        context: "batch outcomes",
+                    });
+                }
+                let mut outcomes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    outcomes.push(decode_outcome(&mut c)?);
+                }
+                Response::Batch { epoch, outcomes }
+            }
+            OP_HEALTH_REPLY => Response::Health {
+                epoch: c.u64("health epoch")?,
+                digest: c.u64("health digest")?,
+                fresh: match c.u8("health freshness")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ProtoError::BadPayload("freshness is not a bool")),
+                },
+            },
+            OP_METRICS_REPLY => Response::Metrics {
+                epoch: c.u64("metrics epoch")?,
+                json: c.string("metrics json")?,
+            },
+            OP_STATS_REPLY => {
+                let mut s = StatsSnapshot {
+                    epoch: c.u64("stats epoch")?,
+                    digest: c.u64("stats digest")?,
+                    swaps: c.u64("stats swaps")?,
+                    queries: c.u64("stats queries")?,
+                    delivered: c.u64("stats delivered")?,
+                    unroutable: c.u64("stats unroutable")?,
+                    failed: c.u64("stats failed")?,
+                    epoch_queries: Vec::new(),
+                };
+                let count = c.u32("stats epoch count")? as usize;
+                if count.saturating_mul(16) > c.remaining() {
+                    return Err(ProtoError::Truncated {
+                        context: "stats epoch counts",
+                    });
+                }
+                for _ in 0..count {
+                    s.epoch_queries
+                        .push((c.u64("stats epoch id")?, c.u64("stats epoch queries")?));
+                }
+                Response::Stats(s)
+            }
+            OP_ERROR => Response::Error {
+                code: c.u8("error code")?,
+                message: c.string("error message")?,
+            },
+            other => return Err(ProtoError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O.
+
+/// Writes one frame: `u32` little-endian body length, then the body.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Panics
+///
+/// Panics if `body` exceeds `u32::MAX` bytes (a caller bug — encoded
+/// bodies are bounded by the protocol caps long before that).
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len()).expect("frame body exceeds u32::MAX");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body. Returns `Ok(None)` on a clean end-of-stream at
+/// a frame boundary (the peer closed between frames); end-of-stream
+/// anywhere else is [`ProtoError::Truncated`].
+///
+/// # Errors
+///
+/// [`ProtoError::Truncated`] / [`Oversized`](ProtoError::Oversized) /
+/// [`Io`](ProtoError::Io).
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(ProtoError::Truncated {
+                        context: "length prefix",
+                    })
+                };
+            }
+            Ok(k) => got += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 {
+        return Err(ProtoError::BadPayload("empty frame"));
+    }
+    if len > max_frame {
+        return Err(ProtoError::Oversized {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut at = 0usize;
+    while at < body.len() {
+        match r.read(&mut body[at..]) {
+            Ok(0) => {
+                return Err(ProtoError::Truncated {
+                    context: "frame body",
+                })
+            }
+            Ok(k) => at += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0xAA, 0xBB]).unwrap();
+        assert_eq!(buf, vec![2, 0, 0, 0, 0xAA, 0xBB]);
+        let body = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(body, vec![0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn clean_eof_is_none_midframe_eof_is_truncated() {
+        let empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut { empty }, 1024).unwrap(), None);
+        let cut_prefix: &[u8] = &[5, 0];
+        assert_eq!(
+            read_frame(&mut { cut_prefix }, 1024).unwrap_err(),
+            ProtoError::Truncated {
+                context: "length prefix"
+            }
+        );
+        let cut_body: &[u8] = &[5, 0, 0, 0, 1, 2];
+        assert_eq!(
+            read_frame(&mut { cut_body }, 1024).unwrap_err(),
+            ProtoError::Truncated {
+                context: "frame body"
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let huge: &[u8] = &[0xFF, 0xFF, 0xFF, 0x7F, 0];
+        assert_eq!(
+            read_frame(&mut { huge }, 1024).unwrap_err(),
+            ProtoError::Oversized {
+                len: 0x7FFF_FFFF,
+                max: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn request_roundtrip_all_variants() {
+        for req in [
+            Request::Lookup {
+                source: 3,
+                target: 999,
+            },
+            Request::Batch {
+                pairs: vec![(0, 1), (7, 2)],
+            },
+            Request::Batch { pairs: vec![] },
+            Request::Health,
+            Request::Metrics,
+            Request::Stats,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_variants() {
+        for resp in [
+            Response::Route {
+                epoch: 9,
+                outcome: RouteOutcome::Path(vec![1, 5, 2]),
+            },
+            Response::Route {
+                epoch: 0,
+                outcome: RouteOutcome::Unroutable,
+            },
+            Response::Route {
+                epoch: 1,
+                outcome: RouteOutcome::Failed("loop".into()),
+            },
+            Response::Batch {
+                epoch: 2,
+                outcomes: vec![RouteOutcome::Path(vec![0, 1]), RouteOutcome::Unroutable],
+            },
+            Response::Health {
+                epoch: 4,
+                digest: 0xDEAD_BEEF,
+                fresh: true,
+            },
+            Response::Metrics {
+                epoch: 5,
+                json: "{}".into(),
+            },
+            Response::Stats(StatsSnapshot {
+                epoch: 6,
+                digest: 1,
+                swaps: 2,
+                queries: 100,
+                delivered: 98,
+                unroutable: 2,
+                failed: 0,
+                epoch_queries: vec![(0, 40), (6, 60)],
+            }),
+            Response::Error {
+                code: ERR_PROTO,
+                message: "bad".into(),
+            },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_and_trailing_bytes_error_cleanly() {
+        assert_eq!(
+            Request::decode(&[0x7A]).unwrap_err(),
+            ProtoError::UnknownOpcode(0x7A)
+        );
+        let mut body = Request::Health.encode();
+        body.push(0);
+        assert_eq!(
+            Request::decode(&body).unwrap_err(),
+            ProtoError::BadPayload("trailing bytes")
+        );
+    }
+}

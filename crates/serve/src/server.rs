@@ -1,0 +1,517 @@
+//! The daemon: a [`RouteService`] (serving state + control plane) and a
+//! [`RouteServer`] (TCP accept loop on scoped threads).
+//!
+//! The split mirrors a real router: the **data path** is
+//! [`RouteService::answer`] — load the current [`PlaneEpoch`] from the
+//! [`EpochCell`], walk the compiled plane, count the query. The
+//! **control path** is [`RouteService::reconcile`] — observe a (possibly
+//! drifted) topology on the master healing plane, repair it off the
+//! serving path, then publish a cloned snapshot with one atomic swap.
+//! Queries in flight during a swap finish against the epoch they
+//! started on; queries accepted after the swap see the new epoch. No
+//! query is ever dropped or answered against a topology older than the
+//! epoch stamped on its response.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use cpr_graph::Graph;
+use cpr_obs::{Json, Obs};
+use cpr_plane::{CompileError, RepairStats, SelfHealingPlane, StaleReport};
+use cpr_routing::{RouteError, RoutingScheme};
+
+use crate::epoch::{EpochCell, PlaneEpoch};
+use crate::proto::{
+    self, ProtoError, Request, Response, RouteOutcome, StatsSnapshot, DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_FRAME, ERR_BAD_REQUEST, ERR_PROTO,
+};
+
+/// Limits and switches for one serving instance.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Frame-body cap enforced on every inbound frame.
+    pub max_frame: u32,
+    /// Pairs-per-batch cap enforced after decode.
+    pub max_batch: u32,
+    /// Record per-query wall-clock latency into the registry
+    /// (`serve.latency_us`). Off by default: latency is wall-clock, so
+    /// byte-deterministic registry snapshots must exclude it — the
+    /// bench turns it on exactly when timing is enabled.
+    pub record_latency: bool,
+    /// Socket read timeout for connection workers; bounds how long a
+    /// worker waits on an idle client before re-checking the stop flag.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            max_batch: DEFAULT_MAX_BATCH,
+            record_latency: false,
+            read_timeout_ms: 20,
+        }
+    }
+}
+
+/// What one [`RouteService::reconcile`] call did.
+#[derive(Clone, Debug)]
+pub struct SwapReport {
+    /// Whether a new epoch was published. `false` when the observed
+    /// topology matched the serving one and nothing was dirty.
+    pub swapped: bool,
+    /// Serving epoch after the call.
+    pub epoch: u64,
+    /// Serving topology digest after the call.
+    pub digest: u64,
+    /// What `observe` saw on the master plane.
+    pub stale: StaleReport,
+    /// The repair pass, when one ran.
+    pub repair: Option<RepairStats>,
+}
+
+/// The serving state: an immutable snapshot behind an [`EpochCell`]
+/// (data path), the master [`SelfHealingPlane`] behind a mutex (control
+/// path), and the query/swap counters + `cpr-obs` registry both paths
+/// record into.
+pub struct RouteService<S: RoutingScheme> {
+    config: ServeConfig,
+    master: Mutex<SelfHealingPlane<S>>,
+    cell: EpochCell<PlaneEpoch<S>>,
+    obs: Obs,
+    queries: AtomicU64,
+    delivered: AtomicU64,
+    unroutable: AtomicU64,
+    failed: AtomicU64,
+    swaps: AtomicU64,
+    epoch_queries: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl<S> RouteService<S>
+where
+    S: RoutingScheme + Clone + Send + Sync,
+    S::Header: Send + Sync,
+{
+    /// Compiles `scheme` over `graph` and wires up epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] of the underlying compile.
+    pub fn new(
+        scheme: S,
+        graph: Graph,
+        config: ServeConfig,
+        obs: Obs,
+    ) -> Result<Self, CompileError> {
+        let master = SelfHealingPlane::new(&scheme, &graph)?;
+        let snapshot = master.clone();
+        let cell = EpochCell::new(Arc::new(PlaneEpoch::new(scheme, graph, snapshot)));
+        obs.set_gauge("serve.epoch", 0);
+        Ok(RouteService {
+            config,
+            master: Mutex::new(master),
+            cell,
+            obs,
+            queries: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            unroutable: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            epoch_queries: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The observability context the service records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The current serving snapshot.
+    pub fn current(&self) -> Arc<PlaneEpoch<S>> {
+        self.cell.load()
+    }
+
+    /// The control path: observe `graph` on the master plane and, if the
+    /// topology drifted (or pairs were left dirty), repair off the
+    /// serving path and publish a new epoch with one atomic swap.
+    /// Serving continues on the old epoch for the entire repair; the
+    /// swap itself is a pointer store.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] from `observe` (node-count change) or the
+    /// repair pass. On error nothing is published — the old epoch keeps
+    /// serving.
+    pub fn reconcile(&self, scheme: S, graph: Graph) -> Result<SwapReport, CompileError> {
+        let started = Instant::now();
+        let mut master = self.master.lock().unwrap_or_else(PoisonError::into_inner);
+        let stale = master.observe(&graph)?;
+        if !stale.stale && master.dirty_pairs() == 0 {
+            return Ok(SwapReport {
+                swapped: false,
+                epoch: master.epoch(),
+                digest: master.digest(),
+                stale,
+                repair: None,
+            });
+        }
+        let repair = master.repair_obs(&scheme, &graph, &self.obs)?;
+        let snapshot = master.clone();
+        let epoch = snapshot.epoch();
+        let digest = snapshot.digest();
+        drop(master);
+        self.cell
+            .store(Arc::new(PlaneEpoch::new(scheme, graph, snapshot)));
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr("serve.swaps");
+        self.obs.set_gauge("serve.epoch", epoch as i64);
+        // Swap latency is wall-clock: tracer only, never the registry.
+        self.obs.event(
+            "serve.swap",
+            &[
+                ("epoch", Json::int(epoch)),
+                ("dirty_pairs", Json::int(repair.dirty_pairs)),
+                ("full_rebuild", Json::Bool(repair.full_rebuild)),
+                ("micros", Json::int(started.elapsed().as_micros())),
+            ],
+        );
+        Ok(SwapReport {
+            swapped: true,
+            epoch,
+            digest,
+            stale,
+            repair: Some(repair),
+        })
+    }
+
+    fn route_one(&self, ep: &PlaneEpoch<S>, source: u32, target: u32) -> RouteOutcome {
+        let n = ep.graph().node_count();
+        if source as usize >= n || target as usize >= n {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            self.obs.incr("serve.failed");
+            return RouteOutcome::Failed(format!(
+                "node id out of range: ({source}, {target}) on {n} nodes"
+            ));
+        }
+        if source == target {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            self.obs.incr("serve.delivered");
+            self.obs.record("serve.hops", 0);
+            return RouteOutcome::Path(vec![source]);
+        }
+        match ep.lookup(source as usize, target as usize) {
+            Ok((path, _served)) => {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                self.obs.incr("serve.delivered");
+                self.obs
+                    .record("serve.hops", path.len().saturating_sub(1) as u64);
+                RouteOutcome::Path(path.into_iter().map(|v| v as u32).collect())
+            }
+            Err(RouteError::Unroutable { .. }) => {
+                self.unroutable.fetch_add(1, Ordering::Relaxed);
+                self.obs.incr("serve.unroutable");
+                RouteOutcome::Unroutable
+            }
+            Err(e) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                self.obs.incr("serve.failed");
+                RouteOutcome::Failed(e.to_string())
+            }
+        }
+    }
+
+    fn count_queries(&self, epoch: u64, n: u64) {
+        self.queries.fetch_add(n, Ordering::Relaxed);
+        *self
+            .epoch_queries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(epoch)
+            .or_insert(0) += n;
+        self.obs.add("serve.queries", n);
+        self.obs.add(&format!("serve.queries.epoch.{epoch}"), n);
+    }
+
+    /// The data path: answer one decoded request. Epoch consistency is
+    /// per request — a batch is answered entirely against the snapshot
+    /// loaded at its start, and the response carries that epoch.
+    pub fn answer(&self, request: &Request) -> Response {
+        match request {
+            Request::Lookup { source, target } => {
+                let ep = self.cell.load();
+                self.count_queries(ep.epoch(), 1);
+                Response::Route {
+                    epoch: ep.epoch(),
+                    outcome: self.route_one(&ep, *source, *target),
+                }
+            }
+            Request::Batch { pairs } => {
+                if pairs.len() > self.config.max_batch as usize {
+                    return Response::Error {
+                        code: ERR_BAD_REQUEST,
+                        message: format!(
+                            "batch of {} pairs exceeds cap of {}",
+                            pairs.len(),
+                            self.config.max_batch
+                        ),
+                    };
+                }
+                let ep = self.cell.load();
+                self.count_queries(ep.epoch(), pairs.len() as u64);
+                Response::Batch {
+                    epoch: ep.epoch(),
+                    outcomes: pairs
+                        .iter()
+                        .map(|&(s, t)| self.route_one(&ep, s, t))
+                        .collect(),
+                }
+            }
+            Request::Health => {
+                let ep = self.cell.load();
+                Response::Health {
+                    epoch: ep.epoch(),
+                    digest: ep.digest(),
+                    fresh: ep.is_fresh(),
+                }
+            }
+            Request::Metrics => {
+                let ep = self.cell.load();
+                Response::Metrics {
+                    epoch: ep.epoch(),
+                    json: self.obs.registry.render_json().to_compact(),
+                }
+            }
+            Request::Stats => Response::Stats(self.stats()),
+        }
+    }
+
+    /// The fixed-layout counters served by the `Stats` opcode.
+    pub fn stats(&self) -> StatsSnapshot {
+        let ep = self.cell.load();
+        StatsSnapshot {
+            epoch: ep.epoch(),
+            digest: ep.digest(),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            unroutable: self.unroutable.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            epoch_queries: self
+                .epoch_queries
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(&e, &q)| (e, q))
+                .collect(),
+        }
+    }
+}
+
+/// The TCP daemon: a non-blocking accept loop that hands each
+/// connection to a scoped worker thread. Workers poll the shared stop
+/// flag between (timed-out) reads, so [`run`](Self::run) returns — with
+/// every worker joined — shortly after the flag is raised.
+pub struct RouteServer<S: RoutingScheme> {
+    service: Arc<RouteService<S>>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl<S> RouteServer<S>
+where
+    S: RoutingScheme + Clone + Send + Sync,
+    S::Header: Send + Sync,
+{
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from binding or configuring the listener.
+    pub fn bind(service: Arc<RouteService<S>>, addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(RouteServer {
+            service,
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the socket.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops [`run`](Self::run) when set to `true`.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// The serving state, shared with the accept loop.
+    pub fn service(&self) -> &Arc<RouteService<S>> {
+        &self.service
+    }
+
+    /// Accepts and serves connections until the stop handle is raised.
+    /// Blocks the calling thread; run it on a dedicated (scoped) thread
+    /// and raise the stop handle to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection errors are answered
+    /// with an `Error` frame (best-effort) and close that connection.
+    pub fn run(&self) -> io::Result<()> {
+        std::thread::scope(|scope| loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = Arc::clone(&self.service);
+                    let stop = Arc::clone(&self.stop);
+                    scope.spawn(move || handle_connection(&service, stream, &stop));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        })
+    }
+}
+
+/// Reads one frame body, polling `stop` across read timeouts. Returns
+/// `Ok(None)` on clean end-of-stream at a frame boundary *or* when the
+/// stop flag is raised (a partial frame at shutdown is discarded — the
+/// peer is going away with us).
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    max_frame: u32,
+) -> Result<Option<Vec<u8>>, ProtoError> {
+    fn fill(
+        stream: &mut TcpStream,
+        stop: &AtomicBool,
+        buf: &mut [u8],
+        context: &'static str,
+    ) -> Result<bool, ProtoError> {
+        let mut at = 0usize;
+        while at < buf.len() {
+            if stop.load(Ordering::Relaxed) {
+                return Ok(false);
+            }
+            match stream.read(&mut buf[at..]) {
+                Ok(0) => {
+                    if at == 0 && context == "length prefix" {
+                        return Ok(false);
+                    }
+                    return Err(ProtoError::Truncated { context });
+                }
+                Ok(k) => at += k,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(true)
+    }
+
+    let mut prefix = [0u8; 4];
+    if !fill(stream, stop, &mut prefix, "length prefix")? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 {
+        return Err(ProtoError::BadPayload("empty frame"));
+    }
+    if len > max_frame {
+        return Err(ProtoError::Oversized {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    if !fill(stream, stop, &mut body, "frame body")? {
+        return Ok(None);
+    }
+    Ok(Some(body))
+}
+
+/// One connection worker: frames in, frames out, until the peer closes,
+/// the stop flag is raised, or the peer violates the protocol (which is
+/// answered with a best-effort `Error` frame and a close — never a
+/// panic, never a poisoned worker).
+fn handle_connection<S>(service: &RouteService<S>, mut stream: TcpStream, stop: &AtomicBool)
+where
+    S: RoutingScheme + Clone + Send + Sync,
+    S::Header: Send + Sync,
+{
+    let config = *service.config();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));
+    service.obs().incr("serve.connections");
+    loop {
+        let body = match read_frame_polling(&mut stream, stop, config.max_frame) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,
+            Err(err) => {
+                service.obs().incr("serve.proto_errors");
+                send_error(&mut stream, ERR_PROTO, &err.to_string());
+                return;
+            }
+        };
+        let request = match Request::decode(&body) {
+            Ok(req) => req,
+            Err(err) => {
+                service.obs().incr("serve.proto_errors");
+                send_error(&mut stream, ERR_PROTO, &err.to_string());
+                return;
+            }
+        };
+        let started = Instant::now();
+        let response = service.answer(&request);
+        if config.record_latency {
+            service
+                .obs()
+                .record("serve.latency_us", started.elapsed().as_micros() as u64);
+        }
+        if write_response(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    proto::write_frame(stream, &response.encode())
+}
+
+fn send_error(stream: &mut TcpStream, code: u8, message: &str) {
+    let _ = write_response(
+        stream,
+        &Response::Error {
+            code,
+            message: message.to_string(),
+        },
+    );
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

@@ -1,0 +1,243 @@
+//! The hot-swap guarantee, proven under live fire: seeded churn from
+//! the chaos harness drives epoch swaps while a client hammers the
+//! socket, and every answer is audited after the fact:
+//!
+//! * **zero dropped** — every query the client sent got an answer (the
+//!   closed loop would have erred on a dropped one);
+//! * **zero stale-topology answers** — epochs stamped on answers are
+//!   monotonically non-decreasing, every answer is hop-for-hop equal to
+//!   the live-scheme oracle *for its own epoch's topology*, and
+//!   `Unroutable` is only ever answered for pairs genuinely
+//!   disconnected in that epoch;
+//! * **post-swap convergence** — after the final swap and drain, every
+//!   answer carries the final epoch and matches the final oracle.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cpr_algebra::policies::ShortestPath;
+use cpr_graph::{generators, EdgeWeights, Graph};
+use cpr_routing::{DestTable, RouteError};
+use cpr_serve::{RouteClient, RouteOutcome, RouteServer, RouteService, ServeConfig};
+use cpr_sim::{topology_timeline, FaultPlan, StormConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0xC0FF_EE00_0006;
+const N: usize = 20;
+
+fn scheme_for(graph: &Graph) -> DestTable {
+    let w = EdgeWeights::uniform(graph, 1u64);
+    DestTable::build(graph, &w, &ShortestPath)
+}
+
+struct Recorded {
+    epoch: u64,
+    source: usize,
+    target: usize,
+    outcome: RouteOutcome,
+}
+
+/// Waits until `counter` reaches at least `target` so every published
+/// epoch demonstrably serves live queries before the next swap.
+fn wait_progress(counter: &AtomicU64, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while counter.load(Ordering::Relaxed) < target {
+        assert!(
+            Instant::now() < deadline,
+            "client made no progress; server wedged?"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn churn_under_live_load_never_drops_or_serves_stale() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let g0 = generators::gnp_connected(N, 0.25, &mut rng);
+    let scheme0 = scheme_for(&g0);
+
+    let schedule = FaultPlan::Storm(StormConfig {
+        events: 10,
+        heal_at_end: true,
+        ..StormConfig::default()
+    })
+    .schedule(&g0, &mut rng);
+    let timeline = topology_timeline(&g0, &schedule).expect("storm names only live elements");
+    assert!(
+        timeline.iter().any(|s| s.changed),
+        "seeded storm produced no topology change; pick another seed"
+    );
+
+    let service = Arc::new(
+        RouteService::new(
+            scheme0.clone(),
+            g0.clone(),
+            ServeConfig::default(),
+            cpr_obs::Obs::with_null_tracer(),
+        )
+        .expect("initial compile"),
+    );
+    let server = RouteServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = server.stop_handle();
+
+    // Oracle state per published epoch.
+    let mut oracles: HashMap<u64, (Graph, DestTable)> = HashMap::new();
+    oracles.insert(0, (g0.clone(), scheme0));
+
+    let answered = AtomicU64::new(0);
+    let churn_done = AtomicBool::new(false);
+
+    let (recorded, swaps) = std::thread::scope(|scope| {
+        let server_handle = scope.spawn(|| server.run());
+
+        // The client: stream single lookups as fast as the closed loop
+        // allows, recording every answer with its stamped epoch.
+        let client_handle = scope.spawn(|| {
+            let mut client = RouteClient::connect(addr).expect("connect");
+            let mut rng = StdRng::seed_from_u64(SEED ^ 0xA5A5);
+            let mut recorded = Vec::new();
+            while !churn_done.load(Ordering::Relaxed) {
+                for (s, t) in
+                    cpr_plane::generate(&g0, &cpr_plane::TrafficPattern::Uniform, 16, &mut rng)
+                {
+                    let (epoch, outcome) = client.lookup(s as u32, t as u32).expect("lookup");
+                    recorded.push(Recorded {
+                        epoch,
+                        source: s,
+                        target: t,
+                        outcome,
+                    });
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            recorded
+        });
+
+        // The control plane: drive each churn step through reconcile,
+        // waiting for the client to land queries on every epoch.
+        let mut swaps = 0u64;
+        for step in &timeline {
+            if !step.changed {
+                continue;
+            }
+            let scheme = scheme_for(&step.graph);
+            let report = service
+                .reconcile(scheme.clone(), step.graph.clone())
+                .expect("reconcile");
+            assert!(report.swapped, "a changed step must publish a new epoch");
+            assert!(
+                report.stale.expected_digest != report.stale.observed_digest,
+                "changed step with equal digests"
+            );
+            swaps += 1;
+            assert_eq!(
+                report.epoch, swaps,
+                "epochs advance by exactly one per changed step"
+            );
+            oracles.insert(report.epoch, (step.graph.clone(), scheme));
+            wait_progress(&answered, answered.load(Ordering::Relaxed) + 5);
+        }
+        churn_done.store(true, Ordering::Relaxed);
+        let recorded = client_handle.join().expect("client thread");
+        stop.store(true, Ordering::Relaxed);
+        server_handle.join().expect("server thread").unwrap();
+        (recorded, swaps)
+    });
+
+    // --- Audit ---------------------------------------------------------
+    assert!(swaps >= 2, "storm produced too few swaps to prove anything");
+    assert!(
+        recorded.len() as u64 >= swaps * 5,
+        "client recorded too few answers"
+    );
+
+    // Zero dropped: every send was answered (lookup would have erred),
+    // and the server counted exactly what the client saw (plus nothing).
+    let stats = service.stats();
+    assert_eq!(stats.queries, recorded.len() as u64);
+    assert_eq!(
+        stats.delivered + stats.unroutable + stats.failed,
+        stats.queries
+    );
+    assert_eq!(stats.swaps, swaps);
+    assert_eq!(
+        stats.epoch_queries.iter().map(|&(_, q)| q).sum::<u64>(),
+        stats.queries,
+        "per-epoch counts partition the total"
+    );
+
+    // Zero stale answers, part 1: epochs never go backwards.
+    let mut last = 0u64;
+    for r in &recorded {
+        assert!(
+            r.epoch >= last,
+            "epoch went backwards: {} after {}",
+            r.epoch,
+            last
+        );
+        last = r.epoch;
+    }
+    assert_eq!(last, swaps, "the drain tail must reach the final epoch");
+
+    // Zero stale answers, part 2: every answer agrees hop-for-hop with
+    // the live-scheme oracle for its own epoch's topology.
+    for r in &recorded {
+        let (graph, scheme) = oracles
+            .get(&r.epoch)
+            .expect("answers only carry published epochs");
+        let oracle = cpr_routing::route(scheme, graph, r.source, r.target);
+        match (&r.outcome, oracle) {
+            (RouteOutcome::Path(path), Ok(expect)) => {
+                let got: Vec<usize> = path.iter().map(|&v| v as usize).collect();
+                assert_eq!(
+                    got, expect,
+                    "epoch {} answer for ({}, {}) diverged from its oracle",
+                    r.epoch, r.source, r.target
+                );
+            }
+            (RouteOutcome::Unroutable, Err(RouteError::Unroutable { .. })) => {}
+            (outcome, oracle) => panic!(
+                "epoch {} ({}, {}): answer {outcome:?} vs oracle {oracle:?}",
+                r.epoch, r.source, r.target
+            ),
+        }
+    }
+
+    // Post-swap convergence: heal_at_end restored every link, so the
+    // final topology is g0's edge set again and a drain burst must be
+    // answered entirely at the final epoch, matching the final oracle.
+    let (final_graph, _) = &oracles[&swaps];
+    assert_eq!(
+        cpr_plane::graph_digest(final_graph),
+        cpr_plane::graph_digest(&g0),
+        "heal_at_end must restore the original edge set"
+    );
+    let server = RouteServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = server.stop_handle();
+    std::thread::scope(|scope| {
+        let server_handle = scope.spawn(|| server.run());
+        let mut client = RouteClient::connect(addr).expect("connect");
+        let mut rng = StdRng::seed_from_u64(SEED ^ 0x5A5A);
+        let (final_graph, final_scheme) = &oracles[&swaps];
+        for (s, t) in cpr_plane::generate(&g0, &cpr_plane::TrafficPattern::Uniform, 64, &mut rng) {
+            let (epoch, outcome) = client.lookup(s as u32, t as u32).expect("drain lookup");
+            assert_eq!(epoch, swaps, "drain answers must all be at the final epoch");
+            match (outcome, cpr_routing::route(final_scheme, final_graph, s, t)) {
+                (RouteOutcome::Path(path), Ok(expect)) => {
+                    let got: Vec<usize> = path.iter().map(|&v| v as usize).collect();
+                    assert_eq!(got, expect);
+                }
+                (RouteOutcome::Unroutable, Err(RouteError::Unroutable { .. })) => {}
+                (outcome, oracle) => panic!("drain ({s}, {t}): {outcome:?} vs {oracle:?}"),
+            }
+        }
+        drop(client);
+        stop.store(true, Ordering::Relaxed);
+        server_handle.join().expect("server thread").unwrap();
+    });
+}

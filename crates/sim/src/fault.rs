@@ -245,6 +245,102 @@ pub struct FaultSchedule {
     pub events: Vec<FaultEvent>,
 }
 
+/// One entry of a [`topology_timeline`]: the fault event and the
+/// link-level topology right after applying it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopologyStep {
+    /// The event that was applied.
+    pub event: FaultEvent,
+    /// The surviving topology: the original node set with every
+    /// currently-down edge removed (edge ids are renumbered, node ids
+    /// are stable).
+    pub graph: Graph,
+    /// Whether this event changed the edge set. Crash/restart and link
+    /// perturbations leave the topology untouched (a crashed node
+    /// restarts immediately; chaos perturbs messages, not links).
+    pub changed: bool,
+}
+
+/// Lowers a [`FaultSchedule`] to the sequence of topologies it induces —
+/// the *graph-level* view of a chaos run, for consumers that track
+/// topology drift rather than protocol state (the `cpr-serve` hot-swap
+/// path, the self-healing plane's observe/repair drills).
+///
+/// Each step's graph keeps every node of `graph` (node-set changes are a
+/// rebuild, not a repair) and drops exactly the edges that are down
+/// after the event. The output is a pure function of `(graph,
+/// schedule)`, so a seeded storm yields a deterministic timeline.
+///
+/// # Errors
+///
+/// [`SimError`] when an event names a non-edge or an out-of-bounds node
+/// — schedules are data, so malformed ones must be reportable.
+pub fn topology_timeline(
+    graph: &Graph,
+    schedule: &FaultSchedule,
+) -> Result<Vec<TopologyStep>, SimError> {
+    let n = graph.node_count();
+    let edge_of =
+        |u: NodeId, v: NodeId| graph.edge_between(u, v).ok_or(SimError::NotAnEdge { u, v });
+    let check_side = |side: &[NodeId]| match side.iter().find(|&&x| x >= n) {
+        Some(&node) => Err(SimError::NodeOutOfBounds { node }),
+        None => Ok(()),
+    };
+    let mut down = vec![false; graph.edge_count()];
+    let mut steps = Vec::with_capacity(schedule.events.len());
+    for event in &schedule.events {
+        let changed = match event {
+            FaultEvent::FailLink { u, v } => {
+                let e = edge_of(*u, *v)?;
+                let was = down[e];
+                down[e] = true;
+                !was
+            }
+            FaultEvent::RestoreLink { u, v } => {
+                let e = edge_of(*u, *v)?;
+                let was = down[e];
+                down[e] = false;
+                was
+            }
+            FaultEvent::CrashNode { node } => {
+                if *node >= n {
+                    return Err(SimError::NodeOutOfBounds { node: *node });
+                }
+                false
+            }
+            FaultEvent::Partition { side } => {
+                check_side(side)?;
+                let mut any = false;
+                for (e, _, _) in crossing_edges(graph, side) {
+                    any |= !down[e];
+                    down[e] = true;
+                }
+                any
+            }
+            FaultEvent::HealPartition { side } => {
+                check_side(side)?;
+                let mut any = false;
+                for (e, _, _) in crossing_edges(graph, side) {
+                    any |= down[e];
+                    down[e] = false;
+                }
+                any
+            }
+            FaultEvent::PerturbLink { u, v, .. } | FaultEvent::CalmLink { u, v } => {
+                edge_of(*u, *v)?;
+                false
+            }
+        };
+        let (g, _) = graph.filter_edges(|e, _| !down[e]);
+        steps.push(TopologyStep {
+            event: event.clone(),
+            graph: g,
+            changed,
+        });
+    }
+    Ok(steps)
+}
+
 fn crossing_edges(graph: &Graph, side: &[NodeId]) -> Vec<(EdgeId, NodeId, NodeId)> {
     let in_side: HashSet<NodeId> = side.iter().copied().collect();
     graph

@@ -37,7 +37,7 @@ mod sim;
 pub use async_sim::{AsyncReport, AsyncSimulator};
 pub use fault::{
     audit_forwarding, run_chaos_async, run_chaos_async_obs, run_chaos_sync, run_chaos_sync_obs,
-    Audit, ChaosOptions, EventRecovery, FaultEvent, FaultPlan, FaultSchedule, LinkChaos,
-    RecoveryReport, RibSnapshot, Settle, SimError, StormConfig,
+    topology_timeline, Audit, ChaosOptions, EventRecovery, FaultEvent, FaultPlan, FaultSchedule,
+    LinkChaos, RecoveryReport, RibSnapshot, Settle, SimError, StormConfig, TopologyStep,
 };
 pub use sim::{ConvergenceReport, RoundDelta, Route, Simulator};
