@@ -23,7 +23,8 @@ use std::time::Instant;
 use cpr_algebra::policies::ShortestPath;
 use cpr_algebra::RoutingAlgebra;
 use cpr_bench::{
-    experiment_rng, experiment_seed, timing_enabled, timing_field, Json, TextTable, Topology,
+    experiment_rng, experiment_seed, speedup_field, speedup_reliable, speedup_unreliable_field,
+    timing_enabled, timing_field, Json, TextTable, Topology,
 };
 use cpr_graph::EdgeWeights;
 use cpr_paths::AllPairs;
@@ -124,20 +125,34 @@ fn main() {
             "plane digest diverged at {threads} threads"
         );
 
+        let show_speedup = |ratio: f64| {
+            if speedup_reliable(threads) {
+                format!("{ratio:.2}×")
+            } else {
+                "n/a".to_string()
+            }
+        };
         table.row(vec![
             threads.to_string(),
             format!("{ap_ms:.1}"),
-            format!("{:.2}×", serial_ap_ms / ap_ms),
+            show_speedup(serial_ap_ms / ap_ms),
             format!("{plane_ms:.1}"),
-            format!("{:.2}×", serial_plane_ms / plane_ms),
+            show_speedup(serial_plane_ms / plane_ms),
         ]);
         obs.incr("bench.sweep_points");
         rows.push(Json::obj([
             ("threads", Json::int(threads)),
             ("allpairs_ms", timing_field(ap_ms)),
-            ("allpairs_speedup", timing_field(serial_ap_ms / ap_ms)),
+            (
+                "allpairs_speedup",
+                speedup_field(serial_ap_ms / ap_ms, threads),
+            ),
             ("compile_ms", timing_field(plane_ms)),
-            ("compile_speedup", timing_field(serial_plane_ms / plane_ms)),
+            (
+                "compile_speedup",
+                speedup_field(serial_plane_ms / plane_ms, threads),
+            ),
+            ("speedup_unreliable", speedup_unreliable_field(threads)),
         ]));
     }
     println!("{table}");

@@ -67,6 +67,39 @@ pub fn host_metadata() -> Json {
     ])
 }
 
+/// `true` when a parallel speedup measured at `threads` workers means
+/// something on this host: the machine must actually have that many
+/// hardware threads. On an oversubscribed host the workers time-slice
+/// one core and the ratio measures scheduler noise, not scaling.
+pub fn speedup_reliable(threads: usize) -> bool {
+    std::thread::available_parallelism().map_or(1, usize::from) >= threads
+}
+
+/// A `*_speedup` report field: the measured ratio when the host
+/// genuinely ran `threads` workers in parallel (and timing is enabled),
+/// `null` otherwise. Pair with [`speedup_unreliable_field`] so readers
+/// can tell "not measured" from "measured but meaningless".
+pub fn speedup_field(ratio: f64, threads: usize) -> Json {
+    if timing_enabled() && speedup_reliable(threads) {
+        Json::float(ratio)
+    } else {
+        Json::Null
+    }
+}
+
+/// The `speedup_unreliable` flag accompanying a sweep row: `true` when
+/// the host has fewer hardware threads than the row's worker count (its
+/// `*_speedup` fields are then `null`), `false` when the ratio is
+/// trustworthy. Host-dependent, so it renders as `null` under
+/// `CPR_BENCH_TIMING=0` like every other host-dependent field.
+pub fn speedup_unreliable_field(threads: usize) -> Json {
+    if timing_enabled() {
+        Json::Bool(!speedup_reliable(threads))
+    } else {
+        Json::Null
+    }
+}
+
 /// A plain-text table printer with right-aligned columns.
 ///
 /// # Examples

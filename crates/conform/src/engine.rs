@@ -568,6 +568,165 @@ pub fn check_mutants() -> Vec<Violation> {
     out
 }
 
+/// Cap on recorded violations per scale-scheme sweep: at 10⁴ nodes a
+/// systematic bug would otherwise push 10⁸ violation strings.
+const SCALE_VIOLATION_CAP: usize = 100;
+
+/// Conformance at Internet scale. The exhaustive simple-path oracle is
+/// exponential in the instance size, so this arm replaces it with
+/// parallel-BFS hop optima ([`cpr_paths::HopMatrix`]) — exact ground
+/// truth for the shortest-path algebra under unit weights — and sweeps
+/// one `n`-node scale-free instance:
+///
+/// * **Digest determinism** — the streaming shard compiler must produce
+///   byte-identical planes at 1 and 2 workers, for both schemes.
+/// * **Plane conformance** — [`cpr_plane::validate`] replays every pair
+///   hop-for-hop against the live scheme.
+/// * **Routability + stretch certification** — every ordered pair is
+///   walked through the zero-alloc batched lookup core: exactly the
+///   BFS-reachable pairs must deliver, destination tables must be
+///   hop-optimal (stretch 1), and Cowen must stay within Theorem 3's
+///   multiplicative-3 bound — per pair, not on average.
+///
+/// Violations are capped at [`SCALE_VIOLATION_CAP`] per scheme (with a
+/// final summary entry carrying the overflow count); `pairs_checked`
+/// always reflects the full sweep.
+pub fn check_scale_instance(n: usize, seed: u64) -> Report {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = cpr_graph::generators::barabasi_albert(n, 2, &mut rng);
+    let weights = EdgeWeights::uniform(&graph, 1u64);
+    let optima = cpr_paths::HopMatrix::compute(&graph);
+    let tag = format!("scale-free/{n}@{seed:#x}");
+
+    let mut report = Report::default();
+    let dest = DestTable::build(&graph, &weights, &policies::ShortestPath);
+    check_scale_scheme(
+        &mut report,
+        &graph,
+        &optima,
+        &dest,
+        "dest-table",
+        TABLE_STRETCH,
+        &tag,
+    );
+    let mut cowen_rng = StdRng::seed_from_u64(seed ^ 0x636f_7765_6e00);
+    let cowen = CowenScheme::build(
+        &graph,
+        &weights,
+        &policies::ShortestPath,
+        LandmarkStrategy::TzRandom { attempts: 4 },
+        &mut cowen_rng,
+    );
+    check_scale_scheme(
+        &mut report,
+        &graph,
+        &optima,
+        &cowen,
+        "cowen",
+        COWEN_STRETCH,
+        &tag,
+    );
+    report
+}
+
+fn check_scale_scheme<S: RoutingScheme + Sync>(
+    report: &mut Report,
+    graph: &Graph,
+    optima: &cpr_paths::HopMatrix,
+    scheme: &S,
+    kind: &'static str,
+    k: u32,
+    tag: &str,
+) where
+    S::Header: Send,
+{
+    let violation = |scheme_name: &str, vkind: &str, detail: String| Violation {
+        instance: tag.to_owned(),
+        algebra: "shortest-path".to_owned(),
+        scheme: scheme_name.to_owned(),
+        kind: vkind.to_owned(),
+        detail,
+    };
+    let name = scheme.name();
+
+    let plane = cpr_plane::compile_with_threads(scheme, graph, 1).expect("scheme compiles");
+    let two = cpr_plane::compile_with_threads(scheme, graph, 2).expect("scheme compiles");
+    if two.digest() != plane.digest() {
+        report.violations.push(violation(
+            &name,
+            "digest-divergence",
+            format!(
+                "2-worker compile digest {:016x} != serial {:016x}",
+                two.digest(),
+                plane.digest()
+            ),
+        ));
+    }
+    if let Err(d) = cpr_plane::validate(&plane, scheme, graph) {
+        report
+            .violations
+            .push(violation(&name, "plane-divergence", d.to_string()));
+    }
+
+    let n = graph.node_count();
+    let core = plane.lookup_core();
+    let mut scratch = cpr_plane::BatchScratch::new();
+    let mut batch = Vec::with_capacity(n);
+    let mut dropped = 0usize;
+    for s in 0..n {
+        batch.clear();
+        batch.extend((0..n).filter(|&t| t != s).map(|t| (s, t)));
+        core.lookup_batch(&batch, &mut scratch);
+        let mut outcomes = scratch.results();
+        for &(s, t) in &batch {
+            let outcome = outcomes.next().expect("one outcome per query");
+            report.pairs_checked += 1;
+            let mut push = |vkind: &str, detail: String| {
+                if report.violations.len() < SCALE_VIOLATION_CAP {
+                    report.violations.push(violation(&name, vkind, detail));
+                } else {
+                    dropped += 1;
+                }
+            };
+            match (outcome, optima.hops(s, t)) {
+                (Some(hops), Some(opt)) => {
+                    if hops > opt.saturating_mul(k) {
+                        push(
+                            "stretch-exceeded",
+                            format!("{s} → {t}: {hops} hops, optimum {opt}, bound ×{k}"),
+                        );
+                    } else if hops < opt {
+                        push(
+                            "better-than-optimal",
+                            format!("{s} → {t}: {hops} hops beats BFS optimum {opt}"),
+                        );
+                    }
+                }
+                (None, None) => {}
+                (Some(hops), None) => push(
+                    "routability",
+                    format!("{s} → {t}: delivered in {hops} hops but BFS says unreachable"),
+                ),
+                (None, Some(opt)) => push(
+                    "routability",
+                    format!("{s} → {t}: failed but BFS reaches it in {opt} hops"),
+                ),
+            }
+        }
+    }
+    if dropped > 0 {
+        report.violations.push(violation(
+            &name,
+            "violations-capped",
+            format!("{dropped} further violations suppressed"),
+        ));
+    }
+    report.schemes_run += 1;
+    report
+        .coverage
+        .insert(format!("shortest-path:{kind}@scale"));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,10 @@ pub mod repro;
 pub mod shrink;
 
 pub use algebras::{empirical_properties, AlgebraId, ConformAlgebra, ALL_ALGEBRAS, BOUNDED_BUDGET};
-pub use engine::{check_instance, check_mutants, Report, Violation, COWEN_STRETCH, TABLE_STRETCH};
+pub use engine::{
+    check_instance, check_mutants, check_scale_instance, Report, Violation, COWEN_STRETCH,
+    TABLE_STRETCH,
+};
 pub use fuzz::{fuzz, Failure, FuzzOutcome};
 pub use generate::{generate, GraphFamily, Instance, ALL_FAMILIES};
 pub use mutant::{classify_mutant, MutantId, ALL_MUTANTS};

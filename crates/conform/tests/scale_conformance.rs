@@ -1,0 +1,49 @@
+//! The Internet-scale conformance run, gated behind `CPR_SLOW_TESTS=1`.
+//!
+//! One 10⁴-node scale-free instance through
+//! [`cpr_conform::check_scale_instance`]: compile-digest determinism
+//! across worker counts, hop-for-hop plane validation, and per-pair
+//! routability + stretch certification against BFS hop optima — 2·10⁸
+//! ordered pairs in total. Run it in release mode:
+//!
+//! ```text
+//! CPR_SLOW_TESTS=1 cargo test --release -p cpr-conform --test scale_conformance
+//! ```
+
+/// Matches the default `scale_bench` instance size.
+const SCALE_N: usize = 10_000;
+const SCALE_SEED: u64 = 0xC0_2011;
+
+#[test]
+fn ten_thousand_node_scale_free_instance_conforms() {
+    if std::env::var("CPR_SLOW_TESTS").ok().as_deref() != Some("1") {
+        eprintln!("skipped: set CPR_SLOW_TESTS=1 to run the 10k-node conformance sweep");
+        return;
+    }
+    let report = cpr_conform::check_scale_instance(SCALE_N, SCALE_SEED);
+    assert!(
+        report.violations.is_empty(),
+        "scale conformance violations:\n{}",
+        report.render()
+    );
+    assert_eq!(report.schemes_run, 2, "dest-table and cowen must both run");
+    let expected_pairs = 2 * (SCALE_N as u64) * (SCALE_N as u64 - 1);
+    assert_eq!(
+        report.pairs_checked, expected_pairs,
+        "the sweep must cover every ordered pair for both schemes"
+    );
+}
+
+/// The same sweep at a CI-friendly size, so the scale arm itself is
+/// covered by default test runs (the 10k version only changes `n`).
+#[test]
+fn scale_conformance_arm_works_at_small_n() {
+    let report = cpr_conform::check_scale_instance(192, SCALE_SEED);
+    assert!(
+        report.violations.is_empty(),
+        "scale conformance violations:\n{}",
+        report.render()
+    );
+    assert_eq!(report.schemes_run, 2);
+    assert_eq!(report.pairs_checked, 2 * 192 * 191);
+}

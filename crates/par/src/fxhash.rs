@@ -1,0 +1,130 @@
+//! A fast, deterministic, non-cryptographic hasher for hot-path maps.
+//!
+//! The forwarding-plane compiler interns every header and dedups every
+//! `(node, header)` state through a `HashMap`; at Internet scale that is
+//! hundreds of millions of hash operations, and the standard library's
+//! SipHash — built to resist adversarial collisions, which seeded
+//! benchmark graphs cannot produce — is the single largest line in the
+//! compile profile. [`FxHasher`] is the classic Fx multiply-xor hash
+//! (as used by rustc): a couple of arithmetic instructions per word,
+//! **fully deterministic across processes and platforms** (no random
+//! seed), which also keeps iteration-free uses reproducible.
+//!
+//! Determinism note: none of the workspace's pinned digests may depend
+//! on map *iteration* order — and none do; the compiler replays
+//! discovery order through arenas — so swapping the hasher can never
+//! change a result, only the time it takes to produce it.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-xor hasher: fast, deterministic, not DoS-resistant —
+/// for internal maps over trusted (seed-derived) keys only.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&(3usize, 7u32)), hash_of(&(3usize, 7u32)));
+        assert_eq!(hash_of(&"header"), hash_of(&"header"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let hashes: FxHashSet<u64> = (0u64..10_000).map(|i| hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 10_000, "collisions on a dense integer range");
+    }
+
+    #[test]
+    fn unaligned_tails_do_not_collide_with_padding() {
+        // b"ab" and b"ab\0" must differ even though the zero-padded tail
+        // words would match without the length tag.
+        assert_ne!(hash_of(&b"ab".as_slice()), hash_of(&b"ab\0".as_slice()));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i ^ 0xBEEF), u64::from(i) * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(7, 7 ^ 0xBEEF)), Some(&21));
+    }
+}

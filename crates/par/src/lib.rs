@@ -23,4 +23,5 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fxhash;
 pub mod par;

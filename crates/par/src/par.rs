@@ -50,12 +50,29 @@ fn default_threads() -> usize {
 
 /// Splits `0..len` into at most `parts` contiguous, near-equal, in-order
 /// ranges. Every index is covered exactly once; empty input yields no
-/// ranges.
+/// ranges. Equivalent to [`split_ranges_min_grain`] with a grain of 1.
 pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    split_ranges_min_grain(len, parts, 1)
+}
+
+/// [`split_ranges`] with an explicit minimum shard size: no emitted range
+/// is smaller than `min_grain` (except when `len < min_grain`, where the
+/// whole input becomes one shard). Callers whose per-shard fixed cost is
+/// high — the forwarding-plane compiler pays one intern-table merge per
+/// shard — use the grain to keep tiny inputs from fanning out into more
+/// shards than the merge overhead is worth.
+///
+/// `parts` is clamped to `len` (and to the grain-implied maximum) *before*
+/// chunk sizes are computed, so tiny inputs can never produce more shards
+/// than elements, and every shard is non-empty by construction.
+pub fn split_ranges_min_grain(len: usize, parts: usize, min_grain: usize) -> Vec<Range<usize>> {
     if len == 0 {
         return Vec::new();
     }
-    let parts = parts.clamp(1, len);
+    let min_grain = min_grain.max(1);
+    // Clamp up front: at most one shard per element, and few enough
+    // shards that each holds at least `min_grain` elements.
+    let parts = parts.clamp(1, len).min((len / min_grain).max(1));
     let base = len / parts;
     let extra = len % parts;
     let mut ranges = Vec::with_capacity(parts);
@@ -211,6 +228,47 @@ mod tests {
                 let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
                 let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
                 assert!(max - min <= 1, "near-equal shards: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_grain_bounds_shard_count_and_size() {
+        for (len, parts, grain) in [
+            (10usize, 8usize, 4usize),
+            (100, 64, 16),
+            (3, 99, 8),
+            (17, 4, 1),
+            (1, 1, 1),
+        ] {
+            let ranges = split_ranges_min_grain(len, parts, grain);
+            let covered: usize = ranges.iter().map(Range::len).sum();
+            assert_eq!(covered, len);
+            assert!(
+                ranges.len() <= (len / grain).max(1),
+                "{len}/{parts}/{grain}"
+            );
+            // All but possibly the degenerate whole-input shard meet the grain.
+            if len >= grain {
+                for r in &ranges {
+                    assert!(
+                        r.len() >= grain,
+                        "shard {r:?} under grain {grain} ({len}/{parts})"
+                    );
+                }
+            }
+        }
+        // Grain of 1 is exactly the old behavior.
+        assert_eq!(split_ranges_min_grain(7, 3, 1), split_ranges(7, 3));
+    }
+
+    #[test]
+    fn tiny_inputs_never_spawn_more_shards_than_elements() {
+        for len in 1..6usize {
+            for parts in [1usize, 2, 7, 1000] {
+                let ranges = split_ranges(len, parts);
+                assert!(ranges.len() <= len, "len {len} parts {parts}");
+                assert!(ranges.iter().all(|r| !r.is_empty()));
             }
         }
     }

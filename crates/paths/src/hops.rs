@@ -1,0 +1,158 @@
+//! All-pairs hop distances by parallel BFS.
+//!
+//! Hop stretch — the headline metric of every serving experiment — only
+//! needs *hop counts* under uniform unit weights, and the generalized
+//! Dijkstra is the wrong tool for that at scale: one [`PreferredTree`]
+//! per source materializes parent pointers and `PathWeight` enums for
+//! every node, which at Internet-scale instances (10⁴ nodes and up) is
+//! gigabytes of structure that stretch scoring immediately flattens into
+//! integers. [`HopMatrix`] goes straight there: one plain BFS per source
+//! writing a flat `u32` row, fanned out on the [`cpr_core::par`] layer —
+//! 4 bytes per pair, nothing else retained.
+//!
+//! [`PreferredTree`]: crate::PreferredTree
+
+use cpr_graph::{Graph, NodeId};
+
+/// Hop distance marking an unreachable pair inside [`HopMatrix`]'s flat
+/// storage.
+const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS hop distances: `row[t]` is the hop count
+/// `source → t`, or `u32::MAX` when unreachable.
+///
+/// The frontier is an explicit ring over a preallocated queue, so one
+/// call performs exactly two allocations (`row` and the queue) no matter
+/// the topology.
+pub fn bfs_hops(graph: &Graph, source: NodeId) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut row = vec![UNREACHABLE; n];
+    let mut queue = Vec::with_capacity(n);
+    row[source] = 0;
+    queue.push(source as u32);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let v = queue[head] as usize;
+        head += 1;
+        let d = row[v] + 1;
+        for (u, _) in graph.neighbors(v) {
+            if row[u] == UNREACHABLE {
+                row[u] = d;
+                queue.push(u as u32);
+            }
+        }
+    }
+    row
+}
+
+/// All-pairs hop distances under uniform unit weights: a flat
+/// `n × n` `u32` matrix, one BFS row per source.
+///
+/// ```
+/// use cpr_graph::generators;
+/// use cpr_paths::HopMatrix;
+///
+/// let g = generators::cycle(6);
+/// let hops = HopMatrix::compute(&g);
+/// assert_eq!(hops.hops(0, 3), Some(3));
+/// assert_eq!(hops.hops(1, 0), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HopMatrix {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl HopMatrix {
+    /// One BFS per source on the [`cpr_core::par`] scoped-thread layer
+    /// (`CPR_THREADS` workers; `1` is the exact serial loop). Rows are
+    /// collected in source order, so the matrix is identical for every
+    /// thread count.
+    pub fn compute(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let rows = cpr_core::par::par_map_indexed(n, |s| bfs_hops(graph, s));
+        let mut dist = Vec::with_capacity(n * n);
+        for row in rows {
+            dist.extend_from_slice(&row);
+        }
+        HopMatrix { n, dist }
+    }
+
+    /// The hop count `s → t`, or `None` when unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    #[inline]
+    pub fn hops(&self, s: NodeId, t: NodeId) -> Option<u32> {
+        let d = self.dist[s * self.n + t];
+        if d == UNREACHABLE {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Number of sources (= nodes).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Bytes of the flat distance storage — the matrix's entire
+    /// footprint up to three words of header.
+    pub fn bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllPairs;
+    use cpr_algebra::policies::ShortestPath;
+    use cpr_algebra::PathWeight;
+    use cpr_graph::{generators, EdgeWeights};
+    use rand::SeedableRng;
+
+    #[test]
+    fn agrees_with_dijkstra_under_unit_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let g = generators::gnp_connected(40, 0.1, &mut rng);
+        let w = EdgeWeights::uniform(&g, 1u64);
+        let ap = AllPairs::compute(&g, &w, &ShortestPath);
+        let hops = HopMatrix::compute(&g);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t {
+                    // The algebra reports the empty-path identity on the
+                    // diagonal; the hop matrix reports the plain 0.
+                    assert_eq!(hops.hops(s, t), Some(0));
+                    continue;
+                }
+                let expect = match ap.weight(s, t) {
+                    PathWeight::Finite(d) => Some(*d as u32),
+                    _ => None,
+                };
+                assert_eq!(hops.hops(s, t), expect, "disagreement at ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_are_none() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let hops = HopMatrix::compute(&g);
+        assert_eq!(hops.hops(0, 1), Some(1));
+        assert_eq!(hops.hops(0, 2), None);
+        assert_eq!(hops.hops(3, 2), Some(1));
+        assert_eq!(hops.hops(0, 0), Some(0));
+        assert_eq!(hops.bytes(), 16 * 4);
+    }
+
+    use cpr_graph::Graph;
+}

@@ -10,7 +10,9 @@
 //!   (the policy *definition*), with monotonicity-based pruning;
 //! * [`shortest_widest_exact`] — the polynomial exact solver for the
 //!   non-isotone `SW = W × S` policy, where greedy Dijkstra is unsound;
-//! * [`AllPairs`] — all-pairs preferred trees.
+//! * [`AllPairs`] — all-pairs preferred trees;
+//! * [`HopMatrix`] — all-pairs hop distances by parallel BFS, the flat
+//!   `u32` form stretch scoring wants at Internet scale.
 //!
 //! ```
 //! use cpr_algebra::policies::ShortestPath;
@@ -34,6 +36,7 @@ mod bellman_ford;
 mod dijkstra;
 mod exhaustive;
 mod heap;
+mod hops;
 mod shortest_widest;
 mod tree;
 
@@ -42,5 +45,6 @@ pub use bellman_ford::{bellman_ford, BellmanFordResult};
 pub use dijkstra::dijkstra;
 pub use exhaustive::{exhaustive_preferred, exhaustive_preferred_all, SourceRouting};
 pub use heap::CmpHeap;
+pub use hops::{bfs_hops, HopMatrix};
 pub use shortest_widest::{shortest_widest_exact, SwWeight};
 pub use tree::PreferredTree;

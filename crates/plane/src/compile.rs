@@ -15,9 +15,9 @@
 //! [`RouteError`], and the bit accounting of the plane
 //! ([`PlaneMemory`]) counts every array at its packed width.
 
-use std::collections::HashMap;
 use std::fmt;
 
+use cpr_core::fxhash::FxHashMap;
 use cpr_graph::{Graph, NodeId, Port};
 use cpr_routing::bits::ceil_log2;
 use cpr_routing::{RouteAction, RouteError, RoutingScheme};
@@ -28,6 +28,13 @@ const KIND_INVALID: u64 = 0;
 const KIND_DELIVER: u64 = 1;
 /// Entry kind: forward on a port with a rewritten header id.
 const KIND_FORWARD: u64 = 2;
+
+/// Minimum sources per compile shard: every shard pays one intern-table
+/// replay at merge time, so fanning a small graph out into many tiny
+/// shards buys nothing and costs a merge pass per shard. Shard counts
+/// only affect speed, never bytes — the merged plane is digest-identical
+/// for every split.
+const COMPILE_MIN_GRAIN: usize = 16;
 
 /// A fixed-width bit-packed array: `len` unsigned values of `width ≤ 64`
 /// bits each, stored contiguously across little-endian `u64` words.
@@ -356,14 +363,14 @@ impl fmt::Display for PlaneMemory {
 /// clone per *distinct* header happens only on the vacant arm, where the
 /// map must own a copy anyway.
 pub(crate) struct Interner<H> {
-    pub(crate) map: HashMap<H, u32>,
+    pub(crate) map: FxHashMap<H, u32>,
     pub(crate) order: Vec<H>,
 }
 
 impl<H: Clone + Eq + std::hash::Hash> Interner<H> {
     pub(crate) fn new() -> Self {
         Interner {
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             order: Vec::new(),
         }
     }
@@ -410,30 +417,52 @@ pub fn graph_digest(graph: &Graph) -> u64 {
     h.finish()
 }
 
-/// A not-yet-packed transition recorded during the compile walk.
-#[derive(Clone, Copy)]
-enum Step {
-    Deliver,
-    Forward { port: Port, next: u32 },
+/// Sentinel `next`-id marking a *deliver* transition in the flat shard
+/// records (header ids are capped strictly below `u32::MAX` by the
+/// interner, so the value can never collide with a real id).
+const REC_DELIVER: u64 = u32::MAX as u64;
+
+/// A flat `(node, header id) → step` record: the key packs
+/// `node << 32 | hid`, the value packs `port << 32 | next` with
+/// [`REC_DELIVER`] in the low word for a deliver. Sixteen bytes per
+/// transition, no per-entry map overhead — the arena the shards stream
+/// their walks into.
+type TransRec = (u64, u64);
+
+#[inline(always)]
+fn rec_key(node: NodeId, hid: u32) -> u64 {
+    ((node as u64) << 32) | u64::from(hid)
 }
 
-/// Everything one compile shard (a contiguous source range) learned:
-/// its local header-id space in discovery order, the transitions and
-/// initial-header ids expressed in local ids, ready to be remapped into
-/// the global id space during the in-order merge.
+/// Everything one compile shard (a contiguous source range) learned — a
+/// finished *sub-plane* in shard-local ids, ready for the one-pass
+/// remap merge:
+///
+/// * `headers` is the shard's intern **arena**: every distinct header
+///   the shard met, in local discovery order (the merge replays this
+///   order to assign global ids deterministically);
+/// * `trans` is the flat transition arena in commit order, local ids;
+/// * `initial` is the shard's rows of the `n²` initial-header table,
+///   already bit-packed at the shard-local header width (sentinel =
+///   local header count), so a finished shard holds its O(|sources|·n)
+///   state at packed width instead of 32 bits per pair.
 struct ShardTrace<H> {
     /// Shard-local interned headers, in local discovery order.
     headers: Vec<H>,
-    /// `(node, local header id) → step` (step's `next` is a local id).
-    trans: HashMap<(NodeId, u32), Step>,
-    /// `sources.len() × n` local initial-header ids, `u32::MAX` when the
-    /// pair is unroutable.
-    initial: Vec<u32>,
+    /// Flat `(key, value)` transition records (see [`TransRec`]).
+    trans: Vec<TransRec>,
+    /// `sources.len() × n` local initial-header ids at local width;
+    /// the value `headers.len()` is the unroutable sentinel.
+    initial: PackedArray,
 }
 
 /// Traces every `(source, target)` pair of a contiguous `sources` range
 /// through the live simulation, exactly like the serial compiler but
-/// with shard-local interning and shard-local early-stop state.
+/// with shard-local interning and shard-local early-stop state. The
+/// shard streams: transitions append to a flat arena as each pair's walk
+/// commits, and the initial-header rows are packed down to the local
+/// header width before the shard returns — nothing quadratic outlives
+/// the shard at full `u32` width.
 ///
 /// Determinism of the merged result does not depend on shard boundaries:
 /// a shard walk that (lacking another shard's `delivers_at` knowledge)
@@ -450,11 +479,14 @@ fn trace_shard<S: RoutingScheme>(
 ) -> Result<ShardTrace<S::Header>, CompileError> {
     let n = graph.node_count();
     let mut intern: Interner<S::Header> = Interner::new();
-    let mut trans: HashMap<(NodeId, u32), Step> = HashMap::new();
+    let mut trans: Vec<TransRec> = Vec::new();
     // Target a committed state is known to deliver at — lets later walks
-    // stop as soon as they join an already-verified path.
-    let mut delivers_at: HashMap<(NodeId, u32), NodeId> = HashMap::new();
+    // stop as soon as they join an already-verified path. Keyed by the
+    // packed state word through the fast deterministic hasher.
+    let mut delivers_at: FxHashMap<u64, u32> = FxHashMap::default();
     let mut initial = vec![u32::MAX; sources.len() * n];
+    // Reused across pairs: the hot loop performs no per-pair allocation.
+    let mut pending: Vec<TransRec> = Vec::new();
 
     for source in sources.clone() {
         for target in graph.nodes() {
@@ -464,14 +496,14 @@ fn trace_shard<S: RoutingScheme>(
             let mut hid = intern.intern(h0)?;
             initial[(source - sources.start) * n + target] = hid;
             let mut at = source;
-            let mut pending: Vec<((NodeId, u32), Step)> = Vec::new();
+            pending.clear();
             let reached = loop {
-                if let Some(&d) = delivers_at.get(&(at, hid)) {
-                    break d;
+                if let Some(&d) = delivers_at.get(&rec_key(at, hid)) {
+                    break d as NodeId;
                 }
                 match scheme.step(at, intern.header(hid)) {
                     RouteAction::Deliver => {
-                        pending.push(((at, hid), Step::Deliver));
+                        pending.push((rec_key(at, hid), REC_DELIVER));
                         break at;
                     }
                     RouteAction::Forward { port, header: next } => {
@@ -483,19 +515,14 @@ fn trace_shard<S: RoutingScheme>(
                             });
                         };
                         let next_id = intern.intern(next)?;
-                        pending.push((
-                            (at, hid),
-                            Step::Forward {
-                                port,
-                                next: next_id,
-                            },
-                        ));
+                        pending
+                            .push((rec_key(at, hid), ((port as u64) << 32) | u64::from(next_id)));
                         at = next_node;
                         hid = next_id;
                         if pending.len() > hop_budget {
                             let visited = pending
                                 .iter()
-                                .map(|&((u, _), _)| u)
+                                .map(|&(key, _)| (key >> 32) as NodeId)
                                 .chain(std::iter::once(at))
                                 .collect();
                             return Err(CompileError::Route {
@@ -514,17 +541,33 @@ fn trace_shard<S: RoutingScheme>(
                     delivered: reached,
                 });
             }
-            for (state, step) in pending {
-                trans.insert(state, step);
-                delivers_at.insert(state, target);
+            for &(key, val) in &pending {
+                delivers_at.insert(key, target as u32);
+                trans.push((key, val));
             }
         }
+    }
+
+    // Pack the initial rows down to the shard-local header width before
+    // returning: a finished sub-plane, not a 32-bit scratch table.
+    let local_headers = intern.order.len();
+    let sentinel = local_headers as u64;
+    let mut packed = PackedArray::new(initial.len(), ceil_log2(local_headers as u64 + 1));
+    for (i, &v) in initial.iter().enumerate() {
+        packed.set(
+            i,
+            if v == u32::MAX {
+                sentinel
+            } else {
+                u64::from(v)
+            },
+        );
     }
 
     Ok(ShardTrace {
         headers: intern.order,
         trans,
-        initial,
+        initial: packed,
     })
 }
 
@@ -616,7 +659,7 @@ where
             ("nodes", cpr_obs::Json::int(n)),
         ],
     );
-    let shards = cpr_core::par::split_ranges(n, threads);
+    let shards = cpr_core::par::split_ranges_min_grain(n, threads, COMPILE_MIN_GRAIN);
     let traces = cpr_core::par::par_map_indexed_with(threads, shards.len(), |i| {
         let t0 = std::time::Instant::now();
         let out = trace_shard(scheme, graph, shards[i].clone(), hop_budget);
@@ -631,38 +674,83 @@ where
         out
     });
 
+    // ── Phase 1: intern merge ────────────────────────────────────────
+    // One table pass per shard, in source order: replay each shard's
+    // header-discovery arena against the global interner. Headers an
+    // earlier shard already saw keep their global id; genuinely new ones
+    // extend the table in discovery order, so the global id space — and
+    // every packed array below — is byte-identical for any shard count.
     let mut intern: Interner<S::Header> = Interner::new();
-    let mut trans: HashMap<(NodeId, u32), Step> = HashMap::new();
-    let mut initial_ids = vec![u32::MAX; n * n];
-    for (shard, trace) in shards.iter().zip(traces) {
+    let mut remaps: Vec<Vec<u32>> = Vec::with_capacity(shards.len());
+    let mut shard_trans: Vec<Vec<TransRec>> = Vec::with_capacity(shards.len());
+    let mut shard_initial: Vec<PackedArray> = Vec::with_capacity(shards.len());
+    for trace in traces {
         let trace = trace?;
-        // Replay this shard's discovery order against the global table:
-        // headers already seen by an earlier shard keep their global id,
-        // genuinely new ones extend the table in discovery order.
         let mut remap = Vec::with_capacity(trace.headers.len());
         for h in trace.headers {
             remap.push(intern.intern(h)?);
         }
-        for ((node, hid), step) in trace.trans {
-            let step = match step {
-                Step::Deliver => Step::Deliver,
-                Step::Forward { port, next } => Step::Forward {
-                    port,
-                    next: remap[next as usize],
-                },
-            };
-            trans.insert((node, remap[hid as usize]), step);
-        }
-        let dst = &mut initial_ids[shard.start * n..shard.end * n];
-        for (slot, local) in dst.iter_mut().zip(trace.initial) {
-            if local != u32::MAX {
-                *slot = remap[local as usize];
+        remaps.push(remap);
+        shard_trans.push(trace.trans);
+        shard_initial.push(trace.initial);
+    }
+    let headers = intern.len();
+
+    // ── Phase 2: transition merge ────────────────────────────────────
+    // Shards may re-derive states another shard's sources already
+    // committed (early-stop knowledge is shard-local), so the flat
+    // record streams overlap; duplicates carry byte-identical payloads.
+    // Count the *distinct* states first — through a bitset over the
+    // dense `(header, node)` index space when that is no bigger than
+    // the record streams themselves, otherwise through one sort+dedup
+    // of the remapped records — then pack straight into the final
+    // layout. No global per-entry hash map is ever built.
+    let remap_rec = |remap: &[u32], key: u64, val: u64| -> (u64, u64) {
+        let node = key >> 32;
+        let hid = u64::from(remap[(key & 0xFFFF_FFFF) as usize]);
+        let next = val & 0xFFFF_FFFF;
+        let gval = if next == REC_DELIVER {
+            val
+        } else {
+            (val & !0xFFFF_FFFF) | u64::from(remap[next as usize])
+        };
+        ((node << 32) | hid, gval)
+    };
+
+    let total_recs: usize = shard_trans.iter().map(Vec::len).sum();
+    let dense_slots = n as u128 * headers as u128;
+    // The bitset costs one bit per dense slot; the sorted-merge buffer
+    // costs 128 bits per record. Prefer whichever is smaller (with a
+    // floor so tiny instances always take the trivial bitset path).
+    let use_bitset = dense_slots <= (total_recs as u128 * 128).max(1 << 23);
+    let mut sorted: Vec<TransRec> = Vec::new();
+    let states = if use_bitset {
+        let mut seen = vec![0u64; (n * headers.max(1)).div_ceil(64)];
+        let mut distinct = 0usize;
+        for (remap, recs) in remaps.iter().zip(&shard_trans) {
+            for &(key, _) in recs {
+                let hid = remap[(key & 0xFFFF_FFFF) as usize] as usize;
+                let slot = hid * n + (key >> 32) as usize;
+                let (w, b) = (slot / 64, slot % 64);
+                distinct += usize::from(seen[w] & (1 << b) == 0);
+                seen[w] |= 1 << b;
             }
         }
-    }
-
-    let headers = intern.len();
-    let states = trans.len();
+        distinct
+    } else {
+        sorted.reserve_exact(total_recs);
+        for (remap, recs) in remaps.iter().zip(&shard_trans) {
+            for &(key, val) in recs {
+                sorted.push(remap_rec(remap, key, val));
+            }
+        }
+        // Duplicate keys always carry identical values (transitions are
+        // a pure function of the state), so an unstable key sort plus
+        // adjacent dedup yields the canonical distinct set.
+        sorted.sort_unstable_by_key(|&(key, _)| key);
+        sorted.dedup_by_key(|&mut (key, _)| key);
+        sorted.len()
+    };
     if u32::try_from(states).is_err() {
         return Err(CompileError::CapacityExceeded { what: "states" });
     }
@@ -675,14 +763,13 @@ where
     let header_width = ceil_log2(headers as u64);
     let entry_width = 2 + port_width + header_width;
 
-    let encode = |step: &Step| -> u64 {
-        match *step {
-            Step::Deliver => KIND_DELIVER << (port_width + header_width),
-            Step::Forward { port, next } => {
-                (KIND_FORWARD << (port_width + header_width))
-                    | ((port as u64) << header_width)
-                    | u64::from(next)
-            }
+    let encode = |gval: u64| -> u64 {
+        if gval & 0xFFFF_FFFF == REC_DELIVER {
+            KIND_DELIVER << (port_width + header_width)
+        } else {
+            (KIND_FORWARD << (port_width + header_width))
+                | ((gval >> 32) << header_width)
+                | (gval & 0xFFFF_FFFF)
         }
     };
 
@@ -691,48 +778,80 @@ where
     let dense_bits = (n as u64) * (headers as u64) * u64::from(entry_width);
     let sparse_bits = states as u64 * u64::from(header_width + entry_width) + (n as u64 + 1) * 32;
     let layout = if dense_bits <= sparse_bits.saturating_mul(2) {
+        // Writes of duplicate states are idempotent (identical encoded
+        // entries), so the shard streams pour straight into the table.
         let mut table = PackedArray::new(n * headers, entry_width);
-        for (&(u, h), step) in &trans {
-            table.set(h as usize * n + u, encode(step));
+        if sorted.is_empty() {
+            for (remap, recs) in remaps.iter().zip(&shard_trans) {
+                for &(key, val) in recs {
+                    let (gkey, gval) = remap_rec(remap, key, val);
+                    let (node, hid) = ((gkey >> 32) as usize, (gkey & 0xFFFF_FFFF) as usize);
+                    table.set(hid * n + node, encode(gval));
+                }
+            }
+        } else {
+            for &(gkey, gval) in &sorted {
+                let (node, hid) = ((gkey >> 32) as usize, (gkey & 0xFFFF_FFFF) as usize);
+                table.set(hid * n + node, encode(gval));
+            }
         }
         Layout::Dense(table)
     } else {
-        let mut per_node: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
-        for (&(u, h), step) in &trans {
-            per_node[u].push((h, encode(step)));
+        // The sparse layout needs node-major, header-sorted runs — which
+        // is exactly ascending key order of the packed records.
+        if sorted.is_empty() && states > 0 {
+            sorted.reserve_exact(total_recs);
+            for (remap, recs) in remaps.iter().zip(&shard_trans) {
+                for &(key, val) in recs {
+                    sorted.push(remap_rec(remap, key, val));
+                }
+            }
+            sorted.sort_unstable_by_key(|&(key, _)| key);
+            sorted.dedup_by_key(|&mut (key, _)| key);
         }
         let mut offsets = Vec::with_capacity(n + 1);
         let mut keys = PackedArray::new(states, header_width);
         let mut entries = PackedArray::new(states, entry_width);
-        let mut pos = 0usize;
         offsets.push(0u32);
-        for run in &mut per_node {
-            run.sort_unstable_by_key(|&(h, _)| h);
-            for &(h, e) in run.iter() {
-                keys.set(pos, u64::from(h));
-                entries.set(pos, e);
+        let mut pos = 0usize;
+        for node in 0..n {
+            while pos < sorted.len() && (sorted[pos].0 >> 32) as usize == node {
+                keys.set(pos, sorted[pos].0 & 0xFFFF_FFFF);
+                entries.set(pos, encode(sorted[pos].1));
                 pos += 1;
             }
             offsets.push(pos as u32);
         }
+        debug_assert_eq!(pos, states);
         Layout::Sparse {
             offsets,
             keys,
             entries,
         }
     };
+    drop(sorted);
+    drop(shard_trans);
 
+    // ── Phase 3: initial-header merge ────────────────────────────────
+    // Each shard's packed rows remap through its table in source order;
+    // the local sentinel (local header count) becomes the global one.
     let mut initial = PackedArray::new(n * n, ceil_log2(headers as u64 + 1));
-    for (i, &hid) in initial_ids.iter().enumerate() {
-        initial.set(
-            i,
-            if hid == u32::MAX {
-                headers as u64
+    let global_sentinel = headers as u64;
+    for ((shard, remap), local) in shards.iter().zip(&remaps).zip(&shard_initial) {
+        let local_sentinel = remap.len() as u64;
+        debug_assert_eq!(local.len(), shard.len() * n);
+        let base = shard.start * n;
+        for i in 0..local.len() {
+            let v = local.get(i);
+            let g = if v == local_sentinel {
+                global_sentinel
             } else {
-                u64::from(hid)
-            },
-        );
+                u64::from(remap[v as usize])
+            };
+            initial.set(base + i, g);
+        }
     }
+    drop(shard_initial);
 
     let mut row = Vec::with_capacity(n + 1);
     let mut nbr = Vec::with_capacity(2 * graph.edge_count());
@@ -958,6 +1077,92 @@ impl ForwardingPlane {
             h.word(u64::from(v));
         }
         h.finish()
+    }
+
+    /// Decodes the plane into a [`LookupCore`](crate::engine::LookupCore):
+    /// the batched serving accelerator with every transition unpacked
+    /// into flat `u32` struct-of-arrays form and every port pre-resolved
+    /// to its neighbor, so a serving hop is two array loads instead of a
+    /// bit-field extraction plus a CSR indirection.
+    ///
+    /// The core borrows the plane (for the packed initial-header table)
+    /// and is immutable + `Sync`: worker shards share one core. Building
+    /// it costs one pass over the transition arrays — amortize it across
+    /// batches; [`serve`](crate::engine::serve) does this once per call.
+    pub fn lookup_core(&self) -> crate::engine::LookupCore<'_> {
+        use crate::engine::{CoreLayout, LookupCore, CORE_DELIVER, CORE_INVALID};
+        assert!(
+            (self.n as u64) < u64::from(CORE_INVALID),
+            "node ids collide with core sentinels"
+        );
+        let n = self.n;
+        let decode = |e: u64| -> (u32, u32) {
+            (
+                ((e >> self.header_width) & low_mask(self.port_width)) as u32,
+                (e & low_mask(self.header_width)) as u32,
+            )
+        };
+        // Resolve an encoded entry to (next node | sentinel, next hid).
+        let resolve = |node: usize, e: u64| -> (u32, u32) {
+            match e >> (self.port_width + self.header_width) {
+                KIND_DELIVER => (CORE_DELIVER, 0),
+                KIND_FORWARD => {
+                    let (port, next) = decode(e);
+                    match self.neighbor(node, port as Port) {
+                        Some(nn) => (nn as u32, next),
+                        None => (CORE_INVALID, 0),
+                    }
+                }
+                _ => (CORE_INVALID, 0),
+            }
+        };
+        let layout = match &self.layout {
+            Layout::Dense(table) => {
+                let slots = n * self.headers;
+                let mut next_node = vec![0u32; slots];
+                let mut next_hid = vec![0u32; slots];
+                for hid in 0..self.headers {
+                    for node in 0..n {
+                        let i = hid * n + node;
+                        let (nn, nh) = resolve(node, table.get(i));
+                        next_node[i] = nn;
+                        next_hid[i] = nh;
+                    }
+                }
+                CoreLayout::Dense {
+                    next_node,
+                    next_hid,
+                }
+            }
+            Layout::Sparse {
+                offsets,
+                keys,
+                entries,
+            } => {
+                let states = keys.len();
+                let mut core_keys = Vec::with_capacity(states);
+                let mut next_node = Vec::with_capacity(states);
+                let mut next_hid = Vec::with_capacity(states);
+                for node in 0..n {
+                    for i in offsets[node] as usize..offsets[node + 1] as usize {
+                        core_keys.push(keys.get(i) as u32);
+                        let (nn, nh) = resolve(node, entries.get(i));
+                        next_node.push(nn);
+                        next_hid.push(nh);
+                    }
+                }
+                CoreLayout::Sparse {
+                    offsets: offsets.clone(),
+                    keys: core_keys,
+                    next_node,
+                    next_hid,
+                }
+            }
+        };
+        LookupCore {
+            plane: self,
+            layout,
+        }
     }
 
     /// Honest bit accounting of the plane.

@@ -62,7 +62,8 @@ pub use compile::{
     ForwardingPlane, PackedArray, PlaneMemory,
 };
 pub use engine::{
-    serve, serve_obs, EngineConfig, HopOptima, QueryFailure, ServeReport, StretchStats,
+    serve, serve_obs, BatchScratch, BatchStats, EngineConfig, HopOptima, LookupCore, QueryFailure,
+    ServeReport, StretchStats,
 };
 pub use heal::{HealthCounters, RepairStats, SelfHealingPlane, Served, StaleReport};
 pub use workload::{generate, TrafficPattern};

@@ -139,6 +139,34 @@ fn explicit_thread_apis_match_the_env_driven_paths() {
 }
 
 #[test]
+fn streaming_compile_digest_is_identical_at_scale() {
+    // The streaming per-source-shard compiler pins its merge determinism
+    // at a size where the shard count, the intern-merge remap and the
+    // distinct-state accounting all actually matter. Debug builds walk
+    // the tracer ~20× slower, so they shrink the instance; release runs
+    // (and CPR_SLOW_TESTS=1 anywhere) use the full n=2048.
+    let n = if std::env::var("CPR_SLOW_TESTS").ok().as_deref() == Some("1") {
+        2048
+    } else if cfg!(debug_assertions) {
+        256
+    } else {
+        2048
+    };
+    let g = generators::barabasi_albert(n, 2, &mut rng(2048));
+    let w = EdgeWeights::uniform(&g, 1u64);
+    let scheme = DestTable::build(&g, &w, &ShortestPath);
+
+    let reference = with_threads(1, || compile(&scheme, &g).unwrap().digest());
+    for threads in THREAD_COUNTS {
+        let digest = with_threads(threads, || compile(&scheme, &g).unwrap().digest());
+        assert_eq!(
+            digest, reference,
+            "n={n} plane digest diverged at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
 fn workload_generation_ignores_the_thread_count() {
     let g = generators::barabasi_albert(64, 2, &mut rng(33));
     let patterns = [
