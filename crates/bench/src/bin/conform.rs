@@ -17,13 +17,15 @@
 //! Environment:
 //!
 //! * `CPR_CONFORM_ITERS` — seeds to fuzz (default 32).
+//! * `CPR_CONFORM_CHURN_ITERS` — seeds for the incremental-repair churn
+//!   arm (default 16; `0` disables it).
 //! * `CPR_CONFORM_SEED` — first seed of the range (default 0).
 //! * `CPR_CONFORM_CORPUS` — repro directory (default `conform/corpus`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cpr_conform::{check_mutants, fuzz, generate, write_repro};
+use cpr_conform::{check_mutants, fuzz, fuzz_churn, generate, write_repro, FuzzOutcome};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -75,16 +77,34 @@ fn main() -> ExitCode {
     println!("conform: fuzzing seeds {start}..{}", start + iters);
     let outcome = fuzz(start, iters);
     print!("{}", outcome.report.render());
+    let mut failed = report_failures(&outcome, "fuzz-seed");
 
+    let churn_iters = env_u64("CPR_CONFORM_CHURN_ITERS", 16);
+    if churn_iters > 0 {
+        println!("conform: churn arm, seeds {start}..{}", start + churn_iters);
+        let churn = fuzz_churn(start, churn_iters);
+        print!("{}", churn.report.render());
+        failed |= report_failures(&churn, "churn-seed");
+    }
+
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("conform: OK — {} instances clean", outcome.iterations);
+    ExitCode::SUCCESS
+}
+
+/// Prints an outcome's failures and writes their shrunk repros to the
+/// corpus directory; returns `true` when the outcome had failures.
+fn report_failures(outcome: &FuzzOutcome, stem: &str) -> bool {
     if outcome.is_clean() {
         println!(
-            "conform: OK — {} instances, {} coverage cells",
+            "conform: {stem} arm clean — {} instances, {} coverage cells",
             outcome.iterations,
             outcome.report.coverage.len()
         );
-        return ExitCode::SUCCESS;
+        return false;
     }
-
     let dir = corpus_dir();
     eprintln!(
         "conform: {} violating seed(s); writing shrunk repros to {}",
@@ -92,11 +112,7 @@ fn main() -> ExitCode {
         dir.display()
     );
     for failure in &outcome.failures {
-        match write_repro(
-            &dir,
-            &format!("fuzz-seed-{:04}", failure.seed),
-            &failure.repro,
-        ) {
+        match write_repro(&dir, &format!("{stem}-{:04}", failure.seed), &failure.repro) {
             Ok(path) => eprintln!("  {} -> {}", failure.seed, path.display()),
             Err(e) => eprintln!("  {} -> write failed: {e}", failure.seed),
         }
@@ -104,5 +120,5 @@ fn main() -> ExitCode {
             eprintln!("    {v}");
         }
     }
-    ExitCode::FAILURE
+    true
 }

@@ -89,6 +89,20 @@ fn plane_throughput_report_is_byte_deterministic() {
     );
 }
 
+/// The churn survival bench drives random + targeted churn storms and
+/// a live `reconcile_with` drill; all report metrics are logical
+/// (permille reachability, nearest-rank stretch percentiles, dirty-pair
+/// counts), and repair budgets are nulled with timing off, so the
+/// three-arm survival matrix is pinned byte-for-byte.
+#[test]
+fn churn_report_is_byte_deterministic() {
+    pin_report(
+        env!("CARGO_BIN_EXE_churn_bench"),
+        "churn",
+        &[("CPR_BENCH_N", "48"), ("CPR_CHURN_ROUNDS", "6")],
+    );
+}
+
 /// The serving bench runs a real daemon on a loopback socket with
 /// closed-loop clients; with timing disabled it serializes swaps
 /// between bursts, so even the per-epoch query counters in the embedded

@@ -1,0 +1,307 @@
+//! The churn conformance arm: incremental repair under the fuzzer.
+//!
+//! Where the engine's heal drill checks one edge *removal* repaired by
+//! the legacy full-recompute path, this arm scripts a removal → restore
+//! → **addition** churn sequence over a generated [`Instance`] and
+//! repairs the self-healing plane *incrementally* — through a
+//! [`DeltaTracker`] and [`SelfHealingPlane::repair_with`] — after every
+//! step. The healed plane is then differentially checked hop-for-hop
+//! against a freshly built destination-table scheme on the new topology
+//! (the fresh oracle: `patch_dirty` re-traces from that scheme, so any
+//! divergence means the delta bound or the walk closure dropped an
+//! affected pair). Violations shrink and land in `conform/corpus/` like
+//! every other arm, via [`fuzz_churn`].
+//!
+//! Edge weights are derived from a *pair-keyed* atom map rather than
+//! edge indices: a removed-then-restored edge keeps its atom across the
+//! script, and the synthesized addition gets a deterministic atom from
+//! its endpoints — the same interpretation the tracker's `weigh`
+//! function uses, so scheme and oracle always agree on weights.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cpr_graph::{EdgeWeights, Graph, NodeId};
+use cpr_plane::{DeltaTracker, RepairPolicy, SelfHealingPlane};
+use cpr_routing::{route, DestTable};
+
+use crate::algebras::{empirical_properties, AlgebraId, ConformAlgebra, ALL_ALGEBRAS};
+use crate::engine::{Report, Violation};
+use crate::fuzz::{Failure, FuzzOutcome};
+use crate::generate::{generate, Instance};
+use crate::shrink::shrink;
+
+/// Deterministic atom for an edge the churn script synthesizes (the
+/// added non-edge): a splitmix-style hash of the unordered endpoints,
+/// folded into the generator's `0..1000` atom range.
+fn synth_atom(u: NodeId, v: NodeId) -> (u64, u64) {
+    let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 29;
+    (x % 1_000, (x >> 32) % 1_000)
+}
+
+/// The instance's atoms keyed by unordered endpoint pair, so weights
+/// survive edge renumbering and removal/re-addition.
+fn atom_map(inst: &Instance) -> BTreeMap<(usize, usize), (u64, u64)> {
+    inst.edges
+        .iter()
+        .zip(&inst.atoms)
+        .map(|(&(u, v), &a)| ((u.min(v), u.max(v)), a))
+        .collect()
+}
+
+fn atom_of(map: &BTreeMap<(usize, usize), (u64, u64)>, u: NodeId, v: NodeId) -> (u64, u64) {
+    map.get(&(u.min(v), u.max(v)))
+        .copied()
+        .unwrap_or_else(|| synth_atom(u, v))
+}
+
+fn weights_for<A>(
+    alg: &A,
+    graph: &Graph,
+    map: &BTreeMap<(usize, usize), (u64, u64)>,
+) -> EdgeWeights<A::W>
+where
+    A: ConformAlgebra,
+    A::W: Send + Sync,
+{
+    EdgeWeights::from_fn(graph, |e| {
+        let (u, v) = graph.endpoints(e);
+        alg.weight_from_atom(atom_of(map, u, v))
+    })
+}
+
+/// The lexicographically first node pair that is not an edge of `g`.
+fn first_non_edge(g: &Graph) -> Option<(NodeId, NodeId)> {
+    for u in g.nodes() {
+        for v in (u + 1)..g.node_count() {
+            if g.edge_between(u, v).is_none() {
+                return Some((u, v));
+            }
+        }
+    }
+    None
+}
+
+/// The churn script for `inst`: remove the heal edge, restore it, then
+/// add the first non-edge — every delta class the incremental repair
+/// path claims to handle, in one adversarial sequence. Steps that the
+/// instance cannot express (no heal edge, complete graph) are dropped;
+/// the script may be empty.
+fn churn_script(inst: &Instance) -> Vec<(&'static str, Graph)> {
+    let mut steps = Vec::new();
+    if inst.heal_edge.is_some() {
+        steps.push(("remove", inst.degraded_graph()));
+        steps.push(("restore", inst.graph()));
+    }
+    if let Some((u, v)) = first_non_edge(&inst.graph()) {
+        let edges = inst.edges.iter().copied().chain([(u, v)]);
+        let grown =
+            Graph::from_edges(inst.n, edges).expect("adding a non-edge keeps the graph simple");
+        steps.push(("add", grown));
+    }
+    steps
+}
+
+/// Runs the churn script on `inst` under every regular registry algebra,
+/// repairing incrementally and differentially checking the healed plane
+/// against a fresh scheme after each step.
+pub fn check_churn_instance(inst: &Instance) -> Report {
+    let mut report = Report::default();
+    if churn_script(inst).is_empty() {
+        report
+            .skips
+            .push(format!("churn: no applicable delta ({})", inst.tag()));
+        return report;
+    }
+    for id in ALL_ALGEBRAS {
+        // Same admissibility gate as the destination tables the arm
+        // patches: the delta oracle's Dijkstra trees need regularity.
+        if !empirical_properties(id).is_regular() {
+            report
+                .skips
+                .push(format!("{}/churn: not regular", id.name()));
+            continue;
+        }
+        crate::with_algebra!(id, alg => churn_algebra(inst, id, &alg, &mut report));
+    }
+    report
+}
+
+fn churn_algebra<A>(inst: &Instance, id: AlgebraId, alg: &A, report: &mut Report)
+where
+    A: ConformAlgebra + Clone + Send + 'static,
+    A::W: Send + Sync + Clone + fmt::Debug + PartialEq,
+{
+    let violation = |kind: &str, detail: String| Violation {
+        instance: inst.tag(),
+        algebra: id.name().to_owned(),
+        scheme: "dest-table+churn".to_owned(),
+        kind: kind.to_owned(),
+        detail,
+    };
+    let map = atom_map(inst);
+    let base = inst.graph();
+    let scheme0 = DestTable::build(&base, &weights_for(alg, &base, &map), alg);
+    let mut plane = match SelfHealingPlane::new(&scheme0, &base) {
+        Ok(p) => p,
+        Err(e) => {
+            report
+                .violations
+                .push(violation("churn-compile", e.to_string()));
+            return;
+        }
+    };
+    let tracker_alg = alg.clone();
+    let tracker_map = map.clone();
+    let mut tracker = DeltaTracker::new(tracker_alg.clone(), &base, move |u, v| {
+        tracker_alg.weight_from_atom(atom_of(&tracker_map, u, v))
+    });
+    // Never force: the point is to exercise the patch path; a genuinely
+    // all-dirty delta still rebuilds through the dirty == all escape.
+    let policy = RepairPolicy {
+        max_dirty_fraction: 1.0,
+        ..RepairPolicy::default()
+    };
+
+    for (label, g) in churn_script(inst) {
+        let scheme = DestTable::build(&g, &weights_for(alg, &g, &map), alg);
+        if let Err(e) = plane.repair_with(&scheme, &g, &mut tracker, &policy) {
+            report
+                .violations
+                .push(violation("churn-repair", format!("{label}: {e}")));
+            return;
+        }
+        if !plane.is_fresh_for(&g) {
+            report.violations.push(violation(
+                "churn-stale",
+                format!(
+                    "{label}: {} pairs still dirty after incremental repair",
+                    plane.dirty_pairs()
+                ),
+            ));
+        }
+        let n = g.node_count();
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                report.pairs_checked += 1;
+                let healed = plane.route(&scheme, &g, s, t);
+                let fresh = route(&scheme, &g, s, t);
+                match (healed, fresh) {
+                    (Ok((hp, _served)), Ok(fp)) if hp == fp => {}
+                    (Err(_), Err(_)) => {}
+                    (h, f) => report.violations.push(violation(
+                        "churn-divergence",
+                        format!("{label}: {s}→{t}: healed {h:?} vs fresh {f:?}"),
+                    )),
+                }
+            }
+        }
+    }
+    report.coverage.insert(format!("{}:churn", id.name()));
+    report.schemes_run += 1;
+}
+
+/// Fuzzes the churn arm over seeds `start..start + iters`: generate,
+/// churn + incrementally repair, differentially check; on a violation,
+/// shrink to a locally minimal witness with the churn check itself as
+/// the reproduction predicate. Mirrors [`crate::fuzz`], capped at 8
+/// failures.
+pub fn fuzz_churn(start: u64, iters: u64) -> FuzzOutcome {
+    let mut outcome = FuzzOutcome::default();
+    for seed in start..start.saturating_add(iters) {
+        outcome.iterations += 1;
+        let inst = generate(seed);
+        let report = check_churn_instance(&inst);
+        if report.is_clean() {
+            outcome.report.merge(report);
+            continue;
+        }
+        let shrunk = shrink(&inst, |cand| !check_churn_instance(cand).is_clean());
+        let violations = check_churn_instance(&shrunk).violations;
+        let mut repro = shrunk;
+        repro.note = format!(
+            "churn seed {seed}: {}",
+            violations
+                .first()
+                .map(ToString::to_string)
+                .unwrap_or_default()
+        );
+        outcome.failures.push(Failure {
+            seed,
+            repro,
+            violations,
+        });
+        if outcome.failures.len() >= 8 {
+            break;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_short_churn_fuzz_is_clean() {
+        let outcome = fuzz_churn(0, 4);
+        assert_eq!(outcome.iterations, 4);
+        assert!(
+            outcome.is_clean(),
+            "{:?}",
+            outcome
+                .failures
+                .iter()
+                .map(|f| &f.violations)
+                .collect::<Vec<_>>()
+        );
+        assert!(outcome.report.pairs_checked > 0);
+    }
+
+    #[test]
+    fn the_script_exercises_additions() {
+        // Cyclic families carry a heal edge, so the script runs all
+        // three delta classes; every instance below complete gets "add".
+        let mut saw_remove = false;
+        for seed in 0..8 {
+            let inst = generate(seed);
+            let steps: Vec<&str> = churn_script(&inst).iter().map(|(l, _)| *l).collect();
+            assert!(steps.contains(&"add"), "{}: {steps:?}", inst.tag());
+            saw_remove |= steps.contains(&"remove");
+        }
+        assert!(saw_remove, "some seed must script a removal");
+    }
+
+    #[test]
+    fn non_regular_algebras_are_skipped_not_run() {
+        let report = check_churn_instance(&generate(1));
+        // Shortest-widest is not isotone, so the dest-table gate — and
+        // with it the churn arm — must refuse it.
+        assert!(report
+            .skips
+            .iter()
+            .any(|s| s.starts_with("shortest-widest/churn")));
+        assert!(report.coverage.contains("shortest-path:churn"));
+    }
+
+    #[test]
+    fn restored_edges_keep_their_atoms() {
+        let inst = generate(4);
+        let map = atom_map(&inst);
+        for (&(u, v), &atom) in &map {
+            assert_eq!(atom_of(&map, u, v), atom);
+            assert_eq!(atom_of(&map, v, u), atom);
+        }
+        // Synthesized atoms are deterministic and symmetric.
+        assert_eq!(synth_atom(3, 9), synth_atom(9, 3));
+    }
+}

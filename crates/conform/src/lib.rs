@@ -24,11 +24,17 @@
 //!   deletes edges/nodes, simplifies weights and drops the fault event
 //!   while the violation reproduces, then emits a self-contained repro
 //!   ([`repro`]) that `conform/corpus/` replays in CI forever.
+//!
+//! The [`churn`] arm extends the fuzzer to *incremental* repair: each
+//! instance is churned through removal → restore → addition, patched via
+//! the delta oracle instead of rebuilt, and differentially checked
+//! against a fresh scheme after every step ([`fuzz_churn`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algebras;
+pub mod churn;
 pub mod engine;
 pub mod fuzz;
 pub mod generate;
@@ -37,6 +43,7 @@ pub mod repro;
 pub mod shrink;
 
 pub use algebras::{empirical_properties, AlgebraId, ConformAlgebra, ALL_ALGEBRAS, BOUNDED_BUDGET};
+pub use churn::{check_churn_instance, fuzz_churn};
 pub use engine::{
     check_instance, check_mutants, check_scale_instance, Report, Violation, COWEN_STRETCH,
     TABLE_STRETCH,

@@ -12,7 +12,10 @@
 //!   non-isotone `SW = W × S` policy, where greedy Dijkstra is unsound;
 //! * [`AllPairs`] — all-pairs preferred trees;
 //! * [`HopMatrix`] — all-pairs hop distances by parallel BFS, the flat
-//!   `u32` form stretch scoring wants at Internet scale.
+//!   `u32` form stretch scoring wants at Internet scale;
+//! * [`DeltaTracker`] — affected-region delta recompute: given an edge
+//!   delta (removals *and* additions), bound the pairs whose preferred
+//!   route can change and recompute only the trees that own one.
 //!
 //! ```
 //! use cpr_algebra::policies::ShortestPath;
@@ -33,6 +36,7 @@
 
 mod all_pairs;
 mod bellman_ford;
+mod delta;
 mod dijkstra;
 mod exhaustive;
 mod heap;
@@ -42,6 +46,7 @@ mod tree;
 
 pub use all_pairs::AllPairs;
 pub use bellman_ford::{bellman_ford, BellmanFordResult};
+pub use delta::{DeltaOracle, DeltaReport, DeltaTracker, DirtyPairs, FullDirtyOracle};
 pub use dijkstra::dijkstra;
 pub use exhaustive::{exhaustive_preferred, exhaustive_preferred_all, SourceRouting};
 pub use heap::CmpHeap;

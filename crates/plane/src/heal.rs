@@ -16,9 +16,16 @@
 //! * **Repair** — [`SelfHealingPlane::repair`] re-traces only the dirty
 //!   pairs through the live scheme on the *new* graph, extending the
 //!   header intern space as needed, and installs the re-verified steps
-//!   in a patch layer that overrides the base arrays. Edge additions
-//!   dirty every pair (any route may improve), which degenerates to a
-//!   full recompile.
+//!   in a patch layer that overrides the base arrays. Under the default
+//!   [`observe`](SelfHealingPlane::observe), edge additions dirty every
+//!   pair (any route may improve), which degenerates to a full
+//!   recompile; [`observe_with`](SelfHealingPlane::observe_with) /
+//!   [`repair_with`](SelfHealingPlane::repair_with) instead take a
+//!   [`DeltaOracle`] (typically a [`cpr_paths::DeltaTracker`]) that
+//!   bounds the affected pairs of *any* delta — additions included — so
+//!   an added edge patches only the pairs it can reach, falling back to
+//!   a rebuild only when the dirty set exceeds a configurable fraction
+//!   of pairs ([`RepairPolicy`]).
 //! * **Survive** — while a pair is dirty (observed but not yet
 //!   repaired), [`SelfHealingPlane::route`] falls back to the live
 //!   scheme's [`route`](cpr_routing::route) instead of serving a stale
@@ -33,6 +40,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
 use cpr_graph::{Graph, NodeId};
+use cpr_paths::{DeltaOracle, DirtyPairs};
 use cpr_routing::{RouteAction, RouteError, RoutingScheme};
 
 use crate::compile::{
@@ -65,8 +73,56 @@ pub struct HealthCounters {
     pub failed: u64,
     /// Completed [`repair`](SelfHealingPlane::repair) passes.
     pub repairs: u64,
+    /// Repair passes that patched only dirty pairs (no recompile).
+    pub incremental_repairs: u64,
+    /// Repair passes that rebuilt the base plane from scratch — because
+    /// every pair was dirty, or because a [`RepairPolicy`] threshold
+    /// forced it.
+    pub full_rebuilds: u64,
     /// Topology epoch: number of observed topology changes.
     pub epoch: u64,
+}
+
+/// Why a stale plane has outstanding work — distinguishes "stale because
+/// a (bounded) repair is pending" from "stale because the next pass must
+/// rebuild".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PendingWork {
+    /// Nothing outstanding: no pair awaits repair.
+    #[default]
+    None,
+    /// Dirty pairs await an incremental repair pass.
+    Repair,
+    /// Every pair is dirty: the next repair pass will recompile the
+    /// base plane instead of patching.
+    Rebuild,
+}
+
+/// Tunables of a delta-driven repair pass
+/// ([`SelfHealingPlane::repair_with`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RepairPolicy {
+    /// When the dirty set exceeds this fraction of all ordered pairs,
+    /// the pass abandons patching and rebuilds the base plane — loudly:
+    /// the rebuild is counted in
+    /// [`HealthCounters::full_rebuilds`], flagged in
+    /// [`RepairStats::forced_rebuild`], and surfaced as a
+    /// `heal.rebuild.forced` obs event.
+    pub max_dirty_fraction: f64,
+    /// Record each pass's wall-clock as a `heal.repair_budget_ms` gauge.
+    /// Off by default: wall-clock gauges break the byte-determinism of
+    /// pinned registry snapshots, so benches enable this only when
+    /// timing is on.
+    pub record_budget_ms: bool,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        RepairPolicy {
+            max_dirty_fraction: 0.5,
+            record_budget_ms: false,
+        }
+    }
 }
 
 /// What [`SelfHealingPlane::observe`] found.
@@ -88,6 +144,8 @@ pub struct StaleReport {
     pub added_edges: Vec<(NodeId, NodeId)>,
     /// Total `(source, target)` pairs currently dirty.
     pub dirty_pairs: usize,
+    /// What the dirty set implies for the next repair pass.
+    pub pending: PendingWork,
 }
 
 /// What one [`SelfHealingPlane::repair`] pass did.
@@ -103,9 +161,13 @@ pub struct RepairStats {
     pub unroutable_pairs: usize,
     /// `(node, header)` patch entries now overriding the base arrays.
     pub patched_states: usize,
-    /// Whether the pass fell back to a full recompile (edge additions
-    /// dirty every pair, so patching would rebuild everything anyway).
+    /// Whether the pass fell back to a full recompile (every pair was
+    /// dirty, so patching would rebuild everything anyway — or a
+    /// [`RepairPolicy`] forced it).
     pub full_rebuild: bool,
+    /// Whether a [`RepairPolicy::max_dirty_fraction`] threshold forced
+    /// the rebuild (as opposed to every pair being dirty).
+    pub forced_rebuild: bool,
 }
 
 /// A repaired transition: the resolved *node* is stored rather than a
@@ -275,6 +337,7 @@ where
                 removed_edges: removed,
                 added_edges: added,
                 dirty_pairs: self.dirty.len(),
+                pending: self.pending(),
             });
         }
         self.counters.epoch += 1;
@@ -309,7 +372,138 @@ where
             removed_edges: removed,
             added_edges: added,
             dirty_pairs: self.dirty.len(),
+            pending: self.pending(),
         })
+    }
+
+    /// [`observe`](Self::observe), with the delta's affected pairs
+    /// bounded by `oracle` instead of the conservative built-in rule —
+    /// in particular, edge *additions* no longer dirty every pair.
+    ///
+    /// The oracle (typically a [`cpr_paths::DeltaTracker`] advanced in
+    /// lockstep with this plane, built over the same weights as the live
+    /// scheme) reports the ordered pairs whose *preferred-tree route*
+    /// can change. The plane closes that set over its forwarding walks:
+    /// a pair `(s, t)` is dirtied when any node `u` on its current
+    /// healed walk owns an affected pair `(u, t)` — hop-by-hop
+    /// forwarding composes per-node trees, so `u`'s next hop toward `t`
+    /// changing re-routes every walk through `u`. Walks that cannot be
+    /// decided are conservatively dirtied.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::NodeCountMismatch`] as for
+    /// [`observe`](Self::observe).
+    pub fn observe_with(
+        &mut self,
+        graph: &Graph,
+        oracle: &mut dyn DeltaOracle,
+    ) -> Result<StaleReport, CompileError> {
+        let n = self.base.node_count();
+        if graph.node_count() != n {
+            return Err(CompileError::NodeCountMismatch {
+                scheme: n,
+                graph: graph.node_count(),
+            });
+        }
+        let new_edges = edge_set(graph);
+        let expected_digest = self.current_digest;
+        let removed: Vec<(NodeId, NodeId)> =
+            self.current_edges.difference(&new_edges).copied().collect();
+        let added: Vec<(NodeId, NodeId)> =
+            new_edges.difference(&self.current_edges).copied().collect();
+        if removed.is_empty() && added.is_empty() {
+            return Ok(StaleReport {
+                stale: false,
+                expected_digest,
+                observed_digest: expected_digest,
+                removed_edges: removed,
+                added_edges: added,
+                dirty_pairs: self.dirty.len(),
+                pending: self.pending(),
+            });
+        }
+        self.counters.epoch += 1;
+        match oracle.affected_pairs(graph) {
+            DirtyPairs::All => {
+                for s in 0..n {
+                    for t in 0..n {
+                        if s != t {
+                            self.dirty.insert((s, t));
+                        }
+                    }
+                }
+            }
+            DirtyPairs::Pairs(affected) => {
+                for s in 0..n {
+                    for t in 0..n {
+                        if s == t || self.dirty.contains(&(s, t)) {
+                            continue;
+                        }
+                        if self.walk_touches(s, t, &affected) {
+                            self.dirty.insert((s, t));
+                        }
+                    }
+                }
+            }
+        }
+        self.current_edges = new_edges;
+        self.current_digest = graph_digest(graph);
+        Ok(StaleReport {
+            stale: true,
+            expected_digest,
+            observed_digest: self.current_digest,
+            removed_edges: removed,
+            added_edges: added,
+            dirty_pairs: self.dirty.len(),
+            pending: self.pending(),
+        })
+    }
+
+    /// What the current dirty set implies for the next repair pass.
+    fn pending(&self) -> PendingWork {
+        let n = self.base.node_count();
+        if self.dirty.is_empty() {
+            PendingWork::None
+        } else if n > 1 && self.dirty.len() == n * n - n {
+            PendingWork::Rebuild
+        } else {
+            PendingWork::Repair
+        }
+    }
+
+    /// Whether any node on the healed walk for `(s, t)` owns an affected
+    /// pair toward `t` (or the walk cannot be decided — conservatively
+    /// dirty). The walk runs over the plane's *current* (pre-delta)
+    /// view, which is exactly the route whose survival is in question.
+    fn walk_touches(&self, s: NodeId, t: NodeId, affected: &BTreeSet<(NodeId, NodeId)>) -> bool {
+        if affected.contains(&(s, t)) {
+            return true;
+        }
+        let Some(mut hid) = self.initial_of(s, t) else {
+            // Unroutable pairs that become routable are in `affected`
+            // (checked above); anything else stays unroutable.
+            return false;
+        };
+        let mut at = s;
+        let mut hops = 0usize;
+        loop {
+            match self.healed_decide(at, hid) {
+                HealedDecision::Deliver => return false,
+                HealedDecision::Forward { to, next } => {
+                    if to != t && affected.contains(&(to, t)) {
+                        return true;
+                    }
+                    at = to;
+                    hid = next;
+                    hops += 1;
+                    if hops > self.base.hop_budget() {
+                        return true;
+                    }
+                }
+                HealedDecision::Invalid => return true,
+            }
+        }
     }
 
     /// Whether the healed walk for `(s, t)` crosses any edge in
@@ -409,25 +603,76 @@ where
             &[("epoch", cpr_obs::Json::int(self.counters.epoch))],
         );
         let stats = self.repair_inner(scheme, graph)?;
-        span.event(
-            "heal.repair.done",
-            &[
-                ("dirty_pairs", cpr_obs::Json::int(stats.dirty_pairs)),
-                ("repaired_pairs", cpr_obs::Json::int(stats.repaired_pairs)),
-                (
-                    "unroutable_pairs",
-                    cpr_obs::Json::int(stats.unroutable_pairs),
-                ),
-                ("patched_states", cpr_obs::Json::int(stats.patched_states)),
-                ("full_rebuild", cpr_obs::Json::Bool(stats.full_rebuild)),
-            ],
+        record_repair_obs(&stats, &span, obs);
+        Ok(stats)
+    }
+
+    /// [`repair`](Self::repair), with the dirty set bounded by `oracle`
+    /// (via [`observe_with`](Self::observe_with)) and the patch/rebuild
+    /// choice governed by `policy`: the pass patches only the affected
+    /// pairs — edge additions included — and falls back to a full
+    /// rebuild only when every pair is dirty or the dirty set exceeds
+    /// [`RepairPolicy::max_dirty_fraction`] (a *forced* rebuild, flagged
+    /// in [`RepairStats::forced_rebuild`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`repair`](Self::repair).
+    pub fn repair_with(
+        &mut self,
+        scheme: &S,
+        graph: &Graph,
+        oracle: &mut dyn DeltaOracle,
+        policy: &RepairPolicy,
+    ) -> Result<RepairStats, CompileError> {
+        self.repair_with_obs(scheme, graph, oracle, policy, &cpr_obs::Obs::disabled())
+    }
+
+    /// [`repair_with`](Self::repair_with), recording the pass into `obs`
+    /// like [`repair_obs`](Self::repair_obs). A threshold-forced rebuild
+    /// additionally emits a `heal.rebuild.forced` event, and when
+    /// [`RepairPolicy::record_budget_ms`] is set the pass's wall-clock
+    /// lands in a `heal.repair_budget_ms` gauge.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`repair`](Self::repair).
+    pub fn repair_with_obs(
+        &mut self,
+        scheme: &S,
+        graph: &Graph,
+        oracle: &mut dyn DeltaOracle,
+        policy: &RepairPolicy,
+        obs: &cpr_obs::Obs,
+    ) -> Result<RepairStats, CompileError> {
+        let start = Instant::now();
+        let span = obs.span(
+            "heal.repair",
+            &[("epoch", cpr_obs::Json::int(self.counters.epoch))],
         );
-        obs.incr("heal.repairs");
-        obs.add("heal.repaired_pairs", stats.repaired_pairs as u64);
-        obs.add("heal.unroutable_pairs", stats.unroutable_pairs as u64);
-        obs.record("heal.dirty_pairs", stats.dirty_pairs as u64);
-        if stats.full_rebuild {
-            obs.incr("heal.full_rebuilds");
+        self.observe_with(graph, oracle)?;
+        let n = self.base.node_count();
+        let all_pairs = n * n - n;
+        let forced = n > 1
+            && self.dirty.len() < all_pairs
+            && self.dirty.len() as f64 > policy.max_dirty_fraction * all_pairs as f64;
+        if forced {
+            obs.event(
+                "heal.rebuild.forced",
+                &[
+                    ("dirty_pairs", cpr_obs::Json::int(self.dirty.len())),
+                    ("total_pairs", cpr_obs::Json::int(all_pairs)),
+                ],
+            );
+        }
+        let stats = if n > 1 && (forced || self.dirty.len() == all_pairs) {
+            self.rebuild(scheme, graph, forced)?
+        } else {
+            self.patch_dirty(scheme, graph)?
+        };
+        record_repair_obs(&stats, &span, obs);
+        if policy.record_budget_ms {
+            obs.set_gauge("heal.repair_budget_ms", start.elapsed().as_millis() as i64);
         }
         Ok(stats)
     }
@@ -435,27 +680,47 @@ where
     fn repair_inner(&mut self, scheme: &S, graph: &Graph) -> Result<RepairStats, CompileError> {
         self.observe(graph)?;
         let n = self.base.node_count();
-        let dirty_pairs = self.dirty.len();
-        if dirty_pairs == n * n - n && n > 1 {
+        if self.dirty.len() == n * n - n && n > 1 {
             // Everything is dirty: a fresh compile is the same work with
             // better layout, and it resets the patch layer entirely.
-            let rebuilt = Self::new(scheme, graph)?;
-            let counters = HealthCounters {
-                repairs: self.counters.repairs + 1,
-                ..self.counters
-            };
-            *self = rebuilt;
-            self.counters = counters;
-            return Ok(RepairStats {
-                epoch: self.counters.epoch,
-                dirty_pairs,
-                repaired_pairs: dirty_pairs,
-                unroutable_pairs: 0,
-                patched_states: 0,
-                full_rebuild: true,
-            });
+            self.rebuild(scheme, graph, false)
+        } else {
+            self.patch_dirty(scheme, graph)
         }
+    }
 
+    /// Recompiles the base plane from scratch, preserving the cumulative
+    /// counters and resetting the patch layer.
+    fn rebuild(
+        &mut self,
+        scheme: &S,
+        graph: &Graph,
+        forced: bool,
+    ) -> Result<RepairStats, CompileError> {
+        let dirty_pairs = self.dirty.len();
+        let rebuilt = Self::new(scheme, graph)?;
+        let counters = HealthCounters {
+            repairs: self.counters.repairs + 1,
+            full_rebuilds: self.counters.full_rebuilds + 1,
+            ..self.counters
+        };
+        *self = rebuilt;
+        self.counters = counters;
+        Ok(RepairStats {
+            epoch: self.counters.epoch,
+            dirty_pairs,
+            repaired_pairs: dirty_pairs,
+            unroutable_pairs: 0,
+            patched_states: 0,
+            full_rebuild: true,
+            forced_rebuild: forced,
+        })
+    }
+
+    /// Re-traces every dirty pair into the patch layer (the incremental
+    /// path — no recompile).
+    fn patch_dirty(&mut self, scheme: &S, graph: &Graph) -> Result<RepairStats, CompileError> {
+        let dirty_pairs = self.dirty.len();
         let budget = self.base.hop_budget();
         let mut repaired = 0usize;
         let mut unroutable = 0usize;
@@ -515,6 +780,7 @@ where
         }
         self.dirty.clear();
         self.counters.repairs += 1;
+        self.counters.incremental_repairs += 1;
         Ok(RepairStats {
             epoch: self.counters.epoch,
             dirty_pairs,
@@ -522,6 +788,7 @@ where
             unroutable_pairs: unroutable,
             patched_states: self.patch.len(),
             full_rebuild: false,
+            forced_rebuild: false,
         })
     }
 
@@ -718,7 +985,40 @@ where
         obs.set_gauge("heal.health.fallback", c.fallback as i64);
         obs.set_gauge("heal.health.failed", c.failed as i64);
         obs.set_gauge("heal.health.repairs", c.repairs as i64);
+        obs.set_gauge(
+            "heal.health.incremental_repairs",
+            c.incremental_repairs as i64,
+        );
+        obs.set_gauge("heal.health.full_rebuilds", c.full_rebuilds as i64);
         obs.set_gauge("heal.health.epoch", c.epoch as i64);
+    }
+}
+
+/// Shared outcome recording of a repair pass: the `heal.repair` span's
+/// close event plus the registry counters and the `heal.dirty_pairs`
+/// histogram.
+fn record_repair_obs(stats: &RepairStats, span: &cpr_obs::Span<'_>, obs: &cpr_obs::Obs) {
+    span.event(
+        "heal.repair.done",
+        &[
+            ("dirty_pairs", cpr_obs::Json::int(stats.dirty_pairs)),
+            ("repaired_pairs", cpr_obs::Json::int(stats.repaired_pairs)),
+            (
+                "unroutable_pairs",
+                cpr_obs::Json::int(stats.unroutable_pairs),
+            ),
+            ("patched_states", cpr_obs::Json::int(stats.patched_states)),
+            ("full_rebuild", cpr_obs::Json::Bool(stats.full_rebuild)),
+        ],
+    );
+    obs.incr("heal.repairs");
+    obs.add("heal.repaired_pairs", stats.repaired_pairs as u64);
+    obs.add("heal.unroutable_pairs", stats.unroutable_pairs as u64);
+    obs.record("heal.dirty_pairs", stats.dirty_pairs as u64);
+    if stats.full_rebuild {
+        obs.incr("heal.full_rebuilds");
+    } else {
+        obs.incr("heal.incremental_repairs");
     }
 }
 

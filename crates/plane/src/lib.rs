@@ -65,5 +65,11 @@ pub use engine::{
     serve, serve_obs, BatchScratch, BatchStats, EngineConfig, HopOptima, LookupCore, QueryFailure,
     ServeReport, StretchStats,
 };
-pub use heal::{HealthCounters, RepairStats, SelfHealingPlane, Served, StaleReport};
+pub use heal::{
+    HealthCounters, PendingWork, RepairPolicy, RepairStats, SelfHealingPlane, Served, StaleReport,
+};
+// Delta oracles are defined in `cpr-paths`; re-exported here because the
+// healing APIs above consume them, so plane users (e.g. `cpr-serve`) need
+// no direct `cpr-paths` dependency.
+pub use cpr_paths::{DeltaOracle, DeltaReport, DeltaTracker, DirtyPairs, FullDirtyOracle};
 pub use workload::{generate, TrafficPattern};

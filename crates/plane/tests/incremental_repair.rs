@@ -1,0 +1,257 @@
+//! True incremental repair: edge additions no longer force a full
+//! rebuild. A [`DeltaTracker`] bounds the affected pairs of any delta,
+//! [`SelfHealingPlane::observe_with`] closes that set over the plane's
+//! forwarding walks, and [`SelfHealingPlane::repair_with`] patches only
+//! the dirty pairs — these tests pin that the patched plane's routes are
+//! identical to a from-scratch compile's after every delta, with
+//! `full_rebuilds == 0` on additions-only storms, across the adversarial
+//! sequences (add→remove-same→add-again, crash→restore→add).
+
+use cpr_algebra::policies::ShortestPath;
+use cpr_graph::{generators, EdgeWeights, Graph, NodeId};
+use cpr_plane::{DeltaTracker, RepairPolicy, SelfHealingPlane};
+use cpr_routing::DestTable;
+use rand::SeedableRng;
+
+/// Symmetric keyed weight: a pure function of the (unordered) endpoint
+/// pair, so an edge keeps its weight across removal/re-addition and
+/// across graphs that contain it.
+fn weigh(u: NodeId, v: NodeId) -> u64 {
+    let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 29;
+    1 + x % 16
+}
+
+fn weights_of(g: &Graph) -> EdgeWeights<u64> {
+    EdgeWeights::from_fn(g, |e| {
+        let (u, v) = g.endpoints(e);
+        weigh(u, v)
+    })
+}
+
+fn scheme_of(g: &Graph) -> DestTable {
+    DestTable::build(g, &weights_of(g), &ShortestPath)
+}
+
+fn tracker_of(g: &Graph) -> DeltaTracker<ShortestPath> {
+    DeltaTracker::new(ShortestPath, g, weigh).with_hop_tiebreak(true)
+}
+
+/// Every ordered pair routed through `healing` must match a from-scratch
+/// [`SelfHealingPlane`] compiled on `graph` — node sequence for node
+/// sequence.
+fn assert_routes_match_fresh(
+    healing: &SelfHealingPlane<DestTable>,
+    scheme: &DestTable,
+    graph: &Graph,
+) {
+    let fresh = SelfHealingPlane::new(scheme, graph).unwrap();
+    for s in graph.nodes() {
+        for t in graph.nodes() {
+            if s == t {
+                continue;
+            }
+            let want = fresh.lookup(scheme, graph, s, t).map(|(p, _)| p);
+            let got = healing.lookup(scheme, graph, s, t).map(|(p, _)| p);
+            match (&want, &got) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "pair {s} → {t}: repaired plane diverges from fresh")
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("pair {s} → {t}: routability diverges: {want:?} vs {got:?}"),
+            }
+        }
+    }
+}
+
+/// `deterministic` non-edges of `g`: the lexicographically first `k`
+/// pairs that are not edges (skipping self-pairs).
+fn first_non_edges(g: &Graph, k: usize) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    'outer: for u in g.nodes() {
+        for v in (u + 1)..g.node_count() {
+            if g.edge_between(u, v).is_none() {
+                out.push((u, v));
+                if out.len() == k {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_eq!(out.len(), k, "graph too dense for {k} additions");
+    out
+}
+
+fn with_extra_edges(g: &Graph, extra: &[(NodeId, NodeId)]) -> Graph {
+    let edges: Vec<(NodeId, NodeId)> = g
+        .edges()
+        .map(|(_, uv)| uv)
+        .chain(extra.iter().copied())
+        .collect();
+    Graph::from_edges(g.node_count(), edges).unwrap()
+}
+
+/// The ISSUE acceptance gate: an additions-only storm at n ≥ 512
+/// completes with `heal.full_rebuilds == 0` while the repaired plane's
+/// routes are identical to a from-scratch compile's.
+#[test]
+fn additions_only_storm_at_512_repairs_without_rebuild() {
+    let mut r = rand::rngs::StdRng::seed_from_u64(0x512AD);
+    let base = generators::barabasi_albert(512, 2, &mut r);
+    let mut healing = SelfHealingPlane::new(&scheme_of(&base), &base).unwrap();
+    let mut tracker = tracker_of(&base);
+    let policy = RepairPolicy::default();
+
+    let additions = first_non_edges(&base, 3);
+    let mut g = base.clone();
+    for (round, &(u, v)) in additions.iter().enumerate() {
+        g = with_extra_edges(&g, &[(u, v)]);
+        let scheme = scheme_of(&g);
+        let stats = healing
+            .repair_with(&scheme, &g, &mut tracker, &policy)
+            .unwrap();
+        assert!(
+            !stats.full_rebuild,
+            "round {round}: adding {{{u}, {v}}} forced a rebuild \
+             (dirty = {} pairs)",
+            stats.dirty_pairs
+        );
+        assert!(!stats.forced_rebuild);
+        assert!(
+            stats.dirty_pairs < 512 * 511 / 2,
+            "round {round}: delta bound degenerated ({} pairs dirty)",
+            stats.dirty_pairs
+        );
+    }
+    let c = healing.counters();
+    assert_eq!(
+        c.full_rebuilds, 0,
+        "additions-only storm must never rebuild"
+    );
+    assert_eq!(c.incremental_repairs, additions.len() as u64);
+    assert_routes_match_fresh(&healing, &scheme_of(&g), &g);
+}
+
+#[test]
+fn add_remove_same_edge_add_again_stays_incremental() {
+    let mut r = rand::rngs::StdRng::seed_from_u64(0xADD0);
+    let base = generators::gnp_connected(24, 0.18, &mut r);
+    let mut healing = SelfHealingPlane::new(&scheme_of(&base), &base).unwrap();
+    let mut tracker = tracker_of(&base);
+    let policy = RepairPolicy::default();
+
+    let (u, v) = first_non_edges(&base, 1)[0];
+    let with_edge = with_extra_edges(&base, &[(u, v)]);
+
+    for (round, g) in [&with_edge, &base, &with_edge].into_iter().enumerate() {
+        let scheme = scheme_of(g);
+        let stats = healing
+            .repair_with(&scheme, g, &mut tracker, &policy)
+            .unwrap();
+        assert!(
+            !stats.full_rebuild,
+            "round {round} of add→remove→add forced a rebuild"
+        );
+        assert_routes_match_fresh(&healing, &scheme, g);
+    }
+    assert_eq!(healing.counters().full_rebuilds, 0);
+    assert_eq!(healing.counters().incremental_repairs, 3);
+}
+
+#[test]
+fn crash_restore_then_add_edge_stays_incremental() {
+    let mut r = rand::rngs::StdRng::seed_from_u64(0xC0A5);
+    let base = generators::gnp_connected(20, 0.25, &mut r);
+    let mut healing = SelfHealingPlane::new(&scheme_of(&base), &base).unwrap();
+    let mut tracker = tracker_of(&base);
+    let policy = RepairPolicy {
+        // Crashing a node dirties every pair routed through it — allow a
+        // large incremental pass before declaring the patch unprofitable.
+        max_dirty_fraction: 0.95,
+        ..RepairPolicy::default()
+    };
+
+    // Crash: a non-cut node loses all its links (node id stays).
+    let victim = (0..base.node_count())
+        .find(|&x| {
+            let survivors: Vec<_> = base
+                .edges()
+                .map(|(_, uv)| uv)
+                .filter(|&(a, b)| a != x && b != x)
+                .collect();
+            let g = Graph::from_edges(base.node_count(), survivors).unwrap();
+            base.nodes().filter(|&y| y != x).all(|y| {
+                cpr_graph::traversal::bfs_distances(&g, (x + 1) % base.node_count())[y].is_some()
+            })
+        })
+        .expect("some node is not a cut vertex");
+    let crashed = Graph::from_edges(
+        base.node_count(),
+        base.edges()
+            .map(|(_, uv)| uv)
+            .filter(|&(a, b)| a != victim && b != victim),
+    )
+    .unwrap();
+    let (u, v) = first_non_edges(&base, 1)[0];
+    let grown = with_extra_edges(&base, &[(u, v)]);
+
+    for (label, g) in [("crash", &crashed), ("restore", &base), ("add", &grown)] {
+        let scheme = scheme_of(g);
+        let stats = healing
+            .repair_with(&scheme, g, &mut tracker, &policy)
+            .unwrap();
+        assert!(!stats.full_rebuild, "{label} step forced a rebuild");
+        assert_routes_match_fresh(&healing, &scheme, g);
+    }
+    assert_eq!(healing.counters().full_rebuilds, 0);
+}
+
+/// The loud fallback: a policy whose threshold the dirty set exceeds
+/// must rebuild — flagged as *forced* in the stats and counted.
+#[test]
+fn exceeding_dirty_fraction_forces_a_loud_rebuild() {
+    // Closing a uniform-weight path into a cycle improves many pairs, so
+    // the dirty set is guaranteed non-empty and a zero threshold trips.
+    let base = generators::path(8);
+    let uniform = |g: &Graph| EdgeWeights::uniform(g, 1u64);
+    let scheme_u = |g: &Graph| DestTable::build(g, &uniform(g), &ShortestPath);
+    let mut healing = SelfHealingPlane::new(&scheme_u(&base), &base).unwrap();
+    let mut tracker = DeltaTracker::new(ShortestPath, &base, |_, _| 1u64).with_hop_tiebreak(true);
+    let policy = RepairPolicy {
+        max_dirty_fraction: 0.0,
+        ..RepairPolicy::default()
+    };
+
+    let grown = with_extra_edges(&base, &[(0, 7)]);
+    let scheme = scheme_u(&grown);
+    let stats = healing
+        .repair_with(&scheme, &grown, &mut tracker, &policy)
+        .unwrap();
+    assert!(stats.dirty_pairs > 0, "closing the cycle must dirty pairs");
+    assert!(stats.full_rebuild, "zero-threshold policy must rebuild");
+    assert!(
+        stats.forced_rebuild,
+        "the rebuild must be flagged as forced"
+    );
+    assert_eq!(healing.counters().full_rebuilds, 1);
+    assert_eq!(healing.counters().incremental_repairs, 0);
+
+    let fresh = SelfHealingPlane::new(&scheme, &grown).unwrap();
+    for s in grown.nodes() {
+        for t in grown.nodes() {
+            if s == t {
+                continue;
+            }
+            assert_eq!(
+                healing.lookup(&scheme, &grown, s, t).map(|(p, _)| p),
+                fresh.lookup(&scheme, &grown, s, t).map(|(p, _)| p),
+                "pair {s} → {t} diverges after forced rebuild"
+            );
+        }
+    }
+}

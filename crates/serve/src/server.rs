@@ -21,7 +21,9 @@ use std::time::{Duration, Instant};
 
 use cpr_graph::Graph;
 use cpr_obs::{Json, Obs};
-use cpr_plane::{CompileError, RepairStats, SelfHealingPlane, StaleReport};
+use cpr_plane::{
+    CompileError, DeltaOracle, RepairPolicy, RepairStats, SelfHealingPlane, StaleReport,
+};
 use cpr_routing::{RouteError, RoutingScheme};
 
 use crate::epoch::{EpochCell, PlaneEpoch};
@@ -165,6 +167,64 @@ where
             });
         }
         let repair = master.repair_obs(&scheme, &graph, &self.obs)?;
+        let snapshot = master.clone();
+        let epoch = snapshot.epoch();
+        let digest = snapshot.digest();
+        drop(master);
+        self.cell
+            .store(Arc::new(PlaneEpoch::new(scheme, graph, snapshot)));
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr("serve.swaps");
+        self.obs.set_gauge("serve.epoch", epoch as i64);
+        // Swap latency is wall-clock: tracer only, never the registry.
+        self.obs.event(
+            "serve.swap",
+            &[
+                ("epoch", Json::int(epoch)),
+                ("dirty_pairs", Json::int(repair.dirty_pairs)),
+                ("full_rebuild", Json::Bool(repair.full_rebuild)),
+                ("micros", Json::int(started.elapsed().as_micros())),
+            ],
+        );
+        Ok(SwapReport {
+            swapped: true,
+            epoch,
+            digest,
+            stale,
+            repair: Some(repair),
+        })
+    }
+
+    /// [`reconcile`](Self::reconcile), with the dirty set bounded by
+    /// `oracle` and the patch/rebuild choice governed by `policy` (via
+    /// [`SelfHealingPlane::repair_with_obs`]): edge additions patch only
+    /// the pairs the delta can affect instead of forcing a recompile, so
+    /// the control path stays incremental under continuous churn.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`reconcile`](Self::reconcile). On error nothing is
+    /// published — the old epoch keeps serving.
+    pub fn reconcile_with(
+        &self,
+        scheme: S,
+        graph: Graph,
+        oracle: &mut dyn DeltaOracle,
+        policy: &RepairPolicy,
+    ) -> Result<SwapReport, CompileError> {
+        let started = Instant::now();
+        let mut master = self.master.lock().unwrap_or_else(PoisonError::into_inner);
+        let stale = master.observe_with(&graph, oracle)?;
+        if !stale.stale && master.dirty_pairs() == 0 {
+            return Ok(SwapReport {
+                swapped: false,
+                epoch: master.epoch(),
+                digest: master.digest(),
+                stale,
+                repair: None,
+            });
+        }
+        let repair = master.repair_with_obs(&scheme, &graph, oracle, policy, &self.obs)?;
         let snapshot = master.clone();
         let epoch = snapshot.epoch();
         let digest = snapshot.digest();

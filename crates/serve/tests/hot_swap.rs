@@ -19,9 +19,13 @@ use std::time::{Duration, Instant};
 
 use cpr_algebra::policies::ShortestPath;
 use cpr_graph::{generators, EdgeWeights, Graph};
+use cpr_plane::{DeltaTracker, RepairPolicy};
 use cpr_routing::{DestTable, RouteError};
 use cpr_serve::{RouteClient, RouteOutcome, RouteServer, RouteService, ServeConfig};
-use cpr_sim::{topology_timeline, FaultPlan, StormConfig};
+use cpr_sim::{
+    churn_schedule, churn_timeline, topology_timeline, ChurnConfig, ChurnEvent, ChurnTargeting,
+    FaultPlan, StormConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -240,4 +244,157 @@ fn churn_under_live_load_never_drops_or_serves_stale() {
         stop.store(true, Ordering::Relaxed);
         server_handle.join().expect("server thread").unwrap();
     });
+}
+
+/// The additions-containing storm: seeded churn with genuinely *new*
+/// links (plus targeted crashes and link failures) driven through
+/// [`RouteService::reconcile_with`] under live socket load. Every answer
+/// is audited hop-for-hop against its epoch's oracle — zero stale
+/// answers — and every repair must stay incremental: an added edge
+/// patches the affected pairs, it never forces a full rebuild.
+#[test]
+fn additions_storm_reconciles_incrementally_with_zero_stale_answers() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xADD);
+    let g0 = generators::gnp_connected(N, 0.25, &mut rng);
+    let scheme0 = scheme_for(&g0);
+
+    let events = churn_schedule(
+        &g0,
+        &ChurnConfig {
+            events: 10,
+            targeting: ChurnTargeting::DegreeRanked,
+            heal_at_end: true,
+            ..ChurnConfig::default()
+        },
+        &mut rng,
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ChurnEvent::AddLink { .. })),
+        "seeded churn storm produced no additions; pick another seed"
+    );
+    let timeline = churn_timeline(&g0, &events).expect("schedule applies cleanly");
+
+    let service = Arc::new(
+        RouteService::new(
+            scheme0.clone(),
+            g0.clone(),
+            ServeConfig::default(),
+            cpr_obs::Obs::with_null_tracer(),
+        )
+        .expect("initial compile"),
+    );
+    let server = RouteServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = server.stop_handle();
+
+    let mut oracles: HashMap<u64, (Graph, DestTable)> = HashMap::new();
+    oracles.insert(0, (g0.clone(), scheme0));
+
+    let answered = AtomicU64::new(0);
+    let churn_done = AtomicBool::new(false);
+    // The schemes use uniform weights, so the tracker tracks the same
+    // preference (hop-count ties broken exactly like the scheme's
+    // generalized Dijkstra).
+    let mut tracker = DeltaTracker::new(ShortestPath, &g0, |_, _| 1u64).with_hop_tiebreak(true);
+    // Never force: the point of this storm is that *no* delta — adds
+    // included — needs a rebuild; dirty == all pairs would still take
+    // the rebuild path, and the audit below asserts it never happens.
+    let policy = RepairPolicy {
+        max_dirty_fraction: 1.0,
+        ..RepairPolicy::default()
+    };
+
+    let (recorded, swaps) = std::thread::scope(|scope| {
+        let server_handle = scope.spawn(|| server.run());
+        let client_handle = scope.spawn(|| {
+            let mut client = RouteClient::connect(addr).expect("connect");
+            let mut rng = StdRng::seed_from_u64(SEED ^ 0x1A1A);
+            let mut recorded = Vec::new();
+            while !churn_done.load(Ordering::Relaxed) {
+                for (s, t) in
+                    cpr_plane::generate(&g0, &cpr_plane::TrafficPattern::Uniform, 16, &mut rng)
+                {
+                    let (epoch, outcome) = client.lookup(s as u32, t as u32).expect("lookup");
+                    recorded.push(Recorded {
+                        epoch,
+                        source: s,
+                        target: t,
+                        outcome,
+                    });
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            recorded
+        });
+
+        let mut swaps = 0u64;
+        for step in &timeline {
+            if !step.changed {
+                continue;
+            }
+            let scheme = scheme_for(&step.graph);
+            let report = service
+                .reconcile_with(scheme.clone(), step.graph.clone(), &mut tracker, &policy)
+                .expect("reconcile_with");
+            assert!(report.swapped, "a changed step must publish a new epoch");
+            let repair = report.repair.as_ref().expect("changed step repairs");
+            assert!(
+                !repair.full_rebuild,
+                "event {:?} forced a full rebuild ({} dirty pairs) — \
+                 additions must repair incrementally",
+                step.event, repair.dirty_pairs
+            );
+            swaps += 1;
+            oracles.insert(report.epoch, (step.graph.clone(), scheme));
+            wait_progress(&answered, answered.load(Ordering::Relaxed) + 5);
+        }
+        churn_done.store(true, Ordering::Relaxed);
+        let recorded = client_handle.join().expect("client thread");
+        stop.store(true, Ordering::Relaxed);
+        server_handle.join().expect("server thread").unwrap();
+        (recorded, swaps)
+    });
+
+    assert!(swaps >= 2, "storm produced too few swaps to prove anything");
+
+    // Zero dropped; epochs monotone; zero stale-topology answers.
+    let stats = service.stats();
+    assert_eq!(stats.queries, recorded.len() as u64);
+    assert_eq!(stats.swaps, swaps);
+    let mut last = 0u64;
+    for r in &recorded {
+        assert!(r.epoch >= last, "epoch went backwards");
+        last = r.epoch;
+    }
+    for r in &recorded {
+        let (graph, scheme) = oracles
+            .get(&r.epoch)
+            .expect("answers only carry published epochs");
+        let oracle = cpr_routing::route(scheme, graph, r.source, r.target);
+        match (&r.outcome, oracle) {
+            (RouteOutcome::Path(path), Ok(expect)) => {
+                let got: Vec<usize> = path.iter().map(|&v| v as usize).collect();
+                assert_eq!(
+                    got, expect,
+                    "epoch {} answer for ({}, {}) diverged from its oracle",
+                    r.epoch, r.source, r.target
+                );
+            }
+            (RouteOutcome::Unroutable, Err(RouteError::Unroutable { .. })) => {}
+            (outcome, oracle) => panic!(
+                "epoch {} ({}, {}): answer {outcome:?} vs oracle {oracle:?}",
+                r.epoch, r.source, r.target
+            ),
+        }
+    }
+
+    // heal_at_end restores every down node/link, so the final topology is
+    // the base plus every surviving added link.
+    let (final_graph, _) = &oracles[&swaps];
+    assert!(
+        final_graph.edge_count() >= g0.edge_count(),
+        "healed final topology lost base links"
+    );
 }

@@ -1,0 +1,525 @@
+//! Continuous-churn timelines: topology deltas with *additions* and
+//! degree-ranked targeting.
+//!
+//! The chaos harness ([`crate::fault`]) injects faults into a fixed edge
+//! universe: links fail and restore, but the topology never grows. A
+//! DRFE-R-style survival study needs the other half — genuinely *new*
+//! links, nodes that stay down until restored, and **targeted** victim
+//! selection (highest degree first), which is what collapses stale
+//! compact tables. This module drives exactly that:
+//!
+//! * [`ChurnEvent`] — link fail/restore, link *addition* (a pair the
+//!   base graph never had), and persistent node crash/restore (a down
+//!   node removes its incident links until restored; the node *count*
+//!   never changes, so consumers repair rather than rebuild).
+//! * [`churn_schedule`] — a seeded-random event storm over a
+//!   [`ChurnConfig`], drawing only events that are valid in the current
+//!   virtual state, with [`ChurnTargeting::DegreeRanked`] picking
+//!   highest-degree victims (ties to the lowest id) and capping
+//!   simultaneous node downtime at a DRFE-R-style fraction.
+//! * [`churn_timeline`] — lowers an event list to the sequence of
+//!   effective topologies, a pure function of `(base, events)`:
+//!   [`BTreeSet`] state plus sorted edge emission make every step's
+//!   graph byte-deterministic.
+
+use std::collections::BTreeSet;
+
+use cpr_graph::{Graph, NodeId};
+use rand::Rng;
+
+use crate::fault::SimError;
+
+/// One churn event. Unlike [`crate::FaultEvent::CrashNode`] (crash and
+/// immediate restart), a churned [`CrashNode`](ChurnEvent::CrashNode)
+/// keeps the node down — its incident links leave the effective topology
+/// — until a matching [`RestoreNode`](ChurnEvent::RestoreNode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Take the link `{u, v}` down.
+    FailLink {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Bring a previously seen (failed) link back up.
+    RestoreLink {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Add a genuinely new link `{u, v}` — a pair outside the current
+    /// edge set (typically one the base graph never had).
+    AddLink {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Take a node down: every incident link leaves the effective
+    /// topology until the node is restored. The node id itself stays —
+    /// node-*set* changes are a rebuild, not a repair.
+    CrashNode {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// Bring a crashed node back: its surviving links rejoin the
+    /// effective topology.
+    RestoreNode {
+        /// The restored node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for ChurnEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnEvent::FailLink { u, v } => write!(f, "fail {{{u}, {v}}}"),
+            ChurnEvent::RestoreLink { u, v } => write!(f, "restore {{{u}, {v}}}"),
+            ChurnEvent::AddLink { u, v } => write!(f, "add {{{u}, {v}}}"),
+            ChurnEvent::CrashNode { node } => write!(f, "crash {node}"),
+            ChurnEvent::RestoreNode { node } => write!(f, "restore-node {node}"),
+        }
+    }
+}
+
+/// One entry of a [`churn_timeline`]: the event and the effective
+/// topology right after applying it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnStep {
+    /// The event that was applied.
+    pub event: ChurnEvent,
+    /// The effective topology: the base node set with every up link
+    /// between two up nodes (edge ids are renumbered, node ids stable).
+    pub graph: Graph,
+    /// Whether this event changed the effective edge set (crashing an
+    /// isolated node, or failing a link whose endpoint is already down,
+    /// does not).
+    pub changed: bool,
+}
+
+/// How a seeded churn storm picks its victims.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChurnTargeting {
+    /// Uniform draws among the currently valid candidates.
+    #[default]
+    Random,
+    /// Attack the best-connected survivors first: link failures pick the
+    /// up link maximizing the endpoints' effective degree sum, node
+    /// crashes pick the highest-degree up node, and additions connect
+    /// the two best-connected non-adjacent up nodes (all ties to the
+    /// lowest ids) — DRFE-R's targeted arm.
+    DegreeRanked,
+}
+
+/// Parameters of a seeded churn storm ([`churn_schedule`]). Event kinds
+/// are drawn by the listed weights among the kinds that are valid in the
+/// current virtual state, so every generated schedule is applicable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Number of events before any healing tail.
+    pub events: usize,
+    /// Relative weight of link failures.
+    pub fail_weight: u32,
+    /// Relative weight of link restores.
+    pub restore_weight: u32,
+    /// Relative weight of link *additions*.
+    pub add_weight: u32,
+    /// Relative weight of node crashes.
+    pub crash_weight: u32,
+    /// Relative weight of node restores.
+    pub restore_node_weight: u32,
+    /// Victim selection.
+    pub targeting: ChurnTargeting,
+    /// Cap on the fraction of nodes simultaneously down (DRFE-R's
+    /// targeted study removes 20%: `0.2`). Crash draws beyond the cap
+    /// are skipped for that round.
+    pub max_down_fraction: f64,
+    /// Append restore events for every node and link still down after
+    /// the storm, so the final topology is the base graph plus every
+    /// surviving added link.
+    pub heal_at_end: bool,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            events: 12,
+            fail_weight: 4,
+            restore_weight: 2,
+            add_weight: 3,
+            crash_weight: 2,
+            restore_node_weight: 1,
+            targeting: ChurnTargeting::Random,
+            max_down_fraction: 0.2,
+            heal_at_end: true,
+        }
+    }
+}
+
+fn norm(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    (u.min(v), u.max(v))
+}
+
+/// Lowers a churn event list to the sequence of effective topologies it
+/// induces — the additions-capable counterpart of
+/// [`topology_timeline`](crate::topology_timeline). A pure function of
+/// `(base, events)`: the internal state is ordered sets and edges are
+/// emitted in sorted order, so every step's graph (and its digest) is
+/// deterministic.
+///
+/// # Errors
+///
+/// [`SimError::NodeOutOfBounds`] for any event naming a node at or past
+/// the base node count; [`SimError::NotAnEdge`] for failing or restoring
+/// a pair that was never a link, adding a self-loop, or adding a pair
+/// that is already up — schedules are data, so malformed ones must be
+/// reportable.
+pub fn churn_timeline(base: &Graph, events: &[ChurnEvent]) -> Result<Vec<ChurnStep>, SimError> {
+    let n = base.node_count();
+    let check = |node: NodeId| {
+        if node >= n {
+            Err(SimError::NodeOutOfBounds { node })
+        } else {
+            Ok(())
+        }
+    };
+    // Links currently up / ever seen (normalized), nodes currently down.
+    let mut live: BTreeSet<(NodeId, NodeId)> = base.edges().map(|(_, (u, v))| norm(u, v)).collect();
+    let mut known: BTreeSet<(NodeId, NodeId)> = live.clone();
+    let mut down_nodes: BTreeSet<NodeId> = BTreeSet::new();
+    let effective = |live: &BTreeSet<(NodeId, NodeId)>, down: &BTreeSet<NodeId>| {
+        let edges: Vec<(NodeId, NodeId)> = live
+            .iter()
+            .copied()
+            .filter(|&(u, v)| !down.contains(&u) && !down.contains(&v))
+            .collect();
+        Graph::from_edges(n, edges).expect("validated churn edges")
+    };
+    let mut prev = effective(&live, &down_nodes);
+    let mut steps = Vec::with_capacity(events.len());
+    for &event in events {
+        match event {
+            ChurnEvent::FailLink { u, v } => {
+                check(u)?;
+                check(v)?;
+                if !known.contains(&norm(u, v)) {
+                    return Err(SimError::NotAnEdge { u, v });
+                }
+                live.remove(&norm(u, v));
+            }
+            ChurnEvent::RestoreLink { u, v } => {
+                check(u)?;
+                check(v)?;
+                if !known.contains(&norm(u, v)) {
+                    return Err(SimError::NotAnEdge { u, v });
+                }
+                live.insert(norm(u, v));
+            }
+            ChurnEvent::AddLink { u, v } => {
+                check(u)?;
+                check(v)?;
+                if u == v || live.contains(&norm(u, v)) {
+                    return Err(SimError::NotAnEdge { u, v });
+                }
+                live.insert(norm(u, v));
+                known.insert(norm(u, v));
+            }
+            ChurnEvent::CrashNode { node } => {
+                check(node)?;
+                down_nodes.insert(node);
+            }
+            ChurnEvent::RestoreNode { node } => {
+                check(node)?;
+                down_nodes.remove(&node);
+            }
+        }
+        let graph = effective(&live, &down_nodes);
+        let changed = edge_pairs(&graph) != edge_pairs(&prev);
+        prev = graph.clone();
+        steps.push(ChurnStep {
+            event,
+            graph,
+            changed,
+        });
+    }
+    Ok(steps)
+}
+
+fn edge_pairs(graph: &Graph) -> BTreeSet<(NodeId, NodeId)> {
+    graph.edges().map(|(_, (u, v))| norm(u, v)).collect()
+}
+
+/// Draws a seeded churn storm over `base`: a pure function of `(base,
+/// config, seed)`. Only event kinds valid in the current virtual state
+/// participate in each draw, mirroring
+/// [`StormConfig`](crate::StormConfig) — so the resulting event list
+/// always applies cleanly through [`churn_timeline`].
+pub fn churn_schedule<R: Rng + ?Sized>(
+    base: &Graph,
+    config: &ChurnConfig,
+    rng: &mut R,
+) -> Vec<ChurnEvent> {
+    let n = base.node_count();
+    let mut live: BTreeSet<(NodeId, NodeId)> = base.edges().map(|(_, (u, v))| norm(u, v)).collect();
+    let mut known: BTreeSet<(NodeId, NodeId)> = live.clone();
+    let mut down_nodes: BTreeSet<NodeId> = BTreeSet::new();
+    let max_down = ((config.max_down_fraction * n as f64).floor() as usize).min(n);
+    let mut events = Vec::with_capacity(config.events + n);
+
+    for _ in 0..config.events {
+        // Effective degrees for targeted draws (and the up-link list).
+        let node_up = |x: NodeId| !down_nodes.contains(&x);
+        let up_links: Vec<(NodeId, NodeId)> = live
+            .iter()
+            .copied()
+            .filter(|&(u, v)| node_up(u) && node_up(v))
+            .collect();
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &up_links {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let down_links: Vec<(NodeId, NodeId)> = known
+            .iter()
+            .copied()
+            .filter(|pair| !live.contains(pair))
+            .collect();
+        let up_nodes: Vec<NodeId> = (0..n).filter(|&x| node_up(x)).collect();
+
+        let mut kinds: Vec<(u32, u8)> = Vec::new();
+        if !up_links.is_empty() {
+            kinds.push((config.fail_weight, 0));
+        }
+        if !down_links.is_empty() {
+            kinds.push((config.restore_weight, 1));
+        }
+        if non_adjacent_pair(&up_nodes, &live, &degree, ChurnTargeting::DegreeRanked).is_some() {
+            kinds.push((config.add_weight, 2));
+        }
+        if down_nodes.len() < max_down && !up_nodes.is_empty() {
+            kinds.push((config.crash_weight, 3));
+        }
+        if !down_nodes.is_empty() {
+            kinds.push((config.restore_node_weight, 4));
+        }
+        let total: u32 = kinds.iter().map(|&(w, _)| w).sum();
+        if total == 0 {
+            break;
+        }
+        let mut draw = rng.gen_range(0..total);
+        let kind = kinds
+            .iter()
+            .find(|&&(w, _)| {
+                if draw < w {
+                    true
+                } else {
+                    draw -= w;
+                    false
+                }
+            })
+            .map(|&(_, k)| k)
+            .expect("weights sum to total");
+        match kind {
+            0 => {
+                let (u, v) = match config.targeting {
+                    ChurnTargeting::Random => up_links[rng.gen_range(0..up_links.len())],
+                    ChurnTargeting::DegreeRanked => *up_links
+                        .iter()
+                        .max_by_key(|&&(u, v)| (degree[u] + degree[v], std::cmp::Reverse((u, v))))
+                        .expect("non-empty up links"),
+                };
+                live.remove(&(u, v));
+                events.push(ChurnEvent::FailLink { u, v });
+            }
+            1 => {
+                let (u, v) = down_links[rng.gen_range(0..down_links.len())];
+                live.insert((u, v));
+                events.push(ChurnEvent::RestoreLink { u, v });
+            }
+            2 => {
+                let (u, v) = non_adjacent_pair(&up_nodes, &live, &degree, config.targeting)
+                    .map(|pair| match config.targeting {
+                        ChurnTargeting::Random => {
+                            // Re-draw uniformly: rejection-sample up-node
+                            // pairs, falling back to the scan result.
+                            for _ in 0..4 * n.max(1) {
+                                let a = up_nodes[rng.gen_range(0..up_nodes.len())];
+                                let b = up_nodes[rng.gen_range(0..up_nodes.len())];
+                                if a != b && !live.contains(&norm(a, b)) {
+                                    return norm(a, b);
+                                }
+                            }
+                            pair
+                        }
+                        ChurnTargeting::DegreeRanked => pair,
+                    })
+                    .expect("kind drawn only when a pair exists");
+                live.insert((u, v));
+                known.insert((u, v));
+                events.push(ChurnEvent::AddLink { u, v });
+            }
+            3 => {
+                let node = match config.targeting {
+                    ChurnTargeting::Random => up_nodes[rng.gen_range(0..up_nodes.len())],
+                    ChurnTargeting::DegreeRanked => *up_nodes
+                        .iter()
+                        .max_by_key(|&&x| (degree[x], std::cmp::Reverse(x)))
+                        .expect("non-empty up nodes"),
+                };
+                down_nodes.insert(node);
+                events.push(ChurnEvent::CrashNode { node });
+            }
+            _ => {
+                let downs: Vec<NodeId> = down_nodes.iter().copied().collect();
+                let node = downs[rng.gen_range(0..downs.len())];
+                down_nodes.remove(&node);
+                events.push(ChurnEvent::RestoreNode { node });
+            }
+        }
+    }
+    if config.heal_at_end {
+        for node in down_nodes {
+            events.push(ChurnEvent::RestoreNode { node });
+        }
+        for (u, v) in known.difference(&live) {
+            events.push(ChurnEvent::RestoreLink { u: *u, v: *v });
+        }
+    }
+    events
+}
+
+/// The first non-adjacent up-node pair under `targeting`:
+/// `DegreeRanked` scans pairs by descending degree sum (ties to lowest
+/// ids); `Random` only needs existence, so any pair serves.
+fn non_adjacent_pair(
+    up_nodes: &[NodeId],
+    live: &BTreeSet<(NodeId, NodeId)>,
+    degree: &[usize],
+    targeting: ChurnTargeting,
+) -> Option<(NodeId, NodeId)> {
+    let mut ranked: Vec<NodeId> = up_nodes.to_vec();
+    if targeting == ChurnTargeting::DegreeRanked {
+        ranked.sort_by_key(|&x| (std::cmp::Reverse(degree[x]), x));
+    }
+    for (i, &a) in ranked.iter().enumerate() {
+        for &b in &ranked[i + 1..] {
+            if !live.contains(&norm(a, b)) {
+                return Some(norm(a, b));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn timeline_applies_additions_and_node_churn() {
+        let base = generators::path(4); // 0-1-2-3
+        let events = vec![
+            ChurnEvent::AddLink { u: 0, v: 3 },
+            ChurnEvent::CrashNode { node: 1 },
+            ChurnEvent::RestoreNode { node: 1 },
+            ChurnEvent::FailLink { u: 0, v: 3 },
+            ChurnEvent::RestoreLink { u: 0, v: 3 },
+        ];
+        let steps = churn_timeline(&base, &events).unwrap();
+        assert_eq!(steps.len(), 5);
+        assert_eq!(steps[0].graph.edge_count(), 4);
+        assert!(steps[0].changed);
+        // Node 1 down: edges {0,1} and {1,2} drop out.
+        assert_eq!(steps[1].graph.edge_count(), 2);
+        assert!(steps[1].changed);
+        assert_eq!(steps[2].graph.edge_count(), 4);
+        assert_eq!(steps[3].graph.edge_count(), 3);
+        assert_eq!(steps[4].graph.edge_count(), 4);
+        assert!(steps[4]
+            .graph
+            .edges()
+            .any(|(_, (u, v))| (u.min(v), u.max(v)) == (0, 3)));
+    }
+
+    #[test]
+    fn timeline_rejects_malformed_events() {
+        let base = generators::path(3);
+        assert_eq!(
+            churn_timeline(&base, &[ChurnEvent::AddLink { u: 0, v: 1 }]),
+            Err(SimError::NotAnEdge { u: 0, v: 1 })
+        );
+        assert_eq!(
+            churn_timeline(&base, &[ChurnEvent::FailLink { u: 0, v: 2 }]),
+            Err(SimError::NotAnEdge { u: 0, v: 2 })
+        );
+        assert_eq!(
+            churn_timeline(&base, &[ChurnEvent::CrashNode { node: 9 }]),
+            Err(SimError::NodeOutOfBounds { node: 9 })
+        );
+    }
+
+    #[test]
+    fn schedule_is_seed_deterministic_and_applies() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = generators::gnp_connected(12, 0.3, &mut rng);
+        for targeting in [ChurnTargeting::Random, ChurnTargeting::DegreeRanked] {
+            let config = ChurnConfig {
+                events: 16,
+                targeting,
+                ..ChurnConfig::default()
+            };
+            let a = churn_schedule(&base, &config, &mut StdRng::seed_from_u64(42));
+            let b = churn_schedule(&base, &config, &mut StdRng::seed_from_u64(42));
+            assert_eq!(a, b);
+            assert!(a.iter().any(|e| matches!(e, ChurnEvent::AddLink { .. })));
+            let steps = churn_timeline(&base, &a).unwrap();
+            // heal_at_end: final topology is the base plus surviving adds.
+            let last = steps.last().unwrap();
+            assert!(last.graph.edge_count() >= base.edge_count());
+        }
+    }
+
+    #[test]
+    fn degree_ranked_crash_hits_the_hub() {
+        // Star: node 0 is the hub.
+        let edges: Vec<(usize, usize)> = (1..8).map(|v| (0, v)).collect();
+        let base = Graph::from_edges(8, edges).unwrap();
+        let config = ChurnConfig {
+            events: 1,
+            fail_weight: 0,
+            restore_weight: 0,
+            add_weight: 0,
+            crash_weight: 1,
+            restore_node_weight: 0,
+            targeting: ChurnTargeting::DegreeRanked,
+            max_down_fraction: 0.5,
+            heal_at_end: false,
+        };
+        let events = churn_schedule(&base, &config, &mut StdRng::seed_from_u64(1));
+        assert_eq!(events, vec![ChurnEvent::CrashNode { node: 0 }]);
+    }
+
+    #[test]
+    fn down_fraction_caps_crashes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = generators::gnp_connected(10, 0.4, &mut rng);
+        let config = ChurnConfig {
+            events: 40,
+            fail_weight: 0,
+            restore_weight: 0,
+            add_weight: 0,
+            crash_weight: 1,
+            restore_node_weight: 0,
+            targeting: ChurnTargeting::Random,
+            max_down_fraction: 0.2,
+            heal_at_end: false,
+        };
+        let events = churn_schedule(&base, &config, &mut StdRng::seed_from_u64(9));
+        assert_eq!(events.len(), 2, "20% of 10 nodes = 2 crashes max");
+    }
+}

@@ -31,10 +31,14 @@
 #![warn(missing_docs)]
 
 mod async_sim;
+pub mod churn;
 pub mod fault;
 mod sim;
 
 pub use async_sim::{AsyncReport, AsyncSimulator};
+pub use churn::{
+    churn_schedule, churn_timeline, ChurnConfig, ChurnEvent, ChurnStep, ChurnTargeting,
+};
 pub use fault::{
     audit_forwarding, run_chaos_async, run_chaos_async_obs, run_chaos_sync, run_chaos_sync_obs,
     topology_timeline, Audit, ChaosOptions, EventRecovery, FaultEvent, FaultPlan, FaultSchedule,
