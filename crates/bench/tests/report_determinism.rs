@@ -103,6 +103,19 @@ fn churn_report_is_byte_deterministic() {
     );
 }
 
+/// The multi-algebra bench compiles all twelve served classes into one
+/// process and reports substrate sharing, per-class serving tallies and
+/// the shared-delta repair sizes — all logical quantities, with the
+/// sweep/reconcile wall-clock fields nulled, so the whole report pins.
+#[test]
+fn multi_report_is_byte_deterministic() {
+    pin_report(
+        env!("CARGO_BIN_EXE_multi_bench"),
+        "multi",
+        &[("CPR_BENCH_N", "48"), ("CPR_BENCH_QUERIES", "200")],
+    );
+}
+
 /// The serving bench runs a real daemon on a loopback socket with
 /// closed-loop clients; with timing disabled it serializes swaps
 /// between bursts, so even the per-epoch query counters in the embedded

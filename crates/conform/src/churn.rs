@@ -34,7 +34,7 @@ use crate::shrink::shrink;
 /// Deterministic atom for an edge the churn script synthesizes (the
 /// added non-edge): a splitmix-style hash of the unordered endpoints,
 /// folded into the generator's `0..1000` atom range.
-fn synth_atom(u: NodeId, v: NodeId) -> (u64, u64) {
+pub(crate) fn synth_atom(u: NodeId, v: NodeId) -> (u64, u64) {
     let (a, b) = (u.min(v) as u64, u.max(v) as u64);
     let mut x = a
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)

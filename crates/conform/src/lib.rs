@@ -29,6 +29,13 @@
 //! instance is churned through removal → restore → addition, patched via
 //! the delta oracle instead of rebuilt, and differentially checked
 //! against a fresh scheme after every step ([`fuzz_churn`]).
+//!
+//! The [`multi`] arm certifies *multi-algebra serving*: every class a
+//! [`cpr_plane::MultiPlane`] serves — all eight Table 1 algebras plus
+//! the BGP compositions `B1`–`B4` — is checked hop-for-hop against its
+//! own exhaustive oracle, fresh and after shared-dirty-set repair
+//! ([`check_multi_instance`]), with a polynomial differential arm for
+//! CI-sized graphs ([`check_multi_scale`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +45,7 @@ pub mod churn;
 pub mod engine;
 pub mod fuzz;
 pub mod generate;
+pub mod multi;
 pub mod mutant;
 pub mod repro;
 pub mod shrink;
@@ -50,6 +58,10 @@ pub use engine::{
 };
 pub use fuzz::{fuzz, Failure, FuzzOutcome};
 pub use generate::{generate, GraphFamily, Instance, ALL_FAMILIES};
+pub use multi::{
+    as_graph_for, check_multi_instance, check_multi_scale, standard_builder, standard_classes,
+    topology_weights, MultiClassSpec, BGP_CLASSES, BGP_FAMILY, TABLE1_FAMILY,
+};
 pub use mutant::{classify_mutant, MutantId, ALL_MUTANTS};
 pub use repro::{from_json, to_json, write_repro, REPRO_VERSION};
 pub use shrink::shrink;

@@ -1,0 +1,107 @@
+//! Multi-algebra serving conformance: every class of the standard
+//! [`cpr_conform::standard_builder`] registry — all eight Table 1
+//! algebras plus BGP `B1`–`B4` — differentially certified against its
+//! own exhaustive oracle, fresh and after shared-dirty-set repair, over
+//! every generator family. The classes × families matrix is proven from
+//! the merged report's coverage set, not asserted by counting.
+//!
+//! The CI-sized arm runs the polynomial differential sweep at a node
+//! count the fuzzer never reaches:
+//!
+//! ```text
+//! CPR_MULTI_N=192 cargo test --release -p cpr-conform --test multi_conformance
+//! ```
+
+use cpr_conform::{check_multi_instance, check_multi_scale, generate, standard_classes, Report};
+
+/// `generate` cycles families with the seed, so eight consecutive seeds
+/// visit all eight graph families exactly once.
+const FAMILY_SEEDS: std::ops::Range<u64> = 0..8;
+
+#[test]
+fn every_class_conforms_on_every_family_fresh_and_after_repair() {
+    let mut merged = Report::default();
+    let mut families = Vec::new();
+    for seed in FAMILY_SEEDS {
+        let inst = generate(seed);
+        families.push(inst.family.clone());
+        merged.merge(check_multi_instance(&inst));
+    }
+    assert!(
+        merged.violations.is_empty(),
+        "multi-plane conformance violations:\n{}",
+        merged.render()
+    );
+    assert!(merged.pairs_checked > 0);
+
+    // The coverage matrix: all 12 served classes × all 8 generator
+    // families, read back from the report itself.
+    families.sort();
+    families.dedup();
+    assert_eq!(families.len(), 8, "eight seeds must span eight families");
+    for spec in standard_classes() {
+        for family in &families {
+            let entry = format!("multi:{}:{family}", spec.name);
+            assert!(
+                merged.coverage.contains(&entry),
+                "coverage matrix is missing {entry}; have {:?}",
+                merged.coverage
+            );
+        }
+    }
+}
+
+#[test]
+fn repair_phases_actually_ran_for_cyclic_families() {
+    // Acyclic families carry no heal edge and skip the repair phases;
+    // the cyclic ones must not — otherwise "post-repair conformance"
+    // would silently test nothing.
+    let mut repaired_any = false;
+    for seed in FAMILY_SEEDS {
+        let inst = generate(seed);
+        let report = check_multi_instance(&inst);
+        assert!(report.violations.is_empty(), "{}", report.render());
+        let skipped = report.skips.iter().any(|s| s.starts_with("multi/repair"));
+        if inst.heal_edge.is_some() {
+            assert!(
+                !skipped,
+                "{}: heal edge present but repair skipped",
+                inst.tag()
+            );
+            repaired_any = true;
+        } else {
+            assert!(skipped, "{}: no heal edge but no skip recorded", inst.tag());
+        }
+    }
+    assert!(repaired_any, "some family must exercise the repair phases");
+}
+
+/// The CI gate: hop-for-hop differential conformance of the whole
+/// registry at `CPR_MULTI_N` nodes, across fresh / repaired / restored.
+#[test]
+fn multi_scale_gate() {
+    let Ok(raw) = std::env::var("CPR_MULTI_N") else {
+        eprintln!("skipped: set CPR_MULTI_N=<nodes> to run the multi-plane scale gate");
+        return;
+    };
+    let n: usize = raw.parse().expect("CPR_MULTI_N must be a node count");
+    let report = check_multi_scale(n, 0xC0_2011);
+    assert!(
+        report.violations.is_empty(),
+        "multi-plane scale violations:\n{}",
+        report.render()
+    );
+    for spec in standard_classes() {
+        for phase in ["fresh", "repaired", "restored"] {
+            assert!(report
+                .coverage
+                .contains(&format!("multi-scale:{}:{phase}", spec.name)));
+        }
+    }
+    let n64 = n as u64;
+    assert_eq!(
+        report.pairs_checked,
+        12 * 3 * n64 * (n64 - 1),
+        "every ordered pair, every class, every phase"
+    );
+}

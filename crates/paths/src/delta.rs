@@ -30,6 +30,19 @@
 //! costs), weight ties additionally require `via_hops ≤ old_hops` to
 //! mark the pair, which keeps the affected set sharp.
 //!
+//! # Orientation
+//!
+//! The tracker's reach analysis runs per preferred tree — `(root, v)`
+//! meaning the tree rooted at `root` may change its path to `v` — but
+//! the reported pairs are flipped into *route space*: destination-table
+//! schemes serve the route `s → t` by walking `s` up the one in-tree
+//! rooted at `t` (see `DestTable::build`), so the route pair dirtied by
+//! tree-space `(root, v)` is `(v, root)`. For additions the via-bound
+//! is evaluated over all ordered pairs and is symmetric (commutative
+//! `⊕`, symmetric weights), so the flip only matters for removals,
+//! where a removed edge can cross `tree(t) → s` without crossing
+//! `tree(s) → t` when ties broke differently in the two trees.
+//!
 //! The tracker derives edge weights from a caller-supplied symmetric
 //! `weigh(u, v)` function so re-added edges keep their weights across
 //! arbitrary churn; the algebra's `⊕` must be commutative for the
@@ -86,10 +99,13 @@ pub struct DeltaReport {
     pub removed_edges: usize,
     /// Edges present after the delta but not before.
     pub added_edges: usize,
-    /// Ordered `(source, target)` pairs whose preferred route can
-    /// change, `source != target`.
+    /// Ordered `(source, target)` pairs whose *served* route can
+    /// change, `source != target`. Oriented for destination-rooted
+    /// serving: the route for `(s, t)` is the reversed path of the
+    /// preferred tree rooted at `t`, so `(s, t)` is listed exactly when
+    /// that tree's path to `s` may change.
     pub affected: BTreeSet<(NodeId, NodeId)>,
-    /// Sources whose preferred tree was recomputed (those owning at
+    /// Tree roots whose preferred tree was recomputed (those owning at
     /// least one affected pair).
     pub recomputed_sources: usize,
 }
@@ -193,7 +209,12 @@ where
             return DeltaReport::default();
         }
         let new_weights = materialize(new_graph, &self.weigh);
-        let mut affected: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        // Internal analysis runs in *tree space*: `(root, v)` means the
+        // tree rooted at `root` may change its path to `v`. The report
+        // flips each pair into *route space*: destination tables serve
+        // the route `s → t` as the reversed `tree(t) → s` path, so
+        // tree-space `(root, v)` dirties the served route `(v, root)`.
+        let mut tree_affected: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
 
         // Removal reach: per source, the subtrees hanging below removed
         // tree edges.
@@ -224,7 +245,7 @@ where
                         continue;
                     }
                     seen[v] = true;
-                    affected.insert((s, v));
+                    tree_affected.insert((s, v));
                     broken.extend_from_slice(&children[v]);
                 }
             }
@@ -242,7 +263,7 @@ where
             let wxy = new_weights.weight(e);
             for s in 0..n {
                 for t in 0..n {
-                    if s == t || affected.contains(&(s, t)) {
+                    if s == t || tree_affected.contains(&(s, t)) {
                         continue;
                     }
                     let old_w = self.trees[s].weight(t);
@@ -250,7 +271,7 @@ where
                     if self.via_affects(&tx, &ty, x, y, wxy, s, t, old_w, old_h)
                         || self.via_affects(&ty, &tx, y, x, wxy, s, t, old_w, old_h)
                     {
-                        affected.insert((s, t));
+                        tree_affected.insert((s, t));
                     }
                 }
             }
@@ -260,7 +281,7 @@ where
         // other tree is provably identical to a from-scratch Dijkstra on
         // the new graph.
         let sources: Vec<NodeId> = {
-            let mut out: Vec<NodeId> = affected.iter().map(|&(s, _)| s).collect();
+            let mut out: Vec<NodeId> = tree_affected.iter().map(|&(s, _)| s).collect();
             out.dedup();
             out
         };
@@ -272,6 +293,11 @@ where
         }
         self.graph = new_graph.clone();
         self.weights = new_weights;
+        // Flip into route space for consumers.
+        let affected: BTreeSet<(NodeId, NodeId)> = tree_affected
+            .into_iter()
+            .map(|(root, v)| (v, root))
+            .collect();
         DeltaReport {
             removed_edges: removed.len(),
             added_edges: added.len(),

@@ -16,6 +16,7 @@
 //! ([`PlaneMemory`]) counts every array at its packed width.
 
 use std::fmt;
+use std::sync::Arc;
 
 use cpr_core::fxhash::FxHashMap;
 use cpr_graph::{Graph, NodeId, Port};
@@ -45,7 +46,11 @@ const COMPILE_MIN_GRAIN: usize = 16;
 /// bit widths dictated by the instance (`⌈log₂ degree⌉` ports,
 /// `⌈log₂ headers⌉` header ids) rather than whatever Rust's native types
 /// round up to.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq`/`Eq` compare the logical contents (width, length and
+/// packed words) — the multi-plane substrate dedupe relies on this to
+/// detect byte-identical initial-header tables across algebra classes.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PackedArray {
     width: u32,
     mask: u64,
@@ -199,12 +204,14 @@ pub struct ForwardingPlane {
     entry_width: u32,
     layout: Layout,
     /// `n²` interned initial-header ids; the value `headers` is the
-    /// "unroutable" sentinel.
-    initial: PackedArray,
-    /// CSR row offsets into `nbr`, length `n + 1`.
-    row: Vec<u32>,
+    /// "unroutable" sentinel. `Arc`-shared so a multi-algebra process can
+    /// dedupe byte-identical tables across planes (see `crate::multi`).
+    initial: Arc<PackedArray>,
+    /// CSR row offsets into `nbr`, length `n + 1`. `Arc`-shared: every
+    /// plane compiled against the same topology carries the same CSR.
+    row: Arc<Vec<u32>>,
     /// Neighbor of each `(node, port)` in port order.
-    nbr: Vec<u32>,
+    nbr: Arc<Vec<u32>>,
     scheme_header_bits: u64,
     hop_budget: usize,
     /// [`graph_digest`] of the topology the plane was compiled against.
@@ -873,9 +880,9 @@ where
             header_width,
             entry_width,
             layout,
-            initial,
-            row,
-            nbr,
+            initial: Arc::new(initial),
+            row: Arc::new(row),
+            nbr: Arc::new(nbr),
             scheme_header_bits: scheme.header_bits(),
             hop_budget,
             topology_digest: graph_digest(graph),
@@ -1070,10 +1077,10 @@ impl ForwardingPlane {
             }
         }
         h.packed(&self.initial);
-        for &r in &self.row {
+        for &r in self.row.iter() {
             h.word(u64::from(r));
         }
-        for &v in &self.nbr {
+        for &v in self.nbr.iter() {
             h.word(u64::from(v));
         }
         h.finish()
@@ -1090,7 +1097,34 @@ impl ForwardingPlane {
     /// it costs one pass over the transition arrays — amortize it across
     /// batches; [`serve`](crate::engine::serve) does this once per call.
     pub fn lookup_core(&self) -> crate::engine::LookupCore<'_> {
-        use crate::engine::{CoreLayout, LookupCore, CORE_DELIVER, CORE_INVALID};
+        crate::engine::LookupCore {
+            plane: self,
+            layout: self.core_layout(),
+        }
+    }
+
+    /// Decodes the plane into an owned [`StaticCore`]
+    /// (crate::engine::StaticCore): the same flat struct-of-arrays
+    /// transition tables as [`lookup_core`](Self::lookup_core), but
+    /// holding an `Arc` of the initial-header table instead of borrowing
+    /// the plane — so a serving snapshot can carry the core across
+    /// epochs without lifetimes. The shared `Arc` keeps the clone cheap:
+    /// the `n²` table is referenced, never copied.
+    pub fn static_core(&self) -> crate::engine::StaticCore {
+        crate::engine::StaticCore::new(
+            self.n,
+            self.headers,
+            self.hop_budget,
+            Arc::clone(&self.initial),
+            self.core_layout(),
+        )
+    }
+
+    /// Unpacks the transition layout into the flat pre-resolved
+    /// [`CoreLayout`](crate::engine::CoreLayout) shared by the borrowed
+    /// and owned cores.
+    fn core_layout(&self) -> crate::engine::CoreLayout {
+        use crate::engine::{CoreLayout, CORE_DELIVER, CORE_INVALID};
         assert!(
             (self.n as u64) < u64::from(CORE_INVALID),
             "node ids collide with core sentinels"
@@ -1116,7 +1150,7 @@ impl ForwardingPlane {
                 _ => (CORE_INVALID, 0),
             }
         };
-        let layout = match &self.layout {
+        match &self.layout {
             Layout::Dense(table) => {
                 let slots = n * self.headers;
                 let mut next_node = vec![0u32; slots];
@@ -1158,10 +1192,6 @@ impl ForwardingPlane {
                     next_hid,
                 }
             }
-        };
-        LookupCore {
-            plane: self,
-            layout,
         }
     }
 
@@ -1190,6 +1220,58 @@ impl ForwardingPlane {
             adjacency_bits: (self.row.len() + self.nbr.len()) as u64 * 32,
             scheme_header_bits: self.scheme_header_bits,
         }
+    }
+
+    // ── Multi-plane substrate sharing (see `crate::multi`) ──────────
+
+    /// `Arc` pointer identities of the shareable substrate arrays
+    /// (initial-header table, CSR rows, CSR neighbors). The multi-plane
+    /// memory accounting counts each distinct allocation exactly once.
+    pub(crate) fn substrate_ptrs(&self) -> (usize, usize, usize) {
+        (
+            Arc::as_ptr(&self.initial) as usize,
+            Arc::as_ptr(&self.row) as usize,
+            Arc::as_ptr(&self.nbr) as usize,
+        )
+    }
+
+    /// Redirects this plane's substrate `Arc`s at `canon`'s allocations
+    /// when the contents are identical, dropping the duplicate copies.
+    /// Content equality — not pointer equality — is required, so a
+    /// plane compiled for a *different* topology or with a different
+    /// routability pattern is never aliased. Returns
+    /// `(initial_shared, adjacency_shared)`: whether each substrate now
+    /// aliases `canon`'s allocation.
+    pub(crate) fn share_substrate_with(&mut self, canon: &ForwardingPlane) -> (bool, bool) {
+        let initial_shared = if Arc::ptr_eq(&self.initial, &canon.initial) {
+            true
+        } else if *self.initial == *canon.initial {
+            self.initial = Arc::clone(&canon.initial);
+            true
+        } else {
+            false
+        };
+        let adjacency_shared =
+            if Arc::ptr_eq(&self.row, &canon.row) && Arc::ptr_eq(&self.nbr, &canon.nbr) {
+                true
+            } else if *self.row == *canon.row && *self.nbr == *canon.nbr {
+                self.row = Arc::clone(&canon.row);
+                self.nbr = Arc::clone(&canon.nbr);
+                true
+            } else {
+                false
+            };
+        (initial_shared, adjacency_shared)
+    }
+
+    /// Bits of the initial-header table alone.
+    pub(crate) fn initial_table_bits(&self) -> u64 {
+        self.initial.bits()
+    }
+
+    /// Bits of the CSR adjacency snapshot alone.
+    pub(crate) fn adjacency_table_bits(&self) -> u64 {
+        (self.row.len() + self.nbr.len()) as u64 * 32
     }
 }
 

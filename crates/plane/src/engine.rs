@@ -17,13 +17,14 @@
 //! and — never masked — every failed query with its [`RouteError`].
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cpr_graph::{Graph, NodeId};
 use cpr_paths::HopMatrix;
 use cpr_routing::RouteError;
 
-use crate::compile::{Decision, ForwardingPlane};
+use crate::compile::{Decision, ForwardingPlane, PackedArray};
 
 /// Sentinel in a core's `next_node` slot: deliver here.
 pub(crate) const CORE_DELIVER: u32 = u32::MAX;
@@ -54,7 +55,8 @@ pub struct LookupCore<'p> {
     pub(crate) layout: CoreLayout,
 }
 
-/// Decoded transition storage of a [`LookupCore`].
+/// Decoded transition storage of a [`LookupCore`] or [`StaticCore`].
+#[derive(Clone)]
 pub(crate) enum CoreLayout {
     /// Flat `headers × n` tables indexed by `hid * n + node`.
     Dense {
@@ -68,6 +70,129 @@ pub(crate) enum CoreLayout {
         next_node: Vec<u32>,
         next_hid: Vec<u32>,
     },
+}
+
+impl CoreLayout {
+    /// One decoded transition: `(next node | sentinel, next header id)`.
+    /// Shared by the borrowed [`LookupCore`] and the owned
+    /// [`StaticCore`] so both walk the exact same flat arrays.
+    #[inline(always)]
+    fn step(&self, n: usize, at: u32, hid: u32) -> (u32, u32) {
+        match self {
+            CoreLayout::Dense {
+                next_node,
+                next_hid,
+            } => {
+                let i = (hid as usize) * n + at as usize;
+                (next_node[i], next_hid[i])
+            }
+            CoreLayout::Sparse {
+                offsets,
+                keys,
+                next_node,
+                next_hid,
+            } => {
+                let lo = offsets[at as usize] as usize;
+                let hi = offsets[at as usize + 1] as usize;
+                match keys[lo..hi].binary_search(&hid) {
+                    Ok(k) => (next_node[lo + k], next_hid[lo + k]),
+                    Err(_) => (CORE_INVALID, 0),
+                }
+            }
+        }
+    }
+}
+
+/// An owned, lifetime-free serving core decoded from a
+/// [`ForwardingPlane`] by [`ForwardingPlane::static_core`].
+///
+/// Same flat pre-resolved struct-of-arrays transitions as
+/// [`LookupCore`], but the initial-header table is held through an
+/// `Arc` instead of a borrow of the plane — a multi-algebra serving
+/// snapshot carries one `StaticCore` per traffic class across epoch
+/// swaps without tying the snapshot's lifetime to the master plane.
+/// Walks allocate only the returned path vector; the per-hop decisions
+/// are two sequential `u32` loads, identical to the batched core.
+#[derive(Clone)]
+pub struct StaticCore {
+    n: usize,
+    /// Interned header count; doubles as the "unroutable" sentinel in
+    /// the packed initial table.
+    headers: usize,
+    hop_budget: usize,
+    initial: Arc<PackedArray>,
+    layout: CoreLayout,
+}
+
+impl StaticCore {
+    pub(crate) fn new(
+        n: usize,
+        headers: usize,
+        hop_budget: usize,
+        initial: Arc<PackedArray>,
+        layout: CoreLayout,
+    ) -> Self {
+        StaticCore {
+            n,
+            headers,
+            hop_budget,
+            initial,
+            layout,
+        }
+    }
+
+    /// Node count of the compiled topology.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The interned initial-header id a source attaches for `target`,
+    /// or `None` when the scheme declared the pair unroutable.
+    #[inline]
+    pub fn initial_id(&self, source: NodeId, target: NodeId) -> Option<u32> {
+        let v = self.initial.get(source * self.n + target);
+        if v == self.headers as u64 {
+            None
+        } else {
+            Some(v as u32)
+        }
+    }
+
+    /// Replays `source → target` through the flat core and returns the
+    /// full node sequence — the owned-core analogue of
+    /// [`ForwardingPlane::walk`], byte-identical on every input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`RouteError`]s the plane walk would: an
+    /// unroutable pair (also covering invalid states — the flat core
+    /// collapses bad ports into the invalid sentinel at decode time) or
+    /// hop-budget exhaustion.
+    pub fn walk(&self, source: NodeId, target: NodeId) -> Result<Vec<NodeId>, RouteError> {
+        let Some(mut hid) = self.initial_id(source, target) else {
+            return Err(RouteError::Unroutable { source, target });
+        };
+        let mut at = source as u32;
+        let mut visited = Vec::with_capacity(
+            (4 * (usize::BITS - self.n.leading_zeros()) as usize + 8).min(self.hop_budget + 1),
+        );
+        visited.push(source);
+        loop {
+            let (nn, nh) = self.layout.step(self.n, at, hid);
+            if nn == CORE_DELIVER {
+                return Ok(visited);
+            }
+            if nn >= CORE_INVALID {
+                return Err(RouteError::Unroutable { source, target });
+            }
+            at = nn;
+            hid = nh;
+            visited.push(at as NodeId);
+            if visited.len() > self.hop_budget {
+                return Err(RouteError::HopBudgetExhausted { visited });
+            }
+        }
+    }
 }
 
 /// Reusable per-worker scratch for [`LookupCore::lookup_batch`]: the
@@ -123,29 +248,7 @@ impl<'p> LookupCore<'p> {
     /// One decoded transition: `(next node | sentinel, next header id)`.
     #[inline(always)]
     fn step(&self, at: u32, hid: u32) -> (u32, u32) {
-        let n = self.plane.node_count() as u32;
-        match &self.layout {
-            CoreLayout::Dense {
-                next_node,
-                next_hid,
-            } => {
-                let i = (hid as usize) * (n as usize) + at as usize;
-                (next_node[i], next_hid[i])
-            }
-            CoreLayout::Sparse {
-                offsets,
-                keys,
-                next_node,
-                next_hid,
-            } => {
-                let lo = offsets[at as usize] as usize;
-                let hi = offsets[at as usize + 1] as usize;
-                match keys[lo..hi].binary_search(&hid) {
-                    Ok(k) => (next_node[lo + k], next_hid[lo + k]),
-                    Err(_) => (CORE_INVALID, 0),
-                }
-            }
-        }
+        self.layout.step(self.plane.node_count(), at, hid)
     }
 
     /// Walks every query of `batch` through the core in ascending

@@ -266,6 +266,13 @@ where
         &self.base
     }
 
+    /// Mutable base access for the multi-plane substrate dedupe pass
+    /// (`crate::multi`) — the pass only redirects `Arc`s at
+    /// content-identical allocations, never changes logical state.
+    pub(crate) fn base_mut(&mut self) -> &mut ForwardingPlane {
+        &mut self.base
+    }
+
     /// Cumulative health counters.
     pub fn counters(&self) -> HealthCounters {
         self.counters
@@ -424,7 +431,89 @@ where
             });
         }
         self.counters.epoch += 1;
-        match oracle.affected_pairs(graph) {
+        let affected = oracle.affected_pairs(graph);
+        self.mark_dirty(&affected);
+        self.current_edges = new_edges;
+        self.current_digest = graph_digest(graph);
+        Ok(StaleReport {
+            stale: true,
+            expected_digest,
+            observed_digest: self.current_digest,
+            removed_edges: removed,
+            added_edges: added,
+            dirty_pairs: self.dirty.len(),
+            pending: self.pending(),
+        })
+    }
+
+    /// [`observe_with`](Self::observe_with), with the delta's affected
+    /// pairs supplied directly instead of consulted from an oracle —
+    /// the multi-plane reconcile computes **one** shared dirty set per
+    /// topology delta and distributes it to every algebra class through
+    /// this entry point, so N classes pay one delta analysis, not N.
+    ///
+    /// The caller is responsible for the set's soundness across *all*
+    /// receiving classes: `DirtyPairs::Pairs` is still closed over this
+    /// plane's own forwarding walks (per-class), so a structurally
+    /// sound endpoint set — e.g. `(x, t)` and `(y, t)` for every
+    /// removed edge `(x, y)` and every target `t` — is safe for any
+    /// algebra, while metric-specific bounds are not.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::NodeCountMismatch`] as for
+    /// [`observe`](Self::observe).
+    pub fn observe_with_dirty(
+        &mut self,
+        graph: &Graph,
+        affected: &DirtyPairs,
+    ) -> Result<StaleReport, CompileError> {
+        let n = self.base.node_count();
+        if graph.node_count() != n {
+            return Err(CompileError::NodeCountMismatch {
+                scheme: n,
+                graph: graph.node_count(),
+            });
+        }
+        let new_edges = edge_set(graph);
+        let expected_digest = self.current_digest;
+        let removed: Vec<(NodeId, NodeId)> =
+            self.current_edges.difference(&new_edges).copied().collect();
+        let added: Vec<(NodeId, NodeId)> =
+            new_edges.difference(&self.current_edges).copied().collect();
+        if removed.is_empty() && added.is_empty() {
+            return Ok(StaleReport {
+                stale: false,
+                expected_digest,
+                observed_digest: expected_digest,
+                removed_edges: removed,
+                added_edges: added,
+                dirty_pairs: self.dirty.len(),
+                pending: self.pending(),
+            });
+        }
+        self.counters.epoch += 1;
+        self.mark_dirty(affected);
+        self.current_edges = new_edges;
+        self.current_digest = graph_digest(graph);
+        Ok(StaleReport {
+            stale: true,
+            expected_digest,
+            observed_digest: self.current_digest,
+            removed_edges: removed,
+            added_edges: added,
+            dirty_pairs: self.dirty.len(),
+            pending: self.pending(),
+        })
+    }
+
+    /// Folds an affected-pair set into the dirty set, closing
+    /// `DirtyPairs::Pairs` over this plane's current healed walks (a
+    /// pair `(s, t)` is dirtied when any node on its walk owns an
+    /// affected pair toward `t`).
+    fn mark_dirty(&mut self, affected: &DirtyPairs) {
+        let n = self.base.node_count();
+        match affected {
             DirtyPairs::All => {
                 for s in 0..n {
                     for t in 0..n {
@@ -440,24 +529,13 @@ where
                         if s == t || self.dirty.contains(&(s, t)) {
                             continue;
                         }
-                        if self.walk_touches(s, t, &affected) {
+                        if self.walk_touches(s, t, affected) {
                             self.dirty.insert((s, t));
                         }
                     }
                 }
             }
         }
-        self.current_edges = new_edges;
-        self.current_digest = graph_digest(graph);
-        Ok(StaleReport {
-            stale: true,
-            expected_digest,
-            observed_digest: self.current_digest,
-            removed_edges: removed,
-            added_edges: added,
-            dirty_pairs: self.dirty.len(),
-            pending: self.pending(),
-        })
     }
 
     /// What the current dirty set implies for the next repair pass.
@@ -651,6 +729,44 @@ where
             &[("epoch", cpr_obs::Json::int(self.counters.epoch))],
         );
         self.observe_with(graph, oracle)?;
+        self.repair_marked(scheme, graph, policy, obs, start, &span)
+    }
+
+    /// [`repair_with_obs`](Self::repair_with_obs) without the observe
+    /// step: repairs from the dirty set already accumulated by a prior
+    /// [`observe_with_dirty`](Self::observe_with_dirty) (or
+    /// [`observe`](Self::observe)) call. The patch/rebuild choice and
+    /// obs wiring are identical to `repair_with_obs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`repair`](Self::repair).
+    pub fn repair_observed(
+        &mut self,
+        scheme: &S,
+        graph: &Graph,
+        policy: &RepairPolicy,
+        obs: &cpr_obs::Obs,
+    ) -> Result<RepairStats, CompileError> {
+        let start = Instant::now();
+        let span = obs.span(
+            "heal.repair",
+            &[("epoch", cpr_obs::Json::int(self.counters.epoch))],
+        );
+        self.repair_marked(scheme, graph, policy, obs, start, &span)
+    }
+
+    /// The shared post-observe repair tail: forced-rebuild check, the
+    /// patch-vs-rebuild decision, and obs recording.
+    fn repair_marked(
+        &mut self,
+        scheme: &S,
+        graph: &Graph,
+        policy: &RepairPolicy,
+        obs: &cpr_obs::Obs,
+        start: Instant,
+        span: &cpr_obs::Span<'_>,
+    ) -> Result<RepairStats, CompileError> {
         let n = self.base.node_count();
         let all_pairs = n * n - n;
         let forced = n > 1
@@ -670,7 +786,7 @@ where
         } else {
             self.patch_dirty(scheme, graph)?
         };
-        record_repair_obs(&stats, &span, obs);
+        record_repair_obs(&stats, span, obs);
         if policy.record_budget_ms {
             obs.set_gauge("heal.repair_budget_ms", start.elapsed().as_millis() as i64);
         }

@@ -26,6 +26,10 @@
 //!   repairs only the affected pairs, and falls back to the live scheme
 //!   while repairs are pending — a stale plane degrades loudly, it
 //!   never forwards onto a dead link.
+//! * [`multi`] serves *many* policy classes from one process over one
+//!   shared substrate: `Arc`-deduped initial/adjacency tables, one
+//!   [`HopMatrix`](cpr_paths::HopMatrix), and one shared dirty set per
+//!   topology delta repairing every class ([`MultiPlane`]).
 //!
 //! ```
 //! use cpr_algebra::policies::ShortestPath;
@@ -55,6 +59,7 @@
 pub mod compile;
 pub mod engine;
 pub mod heal;
+pub mod multi;
 pub mod workload;
 
 pub use compile::{
@@ -63,10 +68,14 @@ pub use compile::{
 };
 pub use engine::{
     serve, serve_obs, BatchScratch, BatchStats, EngineConfig, HopOptima, LookupCore, QueryFailure,
-    ServeReport, StretchStats,
+    ServeReport, StaticCore, StretchStats,
 };
 pub use heal::{
     HealthCounters, PendingWork, RepairPolicy, RepairStats, SelfHealingPlane, Served, StaleReport,
+};
+pub use multi::{
+    ClassMemory, ClassPlane, MultiBuilder, MultiMemory, MultiPlane, MultiRepairReport,
+    MultiSnapshot, TypedClassPlane,
 };
 // Delta oracles are defined in `cpr-paths`; re-exported here because the
 // healing APIs above consume them, so plane users (e.g. `cpr-serve`) need

@@ -1,0 +1,798 @@
+//! Multi-algebra serving: many policy classes compiled into one process
+//! over one shared substrate.
+//!
+//! The paper's Table 1 story is about *many* algebras staying compact
+//! simultaneously — QoS classes mapping to widest-shortest vs
+//! shortest-widest, valley-free constraints for inter-domain pairs. A
+//! [`MultiPlane`] holds one compiled [`SelfHealingPlane`] per *traffic
+//! class* (a named scheme × algebra combination), all built against the
+//! **same** topology, and makes the sharing explicit:
+//!
+//! * the CSR adjacency snapshot and the `n²` initial-header table of
+//!   every plane are `Arc`-backed ([`ForwardingPlane`]); after
+//!   compilation a dedupe pass aliases content-identical tables across
+//!   classes, so e.g. all eight Table 1 destination-table classes carry
+//!   **one** initial table and **one** adjacency snapshot between them;
+//! * one [`HopMatrix`] serves every class (hop optima depend on the
+//!   topology, not the algebra);
+//! * one topology delta produces **one** shared dirty set
+//!   ([`SelfHealingPlane::observe_with_dirty`]) distributed to every
+//!   class — N classes pay one delta analysis per churn event, not N.
+//!
+//! [`MultiMemory`] reports the honest bit accounting both ways —
+//! substrate counted once ([`MultiMemory::multi_total_bits`]) vs. the
+//! sum of independently deployed planes
+//! ([`MultiMemory::independent_total_bits`]) — which is the number the
+//! multi-tenant claim rests on, pinned by tests and `BENCH_multi.json`.
+//!
+//! The shared dirty set is deliberately *structural*, never
+//! metric-specific: for an edge-removal delta it contains `(x, t)` and
+//! `(y, t)` for every removed edge `(x, y)` and every target `t`, which
+//! is sound for **any** algebra (a walk crossing the edge visits an
+//! endpoint, so the per-class walk closure catches it; a removal never
+//! makes an unroutable pair routable). Any edge *addition* falls back to
+//! [`DirtyPairs::All`]: addition bounds are metric-specific
+//! (`cpr_paths::DeltaTracker` reasons about one algebra's via-weights)
+//! and unsound to share across classes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use cpr_graph::{Graph, NodeId};
+use cpr_paths::{DirtyPairs, HopMatrix};
+use cpr_routing::{RouteError, RoutingScheme};
+
+use crate::compile::{graph_digest, CompileError, ForwardingPlane};
+use crate::engine::StaticCore;
+use crate::heal::{
+    HealthCounters, RepairPolicy, RepairStats, SelfHealingPlane, Served, StaleReport,
+};
+
+/// One served traffic class: a self-healing plane plus the scheme
+/// factory that rebuilds its live scheme when the topology moves.
+///
+/// Object-safe so a [`MultiPlane`] can mix header types — Table 1
+/// destination tables (`Header = NodeId`) and BGP state tables
+/// (`Header = BgpHeader`) live in one `Vec<Box<dyn ClassPlane>>`.
+pub trait ClassPlane: Send + Sync {
+    /// Registry name of the class (e.g. `"widest-shortest"`, `"bgp-b2"`).
+    fn class_name(&self) -> &str;
+
+    /// The compiled base plane.
+    fn base(&self) -> &ForwardingPlane;
+
+    /// Mutable base access for the substrate dedupe pass.
+    fn base_mut(&mut self) -> &mut ForwardingPlane;
+
+    /// Read-only healed lookup (`&self`, shareable across serving
+    /// threads), against the class's *current* scheme and `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelfHealingPlane::lookup`].
+    fn lookup(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<(Vec<NodeId>, Served), RouteError>;
+
+    /// Folds a precomputed shared dirty set into this class's healing
+    /// state and — when the topology actually moved — rebuilds the live
+    /// scheme from the factory for the new graph.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelfHealingPlane::observe_with_dirty`].
+    fn observe_dirty(
+        &mut self,
+        graph: &Graph,
+        affected: &DirtyPairs,
+    ) -> Result<StaleReport, CompileError>;
+
+    /// Repairs from the dirty set accumulated by
+    /// [`observe_dirty`](Self::observe_dirty).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelfHealingPlane::repair_observed`].
+    fn repair(
+        &mut self,
+        graph: &Graph,
+        policy: &RepairPolicy,
+        obs: &cpr_obs::Obs,
+    ) -> Result<RepairStats, CompileError>;
+
+    /// Pairs awaiting repair.
+    fn dirty_pairs(&self) -> usize;
+
+    /// Live patch-layer entries overriding the base arrays.
+    fn patch_entries(&self) -> usize;
+
+    /// Content digest of the class's base plane
+    /// ([`ForwardingPlane::digest`]).
+    fn digest(&self) -> u64;
+
+    /// Topology epoch of the class's healing state.
+    fn epoch(&self) -> u64;
+
+    /// Cumulative health counters.
+    fn counters(&self) -> HealthCounters;
+
+    /// An owned zero-alloc serving core — `Some` only when the base
+    /// plane is current for `graph` and nothing overrides it (no patch
+    /// entries, no dirty pairs), because the flat core bypasses the
+    /// patch layer entirely.
+    fn serving_core(&self, graph: &Graph) -> Option<StaticCore>;
+
+    /// Clones the class for an immutable serving snapshot.
+    fn clone_box(&self) -> Box<dyn ClassPlane>;
+}
+
+/// The concrete [`ClassPlane`] for any scheme type: a name, a scheme
+/// factory (so topology changes can rebuild the live scheme), the
+/// current scheme, and the self-healing compiled plane.
+pub struct TypedClassPlane<S: RoutingScheme> {
+    name: String,
+    factory: Arc<dyn Fn(&Graph) -> S + Send + Sync>,
+    scheme: S,
+    healing: SelfHealingPlane<S>,
+}
+
+impl<S> TypedClassPlane<S>
+where
+    S: RoutingScheme + Clone + Send + Sync + 'static,
+    S::Header: Send + Sync,
+{
+    /// Builds the scheme from `factory` and compiles it over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] of the underlying compile.
+    pub fn new(
+        name: impl Into<String>,
+        graph: &Graph,
+        factory: impl Fn(&Graph) -> S + Send + Sync + 'static,
+    ) -> Result<Self, CompileError> {
+        let factory: Arc<dyn Fn(&Graph) -> S + Send + Sync> = Arc::new(factory);
+        let scheme = factory(graph);
+        let healing = SelfHealingPlane::new(&scheme, graph)?;
+        Ok(TypedClassPlane {
+            name: name.into(),
+            factory,
+            scheme,
+            healing,
+        })
+    }
+
+    /// The class's current live scheme.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// The class's healing state.
+    pub fn healing(&self) -> &SelfHealingPlane<S> {
+        &self.healing
+    }
+}
+
+impl<S> ClassPlane for TypedClassPlane<S>
+where
+    S: RoutingScheme + Clone + Send + Sync + 'static,
+    S::Header: Send + Sync,
+{
+    fn class_name(&self) -> &str {
+        &self.name
+    }
+
+    fn base(&self) -> &ForwardingPlane {
+        self.healing.base()
+    }
+
+    fn base_mut(&mut self) -> &mut ForwardingPlane {
+        self.healing.base_mut()
+    }
+
+    fn lookup(
+        &self,
+        graph: &Graph,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<(Vec<NodeId>, Served), RouteError> {
+        self.healing.lookup(&self.scheme, graph, source, target)
+    }
+
+    fn observe_dirty(
+        &mut self,
+        graph: &Graph,
+        affected: &DirtyPairs,
+    ) -> Result<StaleReport, CompileError> {
+        let report = self.healing.observe_with_dirty(graph, affected)?;
+        if report.stale {
+            // The live scheme must match the topology it falls back to
+            // and re-traces dirty pairs against.
+            self.scheme = (self.factory)(graph);
+        }
+        Ok(report)
+    }
+
+    fn repair(
+        &mut self,
+        graph: &Graph,
+        policy: &RepairPolicy,
+        obs: &cpr_obs::Obs,
+    ) -> Result<RepairStats, CompileError> {
+        self.healing
+            .repair_observed(&self.scheme, graph, policy, obs)
+    }
+
+    fn dirty_pairs(&self) -> usize {
+        self.healing.dirty_pairs()
+    }
+
+    fn patch_entries(&self) -> usize {
+        self.healing.patch_entries()
+    }
+
+    fn digest(&self) -> u64 {
+        self.healing.base().digest()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.healing.epoch()
+    }
+
+    fn counters(&self) -> HealthCounters {
+        self.healing.counters()
+    }
+
+    fn serving_core(&self, graph: &Graph) -> Option<StaticCore> {
+        if self.healing.base().is_current_for(graph)
+            && self.healing.patch_entries() == 0
+            && self.healing.dirty_pairs() == 0
+        {
+            Some(self.healing.base().static_core())
+        } else {
+            None
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ClassPlane> {
+        Box::new(TypedClassPlane {
+            name: self.name.clone(),
+            factory: Arc::clone(&self.factory),
+            scheme: self.scheme.clone(),
+            healing: self.healing.clone(),
+        })
+    }
+}
+
+/// Deferred class registrations for [`MultiPlane::build`]: each entry
+/// compiles one class against the graph handed to `build`.
+#[derive(Default)]
+pub struct MultiBuilder {
+    #[allow(clippy::type_complexity)]
+    factories: Vec<Box<dyn FnOnce(&Graph) -> Result<Box<dyn ClassPlane>, CompileError>>>,
+}
+
+impl MultiBuilder {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MultiBuilder::default()
+    }
+
+    /// Registers a class under `name`: `factory` builds the scheme for
+    /// any topology (fresh compile *and* later churn rebuilds). Classes
+    /// are served in registration order — the wire protocol's traffic
+    /// class `k` is the `k`-th registration.
+    pub fn class<S>(
+        mut self,
+        name: impl Into<String>,
+        factory: impl Fn(&Graph) -> S + Send + Sync + 'static,
+    ) -> Self
+    where
+        S: RoutingScheme + Clone + Send + Sync + 'static,
+        S::Header: Send + Sync,
+    {
+        let name = name.into();
+        self.factories.push(Box::new(move |graph| {
+            Ok(Box::new(TypedClassPlane::new(name, graph, factory)?) as Box<dyn ClassPlane>)
+        }));
+        self
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// `true` when no class is registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+/// Outcome of one [`MultiPlane::reconcile`] pass: the shared delta
+/// analysis plus every class's own [`RepairStats`].
+#[derive(Clone, Debug)]
+pub struct MultiRepairReport {
+    /// Multi-plane epoch after the pass.
+    pub epoch: u64,
+    /// Edges removed by the delta.
+    pub removed_edges: usize,
+    /// Edges added by the delta.
+    pub added_edges: usize,
+    /// `"none"` (no delta), `"pairs"` (structural endpoint set) or
+    /// `"all"` (additions present — every pair dirty, metric-specific
+    /// addition bounds are unsound to share across algebras).
+    pub strategy: &'static str,
+    /// Ordered pairs in the shared dirty set (`n·(n−1)` under `"all"`).
+    pub shared_dirty_pairs: usize,
+    /// Per-class repair outcomes, in class order.
+    pub class_stats: Vec<(String, RepairStats)>,
+}
+
+/// Shared-substrate accounting of one class inside [`MultiMemory`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassMemory {
+    /// Registry name.
+    pub name: String,
+    /// Bits private to the class (transition arrays).
+    pub transition_bits: u64,
+    /// Bits of the class's initial-header table.
+    pub initial_bits: u64,
+    /// `true` when the initial table aliases an earlier class's
+    /// allocation (costs zero additional bits in the multi plane).
+    pub initial_shared: bool,
+    /// `true` when the CSR adjacency aliases an earlier class's
+    /// allocation.
+    pub adjacency_shared: bool,
+}
+
+/// Honest bit accounting of a [`MultiPlane`], both ways: substrate
+/// counted once (the multi-tenant process) vs. summed per class
+/// (independent deployments).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiMemory {
+    /// Served classes.
+    pub classes: usize,
+    /// Node count.
+    pub nodes: usize,
+    /// Total bits of the multi plane: every class's transition arrays,
+    /// each **distinct** initial-table / adjacency allocation counted
+    /// once, plus one shared [`HopMatrix`].
+    pub multi_total_bits: u64,
+    /// What the same classes would cost as independent single-class
+    /// processes: per-class plane totals plus a [`HopMatrix`] each.
+    pub independent_total_bits: u64,
+    /// Distinct initial-header-table allocations across classes.
+    pub distinct_initial_tables: usize,
+    /// Distinct CSR adjacency allocations across classes.
+    pub distinct_adjacency_tables: usize,
+    /// Bits of the one shared hop matrix.
+    pub hop_matrix_bits: u64,
+    /// Per-class breakdown, in class order.
+    pub per_class: Vec<ClassMemory>,
+}
+
+impl MultiMemory {
+    /// Multi-plane bytes per node.
+    pub fn multi_bytes_per_node(&self) -> f64 {
+        self.multi_total_bits as f64 / 8.0 / self.nodes as f64
+    }
+
+    /// Independent-deployment bytes per node.
+    pub fn independent_bytes_per_node(&self) -> f64 {
+        self.independent_total_bits as f64 / 8.0 / self.nodes as f64
+    }
+
+    /// Fraction of the independent footprint saved by sharing.
+    pub fn savings_fraction(&self) -> f64 {
+        if self.independent_total_bits == 0 {
+            0.0
+        } else {
+            1.0 - self.multi_total_bits as f64 / self.independent_total_bits as f64
+        }
+    }
+}
+
+impl fmt::Display for MultiMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} classes over n={}: {} KiB shared vs {} KiB independent \
+             ({:.1}% saved; {} initial tables, {} adjacency tables)",
+            self.classes,
+            self.nodes,
+            self.multi_total_bits / 8192,
+            self.independent_total_bits / 8192,
+            self.savings_fraction() * 100.0,
+            self.distinct_initial_tables,
+            self.distinct_adjacency_tables,
+        )
+    }
+}
+
+/// One clone of a class inside a [`MultiSnapshot`], with the optional
+/// zero-alloc fast path.
+struct SnapshotClass {
+    plane: Box<dyn ClassPlane>,
+    /// `Some` only when the class's base plane is pristine for the
+    /// snapshot topology — the flat core bypasses the patch layer, so a
+    /// degraded class always serves through the healed walk instead.
+    core: Option<StaticCore>,
+}
+
+/// An immutable multi-class serving snapshot, cloned from the master
+/// [`MultiPlane`] RCU-style: serving threads share `&MultiSnapshot`
+/// while the master keeps absorbing churn.
+pub struct MultiSnapshot {
+    epoch: u64,
+    digest: u64,
+    graph: Graph,
+    classes: Vec<SnapshotClass>,
+}
+
+impl MultiSnapshot {
+    /// Multi-plane epoch the snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// [`graph_digest`] of the snapshot topology.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The snapshot topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Served classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Registry name of class `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range.
+    pub fn class_name(&self, class: usize) -> &str {
+        self.classes[class].plane.class_name()
+    }
+
+    /// Whether class `class` currently serves through its zero-alloc
+    /// flat core (pristine base) rather than the healed walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range.
+    pub fn class_on_core(&self, class: usize) -> bool {
+        self.classes[class].core.is_some()
+    }
+
+    /// `true` when no class has pairs awaiting repair — published
+    /// snapshots always are, because the multi reconcile repairs every
+    /// class before the swap.
+    pub fn is_fresh(&self) -> bool {
+        self.classes.iter().all(|c| c.plane.dirty_pairs() == 0)
+    }
+
+    /// Routes `source → target` in traffic class `class`: through the
+    /// class's flat [`StaticCore`] when its base plane is pristine,
+    /// otherwise through the healed patch-over-base walk with live-edge
+    /// checks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelfHealingPlane::lookup`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range — the serving layer validates
+    /// the wire-supplied class id before calling.
+    pub fn lookup(
+        &self,
+        class: usize,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<(Vec<NodeId>, Served), RouteError> {
+        let c = &self.classes[class];
+        match &c.core {
+            Some(core) => core.walk(source, target).map(|p| (p, Served::Compiled)),
+            None => c.plane.lookup(&self.graph, source, target),
+        }
+    }
+}
+
+/// All traffic classes of one process, compiled over one topology with
+/// the substrate shared; see the module docs for the sharing contract.
+pub struct MultiPlane {
+    graph: Graph,
+    digest: u64,
+    hops: Arc<HopMatrix>,
+    classes: Vec<Box<dyn ClassPlane>>,
+    epoch: u64,
+}
+
+impl MultiPlane {
+    /// Compiles every registered class over `graph`, dedupes the
+    /// substrate allocations across classes and computes the one shared
+    /// hop matrix.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CompileError`] of any class compile.
+    pub fn build(graph: &Graph, builder: MultiBuilder) -> Result<Self, CompileError> {
+        let mut classes = Vec::with_capacity(builder.factories.len());
+        for f in builder.factories {
+            classes.push(f(graph)?);
+        }
+        dedupe_substrate(&mut classes);
+        Ok(MultiPlane {
+            graph: graph.clone(),
+            digest: graph_digest(graph),
+            hops: Arc::new(HopMatrix::compute(graph)),
+            classes,
+            epoch: 0,
+        })
+    }
+
+    /// The topology every class currently serves.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// [`graph_digest`] of the served topology.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Multi-plane epoch: number of completed reconcile passes that
+    /// found a delta.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared hop matrix (BFS optima of the served topology).
+    pub fn hops(&self) -> &Arc<HopMatrix> {
+        &self.hops
+    }
+
+    /// Served classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The classes, in registration (= wire traffic-class) order.
+    pub fn classes(&self) -> impl Iterator<Item = &dyn ClassPlane> {
+        self.classes.iter().map(|c| c.as_ref())
+    }
+
+    /// Index of the class registered under `name`.
+    pub fn class_index(&self, name: &str) -> Option<usize> {
+        self.classes.iter().position(|c| c.class_name() == name)
+    }
+
+    /// Read-only healed lookup in class `class` against the current
+    /// topology.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelfHealingPlane::lookup`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range.
+    pub fn lookup(
+        &self,
+        class: usize,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<(Vec<NodeId>, Served), RouteError> {
+        self.classes[class].lookup(&self.graph, source, target)
+    }
+
+    /// Diffs `graph` against the served topology and, on any change,
+    /// repairs **every** class from one shared dirty set: removals
+    /// produce the structural endpoint set (sound for any algebra),
+    /// additions force [`DirtyPairs::All`]. After the per-class repairs
+    /// the substrate is re-deduped (a rebuild re-allocates a class's
+    /// tables) and the shared hop matrix is recomputed once.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CompileError`] of any class's observe or repair.
+    pub fn reconcile(
+        &mut self,
+        graph: &Graph,
+        policy: &RepairPolicy,
+        obs: &cpr_obs::Obs,
+    ) -> Result<MultiRepairReport, CompileError> {
+        let n = self.graph.node_count();
+        let old_edges: BTreeSet<(NodeId, NodeId)> = self
+            .graph
+            .edges()
+            .map(|(_, (u, v))| (u.min(v), u.max(v)))
+            .collect();
+        let new_edges: BTreeSet<(NodeId, NodeId)> = graph
+            .edges()
+            .map(|(_, (u, v))| (u.min(v), u.max(v)))
+            .collect();
+        let removed: Vec<(NodeId, NodeId)> = old_edges.difference(&new_edges).copied().collect();
+        let added: Vec<(NodeId, NodeId)> = new_edges.difference(&old_edges).copied().collect();
+        if removed.is_empty() && added.is_empty() && graph.node_count() == n {
+            return Ok(MultiRepairReport {
+                epoch: self.epoch,
+                removed_edges: 0,
+                added_edges: 0,
+                strategy: "none",
+                shared_dirty_pairs: 0,
+                class_stats: Vec::new(),
+            });
+        }
+        let (dirty, strategy) = if !added.is_empty() {
+            (DirtyPairs::All, "all")
+        } else {
+            let mut pairs = BTreeSet::new();
+            for &(x, y) in &removed {
+                for t in 0..graph.node_count() {
+                    if t != x {
+                        pairs.insert((x, t));
+                    }
+                    if t != y {
+                        pairs.insert((y, t));
+                    }
+                }
+            }
+            (DirtyPairs::Pairs(pairs), "pairs")
+        };
+        let shared_dirty_pairs = match &dirty {
+            DirtyPairs::All => graph.node_count() * graph.node_count().saturating_sub(1),
+            DirtyPairs::Pairs(p) => p.len(),
+        };
+        let mut class_stats = Vec::with_capacity(self.classes.len());
+        for class in &mut self.classes {
+            class.observe_dirty(graph, &dirty)?;
+            let stats = class.repair(graph, policy, obs)?;
+            class_stats.push((class.class_name().to_string(), stats));
+        }
+        dedupe_substrate(&mut self.classes);
+        self.graph = graph.clone();
+        self.digest = graph_digest(graph);
+        self.hops = Arc::new(HopMatrix::compute(graph));
+        self.epoch += 1;
+        obs.event(
+            "multi.reconcile",
+            &[
+                ("epoch", cpr_obs::Json::int(self.epoch as i64)),
+                ("classes", cpr_obs::Json::int(self.classes.len() as i64)),
+                ("removed", cpr_obs::Json::int(removed.len() as i64)),
+                ("added", cpr_obs::Json::int(added.len() as i64)),
+                (
+                    "shared_dirty",
+                    cpr_obs::Json::int(shared_dirty_pairs as i64),
+                ),
+            ],
+        );
+        Ok(MultiRepairReport {
+            epoch: self.epoch,
+            removed_edges: removed.len(),
+            added_edges: added.len(),
+            strategy,
+            shared_dirty_pairs,
+            class_stats,
+        })
+    }
+
+    /// Clones every class into an immutable [`MultiSnapshot`], attaching
+    /// a zero-alloc [`StaticCore`] to each class whose base plane is
+    /// pristine for the current topology.
+    pub fn snapshot(&self) -> MultiSnapshot {
+        MultiSnapshot {
+            epoch: self.epoch,
+            digest: self.digest,
+            graph: self.graph.clone(),
+            classes: self
+                .classes
+                .iter()
+                .map(|c| SnapshotClass {
+                    core: c.serving_core(&self.graph),
+                    plane: c.clone_box(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The shared-substrate bit accounting; see [`MultiMemory`].
+    pub fn memory(&self) -> MultiMemory {
+        let hop_matrix_bits = self.hops.bytes() as u64 * 8;
+        let mut seen_initial = BTreeSet::new();
+        let mut seen_adjacency = BTreeSet::new();
+        let mut multi_total_bits = hop_matrix_bits;
+        let mut independent_total_bits = 0u64;
+        let mut per_class = Vec::with_capacity(self.classes.len());
+        for class in &self.classes {
+            let base = class.base();
+            let mem = base.memory();
+            independent_total_bits += mem.total_bits() + hop_matrix_bits;
+            multi_total_bits += mem.transition_bits;
+            let (initial_ptr, row_ptr, nbr_ptr) = base.substrate_ptrs();
+            let initial_new = seen_initial.insert(initial_ptr);
+            if initial_new {
+                multi_total_bits += base.initial_table_bits();
+            }
+            let adjacency_new = seen_adjacency.insert((row_ptr, nbr_ptr));
+            if adjacency_new {
+                multi_total_bits += base.adjacency_table_bits();
+            }
+            per_class.push(ClassMemory {
+                name: class.class_name().to_string(),
+                transition_bits: mem.transition_bits,
+                initial_bits: mem.initial_bits,
+                initial_shared: !initial_new,
+                adjacency_shared: !adjacency_new,
+            });
+        }
+        MultiMemory {
+            classes: self.classes.len(),
+            nodes: self.graph.node_count(),
+            multi_total_bits,
+            independent_total_bits,
+            distinct_initial_tables: seen_initial.len(),
+            distinct_adjacency_tables: seen_adjacency.len(),
+            hop_matrix_bits,
+            per_class,
+        }
+    }
+
+    /// Records per-class health into `obs` under
+    /// `multi.class.{name}.*` gauges.
+    pub fn record_health(&self, obs: &cpr_obs::Obs) {
+        for class in &self.classes {
+            let name = class.class_name();
+            let c = class.counters();
+            obs.set_gauge(
+                &format!("multi.class.{name}.dirty_pairs"),
+                class.dirty_pairs() as i64,
+            );
+            obs.set_gauge(
+                &format!("multi.class.{name}.patch_entries"),
+                class.patch_entries() as i64,
+            );
+            obs.set_gauge(
+                &format!("multi.class.{name}.full_rebuilds"),
+                c.full_rebuilds as i64,
+            );
+            obs.set_gauge(
+                &format!("multi.class.{name}.incremental_repairs"),
+                c.incremental_repairs as i64,
+            );
+        }
+    }
+}
+
+/// Aliases content-identical substrate allocations across classes: each
+/// class after the first redirects its initial-table / adjacency `Arc`s
+/// at the earliest class holding equal contents. Content equality is
+/// checked, never assumed — a class whose routability differs keeps its
+/// own table.
+fn dedupe_substrate(classes: &mut [Box<dyn ClassPlane>]) {
+    for i in 1..classes.len() {
+        let (head, tail) = classes.split_at_mut(i);
+        let cur = tail[0].base_mut();
+        let mut initial_done = false;
+        let mut adjacency_done = false;
+        for canon in head.iter() {
+            let (ini, adj) = cur.share_substrate_with(canon.base());
+            initial_done |= ini;
+            adjacency_done |= adj;
+            if initial_done && adjacency_done {
+                break;
+            }
+        }
+    }
+}

@@ -37,8 +37,19 @@ pub struct DestTable {
 
 impl DestTable {
     /// Builds the tables by running the generalized Dijkstra from every
-    /// node — in parallel across sources (`CPR_THREADS`). The algebra must
-    /// be regular for the result to implement the policy (Proposition 2).
+    /// *destination* — in parallel across destinations (`CPR_THREADS`).
+    /// The algebra must be regular for the result to implement the
+    /// policy (Proposition 2).
+    ///
+    /// Every node's port towards `t` is its parent edge in the one
+    /// in-tree rooted at `t`, never a hop of its own source tree. The
+    /// distinction matters exactly when monotonicity is non-strict
+    /// (widest-path, usable-path): equally-preferred cycles exist, and
+    /// two source trees can break the tie in conflicting directions —
+    /// node `u` preferring via `v` while `v` prefers via `u` — weaving
+    /// a forwarding loop. Hops along one shared in-tree cannot cycle.
+    /// Path weights are direction-independent here because every
+    /// Table 1 carrier composes commutatively over undirected edges.
     pub fn build<A: RoutingAlgebra + Sync>(
         graph: &Graph,
         weights: &EdgeWeights<A::W>,
@@ -47,13 +58,23 @@ impl DestTable {
     where
         A::W: Send + Sync,
     {
-        let table = cpr_core::par::par_map_indexed(graph.node_count(), |u| {
-            let tree = dijkstra(graph, weights, alg, u);
+        let n = graph.node_count();
+        let per_target = cpr_core::par::par_map_indexed(n, |t| {
+            let tree = dijkstra(graph, weights, alg, t);
             graph
                 .nodes()
-                .map(|t| tree.first_hop(graph, t).map(|(_, port)| port))
-                .collect()
+                .map(|u| {
+                    tree.parent(u).map(|(parent, _)| {
+                        graph
+                            .port_towards(u, parent)
+                            .expect("tree edge must exist in the graph")
+                    })
+                })
+                .collect::<Vec<Option<Port>>>()
         });
+        let table = (0..n)
+            .map(|u| (0..n).map(|t| per_target[t][u]).collect())
+            .collect();
         DestTable {
             name: format!("dest-table[{}]", alg.name()),
             table,
@@ -138,7 +159,7 @@ impl RoutingScheme for DestTable {
 mod tests {
     use super::*;
     use crate::scheme::{route, MemoryReport};
-    use cpr_algebra::policies::{ShortestPath, WidestPath};
+    use cpr_algebra::policies::{Capacity, ShortestPath, WidestPath};
     use cpr_algebra::{PathWeight, RoutingAlgebra};
     use cpr_graph::generators;
     use rand::SeedableRng;
@@ -183,6 +204,40 @@ mod tests {
                 assert_eq!(
                     WidestPath.compare_pw(&got, ap.weight(s, t)),
                     std::cmp::Ordering::Equal
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn widest_path_tie_cycles_cannot_loop() {
+        // Capacities drawn from a tiny range force equal-width ties all
+        // over the graph. Widest-path is only non-strictly monotone, so
+        // per-source trees can break such ties in conflicting
+        // directions (u via v, v via u) and weave a forwarding loop —
+        // the per-destination in-tree construction cannot. Every pair
+        // must route without exhausting the hop budget, at the
+        // preferred width.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x71E_100B);
+        let g = generators::barabasi_albert(192, 2, &mut rng);
+        let w = EdgeWeights::from_fn(&g, |e| {
+            let (u, v) = g.endpoints(e);
+            Capacity::new((u as u64 * 31 + v as u64) % 4 + 1).unwrap()
+        });
+        let scheme = DestTable::build(&g, &w, &WidestPath);
+        let ap = cpr_paths::AllPairs::compute(&g, &w, &WidestPath);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t {
+                    continue;
+                }
+                let path = route(&scheme, &g, s, t)
+                    .unwrap_or_else(|e| panic!("{s} → {t} failed to route: {e:?}"));
+                let got = w.path_weight(&WidestPath, &g, &path);
+                assert_eq!(
+                    WidestPath.compare_pw(&got, ap.weight(s, t)),
+                    std::cmp::Ordering::Equal,
+                    "{s} → {t}: delivered width diverges from preferred"
                 );
             }
         }

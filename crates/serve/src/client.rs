@@ -97,20 +97,44 @@ impl RouteClient {
         }
     }
 
-    /// Routes one pair; returns the serving epoch and the outcome.
+    /// Routes one pair in the default traffic class (0); returns the
+    /// serving epoch and the outcome.
     ///
     /// # Errors
     ///
     /// [`ClientError`] on wire failure or an `Error` frame.
     pub fn lookup(&mut self, source: u32, target: u32) -> Result<(u64, RouteOutcome), ClientError> {
-        match self.call(&Request::Lookup { source, target })? {
+        self.lookup_class(source, target, 0)
+    }
+
+    /// Routes one pair in traffic class `class` (which served algebra
+    /// answers — see `cpr_plane::multi`); returns the serving epoch and
+    /// the outcome. Class 0 emits the legacy frame shape.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on wire failure or an `Error` frame — in
+    /// particular an `ERR_PROTO` server error when `class` is outside
+    /// the server's registry.
+    pub fn lookup_class(
+        &mut self,
+        source: u32,
+        target: u32,
+        class: u8,
+    ) -> Result<(u64, RouteOutcome), ClientError> {
+        match self.call(&Request::Lookup {
+            source,
+            target,
+            class,
+        })? {
             Response::Route { epoch, outcome } => Ok((epoch, outcome)),
             other => Err(Self::reject(other, "route reply")),
         }
     }
 
-    /// Routes a batch against one consistent epoch; returns the epoch
-    /// and per-pair outcomes in request order.
+    /// Routes a batch in the default traffic class (0) against one
+    /// consistent epoch; returns the epoch and per-pair outcomes in
+    /// request order.
     ///
     /// # Errors
     ///
@@ -119,7 +143,23 @@ impl RouteClient {
         &mut self,
         pairs: Vec<(u32, u32)>,
     ) -> Result<(u64, Vec<RouteOutcome>), ClientError> {
-        match self.call(&Request::Batch { pairs })? {
+        self.batch_class(pairs, 0)
+    }
+
+    /// Routes a batch in traffic class `class` against one consistent
+    /// epoch; returns the epoch and per-pair outcomes in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on wire failure or an `Error` frame — in
+    /// particular an `ERR_PROTO` server error when `class` is outside
+    /// the server's registry.
+    pub fn batch_class(
+        &mut self,
+        pairs: Vec<(u32, u32)>,
+        class: u8,
+    ) -> Result<(u64, Vec<RouteOutcome>), ClientError> {
+        match self.call(&Request::Batch { pairs, class })? {
             Response::Batch { epoch, outcomes } => Ok((epoch, outcomes)),
             other => Err(Self::reject(other, "batch reply")),
         }

@@ -58,11 +58,13 @@
 pub mod client;
 pub mod epoch;
 pub mod loadgen;
+pub mod multi;
 pub mod proto;
 pub mod server;
 
 pub use client::{ClientError, RouteClient};
 pub use epoch::{EpochCell, PlaneEpoch};
 pub use loadgen::{run_load, Answer, LoadConfig, LoadReport};
+pub use multi::{MultiRouteService, MultiSwapReport};
 pub use proto::{ProtoError, Request, Response, RouteOutcome, StatsSnapshot};
-pub use server::{RouteServer, RouteService, ServeConfig, SwapReport};
+pub use server::{RouteServer, RouteService, ServeBackend, ServeConfig, SwapReport};

@@ -1,0 +1,368 @@
+//! The multi-algebra serving backend: every registered traffic class
+//! answered from one process, one socket, one epoch cell.
+//!
+//! [`MultiRouteService`] is the multi-class sibling of
+//! [`RouteService`](crate::RouteService): the master
+//! [`MultiPlane`](cpr_plane::MultiPlane) sits behind a mutex (control
+//! path), an immutable [`MultiSnapshot`](cpr_plane::MultiSnapshot)
+//! behind the same [`EpochCell`] the single-class daemon uses (data
+//! path), and [`reconcile`](MultiRouteService::reconcile) repairs
+//! **all** classes from one shared dirty set before publishing a new
+//! epoch with one atomic swap. The wire protocol's traffic-class byte
+//! selects the class per Lookup/Batch; a class outside the registry is
+//! answered with [`ERR_PROTO`], never remapped.
+//!
+//! Queries route through each class's zero-alloc
+//! [`StaticCore`](cpr_plane::StaticCore) whenever the class's base
+//! plane is pristine for the serving topology (the snapshot attaches
+//! the core at swap time), and through the healed patch-over-base walk
+//! otherwise — identical answers, pinned by the conformance suite.
+//!
+//! Per-class observability: every query increments
+//! `serve.class.{name}.queries` plus one of `.delivered`,
+//! `.unroutable`, `.failed`, and delivered hop counts land in the
+//! `serve.class.{name}.hops` histogram.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use cpr_graph::Graph;
+use cpr_obs::{Json, Obs};
+use cpr_plane::multi::MultiRepairReport;
+use cpr_plane::{CompileError, MultiBuilder, MultiPlane, MultiSnapshot, RepairPolicy};
+use cpr_routing::RouteError;
+
+use crate::epoch::EpochCell;
+use crate::proto::{Request, Response, RouteOutcome, StatsSnapshot, ERR_BAD_REQUEST, ERR_PROTO};
+use crate::server::{ServeBackend, ServeConfig};
+
+/// What one [`MultiRouteService::reconcile`] call did.
+#[derive(Clone, Debug)]
+pub struct MultiSwapReport {
+    /// Whether a new epoch was published.
+    pub swapped: bool,
+    /// Serving epoch after the call.
+    pub epoch: u64,
+    /// Serving topology digest after the call.
+    pub digest: u64,
+    /// The shared-delta repair pass, when one ran.
+    pub repair: Option<MultiRepairReport>,
+}
+
+/// The multi-class serving state; see the module docs.
+pub struct MultiRouteService {
+    config: ServeConfig,
+    master: Mutex<MultiPlane>,
+    cell: EpochCell<MultiSnapshot>,
+    obs: Obs,
+    /// Registry names in class order, cached so the data path never
+    /// locks the master.
+    class_names: Vec<String>,
+    queries: AtomicU64,
+    delivered: AtomicU64,
+    unroutable: AtomicU64,
+    failed: AtomicU64,
+    swaps: AtomicU64,
+    epoch_queries: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl MultiRouteService {
+    /// Compiles every registered class over `graph` (substrate shared;
+    /// see [`MultiPlane::build`]) and wires up epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CompileError`] of any class compile.
+    pub fn new(
+        graph: &Graph,
+        builder: MultiBuilder,
+        config: ServeConfig,
+        obs: Obs,
+    ) -> Result<Self, CompileError> {
+        let master = MultiPlane::build(graph, builder)?;
+        let class_names: Vec<String> = master
+            .classes()
+            .map(|c| c.class_name().to_string())
+            .collect();
+        let snapshot = master.snapshot();
+        obs.set_gauge("serve.epoch", 0);
+        obs.set_gauge("serve.classes", class_names.len() as i64);
+        Ok(MultiRouteService {
+            config,
+            master: Mutex::new(master),
+            cell: EpochCell::new(Arc::new(snapshot)),
+            obs,
+            class_names,
+            queries: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            unroutable: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            epoch_queries: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The observability context the service records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Served classes, in wire traffic-class order.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// The current serving snapshot.
+    pub fn current(&self) -> Arc<MultiSnapshot> {
+        self.cell.load()
+    }
+
+    /// The shared-substrate bit accounting of the master plane
+    /// ([`MultiPlane::memory`]). Locks the control path; not for the
+    /// query path.
+    pub fn memory(&self) -> cpr_plane::MultiMemory {
+        self.master
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .memory()
+    }
+
+    /// The control path: diff `graph` against the served topology and,
+    /// on any delta, repair **every** class from one shared dirty set
+    /// ([`MultiPlane::reconcile`]) off the serving path, then publish a
+    /// new snapshot with one atomic swap. Serving continues on the old
+    /// epoch for the entire repair.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] from any class's observe or repair. On
+    /// error nothing is published — the old epoch keeps serving.
+    pub fn reconcile(
+        &self,
+        graph: &Graph,
+        policy: &RepairPolicy,
+    ) -> Result<MultiSwapReport, CompileError> {
+        let started = Instant::now();
+        let mut master = self.master.lock().unwrap_or_else(PoisonError::into_inner);
+        let repair = master.reconcile(graph, policy, &self.obs)?;
+        if repair.strategy == "none" {
+            return Ok(MultiSwapReport {
+                swapped: false,
+                epoch: master.epoch(),
+                digest: master.digest(),
+                repair: None,
+            });
+        }
+        master.record_health(&self.obs);
+        let snapshot = master.snapshot();
+        let epoch = snapshot.epoch();
+        let digest = snapshot.digest();
+        drop(master);
+        self.cell.store(Arc::new(snapshot));
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr("serve.swaps");
+        self.obs.set_gauge("serve.epoch", epoch as i64);
+        // Swap latency is wall-clock: tracer only, never the registry.
+        self.obs.event(
+            "serve.multi_swap",
+            &[
+                ("epoch", Json::int(epoch)),
+                ("classes", Json::int(repair.class_stats.len())),
+                ("strategy", Json::str(repair.strategy)),
+                ("shared_dirty", Json::int(repair.shared_dirty_pairs)),
+                ("micros", Json::int(started.elapsed().as_micros())),
+            ],
+        );
+        Ok(MultiSwapReport {
+            swapped: true,
+            epoch,
+            digest,
+            repair: Some(repair),
+        })
+    }
+
+    fn class_of(&self, class: u8) -> Result<usize, Response> {
+        let idx = class as usize;
+        if idx >= self.class_names.len() {
+            self.obs.incr("serve.proto_errors");
+            return Err(Response::Error {
+                code: ERR_PROTO,
+                message: format!(
+                    "traffic class {class} out of range: {} classes served",
+                    self.class_names.len()
+                ),
+            });
+        }
+        Ok(idx)
+    }
+
+    fn route_one(
+        &self,
+        snap: &MultiSnapshot,
+        class: usize,
+        source: u32,
+        target: u32,
+    ) -> RouteOutcome {
+        let name = &self.class_names[class];
+        let n = snap.graph().node_count();
+        if source as usize >= n || target as usize >= n {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            self.obs.incr(&format!("serve.class.{name}.failed"));
+            return RouteOutcome::Failed(format!(
+                "node id out of range: ({source}, {target}) on {n} nodes"
+            ));
+        }
+        if source == target {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            self.obs.incr(&format!("serve.class.{name}.delivered"));
+            self.obs.record(&format!("serve.class.{name}.hops"), 0);
+            return RouteOutcome::Path(vec![source]);
+        }
+        match snap.lookup(class, source as usize, target as usize) {
+            Ok((path, _served)) => {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                self.obs.incr(&format!("serve.class.{name}.delivered"));
+                self.obs.record(
+                    &format!("serve.class.{name}.hops"),
+                    path.len().saturating_sub(1) as u64,
+                );
+                RouteOutcome::Path(path.into_iter().map(|v| v as u32).collect())
+            }
+            Err(RouteError::Unroutable { .. }) => {
+                self.unroutable.fetch_add(1, Ordering::Relaxed);
+                self.obs.incr(&format!("serve.class.{name}.unroutable"));
+                RouteOutcome::Unroutable
+            }
+            Err(e) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                self.obs.incr(&format!("serve.class.{name}.failed"));
+                RouteOutcome::Failed(e.to_string())
+            }
+        }
+    }
+
+    fn count_queries(&self, epoch: u64, class: usize, n: u64) {
+        self.queries.fetch_add(n, Ordering::Relaxed);
+        *self
+            .epoch_queries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(epoch)
+            .or_insert(0) += n;
+        self.obs.add("serve.queries", n);
+        self.obs.add(
+            &format!("serve.class.{}.queries", self.class_names[class]),
+            n,
+        );
+        self.obs.add(&format!("serve.queries.epoch.{epoch}"), n);
+    }
+
+    /// The data path: answer one decoded request. Epoch consistency is
+    /// per request — a batch is answered entirely against the snapshot
+    /// loaded at its start, and the response carries that epoch.
+    pub fn answer(&self, request: &Request) -> Response {
+        match request {
+            Request::Lookup {
+                source,
+                target,
+                class,
+            } => {
+                let class = match self.class_of(*class) {
+                    Ok(c) => c,
+                    Err(resp) => return resp,
+                };
+                let snap = self.cell.load();
+                self.count_queries(snap.epoch(), class, 1);
+                Response::Route {
+                    epoch: snap.epoch(),
+                    outcome: self.route_one(&snap, class, *source, *target),
+                }
+            }
+            Request::Batch { pairs, class } => {
+                let class = match self.class_of(*class) {
+                    Ok(c) => c,
+                    Err(resp) => return resp,
+                };
+                if pairs.len() > self.config.max_batch as usize {
+                    return Response::Error {
+                        code: ERR_BAD_REQUEST,
+                        message: format!(
+                            "batch of {} pairs exceeds cap of {}",
+                            pairs.len(),
+                            self.config.max_batch
+                        ),
+                    };
+                }
+                let snap = self.cell.load();
+                self.count_queries(snap.epoch(), class, pairs.len() as u64);
+                Response::Batch {
+                    epoch: snap.epoch(),
+                    outcomes: pairs
+                        .iter()
+                        .map(|&(s, t)| self.route_one(&snap, class, s, t))
+                        .collect(),
+                }
+            }
+            Request::Health => {
+                let snap = self.cell.load();
+                Response::Health {
+                    epoch: snap.epoch(),
+                    digest: snap.digest(),
+                    fresh: snap.is_fresh(),
+                }
+            }
+            Request::Metrics => {
+                let snap = self.cell.load();
+                Response::Metrics {
+                    epoch: snap.epoch(),
+                    json: self.obs.registry.render_json().to_compact(),
+                }
+            }
+            Request::Stats => Response::Stats(self.stats()),
+        }
+    }
+
+    /// The fixed-layout counters served by the `Stats` opcode,
+    /// aggregated across classes (per-class splits live in the metrics
+    /// registry under `serve.class.{name}.*`).
+    pub fn stats(&self) -> StatsSnapshot {
+        let snap = self.cell.load();
+        StatsSnapshot {
+            epoch: snap.epoch(),
+            digest: snap.digest(),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            unroutable: self.unroutable.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            epoch_queries: self
+                .epoch_queries
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(&e, &q)| (e, q))
+                .collect(),
+        }
+    }
+}
+
+impl ServeBackend for MultiRouteService {
+    fn config(&self) -> &ServeConfig {
+        MultiRouteService::config(self)
+    }
+
+    fn obs(&self) -> &Obs {
+        MultiRouteService::obs(self)
+    }
+
+    fn answer(&self, request: &Request) -> Response {
+        MultiRouteService::answer(self, request)
+    }
+}

@@ -12,8 +12,8 @@
 //!
 //! | opcode | direction | payload |
 //! |---|---|---|
-//! | `0x01` Lookup  | → | `u32 source, u32 target` |
-//! | `0x02` Batch   | → | `u32 count, count × (u32 source, u32 target)` |
+//! | `0x01` Lookup  | → | `u32 source, u32 target[, u8 class]` |
+//! | `0x02` Batch   | → | `u32 count, count × (u32 source, u32 target)[, u8 class]` |
 //! | `0x03` Health  | → | empty |
 //! | `0x04` Metrics | → | empty |
 //! | `0x05` Stats   | → | empty |
@@ -31,6 +31,19 @@
 //! The `epoch` carried by every response is the serving epoch the
 //! answer was computed against — the client-visible face of the
 //! RCU-style hot swap (see [`crate::epoch`]).
+//!
+//! ## Traffic classes
+//!
+//! Lookup and Batch carry an optional trailing `u8` *traffic class*
+//! selecting which served algebra answers the query (a multi-algebra
+//! server compiles all Table 1 policies plus the BGP compositions into
+//! one process; see `cpr_plane::multi`). The byte is strictly optional
+//! and strictly trailing: a frame **without** it — every frame an older
+//! client emits — decodes to class `0`, and the encoder omits the byte
+//! for class `0`, so class-0 traffic is byte-identical to the legacy
+//! protocol in both directions. A class id outside the server's
+//! registry is answered with an [`ERR_PROTO`] error frame, never
+//! silently remapped.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -130,11 +143,17 @@ pub enum Request {
         source: u32,
         /// Target node id.
         target: u32,
+        /// Traffic class: which served algebra answers. `0` is the
+        /// default class and encodes without the trailing byte (legacy
+        /// frame shape).
+        class: u8,
     },
     /// Route a batch of pairs against one consistent epoch.
     Batch {
         /// The pairs, answered in order.
         pairs: Vec<(u32, u32)>,
+        /// Traffic class for every pair of the batch; `0` = default.
+        class: u8,
     },
     /// Liveness + freshness probe.
     Health,
@@ -297,17 +316,27 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Request::Lookup { source, target } => {
+            Request::Lookup {
+                source,
+                target,
+                class,
+            } => {
                 out.push(OP_LOOKUP);
                 put_u32(&mut out, *source);
                 put_u32(&mut out, *target);
+                if *class != 0 {
+                    out.push(*class);
+                }
             }
-            Request::Batch { pairs } => {
+            Request::Batch { pairs, class } => {
                 out.push(OP_BATCH);
                 put_u32(&mut out, pairs.len() as u32);
                 for &(s, t) in pairs {
                     put_u32(&mut out, s);
                     put_u32(&mut out, t);
+                }
+                if *class != 0 {
+                    out.push(*class);
                 }
             }
             Request::Health => out.push(OP_HEALTH),
@@ -326,10 +355,23 @@ impl Request {
         let mut c = Cursor::new(body);
         let op = c.u8("opcode")?;
         let req = match op {
-            OP_LOOKUP => Request::Lookup {
-                source: c.u32("lookup source")?,
-                target: c.u32("lookup target")?,
-            },
+            OP_LOOKUP => {
+                let source = c.u32("lookup source")?;
+                let target = c.u32("lookup target")?;
+                // Exactly one trailing byte is the traffic class; its
+                // absence (a legacy frame) means class 0. Anything else
+                // trailing is rejected by `finish` below.
+                let class = if c.remaining() == 1 {
+                    c.u8("lookup class")?
+                } else {
+                    0
+                };
+                Request::Lookup {
+                    source,
+                    target,
+                    class,
+                }
+            }
             OP_BATCH => {
                 let count = c.u32("batch count")? as usize;
                 if count.saturating_mul(8) > c.remaining() {
@@ -341,7 +383,12 @@ impl Request {
                 for _ in 0..count {
                     pairs.push((c.u32("batch source")?, c.u32("batch target")?));
                 }
-                Request::Batch { pairs }
+                let class = if c.remaining() == 1 {
+                    c.u8("batch class")?
+                } else {
+                    0
+                };
+                Request::Batch { pairs, class }
             }
             OP_HEALTH => Request::Health,
             OP_METRICS => Request::Metrics,
@@ -650,17 +697,66 @@ mod tests {
             Request::Lookup {
                 source: 3,
                 target: 999,
+                class: 0,
+            },
+            Request::Lookup {
+                source: 3,
+                target: 999,
+                class: 7,
             },
             Request::Batch {
                 pairs: vec![(0, 1), (7, 2)],
+                class: 0,
             },
-            Request::Batch { pairs: vec![] },
+            Request::Batch {
+                pairs: vec![(0, 1), (7, 2)],
+                class: 255,
+            },
+            Request::Batch {
+                pairs: vec![],
+                class: 0,
+            },
             Request::Health,
             Request::Metrics,
             Request::Stats,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn class_zero_is_byte_identical_to_legacy_and_legacy_decodes_to_class_zero() {
+        // Encoder: class 0 emits exactly the legacy frame shape.
+        let body = Request::Lookup {
+            source: 1,
+            target: 2,
+            class: 0,
+        }
+        .encode();
+        assert_eq!(body.len(), 9); // opcode + 2 × u32, no class byte
+                                   // Decoder: a hand-built legacy frame (no class byte) is class 0.
+        let mut legacy = vec![OP_LOOKUP];
+        legacy.extend_from_slice(&7u32.to_le_bytes());
+        legacy.extend_from_slice(&9u32.to_le_bytes());
+        assert_eq!(
+            Request::decode(&legacy).unwrap(),
+            Request::Lookup {
+                source: 7,
+                target: 9,
+                class: 0
+            }
+        );
+        let mut legacy_batch = vec![OP_BATCH];
+        legacy_batch.extend_from_slice(&1u32.to_le_bytes());
+        legacy_batch.extend_from_slice(&3u32.to_le_bytes());
+        legacy_batch.extend_from_slice(&4u32.to_le_bytes());
+        assert_eq!(
+            Request::decode(&legacy_batch).unwrap(),
+            Request::Batch {
+                pairs: vec![(3, 4)],
+                class: 0
+            }
+        );
     }
 
     #[test]

@@ -60,6 +60,23 @@ impl Default for ServeConfig {
     }
 }
 
+/// Anything a [`RouteServer`] can serve: the connection workers only
+/// need limits, an obs registry, and a data path. [`RouteService`]
+/// (one scheme × one algebra) and
+/// [`MultiRouteService`](crate::MultiRouteService) (every registered
+/// traffic class) both implement it, so the same accept loop, framing
+/// and error handling serve either.
+pub trait ServeBackend: Send + Sync {
+    /// The configured limits.
+    fn config(&self) -> &ServeConfig;
+
+    /// The observability context the backend records into.
+    fn obs(&self) -> &Obs;
+
+    /// The data path: answer one decoded request.
+    fn answer(&self, request: &Request) -> Response;
+}
+
 /// What one [`RouteService::reconcile`] call did.
 #[derive(Clone, Debug)]
 pub struct SwapReport {
@@ -305,8 +322,20 @@ where
     /// per request — a batch is answered entirely against the snapshot
     /// loaded at its start, and the response carries that epoch.
     pub fn answer(&self, request: &Request) -> Response {
+        // This backend serves exactly one algebra: traffic class 0. Any
+        // other class is a protocol error, mirroring the multi-class
+        // backend's out-of-range answer.
+        if let Request::Lookup { class, .. } | Request::Batch { class, .. } = request {
+            if *class != 0 {
+                self.obs.incr("serve.proto_errors");
+                return Response::Error {
+                    code: ERR_PROTO,
+                    message: format!("traffic class {class} out of range: 1 class served"),
+                };
+            }
+        }
         match request {
-            Request::Lookup { source, target } => {
+            Request::Lookup { source, target, .. } => {
                 let ep = self.cell.load();
                 self.count_queries(ep.epoch(), 1);
                 Response::Route {
@@ -314,7 +343,7 @@ where
                     outcome: self.route_one(&ep, *source, *target),
                 }
             }
-            Request::Batch { pairs } => {
+            Request::Batch { pairs, .. } => {
                 if pairs.len() > self.config.max_batch as usize {
                     return Response::Error {
                         code: ERR_BAD_REQUEST,
@@ -376,27 +405,44 @@ where
     }
 }
 
-/// The TCP daemon: a non-blocking accept loop that hands each
-/// connection to a scoped worker thread. Workers poll the shared stop
-/// flag between (timed-out) reads, so [`run`](Self::run) returns — with
-/// every worker joined — shortly after the flag is raised.
-pub struct RouteServer<S: RoutingScheme> {
-    service: Arc<RouteService<S>>,
-    listener: TcpListener,
-    stop: Arc<AtomicBool>,
-}
-
-impl<S> RouteServer<S>
+impl<S> ServeBackend for RouteService<S>
 where
     S: RoutingScheme + Clone + Send + Sync,
     S::Header: Send + Sync,
 {
+    fn config(&self) -> &ServeConfig {
+        RouteService::config(self)
+    }
+
+    fn obs(&self) -> &Obs {
+        RouteService::obs(self)
+    }
+
+    fn answer(&self, request: &Request) -> Response {
+        RouteService::answer(self, request)
+    }
+}
+
+/// The TCP daemon: a non-blocking accept loop that hands each
+/// connection to a scoped worker thread. Workers poll the shared stop
+/// flag between (timed-out) reads, so [`run`](Self::run) returns — with
+/// every worker joined — shortly after the flag is raised. Generic over
+/// the [`ServeBackend`]: a single-class [`RouteService`] and a
+/// multi-class [`MultiRouteService`](crate::MultiRouteService) share
+/// this exact loop.
+pub struct RouteServer<B: ServeBackend> {
+    service: Arc<B>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl<B: ServeBackend> RouteServer<B> {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
     ///
     /// # Errors
     ///
     /// Any I/O error from binding or configuring the listener.
-    pub fn bind(service: Arc<RouteService<S>>, addr: &str) -> io::Result<Self> {
+    pub fn bind(service: Arc<B>, addr: &str) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(RouteServer {
@@ -421,7 +467,7 @@ where
     }
 
     /// The serving state, shared with the accept loop.
-    pub fn service(&self) -> &Arc<RouteService<S>> {
+    pub fn service(&self) -> &Arc<B> {
         &self.service
     }
 
@@ -442,7 +488,7 @@ where
                 Ok((stream, _peer)) => {
                     let service = Arc::clone(&self.service);
                     let stop = Arc::clone(&self.stop);
-                    scope.spawn(move || handle_connection(&service, stream, &stop));
+                    scope.spawn(move || handle_connection(&*service, stream, &stop));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(1));
@@ -520,11 +566,7 @@ fn read_frame_polling(
 /// the stop flag is raised, or the peer violates the protocol (which is
 /// answered with a best-effort `Error` frame and a close — never a
 /// panic, never a poisoned worker).
-fn handle_connection<S>(service: &RouteService<S>, mut stream: TcpStream, stop: &AtomicBool)
-where
-    S: RoutingScheme + Clone + Send + Sync,
-    S::Header: Send + Sync,
-{
+fn handle_connection<B: ServeBackend>(service: &B, mut stream: TcpStream, stop: &AtomicBool) {
     let config = *service.config();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));

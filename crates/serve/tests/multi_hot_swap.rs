@@ -1,0 +1,343 @@
+//! The multi-class hot-swap guarantee under live fire: a client hammers
+//! all twelve served traffic classes over the socket while the control
+//! plane drives a storm of shared-delta reconciles (removals and
+//! re-additions), and every answer is audited after the fact:
+//!
+//! * **zero dropped** — every query got an answer, on every class;
+//! * **zero stale answers on any class** — epochs stamped on answers
+//!   are monotone, every answer is hop-for-hop equal to a replica
+//!   [`MultiPlane`] driven through the *identical* reconcile sequence
+//!   (repair is deterministic, so the replica's per-epoch snapshots are
+//!   exactly what the service must serve), and every delivered hop is a
+//!   live edge of its own epoch's topology — so no class ever serves a
+//!   route from a topology that is no longer published;
+//! * **post-swap convergence** — after the final swap, a drain burst
+//!   over every class answers entirely at the final epoch and matches
+//!   the replica's final snapshot.
+//!
+//! A freshly *rebuilt* plane would be the wrong oracle here: a pair
+//! outside a partial patch's shared dirty closure legitimately keeps
+//! its old route, which can be an equally-preferred tie-break sibling
+//! of a fresh compile's choice. Route *optimality* on healed state is
+//! the conform crate's multi arm; this test owns the serving claims.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cpr_conform::standard_builder;
+use cpr_graph::{generators, Graph, NodeId};
+use cpr_plane::{MultiPlane, RepairPolicy};
+use cpr_routing::RouteError;
+use cpr_serve::{MultiRouteService, RouteClient, RouteOutcome, RouteServer, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0xC0FF_EE00_0009;
+const N: usize = 20;
+const CLASSES: usize = 12;
+
+struct Recorded {
+    epoch: u64,
+    class: u8,
+    source: usize,
+    target: usize,
+    outcome: RouteOutcome,
+}
+
+/// Waits until `counter` reaches at least `target` so every published
+/// epoch demonstrably serves live queries on live classes before the
+/// next swap.
+fn wait_progress(counter: &AtomicU64, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while counter.load(Ordering::Relaxed) < target {
+        assert!(
+            Instant::now() < deadline,
+            "client made no progress; server wedged?"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Edges whose removal keeps `graph` connected, in edge order.
+fn non_bridges(graph: &Graph) -> Vec<(NodeId, NodeId)> {
+    graph
+        .edges()
+        .filter_map(|(e, uv)| {
+            let kept = graph.edges().filter(|&(i, _)| i != e).map(|(_, p)| p);
+            let g = Graph::from_edges(graph.node_count(), kept).expect("edge subset is valid");
+            cpr_graph::traversal::is_connected(&g).then_some(uv)
+        })
+        .collect()
+}
+
+fn without_edge(graph: &Graph, drop: (NodeId, NodeId)) -> Graph {
+    let (u, v) = drop;
+    Graph::from_edges(
+        graph.node_count(),
+        graph
+            .edges()
+            .map(|(_, uv)| uv)
+            .filter(|&uv| uv != (u, v) && uv != (v, u)),
+    )
+    .expect("edge subset is well-formed")
+}
+
+/// The published state of one epoch: its topology and the replica
+/// control plane's snapshot after the identical reconcile sequence.
+struct EpochState {
+    graph: Graph,
+    snap: cpr_plane::MultiSnapshot,
+}
+
+fn audit(recorded: &[Recorded], epochs: &HashMap<u64, EpochState>) {
+    for r in recorded {
+        let state = epochs
+            .get(&r.epoch)
+            .expect("answers only carry published epochs");
+        let expect = state.snap.lookup(r.class as usize, r.source, r.target);
+        match (&r.outcome, expect) {
+            (RouteOutcome::Path(path), Ok((expect, _))) => {
+                let got: Vec<usize> = path.iter().map(|&v| v as usize).collect();
+                assert_eq!(
+                    got, expect,
+                    "epoch {} class {} answer for ({}, {}) diverged from the replica",
+                    r.epoch, r.class, r.source, r.target
+                );
+                for hop in got.windows(2) {
+                    assert!(
+                        state.graph.edge_between(hop[0], hop[1]).is_some(),
+                        "epoch {} class {} ({}, {}): answer crosses edge {hop:?} \
+                         that epoch's topology does not have",
+                        r.epoch,
+                        r.class,
+                        r.source,
+                        r.target
+                    );
+                }
+            }
+            (RouteOutcome::Unroutable, Err(RouteError::Unroutable { .. })) => {}
+            (outcome, expect) => panic!(
+                "epoch {} class {} ({}, {}): answer {outcome:?} vs replica {expect:?}",
+                r.epoch, r.class, r.source, r.target
+            ),
+        }
+    }
+}
+
+#[test]
+fn swap_storm_never_serves_stale_on_any_class() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let g0 = generators::gnp_connected(N, 0.25, &mut rng);
+
+    // The storm: alternate removing a (different) non-bridge edge and
+    // restoring it — the "pairs" and "all" repair strategies in turn.
+    let removable = non_bridges(&g0);
+    assert!(removable.len() >= 4, "seed must leave enough cycle edges");
+    let mut storm: Vec<Graph> = Vec::new();
+    for &edge in removable.iter().take(4) {
+        storm.push(without_edge(&g0, edge));
+        storm.push(g0.clone());
+    }
+
+    let service = Arc::new(
+        MultiRouteService::new(
+            &g0,
+            standard_builder(),
+            ServeConfig::default(),
+            cpr_obs::Obs::with_null_tracer(),
+        )
+        .expect("multi compile"),
+    );
+    assert_eq!(service.class_names().len(), CLASSES);
+    let server = RouteServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = server.stop_handle();
+
+    let answered = AtomicU64::new(0);
+    let storm_done = AtomicBool::new(false);
+    let policy = RepairPolicy {
+        max_dirty_fraction: 1.0,
+        ..RepairPolicy::default()
+    };
+
+    // The audit replica: an identically registered control plane driven
+    // through the identical reconcile sequence. Repair is deterministic,
+    // so its snapshot at each epoch is exactly the service's published
+    // state.
+    let obs = cpr_obs::Obs::with_null_tracer();
+    let mut replica = MultiPlane::build(&g0, standard_builder()).expect("replica compile");
+    let mut epochs: HashMap<u64, EpochState> = HashMap::new();
+    epochs.insert(
+        0,
+        EpochState {
+            graph: g0.clone(),
+            snap: replica.snapshot(),
+        },
+    );
+
+    let (recorded, swaps) = std::thread::scope(|scope| {
+        let server_handle = scope.spawn(|| server.run());
+
+        // The client: stream lookups round-robin across all classes,
+        // recording every answer with its stamped epoch and class.
+        let client_handle = scope.spawn(|| {
+            let mut client = RouteClient::connect(addr).expect("connect");
+            let mut rng = StdRng::seed_from_u64(SEED ^ 0xA5A5);
+            let mut recorded = Vec::new();
+            let mut next_class = 0usize;
+            while !storm_done.load(Ordering::Relaxed) {
+                for _ in 0..16 {
+                    let s = rng.gen_range(0..N);
+                    let t = rng.gen_range(0..N);
+                    if s == t {
+                        continue;
+                    }
+                    let class = (next_class % CLASSES) as u8;
+                    next_class += 1;
+                    let (epoch, outcome) = client
+                        .lookup_class(s as u32, t as u32, class)
+                        .expect("lookup");
+                    recorded.push(Recorded {
+                        epoch,
+                        class,
+                        source: s,
+                        target: t,
+                        outcome,
+                    });
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            recorded
+        });
+
+        // The control plane: one shared-delta reconcile per storm step;
+        // all twelve classes repair from one dirty set per swap.
+        let mut swaps = 0u64;
+        for target in &storm {
+            let report = service.reconcile(target, &policy).expect("reconcile");
+            assert!(report.swapped, "a changed step must publish a new epoch");
+            let repair = report.repair.as_ref().expect("swap carries its repair");
+            assert_eq!(
+                repair.class_stats.len(),
+                CLASSES,
+                "every class must repair on every swap"
+            );
+            swaps += 1;
+            assert_eq!(report.epoch, swaps);
+            replica
+                .reconcile(target, &policy, &obs)
+                .expect("replica reconcile");
+            epochs.insert(
+                report.epoch,
+                EpochState {
+                    graph: target.clone(),
+                    snap: replica.snapshot(),
+                },
+            );
+            // Land queries across the class round-robin on this epoch.
+            wait_progress(
+                &answered,
+                answered.load(Ordering::Relaxed) + 2 * CLASSES as u64,
+            );
+        }
+        storm_done.store(true, Ordering::Relaxed);
+        let recorded = client_handle.join().expect("client thread");
+        stop.store(true, Ordering::Relaxed);
+        server_handle.join().expect("server thread").unwrap();
+        (recorded, swaps)
+    });
+
+    assert_eq!(swaps, storm.len() as u64);
+    assert!(
+        recorded.len() as u64 >= swaps * 2 * CLASSES as u64,
+        "client recorded too few answers"
+    );
+
+    // Zero dropped, zero failed — on any class.
+    let stats = service.stats();
+    assert_eq!(stats.queries, recorded.len() as u64);
+    assert_eq!(stats.failed, 0, "no class may fail a query mid-swap");
+    assert_eq!(
+        stats.delivered + stats.unroutable,
+        stats.queries,
+        "every answer is a delivery or an honest unroutable"
+    );
+    assert_eq!(stats.swaps, swaps);
+    assert_eq!(
+        stats.epoch_queries.iter().map(|&(_, q)| q).sum::<u64>(),
+        stats.queries,
+        "per-epoch counts partition the total"
+    );
+
+    // Every class was genuinely under fire across the storm.
+    let mut per_class = [0u64; CLASSES];
+    for r in &recorded {
+        per_class[r.class as usize] += 1;
+    }
+    for (class, &count) in per_class.iter().enumerate() {
+        assert!(
+            count >= swaps,
+            "class {class} saw only {count} queries across {swaps} swaps"
+        );
+    }
+
+    // Epochs never go backwards, and the tail reaches the final epoch.
+    let mut last = 0u64;
+    for r in &recorded {
+        assert!(
+            r.epoch >= last,
+            "epoch went backwards: {} after {}",
+            r.epoch,
+            last
+        );
+        last = r.epoch;
+    }
+    assert_eq!(last, swaps, "the tail must reach the final epoch");
+
+    // Zero stale answers: hop-for-hop against each epoch's replica
+    // snapshot, and every delivered hop live in that epoch's topology.
+    audit(&recorded, &epochs);
+
+    // Post-swap convergence: a drain burst over every class answers at
+    // the final epoch and matches the final oracle.
+    let server = RouteServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = server.stop_handle();
+    std::thread::scope(|scope| {
+        let server_handle = scope.spawn(|| server.run());
+        let mut client = RouteClient::connect(addr).expect("connect");
+        let mut drained = Vec::new();
+        for class in 0..CLASSES {
+            let pairs: Vec<(u32, u32)> = (0..N)
+                .flat_map(|s| {
+                    [
+                        (s as u32, ((s + 1) % N) as u32),
+                        (s as u32, ((s + 7) % N) as u32),
+                    ]
+                })
+                .filter(|&(s, t)| s != t)
+                .collect();
+            let (epoch, outcomes) = client
+                .batch_class(pairs.clone(), class as u8)
+                .expect("drain batch");
+            assert_eq!(epoch, swaps, "drain answers must all be at the final epoch");
+            for (&(s, t), outcome) in pairs.iter().zip(outcomes) {
+                drained.push(Recorded {
+                    epoch,
+                    class: class as u8,
+                    source: s as usize,
+                    target: t as usize,
+                    outcome,
+                });
+            }
+        }
+        // Every drain answer was stamped with the final epoch, so this
+        // audits against the replica's final snapshot.
+        audit(&drained, &epochs);
+        drop(client);
+        stop.store(true, Ordering::Relaxed);
+        server_handle.join().expect("server thread").unwrap();
+    });
+}

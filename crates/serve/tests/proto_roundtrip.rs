@@ -52,16 +52,28 @@ impl Mix {
         }
     }
 
+    fn class(&mut self) -> u8 {
+        // Half the frames are class 0 (the legacy encoding), the rest
+        // spread over the full byte so both wire shapes round-trip.
+        if self.below(2) == 0 {
+            0
+        } else {
+            self.next() as u8
+        }
+    }
+
     fn request(&mut self) -> Request {
         match self.below(5) {
             0 => Request::Lookup {
                 source: self.next() as u32,
                 target: self.next() as u32,
+                class: self.class(),
             },
             1 => Request::Batch {
                 pairs: (0..self.below(10))
                     .map(|_| (self.next() as u32, self.next() as u32))
                     .collect(),
+                class: self.class(),
             },
             2 => Request::Health,
             3 => Request::Metrics,
@@ -156,6 +168,57 @@ proptest! {
             }
         }
     }
+
+    /// The traffic-class byte round-trips on both classed opcodes for
+    /// every value, including 0 (which encodes as the legacy shape).
+    #[test]
+    fn class_byte_roundtrips(seed in proptest::arbitrary::any::<u64>()) {
+        let mut mix = Mix(seed);
+        let class = mix.next() as u8;
+        let lookup = Request::Lookup {
+            source: mix.next() as u32,
+            target: mix.next() as u32,
+            class,
+        };
+        prop_assert_eq!(Request::decode(&lookup.encode()).as_ref(), Ok(&lookup));
+        let batch = Request::Batch {
+            pairs: (0..mix.below(10))
+                .map(|_| (mix.next() as u32, mix.next() as u32))
+                .collect(),
+            class,
+        };
+        prop_assert_eq!(Request::decode(&batch.encode()).as_ref(), Ok(&batch));
+    }
+
+    /// Legacy-frame compatibility: a hand-built frame with **no** class
+    /// byte — exactly what every pre-multi client sends — decodes to
+    /// class 0, for both Lookup and Batch.
+    #[test]
+    fn legacy_frames_decode_to_class_zero(seed in proptest::arbitrary::any::<u64>()) {
+        let mut mix = Mix(seed);
+        let (source, target) = (mix.next() as u32, mix.next() as u32);
+        let mut legacy = vec![cpr_serve::proto::OP_LOOKUP];
+        legacy.extend_from_slice(&source.to_le_bytes());
+        legacy.extend_from_slice(&target.to_le_bytes());
+        prop_assert_eq!(
+            Request::decode(&legacy),
+            Ok(Request::Lookup { source, target, class: 0 })
+        );
+
+        let pairs: Vec<(u32, u32)> = (0..mix.below(10))
+            .map(|_| (mix.next() as u32, mix.next() as u32))
+            .collect();
+        let mut legacy = vec![cpr_serve::proto::OP_BATCH];
+        legacy.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+        for &(s, t) in &pairs {
+            legacy.extend_from_slice(&s.to_le_bytes());
+            legacy.extend_from_slice(&t.to_le_bytes());
+        }
+        prop_assert_eq!(
+            Request::decode(&legacy),
+            Ok(Request::Batch { pairs, class: 0 })
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -164,7 +227,7 @@ proptest! {
 type Scheme = DestTable;
 
 fn boot() -> (
-    RouteServer<Scheme>,
+    RouteServer<RouteService<Scheme>>,
     std::net::SocketAddr,
     Arc<std::sync::atomic::AtomicBool>,
 ) {
@@ -248,6 +311,25 @@ fn malformed_frames_close_cleanly_and_never_panic_workers() {
         }
         let (epoch, outcome) = client.lookup(0, 1).unwrap();
         assert_eq!(epoch, 0);
+        assert!(matches!(outcome, RouteOutcome::Path(_)));
+
+        // 7. An out-of-range traffic class on a single-class service is
+        //    a protocol error — for Lookup and Batch alike — and the
+        //    connection keeps serving class 0 afterwards.
+        for class in [1u8, 7, 255] {
+            match client.lookup_class(0, 1, class) {
+                Err(cpr_serve::ClientError::Server { code, message }) => {
+                    assert_eq!(code, ERR_PROTO);
+                    assert!(message.contains("class"), "unhelpful error: {message}");
+                }
+                other => panic!("expected ERR_PROTO for class {class}, got {other:?}"),
+            }
+        }
+        match client.batch_class(vec![(0, 1)], 3) {
+            Err(cpr_serve::ClientError::Server { code, .. }) => assert_eq!(code, ERR_PROTO),
+            other => panic!("expected ERR_PROTO for a classed batch, got {other:?}"),
+        }
+        let (_, outcome) = client.lookup_class(0, 1, 0).unwrap();
         assert!(matches!(outcome, RouteOutcome::Path(_)));
 
         // After all that abuse, a fresh connection is still served —
