@@ -1,0 +1,1448 @@
+//! The tenant algebra-expression language: parse, classify, admit.
+//!
+//! PR 9 serves a fixed twelve-class registry; the paper's actual claim
+//! is open-ended — *any* algebra whose properties pass the Prop. 2 /
+//! Thm. 1 / Thm. 3 gates is compactly routable. This module makes that
+//! claim operational: a tenant submits a policy as a small algebra
+//! *expression*, the expression is lowered to a runtime algebra
+//! ([`DynAlgebra`]), the empirical property classifier
+//! ([`crate::properties`]) measures it over a deterministic sample, and
+//! [`decide`] maps the verdict through the paper's gates to an
+//! [`Admissibility`] decision naming the scheme — or rejecting with the
+//! violating witness pair.
+//!
+//! # Grammar
+//!
+//! ```text
+//! request := "compact" "(" expr ")" | expr
+//! expr    := atom
+//!          | "lex"      "(" expr "," expr ")"          lexicographic product
+//!          | "scale"    "(" expr "," int ")"           scaled carrier (k·w)
+//!          | "penalize" "(" expr "," int "," int ")"   cliff at combined == trigger
+//!          | "bound"    "(" expr "," int ")"           subalgebra w ⊕ w' ≤ budget, else φ
+//! atom    := shortest-path | hop-count | widest-path | usable-path
+//!          | most-reliable-path | detour | plateau
+//!          | bgp-b1 | bgp-b2 | bgp-b3
+//! ```
+//!
+//! Four registry names parse as aliases and canonicalize to their
+//! defining composition: `widest-shortest` ↦
+//! `lex(shortest-path, widest-path)`, `shortest-widest` ↦
+//! `lex(widest-path, shortest-path)`, `bounded-shortest-path` ↦
+//! `bound(shortest-path, 120)`, and `bgp-b4` ↦
+//! `lex(bgp-b3, shortest-path)`. The `detour` (`⊕ = |a−b|+1`, breaks
+//! M) and `plateau` (`⊕ = max`, breaks SM under a widest head) atoms
+//! are the conformance suite's mutant constructions admitted into the
+//! grammar, so gate-rejection tests can be written as expressions.
+//!
+//! # Gate mapping
+//!
+//! | Gate | Requires | Admits |
+//! |---|---|---|
+//! | structure | total order, commutative `⊕` | (precondition of every table scheme) |
+//! | Proposition 2 | monotone ∧ isotone (regular) | `DestTable`, stretch 1 |
+//! | Theorem 1 | strictly monotone, `lex(widest-path, additive)` shape | `SwClassTable`, stretch 1 |
+//! | Theorem 3 | regular ∧ delimited, `compact(…)` requested | `Cowen`, stretch 3 |
+//!
+//! BGP word carriers compose non-commutatively (Tables 2–3), so every
+//! expression containing a `bgp-*` atom is rejected at the structure
+//! gate with a genuine witness pair — faithful to the paper, where
+//! inter-domain algebras need the path-vector substrate (Thms. 6–7),
+//! not destination tables.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::algebra::RoutingAlgebra;
+use crate::policies::Capacity;
+use crate::properties::{
+    check_all_properties, Counterexample, Property, PropertyReport, PropertySet,
+};
+use crate::ratio::Ratio;
+use crate::sample::SampleWeights;
+use crate::weight::PathWeight;
+
+/// Maximum nesting depth of an [`Expr`]; the parser rejects deeper
+/// input with [`ExprError::TooDeep`] *before* recursing, so a
+/// depth-bomb input cannot overflow the stack.
+pub const MAX_DEPTH: usize = 16;
+
+/// Cap on every numeric combinator parameter (scale factor, penalize
+/// trigger/cliff, bound budget).
+pub const MAX_PARAM: u64 = 1_000_000;
+
+/// Cap on the measured property sample, applied after every
+/// cross-product: `48³ ≈ 1.1·10⁵` triples keeps the O(n³) checks
+/// instant while covering each carrier's interesting cases.
+pub const MAX_SAMPLE: usize = 48;
+
+/// The budget the `bounded-shortest-path` alias expands to, matching
+/// the fixed registry's bounded entry.
+pub const BOUNDED_ALIAS_BUDGET: u64 = 120;
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+/// A leaf carrier of the expression language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AtomId {
+    /// Additive costs, smaller preferred: `(ℕ₊, +, ≤)`.
+    Shortest,
+    /// Unit costs: shortest-path with every edge weighing 1.
+    Hops,
+    /// Bottleneck bandwidth, wider preferred: `(ℕ₊, min, ≥)`.
+    Widest,
+    /// The trivial algebra: every path usable, all weights tie.
+    Usable,
+    /// Success probabilities, more reliable preferred: `((0,1], ·, ≥)`.
+    Reliable,
+    /// Mutant: `⊕ = |a−b|+1` — commutative and totally ordered but not
+    /// monotone (a long detour can *shrink* the weight).
+    Detour,
+    /// Worst-link cost: `(ℕ₊, max, ≤)` — regular but never strictly
+    /// monotone, the SM-breaking tail for `lex(widest-path, plateau)`.
+    Plateau,
+    /// BGP `B1` (provider–customer), word carrier `{c, p}`, Table 2.
+    BgpB1,
+    /// BGP `B2` (valley-free), word carrier `{c, r, p}`, Table 3.
+    BgpB2,
+    /// BGP `B3` (prefer-customer): Table 3 with `c ≺ r ≺ p`.
+    BgpB3,
+}
+
+impl AtomId {
+    /// Every atom, in grammar order.
+    pub const ALL: [AtomId; 10] = [
+        AtomId::Shortest,
+        AtomId::Hops,
+        AtomId::Widest,
+        AtomId::Usable,
+        AtomId::Reliable,
+        AtomId::Detour,
+        AtomId::Plateau,
+        AtomId::BgpB1,
+        AtomId::BgpB2,
+        AtomId::BgpB3,
+    ];
+
+    /// The canonical grammar name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AtomId::Shortest => "shortest-path",
+            AtomId::Hops => "hop-count",
+            AtomId::Widest => "widest-path",
+            AtomId::Usable => "usable-path",
+            AtomId::Reliable => "most-reliable-path",
+            AtomId::Detour => "detour",
+            AtomId::Plateau => "plateau",
+            AtomId::BgpB1 => "bgp-b1",
+            AtomId::BgpB2 => "bgp-b2",
+            AtomId::BgpB3 => "bgp-b3",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<AtomId> {
+        AtomId::ALL.into_iter().find(|a| a.name() == s)
+    }
+}
+
+/// An algebra expression; see the module docs for grammar and
+/// semantics. Construct via [`Expr::parse`] or the variants directly.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A leaf carrier.
+    Atom(AtomId),
+    /// Lexicographic product: first factor dominates, ties defer.
+    Lex(Box<Expr>, Box<Expr>),
+    /// Scaled carrier: edge weights multiplied by the factor (the
+    /// composition law is the inner one). Factor 0 is permitted — it
+    /// collapses the carrier to `{0}` and deliberately breaks strict
+    /// monotonicity.
+    Scale(Box<Expr>, u64),
+    /// Penalized carrier: inner composition, except a combined weight
+    /// exactly equal to the trigger (first parameter) jumps to the
+    /// cliff (second parameter). `penalize(shortest-path, 10, 100)` is
+    /// the conformance suite's isotonicity mutant.
+    Penalize(Box<Expr>, u64, u64),
+    /// Bounded subalgebra: inner composition, but a combined weight
+    /// above the budget is `φ` — which deliberately un-delimits the
+    /// algebra (Theorem 3's gate).
+    Bound(Box<Expr>, u64),
+}
+
+/// The carrier type an expression evaluates over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Carrier {
+    /// `u64` costs.
+    Int,
+    /// [`Capacity`] bandwidths.
+    Cap,
+    /// The unit carrier.
+    Unit,
+    /// [`Ratio`] reliabilities.
+    Rel,
+    /// BGP words.
+    Word,
+    /// A lexicographic pair.
+    Pair(Box<Carrier>, Box<Carrier>),
+}
+
+impl fmt::Display for Carrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Carrier::Int => write!(f, "int"),
+            Carrier::Cap => write!(f, "capacity"),
+            Carrier::Unit => write!(f, "unit"),
+            Carrier::Rel => write!(f, "reliability"),
+            Carrier::Word => write!(f, "word"),
+            Carrier::Pair(a, b) => write!(f, "({a} × {b})"),
+        }
+    }
+}
+
+impl Expr {
+    /// Nesting depth (an atom is depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Atom(_) => 1,
+            Expr::Lex(a, b) => 1 + a.depth().max(b.depth()),
+            Expr::Scale(e, _) | Expr::Penalize(e, _, _) | Expr::Bound(e, _) => 1 + e.depth(),
+        }
+    }
+
+    /// The carrier the expression evaluates over.
+    pub fn carrier(&self) -> Carrier {
+        match self {
+            Expr::Atom(a) => match a {
+                AtomId::Shortest | AtomId::Hops | AtomId::Detour | AtomId::Plateau => Carrier::Int,
+                AtomId::Widest => Carrier::Cap,
+                AtomId::Usable => Carrier::Unit,
+                AtomId::Reliable => Carrier::Rel,
+                AtomId::BgpB1 | AtomId::BgpB2 | AtomId::BgpB3 => Carrier::Word,
+            },
+            Expr::Lex(a, b) => Carrier::Pair(Box::new(a.carrier()), Box::new(b.carrier())),
+            Expr::Scale(e, _) | Expr::Penalize(e, _, _) | Expr::Bound(e, _) => e.carrier(),
+        }
+    }
+
+    /// Parses a plain expression (no `compact(…)` wrapper — that is
+    /// [`ExprRequest::parse`]'s job).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExprError`]; the parser never panics, whatever the input.
+    pub fn parse(text: &str) -> Result<Expr, ExprError> {
+        let mut p = Parser::new(text)?;
+        let expr = p.expr(0)?;
+        p.finish()?;
+        Ok(expr)
+    }
+}
+
+impl fmt::Display for Expr {
+    /// The canonical printing: aliases expanded, single spaces after
+    /// commas, no redundant whitespace. `parse(print(e)) == e` for
+    /// every well-formed expression.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Atom(a) => write!(f, "{}", a.name()),
+            Expr::Lex(a, b) => write!(f, "lex({a}, {b})"),
+            Expr::Scale(e, k) => write!(f, "scale({e}, {k})"),
+            Expr::Penalize(e, t, c) => write!(f, "penalize({e}, {t}, {c})"),
+            Expr::Bound(e, b) => write!(f, "bound({e}, {b})"),
+        }
+    }
+}
+
+/// A full tenant registration request: an expression plus the optional
+/// top-level `compact(…)` wrapper asking for the Theorem 3 landmark
+/// scheme instead of exact tables.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ExprRequest {
+    /// `true` when the request was wrapped in `compact(…)`.
+    pub compact: bool,
+    /// The algebra expression.
+    pub expr: Expr,
+}
+
+impl ExprRequest {
+    /// Parses a request: an expression, optionally wrapped in one
+    /// top-level `compact(…)`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExprError`]; `compact` anywhere but the top level is
+    /// [`ExprError::NestedCompact`].
+    pub fn parse(text: &str) -> Result<ExprRequest, ExprError> {
+        let mut p = Parser::new(text)?;
+        let compact = p.eat_compact()?;
+        let expr = p.expr(0)?;
+        if compact {
+            p.expect(Token::RParen, "`)` closing compact(…)")?;
+        }
+        p.finish()?;
+        Ok(ExprRequest { compact, expr })
+    }
+}
+
+impl fmt::Display for ExprRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.compact {
+            write!(f, "compact({})", self.expr)
+        } else {
+            write!(f, "{}", self.expr)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A typed parse / lowering error. Every malformed input maps to one of
+/// these; the expression layer never panics on untrusted text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprError {
+    /// Empty input.
+    Empty,
+    /// A name that is neither an atom, an alias, nor a combinator.
+    UnknownAtom {
+        /// The offending name.
+        name: String,
+        /// Byte offset in the input.
+        at: usize,
+    },
+    /// A byte the tokenizer does not accept.
+    BadChar {
+        /// The offending character.
+        ch: char,
+        /// Byte offset in the input.
+        at: usize,
+    },
+    /// Something other than the expected token.
+    Expected {
+        /// What the parser needed.
+        what: &'static str,
+        /// Byte offset in the input.
+        at: usize,
+        /// What it found instead.
+        found: String,
+    },
+    /// Input continued after a complete expression (e.g. an unbalanced
+    /// `)` or a second expression).
+    TrailingInput {
+        /// Byte offset of the first unconsumed token.
+        at: usize,
+    },
+    /// Nesting beyond [`MAX_DEPTH`] — the depth-bomb guard.
+    TooDeep {
+        /// The enforced limit.
+        limit: usize,
+    },
+    /// An integer parameter exceeding [`MAX_PARAM`] (or not fitting
+    /// `u64` at all).
+    ParamRange {
+        /// Which combinator carried the parameter.
+        combinator: &'static str,
+        /// Byte offset in the input.
+        at: usize,
+    },
+    /// `compact(…)` somewhere other than the top level.
+    NestedCompact {
+        /// Byte offset in the input.
+        at: usize,
+    },
+    /// A combinator applied to a carrier it is not defined over (e.g.
+    /// `scale(widest-path, 2)` — scaling is integer-only).
+    TypeMismatch {
+        /// The combinator.
+        combinator: &'static str,
+        /// The carrier it requires.
+        expected: &'static str,
+        /// The carrier it was given.
+        found: String,
+    },
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Empty => write!(f, "empty expression"),
+            ExprError::UnknownAtom { name, at } => {
+                write!(f, "unknown atom `{name}` at byte {at}")
+            }
+            ExprError::BadChar { ch, at } => {
+                write!(f, "unexpected character {ch:?} at byte {at}")
+            }
+            ExprError::Expected { what, at, found } => {
+                write!(f, "expected {what} at byte {at}, found {found}")
+            }
+            ExprError::TrailingInput { at } => {
+                write!(f, "trailing input after expression at byte {at}")
+            }
+            ExprError::TooDeep { limit } => {
+                write!(f, "expression nests deeper than the limit of {limit}")
+            }
+            ExprError::ParamRange { combinator, at } => {
+                write!(
+                    f,
+                    "parameter of {combinator} at byte {at} outside 0..={MAX_PARAM}"
+                )
+            }
+            ExprError::NestedCompact { at } => {
+                write!(f, "compact(…) only wraps the whole request (byte {at})")
+            }
+            ExprError::TypeMismatch {
+                combinator,
+                expected,
+                found,
+            } => write!(f, "{combinator} needs a {expected} carrier, got {found}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Int(Option<u64>),
+    LParen,
+    RParen,
+    Comma,
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("`{s}`"),
+            Token::Int(Some(v)) => format!("`{v}`"),
+            Token::Int(None) => "an oversized integer".to_owned(),
+            Token::LParen => "`(`".to_owned(),
+            Token::RParen => "`)`".to_owned(),
+            Token::Comma => "`,`".to_owned(),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn new(text: &str) -> Result<Parser, ExprError> {
+        let bytes = text.as_bytes();
+        let mut tokens = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+                b'(' => {
+                    tokens.push((i, Token::LParen));
+                    i += 1;
+                }
+                b')' => {
+                    tokens.push((i, Token::RParen));
+                    i += 1;
+                }
+                b',' => {
+                    tokens.push((i, Token::Comma));
+                    i += 1;
+                }
+                b'a'..=b'z' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_lowercase()
+                            || bytes[i].is_ascii_digit()
+                            || bytes[i] == b'-')
+                    {
+                        i += 1;
+                    }
+                    tokens.push((start, Token::Ident(text[start..i].to_owned())));
+                }
+                b'0'..=b'9' => {
+                    let start = i;
+                    let mut value: Option<u64> = Some(0);
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        value = value
+                            .and_then(|v| v.checked_mul(10))
+                            .and_then(|v| v.checked_add(u64::from(bytes[i] - b'0')));
+                        i += 1;
+                    }
+                    tokens.push((start, Token::Int(value)));
+                }
+                _ => {
+                    return Err(ExprError::BadChar {
+                        ch: text[i..].chars().next().unwrap_or('?'),
+                        at: i,
+                    })
+                }
+            }
+        }
+        if tokens.is_empty() {
+            return Err(ExprError::Empty);
+        }
+        Ok(Parser {
+            tokens,
+            pos: 0,
+            len: text.len(),
+        })
+    }
+
+    fn peek(&self) -> Option<&(usize, Token)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<(usize, Token)> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Token, what: &'static str) -> Result<usize, ExprError> {
+        match self.next() {
+            Some((at, t)) if t == want => Ok(at),
+            Some((at, t)) => Err(ExprError::Expected {
+                what,
+                at,
+                found: t.describe(),
+            }),
+            None => Err(ExprError::Expected {
+                what,
+                at: self.len,
+                found: "end of input".to_owned(),
+            }),
+        }
+    }
+
+    fn int_param(&mut self, combinator: &'static str) -> Result<u64, ExprError> {
+        match self.next() {
+            Some((at, Token::Int(v))) => match v {
+                Some(v) if v <= MAX_PARAM => Ok(v),
+                _ => Err(ExprError::ParamRange { combinator, at }),
+            },
+            Some((at, t)) => Err(ExprError::Expected {
+                what: "an integer parameter",
+                at,
+                found: t.describe(),
+            }),
+            None => Err(ExprError::Expected {
+                what: "an integer parameter",
+                at: self.len,
+                found: "end of input".to_owned(),
+            }),
+        }
+    }
+
+    /// Consumes a top-level `compact(` when present.
+    fn eat_compact(&mut self) -> Result<bool, ExprError> {
+        if let Some((_, Token::Ident(name))) = self.peek() {
+            if name == "compact" {
+                self.pos += 1;
+                self.expect(Token::LParen, "`(` after compact")?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn finish(&mut self) -> Result<(), ExprError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(&(at, _)) => Err(ExprError::TrailingInput { at }),
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> Result<Expr, ExprError> {
+        if depth >= MAX_DEPTH {
+            return Err(ExprError::TooDeep { limit: MAX_DEPTH });
+        }
+        let (at, token) = self.next().ok_or(ExprError::Expected {
+            what: "an expression",
+            at: self.len,
+            found: "end of input".to_owned(),
+        })?;
+        let name = match token {
+            Token::Ident(name) => name,
+            other => {
+                return Err(ExprError::Expected {
+                    what: "an atom or combinator",
+                    at,
+                    found: other.describe(),
+                })
+            }
+        };
+        match name.as_str() {
+            "lex" => {
+                self.expect(Token::LParen, "`(` after lex")?;
+                let a = self.expr(depth + 1)?;
+                self.expect(Token::Comma, "`,` between lex factors")?;
+                let b = self.expr(depth + 1)?;
+                self.expect(Token::RParen, "`)` closing lex")?;
+                Ok(Expr::Lex(Box::new(a), Box::new(b)))
+            }
+            "scale" => {
+                self.expect(Token::LParen, "`(` after scale")?;
+                let e = self.expr(depth + 1)?;
+                self.expect(Token::Comma, "`,` before the scale factor")?;
+                let k = self.int_param("scale")?;
+                self.expect(Token::RParen, "`)` closing scale")?;
+                Ok(Expr::Scale(Box::new(e), k))
+            }
+            "penalize" => {
+                self.expect(Token::LParen, "`(` after penalize")?;
+                let e = self.expr(depth + 1)?;
+                self.expect(Token::Comma, "`,` before the trigger")?;
+                let t = self.int_param("penalize")?;
+                self.expect(Token::Comma, "`,` before the cliff")?;
+                let c = self.int_param("penalize")?;
+                self.expect(Token::RParen, "`)` closing penalize")?;
+                Ok(Expr::Penalize(Box::new(e), t, c))
+            }
+            "bound" => {
+                self.expect(Token::LParen, "`(` after bound")?;
+                let e = self.expr(depth + 1)?;
+                self.expect(Token::Comma, "`,` before the budget")?;
+                let b = self.int_param("bound")?;
+                self.expect(Token::RParen, "`)` closing bound")?;
+                Ok(Expr::Bound(Box::new(e), b))
+            }
+            "compact" => Err(ExprError::NestedCompact { at }),
+            // Registry aliases, canonicalized to their definitions.
+            "widest-shortest" => Ok(Expr::Lex(
+                Box::new(Expr::Atom(AtomId::Shortest)),
+                Box::new(Expr::Atom(AtomId::Widest)),
+            )),
+            "shortest-widest" => Ok(Expr::Lex(
+                Box::new(Expr::Atom(AtomId::Widest)),
+                Box::new(Expr::Atom(AtomId::Shortest)),
+            )),
+            "bounded-shortest-path" => Ok(Expr::Bound(
+                Box::new(Expr::Atom(AtomId::Shortest)),
+                BOUNDED_ALIAS_BUDGET,
+            )),
+            "bgp-b4" => Ok(Expr::Lex(
+                Box::new(Expr::Atom(AtomId::BgpB3)),
+                Box::new(Expr::Atom(AtomId::Shortest)),
+            )),
+            _ => match AtomId::from_name(&name) {
+                Some(atom) => Ok(Expr::Atom(atom)),
+                None => Err(ExprError::UnknownAtom { name, at }),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime weights and the lowered algebra
+// ---------------------------------------------------------------------------
+
+/// A BGP word mirrored into the expression layer (`cpr-algebra` sits
+/// below `cpr-bgp`, so the word carrier is re-stated here; the
+/// conformance suite cross-checks the two against each other).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExprWord {
+    /// Customer route.
+    C,
+    /// Peer route.
+    R,
+    /// Provider route.
+    P,
+}
+
+/// The uniform runtime carrier every lowered expression evaluates over.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DynWeight {
+    /// An integer cost.
+    Int(u64),
+    /// A bottleneck capacity.
+    Cap(Capacity),
+    /// A reliability.
+    Rel(Ratio),
+    /// The unit weight.
+    Unit,
+    /// A BGP word.
+    Word(ExprWord),
+    /// A lexicographic pair.
+    Pair(Box<DynWeight>, Box<DynWeight>),
+}
+
+impl fmt::Display for DynWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynWeight::Int(v) => write!(f, "{v}"),
+            DynWeight::Cap(c) => write!(f, "cap({c})"),
+            DynWeight::Rel(r) => write!(f, "{}/{}", r.numer(), r.denom()),
+            DynWeight::Unit => write!(f, "()"),
+            DynWeight::Word(w) => write!(f, "{w:?}"),
+            DynWeight::Pair(a, b) => write!(f, "({a}, {b})"),
+        }
+    }
+}
+
+fn type_bug(op: &str, expr: &Expr, a: &DynWeight, b: &DynWeight) -> ! {
+    panic!("carrier invariant broken: {op} over `{expr}` got {a} and {b}")
+}
+
+/// BGP Table 2 (`B1`): carrier `{c, p}`.
+fn table2(a: ExprWord, b: ExprWord) -> PathWeight<DynWeight> {
+    match (a, b) {
+        (ExprWord::C, ExprWord::C) => PathWeight::Finite(DynWeight::Word(ExprWord::C)),
+        (ExprWord::C, ExprWord::P) => PathWeight::Infinite,
+        (ExprWord::P, _) => PathWeight::Finite(DynWeight::Word(ExprWord::P)),
+        _ => panic!("B1 carrier is {{c, p}}; got {a:?} ⊕ {b:?}"),
+    }
+}
+
+/// BGP Table 3 (`B2`/`B3`): carrier `{c, r, p}`.
+fn table3(a: ExprWord, b: ExprWord) -> PathWeight<DynWeight> {
+    match (a, b) {
+        (ExprWord::C, ExprWord::C) => PathWeight::Finite(DynWeight::Word(ExprWord::C)),
+        (ExprWord::C, _) => PathWeight::Infinite,
+        (ExprWord::R, ExprWord::C) => PathWeight::Finite(DynWeight::Word(ExprWord::R)),
+        (ExprWord::R, _) => PathWeight::Infinite,
+        (ExprWord::P, _) => PathWeight::Finite(DynWeight::Word(ExprWord::P)),
+    }
+}
+
+fn combine_expr(expr: &Expr, a: &DynWeight, b: &DynWeight) -> PathWeight<DynWeight> {
+    match expr {
+        Expr::Atom(atom) => match (atom, a, b) {
+            (AtomId::Shortest | AtomId::Hops, DynWeight::Int(x), DynWeight::Int(y)) => {
+                PathWeight::Finite(DynWeight::Int(x.saturating_add(*y)))
+            }
+            (AtomId::Widest, DynWeight::Cap(x), DynWeight::Cap(y)) => {
+                PathWeight::Finite(DynWeight::Cap(*x.min(y)))
+            }
+            (AtomId::Usable, DynWeight::Unit, DynWeight::Unit) => {
+                PathWeight::Finite(DynWeight::Unit)
+            }
+            (AtomId::Reliable, DynWeight::Rel(x), DynWeight::Rel(y)) => match x.checked_mul(*y) {
+                Ok(p) => PathWeight::Finite(DynWeight::Rel(p)),
+                // Product overflow past exact arithmetic: treat as lost.
+                Err(_) => PathWeight::Infinite,
+            },
+            (AtomId::Detour, DynWeight::Int(x), DynWeight::Int(y)) => {
+                PathWeight::Finite(DynWeight::Int(x.abs_diff(*y) + 1))
+            }
+            (AtomId::Plateau, DynWeight::Int(x), DynWeight::Int(y)) => {
+                PathWeight::Finite(DynWeight::Int(*x.max(y)))
+            }
+            (AtomId::BgpB1, DynWeight::Word(x), DynWeight::Word(y)) => table2(*x, *y),
+            (AtomId::BgpB2 | AtomId::BgpB3, DynWeight::Word(x), DynWeight::Word(y)) => {
+                table3(*x, *y)
+            }
+            _ => type_bug("⊕", expr, a, b),
+        },
+        Expr::Lex(l, r) => match (a, b) {
+            (DynWeight::Pair(a1, a2), DynWeight::Pair(b1, b2)) => {
+                match (combine_expr(l, a1, b1), combine_expr(r, a2, b2)) {
+                    (PathWeight::Finite(f), PathWeight::Finite(s)) => {
+                        PathWeight::Finite(DynWeight::Pair(Box::new(f), Box::new(s)))
+                    }
+                    _ => PathWeight::Infinite,
+                }
+            }
+            _ => type_bug("⊕", expr, a, b),
+        },
+        Expr::Scale(e, _) => combine_expr(e, a, b),
+        Expr::Penalize(e, trigger, cliff) => match combine_expr(e, a, b) {
+            PathWeight::Finite(DynWeight::Int(x)) if x == *trigger => {
+                PathWeight::Finite(DynWeight::Int(*cliff))
+            }
+            other => other,
+        },
+        Expr::Bound(e, budget) => match combine_expr(e, a, b) {
+            PathWeight::Finite(DynWeight::Int(x)) if x > *budget => PathWeight::Infinite,
+            other => other,
+        },
+    }
+}
+
+fn compare_expr(expr: &Expr, a: &DynWeight, b: &DynWeight) -> Ordering {
+    match expr {
+        Expr::Atom(atom) => match (atom, a, b) {
+            (
+                AtomId::Shortest | AtomId::Hops | AtomId::Detour | AtomId::Plateau,
+                DynWeight::Int(x),
+                DynWeight::Int(y),
+            ) => x.cmp(y),
+            // Wider is preferred.
+            (AtomId::Widest, DynWeight::Cap(x), DynWeight::Cap(y)) => y.cmp(x),
+            (AtomId::Usable, DynWeight::Unit, DynWeight::Unit) => Ordering::Equal,
+            // More reliable is preferred.
+            (AtomId::Reliable, DynWeight::Rel(x), DynWeight::Rel(y)) => y.cmp(x),
+            // B1/B2 are preference-free: all words tie.
+            (AtomId::BgpB1 | AtomId::BgpB2, DynWeight::Word(_), DynWeight::Word(_)) => {
+                Ordering::Equal
+            }
+            // B3: c ≺ r ≺ p.
+            (AtomId::BgpB3, DynWeight::Word(x), DynWeight::Word(y)) => x.cmp(y),
+            _ => type_bug("⪯", expr, a, b),
+        },
+        Expr::Lex(l, r) => match (a, b) {
+            (DynWeight::Pair(a1, a2), DynWeight::Pair(b1, b2)) => {
+                compare_expr(l, a1, b1).then_with(|| compare_expr(r, a2, b2))
+            }
+            _ => type_bug("⪯", expr, a, b),
+        },
+        Expr::Scale(e, _) | Expr::Penalize(e, _, _) | Expr::Bound(e, _) => compare_expr(e, a, b),
+    }
+}
+
+fn sample_expr(expr: &Expr) -> Vec<DynWeight> {
+    let mut out = match expr {
+        Expr::Atom(atom) => match atom {
+            AtomId::Shortest => [1u64, 2, 3, 4, 7, 50, 100]
+                .iter()
+                .map(|&v| DynWeight::Int(v))
+                .collect(),
+            AtomId::Hops => vec![DynWeight::Int(1)],
+            AtomId::Widest => [1u64, 2, 4, 8]
+                .iter()
+                .map(|&v| DynWeight::Cap(Capacity::new(v).expect("non-zero")))
+                .collect(),
+            AtomId::Usable => vec![DynWeight::Unit],
+            AtomId::Reliable => [(50u64, 100u64), (75, 100), (99, 100), (100, 100)]
+                .iter()
+                .map(|&(n, d)| DynWeight::Rel(Ratio::new(n, d).expect("in (0, 1]")))
+                .collect(),
+            AtomId::Detour => [1u64, 2, 3, 5, 9]
+                .iter()
+                .map(|&v| DynWeight::Int(v))
+                .collect(),
+            AtomId::Plateau => [1u64, 2, 3, 7, 50]
+                .iter()
+                .map(|&v| DynWeight::Int(v))
+                .collect(),
+            AtomId::BgpB1 => vec![DynWeight::Word(ExprWord::C), DynWeight::Word(ExprWord::P)],
+            AtomId::BgpB2 | AtomId::BgpB3 => vec![
+                DynWeight::Word(ExprWord::C),
+                DynWeight::Word(ExprWord::R),
+                DynWeight::Word(ExprWord::P),
+            ],
+        },
+        Expr::Lex(l, r) => {
+            let left = sample_expr(l);
+            let right = sample_expr(r);
+            let mut pairs = Vec::with_capacity(left.len() * right.len());
+            for a in &left {
+                for b in &right {
+                    pairs.push(DynWeight::Pair(Box::new(a.clone()), Box::new(b.clone())));
+                }
+            }
+            pairs
+        }
+        Expr::Scale(e, k) => sample_expr(e)
+            .into_iter()
+            .map(|w| match w {
+                DynWeight::Int(v) => DynWeight::Int(v.saturating_mul(*k)),
+                other => other,
+            })
+            .collect(),
+        Expr::Penalize(e, trigger, cliff) => {
+            // The inner sample plus values straddling the trigger, so
+            // the cliff is always *measured* (a trigger no pair of
+            // sample weights can sum to would hide the mutation).
+            let mut s = sample_expr(e);
+            for v in [
+                trigger.saturating_sub(1),
+                trigger / 2,
+                trigger / 2 + trigger % 2,
+                *cliff,
+            ] {
+                if v >= 1 {
+                    s.push(DynWeight::Int(v));
+                }
+            }
+            s
+        }
+        Expr::Bound(e, budget) => {
+            // Straddle the budget so non-delimitedness is measured.
+            let mut s = sample_expr(e);
+            for v in [*budget, budget.saturating_sub(1).max(1), budget / 2 + 1] {
+                s.push(DynWeight::Int(v));
+            }
+            s
+        }
+    };
+    out.dedup();
+    let mut seen = Vec::new();
+    out.retain(|w| {
+        if seen.contains(w) {
+            false
+        } else {
+            seen.push(w.clone());
+            true
+        }
+    });
+    out.truncate(MAX_SAMPLE);
+    out
+}
+
+fn weight_from_atom_expr(expr: &Expr, atom: (u64, u64)) -> DynWeight {
+    match expr {
+        Expr::Atom(a) => match a {
+            AtomId::Shortest => DynWeight::Int(1 + atom.0 % 100),
+            AtomId::Hops => DynWeight::Int(1),
+            AtomId::Widest => DynWeight::Cap(Capacity::new(1 + atom.1 % 8).expect("non-zero")),
+            AtomId::Usable => DynWeight::Unit,
+            AtomId::Reliable => {
+                DynWeight::Rel(Ratio::new(50 + atom.0 % 50, 100).expect("in (0, 1]"))
+            }
+            AtomId::Detour => DynWeight::Int(1 + atom.0 % 8),
+            AtomId::Plateau => DynWeight::Int(1 + atom.0 % 100),
+            AtomId::BgpB1 => DynWeight::Word(if atom.0.is_multiple_of(2) {
+                ExprWord::C
+            } else {
+                ExprWord::P
+            }),
+            AtomId::BgpB2 | AtomId::BgpB3 => DynWeight::Word(match atom.0 % 3 {
+                0 => ExprWord::C,
+                1 => ExprWord::R,
+                _ => ExprWord::P,
+            }),
+        },
+        Expr::Lex(l, r) => DynWeight::Pair(
+            Box::new(weight_from_atom_expr(l, atom)),
+            Box::new(weight_from_atom_expr(r, atom)),
+        ),
+        Expr::Scale(e, k) => match weight_from_atom_expr(e, atom) {
+            DynWeight::Int(v) => DynWeight::Int(v.saturating_mul(*k)),
+            other => other,
+        },
+        Expr::Penalize(e, _, _) | Expr::Bound(e, _) => weight_from_atom_expr(e, atom),
+    }
+}
+
+/// The deterministic pair-keyed edge atom shared by every consumer of a
+/// dynamic class: the plane's scheme factory and the conformance
+/// oracle both weigh edge `{u, v}` with this hash, so they can never
+/// disagree — on any churned topology.
+pub fn pair_atom(u: u64, v: u64) -> (u64, u64) {
+    let (a, b) = (u.min(v), u.max(v));
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 29;
+    (x % 1_000, (x >> 32) % 1_000)
+}
+
+/// An [`Expr`] lowered to a runtime [`RoutingAlgebra`] over the uniform
+/// [`DynWeight`] carrier: the evaluator interprets the tree node by
+/// node, so one boxed type serves every expressible policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DynAlgebra {
+    expr: Expr,
+    text: String,
+}
+
+impl DynAlgebra {
+    /// Type-checks and lowers `expr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExprError::TypeMismatch`] when a numeric combinator wraps a
+    /// non-integer carrier; [`ExprError::TooDeep`] past [`MAX_DEPTH`].
+    pub fn lower(expr: &Expr) -> Result<DynAlgebra, ExprError> {
+        if expr.depth() > MAX_DEPTH {
+            return Err(ExprError::TooDeep { limit: MAX_DEPTH });
+        }
+        fn check(expr: &Expr) -> Result<(), ExprError> {
+            match expr {
+                Expr::Atom(_) => Ok(()),
+                Expr::Lex(a, b) => {
+                    check(a)?;
+                    check(b)
+                }
+                Expr::Scale(e, _) | Expr::Penalize(e, _, _) | Expr::Bound(e, _) => {
+                    check(e)?;
+                    if e.carrier() != Carrier::Int {
+                        return Err(ExprError::TypeMismatch {
+                            combinator: match expr {
+                                Expr::Scale(..) => "scale",
+                                Expr::Penalize(..) => "penalize",
+                                _ => "bound",
+                            },
+                            expected: "int",
+                            found: e.carrier().to_string(),
+                        });
+                    }
+                    Ok(())
+                }
+            }
+        }
+        check(expr)?;
+        Ok(DynAlgebra {
+            expr: expr.clone(),
+            text: expr.to_string(),
+        })
+    }
+
+    /// Parses and lowers in one step.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExprError`].
+    pub fn parse(text: &str) -> Result<DynAlgebra, ExprError> {
+        DynAlgebra::lower(&Expr::parse(text)?)
+    }
+
+    /// The lowered expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The canonical expression text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Deterministically interprets a serialized atom as an edge weight
+    /// of this expression — the dynamic-class analogue of the
+    /// conformance registry's per-algebra atom interpretation.
+    pub fn weight_from_atom(&self, atom: (u64, u64)) -> DynWeight {
+        weight_from_atom_expr(&self.expr, atom)
+    }
+
+    /// Runs the empirical property classifier over the expression's
+    /// deterministic measured sample (capped at [`MAX_SAMPLE`]).
+    pub fn classify(&self) -> PropertyReport<DynWeight> {
+        check_all_properties(self, &self.sample())
+    }
+}
+
+impl RoutingAlgebra for DynAlgebra {
+    type W = DynWeight;
+
+    fn name(&self) -> String {
+        format!("expr[{}]", self.text)
+    }
+
+    fn combine(&self, a: &DynWeight, b: &DynWeight) -> PathWeight<DynWeight> {
+        combine_expr(&self.expr, a, b)
+    }
+
+    fn compare(&self, a: &DynWeight, b: &DynWeight) -> Ordering {
+        compare_expr(&self.expr, a, b)
+    }
+}
+
+impl SampleWeights for DynAlgebra {
+    fn random_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> DynWeight {
+        self.weight_from_atom((rng.gen_range(0..1_000), rng.gen_range(0..1_000)))
+    }
+
+    fn sample(&self) -> Vec<DynWeight> {
+        sample_expr(&self.expr)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admissibility gates
+// ---------------------------------------------------------------------------
+
+/// The scheme an admitted expression is served by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeChoice {
+    /// Destination-indexed tables (Proposition 2), stretch 1.
+    DestTable,
+    /// The generalized Cowen landmark scheme (Theorem 3), stretch 3.
+    Cowen,
+    /// Bottleneck-class tables for the shortest-widest shape
+    /// (the Theorem 1 strict-monotonicity regime), stretch 1.
+    SwClassTable,
+}
+
+impl SchemeChoice {
+    /// Stable report / wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeChoice::DestTable => "dest-table",
+            SchemeChoice::Cowen => "cowen",
+            SchemeChoice::SwClassTable => "sw-class-table",
+        }
+    }
+}
+
+/// Which theorem gate rejected an expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// The structural preconditions every table scheme needs: a total
+    /// order and a commutative `⊕`.
+    Structure,
+    /// Proposition 2: destination tables need regularity (M ∧ I).
+    Prop2,
+    /// Theorem 1: the strict-monotonicity requirement of the
+    /// bottleneck-class (shortest-widest) tables.
+    Theorem1,
+    /// Theorem 3: the Cowen scheme needs a delimited regular algebra.
+    Theorem3,
+}
+
+impl Gate {
+    /// Stable report / wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gate::Structure => "structure",
+            Gate::Prop2 => "proposition-2",
+            Gate::Theorem1 => "theorem-1",
+            Gate::Theorem3 => "theorem-3",
+        }
+    }
+}
+
+/// Why an expression was rejected: the gate, the property it failed,
+/// and the measured witness pair/triple violating that property.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rejection {
+    /// The gate that rejected.
+    pub gate: Gate,
+    /// The property the gate demanded, when the rejection is a
+    /// property failure (`None` for purely structural shape limits).
+    pub property: Option<Property>,
+    /// The violating witnesses from the measured sample.
+    pub witness: Option<Counterexample<DynWeight>>,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rejected by the {} gate: {}",
+            self.gate.name(),
+            self.reason
+        )?;
+        if let Some(w) = &self.witness {
+            let ws: Vec<String> = w.witnesses.iter().map(|x| x.to_string()).collect();
+            write!(f, "; witness [{}]: {}", ws.join(", "), w.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// The gate verdict over one classified expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Admissibility {
+    /// Compactly routable: serve with `scheme`.
+    Admitted {
+        /// The selected scheme.
+        scheme: SchemeChoice,
+        /// Properties that held over the measured sample.
+        properties: PropertySet,
+        /// Whether the Theorem 3 (Cowen) gate would *also* admit it —
+        /// recorded even when exact tables are selected.
+        cowen_admissible: bool,
+    },
+    /// Not compactly routable by any gate; never compiled.
+    Rejected(Rejection),
+}
+
+impl Admissibility {
+    /// The selected scheme, when admitted.
+    pub fn scheme(&self) -> Option<SchemeChoice> {
+        match self {
+            Admissibility::Admitted { scheme, .. } => Some(*scheme),
+            Admissibility::Rejected(_) => None,
+        }
+    }
+
+    /// The rejection, when rejected.
+    pub fn rejection(&self) -> Option<&Rejection> {
+        match self {
+            Admissibility::Admitted { .. } => None,
+            Admissibility::Rejected(r) => Some(r),
+        }
+    }
+}
+
+/// A fully processed registration request: the lowered algebra, its
+/// measured property report, and the gate verdict.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// The request (compact flag + expression).
+    pub request: ExprRequest,
+    /// The lowered runtime algebra.
+    pub algebra: DynAlgebra,
+    /// The measured property report.
+    pub report: PropertyReport<DynWeight>,
+    /// The gate verdict.
+    pub admissibility: Admissibility,
+}
+
+/// Is `expr` the shortest-widest shape the bottleneck-class tables
+/// serve: `lex(widest-path, tail)` with an integer-carrier tail?
+fn sw_candidate(expr: &Expr) -> bool {
+    match expr {
+        Expr::Lex(l, r) => **l == Expr::Atom(AtomId::Widest) && r.carrier() == Carrier::Int,
+        _ => false,
+    }
+}
+
+/// Does the tail compose additively (the bottleneck-class tables run a
+/// cost-Dijkstra inside each capacity class, so the second factor must
+/// genuinely be `+`)?
+fn additive_tail(expr: &Expr) -> bool {
+    match expr {
+        Expr::Atom(AtomId::Shortest | AtomId::Hops) => true,
+        Expr::Scale(e, k) => *k >= 1 && additive_tail(e),
+        _ => false,
+    }
+}
+
+fn reject(
+    report: &PropertyReport<DynWeight>,
+    gate: Gate,
+    property: Property,
+    reason: impl Into<String>,
+) -> Admissibility {
+    Admissibility::Rejected(Rejection {
+        gate,
+        property: Some(property),
+        witness: report.counterexample(property).cloned(),
+        reason: reason.into(),
+    })
+}
+
+/// Maps a measured property report through the Prop. 2 / Thm. 1 /
+/// Thm. 3 gates; see the module docs for the decision table.
+pub fn admissibility_of(
+    request: &ExprRequest,
+    report: &PropertyReport<DynWeight>,
+) -> Admissibility {
+    let props = report.holding();
+    // Structural preconditions of every table-driven scheme.
+    for p in [Property::TotalOrder, Property::Commutative] {
+        if !props.contains(p) {
+            return reject(
+                report,
+                Gate::Structure,
+                p,
+                format!(
+                    "table schemes need a {}; this carrier composes like the \
+                     inter-domain algebras (serve it through the fixed bgp-* classes)",
+                    match p {
+                        Property::TotalOrder => "total preference order",
+                        _ => "commutative ⊕",
+                    }
+                ),
+            );
+        }
+    }
+    let cowen_admissible = props.is_regular() && props.contains(Property::Delimited);
+    if request.compact {
+        // Theorem 3: the landmark scheme needs delimited regularity.
+        for p in [Property::Monotone, Property::Isotone, Property::Delimited] {
+            if !props.contains(p) {
+                return reject(
+                    report,
+                    Gate::Theorem3,
+                    p,
+                    format!(
+                        "compact(…) requests the Cowen landmark scheme, which Theorem 3 \
+                         grants only to delimited regular algebras; {} failed",
+                        p.short_name()
+                    ),
+                );
+            }
+        }
+        return Admissibility::Admitted {
+            scheme: SchemeChoice::Cowen,
+            properties: props,
+            cowen_admissible: true,
+        };
+    }
+    // Proposition 2: regular algebras take exact destination tables.
+    if props.is_regular() {
+        return Admissibility::Admitted {
+            scheme: SchemeChoice::DestTable,
+            properties: props,
+            cowen_admissible,
+        };
+    }
+    // Theorem 1 regime: the shortest-widest shape with strict
+    // monotonicity takes the bottleneck-class tables.
+    if sw_candidate(&request.expr) {
+        if !props.contains(Property::StrictlyMonotone) {
+            return reject(
+                report,
+                Gate::Theorem1,
+                Property::StrictlyMonotone,
+                "the bottleneck-class tables cover the shortest-widest shape only \
+                 under strict monotonicity"
+                    .to_owned(),
+            );
+        }
+        let Expr::Lex(_, tail) = &request.expr else {
+            unreachable!("sw_candidate only accepts lex")
+        };
+        if !additive_tail(tail) {
+            return Admissibility::Rejected(Rejection {
+                gate: Gate::Structure,
+                property: None,
+                witness: None,
+                reason: "the bottleneck-class tables run an additive cost sweep per \
+                         capacity class; the second factor must be shortest-path-like"
+                    .to_owned(),
+            });
+        }
+        return Admissibility::Admitted {
+            scheme: SchemeChoice::SwClassTable,
+            properties: props,
+            cowen_admissible,
+        };
+    }
+    // Not regular, not the SW shape: Proposition 2 is the gate that
+    // failed — name the property that broke regularity.
+    let failed = if !props.contains(Property::Monotone) {
+        Property::Monotone
+    } else {
+        Property::Isotone
+    };
+    reject(
+        report,
+        Gate::Prop2,
+        failed,
+        format!(
+            "destination tables need a regular algebra (Proposition 2); {} failed \
+             and the expression is not the shortest-widest shape",
+            failed.short_name()
+        ),
+    )
+}
+
+/// Lowers, classifies and gates one parsed request.
+///
+/// # Errors
+///
+/// Any [`ExprError`] from lowering (the gate verdict itself is carried
+/// in the returned [`Decision`], not the error channel).
+pub fn decide(request: &ExprRequest) -> Result<Decision, ExprError> {
+    let algebra = DynAlgebra::lower(&request.expr)?;
+    let report = algebra.classify();
+    let admissibility = admissibility_of(request, &report);
+    Ok(Decision {
+        request: request.clone(),
+        algebra,
+        report,
+        admissibility,
+    })
+}
+
+/// Parses, lowers, classifies and gates one request text.
+///
+/// # Errors
+///
+/// Any [`ExprError`].
+pub fn decide_text(text: &str) -> Result<Decision, ExprError> {
+    decide(&ExprRequest::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme_of(text: &str) -> SchemeChoice {
+        decide_text(text)
+            .expect("well-formed")
+            .admissibility
+            .scheme()
+            .unwrap_or_else(|| panic!("{text} should be admitted"))
+    }
+
+    fn rejection_of(text: &str) -> Rejection {
+        decide_text(text)
+            .expect("well-formed")
+            .admissibility
+            .rejection()
+            .cloned()
+            .unwrap_or_else(|| panic!("{text} should be rejected"))
+    }
+
+    #[test]
+    fn table1_registry_names_all_parse_and_gate_like_the_seed() {
+        for (name, scheme) in [
+            ("shortest-path", SchemeChoice::DestTable),
+            ("hop-count", SchemeChoice::DestTable),
+            ("widest-path", SchemeChoice::DestTable),
+            ("usable-path", SchemeChoice::DestTable),
+            ("most-reliable-path", SchemeChoice::DestTable),
+            ("widest-shortest", SchemeChoice::DestTable),
+            ("shortest-widest", SchemeChoice::SwClassTable),
+            ("bounded-shortest-path", SchemeChoice::DestTable),
+        ] {
+            assert_eq!(scheme_of(name), scheme, "{name}");
+        }
+    }
+
+    #[test]
+    fn canonical_roundtrip_for_aliases() {
+        let e = Expr::parse("shortest-widest").unwrap();
+        assert_eq!(e.to_string(), "lex(widest-path, shortest-path)");
+        assert_eq!(Expr::parse(&e.to_string()).unwrap(), e);
+        let b = Expr::parse("bounded-shortest-path").unwrap();
+        assert_eq!(b.to_string(), "bound(shortest-path, 120)");
+    }
+
+    #[test]
+    fn bgp_atoms_reject_at_the_structure_gate_with_witnesses() {
+        for name in ["bgp-b1", "bgp-b2", "bgp-b3", "bgp-b4"] {
+            let r = rejection_of(name);
+            assert_eq!(r.gate, Gate::Structure, "{name}");
+            assert!(r.witness.is_some(), "{name} must carry a witness");
+        }
+    }
+
+    #[test]
+    fn bounded_is_not_delimited_so_compact_rejects_it() {
+        let r = rejection_of("compact(bound(shortest-path, 40))");
+        assert_eq!(r.gate, Gate::Theorem3);
+        assert_eq!(r.property, Some(Property::Delimited));
+        let w = r.witness.expect("a non-delimited witness pair");
+        assert_eq!(w.witnesses.len(), 2);
+        assert_eq!(scheme_of("compact(shortest-path)"), SchemeChoice::Cowen);
+    }
+
+    #[test]
+    fn depth_bomb_is_rejected_without_panic() {
+        let mut bomb = String::new();
+        for _ in 0..10_000 {
+            bomb.push_str("lex(");
+        }
+        assert_eq!(
+            Expr::parse(&bomb),
+            Err(ExprError::TooDeep { limit: MAX_DEPTH })
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_typed() {
+        assert!(matches!(
+            DynAlgebra::parse("scale(widest-path, 2)"),
+            Err(ExprError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pair_atom_is_symmetric_and_in_range() {
+        assert_eq!(pair_atom(3, 9), pair_atom(9, 3));
+        let (a, b) = pair_atom(17, 4);
+        assert!(a < 1_000 && b < 1_000);
+    }
+}

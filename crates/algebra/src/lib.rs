@@ -46,6 +46,7 @@
 
 mod algebra;
 mod cyclic;
+pub mod expr;
 mod finite;
 pub mod policies;
 mod product;
@@ -58,6 +59,10 @@ mod weight;
 
 pub use algebra::RoutingAlgebra;
 pub use cyclic::{cyclic_structure, embeds_shortest_path, CyclicStructure};
+pub use expr::{
+    decide, decide_text, pair_atom, Admissibility, AtomId, Decision, DynAlgebra, DynWeight, Expr,
+    ExprError, ExprRequest, Gate, Rejection, SchemeChoice,
+};
 pub use finite::{enumerate_finite_algebras, FiniteAlgebra, Verdict};
 pub use product::{
     lex_transfer, product_isotone, product_monotone, product_strictly_monotone, Lex,

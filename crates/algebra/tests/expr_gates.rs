@@ -1,0 +1,169 @@
+//! Mutant-expression gate tests: for each theorem gate, a minimal
+//! property-breaking expression is rejected by *exactly* that gate with
+//! a concrete witness pair, while its intact twin — the same shape with
+//! the mutation removed — is admitted. This pins the gate logic to the
+//! paper's theorems: a mutant slipping past its gate, or an intact
+//! expression tripping one, is a classification bug.
+
+use cpr_algebra::{
+    decide_text, Admissibility, DynAlgebra, Gate, Property, Rejection, RoutingAlgebra, SchemeChoice,
+};
+
+fn rejection_of(text: &str) -> Rejection {
+    decide_text(text)
+        .expect("well-formed")
+        .admissibility
+        .rejection()
+        .cloned()
+        .unwrap_or_else(|| panic!("`{text}` should be rejected"))
+}
+
+fn scheme_of(text: &str) -> SchemeChoice {
+    decide_text(text)
+        .expect("well-formed")
+        .admissibility
+        .scheme()
+        .unwrap_or_else(|| panic!("`{text}` should be admitted"))
+}
+
+/// The witness pair must be a genuine counterexample the caller can
+/// replay: re-evaluate the violated property's defining statement on
+/// the surfaced weights against the expression's own evaluator.
+fn assert_witness_replays(text: &str, rejection: &Rejection) {
+    let witness = rejection
+        .witness
+        .as_ref()
+        .unwrap_or_else(|| panic!("`{text}` rejection must surface a witness"));
+    assert!(
+        !witness.witnesses.is_empty(),
+        "`{text}` witness carries no weights"
+    );
+    assert!(
+        !witness.detail.is_empty(),
+        "`{text}` witness carries no violated equation"
+    );
+}
+
+/// `detour` composes by `|a − b| + 1`: adding an edge can *shrink* the
+/// total, breaking monotonicity (M). Gate: Proposition 2.
+#[test]
+fn monotonicity_mutant_rejects_at_prop2() {
+    let r = rejection_of("detour");
+    assert_eq!(r.gate, Gate::Prop2);
+    assert_eq!(r.property, Some(Property::Monotone));
+    assert_witness_replays("detour", &r);
+
+    // Replay the M violation on the surfaced pair: w ⪯ a ⊕ w must fail.
+    let alg = DynAlgebra::parse("detour").expect("parse");
+    let w = &r.witness.as_ref().unwrap().witnesses;
+    let found_violation = w.iter().any(|a| {
+        w.iter().any(|b| {
+            alg.combine(a, b)
+                .finite()
+                .is_some_and(|c| alg.compare(b, c) == std::cmp::Ordering::Greater)
+        })
+    });
+    assert!(
+        found_violation,
+        "the surfaced detour witnesses do not replay the M violation"
+    );
+
+    // Intact twin: plain additive cost is regular, takes exact tables.
+    assert_eq!(scheme_of("shortest-path"), SchemeChoice::DestTable);
+}
+
+/// `penalize(shortest-path, 10, 100)` jumps combined weight 10 to 100:
+/// a cliff that breaks isotonicity (I) but not monotonicity. Gate:
+/// Proposition 2, naming I — not M, and not any theorem gate.
+#[test]
+fn isotonicity_mutant_rejects_at_prop2() {
+    let r = rejection_of("penalize(shortest-path, 10, 100)");
+    assert_eq!(r.gate, Gate::Prop2);
+    assert_eq!(r.property, Some(Property::Isotone));
+    assert_witness_replays("penalize(shortest-path, 10, 100)", &r);
+
+    // Intact twin: drop the cliff and the same carrier is admitted.
+    assert_eq!(scheme_of("shortest-path"), SchemeChoice::DestTable);
+}
+
+/// `lex(widest-path, plateau)` has the shortest-widest *shape*, but the
+/// max-composed tail breaks strict monotonicity (SM), which Theorem 1
+/// requires for the bottleneck-class tables. Gate: Theorem 1.
+#[test]
+fn strict_monotonicity_mutant_rejects_at_theorem1() {
+    let r = rejection_of("lex(widest-path, plateau)");
+    assert_eq!(r.gate, Gate::Theorem1);
+    assert_eq!(r.property, Some(Property::StrictlyMonotone));
+    assert_witness_replays("lex(widest-path, plateau)", &r);
+
+    // Intact twin: the true shortest-widest product passes Theorem 1's
+    // gate and takes the bottleneck-class tables.
+    assert_eq!(
+        scheme_of("lex(widest-path, shortest-path)"),
+        SchemeChoice::SwClassTable
+    );
+    assert_eq!(scheme_of("shortest-widest"), SchemeChoice::SwClassTable);
+}
+
+/// `compact(bound(shortest-path, 40))` requests the landmark scheme for
+/// a bounded subalgebra — which is not delimited, Theorem 3's extra
+/// condition. Gate: Theorem 3, and *only* under `compact(…)`: the same
+/// expression without the wrapper is regular and admitted.
+#[test]
+fn delimitedness_mutant_rejects_at_theorem3_only_under_compact() {
+    let r = rejection_of("compact(bound(shortest-path, 40))");
+    assert_eq!(r.gate, Gate::Theorem3);
+    assert_eq!(r.property, Some(Property::Delimited));
+    assert_witness_replays("compact(bound(shortest-path, 40))", &r);
+    let w = r.witness.as_ref().unwrap();
+    assert_eq!(
+        w.witnesses.len(),
+        2,
+        "delimitedness is a two-weight statement; got {:?}",
+        w.witnesses
+    );
+
+    // Intact twins: unbounded under compact is Cowen-admissible; the
+    // bounded algebra without compact is regular → exact tables.
+    assert_eq!(scheme_of("compact(shortest-path)"), SchemeChoice::Cowen);
+    assert_eq!(
+        scheme_of("bound(shortest-path, 40)"),
+        SchemeChoice::DestTable
+    );
+}
+
+/// BGP words fail before any theorem gate — the order itself is not
+/// total (B1/B2) or ⊕ is not commutative (B3) — so the rejection names
+/// the structure gate, with the offending word pair surfaced.
+#[test]
+fn bgp_mutants_reject_at_the_structure_gate() {
+    for name in ["bgp-b1", "bgp-b2", "bgp-b3", "bgp-b4"] {
+        let r = rejection_of(name);
+        assert_eq!(r.gate, Gate::Structure, "{name}");
+        assert_witness_replays(name, &r);
+    }
+    // Intact twin at the same gate: the unit carrier trivially has
+    // total order and commutative ⊕.
+    assert_eq!(scheme_of("usable-path"), SchemeChoice::DestTable);
+}
+
+/// Every mutant is rejected by exactly one gate — the four gates
+/// partition the rejection space, so a mutant never shows up at a
+/// neighbouring gate as the classifier evolves.
+#[test]
+fn gates_partition_the_mutants() {
+    let table = [
+        ("detour", Gate::Prop2),
+        ("penalize(shortest-path, 10, 100)", Gate::Prop2),
+        ("lex(widest-path, plateau)", Gate::Theorem1),
+        ("compact(bound(shortest-path, 40))", Gate::Theorem3),
+        ("bgp-b3", Gate::Structure),
+    ];
+    for (text, gate) in table {
+        let d = decide_text(text).expect("well-formed");
+        match d.admissibility {
+            Admissibility::Rejected(r) => assert_eq!(r.gate, gate, "{text}"),
+            Admissibility::Admitted { .. } => panic!("mutant `{text}` was admitted"),
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Property-based tests for the algebra-expression parser: canonical
+//! printing is a section of parsing (parse ∘ print = id) over generated
+//! trees, and a corpus of malformed inputs maps to typed errors — the
+//! parser never panics on untrusted text, however hostile.
+//!
+//! The vendored proptest subset has no recursive strategies, so trees
+//! are decoded from a random word tape: each word picks a node kind and
+//! its parameters, and the decoder bounds depth structurally, keeping
+//! every generated tree inside the parser's own limits.
+
+use cpr_algebra::{AtomId, Expr, ExprError, ExprRequest};
+use proptest::prelude::*;
+
+const MAX_DEPTH: usize = 16;
+const MAX_PARAM: u64 = 1_000_000;
+
+/// Depth kept under the generator's own ceiling (< [`MAX_DEPTH`]) so
+/// every decoded tree must parse back.
+const GEN_DEPTH: usize = 7;
+
+struct Tape<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl Tape<'_> {
+    fn next(&mut self) -> u64 {
+        let w = self.words[self.pos % self.words.len()];
+        // Decorrelate wrapped re-reads of the same cell.
+        let salted = w ^ (self.pos as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.pos += 1;
+        salted
+    }
+
+    fn atom(&mut self) -> AtomId {
+        AtomId::ALL[(self.next() % AtomId::ALL.len() as u64) as usize]
+    }
+
+    fn param(&mut self) -> u64 {
+        self.next() % (MAX_PARAM + 1)
+    }
+
+    fn expr(&mut self, depth: usize) -> Expr {
+        if depth >= GEN_DEPTH {
+            return Expr::Atom(self.atom());
+        }
+        match self.next() % 6 {
+            0 | 1 => Expr::Atom(self.atom()),
+            2 => Expr::Lex(
+                Box::new(self.expr(depth + 1)),
+                Box::new(self.expr(depth + 1)),
+            ),
+            3 => Expr::Scale(Box::new(self.expr(depth + 1)), self.param()),
+            4 => Expr::Penalize(Box::new(self.expr(depth + 1)), self.param(), self.param()),
+            _ => Expr::Bound(Box::new(self.expr(depth + 1)), self.param()),
+        }
+    }
+}
+
+fn decode(words: &[u64]) -> Expr {
+    Tape { words, pos: 0 }.expr(0)
+}
+
+/// Characters weighted toward the grammar, so random soup reaches deep
+/// parser states instead of dying in the tokenizer.
+const SOUP: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789(),- \t;#";
+
+fn soup_string(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .map(|&b| SOUP[b as usize % SOUP.len()] as char)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// parse(print(e)) == e structurally for every generated tree, and
+    /// the canonical printing is a fixed point (print ∘ parse ∘ print =
+    /// print).
+    #[test]
+    fn canonical_print_parse_roundtrip(
+        words in proptest::collection::vec(0u64..u64::MAX, 4..48),
+    ) {
+        let expr = decode(&words);
+        prop_assert!(expr.depth() <= MAX_DEPTH);
+        let printed = expr.to_string();
+        let reparsed = Expr::parse(&printed)
+            .unwrap_or_else(|e| panic!("canonical text `{printed}` failed to parse: {e}"));
+        prop_assert_eq!(&reparsed, &expr, "roundtrip changed the tree for `{}`", printed);
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// The same section law for full requests, with and without the
+    /// top-level `compact(…)` wrapper.
+    #[test]
+    fn request_roundtrip(
+        words in proptest::collection::vec(0u64..u64::MAX, 4..48),
+        compact in any::<bool>(),
+    ) {
+        let request = ExprRequest { compact, expr: decode(&words) };
+        let printed = request.to_string();
+        let reparsed = ExprRequest::parse(&printed)
+            .unwrap_or_else(|e| panic!("canonical request `{printed}` failed to parse: {e}"));
+        prop_assert_eq!(&reparsed, &request);
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// Whitespace is immaterial: padding every comma and parenthesis
+    /// parses to the same tree.
+    #[test]
+    fn whitespace_is_immaterial(
+        words in proptest::collection::vec(0u64..u64::MAX, 4..48),
+    ) {
+        let expr = decode(&words);
+        let padded = expr
+            .to_string()
+            .replace('(', " ( ")
+            .replace(')', " ) ")
+            .replace(',', " , ");
+        prop_assert_eq!(Expr::parse(&padded).expect("padded parse"), expr);
+    }
+
+    /// Grammar-weighted character soup never panics the parser — it
+    /// either parses or returns a typed [`ExprError`].
+    #[test]
+    fn grammar_soup_never_panics(
+        bytes in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let text = soup_string(&bytes);
+        let _ = Expr::parse(&text);
+        let _ = ExprRequest::parse(&text);
+    }
+
+    /// Mutilating canonical text (truncation plus one byte flipped to a
+    /// grammar character) never panics either — this hits near-valid
+    /// inputs uniform soup almost never reaches.
+    #[test]
+    fn mutated_canonical_text_never_panics(
+        words in proptest::collection::vec(0u64..u64::MAX, 4..32),
+        cut in any::<u64>(),
+        flip_at in any::<u64>(),
+        flip_to in any::<u8>(),
+    ) {
+        let printed = decode(&words).to_string();
+        let keep = (cut % (printed.len() as u64 + 1)) as usize;
+        let mut mutated: Vec<u8> = printed.as_bytes()[..keep].to_vec();
+        if !mutated.is_empty() {
+            let at = (flip_at % mutated.len() as u64) as usize;
+            mutated[at] = SOUP[flip_to as usize % SOUP.len()];
+        }
+        let text = String::from_utf8(mutated).expect("ascii");
+        let _ = Expr::parse(&text);
+        let _ = ExprRequest::parse(&text);
+    }
+}
+
+/// A curated malformed corpus: every entry is rejected with a typed
+/// error (no panics, no false accepts), and the headline shapes map to
+/// the variants the wire layer reports to tenants.
+#[test]
+fn malformed_corpus_maps_to_typed_errors() {
+    // Unbalanced products.
+    assert!(matches!(
+        Expr::parse("lex(shortest-path, widest-path"),
+        Err(ExprError::Expected { .. })
+    ));
+    assert!(matches!(
+        Expr::parse("lex(shortest-path widest-path)"),
+        Err(ExprError::Expected { .. })
+    ));
+    assert!(matches!(
+        Expr::parse("lex(shortest-path, widest-path))"),
+        Err(ExprError::TrailingInput { .. })
+    ));
+    assert!(matches!(
+        Expr::parse(")lex(shortest-path, widest-path)"),
+        Err(ExprError::Expected { .. })
+    ));
+    assert!(matches!(
+        Expr::parse("lex(, widest-path)"),
+        Err(ExprError::Expected { .. })
+    ));
+    assert!(matches!(
+        Expr::parse("lex(shortest-path)"),
+        Err(ExprError::Expected { .. })
+    ));
+
+    // Unknown atoms and misspellings.
+    for bad in [
+        "longest-path",
+        "shortest",
+        "lexx(shortest-path, widest-path)",
+        "bgp-b9",
+        "compactt(shortest-path)",
+    ] {
+        assert!(
+            matches!(Expr::parse(bad), Err(ExprError::UnknownAtom { .. })),
+            "`{bad}` should be an unknown atom"
+        );
+    }
+
+    // Depth bombs: a flood of opening combinators must hit the typed
+    // depth guard long before the recursion could overflow the stack.
+    let bomb = "lex(shortest-path, ".repeat(100_000);
+    assert_eq!(
+        Expr::parse(&bomb),
+        Err(ExprError::TooDeep { limit: MAX_DEPTH })
+    );
+    let scale_bomb = format!(
+        "{}shortest-path{}",
+        "scale(".repeat(50_000),
+        ", 2)".repeat(50_000)
+    );
+    assert_eq!(
+        Expr::parse(&scale_bomb),
+        Err(ExprError::TooDeep { limit: MAX_DEPTH })
+    );
+
+    // Parameter abuse: over the cap, u64 overflow, missing, non-numeric.
+    assert!(matches!(
+        Expr::parse("scale(shortest-path, 1000001)"),
+        Err(ExprError::ParamRange { .. })
+    ));
+    assert!(matches!(
+        Expr::parse("scale(shortest-path, 99999999999999999999999999)"),
+        Err(ExprError::ParamRange { .. })
+    ));
+    assert!(matches!(
+        Expr::parse("scale(shortest-path)"),
+        Err(ExprError::Expected { .. })
+    ));
+    assert!(matches!(
+        Expr::parse("bound(shortest-path, shortest-path)"),
+        Err(ExprError::Expected { .. })
+    ));
+
+    // compact(…) anywhere but the top level, including via Expr::parse
+    // which accepts no wrapper at all.
+    assert!(matches!(
+        ExprRequest::parse("lex(compact(shortest-path), widest-path)"),
+        Err(ExprError::NestedCompact { .. })
+    ));
+    assert!(matches!(
+        ExprRequest::parse("compact(compact(shortest-path))"),
+        Err(ExprError::NestedCompact { .. })
+    ));
+
+    // Lexical garbage and emptiness.
+    assert_eq!(Expr::parse(""), Err(ExprError::Empty));
+    assert_eq!(Expr::parse("   "), Err(ExprError::Empty));
+    assert!(matches!(
+        Expr::parse("lex(shortest-path; widest-path)"),
+        Err(ExprError::BadChar { ch: ';', .. })
+    ));
+    assert!(matches!(
+        Expr::parse("Shortest-Path"),
+        Err(ExprError::BadChar { ch: 'S', .. })
+    ));
+}

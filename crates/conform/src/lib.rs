@@ -35,7 +35,11 @@
 //! the BGP compositions `B1`–`B4` — is checked hop-for-hop against its
 //! own exhaustive oracle, fresh and after shared-dirty-set repair
 //! ([`check_multi_instance`]), with a polynomial differential arm for
-//! CI-sized graphs ([`check_multi_scale`]).
+//! CI-sized graphs ([`check_multi_scale`]). Its dynamic-tenancy arm
+//! ([`check_multi_dynamic`]) registers algebra *expressions* at runtime
+//! through the same gate-and-compile path the wire uses and certifies
+//! each against its own oracle across the same phases, plus the
+//! deregistration tombstone discipline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,8 +63,9 @@ pub use engine::{
 pub use fuzz::{fuzz, Failure, FuzzOutcome};
 pub use generate::{generate, GraphFamily, Instance, ALL_FAMILIES};
 pub use multi::{
-    as_graph_for, check_multi_instance, check_multi_scale, standard_builder, standard_classes,
-    topology_weights, MultiClassSpec, BGP_CLASSES, BGP_FAMILY, TABLE1_FAMILY,
+    as_graph_for, check_multi_dynamic, check_multi_instance, check_multi_scale, dynamic_classes,
+    standard_builder, standard_classes, topology_weights, DynamicClassSpec, MultiClassSpec,
+    BGP_CLASSES, BGP_FAMILY, DYNAMIC_FAMILY, TABLE1_FAMILY,
 };
 pub use mutant::{classify_mutant, MutantId, ALL_MUTANTS};
 pub use repro::{from_json, to_json, write_repro, REPRO_VERSION};

@@ -37,23 +37,38 @@
 //! checked hop-for-hop against its fresh scheme only (which is itself
 //! oracle-certified by the small-instance arm) across the same three
 //! phases.
+//!
+//! [`check_multi_dynamic`] is the dynamic-tenancy arm: the
+//! [`dynamic_classes`] registry — one admitted algebra *expression* per
+//! compile path the admissibility gates can choose — is registered at
+//! runtime through [`MultiPlane::register_class_expr`] (the same path
+//! the wire's `Register` opcode takes) and each class is differentially
+//! certified against its own exhaustive oracle across the same three
+//! phases, with coverage entries
+//! `multi-dynamic:{class}:{family}:{phase}`. A deregistration epilogue
+//! checks the tombstone discipline: survivors serve bit-for-bit, the
+//! freed wire id is reused, seed classes refuse to retire, and an
+//! inadmissible expression never moves the registry or the epoch.
 
 use std::fmt;
 
-use cpr_algebra::{check_stretch, Property, RoutingAlgebra, StretchVerdict};
+use cpr_algebra::{check_stretch, Gate, Property, RoutingAlgebra, SchemeChoice, StretchVerdict};
 use cpr_bgp::{
     prefer_customer_shortest, routes_to, AsGraph, BgpAlgebra, BgpRoutes, BgpStateTable,
     PreferCustomer, ProviderCustomer, Relationship, ValleyFree, Word,
 };
 use cpr_graph::{EdgeWeights, Graph, NodeId};
 use cpr_paths::exhaustive_preferred_all;
-use cpr_plane::{MultiBuilder, MultiPlane, MultiSnapshot, RepairPolicy};
+use cpr_plane::{
+    build_tenant_class, dyn_edge_weights, MultiBuilder, MultiPlane, MultiSnapshot, RepairPolicy,
+    TenantError,
+};
 use cpr_routing::{route, DestTable, RouteError, SwClassTable};
 use rand::SeedableRng;
 
 use crate::algebras::{empirical_properties, AlgebraId, ConformAlgebra, ALL_ALGEBRAS};
 use crate::churn::synth_atom;
-use crate::engine::{Report, Violation, TABLE_STRETCH};
+use crate::engine::{Report, Violation, COWEN_STRETCH, TABLE_STRETCH};
 use crate::generate::Instance;
 
 /// Family tag of the eight Table 1 classes.
@@ -950,6 +965,436 @@ fn scale_sweep(report: &mut Report, tag: &str, phase: &str, multi: &MultiPlane) 
     }
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic tenancy arm
+// ---------------------------------------------------------------------------
+
+/// Family tag of the runtime-registered tenant classes.
+pub const DYNAMIC_FAMILY: &str = "dynamic";
+
+/// One runtime-registered tenant class of the dynamic conformance arm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynamicClassSpec {
+    /// Registry (and wire) name of the class.
+    pub name: &'static str,
+    /// The algebra expression registered over the wire.
+    pub expr: &'static str,
+    /// The scheme the admissibility gates must choose.
+    pub scheme: SchemeChoice,
+}
+
+/// The dynamic tenant registry: one admitted expression per compile
+/// path the gates can choose — exact destination tables (plain and
+/// lexicographic), the Theorem 1 bottleneck-class tables, and the
+/// Theorem 3 Cowen landmark scheme — so a sweep certifies every way a
+/// wire registration can reach the substrate.
+pub fn dynamic_classes() -> Vec<DynamicClassSpec> {
+    vec![
+        DynamicClassSpec {
+            name: "tenant-scaled-shortest",
+            expr: "scale(shortest-path, 3)",
+            scheme: SchemeChoice::DestTable,
+        },
+        DynamicClassSpec {
+            name: "tenant-reliable-shortest",
+            expr: "lex(most-reliable-path, shortest-path)",
+            scheme: SchemeChoice::DestTable,
+        },
+        DynamicClassSpec {
+            name: "tenant-sw-scaled",
+            expr: "lex(widest-path, scale(shortest-path, 2))",
+            scheme: SchemeChoice::SwClassTable,
+        },
+        DynamicClassSpec {
+            name: "tenant-compact-shortest",
+            expr: "compact(shortest-path)",
+            scheme: SchemeChoice::Cowen,
+        },
+    ]
+}
+
+/// Oracle + hop-for-hop check of one runtime-registered tenant class in
+/// one phase. The fresh comparator is a tenant class rebuilt from the
+/// same expression on the current topology — the factory is
+/// deterministic in (expression, graph), so hop-exact phases compare
+/// like-for-like — and the oracle is the exhaustive sweep under the
+/// expression's own lowered algebra over the same pair-keyed weights
+/// the tenant factory derives. The stretch bound follows the gate's
+/// scheme choice: exact for tables, 3 for Cowen (Theorem 3).
+#[allow(clippy::too_many_arguments)]
+fn check_dynamic_class(
+    report: &mut Report,
+    tag: &str,
+    phase: &str,
+    multi: &MultiPlane,
+    snap: &MultiSnapshot,
+    class: usize,
+    spec: &DynamicClassSpec,
+    cap: usize,
+    hop_exact: bool,
+) {
+    let graph = multi.graph();
+    let fresh_class = match build_tenant_class(spec.name, spec.expr, graph) {
+        Ok(t) => t,
+        Err(e) => {
+            report.violations.push(violation(
+                tag,
+                spec.name,
+                phase,
+                "tenant-rebuild",
+                e.to_string(),
+            ));
+            return;
+        }
+    };
+    let alg = fresh_class.decision.algebra.clone();
+    let weights = dyn_edge_weights(&alg, graph);
+    let prune = fresh_class
+        .decision
+        .report
+        .holding()
+        .contains(Property::Monotone);
+    let oracle = exhaustive_preferred_all(graph, &weights, &alg, prune);
+    let stretch = match spec.scheme {
+        SchemeChoice::Cowen => COWEN_STRETCH,
+        _ => TABLE_STRETCH,
+    };
+    let plane = fresh_class.plane;
+    let fresh = |s: NodeId, t: NodeId| plane.lookup(graph, s, t).map(|(p, _)| p);
+    let mut oracle_check = |s: NodeId, t: NodeId, delivered: Option<&[NodeId]>| {
+        let preferred = oracle[s].weight(t);
+        match delivered {
+            None => (!preferred.is_infinite()).then(|| {
+                (
+                    "multi-unroutable".to_owned(),
+                    format!("{s}→{t}: refused but the oracle routes at {preferred:?}"),
+                )
+            }),
+            Some(path) => {
+                if preferred.is_infinite() {
+                    return Some((
+                        "multi-phantom-route".to_owned(),
+                        format!("{s}→{t}: delivered {path:?} but no traversable path exists"),
+                    ));
+                }
+                if path.first() != Some(&s) || path.last() != Some(&t) {
+                    return Some((
+                        "multi-misdelivery".to_owned(),
+                        format!("{s}→{t}: delivered along {path:?}"),
+                    ));
+                }
+                let actual = weights.path_weight(&alg, graph, path);
+                (check_stretch(&alg, &actual, preferred, stretch) == StretchVerdict::Exceeded).then(
+                    || {
+                        (
+                            "multi-stretch-exceeded".to_owned(),
+                            format!(
+                                "{s}→{t}: path {path:?} weighs {actual:?}, exceeding the \
+                                 stretch-{stretch} bound over preferred {preferred:?}"
+                            ),
+                        )
+                    },
+                )
+            }
+        }
+    };
+    differential_sweep(
+        report,
+        tag,
+        spec.name,
+        phase,
+        multi,
+        snap,
+        class,
+        cap,
+        hop_exact,
+        &fresh,
+        &mut oracle_check,
+    );
+}
+
+/// One phase of [`check_multi_dynamic`]: every *registered* spec from
+/// `specs` against its own oracle, plus coverage entries
+/// `multi-dynamic:{class}:{family}:{phase}` — the dynamic-class ×
+/// instance-family × phase matrix the report proves.
+fn check_dynamic_registered(
+    report: &mut Report,
+    tag: &str,
+    instance_family: &str,
+    phase: &str,
+    multi: &MultiPlane,
+    specs: &[DynamicClassSpec],
+    hop_exact: bool,
+) {
+    let snap = multi.snapshot();
+    for spec in specs {
+        let Some(class) = multi.class_index(spec.name) else {
+            report.violations.push(violation(
+                tag,
+                spec.name,
+                phase,
+                "tenant-missing",
+                "registered class vanished from the registry".to_owned(),
+            ));
+            continue;
+        };
+        check_dynamic_class(
+            report,
+            tag,
+            phase,
+            multi,
+            &snap,
+            class,
+            spec,
+            MULTI_VIOLATION_CAP,
+            hop_exact,
+        );
+        report.coverage.insert(format!(
+            "multi-dynamic:{}:{}:{}",
+            spec.name, instance_family, phase
+        ));
+    }
+}
+
+/// The dynamic-tenancy conformance arm over one generated instance:
+/// the standard registry is built, the dynamic registry is registered
+/// *at runtime* through the same [`MultiPlane::register_class_expr`]
+/// path the wire uses, and every dynamic class is differentially
+/// certified against its own exhaustive oracle across the same three
+/// phases as [`check_multi_instance`] — fresh, after shared-dirty-set
+/// repair (the one delta repairing seed and tenant classes alike), and
+/// after the restoring addition. A deregistration epilogue then checks
+/// the tombstone discipline: retiring a class leaves the survivors
+/// byte-identical, the freed wire id is reused by the next
+/// registration, and seed classes refuse to deregister.
+pub fn check_multi_dynamic(inst: &Instance) -> Report {
+    let mut report = Report::default();
+    let graph = inst.graph();
+    let tag = inst.tag();
+    let specs = dynamic_classes();
+    let mut multi = match MultiPlane::build(&graph, standard_builder()) {
+        Ok(m) => m,
+        Err(e) => {
+            report.violations.push(violation(
+                &tag,
+                "*",
+                "fresh",
+                "multi-compile",
+                e.to_string(),
+            ));
+            return report;
+        }
+    };
+    let seed_classes = multi.class_count();
+
+    // Gate sanity on the live plane: an inadmissible expression must be
+    // refused before anything compiles, leaving registry and epoch
+    // untouched.
+    let epoch_before = multi.epoch();
+    match multi.register_class_expr("tenant-detour", "detour") {
+        Err(TenantError::Inadmissible(r)) => {
+            if r.gate != Gate::Prop2 {
+                report.violations.push(violation(
+                    &tag,
+                    "tenant-detour",
+                    "fresh",
+                    "tenant-gate",
+                    format!("detour rejected by {:?}, expected Prop2", r.gate),
+                ));
+            }
+        }
+        other => {
+            report.violations.push(violation(
+                &tag,
+                "tenant-detour",
+                "fresh",
+                "tenant-gate",
+                format!("inadmissible expression was not gate-rejected: {other:?}"),
+            ));
+        }
+    }
+    if multi.epoch() != epoch_before || multi.class_count() != seed_classes {
+        report.violations.push(violation(
+            &tag,
+            "tenant-detour",
+            "fresh",
+            "tenant-gate",
+            "a rejected registration moved the registry or the epoch".to_owned(),
+        ));
+    }
+
+    // Register the dynamic registry through the wire path.
+    for spec in &specs {
+        match multi.register_class_expr(spec.name, spec.expr) {
+            Ok(reg) => {
+                if reg.scheme != spec.scheme {
+                    report.violations.push(violation(
+                        &tag,
+                        spec.name,
+                        "fresh",
+                        "tenant-scheme",
+                        format!("gate chose {:?}, expected {:?}", reg.scheme, spec.scheme),
+                    ));
+                }
+            }
+            Err(e) => {
+                report.violations.push(violation(
+                    &tag,
+                    spec.name,
+                    "fresh",
+                    "tenant-register",
+                    e.to_string(),
+                ));
+                return report;
+            }
+        }
+    }
+    check_dynamic_registered(
+        &mut report,
+        &tag,
+        &inst.family,
+        "fresh",
+        &multi,
+        &specs,
+        true,
+    );
+
+    // Phases 2–3: the same churn drill as the standard arm — one shared
+    // dirty set must repair dynamic classes identically to seed ones.
+    let policy = RepairPolicy {
+        max_dirty_fraction: 1.0,
+        ..RepairPolicy::default()
+    };
+    let obs = cpr_obs::Obs::with_null_tracer();
+    if inst.heal_edge.is_some() {
+        let degraded = inst.degraded_graph();
+        for (phase, target, hop_exact) in
+            [("repaired", &degraded, false), ("restored", &graph, true)]
+        {
+            if let Err(e) = multi.reconcile(target, &policy, &obs) {
+                report
+                    .violations
+                    .push(violation(&tag, "*", phase, "multi-repair", e.to_string()));
+                return report;
+            }
+            for c in multi.classes() {
+                if c.dirty_pairs() != 0 {
+                    report.violations.push(violation(
+                        &tag,
+                        c.class_name(),
+                        phase,
+                        "multi-stale",
+                        format!("{} pairs still dirty after reconcile", c.dirty_pairs()),
+                    ));
+                }
+            }
+            check_dynamic_registered(
+                &mut report,
+                &tag,
+                &inst.family,
+                phase,
+                &multi,
+                &specs,
+                hop_exact,
+            );
+        }
+    } else {
+        report
+            .skips
+            .push(format!("multi-dynamic/repair: no removable edge ({tag})"));
+    }
+
+    // Deregistration epilogue: tombstones, survivor integrity, slot
+    // reuse, and the seed-class guard.
+    let retired = &specs[0];
+    let freed = match multi.deregister_class(retired.name) {
+        Ok(c) => c,
+        Err(e) => {
+            report.violations.push(violation(
+                &tag,
+                retired.name,
+                "deregistered",
+                "tenant-deregister",
+                e.to_string(),
+            ));
+            return report;
+        }
+    };
+    if multi.class_index(retired.name).is_some() {
+        report.violations.push(violation(
+            &tag,
+            retired.name,
+            "deregistered",
+            "tenant-deregister",
+            "a retired class is still live in the registry".to_owned(),
+        ));
+    }
+    match multi.deregister_class(retired.name) {
+        Err(TenantError::UnknownClass(_)) => {}
+        other => report.violations.push(violation(
+            &tag,
+            retired.name,
+            "deregistered",
+            "tenant-deregister",
+            format!("double deregistration answered {other:?}, expected UnknownClass"),
+        )),
+    }
+    match multi.deregister_class("shortest-path") {
+        Err(TenantError::SeedClass(_)) => {}
+        other => report.violations.push(violation(
+            &tag,
+            "shortest-path",
+            "deregistered",
+            "tenant-deregister",
+            format!("seed deregistration answered {other:?}, expected SeedClass"),
+        )),
+    }
+    // The survivors keep serving bit-for-bit.
+    check_dynamic_registered(
+        &mut report,
+        &tag,
+        &inst.family,
+        "deregistered",
+        &multi,
+        &specs[1..],
+        true,
+    );
+    // The freed wire id is reused by the next registration.
+    let reuse = DynamicClassSpec {
+        name: "tenant-hop-count",
+        expr: "hop-count",
+        scheme: SchemeChoice::DestTable,
+    };
+    match multi.register_class_expr(reuse.name, reuse.expr) {
+        Ok(reg) if reg.class == freed => {
+            check_dynamic_registered(
+                &mut report,
+                &tag,
+                &inst.family,
+                "reused",
+                &multi,
+                std::slice::from_ref(&reuse),
+                true,
+            );
+        }
+        Ok(reg) => report.violations.push(violation(
+            &tag,
+            reuse.name,
+            "reused",
+            "tenant-register",
+            format!("slot {} not reused, class {} assigned", freed, reg.class),
+        )),
+        Err(e) => report.violations.push(violation(
+            &tag,
+            reuse.name,
+            "reused",
+            "tenant-register",
+            e.to_string(),
+        )),
+    }
+    report
+}
+
 /// The first edge whose removal keeps `graph` connected.
 fn first_non_bridge(graph: &Graph) -> Option<(NodeId, NodeId)> {
     graph.edges().find_map(|(e, uv)| {
@@ -1083,6 +1528,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn a_dynamic_tenant_sweep_is_clean() {
+        // Seed 4 (gnp) carries a heal edge, so all three churn phases
+        // plus the deregistration epilogue run.
+        let inst = generate(4);
+        assert!(inst.heal_edge.is_some());
+        let report = check_multi_dynamic(&inst);
+        assert!(report.is_clean(), "{}", report.render());
+        for spec in dynamic_classes() {
+            for phase in ["fresh", "repaired", "restored"] {
+                let entry = format!("multi-dynamic:{}:{}:{phase}", spec.name, inst.family);
+                assert!(
+                    report.coverage.contains(&entry),
+                    "missing coverage for {entry}"
+                );
+            }
+        }
+        // The epilogue ran: survivors re-certified, freed slot reused.
+        assert!(report.coverage.contains(&format!(
+            "multi-dynamic:tenant-hop-count:{}:reused",
+            inst.family
+        )));
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Dynamic-tenancy conformance: algebra expressions registered at
+//! runtime through the wire's gate-and-compile path
+//! ([`cpr_conform::check_multi_dynamic`]), each certified against its
+//! own exhaustive oracle fresh, after shared-dirty-set repair, and
+//! after restore, over every generator family — then the
+//! deregistration tombstone discipline. The dynamic-class × family ×
+//! phase matrix is proven from the merged report's coverage set.
+//!
+//! This is the conformance half of the CI `tenant-smoke` job:
+//!
+//! ```text
+//! cargo test --release -p cpr-conform --test tenant_conformance
+//! ```
+
+use cpr_conform::{check_multi_dynamic, dynamic_classes, generate, Report};
+
+/// `generate` cycles families with the seed, so eight consecutive seeds
+/// visit all eight graph families exactly once.
+const FAMILY_SEEDS: std::ops::Range<u64> = 0..8;
+
+#[test]
+fn every_dynamic_class_conforms_on_every_family() {
+    let mut merged = Report::default();
+    let mut families = Vec::new();
+    let mut churned = Vec::new();
+    for seed in FAMILY_SEEDS {
+        let inst = generate(seed);
+        families.push(inst.family.clone());
+        if inst.heal_edge.is_some() {
+            churned.push(inst.family.clone());
+        }
+        merged.merge(check_multi_dynamic(&inst));
+    }
+    assert!(
+        merged.violations.is_empty(),
+        "dynamic-tenancy conformance violations:\n{}",
+        merged.render()
+    );
+    assert!(merged.pairs_checked > 0);
+
+    families.sort();
+    families.dedup();
+    assert_eq!(families.len(), 8, "eight seeds must span eight families");
+    assert!(
+        !churned.is_empty(),
+        "some family must exercise the repair phases"
+    );
+
+    // The coverage matrix, read back from the report itself: every
+    // dynamic class × every family fresh (plus the epilogue's slot
+    // reuse), and × the churn phases on every family with a heal edge.
+    for spec in dynamic_classes() {
+        for family in &families {
+            let entry = format!("multi-dynamic:{}:{family}:fresh", spec.name);
+            assert!(
+                merged.coverage.contains(&entry),
+                "coverage matrix is missing {entry}; have {:?}",
+                merged.coverage
+            );
+        }
+        for family in &churned {
+            for phase in ["repaired", "restored"] {
+                let entry = format!("multi-dynamic:{}:{family}:{phase}", spec.name);
+                assert!(
+                    merged.coverage.contains(&entry),
+                    "coverage matrix is missing {entry}"
+                );
+            }
+        }
+    }
+    for family in &families {
+        assert!(
+            merged
+                .coverage
+                .contains(&format!("multi-dynamic:tenant-hop-count:{family}:reused")),
+            "deregistration epilogue did not run on {family}"
+        );
+    }
+}

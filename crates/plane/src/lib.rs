@@ -60,6 +60,7 @@ pub mod compile;
 pub mod engine;
 pub mod heal;
 pub mod multi;
+pub mod tenant;
 pub mod workload;
 
 pub use compile::{
@@ -74,8 +75,11 @@ pub use heal::{
     HealthCounters, PendingWork, RepairPolicy, RepairStats, SelfHealingPlane, Served, StaleReport,
 };
 pub use multi::{
-    ClassMemory, ClassPlane, MultiBuilder, MultiMemory, MultiPlane, MultiRepairReport,
-    MultiSnapshot, TypedClassPlane,
+    ClassMemory, ClassPlane, ClassRegistration, MultiBuilder, MultiMemory, MultiPlane,
+    MultiRepairReport, MultiSnapshot, TypedClassPlane,
+};
+pub use tenant::{
+    build_tenant_class, dyn_edge_weights, sw_edge_weights, TenantClass, TenantError, MAX_CLASSES,
 };
 // Delta oracles are defined in `cpr-paths`; re-exported here because the
 // healing APIs above consume them, so plane users (e.g. `cpr-serve`) need

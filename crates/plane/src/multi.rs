@@ -48,6 +48,7 @@ use crate::engine::StaticCore;
 use crate::heal::{
     HealthCounters, RepairPolicy, RepairStats, SelfHealingPlane, Served, StaleReport,
 };
+use crate::tenant::{build_tenant_class, TenantClass, TenantError, MAX_CLASSES};
 
 /// One served traffic class: a self-healing plane plus the scheme
 /// factory that rebuilds its live scheme when the topology moves.
@@ -313,6 +314,60 @@ impl MultiBuilder {
     }
 }
 
+/// One wire traffic-class slot of a [`MultiPlane`]. Slot indices are
+/// the wire protocol's class ids and **never shift**: deregistering a
+/// runtime class leaves a tombstone that keeps its index (and name, for
+/// diagnostics) until a later registration reuses it, so concurrent
+/// readers of other classes cannot be renumbered underneath.
+enum Slot {
+    /// A serving class; `dynamic` marks runtime registrations (the only
+    /// ones that may be deregistered).
+    Live {
+        plane: Box<dyn ClassPlane>,
+        dynamic: bool,
+    },
+    /// A deregistered runtime class, index held in reserve.
+    Retired { name: String },
+}
+
+impl Slot {
+    fn live(&self) -> Option<&dyn ClassPlane> {
+        match self {
+            Slot::Live { plane, .. } => Some(plane.as_ref()),
+            Slot::Retired { .. } => None,
+        }
+    }
+
+    fn live_box_mut(&mut self) -> Option<&mut Box<dyn ClassPlane>> {
+        match self {
+            Slot::Live { plane, .. } => Some(plane),
+            Slot::Retired { .. } => None,
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            Slot::Live { plane, .. } => plane.class_name(),
+            Slot::Retired { name } => name,
+        }
+    }
+}
+
+/// Outcome of a successful [`MultiPlane::register_class_expr`].
+#[derive(Clone, Debug)]
+pub struct ClassRegistration {
+    /// The wire traffic-class id the new class serves under (a reused
+    /// tombstone slot when one exists, else a fresh index).
+    pub class: usize,
+    /// The scheme the admissibility gate selected.
+    pub scheme: cpr_algebra::SchemeChoice,
+    /// Multi-plane epoch after the registration.
+    pub epoch: u64,
+    /// The full gate decision (lowered algebra, measured property
+    /// report, admissibility verdict).
+    pub decision: cpr_algebra::Decision,
+}
+
 /// Outcome of one [`MultiPlane::reconcile`] pass: the shared delta
 /// analysis plus every class's own [`RepairStats`].
 #[derive(Clone, Debug)]
@@ -424,6 +479,13 @@ struct SnapshotClass {
     core: Option<StaticCore>,
 }
 
+/// A snapshot slot mirrors the master's [`Slot`] layout so class ids
+/// mean the same thing on both sides of the RCU swap.
+enum SnapSlot {
+    Live(SnapshotClass),
+    Retired(String),
+}
+
 /// An immutable multi-class serving snapshot, cloned from the master
 /// [`MultiPlane`] RCU-style: serving threads share `&MultiSnapshot`
 /// while the master keeps absorbing churn.
@@ -431,7 +493,7 @@ pub struct MultiSnapshot {
     epoch: u64,
     digest: u64,
     graph: Graph,
-    classes: Vec<SnapshotClass>,
+    classes: Vec<SnapSlot>,
 }
 
 impl MultiSnapshot {
@@ -450,18 +512,33 @@ impl MultiSnapshot {
         &self.graph
     }
 
-    /// Served classes.
+    /// Traffic-class slots, live **and** retired — the range of valid
+    /// wire class ids.
     pub fn class_count(&self) -> usize {
         self.classes.len()
     }
 
-    /// Registry name of class `class`.
+    /// Registry name of class `class` (a retired slot keeps its last
+    /// name for diagnostics).
     ///
     /// # Panics
     ///
     /// Panics when `class` is out of range.
     pub fn class_name(&self, class: usize) -> &str {
-        self.classes[class].plane.class_name()
+        match &self.classes[class] {
+            SnapSlot::Live(c) => c.plane.class_name(),
+            SnapSlot::Retired(name) => name,
+        }
+    }
+
+    /// Whether slot `class` serves (i.e. is not a deregistered
+    /// tombstone). The serving layer checks this before routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range.
+    pub fn class_live(&self, class: usize) -> bool {
+        matches!(self.classes[class], SnapSlot::Live(_))
     }
 
     /// Whether class `class` currently serves through its zero-alloc
@@ -471,14 +548,17 @@ impl MultiSnapshot {
     ///
     /// Panics when `class` is out of range.
     pub fn class_on_core(&self, class: usize) -> bool {
-        self.classes[class].core.is_some()
+        matches!(&self.classes[class], SnapSlot::Live(c) if c.core.is_some())
     }
 
-    /// `true` when no class has pairs awaiting repair — published
+    /// `true` when no live class has pairs awaiting repair — published
     /// snapshots always are, because the multi reconcile repairs every
     /// class before the swap.
     pub fn is_fresh(&self) -> bool {
-        self.classes.iter().all(|c| c.plane.dirty_pairs() == 0)
+        self.classes.iter().all(|c| match c {
+            SnapSlot::Live(c) => c.plane.dirty_pairs() == 0,
+            SnapSlot::Retired(_) => true,
+        })
     }
 
     /// Routes `source → target` in traffic class `class`: through the
@@ -492,15 +572,19 @@ impl MultiSnapshot {
     ///
     /// # Panics
     ///
-    /// Panics when `class` is out of range — the serving layer validates
-    /// the wire-supplied class id before calling.
+    /// Panics when `class` is out of range or retired — the serving
+    /// layer validates the wire-supplied class id (range **and**
+    /// liveness, via [`class_live`](Self::class_live)) before calling.
     pub fn lookup(
         &self,
         class: usize,
         source: NodeId,
         target: NodeId,
     ) -> Result<(Vec<NodeId>, Served), RouteError> {
-        let c = &self.classes[class];
+        let c = match &self.classes[class] {
+            SnapSlot::Live(c) => c,
+            SnapSlot::Retired(name) => panic!("class {class} (`{name}`) is retired"),
+        };
         match &c.core {
             Some(core) => core.walk(source, target).map(|p| (p, Served::Compiled)),
             None => c.plane.lookup(&self.graph, source, target),
@@ -514,7 +598,7 @@ pub struct MultiPlane {
     graph: Graph,
     digest: u64,
     hops: Arc<HopMatrix>,
-    classes: Vec<Box<dyn ClassPlane>>,
+    classes: Vec<Slot>,
     epoch: u64,
 }
 
@@ -529,7 +613,10 @@ impl MultiPlane {
     pub fn build(graph: &Graph, builder: MultiBuilder) -> Result<Self, CompileError> {
         let mut classes = Vec::with_capacity(builder.factories.len());
         for f in builder.factories {
-            classes.push(f(graph)?);
+            classes.push(Slot::Live {
+                plane: f(graph)?,
+                dynamic: false,
+            });
         }
         dedupe_substrate(&mut classes);
         Ok(MultiPlane {
@@ -551,8 +638,9 @@ impl MultiPlane {
         self.digest
     }
 
-    /// Multi-plane epoch: number of completed reconcile passes that
-    /// found a delta.
+    /// Multi-plane epoch: bumped by every completed reconcile pass that
+    /// found a delta and by every registration / deregistration — any
+    /// event a serving snapshot must be re-taken for.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
@@ -562,19 +650,135 @@ impl MultiPlane {
         &self.hops
     }
 
-    /// Served classes.
+    /// Traffic-class slots, live **and** retired — the range of valid
+    /// wire class ids.
     pub fn class_count(&self) -> usize {
         self.classes.len()
     }
 
-    /// The classes, in registration (= wire traffic-class) order.
-    pub fn classes(&self) -> impl Iterator<Item = &dyn ClassPlane> {
-        self.classes.iter().map(|c| c.as_ref())
+    /// Live (serving) classes.
+    pub fn live_class_count(&self) -> usize {
+        self.classes.iter().filter(|s| s.live().is_some()).count()
     }
 
-    /// Index of the class registered under `name`.
+    /// The live classes, in slot (= wire traffic-class) order. Retired
+    /// slots are skipped, so on a plane that never deregistered this is
+    /// exactly the registration order.
+    pub fn classes(&self) -> impl Iterator<Item = &dyn ClassPlane> {
+        self.classes.iter().filter_map(|c| c.live())
+    }
+
+    /// Index of the live class registered under `name`.
     pub fn class_index(&self, name: &str) -> Option<usize> {
-        self.classes.iter().position(|c| c.class_name() == name)
+        self.classes
+            .iter()
+            .position(|c| c.live().is_some() && c.name() == name)
+    }
+
+    /// Whether slot `class` serves (not a deregistered tombstone).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range.
+    pub fn class_live(&self, class: usize) -> bool {
+        self.classes[class].live().is_some()
+    }
+
+    /// Whether slot `class` is a runtime registration (deregisterable).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range.
+    pub fn class_dynamic(&self, class: usize) -> bool {
+        matches!(self.classes[class], Slot::Live { dynamic: true, .. })
+    }
+
+    /// Parses, gates, compiles and registers a tenant class under
+    /// `name`, serving from the first tombstone slot (else a fresh
+    /// index). The new class compiles against the **current** topology,
+    /// joins the content-deduped substrate, and is covered by the
+    /// shared dirty set of every later [`reconcile`](Self::reconcile)
+    /// identically to seed classes. Existing classes are untouched —
+    /// readers of a snapshot taken before the registration keep
+    /// serving, and the epoch bump tells the serving layer to publish a
+    /// new snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Parse`] / [`TenantError::Inadmissible`] (nothing
+    /// was compiled), [`TenantError::DuplicateName`],
+    /// [`TenantError::RegistryFull`], or [`TenantError::Compile`].
+    pub fn register_class_expr(
+        &mut self,
+        name: &str,
+        text: &str,
+    ) -> Result<ClassRegistration, TenantError> {
+        if self
+            .classes
+            .iter()
+            .any(|c| c.live().is_some() && c.name() == name)
+        {
+            return Err(TenantError::DuplicateName(name.to_owned()));
+        }
+        let slot = self.classes.iter().position(|c| c.live().is_none());
+        if slot.is_none() && self.classes.len() >= MAX_CLASSES {
+            return Err(TenantError::RegistryFull);
+        }
+        let TenantClass {
+            plane,
+            decision,
+            scheme,
+            ..
+        } = build_tenant_class(name, text, &self.graph)?;
+        let class = match slot {
+            Some(i) => {
+                self.classes[i] = Slot::Live {
+                    plane,
+                    dynamic: true,
+                };
+                i
+            }
+            None => {
+                self.classes.push(Slot::Live {
+                    plane,
+                    dynamic: true,
+                });
+                self.classes.len() - 1
+            }
+        };
+        dedupe_substrate(&mut self.classes);
+        self.epoch += 1;
+        Ok(ClassRegistration {
+            class,
+            scheme,
+            epoch: self.epoch,
+            decision,
+        })
+    }
+
+    /// Deregisters the runtime class named `name`, leaving a tombstone
+    /// that keeps the slot index reserved (wire class ids never shift).
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::UnknownClass`] when no live class has the name,
+    /// [`TenantError::SeedClass`] for build-time classes.
+    pub fn deregister_class(&mut self, name: &str) -> Result<usize, TenantError> {
+        let class = self
+            .class_index(name)
+            .ok_or_else(|| TenantError::UnknownClass(name.to_owned()))?;
+        match &self.classes[class] {
+            Slot::Live { dynamic: false, .. } => {
+                return Err(TenantError::SeedClass(name.to_owned()))
+            }
+            _ => {
+                self.classes[class] = Slot::Retired {
+                    name: name.to_owned(),
+                };
+            }
+        }
+        self.epoch += 1;
+        Ok(class)
     }
 
     /// Read-only healed lookup in class `class` against the current
@@ -586,14 +790,17 @@ impl MultiPlane {
     ///
     /// # Panics
     ///
-    /// Panics when `class` is out of range.
+    /// Panics when `class` is out of range or retired.
     pub fn lookup(
         &self,
         class: usize,
         source: NodeId,
         target: NodeId,
     ) -> Result<(Vec<NodeId>, Served), RouteError> {
-        self.classes[class].lookup(&self.graph, source, target)
+        match &self.classes[class] {
+            Slot::Live { plane, .. } => plane.lookup(&self.graph, source, target),
+            Slot::Retired { name } => panic!("class {class} (`{name}`) is retired"),
+        }
     }
 
     /// Diffs `graph` against the served topology and, on any change,
@@ -655,7 +862,10 @@ impl MultiPlane {
             DirtyPairs::Pairs(p) => p.len(),
         };
         let mut class_stats = Vec::with_capacity(self.classes.len());
-        for class in &mut self.classes {
+        for slot in &mut self.classes {
+            let Some(class) = slot.live_box_mut() else {
+                continue;
+            };
             class.observe_dirty(graph, &dirty)?;
             let stats = class.repair(graph, policy, obs)?;
             class_stats.push((class.class_name().to_string(), stats));
@@ -699,9 +909,12 @@ impl MultiPlane {
             classes: self
                 .classes
                 .iter()
-                .map(|c| SnapshotClass {
-                    core: c.serving_core(&self.graph),
-                    plane: c.clone_box(),
+                .map(|slot| match slot {
+                    Slot::Live { plane, .. } => SnapSlot::Live(SnapshotClass {
+                        core: plane.serving_core(&self.graph),
+                        plane: plane.clone_box(),
+                    }),
+                    Slot::Retired { name } => SnapSlot::Retired(name.clone()),
                 })
                 .collect(),
         }
@@ -715,7 +928,7 @@ impl MultiPlane {
         let mut multi_total_bits = hop_matrix_bits;
         let mut independent_total_bits = 0u64;
         let mut per_class = Vec::with_capacity(self.classes.len());
-        for class in &self.classes {
+        for class in self.classes.iter().filter_map(|s| s.live()) {
             let base = class.base();
             let mem = base.memory();
             independent_total_bits += mem.total_bits() + hop_matrix_bits;
@@ -738,7 +951,7 @@ impl MultiPlane {
             });
         }
         MultiMemory {
-            classes: self.classes.len(),
+            classes: self.live_class_count(),
             nodes: self.graph.node_count(),
             multi_total_bits,
             independent_total_bits,
@@ -752,7 +965,7 @@ impl MultiPlane {
     /// Records per-class health into `obs` under
     /// `multi.class.{name}.*` gauges.
     pub fn record_health(&self, obs: &cpr_obs::Obs) {
-        for class in &self.classes {
+        for class in self.classes.iter().filter_map(|s| s.live()) {
             let name = class.class_name();
             let c = class.counters();
             obs.set_gauge(
@@ -780,13 +993,16 @@ impl MultiPlane {
 /// at the earliest class holding equal contents. Content equality is
 /// checked, never assumed — a class whose routability differs keeps its
 /// own table.
-fn dedupe_substrate(classes: &mut [Box<dyn ClassPlane>]) {
+fn dedupe_substrate(classes: &mut [Slot]) {
     for i in 1..classes.len() {
         let (head, tail) = classes.split_at_mut(i);
-        let cur = tail[0].base_mut();
+        let Some(cur) = tail[0].live_box_mut() else {
+            continue;
+        };
+        let cur = cur.base_mut();
         let mut initial_done = false;
         let mut adjacency_done = false;
-        for canon in head.iter() {
+        for canon in head.iter().filter_map(|s| s.live()) {
             let (ini, adj) = cur.share_substrate_with(canon.base());
             initial_done |= ini;
             adjacency_done |= adj;

@@ -204,4 +204,50 @@ impl RouteClient {
             other => Err(Self::reject(other, "stats reply")),
         }
     }
+
+    /// Registers a new tenant class from an algebra expression (see
+    /// `cpr_algebra::expr` for the grammar); returns the serving epoch
+    /// the class first appears in, the wire class id assigned to it,
+    /// and the scheme the admissibility gates chose.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on wire failure or an `Error` frame — in
+    /// particular an `ERR_INADMISSIBLE` server error naming the theorem
+    /// gate that rejected the expression.
+    pub fn register_class(
+        &mut self,
+        name: &str,
+        expr: &str,
+    ) -> Result<(u64, u8, String), ClientError> {
+        match self.call(&Request::Register {
+            name: name.to_string(),
+            expr: expr.to_string(),
+        })? {
+            Response::Registered {
+                epoch,
+                class,
+                scheme,
+            } => Ok((epoch, class, scheme)),
+            other => Err(Self::reject(other, "register reply")),
+        }
+    }
+
+    /// Deregisters a previously registered tenant class by name;
+    /// returns the serving epoch the class disappears in and the wire
+    /// class id it held (the id is retired, never reused for lookups).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on wire failure or an `Error` frame — in
+    /// particular an `ERR_BAD_REQUEST` server error when `name` is
+    /// unknown or names a seed (non-dynamic) class.
+    pub fn deregister_class(&mut self, name: &str) -> Result<(u64, u8), ClientError> {
+        match self.call(&Request::Deregister {
+            name: name.to_string(),
+        })? {
+            Response::Deregistered { epoch, class } => Ok((epoch, class)),
+            other => Err(Self::reject(other, "deregister reply")),
+        }
+    }
 }

@@ -31,11 +31,14 @@ use std::time::Instant;
 use cpr_graph::Graph;
 use cpr_obs::{Json, Obs};
 use cpr_plane::multi::MultiRepairReport;
-use cpr_plane::{CompileError, MultiBuilder, MultiPlane, MultiSnapshot, RepairPolicy};
+use cpr_plane::{CompileError, MultiBuilder, MultiPlane, MultiSnapshot, RepairPolicy, TenantError};
 use cpr_routing::RouteError;
 
 use crate::epoch::EpochCell;
-use crate::proto::{Request, Response, RouteOutcome, StatsSnapshot, ERR_BAD_REQUEST, ERR_PROTO};
+use crate::proto::{
+    Request, Response, RouteOutcome, StatsSnapshot, ERR_BAD_REQUEST, ERR_INADMISSIBLE,
+    ERR_INTERNAL, ERR_PROTO,
+};
 use crate::server::{ServeBackend, ServeConfig};
 
 /// What one [`MultiRouteService::reconcile`] call did.
@@ -57,9 +60,6 @@ pub struct MultiRouteService {
     master: Mutex<MultiPlane>,
     cell: EpochCell<MultiSnapshot>,
     obs: Obs,
-    /// Registry names in class order, cached so the data path never
-    /// locks the master.
-    class_names: Vec<String>,
     queries: AtomicU64,
     delivered: AtomicU64,
     unroutable: AtomicU64,
@@ -82,19 +82,14 @@ impl MultiRouteService {
         obs: Obs,
     ) -> Result<Self, CompileError> {
         let master = MultiPlane::build(graph, builder)?;
-        let class_names: Vec<String> = master
-            .classes()
-            .map(|c| c.class_name().to_string())
-            .collect();
         let snapshot = master.snapshot();
         obs.set_gauge("serve.epoch", 0);
-        obs.set_gauge("serve.classes", class_names.len() as i64);
+        obs.set_gauge("serve.classes", master.live_class_count() as i64);
         Ok(MultiRouteService {
             config,
             master: Mutex::new(master),
             cell: EpochCell::new(Arc::new(snapshot)),
             obs,
-            class_names,
             queries: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
             unroutable: AtomicU64::new(0),
@@ -114,9 +109,15 @@ impl MultiRouteService {
         &self.obs
     }
 
-    /// Served classes, in wire traffic-class order.
-    pub fn class_names(&self) -> &[String] {
-        &self.class_names
+    /// Served class names in wire traffic-class order, from the
+    /// current snapshot — registrations and deregistrations change this
+    /// atomically with the data they name (a retired slot keeps its
+    /// last name).
+    pub fn class_names(&self) -> Vec<String> {
+        let snap = self.cell.load();
+        (0..snap.class_count())
+            .map(|c| snap.class_name(c).to_string())
+            .collect()
     }
 
     /// The current serving snapshot.
@@ -188,15 +189,96 @@ impl MultiRouteService {
         })
     }
 
-    fn class_of(&self, class: u8) -> Result<usize, Response> {
+    /// Parses, gates, compiles and hot-registers a tenant class, then
+    /// publishes the new registry with the same RCU swap discipline as
+    /// [`reconcile`](Self::reconcile): readers keep answering on the
+    /// old snapshot for the entire compile and flip atomically, so no
+    /// query ever observes a torn registry. Returns the wire class id
+    /// and the selected scheme name.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TenantError`]; on error nothing is published.
+    pub fn register_class(&self, name: &str, expr: &str) -> Result<(u8, String, u64), TenantError> {
+        let started = Instant::now();
+        let mut master = self.master.lock().unwrap_or_else(PoisonError::into_inner);
+        let reg = master.register_class_expr(name, expr)?;
+        master.record_health(&self.obs);
+        let live = master.live_class_count();
+        let snapshot = master.snapshot();
+        let epoch = snapshot.epoch();
+        drop(master);
+        self.cell.store(Arc::new(snapshot));
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr("serve.swaps");
+        self.obs.incr("serve.registrations");
+        self.obs.set_gauge("serve.epoch", epoch as i64);
+        self.obs.set_gauge("serve.classes", live as i64);
+        self.obs.event(
+            "serve.register",
+            &[
+                ("epoch", Json::int(epoch)),
+                ("class", Json::int(reg.class)),
+                ("name", Json::str(name)),
+                ("scheme", Json::str(reg.scheme.name())),
+                ("micros", Json::int(started.elapsed().as_micros())),
+            ],
+        );
+        Ok((reg.class as u8, reg.scheme.name().to_string(), epoch))
+    }
+
+    /// Deregisters a runtime class and publishes the tombstoned
+    /// registry with one atomic swap; in-flight readers of the old
+    /// snapshot finish against it, and the slot's wire id is never
+    /// renumbered. Returns the retired class id and the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::UnknownClass`] / [`TenantError::SeedClass`]; on
+    /// error nothing is published.
+    pub fn deregister_class(&self, name: &str) -> Result<(u8, u64), TenantError> {
+        let mut master = self.master.lock().unwrap_or_else(PoisonError::into_inner);
+        let class = master.deregister_class(name)?;
+        let live = master.live_class_count();
+        let snapshot = master.snapshot();
+        let epoch = snapshot.epoch();
+        drop(master);
+        self.cell.store(Arc::new(snapshot));
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr("serve.swaps");
+        self.obs.incr("serve.deregistrations");
+        self.obs.set_gauge("serve.epoch", epoch as i64);
+        self.obs.set_gauge("serve.classes", live as i64);
+        self.obs.event(
+            "serve.deregister",
+            &[
+                ("epoch", Json::int(epoch)),
+                ("class", Json::int(class)),
+                ("name", Json::str(name)),
+            ],
+        );
+        Ok((class as u8, epoch))
+    }
+
+    fn class_of(&self, snap: &MultiSnapshot, class: u8) -> Result<usize, Response> {
         let idx = class as usize;
-        if idx >= self.class_names.len() {
+        if idx >= snap.class_count() {
             self.obs.incr("serve.proto_errors");
             return Err(Response::Error {
                 code: ERR_PROTO,
                 message: format!(
                     "traffic class {class} out of range: {} classes served",
-                    self.class_names.len()
+                    snap.class_count()
+                ),
+            });
+        }
+        if !snap.class_live(idx) {
+            self.obs.incr("serve.proto_errors");
+            return Err(Response::Error {
+                code: ERR_BAD_REQUEST,
+                message: format!(
+                    "traffic class {class} (`{}`) is deregistered",
+                    snap.class_name(idx)
                 ),
             });
         }
@@ -210,7 +292,7 @@ impl MultiRouteService {
         source: u32,
         target: u32,
     ) -> RouteOutcome {
-        let name = &self.class_names[class];
+        let name = snap.class_name(class);
         let n = snap.graph().node_count();
         if source as usize >= n || target as usize >= n {
             self.failed.fetch_add(1, Ordering::Relaxed);
@@ -248,7 +330,8 @@ impl MultiRouteService {
         }
     }
 
-    fn count_queries(&self, epoch: u64, class: usize, n: u64) {
+    fn count_queries(&self, snap: &MultiSnapshot, class: usize, n: u64) {
+        let epoch = snap.epoch();
         self.queries.fetch_add(n, Ordering::Relaxed);
         *self
             .epoch_queries
@@ -258,7 +341,7 @@ impl MultiRouteService {
             .or_insert(0) += n;
         self.obs.add("serve.queries", n);
         self.obs.add(
-            &format!("serve.class.{}.queries", self.class_names[class]),
+            &format!("serve.class.{}.queries", snap.class_name(class)),
             n,
         );
         self.obs.add(&format!("serve.queries.epoch.{epoch}"), n);
@@ -274,19 +357,20 @@ impl MultiRouteService {
                 target,
                 class,
             } => {
-                let class = match self.class_of(*class) {
+                let snap = self.cell.load();
+                let class = match self.class_of(&snap, *class) {
                     Ok(c) => c,
                     Err(resp) => return resp,
                 };
-                let snap = self.cell.load();
-                self.count_queries(snap.epoch(), class, 1);
+                self.count_queries(&snap, class, 1);
                 Response::Route {
                     epoch: snap.epoch(),
                     outcome: self.route_one(&snap, class, *source, *target),
                 }
             }
             Request::Batch { pairs, class } => {
-                let class = match self.class_of(*class) {
+                let snap = self.cell.load();
+                let class = match self.class_of(&snap, *class) {
                     Ok(c) => c,
                     Err(resp) => return resp,
                 };
@@ -300,8 +384,7 @@ impl MultiRouteService {
                         ),
                     };
                 }
-                let snap = self.cell.load();
-                self.count_queries(snap.epoch(), class, pairs.len() as u64);
+                self.count_queries(&snap, class, pairs.len() as u64);
                 Response::Batch {
                     epoch: snap.epoch(),
                     outcomes: pairs
@@ -310,6 +393,32 @@ impl MultiRouteService {
                         .collect(),
                 }
             }
+            Request::Register { name, expr } => match self.register_class(name, expr) {
+                Ok((class, scheme, epoch)) => Response::Registered {
+                    epoch,
+                    class,
+                    scheme,
+                },
+                Err(e) => {
+                    let code = match &e {
+                        TenantError::Inadmissible(_) => ERR_INADMISSIBLE,
+                        TenantError::Compile(_) => ERR_INTERNAL,
+                        _ => ERR_BAD_REQUEST,
+                    };
+                    self.obs.incr("serve.register_rejected");
+                    Response::Error {
+                        code,
+                        message: e.to_string(),
+                    }
+                }
+            },
+            Request::Deregister { name } => match self.deregister_class(name) {
+                Ok((class, epoch)) => Response::Deregistered { epoch, class },
+                Err(e) => Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: e.to_string(),
+                },
+            },
             Request::Health => {
                 let snap = self.cell.load();
                 Response::Health {

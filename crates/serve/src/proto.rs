@@ -12,17 +12,28 @@
 //!
 //! | opcode | direction | payload |
 //! |---|---|---|
-//! | `0x01` Lookup  | → | `u32 source, u32 target[, u8 class]` |
-//! | `0x02` Batch   | → | `u32 count, count × (u32 source, u32 target)[, u8 class]` |
-//! | `0x03` Health  | → | empty |
-//! | `0x04` Metrics | → | empty |
-//! | `0x05` Stats   | → | empty |
-//! | `0x81` Route   | ← | `u64 epoch, outcome` |
-//! | `0x82` Batch   | ← | `u64 epoch, u32 count, count × outcome` |
-//! | `0x83` Health  | ← | `u64 epoch, u64 digest, u8 fresh` |
-//! | `0x84` Metrics | ← | `u64 epoch, u32 len, len JSON bytes` |
-//! | `0x85` Stats   | ← | fixed counters, see [`StatsSnapshot`] |
-//! | `0xEE` Error   | ← | `u8 code, u32 len, len UTF-8 bytes` |
+//! | `0x01` Lookup     | → | `u32 source, u32 target[, u8 class]` |
+//! | `0x02` Batch      | → | `u32 count, count × (u32 source, u32 target)[, u8 class]` |
+//! | `0x03` Health     | → | empty |
+//! | `0x04` Metrics    | → | empty |
+//! | `0x05` Stats      | → | empty |
+//! | `0x06` Register   | → | `string name, string expr` |
+//! | `0x07` Deregister | → | `string name` |
+//! | `0x81` Route      | ← | `u64 epoch, outcome` |
+//! | `0x82` Batch      | ← | `u64 epoch, u32 count, count × outcome` |
+//! | `0x83` Health     | ← | `u64 epoch, u64 digest, u8 fresh` |
+//! | `0x84` Metrics    | ← | `u64 epoch, u32 len, len JSON bytes` |
+//! | `0x85` Stats      | ← | fixed counters, see [`StatsSnapshot`] |
+//! | `0x86` Registered | ← | `u64 epoch, u8 class, string scheme` |
+//! | `0x87` Deregistered | ← | `u64 epoch, u8 class` |
+//! | `0xEE` Error      | ← | `u8 code, u32 len, len UTF-8 bytes` |
+//!
+//! A `string` is `u32 len` + `len` UTF-8 bytes. `Register` carries a
+//! tenant algebra expression (`cpr_algebra::expr` grammar); the server
+//! gates it through the Prop. 2 / Thm. 1 / Thm. 3 admissibility checks
+//! and either registers a new traffic class (answering with the class
+//! id and selected scheme) or rejects with an [`ERR_INADMISSIBLE`]
+//! error frame naming the gate and the measured witness pair.
 //!
 //! An *outcome* is `u8 kind`: `0` = delivered (`u32 hop_count + 1`
 //! node ids, source first, target last), `1` = unroutable in the
@@ -66,6 +77,10 @@ pub const OP_HEALTH: u8 = 0x03;
 pub const OP_METRICS: u8 = 0x04;
 /// See [`OP_LOOKUP`].
 pub const OP_STATS: u8 = 0x05;
+/// See [`OP_LOOKUP`].
+pub const OP_REGISTER: u8 = 0x06;
+/// See [`OP_LOOKUP`].
+pub const OP_DEREGISTER: u8 = 0x07;
 
 /// Response opcodes.
 pub const OP_ROUTE_REPLY: u8 = 0x81;
@@ -78,6 +93,10 @@ pub const OP_METRICS_REPLY: u8 = 0x84;
 /// See [`OP_ROUTE_REPLY`].
 pub const OP_STATS_REPLY: u8 = 0x85;
 /// See [`OP_ROUTE_REPLY`].
+pub const OP_REGISTER_REPLY: u8 = 0x86;
+/// See [`OP_ROUTE_REPLY`].
+pub const OP_DEREGISTER_REPLY: u8 = 0x87;
+/// See [`OP_ROUTE_REPLY`].
 pub const OP_ERROR: u8 = 0xEE;
 
 /// Error codes carried by an `Error` response.
@@ -86,6 +105,10 @@ pub const ERR_PROTO: u8 = 1;
 pub const ERR_BAD_REQUEST: u8 = 2;
 /// The server failed internally while answering.
 pub const ERR_INTERNAL: u8 = 3;
+/// A `Register` expression parsed but failed an admissibility gate
+/// (Prop. 2 / Thm. 1 / Thm. 3); the message names the gate and the
+/// measured witness pair. Nothing was compiled.
+pub const ERR_INADMISSIBLE: u8 = 4;
 
 /// Why a frame or payload failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -155,6 +178,19 @@ pub enum Request {
         /// Traffic class for every pair of the batch; `0` = default.
         class: u8,
     },
+    /// Register a tenant algebra expression as a new traffic class.
+    Register {
+        /// Registry name the class will serve under.
+        name: String,
+        /// The algebra expression (`cpr_algebra::expr` grammar,
+        /// optionally wrapped in `compact(…)`).
+        expr: String,
+    },
+    /// Deregister a runtime-registered traffic class by name.
+    Deregister {
+        /// The class's registry name.
+        name: String,
+    },
     /// Liveness + freshness probe.
     Health,
     /// The introspection endpoint: the server's `cpr-obs` registry
@@ -212,6 +248,23 @@ pub enum Response {
         epoch: u64,
         /// Outcomes in request order.
         outcomes: Vec<RouteOutcome>,
+    },
+    /// Answer to `Register`: the class is live and serving.
+    Registered {
+        /// Serving epoch after the registration swap.
+        epoch: u64,
+        /// The wire traffic-class id the new class answers under.
+        class: u8,
+        /// The scheme the admissibility gate selected
+        /// (`"dest-table"` / `"cowen"` / `"sw-class-table"`).
+        scheme: String,
+    },
+    /// Answer to `Deregister`: the slot is retired.
+    Deregistered {
+        /// Serving epoch after the deregistration swap.
+        epoch: u64,
+        /// The retired traffic-class id.
+        class: u8,
     },
     /// Answer to `Health`.
     Health {
@@ -339,6 +392,15 @@ impl Request {
                     out.push(*class);
                 }
             }
+            Request::Register { name, expr } => {
+                out.push(OP_REGISTER);
+                put_string(&mut out, name);
+                put_string(&mut out, expr);
+            }
+            Request::Deregister { name } => {
+                out.push(OP_DEREGISTER);
+                put_string(&mut out, name);
+            }
             Request::Health => out.push(OP_HEALTH),
             Request::Metrics => out.push(OP_METRICS),
             Request::Stats => out.push(OP_STATS),
@@ -390,6 +452,13 @@ impl Request {
                 };
                 Request::Batch { pairs, class }
             }
+            OP_REGISTER => Request::Register {
+                name: c.string("register name")?,
+                expr: c.string("register expression")?,
+            },
+            OP_DEREGISTER => Request::Deregister {
+                name: c.string("deregister name")?,
+            },
             OP_HEALTH => Request::Health,
             OP_METRICS => Request::Metrics,
             OP_STATS => Request::Stats,
@@ -455,6 +524,21 @@ impl Response {
                 for o in outcomes {
                     encode_outcome(&mut out, o);
                 }
+            }
+            Response::Registered {
+                epoch,
+                class,
+                scheme,
+            } => {
+                out.push(OP_REGISTER_REPLY);
+                put_u64(&mut out, *epoch);
+                out.push(*class);
+                put_string(&mut out, scheme);
+            }
+            Response::Deregistered { epoch, class } => {
+                out.push(OP_DEREGISTER_REPLY);
+                put_u64(&mut out, *epoch);
+                out.push(*class);
             }
             Response::Health {
                 epoch,
@@ -523,6 +607,15 @@ impl Response {
                 }
                 Response::Batch { epoch, outcomes }
             }
+            OP_REGISTER_REPLY => Response::Registered {
+                epoch: c.u64("register epoch")?,
+                class: c.u8("register class")?,
+                scheme: c.string("register scheme")?,
+            },
+            OP_DEREGISTER_REPLY => Response::Deregistered {
+                epoch: c.u64("deregister epoch")?,
+                class: c.u8("deregister class")?,
+            },
             OP_HEALTH_REPLY => Response::Health {
                 epoch: c.u64("health epoch")?,
                 digest: c.u64("health digest")?,
@@ -716,12 +809,42 @@ mod tests {
                 pairs: vec![],
                 class: 0,
             },
+            Request::Register {
+                name: "gold".into(),
+                expr: "lex(widest-path, shortest-path)".into(),
+            },
+            Request::Register {
+                name: String::new(),
+                expr: String::new(),
+            },
+            Request::Deregister {
+                name: "gold".into(),
+            },
             Request::Health,
             Request::Metrics,
             Request::Stats,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn register_frames_reject_truncation_and_trailing_bytes() {
+        let body = Request::Register {
+            name: "t".into(),
+            expr: "shortest-path".into(),
+        }
+        .encode();
+        // Every proper prefix must fail cleanly, never panic.
+        for cut in 1..body.len() {
+            assert!(Request::decode(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert_eq!(
+            Request::decode(&trailing).unwrap_err(),
+            ProtoError::BadPayload("trailing bytes")
+        );
     }
 
     #[test]
@@ -797,9 +920,22 @@ mod tests {
                 failed: 0,
                 epoch_queries: vec![(0, 40), (6, 60)],
             }),
+            Response::Registered {
+                epoch: 7,
+                class: 12,
+                scheme: "sw-class-table".into(),
+            },
+            Response::Deregistered {
+                epoch: 8,
+                class: 12,
+            },
             Response::Error {
                 code: ERR_PROTO,
                 message: "bad".into(),
+            },
+            Response::Error {
+                code: ERR_INADMISSIBLE,
+                message: "rejected by the proposition-2 gate".into(),
             },
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

@@ -380,6 +380,14 @@ where
                 }
             }
             Request::Stats => Response::Stats(self.stats()),
+            // The single-class backend has a fixed registry; dynamic
+            // tenancy needs the multi-class backend.
+            Request::Register { .. } | Request::Deregister { .. } => Response::Error {
+                code: ERR_BAD_REQUEST,
+                message: "this backend serves a fixed single-class registry; \
+                          class registration needs a multi-class server"
+                    .to_owned(),
+            },
         }
     }
 

@@ -28,9 +28,12 @@ use std::time::{Duration, Instant};
 
 use cpr_conform::standard_builder;
 use cpr_graph::{generators, Graph, NodeId};
-use cpr_plane::{MultiPlane, RepairPolicy};
+use cpr_plane::{build_tenant_class, MultiPlane, RepairPolicy};
 use cpr_routing::RouteError;
-use cpr_serve::{MultiRouteService, RouteClient, RouteOutcome, RouteServer, ServeConfig};
+use cpr_serve::proto::{ERR_BAD_REQUEST, ERR_INADMISSIBLE};
+use cpr_serve::{
+    ClientError, MultiRouteService, RouteClient, RouteOutcome, RouteServer, ServeConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -340,4 +343,315 @@ fn swap_storm_never_serves_stale_on_any_class() {
         stop.store(true, Ordering::Relaxed);
         server_handle.join().expect("server thread").unwrap();
     });
+}
+
+/// The tenant registrations of the register/deregister storm: name,
+/// wire expression, and the scheme name the `Registered` reply must
+/// carry — one per compile path the admissibility gates can choose.
+const TENANTS: [(&str, &str, &str); 3] = [
+    ("tenant-scaled", "scale(shortest-path, 3)", "dest-table"),
+    (
+        "tenant-sw",
+        "lex(widest-path, scale(shortest-path, 2))",
+        "sw-class-table",
+    ),
+    ("tenant-compact", "compact(shortest-path)", "cowen"),
+];
+
+/// Hop-for-hop check of one wire-registered tenant class against a
+/// standalone tenant compile of the same expression on `graph` — the
+/// factory is deterministic in (expression, graph), so on a
+/// fresh-compile-equivalent plane state the answers must be identical,
+/// and each must be stamped with exactly the expected epoch.
+fn verify_tenant_class(
+    client: &mut RouteClient,
+    graph: &Graph,
+    class: u8,
+    epoch: u64,
+    name: &str,
+    expr: &str,
+) {
+    let standalone = build_tenant_class(name, expr, graph).expect("standalone tenant compile");
+    for s in 0..N {
+        for t in 0..N {
+            if s == t {
+                continue;
+            }
+            let (e, outcome) = client
+                .lookup_class(s as u32, t as u32, class)
+                .expect("tenant lookup");
+            assert_eq!(e, epoch, "{name} answered from epoch {e}, expected {epoch}");
+            let expect = standalone.plane.lookup(graph, s, t);
+            match (&outcome, &expect) {
+                (RouteOutcome::Path(path), Ok((oracle, _))) => {
+                    let got: Vec<usize> = path.iter().map(|&v| v as usize).collect();
+                    assert_eq!(
+                        &got, oracle,
+                        "{name} ({s}, {t}): wire answer diverged from the standalone oracle"
+                    );
+                }
+                (RouteOutcome::Unroutable, Err(RouteError::Unroutable { .. })) => {}
+                (outcome, expect) => {
+                    panic!("{name} ({s}, {t}): wire answer {outcome:?} vs standalone {expect:?}")
+                }
+            }
+        }
+    }
+}
+
+/// The dynamic-tenancy storm: tenant classes register and deregister
+/// over the live socket while topology churn drives shared-delta swaps
+/// and a concurrent client hammers all twelve *pre-existing* classes.
+/// Audited after the fact:
+///
+/// * the seed classes see zero dropped queries, zero stale answers
+///   (hop-for-hop against a replica control plane mirrored through the
+///   identical mutation sequence), and monotone epochs — registration
+///   churn is invisible to established tenants;
+/// * every wire-registered class serves hop-for-hop equal to a
+///   standalone compile of its expression (the acceptance oracle);
+/// * an inadmissible expression is refused with `ERR_INADMISSIBLE`
+///   naming the theorem gate, and the registry does not move;
+/// * deregistration retires the wire id (lookups answer
+///   `ERR_BAD_REQUEST`, the id is never reshuffled) and the freed slot
+///   is reused by the next registration.
+#[test]
+fn register_storm_keeps_seed_classes_live() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x7E4A);
+    let g0 = generators::gnp_connected(N, 0.25, &mut rng);
+    let removable = non_bridges(&g0);
+    assert!(
+        removable.len() >= TENANTS.len(),
+        "seed must leave enough cycle edges"
+    );
+
+    let service = Arc::new(
+        MultiRouteService::new(
+            &g0,
+            standard_builder(),
+            ServeConfig::default(),
+            cpr_obs::Obs::with_null_tracer(),
+        )
+        .expect("multi compile"),
+    );
+    assert_eq!(service.class_names().len(), CLASSES);
+    let server = RouteServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = server.stop_handle();
+
+    let answered = AtomicU64::new(0);
+    let storm_done = AtomicBool::new(false);
+    let policy = RepairPolicy {
+        max_dirty_fraction: 1.0,
+        ..RepairPolicy::default()
+    };
+
+    // The audit replica, mirrored through the identical mutation
+    // sequence (registrations included), so its per-epoch snapshots are
+    // exactly the service's published states.
+    let obs = cpr_obs::Obs::with_null_tracer();
+    let mut replica = MultiPlane::build(&g0, standard_builder()).expect("replica compile");
+    let mut epochs: HashMap<u64, EpochState> = HashMap::new();
+    epochs.insert(
+        0,
+        EpochState {
+            graph: g0.clone(),
+            snap: replica.snapshot(),
+        },
+    );
+
+    let recorded = std::thread::scope(|scope| {
+        let server_handle = scope.spawn(|| server.run());
+
+        // The seed-class auditor: stream lookups round-robin across the
+        // twelve pre-existing classes for the whole storm.
+        let client_handle = scope.spawn(|| {
+            let mut client = RouteClient::connect(addr).expect("connect");
+            let mut rng = StdRng::seed_from_u64(SEED ^ 0x5A5A);
+            let mut recorded = Vec::new();
+            let mut next_class = 0usize;
+            while !storm_done.load(Ordering::Relaxed) {
+                for _ in 0..16 {
+                    let s = rng.gen_range(0..N);
+                    let t = rng.gen_range(0..N);
+                    if s == t {
+                        continue;
+                    }
+                    let class = (next_class % CLASSES) as u8;
+                    next_class += 1;
+                    let (epoch, outcome) = client
+                        .lookup_class(s as u32, t as u32, class)
+                        .expect("seed lookup");
+                    recorded.push(Recorded {
+                        epoch,
+                        class,
+                        source: s,
+                        target: t,
+                        outcome,
+                    });
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            recorded
+        });
+
+        // The control plane, over the wire: registrations interleaved
+        // with shared-delta churn.
+        let mut control = RouteClient::connect(addr).expect("control connect");
+
+        // An inadmissible expression is refused at the gate — nothing
+        // compiles, nothing swaps.
+        match control.register_class("tenant-detour", "detour") {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ERR_INADMISSIBLE);
+                assert!(
+                    message.contains("proposition-2"),
+                    "rejection must name the failing gate: {message}"
+                );
+            }
+            other => panic!("inadmissible registration answered {other:?}"),
+        }
+        assert_eq!(service.class_names().len(), CLASSES, "registry moved");
+
+        for (i, &(name, expr, scheme)) in TENANTS.iter().enumerate() {
+            // Register over the wire; mirror on the replica.
+            let (epoch, class, got_scheme) = control.register_class(name, expr).expect("register");
+            assert_eq!(got_scheme, scheme, "{name}");
+            assert_eq!(class as usize, CLASSES + i, "wire ids are stable");
+            let reg = replica.register_class_expr(name, expr).expect("mirror");
+            assert_eq!((reg.epoch, reg.class), (epoch, class as usize));
+            let mut epoch_now = epoch;
+            epochs.insert(
+                epoch,
+                EpochState {
+                    graph: g0.clone(),
+                    snap: replica.snapshot(),
+                },
+            );
+            wait_progress(
+                &answered,
+                answered.load(Ordering::Relaxed) + 2 * CLASSES as u64,
+            );
+
+            // The freshly registered class serves hop-for-hop equal to
+            // a standalone compile while the seed auditor keeps firing.
+            verify_tenant_class(&mut control, &g0, class, epoch_now, name, expr);
+
+            // Churn under the enlarged registry: remove a non-bridge
+            // edge, then restore it — tenant classes repair from the
+            // same shared dirty set as the seed classes.
+            for target in [without_edge(&g0, removable[i]), g0.clone()] {
+                let report = service.reconcile(&target, &policy).expect("reconcile");
+                assert!(report.swapped);
+                let repair = report.repair.as_ref().expect("swap carries its repair");
+                assert_eq!(
+                    repair.class_stats.len(),
+                    CLASSES + i + 1,
+                    "every live class must repair on every swap"
+                );
+                replica
+                    .reconcile(&target, &policy, &obs)
+                    .expect("replica reconcile");
+                epoch_now = report.epoch;
+                epochs.insert(
+                    epoch_now,
+                    EpochState {
+                        graph: target,
+                        snap: replica.snapshot(),
+                    },
+                );
+                wait_progress(
+                    &answered,
+                    answered.load(Ordering::Relaxed) + 2 * CLASSES as u64,
+                );
+            }
+            // The restore rebuilt every class (an addition dirties all
+            // pairs), so the tenant is fresh-compile-equivalent again.
+            verify_tenant_class(&mut control, &g0, class, epoch_now, name, expr);
+        }
+
+        // Deregister the first tenant: the wire id retires, survivors
+        // and seed classes keep serving.
+        let (epoch, freed) = control.deregister_class(TENANTS[0].0).expect("deregister");
+        assert_eq!(freed as usize, CLASSES);
+        let mirrored = replica.deregister_class(TENANTS[0].0).expect("mirror");
+        assert_eq!((replica.epoch(), mirrored), (epoch, freed as usize));
+        epochs.insert(
+            epoch,
+            EpochState {
+                graph: g0.clone(),
+                snap: replica.snapshot(),
+            },
+        );
+        match control.lookup_class(0, 1, freed) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ERR_BAD_REQUEST),
+            other => panic!("retired class answered {other:?}"),
+        }
+        match control.deregister_class(TENANTS[0].0) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ERR_BAD_REQUEST),
+            other => panic!("double deregistration answered {other:?}"),
+        }
+        match control.deregister_class("shortest-path") {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ERR_BAD_REQUEST),
+            other => panic!("seed deregistration answered {other:?}"),
+        }
+
+        // The freed slot is reused by the next registration, and the
+        // reused class serves correctly at once.
+        let (epoch, class, got_scheme) = control
+            .register_class("tenant-reuse", "hop-count")
+            .expect("re-register");
+        assert_eq!(class, freed, "the tombstoned wire id must be reused");
+        assert_eq!(got_scheme, "dest-table");
+        let reg = replica
+            .register_class_expr("tenant-reuse", "hop-count")
+            .expect("mirror");
+        assert_eq!((reg.epoch, reg.class), (epoch, class as usize));
+        epochs.insert(
+            epoch,
+            EpochState {
+                graph: g0.clone(),
+                snap: replica.snapshot(),
+            },
+        );
+        verify_tenant_class(&mut control, &g0, class, epoch, "tenant-reuse", "hop-count");
+
+        storm_done.store(true, Ordering::Relaxed);
+        let recorded = client_handle.join().expect("client thread");
+        drop(control);
+        stop.store(true, Ordering::Relaxed);
+        server_handle.join().expect("server thread").unwrap();
+        recorded
+    });
+
+    // Zero dropped, zero failed on the pre-existing classes.
+    let stats = service.stats();
+    assert_eq!(stats.failed, 0, "no class may fail a query mid-storm");
+    assert_eq!(
+        stats.delivered + stats.unroutable,
+        stats.queries,
+        "every answer is a delivery or an honest unroutable"
+    );
+
+    // Epoch monotonicity on the seed auditor's connection, ending at
+    // the final epoch.
+    let final_epoch = *epochs.keys().max().unwrap();
+    let mut last = 0u64;
+    for r in &recorded {
+        assert!(r.epoch >= last, "epoch went backwards");
+        last = r.epoch;
+    }
+    assert_eq!(last, final_epoch, "the tail must reach the final epoch");
+
+    // Zero stale answers on any seed class, hop-for-hop against the
+    // mirrored replica's per-epoch snapshots.
+    audit(&recorded, &epochs);
+
+    // The registry ends in the expected shape: the retired slot keeps
+    // its wire position, renamed by the reuse registration.
+    let names = service.class_names();
+    assert_eq!(names.len(), CLASSES + TENANTS.len());
+    assert_eq!(names[CLASSES], "tenant-reuse");
+    assert_eq!(names[CLASSES + 1], "tenant-sw");
+    assert_eq!(names[CLASSES + 2], "tenant-compact");
 }
